@@ -1,0 +1,46 @@
+//! Criterion bench: the full subsetting pipeline and subset replay.
+//!
+//! Quantifies the promise of the paper: full-trace simulation cost vs
+//! pipeline+replay cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subset3d_core::{SubsetConfig, Subsetter};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+use subset3d_trace::Workload;
+
+fn workload() -> Workload {
+    GameProfile::shooter("bench")
+        .frames(30)
+        .draws_per_frame(400)
+        .build(CORPUS_SEED)
+        .generate()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let w = workload();
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    group.bench_function("full_trace_simulation", |b| {
+        b.iter(|| sim.simulate_workload(&w).unwrap().total_ns)
+    });
+    group.bench_function("subsetting_pipeline", |b| {
+        b.iter(|| {
+            Subsetter::new(SubsetConfig::default())
+                .run(&w, &sim)
+                .unwrap()
+                .subset
+                .selected_draw_count()
+        })
+    });
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    group.bench_function("subset_replay", |b| {
+        b.iter(|| outcome.subset.replay(&w, &sim).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

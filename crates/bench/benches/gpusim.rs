@@ -1,0 +1,50 @@
+//! Criterion bench: analytical vs pipelined GPU simulation per frame, plus
+//! the raw cache simulator — the simulator design choices `DESIGN.md`
+//! ablates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subset3d_gpusim::cache::{run_locality_stream, CacheSim};
+use subset3d_gpusim::dram::{run_dram_stream, DramModel};
+use subset3d_gpusim::event::PipelineSim;
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+use subset3d_trace::Workload;
+
+fn workload(draws: usize) -> Workload {
+    GameProfile::shooter("bench")
+        .frames(1)
+        .draws_per_frame(draws)
+        .build(CORPUS_SEED)
+        .generate()
+}
+
+fn bench_gpusim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpusim");
+    for &draws in &[200usize, 1000] {
+        let w = workload(draws);
+        let analytic = Simulator::new(ArchConfig::baseline());
+        let pipelined = PipelineSim::new(ArchConfig::baseline());
+        group.bench_with_input(BenchmarkId::new("analytic_frame", draws), &w, |b, w| {
+            b.iter(|| analytic.simulate_frame(&w.frames()[0], w).unwrap().total_ns)
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined_frame", draws), &w, |b, w| {
+            b.iter(|| pipelined.simulate_frame(&w.frames()[0], w).unwrap().total_ns)
+        });
+    }
+    group.bench_function("cache_stream_50k", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(96 * 1024, 8, 64);
+            run_locality_stream(&mut cache, 16 << 20, 50_000, 0.7, 1).hit_rate()
+        })
+    });
+    group.bench_function("dram_stream_20k", |b| {
+        b.iter(|| {
+            let mut dram = DramModel::default_device();
+            run_dram_stream(&mut dram, 64 << 20, 20_000, 0.5, 1).row_hit_rate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpusim);
+criterion_main!(benches);

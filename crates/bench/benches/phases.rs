@@ -1,0 +1,41 @@
+//! Criterion bench: shader-vector phase detection over a whole trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subset3d_core::{PhaseDetector, ShaderVector};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+use subset3d_trace::Workload;
+
+fn workload(frames: usize) -> Workload {
+    GameProfile::shooter("bench")
+        .frames(frames)
+        .draws_per_frame(300)
+        .build(CORPUS_SEED)
+        .generate()
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phases");
+    for &frames in &[60usize, 120] {
+        let w = workload(frames);
+        group.bench_with_input(BenchmarkId::new("detect_exact", frames), &w, |b, w| {
+            b.iter(|| PhaseDetector::new(10).detect(w).unwrap().phase_count())
+        });
+        group.bench_with_input(BenchmarkId::new("detect_similar", frames), &w, |b, w| {
+            b.iter(|| {
+                PhaseDetector::new(10)
+                    .with_similarity(0.9)
+                    .detect(w)
+                    .unwrap()
+                    .phase_count()
+            })
+        });
+    }
+    let w = workload(60);
+    group.bench_function("shader_vector_frame", |b| {
+        b.iter(|| ShaderVector::of_frame(&w.frames()[0]).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

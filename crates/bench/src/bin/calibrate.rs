@@ -1,0 +1,34 @@
+//! Calibration sweep: where does the threshold land error/efficiency?
+//!
+//! Not a paper artefact — this utility picks the default clustering
+//! threshold so the pipeline's operating point matches the paper's
+//! (≈1 % error @ ≈65.8 % efficiency). Run on a single mid-size game.
+
+use subset3d_bench::{header, pct};
+use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter, Table};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+
+fn main() {
+    header("CAL", "threshold calibration sweep");
+    let workload = GameProfile::shooter("shock-1")
+        .frames(40)
+        .draws_per_frame(1400)
+        .build(CORPUS_SEED)
+        .generate();
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    let mut table = Table::new(vec!["threshold", "efficiency", "error", "outliers"]);
+    for &distance in &[0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0] {
+        let config = SubsetConfig::default()
+            .with_cluster_method(ClusterMethod::Threshold { distance });
+        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        table.row(vec![
+            format!("{distance:.2}"),
+            pct(outcome.evaluation.mean_efficiency()),
+            pct(outcome.evaluation.mean_prediction_error()),
+            pct(outcome.evaluation.outlier_fraction()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! Calibration sweep for the subset-extraction stage.
+//!
+//! Not a paper artefact — sweeps (interval length, phase similarity, frames
+//! per phase) and reports subset size and replay estimate error on the
+//! hardest corpus games, to pick pipeline defaults.
+
+use subset3d_bench::{header, pct, pct3};
+use subset3d_core::{SubsetConfig, Subsetter, Table};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+use subset3d_trace::Workload;
+
+fn main() {
+    header("CAL-SUBSET", "subset-stage parameter sweep");
+    let games: Vec<Workload> = vec![
+        GameProfile::rts("stratcraft").frames(110).draws_per_frame(1000).build(CORPUS_SEED.wrapping_add(3)).generate(),
+        GameProfile::shooter("shock-infinite").frames(140).draws_per_frame(1200).build(CORPUS_SEED.wrapping_add(2)).generate(),
+    ];
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    let mut table = Table::new(vec![
+        "interval", "similarity", "frames/phase", "game", "size", "replay err",
+    ]);
+    for &interval in &[4, 6, 10] {
+        for &similarity in &[0.9, 0.95, 1.0] {
+            for &fpp in &[1, 2, 3] {
+                for w in &games {
+                    let config = SubsetConfig::default()
+                        .with_interval_len(interval)
+                        .with_phase_similarity(similarity)
+                        .with_frames_per_phase(fpp);
+                    let outcome = Subsetter::new(config).run(w, &sim).expect("pipeline");
+                    let actual = sim.simulate_workload(w).expect("sim").total_ns;
+                    let estimate = outcome.subset.replay(w, &sim).expect("replay");
+                    table.row(vec![
+                        interval.to_string(),
+                        format!("{similarity:.2}"),
+                        fpp.to_string(),
+                        w.name.clone(),
+                        pct3(outcome.subset.draw_fraction()),
+                        pct((estimate - actual).abs() / actual),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+}

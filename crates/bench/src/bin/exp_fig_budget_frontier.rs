@@ -1,0 +1,67 @@
+//! E16 — Extension figure: subset budget vs fidelity frontier.
+//!
+//! The pipeline has two budget knobs — clustering threshold (draws kept per
+//! frame) and frames per phase (frames kept per phase). This experiment
+//! sweeps both jointly and maps the Pareto frontier of subset size vs
+//! replay-estimate error, answering the practical question "how small can a
+//! subset be at a given fidelity target?".
+
+use subset3d_bench::{header, pct, pct3};
+use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter, Table};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+
+fn main() {
+    header("E16", "subset budget vs fidelity frontier");
+    let workload = GameProfile::shooter("shock-1")
+        .frames(120)
+        .draws_per_frame(1000)
+        .build(CORPUS_SEED)
+        .generate();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let actual = sim.simulate_workload(&workload).expect("sim").total_ns;
+
+    let mut points = Vec::new();
+    for &distance in &[0.8, 1.02, 1.5, 2.0] {
+        for &fpp in &[1usize, 2, 4] {
+            let config = SubsetConfig::default()
+                .with_cluster_method(ClusterMethod::Threshold { distance })
+                .with_frames_per_phase(fpp);
+            let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+            let estimate = outcome.subset.replay(&workload, &sim).expect("replay");
+            points.push((
+                distance,
+                fpp,
+                outcome.subset.draw_fraction(),
+                (estimate - actual).abs() / actual,
+            ));
+        }
+    }
+    points.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+
+    let mut table = Table::new(vec![
+        "threshold",
+        "frames/phase",
+        "subset size",
+        "replay err",
+        "pareto",
+    ]);
+    // A point is Pareto-optimal when no other point is both smaller and
+    // more accurate.
+    let mut best_err = f64::INFINITY;
+    for &(distance, fpp, size, err) in &points {
+        let pareto = err < best_err;
+        if pareto {
+            best_err = err;
+        }
+        table.row(vec![
+            format!("{distance:.2}"),
+            fpp.to_string(),
+            pct3(size),
+            pct(err),
+            if pareto { "*".to_string() } else { String::new() },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(* = Pareto-optimal size/error trade-off, scanning smallest-first)");
+}

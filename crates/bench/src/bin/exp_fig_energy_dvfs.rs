@@ -1,0 +1,103 @@
+//! E11 — Extension figure: DVFS energy-efficiency pathfinding via subsets.
+//!
+//! The paper validates subsets under frequency scaling for *performance*;
+//! real DVFS pathfinding also needs the *energy* side (V² dynamic power vs
+//! leakage race-to-idle). This experiment checks that the subset predicts
+//! the parent's energy and energy-delay-product curve across the DVFS
+//! range — including the location of the EDP-optimal point.
+
+use subset3d_bench::{header, run_default_pipeline};
+use subset3d_core::Table;
+use subset3d_gpusim::{energy_delay_product, ArchConfig, FrequencySweep, PowerModel, Simulator};
+use subset3d_trace::gen::standard_corpus;
+
+fn main() {
+    header("E11", "DVFS energy validation (extension beyond the paper)");
+    let corpus = standard_corpus();
+    let sweep = FrequencySweep::standard();
+    let base = ArchConfig::baseline();
+
+    let mut correlations = Vec::new();
+    let mut edp_argmin_match = 0usize;
+    for workload in &corpus {
+        let outcome = run_default_pipeline(workload);
+        let mut parent_energy = Vec::new();
+        let mut subset_energy = Vec::new();
+        let mut parent_edp = Vec::new();
+        let mut subset_edp = Vec::new();
+        for config in sweep.configs(&base) {
+            let model = PowerModel::default_for(&config);
+            let sim = Simulator::new(config.clone());
+            let parent_cost = sim.simulate_workload(workload).expect("parent sim");
+            let pe = model.workload_energy(&parent_cost, &config);
+            parent_energy.push(pe.total_nj());
+            parent_edp.push(energy_delay_product(&pe, parent_cost.total_ns));
+
+            let replay = outcome.subset.replay_detailed(workload, &sim).expect("replay");
+            let mut se = subset3d_gpusim::Energy::default();
+            for frame in &replay.frames {
+                for (weight, cost) in &frame.draws {
+                    let mut e = model.draw_energy(cost, &config);
+                    e.dynamic_nj *= weight * frame.frame_weight;
+                    e.static_nj *= weight * frame.frame_weight;
+                    e.memory_nj *= weight * frame.frame_weight;
+                    se.accumulate(e);
+                }
+            }
+            subset_energy.push(se.total_nj());
+            subset_edp.push(energy_delay_product(&se, replay.estimated_ns));
+        }
+        let r = subset3d_stats::pearson(&parent_energy, &subset_energy).expect("corr");
+        correlations.push(r);
+        let argmin = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let pa = argmin(&parent_edp);
+        let sa = argmin(&subset_edp);
+        if pa == sa {
+            edp_argmin_match += 1;
+        }
+        println!(
+            "{}: energy correlation r = {:.4}, EDP-optimal clock parent {} MHz vs subset {} MHz",
+            workload.name,
+            r,
+            sweep.points_mhz()[pa] as u64,
+            sweep.points_mhz()[sa] as u64
+        );
+    }
+    println!();
+
+    // Show one full curve for the first game.
+    let workload = &corpus[0];
+    let outcome = run_default_pipeline(workload);
+    let mut table = Table::new(vec!["core MHz", "parent energy (J)", "subset energy (J)"]);
+    for config in sweep.configs(&base) {
+        let model = PowerModel::default_for(&config);
+        let sim = Simulator::new(config.clone());
+        let parent_cost = sim.simulate_workload(workload).expect("sim");
+        let pe = model.workload_energy(&parent_cost, &config).total_nj();
+        let replay = outcome.subset.replay_detailed(workload, &sim).expect("replay");
+        let mut se = 0.0;
+        for frame in &replay.frames {
+            for (weight, cost) in &frame.draws {
+                se += model.draw_energy(cost, &config).total_nj() * weight * frame.frame_weight;
+            }
+        }
+        table.row(vec![
+            format!("{:.0}", config.core_clock_mhz),
+            format!("{:.3}", pe * 1e-9),
+            format!("{:.3}", se * 1e-9),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "energy correlation: min {:.4} | EDP-optimal clock agrees on {}/{} games",
+        subset3d_stats::min(&correlations).unwrap_or(0.0),
+        edp_argmin_match,
+        corpus.len()
+    );
+}

@@ -1,0 +1,47 @@
+//! E9 — Ablation figure: which MAI features matter?
+//!
+//! Re-runs clustering with each feature group dropped (and with cost
+//! weighting disabled) and reports how the error/efficiency operating point
+//! moves — the design-choice ablation `DESIGN.md` calls out.
+
+use subset3d_bench::{header, pct};
+use subset3d_core::{SubsetConfig, Subsetter, Table};
+use subset3d_features::{drop_group, FeatureGroup, FeatureKind};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+
+fn main() {
+    header("E9", "MAI feature-set ablation");
+    let workload = GameProfile::shooter("shock-1")
+        .frames(40)
+        .draws_per_frame(1400)
+        .build(CORPUS_SEED)
+        .generate();
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    let mut table = Table::new(vec!["feature set", "dims", "efficiency", "pred. error", "outliers"]);
+    let mut run = |name: &str, config: SubsetConfig| {
+        let dims = config.features.len();
+        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        table.row(vec![
+            name.to_string(),
+            dims.to_string(),
+            pct(outcome.evaluation.mean_efficiency()),
+            pct(outcome.evaluation.mean_prediction_error()),
+            pct(outcome.evaluation.outlier_fraction()),
+        ]);
+    };
+
+    run("full (cost-weighted)", SubsetConfig::default());
+    run("full (unweighted)", SubsetConfig::default().with_cost_weighting(false));
+    use FeatureGroup::*;
+    for group in [Geometry, Shading, Texturing, Raster, State] {
+        let features = drop_group(&FeatureKind::standard_set(), group);
+        run(
+            &format!("drop {group:?}"),
+            SubsetConfig::default().with_features(features),
+        );
+    }
+    println!("{}", table.render());
+    println!("dropping Raster (coverage/shaded-pixels) should hurt error most");
+}

@@ -1,0 +1,61 @@
+//! E17 — Characterisation figure: which MAI features predict draw cost?
+//!
+//! Per-feature Pearson correlation between the extracted feature value and
+//! the simulated draw time across a full game — the empirical basis for
+//! the cost weights used by the clustering (`FeatureKind::cost_weight`).
+
+use subset3d_bench::header;
+use subset3d_core::Table;
+use subset3d_features::{extract_frame_features, FeatureKind};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+
+fn main() {
+    header("E17", "feature-to-cost correlation (basis of the cost weights)");
+    let workload = GameProfile::shooter("shock-1")
+        .frames(40)
+        .draws_per_frame(1000)
+        .build(CORPUS_SEED)
+        .generate();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let cost = sim.simulate_workload(&workload).expect("sim");
+
+    // One column per feature over every draw, plus log-time (costs are
+    // heavy-tailed; correlation in log space matches the log-scaled
+    // features).
+    let kinds = FeatureKind::standard_set();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    let mut log_time = Vec::new();
+    for (frame, frame_cost) in workload.frames().iter().zip(&cost.frames) {
+        let matrix = extract_frame_features(frame, &workload, kinds.clone());
+        for (row, draw_cost) in matrix.iter_rows().zip(&frame_cost.draws) {
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+            log_time.push(draw_cost.time_ns.max(1.0).ln());
+        }
+    }
+
+    let mut rows: Vec<(FeatureKind, f64)> = kinds
+        .iter()
+        .zip(&columns)
+        .map(|(&k, col)| (k, subset3d_stats::pearson(col, &log_time).unwrap_or(0.0)))
+        .collect();
+    rows.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+
+    let mut table = Table::new(vec!["feature", "group", "|r| with log draw time", "cost weight"]);
+    for (kind, r) in &rows {
+        table.row(vec![
+            format!("{kind:?}"),
+            format!("{:?}", kind.group()),
+            format!("{:.3}", r.abs()),
+            format!("{:.2}", kind.cost_weight()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shaded pixels and coverage dominate univariate cost correlation,");
+    println!("matching their top cost weights; geometry/shading features matter");
+    println!("conditionally (for the minority of geometry- or ALU-bound draws),");
+    println!("which univariate correlation under-reports — the E9 ablation shows");
+    println!("their group-level contribution");
+}

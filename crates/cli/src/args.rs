@@ -1,0 +1,424 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic trace and write it in the binary format.
+    Gen(GenArgs),
+    /// Print a trace's summary and validation report.
+    Info {
+        /// Trace file to inspect.
+        path: String,
+    },
+    /// Run the subsetting pipeline and print the report.
+    Subset(SubsetArgs),
+    /// Frequency-sweep the trace and its subset.
+    Sweep(SubsetArgs),
+    /// Merge several traces into one suite trace.
+    Merge {
+        /// Output path for the merged trace.
+        out: String,
+        /// Input trace paths (at least one).
+        inputs: Vec<String>,
+    },
+    /// Rank the candidate design points from a saved subset.
+    Rank {
+        /// Trace file the subset was extracted from.
+        trace: String,
+        /// Subset JSON written by `subset --out-subset`.
+        subset: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `subset3d gen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenArgs {
+    /// Output path for the binary trace.
+    pub out: String,
+    /// Game genre (`shooter`, `rts`, `racing`).
+    pub genre: String,
+    /// Frame count.
+    pub frames: usize,
+    /// Mean draws per frame.
+    pub draws: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Arguments of `subset3d subset` / `subset3d sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetArgs {
+    /// Input trace path.
+    pub path: String,
+    /// Clustering distance threshold.
+    pub threshold: f64,
+    /// Phase-interval length in frames.
+    pub interval: usize,
+    /// Representative frames per phase.
+    pub frames_per_phase: usize,
+    /// Optional path to write the extracted subset as JSON.
+    pub out_subset: Option<String>,
+    /// Print the machine-readable JSON summary instead of the table.
+    pub json: bool,
+}
+
+/// A command-line parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not recognised.
+    UnknownCommand(String),
+    /// A flag is not recognised for the subcommand.
+    UnknownFlag(String),
+    /// A flag is missing its value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag whose value is bad.
+        flag: String,
+        /// The offending text.
+        value: String,
+    },
+    /// A required positional or flag is absent.
+    MissingRequired(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given"),
+            ArgError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            ArgError::UnknownFlag(x) => write!(f, "unknown flag '{x}'"),
+            ArgError::MissingValue(x) => write!(f, "flag '{x}' needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "invalid value '{value}' for '{flag}'")
+            }
+            ArgError::MissingRequired(what) => write!(f, "missing required {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses the arguments after the program name.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] describing the first problem found.
+pub fn parse_args<I, S>(args: I) -> Result<Command, ArgError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut args = args.into_iter().map(Into::into);
+    let command = args.next().ok_or(ArgError::MissingCommand)?;
+    let rest: Vec<String> = args.collect();
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => parse_gen(&rest),
+        "info" => {
+            let path = rest.first().cloned().ok_or(ArgError::MissingRequired("trace path"))?;
+            Ok(Command::Info { path })
+        }
+        "subset" => Ok(Command::Subset(parse_subset(&rest)?)),
+        "sweep" => Ok(Command::Sweep(parse_subset(&rest)?)),
+        "merge" => {
+            let mut it = rest.iter();
+            let mut out = None;
+            let mut inputs = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| ArgError::MissingValue("--out".into()))?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(ArgError::UnknownFlag(flag.to_string()));
+                    }
+                    positional => inputs.push(positional.to_string()),
+                }
+            }
+            if inputs.is_empty() {
+                return Err(ArgError::MissingRequired("input trace paths"));
+            }
+            Ok(Command::Merge {
+                out: out.ok_or(ArgError::MissingRequired("--out <FILE>"))?,
+                inputs,
+            })
+        }
+        "rank" => {
+            let trace = rest.first().cloned().ok_or(ArgError::MissingRequired("trace path"))?;
+            let subset =
+                rest.get(1).cloned().ok_or(ArgError::MissingRequired("subset JSON path"))?;
+            if rest.len() > 2 {
+                return Err(ArgError::UnknownFlag(rest[2].clone()));
+            }
+            Ok(Command::Rank { trace, subset })
+        }
+        other => Err(ArgError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn parse_gen(rest: &[String]) -> Result<Command, ArgError> {
+    let mut out = None;
+    let mut genre = "shooter".to_string();
+    let mut frames = 60usize;
+    let mut draws = 800usize;
+    let mut seed = 0u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(value("--out")?),
+            "--genre" => {
+                let g = value("--genre")?;
+                if !matches!(g.as_str(), "shooter" | "rts" | "racing") {
+                    return Err(ArgError::BadValue { flag: "--genre".into(), value: g });
+                }
+                genre = g;
+            }
+            "--frames" => frames = parse_num(&value("--frames")?, "--frames")?,
+            "--draws" => draws = parse_num(&value("--draws")?, "--draws")?,
+            "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+            other => return Err(ArgError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(Command::Gen(GenArgs {
+        out: out.ok_or(ArgError::MissingRequired("--out <FILE>"))?,
+        genre,
+        frames,
+        draws,
+        seed,
+    }))
+}
+
+fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
+    let mut path = None;
+    let mut threshold = 1.02f64;
+    let mut interval = 10usize;
+    let mut frames_per_phase = 1usize;
+    let mut out_subset = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        match arg.as_str() {
+            "--threshold" => threshold = parse_float(&value("--threshold")?, "--threshold")?,
+            "--interval" => interval = parse_num(&value("--interval")?, "--interval")?,
+            "--frames-per-phase" => {
+                frames_per_phase = parse_num(&value("--frames-per-phase")?, "--frames-per-phase")?;
+            }
+            "--out-subset" => out_subset = Some(value("--out-subset")?),
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(ArgError::UnknownFlag(flag.to_string()));
+            }
+            positional => {
+                if path.is_some() {
+                    return Err(ArgError::UnknownFlag(positional.to_string()));
+                }
+                path = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(SubsetArgs {
+        path: path.ok_or(ArgError::MissingRequired("trace path"))?,
+        threshold,
+        interval,
+        frames_per_phase,
+        out_subset,
+        json,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, ArgError> {
+    value.parse().map_err(|_| ArgError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    })
+}
+
+fn parse_float(value: &str, flag: &str) -> Result<f64, ArgError> {
+    let v: f64 = parse_num(value, flag)?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(ArgError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Command, ArgError> {
+        parse_args(parts.iter().copied())
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&[h]), Ok(Command::Help));
+        }
+    }
+
+    #[test]
+    fn gen_defaults_and_overrides() {
+        let c = parse(&["gen", "--out", "x.trace"]).unwrap();
+        let Command::Gen(g) = c else { panic!() };
+        assert_eq!(g.out, "x.trace");
+        assert_eq!(g.genre, "shooter");
+        assert_eq!(g.frames, 60);
+
+        let c = parse(&[
+            "gen", "--out", "y", "--genre", "rts", "--frames", "12", "--draws", "50", "--seed",
+            "9",
+        ])
+        .unwrap();
+        let Command::Gen(g) = c else { panic!() };
+        assert_eq!((g.genre.as_str(), g.frames, g.draws, g.seed), ("rts", 12, 50, 9));
+    }
+
+    #[test]
+    fn gen_requires_out() {
+        assert_eq!(
+            parse(&["gen", "--frames", "3"]),
+            Err(ArgError::MissingRequired("--out <FILE>"))
+        );
+    }
+
+    #[test]
+    fn gen_rejects_bad_genre() {
+        assert!(matches!(
+            parse(&["gen", "--out", "x", "--genre", "mmorpg"]),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_parses_flags() {
+        let c = parse(&["subset", "a.trace", "--threshold", "0.8", "--interval", "5"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert_eq!(s.path, "a.trace");
+        assert_eq!(s.threshold, 0.8);
+        assert_eq!(s.interval, 5);
+        assert_eq!(s.frames_per_phase, 1);
+        assert_eq!(s.out_subset, None);
+        assert!(!s.json);
+    }
+
+    #[test]
+    fn subset_json_flag() {
+        let c = parse(&["subset", "a.trace", "--json"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert!(s.json);
+    }
+
+    #[test]
+    fn subset_out_flag() {
+        let c = parse(&["subset", "a.trace", "--out-subset", "s.json"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert_eq!(s.out_subset.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn merge_parses_out_and_inputs() {
+        let c = parse(&["merge", "--out", "suite.trace", "a.trace", "b.trace"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Merge {
+                out: "suite.trace".into(),
+                inputs: vec!["a.trace".into(), "b.trace".into()],
+            }
+        );
+        assert!(matches!(
+            parse(&["merge", "--out", "x"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+        assert!(matches!(
+            parse(&["merge", "a.trace"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+    }
+
+    #[test]
+    fn rank_parses_two_positionals() {
+        let c = parse(&["rank", "a.trace", "s.json"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Rank { trace: "a.trace".into(), subset: "s.json".into() }
+        );
+        assert!(matches!(
+            parse(&["rank", "a.trace"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+        assert!(matches!(
+            parse(&["rank", "a", "b", "c"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_shares_subset_args() {
+        let c = parse(&["sweep", "a.trace"]).unwrap();
+        assert!(matches!(c, Command::Sweep(_)));
+    }
+
+    #[test]
+    fn subset_requires_path() {
+        assert_eq!(
+            parse(&["subset", "--threshold", "1.0"]),
+            Err(ArgError::MissingRequired("trace path"))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(matches!(parse(&["frobnicate"]), Err(ArgError::UnknownCommand(_))));
+        assert!(matches!(
+            parse(&["subset", "a", "--wat", "1"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(&["subset", "a", "b"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn missing_and_bad_values() {
+        assert_eq!(
+            parse(&["subset", "a", "--threshold"]),
+            Err(ArgError::MissingValue("--threshold".into()))
+        );
+        assert!(matches!(
+            parse(&["subset", "a", "--threshold", "NaN"]),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["subset", "a", "--interval", "-3"]),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!ArgError::MissingCommand.to_string().is_empty());
+        assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
+    }
+}

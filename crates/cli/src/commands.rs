@@ -1,0 +1,388 @@
+//! Command implementations.
+
+use crate::args::{Command, GenArgs, SubsetArgs};
+use std::fmt;
+use std::io::Write;
+use subset3d_core::{
+    frequency_scaling_validation, SubsetConfig, Subsetter, SubsettingOutcome, Table,
+};
+use subset3d_core::ClusterMethod;
+use subset3d_gpusim::{ArchConfig, FrequencySweep, Simulator};
+use subset3d_trace::gen::GameProfile;
+use subset3d_trace::{decode_workload, encode_workload, Workload};
+
+/// Error produced while executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The trace file failed to decode.
+    Decode(subset3d_trace::EncodeError),
+    /// The pipeline failed.
+    Pipeline(subset3d_core::SubsetError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Decode(e) => write!(f, "trace decode error: {e}"),
+            CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<subset3d_trace::EncodeError> for CliError {
+    fn from(e: subset3d_trace::EncodeError) -> Self {
+        CliError::Decode(e)
+    }
+}
+
+impl From<subset3d_core::SubsetError> for CliError {
+    fn from(e: subset3d_core::SubsetError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on I/O, decode or pipeline failure.
+pub fn run_command(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{}", crate::USAGE)?;
+            Ok(())
+        }
+        Command::Gen(args) => run_gen(args, out),
+        Command::Info { path } => run_info(path, out),
+        Command::Subset(args) => run_subset(args, out),
+        Command::Sweep(args) => run_sweep(args, out),
+        Command::Rank { trace, subset } => run_rank(trace, subset, out),
+        Command::Merge { out: path, inputs } => run_merge(path, inputs, out),
+    }
+}
+
+fn run_gen(args: &GenArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let profile = match args.genre.as_str() {
+        "rts" => GameProfile::rts("cli-game"),
+        "racing" => GameProfile::racing("cli-game"),
+        _ => GameProfile::shooter("cli-game"),
+    };
+    let workload = profile
+        .frames(args.frames)
+        .draws_per_frame(args.draws)
+        .build(args.seed)
+        .generate();
+    let bytes = encode_workload(&workload);
+    std::fs::write(&args.out, &bytes)?;
+    writeln!(
+        out,
+        "wrote {} ({} frames, {} draws, {:.2} MiB)",
+        args.out,
+        workload.frames().len(),
+        workload.total_draws(),
+        bytes.len() as f64 / (1 << 20) as f64
+    )?;
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Workload, CliError> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_workload(&bytes)?)
+}
+
+fn run_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(path)?;
+    let summary = workload.summary();
+    let mut table = Table::new(vec!["property", "value"]);
+    table.row(vec!["name".into(), summary.name.clone()]);
+    table.row(vec!["frames".into(), summary.frames.to_string()]);
+    table.row(vec!["draws".into(), summary.draws.to_string()]);
+    table.row(vec![
+        "draws/frame".into(),
+        format!("{:.1} (min {:.0}, max {:.0})", summary.draws_per_frame.mean, summary.draws_per_frame.min, summary.draws_per_frame.max),
+    ]);
+    table.row(vec!["unique shaders".into(), summary.unique_shaders.to_string()]);
+    table.row(vec!["unique textures".into(), summary.unique_textures.to_string()]);
+    table.row(vec!["unique states".into(), summary.unique_states.to_string()]);
+    writeln!(out, "{}", table.render())?;
+    // Distribution of draws per frame as a sparkline.
+    let per_frame: Vec<f64> =
+        workload.frames().iter().map(|f| f.draw_count() as f64).collect();
+    if let (Some(lo), Some(hi)) =
+        (subset3d_stats::min(&per_frame), subset3d_stats::max(&per_frame))
+    {
+        if hi > lo {
+            let mut hist = subset3d_stats::Histogram::new(lo, hi, 24);
+            hist.extend(per_frame.iter().copied());
+            writeln!(out, "draws/frame distribution: {} ({:.0}..{:.0})", hist.sparkline(), lo, hi)?;
+        }
+    }
+    let issues = workload.validate();
+    if issues.is_empty() {
+        writeln!(out, "trace is well-formed")?;
+    } else {
+        writeln!(out, "{} validation issue(s):", issues.len())?;
+        for issue in issues.iter().take(20) {
+            writeln!(out, "  {issue}")?;
+        }
+    }
+    Ok(())
+}
+
+fn pipeline(args: &SubsetArgs, workload: &Workload) -> Result<SubsettingOutcome, CliError> {
+    let config = SubsetConfig::default()
+        .with_cluster_method(ClusterMethod::Threshold { distance: args.threshold })
+        .with_interval_len(args.interval)
+        .with_frames_per_phase(args.frames_per_phase);
+    let sim = Simulator::new(ArchConfig::baseline());
+    Ok(Subsetter::new(config).run(workload, &sim)?)
+}
+
+fn run_subset(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(&args.path)?;
+    let outcome = pipeline(args, &workload)?;
+    if args.json {
+        let summary = outcome.summary(&workload);
+        writeln!(out, "{}", serde_json::to_string_pretty(&summary).expect("summary serialises"))?;
+        if let Some(path) = &args.out_subset {
+            let json = serde_json::to_string_pretty(&outcome.subset).expect("subset serialises");
+            std::fs::write(path, json)?;
+        }
+        return Ok(());
+    }
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec![
+        "clustering efficiency".into(),
+        format!("{:.2}%", outcome.evaluation.mean_efficiency() * 100.0),
+    ]);
+    table.row(vec![
+        "prediction error".into(),
+        format!("{:.2}%", outcome.evaluation.mean_prediction_error() * 100.0),
+    ]);
+    table.row(vec![
+        "cluster outliers".into(),
+        format!("{:.2}%", outcome.evaluation.outlier_fraction() * 100.0),
+    ]);
+    table.row(vec!["phases".into(), outcome.phases.phase_count().to_string()]);
+    table.row(vec![
+        "subset draws".into(),
+        format!(
+            "{} ({:.3}% of parent)",
+            outcome.subset.selected_draw_count(),
+            outcome.subset.draw_fraction() * 100.0
+        ),
+    ]);
+    table.row(vec![
+        "kept frames".into(),
+        format!("{}/{}", outcome.subset.frames().len(), workload.frames().len()),
+    ]);
+    writeln!(out, "{}", table.render())?;
+    if let Some(path) = &args.out_subset {
+        let json = serde_json::to_string_pretty(&outcome.subset).expect("subset serialises");
+        std::fs::write(path, json)?;
+        writeln!(out, "wrote subset to {path}")?;
+    }
+    Ok(())
+}
+
+fn run_merge(out_path: &str, inputs: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let workloads: Vec<Workload> = inputs.iter().map(|p| load(p)).collect::<Result<_, _>>()?;
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    let suite = subset3d_trace::merge_workloads("suite", &refs);
+    let bytes = encode_workload(&suite);
+    std::fs::write(out_path, &bytes)?;
+    writeln!(
+        out,
+        "merged {} traces into {} ({} frames, {} draws)",
+        inputs.len(),
+        out_path,
+        suite.frames().len(),
+        suite.total_draws()
+    )?;
+    Ok(())
+}
+
+fn run_rank(trace: &str, subset_path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    use subset3d_core::pathfinding_rank_validation;
+    let workload = load(trace)?;
+    let json = std::fs::read_to_string(subset_path)?;
+    let subset: subset3d_core::WorkloadSubset = serde_json::from_str(&json)
+        .map_err(|e| CliError::Pipeline(subset3d_core::SubsetError::SubsetMismatch {
+            reason: format!("subset JSON invalid: {e}"),
+        }))?;
+    subset.validate(&workload)?;
+    let candidates = ArchConfig::pathfinding_candidates();
+    let (parent, estimate, agreement) =
+        pathfinding_rank_validation(&workload, &subset, &candidates)?;
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        estimate[a].partial_cmp(&estimate[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut table = Table::new(vec!["rank", "design", "subset estimate", "full-trace time"]);
+    for (rank, &i) in order.iter().enumerate() {
+        table.row(vec![
+            (rank + 1).to_string(),
+            candidates[i].name.clone(),
+            format!("{:.2}ms", estimate[i] / 1e6),
+            format!("{:.2}ms", parent[i] / 1e6),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+    writeln!(out, "rank agreement with full trace: {:.0}%", agreement * 100.0)?;
+    Ok(())
+}
+
+fn run_sweep(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(&args.path)?;
+    let outcome = pipeline(args, &workload)?;
+    let sweep = FrequencySweep::standard();
+    let validation = frequency_scaling_validation(
+        &workload,
+        &outcome.subset,
+        &ArchConfig::baseline(),
+        &sweep,
+    )?;
+    let mut table = Table::new(vec!["core MHz", "parent improvement", "subset improvement"]);
+    for ((mhz, p), s) in validation
+        .points_mhz
+        .iter()
+        .zip(&validation.parent_improvement)
+        .zip(&validation.subset_improvement)
+    {
+        table.row(vec![format!("{mhz:.0}"), format!("{p:.4}x"), format!("{s:.4}x")]);
+    }
+    writeln!(out, "{}", table.render())?;
+    writeln!(out, "correlation: r = {:.4}", validation.correlation)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn temp_path(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("subset3d-cli-test-{name}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn run(parts: &[&str]) -> Result<String, CliError> {
+        let command = parse_args(parts.iter().copied()).expect("parse");
+        let mut out = Vec::new();
+        run_command(&command, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn gen_info_subset_sweep_roundtrip() {
+        let path = temp_path("roundtrip");
+        let text = run(&[
+            "gen", "--out", &path, "--frames", "12", "--draws", "60", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(text.contains("12 frames"));
+
+        let info = run(&["info", &path]).unwrap();
+        assert!(info.contains("well-formed"));
+        assert!(info.contains("cli-game"));
+
+        let subset = run(&["subset", &path, "--interval", "4"]).unwrap();
+        assert!(subset.contains("clustering efficiency"));
+        assert!(subset.contains("% of parent"));
+
+        let sweep = run(&["sweep", &path, "--interval", "4"]).unwrap();
+        assert!(sweep.contains("correlation"));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn subset_export_and_rank_roundtrip() {
+        let trace = temp_path("rank-trace");
+        let subset = temp_path("rank-subset");
+        run(&["gen", "--out", &trace, "--frames", "10", "--draws", "50", "--seed", "8"]).unwrap();
+        let text = run(&["subset", &trace, "--interval", "4", "--out-subset", &subset]).unwrap();
+        assert!(text.contains("wrote subset"));
+        let rank = run(&["rank", &trace, &subset]).unwrap();
+        assert!(rank.contains("rank agreement"));
+        assert!(rank.contains("baseline"));
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&subset).ok();
+    }
+
+    #[test]
+    fn rank_rejects_mismatched_subset() {
+        let trace_a = temp_path("mismatch-a");
+        let trace_b = temp_path("mismatch-b");
+        let subset = temp_path("mismatch-subset");
+        run(&["gen", "--out", &trace_a, "--frames", "10", "--draws", "50", "--seed", "1"]).unwrap();
+        run(&["gen", "--out", &trace_b, "--frames", "4", "--draws", "10", "--seed", "2"]).unwrap();
+        run(&["subset", &trace_a, "--interval", "4", "--out-subset", &subset]).unwrap();
+        let err = run(&["rank", &trace_b, &subset]).unwrap_err();
+        assert!(matches!(err, CliError::Pipeline(_)));
+        for p in [&trace_a, &trace_b, &subset] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn subset_json_mode_emits_parseable_summary() {
+        let trace = temp_path("json-trace");
+        run(&["gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4"]).unwrap();
+        let text = run(&["subset", &trace, "--interval", "4", "--json"]).unwrap();
+        let summary: subset3d_core::OutcomeSummary =
+            serde_json::from_str(&text).expect("valid JSON summary");
+        assert_eq!(summary.frames, 8);
+        assert!(summary.subset_fraction > 0.0);
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn merge_combines_traces() {
+        let a = temp_path("merge-a");
+        let b = temp_path("merge-b");
+        let s = temp_path("merge-suite");
+        run(&["gen", "--out", &a, "--frames", "3", "--draws", "15", "--seed", "1"]).unwrap();
+        run(&["gen", "--out", &b, "--frames", "2", "--draws", "15", "--seed", "2"]).unwrap();
+        let text = run(&["merge", "--out", &s, &a, &b]).unwrap();
+        assert!(text.contains("5 frames"));
+        let info = run(&["info", &s]).unwrap();
+        assert!(info.contains("well-formed"));
+        for p in [&a, &b, &s] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn info_on_garbage_fails_cleanly() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = run(&["info", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Decode(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run(&["info", "/definitely/not/here.trace"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Command-line front-end for the `subset3d` workspace.
+//!
+//! The binary (`subset3d`) drives the full methodology from the shell:
+//!
+//! ```text
+//! subset3d gen    --genre shooter --frames 60 --draws 800 --seed 7 --out game.trace
+//! subset3d info   game.trace
+//! subset3d subset game.trace --threshold 1.05 --interval 10
+//! subset3d sweep  game.trace
+//! ```
+//!
+//! Argument parsing lives here (testable, no process exit); `main.rs` only
+//! dispatches.
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, ArgError, Command, GenArgs, SubsetArgs};
+pub use commands::{run_command, CliError};
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+subset3d — 3D workload subsetting for GPU architecture pathfinding
+
+USAGE:
+    subset3d gen    --out <FILE> [--genre shooter|rts|racing] [--frames N]
+                    [--draws N] [--seed N]
+    subset3d info   <FILE>
+    subset3d subset <FILE> [--threshold X] [--interval N] [--frames-per-phase N]
+                    [--out-subset <JSON>] [--json]
+    subset3d sweep  <FILE> [--threshold X] [--interval N]
+    subset3d rank   <FILE> <SUBSET.JSON>
+    subset3d merge  --out <FILE> <TRACE>...
+    subset3d help
+";

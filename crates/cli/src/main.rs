@@ -1,0 +1,20 @@
+//! The `subset3d` command-line entry point.
+
+use subset3d_cli::{parse_args, run_command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = run_command(&command, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,176 @@
+//! BIC-based cluster-count selection (x-means style).
+
+use crate::clustering::Clustering;
+use crate::kmeans::KMeans;
+
+/// Bayesian information criterion of a k-means clustering under the
+/// identical-spherical-Gaussian model of x-means (Pelleg & Moore, 2000).
+/// Higher is better.
+///
+/// Returns `f64::NEG_INFINITY` for degenerate inputs (no points or no
+/// clusters).
+pub fn bic_score(points: &[Vec<f64>], clustering: &Clustering) -> f64 {
+    let n = points.len();
+    let k = clustering.len();
+    if n == 0 || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let d = points[0].len() as f64;
+    let n_f = n as f64;
+    // Maximum-likelihood variance estimate, floored to keep perfect
+    // clusterings (zero residual) finite.
+    let denom = (n as isize - k as isize).max(1) as f64;
+    let variance = (clustering.inertia(points) / denom).max(1e-12);
+
+    let mut log_likelihood = 0.0;
+    for members in clustering.members() {
+        let n_c = members.len() as f64;
+        if n_c == 0.0 {
+            continue;
+        }
+        log_likelihood += n_c * n_c.ln() - n_c * n_f.ln()
+            - n_c * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (n_c - 1.0) * d / 2.0;
+    }
+    let free_params = k as f64 * (d + 1.0);
+    log_likelihood - free_params / 2.0 * n_f.ln()
+}
+
+/// Selects the cluster count in `k_range` (inclusive) maximising
+/// [`bic_score`], running one seeded k-means per candidate.
+///
+/// Returns the winning clustering. For an empty dataset returns an empty
+/// clustering.
+///
+/// # Panics
+///
+/// Panics if the range is empty or starts at zero.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::select_k_bic;
+///
+/// let mut points = Vec::new();
+/// for &c in &[0.0, 10.0, 20.0] {
+///     for i in 0..20 {
+///         points.push(vec![c + (i as f64) * 0.01]);
+///     }
+/// }
+/// let best = select_k_bic(&points, 1..=6, 42);
+/// assert_eq!(best.len(), 3);
+/// ```
+pub fn select_k_bic(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    seed: u64,
+) -> Clustering {
+    assert!(!k_range.is_empty(), "k range must be non-empty");
+    assert!(*k_range.start() > 0, "k range must start at 1 or above");
+    if points.is_empty() {
+        return Clustering::new(Vec::new(), Vec::new());
+    }
+    const RESTARTS: u64 = 3;
+    let mut best: Option<(f64, Clustering)> = None;
+    for k in k_range {
+        if k > points.len() {
+            break;
+        }
+        // Lloyd's algorithm only finds a local optimum; take the best of a
+        // few restarts so BIC compares each k at its true strength.
+        let clustering = (0..RESTARTS)
+            .map(|r| {
+                KMeans::new(k)
+                    .seed(seed.wrapping_add(k as u64).wrapping_mul(RESTARTS).wrapping_add(r))
+                    .fit(points)
+            })
+            .min_by(|a, b| {
+                a.inertia(points)
+                    .partial_cmp(&b.inertia(points))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one restart");
+        let score = bic_score(points, &clustering);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, clustering));
+        }
+    }
+    best.map(|(_, c)| c).expect("at least one candidate k evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic approximately-Gaussian jitter in `[-1, 1]` (sum of
+    /// three hashed uniforms), so blobs look like noise, not grids —
+    /// grid-structured blobs genuinely reward further splitting under BIC.
+    fn jitter(seed: u64) -> f64 {
+        let u = |s: u64| {
+            let mut x = s.wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 31;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 29;
+            (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (u(seed) + u(seed.wrapping_add(1)) + u(seed.wrapping_add(2))) / 3.0
+    }
+
+    fn blobs(k: usize, per: usize, spacing: f64) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for b in 0..k {
+            for i in 0..per {
+                let s = (b * per + i) as u64;
+                pts.push(vec![
+                    b as f64 * spacing + jitter(s * 2),
+                    jitter(s * 2 + 1),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn bic_prefers_true_k() {
+        let pts = blobs(4, 40, 15.0);
+        let scores: Vec<(usize, f64)> = (1..=8)
+            .map(|k| {
+                let c = KMeans::new(k).seed(3).fit(&pts);
+                (k, bic_score(&pts, &c))
+            })
+            .collect();
+        let best_k = scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best_k, 4, "scores: {scores:?}");
+    }
+
+    #[test]
+    fn select_k_finds_true_count() {
+        let pts = blobs(5, 40, 12.0);
+        let c = select_k_bic(&pts, 1..=8, 11);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(bic_score(&[], &Clustering::new(Vec::new(), Vec::new())), f64::NEG_INFINITY);
+        let c = select_k_bic(&[], 1..=3, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn perfect_clustering_score_is_finite() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let c = KMeans::new(2).fit(&pts);
+        assert!(bic_score(&pts, &c).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn zero_start_range_rejected() {
+        select_k_bic(&[vec![1.0]], 0..=3, 0);
+    }
+}

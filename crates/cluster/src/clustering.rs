@@ -1,0 +1,149 @@
+//! The common clustering result type.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a clustering run: per-point assignments plus cluster centroids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    centroids: Vec<Vec<f64>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from assignments and centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment indexes past the centroid list.
+    pub fn new(assignments: Vec<usize>, centroids: Vec<Vec<f64>>) -> Self {
+        assert!(
+            assignments.iter().all(|&a| a < centroids.len()),
+            "assignment out of centroid range"
+        );
+        Clustering { assignments, centroids }
+    }
+
+    /// Cluster index of every point, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Cluster centroids (feature-space means or leaders).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Number of clustered points.
+    pub fn point_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Member point indices of every cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            out[a].push(i);
+        }
+        out
+    }
+
+    /// Sum of squared Euclidean distances of points to their centroids.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        self.assignments
+            .iter()
+            .zip(points)
+            .map(|(&a, p)| {
+                self.centroids[a]
+                    .iter()
+                    .zip(p)
+                    .map(|(c, x)| (c - x) * (c - x))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Removes clusters with no members, compacting indices; returns the
+    /// number of clusters removed.
+    pub fn drop_empty(&mut self) -> usize {
+        let mut counts = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            counts[a] += 1;
+        }
+        let mut remap = vec![usize::MAX; self.centroids.len()];
+        let mut kept = Vec::with_capacity(self.centroids.len());
+        for (i, c) in self.centroids.drain(..).enumerate() {
+            if counts[i] > 0 {
+                remap[i] = kept.len();
+                kept.push(c);
+            }
+        }
+        let removed = remap.iter().filter(|&&r| r == usize::MAX).count();
+        self.centroids = kept;
+        for a in &mut self.assignments {
+            *a = remap[*a];
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_partition_points() {
+        let c = Clustering::new(vec![0, 1, 0, 1, 1], vec![vec![0.0], vec![1.0]]);
+        let members = c.members();
+        assert_eq!(members[0], vec![0, 2]);
+        assert_eq!(members[1], vec![1, 3, 4]);
+        assert_eq!(c.point_count(), 5);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of centroid range")]
+    fn bad_assignment_rejected() {
+        Clustering::new(vec![2], vec![vec![0.0]]);
+    }
+
+    #[test]
+    fn inertia_zero_for_exact_points() {
+        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let c = Clustering::new(vec![0, 1], points.clone());
+        assert_eq!(c.inertia(&points), 0.0);
+    }
+
+    #[test]
+    fn inertia_accumulates_squares() {
+        let points = vec![vec![0.0], vec![2.0]];
+        let c = Clustering::new(vec![0, 0], vec![vec![1.0]]);
+        assert_eq!(c.inertia(&points), 2.0);
+    }
+
+    #[test]
+    fn drop_empty_compacts() {
+        let mut c = Clustering::new(vec![0, 2, 2], vec![vec![0.0], vec![9.0], vec![2.0]]);
+        let removed = c.drop_empty();
+        assert_eq!(removed, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.assignments(), &[0, 1, 1]);
+        assert_eq!(c.centroids()[1], vec![2.0]);
+    }
+
+    #[test]
+    fn drop_empty_noop_when_full() {
+        let mut c = Clustering::new(vec![0, 1], vec![vec![0.0], vec![1.0]]);
+        assert_eq!(c.drop_empty(), 0);
+        assert_eq!(c.len(), 2);
+    }
+}

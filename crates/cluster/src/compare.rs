@@ -1,0 +1,177 @@
+//! Comparing clusterings: Rand index and adjusted Rand index.
+//!
+//! Used to quantify how much two clustering methods (e.g. threshold vs
+//! k-means at matched efficiency) actually agree on which draws belong
+//! together, beyond comparing their downstream error metrics.
+
+use crate::clustering::Clustering;
+
+/// Rand index between two clusterings of the same points: the fraction of
+/// point pairs on which the clusterings agree (same-cluster in both, or
+/// split in both). `1.0` = identical partitions.
+///
+/// # Panics
+///
+/// Panics if the clusterings cover different point counts.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::{rand_index, Clustering};
+///
+/// let a = Clustering::new(vec![0, 0, 1, 1], vec![vec![0.0], vec![1.0]]);
+/// let b = Clustering::new(vec![1, 1, 0, 0], vec![vec![1.0], vec![0.0]]);
+/// assert_eq!(rand_index(&a, &b), 1.0); // label permutation is irrelevant
+/// ```
+pub fn rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    let (n, agreements) = pair_agreements(a, b);
+    if n < 2 {
+        return 1.0;
+    }
+    let pairs = n * (n - 1) / 2;
+    agreements as f64 / pairs as f64
+}
+
+/// Adjusted Rand index (Hubert & Arabie): the Rand index corrected for
+/// chance agreement. `1.0` = identical partitions; `≈ 0` = no better than
+/// random; can be negative for adversarial disagreement.
+///
+/// # Panics
+///
+/// Panics if the clusterings cover different point counts.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::{adjusted_rand_index, Clustering};
+///
+/// let a = Clustering::new(vec![0, 0, 1, 1, 2, 2], vec![vec![0.0]; 3]);
+/// assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+/// ```
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.point_count(), b.point_count(), "clusterings must cover the same points");
+    let n = a.point_count();
+    if n < 2 {
+        return 1.0;
+    }
+    // Contingency table.
+    let ka = a.len();
+    let kb = b.len();
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&ca, &cb) in a.assignments().iter().zip(b.assignments()) {
+        table[ca][cb] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = table.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_a: f64 = (0..ka)
+        .map(|i| choose2(table[i].iter().sum::<u64>()))
+        .sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<u64>()))
+        .sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both single-cluster): identical by convention.
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// `(n, number of agreeing pairs)` between two clusterings.
+fn pair_agreements(a: &Clustering, b: &Clustering) -> (usize, u64) {
+    assert_eq!(a.point_count(), b.point_count(), "clusterings must cover the same points");
+    let n = a.point_count();
+    let aa = a.assignments();
+    let bb = b.assignments();
+    let mut agreements = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let same_a = aa[i] == aa[j];
+            let same_b = bb[i] == bb[j];
+            if same_a == same_b {
+                agreements += 1;
+            }
+        }
+    }
+    (n, agreements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(assignments: Vec<usize>) -> Clustering {
+        let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+        Clustering::new(assignments, vec![vec![0.0]; k.max(1)])
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = clustering(vec![0, 0, 1, 1, 2]);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let a = clustering(vec![0, 0, 1, 1]);
+        let b = clustering(vec![1, 1, 0, 0]);
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_low() {
+        // a: {01}{23}; b: {02}{13} — no pair agreement on same-cluster.
+        let a = clustering(vec![0, 0, 1, 1]);
+        let b = clustering(vec![0, 1, 0, 1]);
+        let ri = rand_index(&a, &b);
+        assert!((ri - 1.0 / 3.0).abs() < 1e-12, "ri {ri}");
+        assert!(adjusted_rand_index(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_labels() {
+        // Deterministic pseudo-random assignment vs a structured one.
+        let a = clustering((0..200).map(|i| i / 50).collect());
+        let b = clustering((0..200).map(|i| (i * 7919 + 13) % 4).collect());
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.1, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_exceeds_ri_discrimination() {
+        // With many clusters, RI saturates near 1 while ARI stays honest.
+        let a = clustering((0..60).map(|i| i / 6).collect());
+        let b = clustering((0..60).map(|i| ((i + 3) % 60) / 6).collect());
+        let ri = rand_index(&a, &b);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ri > 0.8);
+        assert!(ari < ri);
+    }
+
+    #[test]
+    fn single_cluster_degenerate_case() {
+        let a = clustering(vec![0, 0, 0]);
+        let b = clustering(vec![0, 0, 0]);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_sizes_rejected() {
+        let a = clustering(vec![0, 0]);
+        let b = clustering(vec![0, 0, 1]);
+        rand_index(&a, &b);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let a = clustering(Vec::new());
+        assert_eq!(rand_index(&a, &a), 1.0);
+        let s = clustering(vec![0]);
+        assert_eq!(adjusted_rand_index(&s, &s), 1.0);
+    }
+}

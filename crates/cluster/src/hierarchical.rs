@@ -1,0 +1,259 @@
+//! Agglomerative hierarchical clustering (Lance–Williams updates).
+
+use crate::clustering::Clustering;
+
+/// Inter-cluster distance definition for agglomerative merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains easily).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    /// Lance–Williams update: distance from merged cluster `(a ∪ b)` to
+    /// `c`, given the pre-merge distances and cluster sizes.
+    fn update(self, d_ac: f64, d_bc: f64, size_a: usize, size_b: usize) -> f64 {
+        match self {
+            Linkage::Single => d_ac.min(d_bc),
+            Linkage::Complete => d_ac.max(d_bc),
+            Linkage::Average => {
+                let (na, nb) = (size_a as f64, size_b as f64);
+                (na * d_ac + nb * d_bc) / (na + nb)
+            }
+        }
+    }
+}
+
+/// Agglomerative clustering that merges until a target cluster count or a
+/// distance cut-off is reached.
+///
+/// O(n²) memory and O(n³) worst-case time — intended for single-frame
+/// ablation studies, not corpus-scale runs (use
+/// [`crate::ThresholdClustering`] there).
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::{Hierarchical, Linkage};
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![5.0]];
+/// let c = Hierarchical::with_cluster_count(Linkage::Average, 2).fit(&points);
+/// assert_eq!(c.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hierarchical {
+    linkage: Linkage,
+    target_clusters: Option<usize>,
+    distance_cutoff: Option<f64>,
+}
+
+impl Hierarchical {
+    /// Merges until exactly `k` clusters remain (or fewer points exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_cluster_count(linkage: Linkage, k: usize) -> Self {
+        assert!(k > 0, "cluster count must be positive");
+        Hierarchical {
+            linkage,
+            target_clusters: Some(k),
+            distance_cutoff: None,
+        }
+    }
+
+    /// Merges while the closest pair is within `cutoff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is negative or NaN.
+    pub fn with_distance_cutoff(linkage: Linkage, cutoff: f64) -> Self {
+        assert!(cutoff >= 0.0, "cutoff must be non-negative");
+        Hierarchical {
+            linkage,
+            target_clusters: None,
+            distance_cutoff: Some(cutoff),
+        }
+    }
+
+    /// Runs the agglomeration. Centroids of the result are cluster means.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        let n = points.len();
+        if n == 0 {
+            return Clustering::new(Vec::new(), Vec::new());
+        }
+        // active cluster state
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut sizes: Vec<usize> = vec![1; n];
+        let mut parent: Vec<usize> = (0..n).collect();
+        // condensed distance matrix
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = euclid(&points[i], &points[j]);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let mut clusters = n;
+        let target = self.target_clusters.unwrap_or(1);
+        loop {
+            if clusters <= target.max(1) {
+                break;
+            }
+            // Find the closest alive pair.
+            let mut best = (usize::MAX, usize::MAX);
+            let mut best_d = f64::INFINITY;
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                for j in i + 1..n {
+                    if alive[j] && dist[i * n + j] < best_d {
+                        best_d = dist[i * n + j];
+                        best = (i, j);
+                    }
+                }
+            }
+            if best.0 == usize::MAX {
+                break;
+            }
+            if let Some(cutoff) = self.distance_cutoff {
+                if best_d > cutoff {
+                    break;
+                }
+            }
+            let (a, b) = best;
+            // Merge b into a.
+            for c in 0..n {
+                if alive[c] && c != a && c != b {
+                    let updated =
+                        self.linkage.update(dist[a * n + c], dist[b * n + c], sizes[a], sizes[b]);
+                    dist[a * n + c] = updated;
+                    dist[c * n + a] = updated;
+                }
+            }
+            sizes[a] += sizes[b];
+            alive[b] = false;
+            parent[b] = a;
+            clusters -= 1;
+        }
+        // Resolve final cluster roots and compact them.
+        let root = |mut i: usize, parent: &[usize]| {
+            while parent[i] != i {
+                i = parent[i];
+            }
+            i
+        };
+        let mut remap = std::collections::BTreeMap::new();
+        let mut assignments = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = root(i, &parent);
+            let next_id = remap.len();
+            let id = *remap.entry(r).or_insert(next_id);
+            assignments.push(id);
+        }
+        // Mean centroids.
+        let dim = points[0].len();
+        let k = remap.len();
+        let mut centroids = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (&a, p) in assignments.iter().zip(points) {
+            counts[a] += 1;
+            for (c, &v) in centroids[a].iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        for (c, &count) in centroids.iter_mut().zip(&counts) {
+            for v in c {
+                *v /= count as f64;
+            }
+        }
+        Clustering::new(assignments, centroids)
+    }
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for &cx in &[0.0, 10.0] {
+            for i in 0..10 {
+                pts.push(vec![cx + i as f64 * 0.05]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn all_linkages_separate_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = Hierarchical::with_cluster_count(linkage, 2).fit(&blobs());
+            assert_eq!(c.len(), 2, "{linkage:?}");
+            let first = c.assignments()[0];
+            assert!(c.assignments()[..10].iter().all(|&a| a == first));
+            assert!(c.assignments()[10..].iter().all(|&a| a != first));
+        }
+    }
+
+    #[test]
+    fn distance_cutoff_stops_merging() {
+        let c = Hierarchical::with_distance_cutoff(Linkage::Single, 0.06).fit(&blobs());
+        // Within-blob gaps are 0.05, between-blob gap ≈ 9.55.
+        assert_eq!(c.len(), 2);
+        let tight = Hierarchical::with_distance_cutoff(Linkage::Single, 0.01).fit(&blobs());
+        assert_eq!(tight.len(), 20);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let c = Hierarchical::with_cluster_count(Linkage::Complete, 1).fit(&blobs());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.point_count(), 20);
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let pts = vec![vec![0.0], vec![2.0], vec![10.0]];
+        let c = Hierarchical::with_cluster_count(Linkage::Average, 2).fit(&pts);
+        let members = c.members();
+        for (ci, m) in members.iter().enumerate() {
+            let mean: f64 = m.iter().map(|&i| pts[i][0]).sum::<f64>() / m.len() as f64;
+            assert!((c.centroids()[ci][0] - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert!(Hierarchical::with_cluster_count(Linkage::Single, 2).fit(&[]).is_empty());
+        let c = Hierarchical::with_cluster_count(Linkage::Single, 2).fit(&[vec![1.0]]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain of points 1 apart: single linkage glues the whole chain
+        // under cutoff 1.5; complete linkage cannot.
+        let chain: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let single = Hierarchical::with_distance_cutoff(Linkage::Single, 1.5).fit(&chain);
+        let complete = Hierarchical::with_distance_cutoff(Linkage::Complete, 1.5).fit(&chain);
+        assert_eq!(single.len(), 1);
+        assert!(complete.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        Hierarchical::with_cluster_count(Linkage::Single, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! k-means++ initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks `k` initial centroid indices with the k-means++ strategy: the
+/// first uniformly, each subsequent one with probability proportional to
+/// its squared distance from the nearest centroid chosen so far.
+///
+/// Deterministic for a given `seed`. Returns fewer than `k` indices only
+/// when `points.len() < k`; `k = 0` or an empty dataset returns no indices.
+pub fn kmeans_plus_plus(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(rng.gen_range(0..points.len()));
+    let mut best_sq: Vec<f64> = points.iter().map(|p| sq_dist(p, &points[chosen[0]])).collect();
+    while chosen.len() < k {
+        let total: f64 = best_sq.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick any
+            // unchosen index deterministically.
+            match (0..points.len()).find(|i| !chosen.contains(i)) {
+                Some(i) => i,
+                None => break,
+            }
+        } else {
+            let mut pick = rng.gen_range(0.0..total);
+            let mut idx = points.len() - 1;
+            for (i, &d) in best_sq.iter().enumerate() {
+                if pick < d {
+                    idx = i;
+                    break;
+                }
+                pick -= d;
+            }
+            idx
+        };
+        chosen.push(next);
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, &points[next]);
+            if d < best_sq[i] {
+                best_sq[i] = d;
+            }
+        }
+    }
+    chosen
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Vec<f64>> {
+        // Four tight blobs at the corners of a square.
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)] {
+            for i in 0..20 {
+                pts.push(vec![cx + (i % 5) as f64 * 0.01, cy + (i / 5) as f64 * 0.01]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = grid();
+        assert_eq!(kmeans_plus_plus(&pts, 4, 7), kmeans_plus_plus(&pts, 4, 7));
+    }
+
+    #[test]
+    fn spreads_across_blobs() {
+        let pts = grid();
+        let idx = kmeans_plus_plus(&pts, 4, 3);
+        // Each chosen point should come from a distinct blob (blob = i/20).
+        let blobs: std::collections::BTreeSet<usize> = idx.iter().map(|&i| i / 20).collect();
+        assert_eq!(blobs.len(), 4, "chosen {idx:?}");
+    }
+
+    #[test]
+    fn k_larger_than_points_truncates() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let idx = kmeans_plus_plus(&pts, 10, 1);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![vec![1.0]; 5];
+        let idx = kmeans_plus_plus(&pts, 3, 1);
+        assert_eq!(idx.len(), 3);
+        let set: std::collections::BTreeSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 3, "indices must be distinct: {idx:?}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(kmeans_plus_plus(&[], 3, 1).is_empty());
+        assert!(kmeans_plus_plus(&[vec![1.0]], 0, 1).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Clustering substrate for draw-call grouping.
+//!
+//! The paper groups draw-calls by performance similarity using clustering on
+//! micro-architecture-independent features. This crate provides the three
+//! algorithm families the methodology and its ablations use:
+//!
+//! * [`ThresholdClustering`] — single-pass leader clustering. The number of
+//!   clusters *emerges* from a distance threshold, which matches how the
+//!   paper reports clustering efficiency as a measured outcome. This is the
+//!   production algorithm: O(n·k) per frame.
+//! * [`KMeans`] — Lloyd iterations with k-means++ seeding, plus
+//!   [`select_k_bic`] (x-means-style BIC model selection) for the
+//!   k-selection ablation.
+//! * [`Hierarchical`] — agglomerative clustering with selectable
+//!   [`Linkage`], for the algorithm ablation on single frames.
+//!
+//! All algorithms are deterministic given their seed and produce a common
+//! [`Clustering`] result.
+//!
+//! # Examples
+//!
+//! ```
+//! use subset3d_cluster::ThresholdClustering;
+//!
+//! let points = vec![
+//!     vec![0.0, 0.0],
+//!     vec![0.1, 0.0],
+//!     vec![5.0, 5.0],
+//! ];
+//! let clustering = ThresholdClustering::new(1.0).fit(&points);
+//! assert_eq!(clustering.len(), 2);
+//! assert_eq!(clustering.assignments()[0], clustering.assignments()[1]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bic;
+mod clustering;
+mod compare;
+mod hierarchical;
+mod init;
+mod kmeans;
+mod medoid;
+mod silhouette;
+mod threshold;
+
+pub use bic::{bic_score, select_k_bic};
+pub use clustering::Clustering;
+pub use compare::{adjusted_rand_index, rand_index};
+pub use hierarchical::{Hierarchical, Linkage};
+pub use init::kmeans_plus_plus;
+pub use kmeans::KMeans;
+pub use medoid::medoid_of;
+pub use silhouette::silhouette_score;
+pub use threshold::ThresholdClustering;

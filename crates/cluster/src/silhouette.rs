@@ -1,0 +1,113 @@
+//! Silhouette score: cluster-quality validation.
+
+use crate::clustering::Clustering;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`; higher means
+/// tighter, better-separated clusters.
+///
+/// Points in singleton clusters contribute silhouette `0`, following the
+/// usual convention. Returns `None` when the clustering has fewer than two
+/// clusters or no points (the score is undefined there).
+///
+/// O(n²); intended for validation on single frames, not corpus scale.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::{silhouette_score, KMeans};
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let c = KMeans::new(2).fit(&points);
+/// let s = silhouette_score(&points, &c).unwrap();
+/// assert!(s > 0.9);
+/// ```
+pub fn silhouette_score(points: &[Vec<f64>], clustering: &Clustering) -> Option<f64> {
+    let n = points.len();
+    if n == 0 || clustering.len() < 2 {
+        return None;
+    }
+    let members = clustering.members();
+    let assignments = clustering.assignments();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        let own_size = members[own].len();
+        if own_size <= 1 {
+            continue; // silhouette 0
+        }
+        let a: f64 = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| dist(&points[i], &points[j]))
+            .sum::<f64>()
+            / (own_size - 1) as f64;
+        let b = members
+            .iter()
+            .enumerate()
+            .filter(|(c, m)| *c != own && !m.is_empty())
+            .map(|(_, m)| {
+                m.iter().map(|&j| dist(&points[i], &points[j])).sum::<f64>() / m.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    Some(total / n as f64)
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeans;
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let mut pts = Vec::new();
+        for &c in &[0.0, 50.0] {
+            for i in 0..20 {
+                pts.push(vec![c + i as f64 * 0.01]);
+            }
+        }
+        let c = KMeans::new(2).seed(1).fit(&pts);
+        assert!(silhouette_score(&pts, &c).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn random_split_scores_low() {
+        // One uniform blob split in two arbitrary halves.
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 0.77).sin()]).collect();
+        let assignments: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let c = Clustering::new(assignments, vec![vec![0.0], vec![0.1]]);
+        let s = silhouette_score(&pts, &c).unwrap();
+        assert!(s < 0.3, "score {s}");
+    }
+
+    #[test]
+    fn undefined_for_single_cluster() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let c = Clustering::new(vec![0, 0], vec![vec![0.5]]);
+        assert_eq!(silhouette_score(&pts, &c), None);
+    }
+
+    #[test]
+    fn undefined_for_empty() {
+        let c = Clustering::new(Vec::new(), Vec::new());
+        assert_eq!(silhouette_score(&[], &c), None);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64).cos(), (i as f64).sin()]).collect();
+        let c = KMeans::new(3).seed(2).fit(&pts);
+        let s = silhouette_score(&pts, &c).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

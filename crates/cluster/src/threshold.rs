@@ -1,0 +1,146 @@
+//! Single-pass threshold (leader) clustering.
+//!
+//! The production algorithm of the subsetting pipeline: each point joins the
+//! first existing cluster whose *leader* lies within the distance threshold,
+//! otherwise it founds a new cluster. The cluster count — and therefore the
+//! clustering efficiency — emerges from the threshold, mirroring how the
+//! paper reports efficiency as a measured outcome rather than a parameter.
+
+use crate::clustering::Clustering;
+
+/// Leader clustering with a Euclidean distance threshold.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_cluster::ThresholdClustering;
+///
+/// let points = vec![vec![0.0], vec![0.2], vec![10.0]];
+/// let c = ThresholdClustering::new(1.0).fit(&points);
+/// assert_eq!(c.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdClustering {
+    threshold: f64,
+}
+
+impl ThresholdClustering {
+    /// Creates the algorithm with a distance threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or NaN.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative, got {threshold}");
+        ThresholdClustering { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Clusters the points. Deterministic: points are scanned in order and
+    /// leaders are compared in creation order. Centroids of the result are
+    /// the cluster *leaders* (first members).
+    ///
+    /// Distance comparisons abort as soon as the partial sum exceeds the
+    /// threshold, which makes workload-global clustering (hundreds of
+    /// thousands of points against thousands of leaders) tractable.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        let mut leaders: Vec<usize> = Vec::new();
+        let mut assignments = Vec::with_capacity(points.len());
+        let threshold_sq = self.threshold * self.threshold;
+        for p in points {
+            let mut assigned = None;
+            for (ci, &leader) in leaders.iter().enumerate() {
+                if within_sq(p, &points[leader], threshold_sq) {
+                    assigned = Some(ci);
+                    break;
+                }
+            }
+            match assigned {
+                Some(ci) => assignments.push(ci),
+                None => {
+                    assignments.push(leaders.len());
+                    leaders.push(assignments.len() - 1);
+                }
+            }
+        }
+        let centroids = leaders.into_iter().map(|i| points[i].clone()).collect();
+        Clustering::new(assignments, centroids)
+    }
+}
+
+/// Early-exit squared-distance test: `‖a − b‖² ≤ limit`.
+fn within_sq(a: &[f64], b: &[f64], limit: f64) -> bool {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc > limit {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threshold_groups_only_identical_points() {
+        let points = vec![vec![1.0], vec![1.0], vec![2.0], vec![1.0]];
+        let c = ThresholdClustering::new(0.0).fit(&points);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.assignments(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn huge_threshold_single_cluster() {
+        let points = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![-3.0, 2.0]];
+        let c = ThresholdClustering::new(100.0).fit(&points);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn members_within_threshold_of_leader() {
+        let points: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64 * 0.05]).collect();
+        let t = 0.2;
+        let c = ThresholdClustering::new(t).fit(&points);
+        for (i, &a) in c.assignments().iter().enumerate() {
+            let d = sq_dist(&points[i], &c.centroids()[a]).sqrt();
+            assert!(d <= t + 1e-12, "point {i} at distance {d}");
+        }
+    }
+
+    #[test]
+    fn cluster_count_monotone_in_threshold() {
+        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64 * 0.37).sin() * 3.0]).collect();
+        let mut prev = usize::MAX;
+        for t in [0.0, 0.1, 0.5, 1.0, 5.0] {
+            let n = ThresholdClustering::new(t).fit(&points).len();
+            assert!(n <= prev, "threshold {t} gave {n} > {prev}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_clustering() {
+        let c = ThresholdClustering::new(1.0).fit(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.point_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_rejected() {
+        ThresholdClustering::new(-1.0);
+    }
+}

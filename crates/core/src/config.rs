@@ -1,0 +1,231 @@
+//! Pipeline configuration.
+
+use crate::error::SubsetError;
+use serde::{Deserialize, Serialize};
+use subset3d_features::{FeatureKind, Normalization};
+
+/// How draws within a frame are clustered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// Single-pass leader clustering with a feature-space distance
+    /// threshold (the production method; cluster count — and with it the
+    /// clustering efficiency — emerges from the threshold).
+    Threshold {
+        /// Euclidean distance threshold in normalised feature space.
+        distance: f64,
+    },
+    /// k-means with BIC model selection over `1..=max_k`.
+    KMeansBic {
+        /// Upper bound of the k search.
+        max_k: usize,
+    },
+    /// k-means with a fixed cluster count (ablation baseline).
+    KMeansFixed {
+        /// The fixed cluster count.
+        k: usize,
+    },
+}
+
+/// Configuration of the full subsetting pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{ClusterMethod, SubsetConfig};
+///
+/// let config = SubsetConfig::default()
+///     .with_cluster_method(ClusterMethod::Threshold { distance: 0.8 })
+///     .with_interval_len(8);
+/// assert_eq!(config.interval_len, 8);
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsetConfig {
+    /// MAI features used for clustering.
+    pub features: Vec<FeatureKind>,
+    /// Per-frame feature normalisation.
+    pub normalization: Normalization,
+    /// Clustering method.
+    pub method: ClusterMethod,
+    /// Frames per phase-detection interval.
+    pub interval_len: usize,
+    /// Shader-vector similarity required for two intervals to share a
+    /// phase: `1.0` is the paper's exact-equality criterion; slightly lower
+    /// values tolerate rare stochastic shaders.
+    pub phase_similarity: f64,
+    /// Representative frames kept per detected phase.
+    pub frames_per_phase: usize,
+    /// Whether to scale normalised features by their cost weights before
+    /// clustering (improves the error-vs-efficiency frontier; ablated in
+    /// E9).
+    pub cost_weighting: bool,
+    /// When set, project normalised features onto this many principal
+    /// components before clustering (the dimensionality study, E13).
+    pub pca_components: Option<usize>,
+    /// Seed for the clustering algorithms that need one.
+    pub seed: u64,
+}
+
+impl SubsetConfig {
+    /// Replaces the clustering method.
+    pub fn with_cluster_method(mut self, method: ClusterMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Replaces the feature set.
+    pub fn with_features(mut self, features: Vec<FeatureKind>) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Replaces the normalisation.
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Replaces the phase-interval length.
+    pub fn with_interval_len(mut self, frames: usize) -> Self {
+        self.interval_len = frames;
+        self
+    }
+
+    /// Replaces the phase-matching similarity threshold.
+    pub fn with_phase_similarity(mut self, similarity: f64) -> Self {
+        self.phase_similarity = similarity;
+        self
+    }
+
+    /// Replaces the representative-frame count per phase.
+    pub fn with_frames_per_phase(mut self, frames: usize) -> Self {
+        self.frames_per_phase = frames;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables cost-weighted features.
+    pub fn with_cost_weighting(mut self, enabled: bool) -> Self {
+        self.cost_weighting = enabled;
+        self
+    }
+
+    /// Enables PCA projection onto `components` dimensions before
+    /// clustering (`None` disables).
+    pub fn with_pca(mut self, components: Option<usize>) -> Self {
+        self.pca_components = components;
+        self
+    }
+
+    /// Checks configuration consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::InvalidConfig`] for empty feature sets, zero
+    /// intervals, zero frames-per-phase, or degenerate method parameters.
+    pub fn validate(&self) -> Result<(), SubsetError> {
+        let fail = |reason: &str| {
+            Err(SubsetError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.features.is_empty() {
+            return fail("feature set is empty");
+        }
+        if self.interval_len == 0 {
+            return fail("interval length must be at least one frame");
+        }
+        if self.frames_per_phase == 0 {
+            return fail("frames per phase must be at least one");
+        }
+        if !(self.phase_similarity > 0.0 && self.phase_similarity <= 1.0) {
+            return fail("phase similarity must be in (0, 1]");
+        }
+        if let Some(k) = self.pca_components {
+            if k == 0 || k > self.features.len() {
+                return fail("pca components must be in 1..=feature count");
+            }
+        }
+        match self.method {
+            ClusterMethod::Threshold { distance } => {
+                if !(distance >= 0.0) {
+                    return fail("threshold distance must be non-negative");
+                }
+            }
+            ClusterMethod::KMeansBic { max_k } => {
+                if max_k == 0 {
+                    return fail("max_k must be positive");
+                }
+            }
+            ClusterMethod::KMeansFixed { k } => {
+                if k == 0 {
+                    return fail("k must be positive");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SubsetConfig {
+    /// The paper-style default: the full MAI feature set, per-frame z-score
+    /// normalisation, threshold clustering calibrated to land near the
+    /// paper's 65.8 % average clustering efficiency, 10-frame phase
+    /// intervals and one representative frame per phase.
+    fn default() -> Self {
+        SubsetConfig {
+            features: FeatureKind::standard_set(),
+            normalization: Normalization::ZScore,
+            method: ClusterMethod::Threshold { distance: 1.02 },
+            interval_len: 10,
+            phase_similarity: 0.85,
+            frames_per_phase: 1,
+            cost_weighting: true,
+            pca_components: None,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SubsetConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = SubsetConfig::default().with_features(Vec::new());
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_interval_len(0);
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_frames_per_phase(0);
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default()
+            .with_cluster_method(ClusterMethod::Threshold { distance: f64::NAN });
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansBic { max_k: 0 });
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansFixed { k: 0 });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let c = SubsetConfig::default()
+            .with_interval_len(5)
+            .with_frames_per_phase(2)
+            .with_seed(9);
+        assert_eq!(c.interval_len, 5);
+        assert_eq!(c.frames_per_phase, 2);
+        assert_eq!(c.seed, 9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-frame draw-call clustering.
+
+use crate::config::{ClusterMethod, SubsetConfig};
+use serde::{Deserialize, Serialize};
+use subset3d_cluster::{medoid_of, select_k_bic, KMeans, ThresholdClustering};
+use subset3d_features::extract_frame_features;
+use subset3d_trace::{Frame, Workload};
+
+/// One cluster of similar draws within a frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrawCluster {
+    /// Indices of member draws within the frame, in submission order.
+    pub members: Vec<usize>,
+    /// Index of the representative (medoid) draw.
+    pub representative: usize,
+}
+
+impl DrawCluster {
+    /// Number of member draws.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty (never true for pipeline output).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The clustering of one frame's draws.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameClustering {
+    /// The clusters, in creation order.
+    pub clusters: Vec<DrawCluster>,
+    /// Number of draws in the clustered frame.
+    pub draw_count: usize,
+}
+
+impl FrameClustering {
+    /// Clustering efficiency: the fraction of per-draw simulations the
+    /// clustering avoids, `1 − clusters/draws` (the paper's metric; its
+    /// corpus average is 65.8 %).
+    pub fn efficiency(&self) -> f64 {
+        if self.draw_count == 0 {
+            return 0.0;
+        }
+        1.0 - self.clusters.len() as f64 / self.draw_count as f64
+    }
+
+    /// Number of clusters (simulations required).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Indices of the representative draws, in cluster order.
+    pub fn representatives(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.representative).collect()
+    }
+}
+
+/// Clusters one frame's draws on their MAI features.
+///
+/// The frame's features are extracted, normalised *within the frame* (the
+/// paper clusters per frame) and grouped with the configured method; each
+/// cluster's representative is its feature-space medoid.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{cluster_frame, SubsetConfig};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(1).draws_per_frame(50).build(1).generate();
+/// let fc = cluster_frame(&w.frames()[0], &w, &SubsetConfig::default());
+/// assert!(fc.cluster_count() <= fc.draw_count);
+/// assert!(fc.efficiency() > 0.0);
+/// ```
+pub fn cluster_frame(frame: &Frame, workload: &Workload, config: &SubsetConfig) -> FrameClustering {
+    let draw_count = frame.draw_count();
+    if draw_count == 0 {
+        return FrameClustering {
+            clusters: Vec::new(),
+            draw_count: 0,
+        };
+    }
+    let mut matrix = extract_frame_features(frame, workload, config.features.clone());
+    matrix.normalize(config.normalization);
+    if config.cost_weighting {
+        matrix.apply_cost_weights();
+    }
+    let points = match config.pca_components {
+        Some(k) => match subset3d_features::Pca::fit(&matrix, k) {
+            // Cluster in the projected space.
+            Ok(pca) => matrix.iter_rows().map(|r| pca.project(r)).collect(),
+            // Degenerate frames (a single draw) fall back to raw features.
+            Err(_) => matrix.to_rows(),
+        },
+        None => matrix.to_rows(),
+    };
+
+    let clustering = match config.method {
+        ClusterMethod::Threshold { distance } => ThresholdClustering::new(distance).fit(&points),
+        ClusterMethod::KMeansBic { max_k } => {
+            select_k_bic(&points, 1..=max_k.min(points.len()), config.seed)
+        }
+        ClusterMethod::KMeansFixed { k } => KMeans::new(k).seed(config.seed).fit(&points),
+    };
+
+    let clusters = clustering
+        .members()
+        .into_iter()
+        .filter(|m| !m.is_empty())
+        .map(|members| {
+            let representative =
+                medoid_of(&points, &members).expect("non-empty cluster has a medoid");
+            DrawCluster {
+                members,
+                representative,
+            }
+        })
+        .collect();
+    FrameClustering {
+        clusters,
+        draw_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload() -> Workload {
+        GameProfile::shooter("t").frames(3).draws_per_frame(80).build(4).generate()
+    }
+
+    fn config() -> SubsetConfig {
+        SubsetConfig::default()
+    }
+
+    #[test]
+    fn clusters_partition_the_frame() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let fc = cluster_frame(frame, &w, &config());
+        let mut seen = vec![false; frame.draw_count()];
+        for cluster in &fc.clusters {
+            assert!(!cluster.is_empty());
+            assert!(cluster.members.contains(&cluster.representative));
+            for &m in &cluster.members {
+                assert!(!seen[m], "draw {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every draw must be clustered");
+    }
+
+    #[test]
+    fn identical_draws_share_a_cluster() {
+        // Zero threshold: only feature-identical draws group; draws of the
+        // same material with identical geometry features must co-cluster.
+        let w = workload();
+        let frame = &w.frames()[1];
+        let cfg = config().with_cluster_method(ClusterMethod::Threshold { distance: 0.0 });
+        let fc = cluster_frame(frame, &w, &cfg);
+        // Zero distance means zero information loss: every cluster's draws
+        // have identical features, so efficiency is exactly the fraction of
+        // duplicate-feature draws.
+        assert!(fc.cluster_count() <= frame.draw_count());
+    }
+
+    #[test]
+    fn looser_threshold_fewer_clusters() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let tight = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::Threshold { distance: 0.2 }),
+        );
+        let loose = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::Threshold { distance: 4.0 }),
+        );
+        assert!(loose.cluster_count() <= tight.cluster_count());
+        assert!(loose.efficiency() >= tight.efficiency());
+    }
+
+    #[test]
+    fn kmeans_fixed_respects_k() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let fc = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::KMeansFixed { k: 7 }),
+        );
+        assert!(fc.cluster_count() <= 7);
+        assert!(fc.cluster_count() >= 1);
+    }
+
+    #[test]
+    fn kmeans_bic_produces_valid_partition() {
+        let w = workload();
+        let frame = &w.frames()[2];
+        let fc = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::KMeansBic { max_k: 12 }),
+        );
+        let total: usize = fc.clusters.iter().map(DrawCluster::len).sum();
+        assert_eq!(total, frame.draw_count());
+    }
+
+    #[test]
+    fn empty_frame_clusters_to_nothing() {
+        let w = workload();
+        let empty = Frame::new(subset3d_trace::FrameId(99), Vec::new());
+        let fc = cluster_frame(&empty, &w, &config());
+        assert_eq!(fc.cluster_count(), 0);
+        assert_eq!(fc.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn pca_projection_still_partitions() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let fc = cluster_frame(frame, &w, &config().with_pca(Some(4)));
+        let total: usize = fc.clusters.iter().map(DrawCluster::len).sum();
+        assert_eq!(total, frame.draw_count());
+        // Projection can only merge (distances shrink), never split: at the
+        // same threshold the cluster count is at most the full-space count.
+        let full = cluster_frame(frame, &w, &config());
+        assert!(fc.cluster_count() <= full.cluster_count());
+    }
+
+    #[test]
+    fn pca_on_single_draw_frame_falls_back() {
+        let w = workload();
+        let one = Frame::new(subset3d_trace::FrameId(77), vec![w.frames()[0].draws()[0].clone()]);
+        let fc = cluster_frame(&one, &w, &config().with_pca(Some(4)));
+        assert_eq!(fc.cluster_count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = workload();
+        let frame = &w.frames()[0];
+        let a = cluster_frame(frame, &w, &config());
+        let b = cluster_frame(frame, &w, &config());
+        assert_eq!(a, b);
+    }
+}

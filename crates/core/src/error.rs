@@ -1,0 +1,69 @@
+//! Error type of the subsetting pipeline.
+
+use std::fmt;
+use subset3d_gpusim::SimError;
+
+/// Error produced by the subsetting pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubsetError {
+    /// The underlying simulator rejected the workload.
+    Simulation(SimError),
+    /// The workload has no frames, so nothing can be subset.
+    EmptyWorkload,
+    /// The configuration is inconsistent (e.g. zero interval length).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A subset references a frame or draw missing from the workload it is
+    /// being replayed against.
+    SubsetMismatch {
+        /// Human-readable description of the dangling reference.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SubsetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubsetError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            SubsetError::EmptyWorkload => write!(f, "workload has no frames"),
+            SubsetError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SubsetError::SubsetMismatch { reason } => write!(f, "subset mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SubsetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubsetError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SubsetError {
+    fn from(e: SimError) -> Self {
+        SubsetError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::{DrawId, ShaderId};
+
+    #[test]
+    fn display_and_source() {
+        let e = SubsetError::from(SimError::UnknownShader {
+            draw: DrawId(1),
+            shader: ShaderId(2),
+        });
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SubsetError::EmptyWorkload;
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(!e.to_string().is_empty());
+    }
+}

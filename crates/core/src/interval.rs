@@ -1,0 +1,125 @@
+//! Frame intervals: the granularity of phase detection.
+
+use crate::shader_vector::ShaderVector;
+use serde::{Deserialize, Serialize};
+use subset3d_trace::Workload;
+
+/// A contiguous range of frames within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameInterval {
+    /// Index of the first frame.
+    pub start: usize,
+    /// Number of frames (the trailing interval may be shorter than the
+    /// configured length).
+    pub len: usize,
+}
+
+impl FrameInterval {
+    /// The frame indices covered by the interval.
+    pub fn frames(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// Index of the middle frame of the interval.
+    pub fn middle(&self) -> usize {
+        self.start + self.len / 2
+    }
+}
+
+/// Partitions a workload into intervals of `interval_len` frames and
+/// computes each interval's [`ShaderVector`].
+///
+/// The trailing interval keeps whatever frames remain (it may be shorter).
+/// Returns an empty vector for an empty workload.
+///
+/// # Panics
+///
+/// Panics if `interval_len` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::interval_signatures;
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(25).draws_per_frame(20).build(1).generate();
+/// let sigs = interval_signatures(&w, 10);
+/// assert_eq!(sigs.len(), 3);
+/// assert_eq!(sigs[2].0.len, 5);
+/// ```
+pub fn interval_signatures(
+    workload: &Workload,
+    interval_len: usize,
+) -> Vec<(FrameInterval, ShaderVector)> {
+    assert!(interval_len > 0, "interval length must be positive");
+    let frames = workload.frames();
+    let mut out = Vec::with_capacity(frames.len().div_ceil(interval_len));
+    let mut start = 0;
+    while start < frames.len() {
+        let len = interval_len.min(frames.len() - start);
+        let interval = FrameInterval { start, len };
+        let signature = ShaderVector::of_frames(&frames[interval.frames()]);
+        out.push((interval, signature));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload(frames: usize) -> Workload {
+        GameProfile::shooter("t").frames(frames).draws_per_frame(20).build(3).generate()
+    }
+
+    #[test]
+    fn intervals_tile_the_trace() {
+        let w = workload(23);
+        let sigs = interval_signatures(&w, 5);
+        assert_eq!(sigs.len(), 5);
+        let mut next = 0;
+        for (iv, _) in &sigs {
+            assert_eq!(iv.start, next);
+            next += iv.len;
+        }
+        assert_eq!(next, 23);
+        assert_eq!(sigs.last().unwrap().0.len, 3);
+    }
+
+    #[test]
+    fn middle_frame_within_interval() {
+        let iv = FrameInterval { start: 10, len: 5 };
+        assert_eq!(iv.middle(), 12);
+        assert!(iv.frames().contains(&iv.middle()));
+        let single = FrameInterval { start: 3, len: 1 };
+        assert_eq!(single.middle(), 3);
+    }
+
+    #[test]
+    fn signatures_are_nonempty_for_real_frames() {
+        let w = workload(12);
+        for (_, sig) in interval_signatures(&w, 4) {
+            assert!(!sig.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_workload_no_intervals() {
+        let w = Workload::new(
+            "empty",
+            Vec::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        assert!(interval_signatures(&w, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        interval_signatures(&workload(5), 0);
+    }
+}

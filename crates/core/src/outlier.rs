@@ -1,0 +1,78 @@
+//! Cluster-outlier analysis.
+//!
+//! The paper judges clustering quality by the fraction of *cluster
+//! outliers*: clusters whose intra-cluster prediction error exceeds 20 %.
+//! Its corpus average is 3.0 %.
+
+use crate::predict::FramePrediction;
+
+/// The paper's intra-cluster error threshold above which a cluster counts
+/// as an outlier.
+pub const OUTLIER_ERROR_THRESHOLD: f64 = 0.20;
+
+/// Fraction of clusters across the given frame predictions whose
+/// intra-cluster error exceeds [`OUTLIER_ERROR_THRESHOLD`].
+///
+/// Returns `0.0` when there are no clusters at all.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{outlier_fraction, FramePrediction};
+///
+/// let frames = vec![FramePrediction {
+///     actual_ns: 10.0,
+///     predicted_ns: 10.0,
+///     cluster_errors: vec![0.05, 0.5, 0.1, 0.3],
+/// }];
+/// assert_eq!(outlier_fraction(&frames), 0.5);
+/// ```
+pub fn outlier_fraction(frames: &[FramePrediction]) -> f64 {
+    let mut clusters = 0usize;
+    let mut outliers = 0usize;
+    for frame in frames {
+        clusters += frame.cluster_errors.len();
+        outliers += frame
+            .cluster_errors
+            .iter()
+            .filter(|&&e| e > OUTLIER_ERROR_THRESHOLD)
+            .count();
+    }
+    if clusters == 0 {
+        0.0
+    } else {
+        outliers as f64 / clusters as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(errors: Vec<f64>) -> FramePrediction {
+        FramePrediction {
+            actual_ns: 1.0,
+            predicted_ns: 1.0,
+            cluster_errors: errors,
+        }
+    }
+
+    #[test]
+    fn no_clusters_zero() {
+        assert_eq!(outlier_fraction(&[]), 0.0);
+        assert_eq!(outlier_fraction(&[frame(Vec::new())]), 0.0);
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        // Exactly 20% is not an outlier.
+        assert_eq!(outlier_fraction(&[frame(vec![0.20])]), 0.0);
+        assert_eq!(outlier_fraction(&[frame(vec![0.2000001])]), 1.0);
+    }
+
+    #[test]
+    fn aggregates_across_frames() {
+        let frames = vec![frame(vec![0.1, 0.3]), frame(vec![0.05, 0.5])];
+        assert_eq!(outlier_fraction(&frames), 0.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Repeating-pattern extraction from phase sequences.
+
+use crate::phase::PhaseAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// The repetitive structure of a workload's phase sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePattern {
+    /// Run-length encoding of the phase sequence: `(phase id, run length)`.
+    pub runs: Vec<(usize, usize)>,
+    /// Number of phases that occur in more than one run (true temporal
+    /// repetition, not just adjacency).
+    pub recurring_phases: usize,
+    /// Total number of distinct phases.
+    pub total_phases: usize,
+}
+
+impl PhasePattern {
+    /// Extracts the pattern from a phase analysis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subset3d_core::{PhaseDetector, PhasePattern};
+    /// use subset3d_trace::gen::GameProfile;
+    ///
+    /// let w = GameProfile::racing("g").frames(60).draws_per_frame(30).build(2).generate();
+    /// let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w)?;
+    /// let pattern = PhasePattern::of(&analysis);
+    /// assert!(pattern.runs.len() >= pattern.total_phases);
+    /// # Ok::<(), subset3d_core::SubsetError>(())
+    /// ```
+    pub fn of(analysis: &PhaseAnalysis) -> Self {
+        let sequence = analysis.sequence();
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        for &p in sequence {
+            match runs.last_mut() {
+                Some((phase, len)) if *phase == p => *len += 1,
+                _ => runs.push((p, 1)),
+            }
+        }
+        let mut run_counts = vec![0usize; analysis.phase_count()];
+        for &(p, _) in &runs {
+            run_counts[p] += 1;
+        }
+        PhasePattern {
+            recurring_phases: run_counts.iter().filter(|&&c| c > 1).count(),
+            total_phases: analysis.phase_count(),
+            runs,
+        }
+    }
+
+    /// Whether the workload exhibits temporal repetition: some phase leaves
+    /// and comes back (the paper's claim for each BioShock game).
+    pub fn has_recurrence(&self) -> bool {
+        self.recurring_phases > 0
+    }
+
+    /// Mean run length in intervals.
+    pub fn mean_run_length(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.runs.iter().map(|&(_, len)| len).sum();
+        total as f64 / self.runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::FrameInterval;
+    use crate::phase::{Phase, PhaseAnalysis};
+    use crate::shader_vector::ShaderVector;
+
+    fn analysis_from_sequence(seq: &[usize]) -> PhaseAnalysis {
+        let phase_count = seq.iter().copied().max().map_or(0, |m| m + 1);
+        let phases = (0..phase_count)
+            .map(|id| Phase {
+                id,
+                signature: ShaderVector::new(),
+                intervals: seq
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| p == id)
+                    .map(|(i, _)| i)
+                    .collect(),
+                representative: seq.iter().position(|&p| p == id).unwrap_or(0),
+            })
+            .collect();
+        PhaseAnalysis {
+            intervals: (0..seq.len()).map(|i| FrameInterval { start: i, len: 1 }).collect(),
+            interval_phase: seq.to_vec(),
+            phases,
+        }
+    }
+
+    #[test]
+    fn rle_compresses_adjacent_runs() {
+        let p = PhasePattern::of(&analysis_from_sequence(&[0, 0, 1, 1, 1, 0]));
+        assert_eq!(p.runs, vec![(0, 2), (1, 3), (0, 1)]);
+        assert_eq!(p.total_phases, 2);
+    }
+
+    #[test]
+    fn recurrence_requires_departure_and_return() {
+        // 0 appears twice but only adjacent: one run. 0,1,0 recurs.
+        let adjacent = PhasePattern::of(&analysis_from_sequence(&[0, 0, 1]));
+        assert!(!adjacent.has_recurrence());
+        let returning = PhasePattern::of(&analysis_from_sequence(&[0, 1, 0]));
+        assert!(returning.has_recurrence());
+        assert_eq!(returning.recurring_phases, 1);
+    }
+
+    #[test]
+    fn mean_run_length() {
+        let p = PhasePattern::of(&analysis_from_sequence(&[0, 0, 0, 1]));
+        assert_eq!(p.mean_run_length(), 2.0);
+        let empty = PhasePattern::of(&analysis_from_sequence(&[]));
+        assert_eq!(empty.mean_run_length(), 0.0);
+    }
+
+    #[test]
+    fn shooter_workload_recurs() {
+        use subset3d_trace::gen::GameProfile;
+        let w = GameProfile::shooter("t").frames(120).draws_per_frame(60).build(13).generate();
+        let analysis = crate::PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let pattern = PhasePattern::of(&analysis);
+        assert!(pattern.has_recurrence(), "runs: {:?}", pattern.runs);
+    }
+}

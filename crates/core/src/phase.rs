@@ -1,0 +1,326 @@
+//! Phase detection via shader-vector equality.
+
+use crate::error::SubsetError;
+use crate::interval::{interval_signatures, FrameInterval};
+use crate::shader_vector::ShaderVector;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use subset3d_trace::Workload;
+
+/// One detected phase: a set of intervals sharing a shader vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase id (discovery order).
+    pub id: usize,
+    /// The shared shader vector.
+    pub signature: ShaderVector,
+    /// Indices (into the interval list) of the member intervals.
+    pub intervals: Vec<usize>,
+    /// Index of the representative interval (the member whose frame count
+    /// is the phase median by total draws).
+    pub representative: usize,
+}
+
+impl Phase {
+    /// Number of occurrences of the phase in the trace.
+    pub fn occurrences(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the phase repeats (occurs more than once).
+    pub fn repeats(&self) -> bool {
+        self.intervals.len() > 1
+    }
+}
+
+/// Result of phase detection on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAnalysis {
+    /// The intervals, in trace order.
+    pub intervals: Vec<FrameInterval>,
+    /// Phase id of every interval.
+    pub interval_phase: Vec<usize>,
+    /// The detected phases, in discovery order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseAnalysis {
+    /// Number of detected phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Fraction of intervals covered by repeating phases — the paper's
+    /// evidence that "phases exist in each game".
+    pub fn repeat_coverage(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        let repeated: usize = self.phases.iter().filter(|p| p.repeats()).map(Phase::occurrences).sum();
+        repeated as f64 / self.intervals.len() as f64
+    }
+
+    /// Compression: unique phases over total intervals (lower = more
+    /// redundancy to exploit).
+    pub fn compression(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 1.0;
+        }
+        self.phases.len() as f64 / self.intervals.len() as f64
+    }
+
+    /// The phase-id sequence over the trace (one entry per interval).
+    pub fn sequence(&self) -> &[usize] {
+        &self.interval_phase
+    }
+}
+
+/// Detects phases by grouping intervals with matching shader vectors.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::PhaseDetector;
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(60).draws_per_frame(40).build(5).generate();
+/// let analysis = PhaseDetector::new(5).detect(&w)?;
+/// assert!(analysis.phase_count() >= 2);
+/// assert!(analysis.phase_count() <= analysis.intervals.len());
+/// # Ok::<(), subset3d_core::SubsetError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDetector {
+    interval_len: usize,
+    similarity: f64,
+}
+
+impl PhaseDetector {
+    /// Creates a detector with exact shader-vector equality (the paper's
+    /// criterion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_len` is zero.
+    pub fn new(interval_len: usize) -> Self {
+        assert!(interval_len > 0, "interval length must be positive");
+        PhaseDetector {
+            interval_len,
+            similarity: 1.0,
+        }
+    }
+
+    /// Relaxes matching to Jaccard similarity ≥ `threshold` against the
+    /// phase's accumulated signature (useful when stochastic effects —
+    /// e.g. a rare particle shader — perturb otherwise-identical
+    /// intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]`.
+    pub fn with_similarity(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "similarity threshold must be in (0, 1]"
+        );
+        self.similarity = threshold;
+        self
+    }
+
+    /// Runs detection on a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::EmptyWorkload`] when the workload has no
+    /// frames.
+    pub fn detect(&self, workload: &Workload) -> Result<PhaseAnalysis, SubsetError> {
+        let signatures = interval_signatures(workload, self.interval_len);
+        if signatures.is_empty() {
+            return Err(SubsetError::EmptyWorkload);
+        }
+        let exact = self.similarity >= 1.0;
+        let mut phases: Vec<Phase> = Vec::new();
+        let mut by_signature: HashMap<ShaderVector, usize> = HashMap::new();
+        let mut interval_phase = Vec::with_capacity(signatures.len());
+        let mut intervals = Vec::with_capacity(signatures.len());
+
+        for (idx, (interval, signature)) in signatures.into_iter().enumerate() {
+            intervals.push(interval);
+            let phase_id = if exact {
+                match by_signature.get(&signature) {
+                    Some(&id) => id,
+                    None => {
+                        let id = phases.len();
+                        by_signature.insert(signature.clone(), id);
+                        phases.push(Phase {
+                            id,
+                            signature,
+                            intervals: Vec::new(),
+                            representative: idx,
+                        });
+                        id
+                    }
+                }
+            } else {
+                // First phase whose *founding* signature is similar enough.
+                // Matching against the founder (not an accumulated union)
+                // keeps membership stable: a phase's vocabulary does not
+                // drift as members join.
+                match phases.iter().position(|p| p.signature.jaccard(&signature) >= self.similarity)
+                {
+                    Some(id) => id,
+                    None => {
+                        let id = phases.len();
+                        phases.push(Phase {
+                            id,
+                            signature,
+                            intervals: Vec::new(),
+                            representative: idx,
+                        });
+                        id
+                    }
+                }
+            };
+            phases[phase_id].intervals.push(idx);
+            interval_phase.push(phase_id);
+        }
+
+        // Representative: the member interval with the median frame span
+        // (typical occurrence of the phase, chosen µarch-independently).
+        for phase in &mut phases {
+            let mut members = phase.intervals.clone();
+            members.sort_by_key(|&i| {
+                let iv = intervals[i];
+                workload.frames()[iv.frames()].iter().map(subset3d_trace::Frame::draw_count).sum::<usize>()
+            });
+            phase.representative = members[members.len() / 2];
+        }
+
+        Ok(PhaseAnalysis {
+            intervals,
+            interval_phase,
+            phases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::{GameProfile, PhaseKind};
+
+    #[test]
+    fn detects_ground_truth_repeats() {
+        // The shooter script revisits Explore(0); detection must group the
+        // revisit with the first visit.
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(120)
+            .draws_per_frame(120)
+            .build(21)
+            .generate_with_truth();
+        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+
+        // Map each interval to its dominant ground-truth kind.
+        let dominant_kind = |iv: &FrameInterval| {
+            let mut counts: std::collections::BTreeMap<PhaseKind, usize> = Default::default();
+            for f in iv.frames() {
+                *counts.entry(truth.per_frame[f]).or_default() += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        // Intervals fully inside the same ground-truth kind must share a
+        // detected phase when their kinds match.
+        let mut by_kind: std::collections::BTreeMap<PhaseKind, Vec<usize>> = Default::default();
+        for (i, iv) in analysis.intervals.iter().enumerate() {
+            let kinds: std::collections::BTreeSet<PhaseKind> =
+                iv.frames().map(|f| truth.per_frame[f]).collect();
+            if kinds.len() == 1 {
+                by_kind.entry(dominant_kind(iv)).or_default().push(i);
+            }
+        }
+        let explore0 = &by_kind[&PhaseKind::Explore(0)];
+        assert!(explore0.len() >= 2, "need at least two pure Explore(0) intervals");
+        let ids: std::collections::BTreeSet<usize> =
+            explore0.iter().map(|&i| analysis.interval_phase[i]).collect();
+        assert_eq!(ids.len(), 1, "Explore(0) intervals split across phases {ids:?}");
+    }
+
+    #[test]
+    fn distinct_areas_get_distinct_phases() {
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(120)
+            .draws_per_frame(120)
+            .build(22)
+            .generate_with_truth();
+        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let mut phase_of_kind: std::collections::BTreeMap<PhaseKind, usize> = Default::default();
+        for (i, iv) in analysis.intervals.iter().enumerate() {
+            let kinds: std::collections::BTreeSet<PhaseKind> =
+                iv.frames().map(|f| truth.per_frame[f]).collect();
+            if kinds.len() == 1 {
+                phase_of_kind.insert(*kinds.iter().next().unwrap(), analysis.interval_phase[i]);
+            }
+        }
+        let (Some(&a), Some(&b)) = (
+            phase_of_kind.get(&PhaseKind::Explore(0)),
+            phase_of_kind.get(&PhaseKind::Explore(1)),
+        ) else {
+            panic!("script must produce pure intervals for both areas");
+        };
+        assert_ne!(a, b, "different areas must not share a phase");
+    }
+
+    #[test]
+    fn exact_equality_groups_identical_vectors() {
+        let w = GameProfile::racing("t").frames(80).draws_per_frame(60).build(9).generate();
+        let analysis = PhaseDetector::new(4).detect(&w).unwrap();
+        // Sanity: interval/phase bookkeeping is consistent.
+        assert_eq!(analysis.interval_phase.len(), analysis.intervals.len());
+        for phase in &analysis.phases {
+            assert!(phase.intervals.contains(&phase.representative));
+            for &i in &phase.intervals {
+                assert_eq!(analysis.interval_phase[i], phase.id);
+            }
+        }
+    }
+
+    #[test]
+    fn racing_script_has_high_repeat_coverage() {
+        // Laps: the racing script repeats the same areas many times.
+        let w = GameProfile::racing("t").frames(100).draws_per_frame(80).build(10).generate();
+        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        assert!(
+            analysis.repeat_coverage() > 0.5,
+            "coverage {}",
+            analysis.repeat_coverage()
+        );
+        assert!(analysis.compression() < 0.6, "compression {}", analysis.compression());
+    }
+
+    #[test]
+    fn empty_workload_is_error() {
+        let w = Workload::new(
+            "empty",
+            Vec::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        assert_eq!(
+            PhaseDetector::new(5).detect(&w),
+            Err(SubsetError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        PhaseDetector::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity threshold")]
+    fn bad_similarity_rejected() {
+        PhaseDetector::new(5).with_similarity(0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Alternative phase detectors, for the phase-signature ablation (E15).
+//!
+//! SimPoint-style CPU subsetting detects phases from basic-block vectors;
+//! the paper's contribution is that for 3D workloads, *shader vectors* are
+//! the right signature. This module implements the naive alternative — a
+//! load signature built from draw counts — so the two can be compared on
+//! subset quality.
+
+use crate::error::SubsetError;
+use crate::interval::FrameInterval;
+use crate::phase::{Phase, PhaseAnalysis};
+use crate::shader_vector::ShaderVector;
+use subset3d_trace::Workload;
+
+/// Detects phases from interval *load signatures*: two intervals share a
+/// phase when their mean draws-per-frame differ by at most `tolerance`
+/// (relative). This is the draw-count analogue of SimPoint's BBV matching
+/// and deliberately ignores what is being drawn.
+///
+/// Matching is against the founding interval of each phase (like
+/// [`crate::PhaseDetector`]), and the output reuses [`PhaseAnalysis`] so
+/// the whole downstream pipeline runs unchanged. Phase signatures are the
+/// founding interval's shader vector (recorded for reporting only — it
+/// plays no role in matching).
+///
+/// # Errors
+///
+/// Returns [`SubsetError::EmptyWorkload`] for empty traces.
+///
+/// # Panics
+///
+/// Panics if `interval_len` is zero or `tolerance` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::detect_phases_by_load;
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(40).draws_per_frame(50).build(3).generate();
+/// let analysis = detect_phases_by_load(&w, 5, 0.15)?;
+/// assert!(analysis.phase_count() >= 1);
+/// # Ok::<(), subset3d_core::SubsetError>(())
+/// ```
+pub fn detect_phases_by_load(
+    workload: &Workload,
+    interval_len: usize,
+    tolerance: f64,
+) -> Result<PhaseAnalysis, SubsetError> {
+    assert!(interval_len > 0, "interval length must be positive");
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let frames = workload.frames();
+    if frames.is_empty() {
+        return Err(SubsetError::EmptyWorkload);
+    }
+
+    let mut intervals = Vec::new();
+    let mut loads = Vec::new();
+    let mut start = 0;
+    while start < frames.len() {
+        let len = interval_len.min(frames.len() - start);
+        let interval = FrameInterval { start, len };
+        let draws: usize = frames[interval.frames()].iter().map(|f| f.draw_count()).sum();
+        intervals.push(interval);
+        loads.push(draws as f64 / len as f64);
+        start += len;
+    }
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut phase_loads: Vec<f64> = Vec::new();
+    let mut interval_phase = Vec::with_capacity(intervals.len());
+    for (idx, &load) in loads.iter().enumerate() {
+        let matched = phase_loads.iter().position(|&founder| {
+            let denom = founder.max(1.0);
+            (load - founder).abs() / denom <= tolerance
+        });
+        let phase_id = match matched {
+            Some(id) => id,
+            None => {
+                let id = phases.len();
+                phases.push(Phase {
+                    id,
+                    signature: ShaderVector::of_frames(&frames[intervals[idx].frames()]),
+                    intervals: Vec::new(),
+                    representative: idx,
+                });
+                phase_loads.push(load);
+                id
+            }
+        };
+        phases[phase_id].intervals.push(idx);
+        interval_phase.push(phase_id);
+    }
+
+    // Same representative policy as the shader-vector detector: median by
+    // total draws.
+    for phase in &mut phases {
+        let mut members = phase.intervals.clone();
+        members.sort_by_key(|&i| {
+            frames[intervals[i].frames()].iter().map(|f| f.draw_count()).sum::<usize>()
+        });
+        phase.representative = members[members.len() / 2];
+    }
+
+    Ok(PhaseAnalysis {
+        intervals,
+        interval_phase,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload() -> Workload {
+        GameProfile::shooter("t").frames(60).draws_per_frame(100).build(61).generate()
+    }
+
+    #[test]
+    fn partitions_all_intervals() {
+        let w = workload();
+        let a = detect_phases_by_load(&w, 5, 0.15).unwrap();
+        assert_eq!(a.interval_phase.len(), a.intervals.len());
+        let covered: usize = a.phases.iter().map(|p| p.intervals.len()).sum();
+        assert_eq!(covered, a.intervals.len());
+        for p in &a.phases {
+            assert!(p.intervals.contains(&p.representative));
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_rarely_groups() {
+        let w = workload();
+        let strict = detect_phases_by_load(&w, 5, 0.0).unwrap();
+        let loose = detect_phases_by_load(&w, 5, 0.5).unwrap();
+        assert!(strict.phase_count() >= loose.phase_count());
+    }
+
+    #[test]
+    fn load_detection_confuses_distinct_areas() {
+        // The designed blind spot: two different areas with similar load
+        // merge under load signatures but not under shader vectors.
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(120)
+            .draws_per_frame(150)
+            .build(62)
+            .generate_with_truth();
+        let by_load = detect_phases_by_load(&w, 5, 0.2).unwrap();
+        // Find pure Explore(0) and Explore(1) intervals.
+        let pure = |area: u8| {
+            by_load.intervals.iter().enumerate().find_map(|(i, iv)| {
+                let kinds: std::collections::BTreeSet<_> =
+                    iv.frames().map(|f| truth.per_frame[f]).collect();
+                (kinds.len() == 1
+                    && kinds.contains(&subset3d_trace::gen::PhaseKind::Explore(area)))
+                .then_some(i)
+            })
+        };
+        if let (Some(a), Some(b)) = (pure(0), pure(1)) {
+            // Same load multiplier → likely merged by load detection. This
+            // is not guaranteed for every seed, so only assert the
+            // structural possibility: both intervals exist and the detector
+            // assigned them *some* phase.
+            assert!(by_load.interval_phase[a] < by_load.phase_count());
+            assert!(by_load.interval_phase[b] < by_load.phase_count());
+        }
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let w = Workload::new(
+            "empty",
+            Vec::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        assert_eq!(
+            detect_phases_by_load(&w, 5, 0.1),
+            Err(SubsetError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = detect_phases_by_load(&workload(), 0, 0.1);
+    }
+}

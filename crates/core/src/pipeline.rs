@@ -1,0 +1,281 @@
+//! The end-to-end subsetting pipeline.
+
+use crate::config::SubsetConfig;
+use crate::drawcluster::{cluster_frame, FrameClustering};
+use crate::error::SubsetError;
+use crate::outlier::outlier_fraction;
+use crate::pattern::PhasePattern;
+use crate::phase::{PhaseAnalysis, PhaseDetector};
+use crate::predict::{predict_frame, FramePrediction};
+use crate::subset::WorkloadSubset;
+use serde::{Deserialize, Serialize};
+use subset3d_gpusim::Simulator;
+use subset3d_stats::mean;
+use subset3d_trace::Workload;
+
+/// Per-workload clustering evaluation: the paper's Table-2 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEvaluation {
+    /// Per-frame prediction results, in trace order.
+    pub frames: Vec<FramePrediction>,
+    /// Per-frame clustering efficiencies, in trace order.
+    pub efficiencies: Vec<f64>,
+}
+
+impl WorkloadEvaluation {
+    /// Average per-frame performance-prediction error (paper target ≈ 1 %).
+    pub fn mean_prediction_error(&self) -> f64 {
+        mean(&self.frames.iter().map(FramePrediction::error).collect::<Vec<_>>())
+    }
+
+    /// Average clustering efficiency (paper target ≈ 65.8 %).
+    pub fn mean_efficiency(&self) -> f64 {
+        mean(&self.efficiencies)
+    }
+
+    /// Fraction of clusters that are outliers (paper target ≈ 3 %).
+    pub fn outlier_fraction(&self) -> f64 {
+        outlier_fraction(&self.frames)
+    }
+}
+
+/// Compact, serialisable summary of a pipeline run — the machine-readable
+/// counterpart of the experiment tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeSummary {
+    /// Name of the subset workload's parent.
+    pub workload: String,
+    /// Parent frame count.
+    pub frames: usize,
+    /// Parent draw count.
+    pub draws: usize,
+    /// Average per-frame clustering efficiency.
+    pub mean_efficiency: f64,
+    /// Average per-frame prediction error.
+    pub mean_prediction_error: f64,
+    /// Fraction of outlier clusters (>20 % intra-cluster error).
+    pub outlier_fraction: f64,
+    /// Number of detected phases.
+    pub phase_count: usize,
+    /// Fraction of intervals covered by repeating phases.
+    pub repeat_coverage: f64,
+    /// Draws kept in the subset.
+    pub subset_draws: usize,
+    /// Subset size as a fraction of parent draws.
+    pub subset_fraction: f64,
+}
+
+/// Everything the pipeline produces for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsettingOutcome {
+    /// Per-frame clusterings.
+    pub clusterings: Vec<FrameClustering>,
+    /// Clustering-quality evaluation.
+    pub evaluation: WorkloadEvaluation,
+    /// Detected phases.
+    pub phases: PhaseAnalysis,
+    /// Repeating-pattern summary of the phase sequence.
+    pub pattern: PhasePattern,
+    /// The extracted subset.
+    pub subset: WorkloadSubset,
+}
+
+impl SubsettingOutcome {
+    /// Condenses the outcome into the serialisable [`OutcomeSummary`].
+    pub fn summary(&self, workload: &Workload) -> OutcomeSummary {
+        OutcomeSummary {
+            workload: workload.name.clone(),
+            frames: workload.frames().len(),
+            draws: workload.total_draws(),
+            mean_efficiency: self.evaluation.mean_efficiency(),
+            mean_prediction_error: self.evaluation.mean_prediction_error(),
+            outlier_fraction: self.evaluation.outlier_fraction(),
+            phase_count: self.phases.phase_count(),
+            repeat_coverage: self.phases.repeat_coverage(),
+            subset_draws: self.subset.selected_draw_count(),
+            subset_fraction: self.subset.draw_fraction(),
+        }
+    }
+}
+
+/// The end-to-end subsetting pipeline: cluster every frame, evaluate
+/// prediction quality, detect phases, and assemble the subset.
+///
+/// Frames are clustered in parallel (they are independent); everything is
+/// deterministic for a given configuration.
+#[derive(Debug, Clone)]
+pub struct Subsetter {
+    config: SubsetConfig,
+}
+
+impl Subsetter {
+    /// Creates a pipeline with a configuration.
+    pub fn new(config: SubsetConfig) -> Self {
+        Subsetter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SubsetConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline on a workload using `sim` as the ground-truth cost
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::InvalidConfig`] for inconsistent
+    /// configurations, [`SubsetError::EmptyWorkload`] for empty traces, and
+    /// propagates simulator errors.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        sim: &Simulator,
+    ) -> Result<SubsettingOutcome, SubsetError> {
+        self.config.validate()?;
+        if workload.frames().is_empty() {
+            return Err(SubsetError::EmptyWorkload);
+        }
+
+        let clusterings = self.cluster_all_frames(workload);
+
+        // Ground-truth frame costs and prediction quality (sequential: the
+        // analytical simulator is far cheaper than clustering).
+        let mut frames = Vec::with_capacity(workload.frames().len());
+        let mut efficiencies = Vec::with_capacity(workload.frames().len());
+        for (frame, clustering) in workload.frames().iter().zip(&clusterings) {
+            let cost = sim.simulate_frame(frame, workload)?;
+            frames.push(predict_frame(clustering, &cost));
+            efficiencies.push(clustering.efficiency());
+        }
+        let evaluation = WorkloadEvaluation {
+            frames,
+            efficiencies,
+        };
+
+        let phases = PhaseDetector::new(self.config.interval_len)
+            .with_similarity(self.config.phase_similarity)
+            .detect(workload)?;
+        let pattern = PhasePattern::of(&phases);
+        let subset =
+            WorkloadSubset::build(workload, &phases, &clusterings, self.config.frames_per_phase);
+
+        Ok(SubsettingOutcome {
+            clusterings,
+            evaluation,
+            phases,
+            pattern,
+            subset,
+        })
+    }
+
+    /// Clusters every frame, in parallel across a scoped thread pool.
+    fn cluster_all_frames(&self, workload: &Workload) -> Vec<FrameClustering> {
+        let frames = workload.frames();
+        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+        if frames.len() < 4 || threads < 2 {
+            return frames.iter().map(|f| cluster_frame(f, workload, &self.config)).collect();
+        }
+        let mut results: Vec<Option<FrameClustering>> = vec![None; frames.len()];
+        let chunk = frames.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (frame_chunk, result_chunk) in
+                frames.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for (frame, slot) in frame_chunk.iter().zip(result_chunk.iter_mut()) {
+                        *slot = Some(cluster_frame(frame, workload, &self.config));
+                    }
+                });
+            }
+        })
+        .expect("clustering worker panicked");
+        results.into_iter().map(|r| r.expect("every frame clustered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_gpusim::ArchConfig;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload() -> Workload {
+        GameProfile::shooter("t").frames(30).draws_per_frame(60).build(23).generate()
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        assert_eq!(outcome.clusterings.len(), w.frames().len());
+        assert_eq!(outcome.evaluation.frames.len(), w.frames().len());
+        assert!(outcome.evaluation.mean_efficiency() > 0.0);
+        assert!(outcome.evaluation.mean_prediction_error() < 0.3);
+        assert!(outcome.phases.phase_count() > 0);
+        outcome.subset.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn outcome_summary_is_consistent_and_serialisable() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let summary = outcome.summary(&w);
+        assert_eq!(summary.frames, w.frames().len());
+        assert_eq!(summary.draws, w.total_draws());
+        assert_eq!(summary.subset_draws, outcome.subset.selected_draw_count());
+        assert!((summary.subset_fraction - outcome.subset.draw_fraction()).abs() < 1e-12);
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: OutcomeSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+    }
+
+    #[test]
+    fn parallel_clustering_matches_sequential() {
+        let w = workload();
+        let config = SubsetConfig::default();
+        let subsetter = Subsetter::new(config.clone());
+        let parallel = subsetter.cluster_all_frames(&w);
+        let sequential: Vec<FrameClustering> =
+            w.frames().iter().map(|f| cluster_frame(f, &w, &config)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let w = Workload::new(
+            "empty",
+            Vec::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        let sim = Simulator::new(ArchConfig::baseline());
+        assert_eq!(
+            Subsetter::new(SubsetConfig::default()).run(&w, &sim),
+            Err(SubsetError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_work() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let bad = SubsetConfig::default().with_interval_len(0);
+        assert!(matches!(
+            Subsetter::new(bad).run(&w, &sim),
+            Err(SubsetError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let a = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let b = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        assert_eq!(a, b);
+    }
+}

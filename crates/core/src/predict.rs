@@ -1,0 +1,169 @@
+//! Frame-performance prediction from cluster representatives.
+
+use crate::drawcluster::FrameClustering;
+use serde::{Deserialize, Serialize};
+use subset3d_gpusim::FrameCost;
+
+/// The prediction quality of one frame's clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FramePrediction {
+    /// Simulated (ground-truth) frame time, ns.
+    pub actual_ns: f64,
+    /// Predicted frame time: Σ over clusters of `rep cost × cluster size`.
+    pub predicted_ns: f64,
+    /// Relative per-cluster prediction errors
+    /// (`|rep×n − Σ actual| / Σ actual` per cluster).
+    pub cluster_errors: Vec<f64>,
+}
+
+impl FramePrediction {
+    /// Relative per-frame prediction error, `|predicted − actual| / actual`
+    /// (the paper's headline metric; its corpus average is 1.0 %).
+    pub fn error(&self) -> f64 {
+        if self.actual_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted_ns - self.actual_ns).abs() / self.actual_ns
+    }
+}
+
+/// Predicts a frame's performance from its clustering and the per-draw
+/// simulated costs, exactly as the paper evaluates clustering quality: each
+/// cluster is charged its representative's cost times its population.
+///
+/// # Panics
+///
+/// Panics if the clustering and cost refer to different draw counts.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{cluster_frame, predict_frame, SubsetConfig};
+/// use subset3d_gpusim::{ArchConfig, Simulator};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(1).draws_per_frame(60).build(1).generate();
+/// let sim = Simulator::new(ArchConfig::baseline());
+/// let frame = &w.frames()[0];
+/// let clustering = cluster_frame(frame, &w, &SubsetConfig::default());
+/// let cost = sim.simulate_frame(frame, &w)?;
+/// let prediction = predict_frame(&clustering, &cost);
+/// assert!(prediction.error() < 0.5);
+/// # Ok::<(), subset3d_gpusim::SimError>(())
+/// ```
+pub fn predict_frame(clustering: &FrameClustering, cost: &FrameCost) -> FramePrediction {
+    assert_eq!(
+        clustering.draw_count,
+        cost.draws.len(),
+        "clustering and cost must describe the same frame"
+    );
+    let actual_ns = cost.total_ns;
+    let mut predicted_ns = 0.0;
+    let mut cluster_errors = Vec::with_capacity(clustering.clusters.len());
+    for cluster in &clustering.clusters {
+        let rep_cost = cost.draws[cluster.representative].time_ns;
+        let cluster_predicted = rep_cost * cluster.len() as f64;
+        let cluster_actual: f64 = cluster.members.iter().map(|&m| cost.draws[m].time_ns).sum();
+        predicted_ns += cluster_predicted;
+        cluster_errors.push(if cluster_actual > 0.0 {
+            (cluster_predicted - cluster_actual).abs() / cluster_actual
+        } else {
+            0.0
+        });
+    }
+    FramePrediction {
+        actual_ns,
+        predicted_ns,
+        cluster_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drawcluster::DrawCluster;
+    use subset3d_gpusim::{DrawCost, Stage};
+
+    fn cost_of(times: &[f64]) -> FrameCost {
+        FrameCost::from_draws(
+            times
+                .iter()
+                .map(|&t| DrawCost {
+                    geometry_cycles: 0.0,
+                    raster_cycles: 0.0,
+                    pixel_cycles: 0.0,
+                    texture_cycles: 0.0,
+                    rop_cycles: 0.0,
+                    overhead_cycles: 0.0,
+                    mem_bytes: 0.0,
+                    time_ns: t,
+                    bottleneck: Stage::Overhead,
+                })
+                .collect(),
+        )
+    }
+
+    fn clustering(clusters: Vec<(Vec<usize>, usize)>, draws: usize) -> FrameClustering {
+        FrameClustering {
+            clusters: clusters
+                .into_iter()
+                .map(|(members, representative)| DrawCluster {
+                    members,
+                    representative,
+                })
+                .collect(),
+            draw_count: draws,
+        }
+    }
+
+    #[test]
+    fn perfect_clusters_zero_error() {
+        // All members of each cluster cost the same as the rep.
+        let cost = cost_of(&[2.0, 2.0, 5.0, 5.0, 5.0]);
+        let fc = clustering(vec![(vec![0, 1], 0), (vec![2, 3, 4], 3)], 5);
+        let p = predict_frame(&fc, &cost);
+        assert_eq!(p.predicted_ns, 19.0);
+        assert_eq!(p.actual_ns, 19.0);
+        assert_eq!(p.error(), 0.0);
+        assert!(p.cluster_errors.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn mixed_cluster_reports_error() {
+        // One cluster groups a 1ns and a 3ns draw with the 1ns rep:
+        // predicted 2, actual 4 → frame error 50%, cluster error 50%.
+        let cost = cost_of(&[1.0, 3.0]);
+        let fc = clustering(vec![(vec![0, 1], 0)], 2);
+        let p = predict_frame(&fc, &cost);
+        assert_eq!(p.predicted_ns, 2.0);
+        assert_eq!(p.actual_ns, 4.0);
+        assert!((p.error() - 0.5).abs() < 1e-12);
+        assert!((p.cluster_errors[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_can_cancel_across_clusters() {
+        // Over-predicting one cluster and under-predicting another can
+        // cancel at frame level — the per-cluster errors still show it.
+        let cost = cost_of(&[1.0, 3.0, 3.0, 1.0]);
+        let fc = clustering(vec![(vec![0, 1], 0), (vec![2, 3], 2)], 4);
+        let p = predict_frame(&fc, &cost);
+        assert_eq!(p.predicted_ns, 8.0);
+        assert_eq!(p.actual_ns, 8.0);
+        assert_eq!(p.error(), 0.0);
+        assert!(p.cluster_errors.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn empty_frame_zero_everything() {
+        let p = predict_frame(&clustering(Vec::new(), 0), &cost_of(&[]));
+        assert_eq!(p.error(), 0.0);
+        assert_eq!(p.predicted_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same frame")]
+    fn mismatched_inputs_rejected() {
+        predict_frame(&clustering(vec![(vec![0], 0)], 1), &cost_of(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,173 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple fixed-width text table: the output format of every experiment
+/// binary (one per paper table/figure).
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::Table;
+///
+/// let mut t = Table::new(vec!["game", "frames"]);
+/// t.row(vec!["shock-1".to_string(), "120".to_string()]);
+/// let text = t.render();
+/// assert!(text.contains("shock-1"));
+/// assert!(text.contains("game"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting of cells containing
+    /// commas, quotes or newlines), for piping experiment output into
+    /// plotting tools.
+    pub fn render_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&quote(c));
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The 'bbbb' header starts at the same offset as '1' and '22'.
+        let header_off = lines[0].find("bbbb").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), header_off);
+        assert_eq!(lines[3].find("22").unwrap(), header_off);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain".into(), "has,comma".into()]);
+        t.row(vec!["has\"quote".into(), "multi\nline".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.split('\n').collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"has,comma\"");
+        assert!(lines[2].starts_with("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn csv_of_empty_table_is_header_only() {
+        let t = Table::new(vec!["x"]);
+        assert_eq!(t.render_csv(), "x\n");
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert!(t.render().starts_with("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_rejected() {
+        Table::new(vec!["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_rejected() {
+        Table::new(Vec::<String>::new());
+    }
+}

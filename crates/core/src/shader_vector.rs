@@ -1,0 +1,151 @@
+//! Shader vectors: the phase signature of frames and intervals.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use subset3d_trace::{Frame, ShaderId};
+
+/// The set of shader programs a frame (or interval of frames) uses.
+///
+/// The paper characterises frame intervals with shader vectors and declares
+/// two intervals to belong to the same phase when their vectors are
+/// *equal*: a level revisit replays the same materials and therefore the
+/// same shaders, even though draw counts and geometry differ.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::ShaderVector;
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(4).draws_per_frame(30).build(1).generate();
+/// let a = ShaderVector::of_frame(&w.frames()[0]);
+/// let same = ShaderVector::of_frame(&w.frames()[0]);
+/// assert_eq!(a, same);
+/// assert_eq!(a.jaccard(&same), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShaderVector {
+    shaders: BTreeSet<ShaderId>,
+}
+
+impl ShaderVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        ShaderVector {
+            shaders: BTreeSet::new(),
+        }
+    }
+
+    /// The shader vector of a single frame.
+    pub fn of_frame(frame: &Frame) -> Self {
+        ShaderVector {
+            shaders: frame.shader_set(),
+        }
+    }
+
+    /// The shader vector of an interval of frames (union of frame vectors).
+    pub fn of_frames<'a>(frames: impl IntoIterator<Item = &'a Frame>) -> Self {
+        let mut shaders = BTreeSet::new();
+        for f in frames {
+            shaders.extend(f.shader_set());
+        }
+        ShaderVector { shaders }
+    }
+
+    /// Number of distinct shaders in the vector.
+    pub fn len(&self) -> usize {
+        self.shaders.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shaders.is_empty()
+    }
+
+    /// Whether the vector contains a shader.
+    pub fn contains(&self, id: ShaderId) -> bool {
+        self.shaders.contains(&id)
+    }
+
+    /// Merges another vector into this one.
+    pub fn union_with(&mut self, other: &ShaderVector) {
+        self.shaders.extend(other.shaders.iter().copied());
+    }
+
+    /// Jaccard similarity with another vector: `|∩| / |∪|`; `1.0` for two
+    /// empty vectors.
+    pub fn jaccard(&self, other: &ShaderVector) -> f64 {
+        let inter = self.shaders.intersection(&other.shaders).count();
+        let union = self.shaders.union(&other.shaders).count();
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Iterates over the shader ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ShaderId> + '_ {
+        self.shaders.iter().copied()
+    }
+}
+
+impl Default for ShaderVector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<ShaderId> for ShaderVector {
+    fn from_iter<I: IntoIterator<Item = ShaderId>>(iter: I) -> Self {
+        ShaderVector {
+            shaders: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(ids: &[u32]) -> ShaderVector {
+        ids.iter().map(|&i| ShaderId(i)).collect()
+    }
+
+    #[test]
+    fn equality_ignores_order_and_duplicates() {
+        assert_eq!(sv(&[1, 2, 3]), sv(&[3, 2, 1, 2]));
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = sv(&[1, 2, 3]);
+        let b = sv(&[2, 3, 4]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(sv(&[]).jaccard(&sv(&[])), 1.0);
+        assert_eq!(sv(&[1]).jaccard(&sv(&[2])), 0.0);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = sv(&[1, 2]);
+        a.union_with(&sv(&[2, 3]));
+        assert_eq!(a, sv(&[1, 2, 3]));
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(ShaderId(3)));
+        assert!(!a.contains(ShaderId(9)));
+    }
+
+    #[test]
+    fn interval_vector_is_union_of_frames() {
+        use subset3d_trace::gen::GameProfile;
+        let w = GameProfile::shooter("g").frames(6).draws_per_frame(30).build(2).generate();
+        let joint = ShaderVector::of_frames(&w.frames()[0..3]);
+        for f in &w.frames()[0..3] {
+            for s in f.shader_set() {
+                assert!(joint.contains(s));
+            }
+        }
+    }
+}

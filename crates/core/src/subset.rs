@@ -1,0 +1,477 @@
+//! Workload subsets: the pipeline's product.
+
+use crate::drawcluster::FrameClustering;
+use crate::error::SubsetError;
+use crate::phase::PhaseAnalysis;
+use serde::{Deserialize, Serialize};
+use subset3d_gpusim::{DrawCost, Simulator};
+use subset3d_trace::{Frame, Workload};
+
+/// One replayed subset frame with weighted per-draw costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedFrame {
+    /// Index of the frame within the parent workload.
+    pub frame_index: usize,
+    /// Phase weight of the frame.
+    pub frame_weight: f64,
+    /// `(cluster weight, simulated cost)` of every kept draw.
+    pub draws: Vec<(f64, DrawCost)>,
+}
+
+/// Full result of [`WorkloadSubset::replay_detailed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetReplay {
+    /// Replayed frames in trace order.
+    pub frames: Vec<ReplayedFrame>,
+    /// Weighted estimate of the parent workload's total time, ns.
+    pub estimated_ns: f64,
+}
+
+/// One draw kept in the subset, weighted by the cluster population it
+/// represents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectedDraw {
+    /// Index of the draw within its frame.
+    pub draw_index: usize,
+    /// Number of parent draws this draw stands for.
+    pub weight: f64,
+}
+
+/// One frame kept in the subset, weighted by the phase population it
+/// represents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedFrame {
+    /// Index of the frame within the parent workload.
+    pub frame_index: usize,
+    /// Number of parent frames this frame stands for.
+    pub weight: f64,
+    /// The representative draws, in submission order.
+    pub draws: Vec<SelectedDraw>,
+}
+
+/// A weighted subset of a workload: representative frames (one or a few per
+/// detected phase), each reduced to its cluster-representative draws.
+///
+/// Replaying the subset on a simulator and scaling by the weights estimates
+/// the parent workload's time at a fraction of the simulation cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSubset {
+    /// Name of the parent workload.
+    pub workload_name: String,
+    parent_frames: usize,
+    parent_draws: usize,
+    frames: Vec<SelectedFrame>,
+}
+
+impl WorkloadSubset {
+    /// Assembles a subset from the phase analysis and per-frame
+    /// clusterings: for each phase, the `frames_per_phase` most *typical*
+    /// frames are selected (closest shader-usage histogram to the phase
+    /// aggregate), weighted by the phase's total work, and each kept frame
+    /// is reduced to its cluster representatives (weighted by cluster
+    /// sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusterings` does not cover every workload frame or
+    /// `frames_per_phase` is zero.
+    pub fn build(
+        workload: &Workload,
+        phases: &PhaseAnalysis,
+        clusterings: &[FrameClustering],
+        frames_per_phase: usize,
+    ) -> Self {
+        assert!(frames_per_phase > 0, "frames per phase must be positive");
+        assert_eq!(
+            clusterings.len(),
+            workload.frames().len(),
+            "need one clustering per frame"
+        );
+        let mut frames = Vec::new();
+        for phase in &phases.phases {
+            let phase_frames: Vec<usize> = phase
+                .intervals
+                .iter()
+                .flat_map(|&i| phases.intervals[i].frames())
+                .collect();
+            // A phase's intervals share shaders but not load: a revisit can
+            // mix quiet exploration with heavy combat. Weighting kept
+            // frames by a *cost proxy* built only from API-observable
+            // quantities (shaded pixels, vertices, draw count) normalises
+            // that load difference while staying µarch-independent.
+            let phase_work: f64 = phase_frames.iter().map(|&f| frame_work_proxy(workload, f)).sum();
+            let chosen =
+                select_typical_frames(workload, &phase_frames, frames_per_phase);
+            let chosen_work: f64 = chosen.iter().map(|&f| frame_work_proxy(workload, f)).sum();
+            let weight = if chosen_work == 0.0 {
+                0.0
+            } else {
+                phase_work / chosen_work
+            };
+            for frame_index in chosen {
+                let clustering = &clusterings[frame_index];
+                let draws = clustering
+                    .clusters
+                    .iter()
+                    .map(|c| SelectedDraw {
+                        draw_index: c.representative,
+                        weight: c.len() as f64,
+                    })
+                    .collect::<Vec<_>>();
+                let mut draws = draws;
+                draws.sort_by_key(|d| d.draw_index);
+                frames.push(SelectedFrame {
+                    frame_index,
+                    weight,
+                    draws,
+                });
+            }
+        }
+        frames.sort_by_key(|f| f.frame_index);
+        WorkloadSubset {
+            workload_name: workload.name.clone(),
+            parent_frames: workload.frames().len(),
+            parent_draws: workload.total_draws(),
+            frames,
+        }
+    }
+
+    /// The selected frames, in trace order.
+    pub fn frames(&self) -> &[SelectedFrame] {
+        &self.frames
+    }
+
+    /// Total draws kept in the subset (the simulations a subset replay
+    /// costs).
+    pub fn selected_draw_count(&self) -> usize {
+        self.frames.iter().map(|f| f.draws.len()).sum()
+    }
+
+    /// Subset size as a fraction of parent draws — the paper's "< 1 % of
+    /// parent workload" measure.
+    pub fn draw_fraction(&self) -> f64 {
+        if self.parent_draws == 0 {
+            return 0.0;
+        }
+        self.selected_draw_count() as f64 / self.parent_draws as f64
+    }
+
+    /// Kept frames as a fraction of parent frames.
+    pub fn frame_fraction(&self) -> f64 {
+        if self.parent_frames == 0 {
+            return 0.0;
+        }
+        self.frames.len() as f64 / self.parent_frames as f64
+    }
+
+    /// Replays the subset on a simulator, returning the weighted estimate
+    /// of the parent workload's total time in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::SubsetMismatch`] when the subset references
+    /// frames or draws the workload does not have, and propagates simulator
+    /// errors.
+    pub fn replay(&self, workload: &Workload, sim: &Simulator) -> Result<f64, SubsetError> {
+        Ok(self.replay_detailed(workload, sim)?.estimated_ns)
+    }
+
+    /// Replays the subset and returns the full weighted per-draw cost
+    /// structure, for estimators beyond time (energy, bandwidth, stage
+    /// utilisation).
+    ///
+    /// Each kept frame is materialised as a mini-frame of its
+    /// representative draws (in submission order) so replay pays realistic
+    /// cross-draw cache context, then every draw's cost is scaled by its
+    /// cluster weight and the frame total by its phase weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::SubsetMismatch`] when the subset references
+    /// frames or draws the workload does not have, and propagates simulator
+    /// errors.
+    pub fn replay_detailed(
+        &self,
+        workload: &Workload,
+        sim: &Simulator,
+    ) -> Result<SubsetReplay, SubsetError> {
+        let mut frames = Vec::with_capacity(self.frames.len());
+        let mut total = 0.0;
+        for sf in &self.frames {
+            let frame = workload.frames().get(sf.frame_index).ok_or_else(|| {
+                SubsetError::SubsetMismatch {
+                    reason: format!("frame {} not in workload", sf.frame_index),
+                }
+            })?;
+            let mut draws = Vec::with_capacity(sf.draws.len());
+            for sd in &sf.draws {
+                let draw = frame.draws().get(sd.draw_index).ok_or_else(|| {
+                    SubsetError::SubsetMismatch {
+                        reason: format!(
+                            "draw {} not in frame {}",
+                            sd.draw_index, sf.frame_index
+                        ),
+                    }
+                })?;
+                draws.push(draw.clone());
+            }
+            let mini = Frame::new(frame.id, draws);
+            let cost = sim.simulate_frame(&mini, workload)?;
+            let weighted: Vec<(f64, DrawCost)> = cost
+                .draws
+                .iter()
+                .zip(&sf.draws)
+                .map(|(c, sd)| (sd.weight, *c))
+                .collect();
+            let frame_estimate: f64 = weighted.iter().map(|(w, c)| c.time_ns * w).sum();
+            total += frame_estimate * sf.weight;
+            frames.push(ReplayedFrame {
+                frame_index: sf.frame_index,
+                frame_weight: sf.weight,
+                draws: weighted,
+            });
+        }
+        Ok(SubsetReplay {
+            frames,
+            estimated_ns: total,
+        })
+    }
+
+    /// Consistency check against a workload: every reference resolves and
+    /// weights are positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::SubsetMismatch`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self, workload: &Workload) -> Result<(), SubsetError> {
+        for sf in &self.frames {
+            let frame = workload.frames().get(sf.frame_index).ok_or_else(|| {
+                SubsetError::SubsetMismatch {
+                    reason: format!("frame {} not in workload", sf.frame_index),
+                }
+            })?;
+            if sf.weight <= 0.0 {
+                return Err(SubsetError::SubsetMismatch {
+                    reason: format!("frame {} has non-positive weight", sf.frame_index),
+                });
+            }
+            for sd in &sf.draws {
+                if sd.draw_index >= frame.draw_count() {
+                    return Err(SubsetError::SubsetMismatch {
+                        reason: format!(
+                            "draw {} not in frame {}",
+                            sd.draw_index, sf.frame_index
+                        ),
+                    });
+                }
+                if sd.weight <= 0.0 {
+                    return Err(SubsetError::SubsetMismatch {
+                        reason: format!(
+                            "draw {} in frame {} has non-positive weight",
+                            sd.draw_index, sf.frame_index
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Micro-architecture-independent per-frame work proxy: expected shaded
+/// pixels plus vertex work plus a fixed per-draw overhead, in comparable
+/// "pixel-equivalent" units. Purely a function of the trace.
+fn frame_work_proxy(workload: &Workload, frame_index: usize) -> f64 {
+    workload.frames()[frame_index]
+        .draws()
+        .iter()
+        .map(|d| d.shaded_pixels() + 0.2 * d.vertex_invocations() as f64 + 2_000.0)
+        .sum()
+}
+
+/// Picks up to `count` frames that are most *typical* of a phase: the
+/// frames whose per-pixel-shader draw distribution is closest (L1) to the
+/// phase's aggregate distribution. Shader-usage histograms are
+/// API-observable, so the selection stays micro-architecture independent.
+fn select_typical_frames(
+    workload: &Workload,
+    phase_frames: &[usize],
+    count: usize,
+) -> Vec<usize> {
+    use std::collections::BTreeMap;
+    if phase_frames.is_empty() {
+        return Vec::new();
+    }
+    let histogram = |frame: &Frame| {
+        let mut h: BTreeMap<subset3d_trace::ShaderId, f64> = BTreeMap::new();
+        for d in frame.draws() {
+            *h.entry(d.pixel_shader).or_default() += 1.0;
+        }
+        let total: f64 = h.values().sum();
+        if total > 0.0 {
+            for v in h.values_mut() {
+                *v /= total;
+            }
+        }
+        h
+    };
+    // Phase-aggregate distribution.
+    let mut aggregate: BTreeMap<subset3d_trace::ShaderId, f64> = BTreeMap::new();
+    let mut total = 0.0;
+    for &f in phase_frames {
+        for d in workload.frames()[f].draws() {
+            *aggregate.entry(d.pixel_shader).or_default() += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for v in aggregate.values_mut() {
+            *v /= total;
+        }
+    }
+    let mean_draws = total / phase_frames.len() as f64;
+
+    let mut scored: Vec<(f64, usize)> = phase_frames
+        .iter()
+        .map(|&f| {
+            let frame = &workload.frames()[f];
+            let h = histogram(frame);
+            let mut l1 = 0.0;
+            for (id, &p) in &aggregate {
+                l1 += (p - h.get(id).copied().unwrap_or(0.0)).abs();
+            }
+            for (id, &p) in &h {
+                if !aggregate.contains_key(id) {
+                    l1 += p;
+                }
+            }
+            // Penalise atypical load so the kept frame also has typical
+            // draw volume (volume scaling in the weight is exact, but a
+            // typical frame keeps the cost-per-draw mix honest too).
+            let volume = if mean_draws > 0.0 {
+                ((frame.draw_count() as f64 / mean_draws).ln()).abs()
+            } else {
+                0.0
+            };
+            (l1 + 0.5 * volume, f)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    let mut out: Vec<usize> = scored.into_iter().take(count.max(1)).map(|(_, f)| f).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SubsetConfig;
+    use crate::drawcluster::cluster_frame;
+    use crate::phase::PhaseDetector;
+    use subset3d_gpusim::ArchConfig;
+    use subset3d_trace::gen::GameProfile;
+
+    fn setup() -> (Workload, PhaseAnalysis, Vec<FrameClustering>) {
+        let w = GameProfile::shooter("t").frames(40).draws_per_frame(60).build(17).generate();
+        let phases = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let config = SubsetConfig::default();
+        let clusterings: Vec<FrameClustering> =
+            w.frames().iter().map(|f| cluster_frame(f, &w, &config)).collect();
+        (w, phases, clusterings)
+    }
+
+    #[test]
+    fn subset_is_much_smaller_than_parent() {
+        let (w, phases, clusterings) = setup();
+        let subset = WorkloadSubset::build(&w, &phases, &clusterings, 1);
+        assert!(subset.frame_fraction() < 0.5);
+        assert!(subset.draw_fraction() < 0.5);
+        assert!(subset.selected_draw_count() > 0);
+        subset.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn weights_account_for_whole_parent() {
+        let (w, phases, clusterings) = setup();
+        let subset = WorkloadSubset::build(&w, &phases, &clusterings, 1);
+        // Frame weights are in work-proxy units: each kept frame's weight
+        // times its work proxy, summed, recovers the parent's total work.
+        let weighted_work: f64 = subset
+            .frames()
+            .iter()
+            .map(|f| f.weight * frame_work_proxy(&w, f.frame_index))
+            .sum();
+        let parent_work: f64 = (0..w.frames().len()).map(|f| frame_work_proxy(&w, f)).sum();
+        assert!(
+            (weighted_work - parent_work).abs() / parent_work < 1e-9,
+            "{weighted_work} vs {parent_work}"
+        );
+        // Draw weights within a kept frame sum to that frame's draw count.
+        for sf in subset.frames() {
+            let dw: f64 = sf.draws.iter().map(|d| d.weight).sum();
+            assert!((dw - w.frames()[sf.frame_index].draw_count() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn replay_estimates_parent_time() {
+        let (w, phases, clusterings) = setup();
+        let subset = WorkloadSubset::build(&w, &phases, &clusterings, 1);
+        let sim = Simulator::new(ArchConfig::baseline());
+        let estimate = subset.replay(&w, &sim).unwrap();
+        let actual = sim.simulate_workload(&w).unwrap().total_ns;
+        let error = (estimate - actual).abs() / actual;
+        assert!(error < 0.35, "subset estimate off by {:.1}%", error * 100.0);
+    }
+
+    #[test]
+    fn more_frames_per_phase_grows_subset() {
+        let (w, phases, clusterings) = setup();
+        let one = WorkloadSubset::build(&w, &phases, &clusterings, 1);
+        let three = WorkloadSubset::build(&w, &phases, &clusterings, 3);
+        assert!(three.frames().len() >= one.frames().len());
+        assert!(three.draw_fraction() >= one.draw_fraction());
+        three.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn replay_on_wrong_workload_is_mismatch() {
+        let (w, phases, clusterings) = setup();
+        let subset = WorkloadSubset::build(&w, &phases, &clusterings, 1);
+        let tiny = GameProfile::shooter("other").frames(2).draws_per_frame(5).build(1).generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+        assert!(matches!(
+            subset.replay(&tiny, &sim),
+            Err(SubsetError::SubsetMismatch { .. }) | Err(SubsetError::Simulation(_))
+        ));
+    }
+
+    #[test]
+    fn typical_frames_prefer_majority_composition() {
+        // Frames 0..3 share one composition; frame 3 is an outlier with a
+        // very different draw count — selection must prefer the majority.
+        let w = GameProfile::shooter("t").frames(20).draws_per_frame(80).build(31).generate();
+        let all: Vec<usize> = (0..w.frames().len()).collect();
+        let chosen = select_typical_frames(&w, &all, 2);
+        assert_eq!(chosen.len(), 2);
+        assert!(chosen.iter().all(|&f| f < w.frames().len()));
+        // Deterministic and sorted.
+        assert_eq!(chosen, {
+            let mut c = select_typical_frames(&w, &all, 2);
+            c.sort_unstable();
+            c
+        });
+    }
+
+    #[test]
+    fn typical_frames_handles_edge_cases() {
+        let w = GameProfile::shooter("t").frames(5).draws_per_frame(20).build(32).generate();
+        assert!(select_typical_frames(&w, &[], 3).is_empty());
+        let single = select_typical_frames(&w, &[2], 3);
+        assert_eq!(single, vec![2]);
+        // Requesting more frames than exist returns what exists.
+        let all: Vec<usize> = (0..5).collect();
+        assert_eq!(select_typical_frames(&w, &all, 99).len(), 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests on the methodology layer: prediction identities, subset
+//! weight accounting and phase bookkeeping on arbitrary profiles.
+
+use proptest::prelude::*;
+use subset3d_core::{
+    cluster_frame, predict_frame, ClusterMethod, PhaseDetector, SubsetConfig, Subsetter,
+};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::GameProfile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Zero-threshold clustering groups only feature-identical draws, whose
+    /// simulated costs differ only through cache context — so the frame
+    /// error stays tiny on every profile.
+    #[test]
+    fn zero_threshold_error_is_contextual_only(seed in 0u64..500) {
+        let w = GameProfile::shooter("prop").frames(3).draws_per_frame(80).build(seed).generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let config = SubsetConfig::default()
+            .with_cluster_method(ClusterMethod::Threshold { distance: 0.0 });
+        for frame in w.frames() {
+            let clustering = cluster_frame(frame, &w, &config);
+            let cost = sim.simulate_frame(frame, &w).unwrap();
+            let p = predict_frame(&clustering, &cost);
+            prop_assert!(p.error() < 0.02, "seed {seed}: error {}", p.error());
+        }
+    }
+
+    /// Phase bookkeeping is a partition of intervals for every profile and
+    /// interval length.
+    #[test]
+    fn phase_analysis_is_always_a_partition(
+        seed in 0u64..500,
+        frames in 4usize..16,
+        interval in 1usize..6,
+    ) {
+        let w = GameProfile::racing("prop").frames(frames).draws_per_frame(25).build(seed).generate();
+        let analysis = PhaseDetector::new(interval).with_similarity(0.85).detect(&w).unwrap();
+        prop_assert_eq!(analysis.interval_phase.len(), analysis.intervals.len());
+        let covered: usize = analysis.phases.iter().map(|p| p.intervals.len()).sum();
+        prop_assert_eq!(covered, analysis.intervals.len());
+        let frame_total: usize = analysis.intervals.iter().map(|iv| iv.len).sum();
+        prop_assert_eq!(frame_total, frames);
+        prop_assert!((0.0..=1.0).contains(&analysis.repeat_coverage()));
+        prop_assert!(analysis.compression() > 0.0 && analysis.compression() <= 1.0);
+    }
+
+    /// The end-to-end pipeline's subset always validates and its replay is
+    /// positive and finite, for any small profile.
+    #[test]
+    fn pipeline_subset_always_replayable(
+        seed in 0u64..500,
+        frames in 4usize..12,
+        interval in 2usize..5,
+    ) {
+        let w = GameProfile::rts("prop").frames(frames).draws_per_frame(40).build(seed).generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let config = SubsetConfig::default().with_interval_len(interval);
+        let outcome = Subsetter::new(config).run(&w, &sim).unwrap();
+        outcome.subset.validate(&w).unwrap();
+        let estimate = outcome.subset.replay(&w, &sim).unwrap();
+        prop_assert!(estimate.is_finite() && estimate > 0.0);
+        // The estimate is within a loose factor of truth even on tiny
+        // stochastic workloads.
+        let actual = sim.simulate_workload(&w).unwrap().total_ns;
+        let ratio = estimate / actual;
+        prop_assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

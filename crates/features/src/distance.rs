@@ -1,0 +1,102 @@
+//! Distance metrics over feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Euclidean (L2) distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let d = subset3d_features::euclidean(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 5.0);
+/// ```
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Manhattan (L1) distance between two equal-length slices.
+///
+/// # Examples
+///
+/// ```
+/// let d = subset3d_features::manhattan(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 7.0);
+/// ```
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// A selectable distance metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Euclidean (L2).
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Computes the metric between two vectors.
+    pub fn compute(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => euclidean(a, b),
+            DistanceMetric::Manhattan => manhattan(a, b),
+        }
+    }
+}
+
+impl Default for DistanceMetric {
+    fn default() -> Self {
+        DistanceMetric::Euclidean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(euclidean(&v, &v), 0.0);
+        assert_eq!(manhattan(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, 2.0];
+        let b = [-1.0, 5.0];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+        assert_eq!(manhattan(&a, &b), manhattan(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, 0.0];
+        assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn l1_at_least_l2() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, -3.0];
+        assert!(manhattan(&a, &b) >= euclidean(&a, &b));
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let a = [0.0];
+        let b = [2.0];
+        assert_eq!(DistanceMetric::Euclidean.compute(&a, &b), 2.0);
+        assert_eq!(DistanceMetric::Manhattan.compute(&a, &b), 2.0);
+        assert_eq!(DistanceMetric::default(), DistanceMetric::Euclidean);
+    }
+}

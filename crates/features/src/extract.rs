@@ -1,0 +1,166 @@
+//! Feature extraction from draw-calls.
+
+use crate::kind::FeatureKind;
+use crate::matrix::FeatureMatrix;
+use crate::vector::FeatureVector;
+use subset3d_trace::{DepthMode, DrawCall, Frame, InstructionMix, Workload};
+
+/// log₂(1 + x): the transform applied to size-like features.
+fn log2p1(x: f64) -> f64 {
+    (1.0 + x.max(0.0)).log2()
+}
+
+fn mix_total(mix: &InstructionMix) -> f64 {
+    f64::from(mix.total())
+}
+
+/// Extracts one feature value for a draw.
+fn feature_value(kind: FeatureKind, draw: &DrawCall, workload: &Workload) -> f64 {
+    let shaders = workload.shaders();
+    let vs_mix = shaders.get(draw.vertex_shader).map(|p| p.mix).unwrap_or_default();
+    let ps_mix = shaders.get(draw.pixel_shader).map(|p| p.mix).unwrap_or_default();
+    match kind {
+        FeatureKind::VertexCount => log2p1(draw.vertex_invocations() as f64),
+        FeatureKind::PrimitiveCount => log2p1(draw.primitives() as f64),
+        FeatureKind::InstanceCount => log2p1(f64::from(draw.instance_count)),
+        FeatureKind::AvgPrimitiveArea => log2p1(draw.avg_primitive_area()),
+        FeatureKind::VsInstructions => log2p1(mix_total(&vs_mix)),
+        FeatureKind::PsInstructions => log2p1(mix_total(&ps_mix)),
+        FeatureKind::PsTranscendental => f64::from(ps_mix.transcendental),
+        FeatureKind::PsControlFlowRatio => ps_mix.control_flow_ratio(),
+        FeatureKind::PsTextureSamples => f64::from(ps_mix.texture_samples),
+        FeatureKind::TextureCount => draw.textures.len() as f64,
+        FeatureKind::TextureFootprint => {
+            log2p1(workload.textures().combined_footprint(&draw.textures))
+        }
+        FeatureKind::TexelLocality => draw.texel_locality,
+        FeatureKind::Coverage => (draw.coverage.max(1e-6)).log2(),
+        FeatureKind::Overdraw => draw.overdraw,
+        FeatureKind::ZPassRate => draw.z_pass_rate,
+        FeatureKind::ShadedPixels => log2p1(draw.shaded_pixels()),
+        FeatureKind::BlendCost => {
+            if draw.blend.reads_destination() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        FeatureKind::DepthCost => match draw.depth {
+            DepthMode::Disabled => 0.0,
+            DepthMode::TestOnly => 0.5,
+            DepthMode::TestAndWrite => 1.0,
+        },
+        FeatureKind::RenderTargetPixels => log2p1(draw.render_target.pixels() as f64),
+    }
+}
+
+/// Extracts the feature vector of one draw.
+///
+/// Shader references that dangle extract as zero-instruction mixes; trace
+/// validation reports them separately, so extraction never fails.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_features::{extract_draw_features, FeatureKind};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(1).draws_per_frame(10).build(1).generate();
+/// let draw = &w.frames()[0].draws()[0];
+/// let v = extract_draw_features(draw, &w, &FeatureKind::standard_set());
+/// assert_eq!(v.dim(), FeatureKind::ALL.len());
+/// ```
+pub fn extract_draw_features(
+    draw: &DrawCall,
+    workload: &Workload,
+    kinds: &[FeatureKind],
+) -> FeatureVector {
+    FeatureVector::new(kinds.iter().map(|&k| feature_value(k, draw, workload)).collect())
+}
+
+/// Extracts the feature matrix of every draw in a frame (one row per draw,
+/// in submission order).
+pub fn extract_frame_features(
+    frame: &Frame,
+    workload: &Workload,
+    kinds: Vec<FeatureKind>,
+) -> FeatureMatrix {
+    let mut matrix = FeatureMatrix::with_capacity(kinds, frame.draw_count());
+    for draw in frame.draws() {
+        let row: Vec<f64> = matrix
+            .kinds()
+            .to_vec()
+            .iter()
+            .map(|&k| feature_value(k, draw, workload))
+            .collect();
+        matrix.push_row(&row);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload() -> Workload {
+        GameProfile::shooter("t").frames(2).draws_per_frame(40).build(6).generate()
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let w = workload();
+        for frame in w.frames() {
+            for draw in frame.draws() {
+                let v = extract_draw_features(draw, &w, &FeatureKind::standard_set());
+                assert!(v.as_slice().iter().all(|x| x.is_finite()), "{draw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_material_same_shader_features() {
+        // Draws sharing a material share shaders, so shader-derived
+        // features must match exactly.
+        let w = workload();
+        let frame = &w.frames()[1];
+        let kinds = vec![FeatureKind::PsInstructions, FeatureKind::VsInstructions];
+        let mut by_material: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+        for draw in frame.draws() {
+            let v = extract_draw_features(draw, &w, &kinds);
+            let entry = by_material.entry(draw.material_tag).or_insert_with(|| v.as_slice().to_vec());
+            assert_eq!(entry.as_slice(), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn matrix_matches_per_draw_extraction() {
+        let w = workload();
+        let frame = &w.frames()[0];
+        let kinds = FeatureKind::standard_set();
+        let m = extract_frame_features(frame, &w, kinds.clone());
+        assert_eq!(m.rows(), frame.draw_count());
+        for (i, draw) in frame.draws().iter().enumerate() {
+            let v = extract_draw_features(draw, &w, &kinds);
+            assert_eq!(m.row(i), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn dangling_shader_extracts_zero_mix() {
+        let w = workload();
+        let mut draw = w.frames()[0].draws()[0].clone();
+        draw.pixel_shader = subset3d_trace::ShaderId(60_000);
+        let v = extract_draw_features(&draw, &w, &[FeatureKind::PsInstructions]);
+        assert_eq!(v.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn coverage_feature_is_log_domain() {
+        let w = workload();
+        let mut draw = w.frames()[0].draws()[0].clone();
+        draw.coverage = 0.25;
+        let v = extract_draw_features(&draw, &w, &[FeatureKind::Coverage]);
+        assert!((v.as_slice()[0] - (-2.0)).abs() < 1e-12);
+    }
+}

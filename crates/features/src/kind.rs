@@ -1,0 +1,198 @@
+//! The feature vocabulary: every MAI characteristic the pipeline can extract.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad group a feature belongs to, used by the ablation experiment (E9)
+/// to drop whole groups at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// Geometry volume: vertices, primitives, instances.
+    Geometry,
+    /// Shader program complexity.
+    Shading,
+    /// Texture binding and sampling behaviour.
+    Texturing,
+    /// Rasterisation footprint: coverage, overdraw, depth behaviour.
+    Raster,
+    /// Fixed-function output state.
+    State,
+}
+
+/// One micro-architecture-independent draw-call characteristic.
+///
+/// Size-like features are log-scaled during extraction (see
+/// [`FeatureKind::is_log_scaled`]) because draw-call magnitudes span five
+/// orders of magnitude and Euclidean clustering on raw counts would be
+/// dominated by the largest draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// log₂ of vertex-shader invocations (vertices × instances).
+    VertexCount,
+    /// log₂ of submitted primitives.
+    PrimitiveCount,
+    /// log₂ of the instance count.
+    InstanceCount,
+    /// log₂ of average rasterised area per primitive, pixels.
+    AvgPrimitiveArea,
+    /// log₂ of total vertex-shader instructions per invocation.
+    VsInstructions,
+    /// log₂ of total pixel-shader instructions per invocation.
+    PsInstructions,
+    /// Transcendental ops per pixel-shader invocation.
+    PsTranscendental,
+    /// Control-flow fraction of the pixel shader.
+    PsControlFlowRatio,
+    /// Texture samples per pixel-shader invocation.
+    PsTextureSamples,
+    /// Number of bound textures.
+    TextureCount,
+    /// log₂ of the combined bound-texture footprint in bytes.
+    TextureFootprint,
+    /// Texture-sampling spatial locality, `0..=1`.
+    TexelLocality,
+    /// log₂ of render-target coverage (floored at 1e-6).
+    Coverage,
+    /// Average shading depth complexity.
+    Overdraw,
+    /// Early-Z pass rate, `0..=1`.
+    ZPassRate,
+    /// log₂ of expected shaded pixels.
+    ShadedPixels,
+    /// Whether blending reads the destination (`0` or `1`).
+    BlendCost,
+    /// Depth mode as an ordinal (`0` disabled, `0.5` test, `1` test+write).
+    DepthCost,
+    /// log₂ of render-target pixel count.
+    RenderTargetPixels,
+}
+
+impl FeatureKind {
+    /// Every feature, in the canonical order.
+    pub const ALL: [FeatureKind; 19] = [
+        FeatureKind::VertexCount,
+        FeatureKind::PrimitiveCount,
+        FeatureKind::InstanceCount,
+        FeatureKind::AvgPrimitiveArea,
+        FeatureKind::VsInstructions,
+        FeatureKind::PsInstructions,
+        FeatureKind::PsTranscendental,
+        FeatureKind::PsControlFlowRatio,
+        FeatureKind::PsTextureSamples,
+        FeatureKind::TextureCount,
+        FeatureKind::TextureFootprint,
+        FeatureKind::TexelLocality,
+        FeatureKind::Coverage,
+        FeatureKind::Overdraw,
+        FeatureKind::ZPassRate,
+        FeatureKind::ShadedPixels,
+        FeatureKind::BlendCost,
+        FeatureKind::DepthCost,
+        FeatureKind::RenderTargetPixels,
+    ];
+
+    /// The full standard feature set the paper-style clustering uses.
+    pub fn standard_set() -> Vec<FeatureKind> {
+        Self::ALL.to_vec()
+    }
+
+    /// The group the feature belongs to.
+    pub fn group(self) -> FeatureGroup {
+        match self {
+            FeatureKind::VertexCount
+            | FeatureKind::PrimitiveCount
+            | FeatureKind::InstanceCount
+            | FeatureKind::AvgPrimitiveArea => FeatureGroup::Geometry,
+            FeatureKind::VsInstructions
+            | FeatureKind::PsInstructions
+            | FeatureKind::PsTranscendental
+            | FeatureKind::PsControlFlowRatio => FeatureGroup::Shading,
+            FeatureKind::PsTextureSamples
+            | FeatureKind::TextureCount
+            | FeatureKind::TextureFootprint
+            | FeatureKind::TexelLocality => FeatureGroup::Texturing,
+            FeatureKind::Coverage
+            | FeatureKind::Overdraw
+            | FeatureKind::ZPassRate
+            | FeatureKind::ShadedPixels => FeatureGroup::Raster,
+            FeatureKind::BlendCost | FeatureKind::DepthCost | FeatureKind::RenderTargetPixels => {
+                FeatureGroup::State
+            }
+        }
+    }
+
+    /// Relative weight of the feature in clustering distance, reflecting
+    /// how strongly it drives draw cost on typical GPUs. Weighting is
+    /// itself micro-architecture independent — it encodes "shaded pixels
+    /// matter more than depth state", not any machine's parameters — and
+    /// measurably improves the error-vs-efficiency frontier (ablation E9).
+    pub fn cost_weight(self) -> f64 {
+        match self {
+            FeatureKind::ShadedPixels => 2.0,
+            FeatureKind::VertexCount => 1.5,
+            FeatureKind::PsInstructions => 1.5,
+            FeatureKind::Coverage => 1.25,
+            FeatureKind::PsTextureSamples => 1.25,
+            FeatureKind::AvgPrimitiveArea
+            | FeatureKind::VsInstructions
+            | FeatureKind::TextureFootprint
+            | FeatureKind::TexelLocality
+            | FeatureKind::BlendCost => 1.0,
+            FeatureKind::PrimitiveCount | FeatureKind::Overdraw | FeatureKind::ZPassRate => 0.75,
+            FeatureKind::InstanceCount
+            | FeatureKind::PsTranscendental
+            | FeatureKind::PsControlFlowRatio
+            | FeatureKind::TextureCount
+            | FeatureKind::DepthCost
+            | FeatureKind::RenderTargetPixels => 0.5,
+        }
+    }
+
+    /// Whether the feature is extracted in log₂ space.
+    pub fn is_log_scaled(self) -> bool {
+        matches!(
+            self,
+            FeatureKind::VertexCount
+                | FeatureKind::PrimitiveCount
+                | FeatureKind::InstanceCount
+                | FeatureKind::AvgPrimitiveArea
+                | FeatureKind::VsInstructions
+                | FeatureKind::PsInstructions
+                | FeatureKind::TextureFootprint
+                | FeatureKind::Coverage
+                | FeatureKind::ShadedPixels
+                | FeatureKind::RenderTargetPixels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_features_unique() {
+        let set: std::collections::BTreeSet<_> = FeatureKind::ALL.iter().collect();
+        assert_eq!(set.len(), FeatureKind::ALL.len());
+    }
+
+    #[test]
+    fn every_group_is_populated() {
+        use FeatureGroup::*;
+        for group in [Geometry, Shading, Texturing, Raster, State] {
+            let n = FeatureKind::ALL.iter().filter(|k| k.group() == group).count();
+            assert!(n >= 3, "{group:?} has only {n} features");
+        }
+    }
+
+    #[test]
+    fn standard_set_is_all() {
+        assert_eq!(FeatureKind::standard_set().len(), FeatureKind::ALL.len());
+    }
+
+    #[test]
+    fn log_scaling_marks_size_features() {
+        assert!(FeatureKind::VertexCount.is_log_scaled());
+        assert!(!FeatureKind::TexelLocality.is_log_scaled());
+        assert!(!FeatureKind::BlendCost.is_log_scaled());
+    }
+}

@@ -1,0 +1,56 @@
+//! Feature-set selection for the ablation experiment.
+
+use crate::kind::{FeatureGroup, FeatureKind};
+
+/// Returns `kinds` with every feature of `group` removed — the unit of the
+/// feature-ablation experiment (E9): re-run clustering with one group
+/// dropped and measure how prediction error degrades.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_features::{drop_group, FeatureGroup, FeatureKind};
+///
+/// let kinds = FeatureKind::standard_set();
+/// let without_raster = drop_group(&kinds, FeatureGroup::Raster);
+/// assert!(without_raster.len() < kinds.len());
+/// assert!(without_raster.iter().all(|k| k.group() != FeatureGroup::Raster));
+/// ```
+pub fn drop_group(kinds: &[FeatureKind], group: FeatureGroup) -> Vec<FeatureKind> {
+    kinds.iter().copied().filter(|k| k.group() != group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropping_every_group_empties_the_set() {
+        use FeatureGroup::*;
+        let mut kinds = FeatureKind::standard_set();
+        for group in [Geometry, Shading, Texturing, Raster, State] {
+            kinds = drop_group(&kinds, group);
+        }
+        assert!(kinds.is_empty());
+    }
+
+    #[test]
+    fn drop_preserves_order() {
+        let kinds = FeatureKind::standard_set();
+        let dropped = drop_group(&kinds, FeatureGroup::Shading);
+        let positions: Vec<usize> = dropped
+            .iter()
+            .map(|k| kinds.iter().position(|x| x == k).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dropping_absent_group_is_identity() {
+        let geometry_only: Vec<FeatureKind> = FeatureKind::standard_set()
+            .into_iter()
+            .filter(|k| k.group() == FeatureGroup::Geometry)
+            .collect();
+        assert_eq!(drop_group(&geometry_only, FeatureGroup::State), geometry_only);
+    }
+}

@@ -1,0 +1,87 @@
+//! Feature vectors: one row of a feature matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense feature vector. The feature schema (which position means which
+/// [`crate::FeatureKind`]) lives on the owning [`crate::FeatureMatrix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Wraps raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        FeatureVector { values }
+    }
+
+    /// Dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The components as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the vector, returning the raw values.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Euclidean norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl From<Vec<f64>> for FeatureVector {
+    fn from(values: Vec<f64>) -> Self {
+        FeatureVector::new(values)
+    }
+}
+
+impl AsRef<[f64]> for FeatureVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = FeatureVector::new(vec![3.0, 4.0]);
+        assert_eq!(v.dim(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.as_slice(), &[3.0, 4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.into_inner(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = FeatureVector::new(Vec::new());
+        assert!(v.is_empty());
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn from_vec() {
+        let v: FeatureVector = vec![1.0].into();
+        assert_eq!(v.dim(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Silicon-area model and Pareto utilities for design-space exploration.
+//!
+//! Pathfinding does not just rank designs by speed — it trades performance
+//! against cost. This module provides a first-order additive area model
+//! (the standard early-pathfinding abstraction: area ∝ units and SRAM
+//! capacity) and the Pareto-front extraction used to present the
+//! performance/area trade-off.
+
+use crate::config::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// First-order area model coefficients, in mm² per unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// mm² per execution unit (scaled by SIMD width / 8).
+    pub mm2_per_eu: f64,
+    /// mm² per texture-sample/clock of sampler throughput.
+    pub mm2_per_tex_rate: f64,
+    /// mm² per pixel/clock of ROP throughput.
+    pub mm2_per_rop: f64,
+    /// mm² per pixel/clock of rasteriser throughput.
+    pub mm2_per_raster: f64,
+    /// mm² per KiB of cache SRAM (texture cache + L2).
+    pub mm2_per_cache_kib: f64,
+    /// mm² per byte/clock of memory bus width (PHY + controller lanes).
+    pub mm2_per_bus_byte: f64,
+    /// Fixed overhead: command processor, display.
+    pub mm2_fixed: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            mm2_per_eu: 1.3,
+            mm2_per_tex_rate: 0.5,
+            mm2_per_rop: 0.6,
+            mm2_per_raster: 0.15,
+            mm2_per_cache_kib: 0.012,
+            mm2_per_bus_byte: 0.45,
+            mm2_fixed: 12.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Estimated die area of a configuration in mm².
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subset3d_gpusim::{AreaModel, ArchConfig};
+    ///
+    /// let model = AreaModel::default();
+    /// let small = model.area_mm2(&ArchConfig::small());
+    /// let large = model.area_mm2(&ArchConfig::large());
+    /// assert!(large > small);
+    /// ```
+    pub fn area_mm2(&self, config: &ArchConfig) -> f64 {
+        let eu = f64::from(config.eu_count) * f64::from(config.simd_width) / 8.0;
+        self.mm2_fixed
+            + eu * self.mm2_per_eu
+            + f64::from(config.tex_rate) * self.mm2_per_tex_rate
+            + f64::from(config.rop_rate) * self.mm2_per_rop
+            + f64::from(config.raster_rate) * self.mm2_per_raster
+            + f64::from(config.tex_cache_kib + config.l2_cache_kib) * self.mm2_per_cache_kib
+            + f64::from(config.mem_bus_bytes) * self.mm2_per_bus_byte
+    }
+}
+
+/// A design point positioned in the (area, time) plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Design name.
+    pub name: String,
+    /// Estimated area in mm².
+    pub area_mm2: f64,
+    /// Simulated (or subset-estimated) workload time in ns.
+    pub time_ns: f64,
+}
+
+/// Extracts the Pareto-optimal subset of design points (minimising both
+/// area and time). Returns indices into `points`, sorted by ascending area.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_gpusim::{pareto_front, DesignPoint};
+///
+/// let points = vec![
+///     DesignPoint { name: "a".into(), area_mm2: 10.0, time_ns: 100.0 },
+///     DesignPoint { name: "b".into(), area_mm2: 20.0, time_ns: 50.0 },
+///     DesignPoint { name: "c".into(), area_mm2: 25.0, time_ns: 60.0 }, // dominated by b
+/// ];
+/// assert_eq!(pareto_front(&points), vec![0, 1]);
+/// ```
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .area_mm2
+            .partial_cmp(&points[b].area_mm2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[a]
+                    .time_ns
+                    .partial_cmp(&points[b].time_ns)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_time = f64::INFINITY;
+    for &i in &order {
+        if points[i].time_ns < best_time {
+            front.push(i);
+            best_time = points[i].time_ns;
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, area: f64, time: f64) -> DesignPoint {
+        DesignPoint {
+            name: name.into(),
+            area_mm2: area,
+            time_ns: time,
+        }
+    }
+
+    #[test]
+    fn area_ordering_matches_intuition() {
+        let m = AreaModel::default();
+        let small = m.area_mm2(&ArchConfig::small());
+        let base = m.area_mm2(&ArchConfig::baseline());
+        let large = m.area_mm2(&ArchConfig::large());
+        assert!(small < base && base < large);
+        // speed-demon trades units for clock: smaller than baseline.
+        assert!(m.area_mm2(&ArchConfig::speed_demon()) < base);
+    }
+
+    #[test]
+    fn area_positive_for_all_candidates() {
+        let m = AreaModel::default();
+        for c in ArchConfig::pathfinding_candidates() {
+            assert!(m.area_mm2(&c) > m.mm2_fixed);
+        }
+    }
+
+    #[test]
+    fn pareto_removes_dominated_points() {
+        let pts = vec![
+            point("tiny-slow", 10.0, 200.0),
+            point("mid", 20.0, 100.0),
+            point("mid-bad", 22.0, 150.0), // dominated by mid
+            point("big-fast", 40.0, 40.0),
+            point("big-bad", 50.0, 45.0), // dominated by big-fast
+        ];
+        let front = pareto_front(&pts);
+        let names: Vec<&str> = front.iter().map(|&i| pts[i].name.as_str()).collect();
+        assert_eq!(names, vec!["tiny-slow", "mid", "big-fast"]);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let pts: Vec<DesignPoint> = (0..20)
+            .map(|i| point(&format!("p{i}"), (i * 7 % 13) as f64, (i * 11 % 17) as f64))
+            .collect();
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(pts[w[0]].area_mm2 <= pts[w[1]].area_mm2);
+            assert!(pts[w[0]].time_ns > pts[w[1]].time_ns);
+        }
+    }
+
+    #[test]
+    fn degenerate_fronts() {
+        assert!(pareto_front(&[]).is_empty());
+        let one = vec![point("only", 5.0, 5.0)];
+        assert_eq!(pareto_front(&one), vec![0]);
+        // Equal-area points: only the faster survives.
+        let tie = vec![point("a", 5.0, 10.0), point("b", 5.0, 8.0)];
+        assert_eq!(pareto_front(&tie), vec![1]);
+    }
+}

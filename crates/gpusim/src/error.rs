@@ -1,0 +1,52 @@
+//! Simulator error type.
+
+use std::fmt;
+use subset3d_trace::{DrawId, ShaderId};
+
+/// Error produced by the simulator on ill-formed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A draw references a shader the workload's library does not contain.
+    UnknownShader {
+        /// The offending draw.
+        draw: DrawId,
+        /// The dangling shader id.
+        shader: ShaderId,
+    },
+    /// The architecture configuration failed validation.
+    InvalidConfig {
+        /// Name of the offending configuration.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownShader { draw, shader } => {
+                write!(f, "draw {draw} references unknown shader {shader}")
+            }
+            SimError::InvalidConfig { name } => {
+                write!(f, "architecture configuration '{name}' is invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::UnknownShader {
+            draw: DrawId(3),
+            shader: ShaderId(9),
+        };
+        assert_eq!(e.to_string(), "draw d3 references unknown shader sh9");
+        let e = SimError::InvalidConfig { name: "x".into() };
+        assert!(e.to_string().contains("'x'"));
+    }
+}

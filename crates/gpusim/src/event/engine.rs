@@ -1,0 +1,174 @@
+//! The streaming-pipeline execution recurrence.
+//!
+//! GPUs stream work through their stages: the rasteriser starts consuming a
+//! draw's triangles long before vertex shading of that draw has finished.
+//! The recurrence models each stage as a unit that
+//!
+//! * processes draws in order, one at a time (`finish[i-1][s]` gate),
+//! * may start a draw a fill latency `δ` after the upstream stage started
+//!   it (`start[i][s-1] + δ` gate), and
+//! * cannot finish a draw before the upstream stage has
+//!   (`finish[i][s-1]` gate):
+//!
+//! ```text
+//! start[i][s]  = max(finish[i-1][s], start[i][s-1] + δ)
+//! finish[i][s] = max(start[i][s] + service[i][s], finish[i][s-1])
+//! ```
+//!
+//! With δ → 0 the makespan approaches the busiest stage's total service —
+//! full overlap — while the analytical model charges every draw its own
+//! bottleneck; comparing the two isolates that composition choice.
+
+use crate::event::stage::{PipeStage, ServiceTimes};
+
+/// Result of running a frame through the pipeline engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Frame makespan in nanoseconds.
+    pub total_ns: f64,
+    /// Total busy time per stage (utilisation numerator), indexed by
+    /// [`PipeStage::ORDER`].
+    pub stage_busy_ns: [f64; PipeStage::COUNT],
+    /// Number of draws executed.
+    pub draws: usize,
+}
+
+impl PipelineResult {
+    /// Utilisation of each stage over the frame makespan, in `0.0..=1.0`.
+    pub fn utilisation(&self) -> [f64; PipeStage::COUNT] {
+        let mut u = [0.0; PipeStage::COUNT];
+        if self.total_ns > 0.0 {
+            for (ui, &busy) in u.iter_mut().zip(&self.stage_busy_ns) {
+                *ui = busy / self.total_ns;
+            }
+        }
+        u
+    }
+
+    /// The stage with the highest busy time — the frame-level bottleneck.
+    pub fn bottleneck_stage(&self) -> PipeStage {
+        let mut best = PipeStage::Setup;
+        let mut best_busy = f64::MIN;
+        for s in PipeStage::ORDER {
+            let busy = self.stage_busy_ns[s.index()];
+            if busy > best_busy {
+                best = s;
+                best_busy = busy;
+            }
+        }
+        best
+    }
+}
+
+/// Runs the streaming recurrence over per-draw service times with the given
+/// inter-stage fill latency in nanoseconds.
+pub fn run_pipeline(service: &[ServiceTimes], fill_latency_ns: f64) -> PipelineResult {
+    let mut stage_free = [0.0f64; PipeStage::COUNT];
+    let mut stage_busy = [0.0f64; PipeStage::COUNT];
+    let mut total = 0.0f64;
+    for times in service {
+        let mut upstream_start = 0.0f64;
+        let mut upstream_finish = 0.0f64;
+        for s in 0..PipeStage::COUNT {
+            let start = if s == 0 {
+                stage_free[s]
+            } else {
+                stage_free[s].max(upstream_start + fill_latency_ns)
+            };
+            let finish = (start + times[s]).max(upstream_finish);
+            stage_free[s] = finish;
+            stage_busy[s] += times[s];
+            upstream_start = start;
+            upstream_finish = finish;
+        }
+        total = total.max(upstream_finish);
+    }
+    PipelineResult {
+        total_ns: total,
+        stage_busy_ns: stage_busy,
+        draws: service.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(t: f64) -> ServiceTimes {
+        [t; PipeStage::COUNT]
+    }
+
+    #[test]
+    fn empty_frame_is_zero() {
+        let r = run_pipeline(&[], 1.0);
+        assert_eq!(r.total_ns, 0.0);
+        assert_eq!(r.draws, 0);
+    }
+
+    #[test]
+    fn single_draw_streams_through() {
+        // With fill latency δ, a lone uniform draw finishes after its own
+        // service plus (k-1) fill steps — not the serialized stage sum.
+        let r = run_pipeline(&[uniform(2.0)], 0.5);
+        let expected = 2.0 + (PipeStage::COUNT - 1) as f64 * 0.5;
+        assert!((r.total_ns - expected).abs() < 1e-12, "{}", r.total_ns);
+    }
+
+    #[test]
+    fn zero_latency_fully_overlaps_uniform_draws() {
+        let n = 10;
+        let service: Vec<ServiceTimes> = (0..n).map(|_| uniform(1.0)).collect();
+        let r = run_pipeline(&service, 0.0);
+        assert!((r.total_ns - n as f64).abs() < 1e-9, "{}", r.total_ns);
+    }
+
+    #[test]
+    fn makespan_bounded_by_busiest_stage_and_total_sum() {
+        let service: Vec<ServiceTimes> = vec![
+            [1.0, 2.0, 0.5, 4.0, 0.2, 3.0],
+            [0.5, 1.0, 0.1, 6.0, 0.4, 1.0],
+            [2.0, 0.3, 0.7, 2.0, 0.6, 5.0],
+        ];
+        let r = run_pipeline(&service, 0.25);
+        let total_sum: f64 = service.iter().flat_map(|s| s.iter()).sum();
+        let bottleneck_sum: f64 = (0..PipeStage::COUNT)
+            .map(|s| service.iter().map(|d| d[s]).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!(r.total_ns >= bottleneck_sum - 1e-12);
+        assert!(r.total_ns <= total_sum + PipeStage::COUNT as f64 * 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn fill_latency_only_adds_fill_cost() {
+        let service: Vec<ServiceTimes> = (0..20).map(|_| uniform(3.0)).collect();
+        let fast = run_pipeline(&service, 0.0);
+        let slow = run_pipeline(&service, 1.0);
+        assert!(slow.total_ns >= fast.total_ns);
+        assert!(slow.total_ns <= fast.total_ns + PipeStage::COUNT as f64);
+    }
+
+    #[test]
+    fn utilisation_at_most_one() {
+        let service: Vec<ServiceTimes> = (0..50).map(|i| uniform(1.0 + (i % 3) as f64)).collect();
+        let r = run_pipeline(&service, 0.5);
+        for u in r.utilisation() {
+            assert!((0.0..=1.0 + 1e-12).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bottleneck_stage_is_busiest() {
+        let service: Vec<ServiceTimes> = vec![[0.1, 0.1, 0.1, 9.0, 0.1, 0.1]; 5];
+        let r = run_pipeline(&service, 0.1);
+        assert_eq!(r.bottleneck_stage(), PipeStage::Shade);
+    }
+
+    #[test]
+    fn downstream_never_finishes_before_upstream() {
+        // A draw with a huge upstream stage and empty downstream stages must
+        // still finish downstream no earlier than upstream.
+        let service: Vec<ServiceTimes> = vec![[0.0, 10.0, 0.0, 0.0, 0.0, 0.0]];
+        let r = run_pipeline(&service, 0.0);
+        assert!((r.total_ns - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Frequency sweeps: the paper's subset-validation axis.
+
+use crate::config::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// A sweep over GPU core frequencies, holding the memory domain fixed.
+///
+/// The paper validates subsets by checking that the subset's performance
+/// improvement under frequency scaling tracks the parent workload's with
+/// correlation ≥ 99.7 %. This type enumerates the design points of that
+/// experiment.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_gpusim::{ArchConfig, FrequencySweep};
+///
+/// let sweep = FrequencySweep::standard();
+/// let configs = sweep.configs(&ArchConfig::baseline());
+/// assert_eq!(configs.len(), 9);
+/// assert_eq!(configs[0].core_clock_mhz, 400.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencySweep {
+    points_mhz: Vec<f64>,
+}
+
+impl FrequencySweep {
+    /// Creates a sweep from explicit core clocks in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_mhz` is empty or contains a non-positive clock.
+    pub fn new(points_mhz: Vec<f64>) -> Self {
+        assert!(!points_mhz.is_empty(), "sweep needs at least one point");
+        assert!(
+            points_mhz.iter().all(|&p| p > 0.0),
+            "clock points must be positive"
+        );
+        FrequencySweep { points_mhz }
+    }
+
+    /// The standard 9-point sweep: 400 MHz to 1.2 GHz in 100 MHz steps.
+    pub fn standard() -> Self {
+        Self::new((4..=12).map(|s| s as f64 * 100.0).collect())
+    }
+
+    /// The sweep points in MHz.
+    pub fn points_mhz(&self) -> &[f64] {
+        &self.points_mhz
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.points_mhz.len()
+    }
+
+    /// Whether the sweep has no points (never true for a constructed sweep).
+    pub fn is_empty(&self) -> bool {
+        self.points_mhz.is_empty()
+    }
+
+    /// Materialises the swept architecture configs from a base design.
+    pub fn configs(&self, base: &ArchConfig) -> Vec<ArchConfig> {
+        self.points_mhz.iter().map(|&mhz| base.with_core_clock(mhz)).collect()
+    }
+}
+
+/// Converts a series of absolute times (one per sweep point) into
+/// performance *improvement* relative to the first point:
+/// `improvement[i] = time[0] / time[i]`.
+///
+/// Returns an empty vector for empty input.
+///
+/// # Examples
+///
+/// ```
+/// let imp = subset3d_gpusim::FrequencySweep::improvement_series(&[10.0, 5.0, 4.0]);
+/// assert_eq!(imp, vec![1.0, 2.0, 2.5]);
+/// ```
+impl FrequencySweep {
+    /// See the type-level docs; associated helper for improvement series.
+    pub fn improvement_series(times: &[f64]) -> Vec<f64> {
+        match times.first() {
+            None => Vec::new(),
+            Some(&base) => times.iter().map(|&t| if t > 0.0 { base / t } else { 0.0 }).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_sweep_is_monotone() {
+        let s = FrequencySweep::standard();
+        let p = s.points_mhz();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(p.len(), 9);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn configs_scale_only_core_clock() {
+        let base = ArchConfig::baseline();
+        let configs = FrequencySweep::standard().configs(&base);
+        for c in &configs {
+            assert_eq!(c.mem_clock_mhz, base.mem_clock_mhz);
+            assert_eq!(c.eu_count, base.eu_count);
+        }
+    }
+
+    #[test]
+    fn improvement_series_is_relative_to_first() {
+        let imp = FrequencySweep::improvement_series(&[8.0, 4.0, 2.0]);
+        assert_eq!(imp, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn improvement_series_empty_and_zero() {
+        assert!(FrequencySweep::improvement_series(&[]).is_empty());
+        let imp = FrequencySweep::improvement_series(&[1.0, 0.0]);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_sweep_rejected() {
+        FrequencySweep::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_point_rejected() {
+        FrequencySweep::new(vec![100.0, 0.0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Power and energy modelling (DVFS extension).
+//!
+//! The paper validates subsets under frequency scaling; real pathfinding
+//! sweeps DVFS points and ranks designs by *energy efficiency*, not just
+//! performance. This module extends the simulator with the standard CMOS
+//! energy model:
+//!
+//! * dynamic energy per core cycle scales with `V²`, with supply voltage
+//!   rising linearly across the DVFS range ([`PowerModel::voltage_at`]);
+//! * static (leakage) power burns for the draw's entire wall-clock time;
+//! * the memory system charges energy per byte moved.
+
+use crate::config::ArchConfig;
+use crate::cost::{DrawCost, WorkloadCost};
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown of a draw, frame or workload, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Energy {
+    /// Switching energy of the core clock domain.
+    pub dynamic_nj: f64,
+    /// Leakage energy over the elapsed time.
+    pub static_nj: f64,
+    /// DRAM transfer energy.
+    pub memory_nj: f64,
+}
+
+impl Energy {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.dynamic_nj + self.static_nj + self.memory_nj
+    }
+
+    /// Accumulates another energy record.
+    pub fn accumulate(&mut self, other: Energy) {
+        self.dynamic_nj += other.dynamic_nj;
+        self.static_nj += other.static_nj;
+        self.memory_nj += other.memory_nj;
+    }
+}
+
+/// CMOS-style GPU power model with a linear frequency–voltage curve.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_gpusim::{ArchConfig, PowerModel};
+///
+/// let model = PowerModel::default_for(&ArchConfig::baseline());
+/// let slow = model.voltage_at(400.0);
+/// let fast = model.voltage_at(1200.0);
+/// assert!(fast > slow);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Voltage at the bottom of the DVFS range.
+    pub v_min: f64,
+    /// Frequency (MHz) at which `v_min` applies.
+    pub f_min_mhz: f64,
+    /// Voltage slope in volts per MHz above `f_min_mhz`.
+    pub v_slope_per_mhz: f64,
+    /// Dynamic energy per active EU-lane cycle at 1.0 V, in nanojoules.
+    pub dynamic_nj_per_lane_cycle: f64,
+    /// Leakage power in watts at nominal voltage (scales with `V`).
+    pub leakage_w: f64,
+    /// DRAM energy per byte moved, in nanojoules.
+    pub dram_nj_per_byte: f64,
+}
+
+impl PowerModel {
+    /// A model calibrated to integrated-GPU-class magnitudes, scaled to the
+    /// configuration's EU count.
+    pub fn default_for(config: &ArchConfig) -> Self {
+        PowerModel {
+            v_min: 0.65,
+            f_min_mhz: 400.0,
+            v_slope_per_mhz: 0.0008,
+            dynamic_nj_per_lane_cycle: 8.0 * f64::from(config.eu_count) / 24.0,
+            leakage_w: 2.5 * f64::from(config.eu_count) / 24.0,
+            dram_nj_per_byte: 0.06,
+        }
+    }
+
+    /// Supply voltage at a core clock (clamped below `f_min` to `v_min`).
+    pub fn voltage_at(&self, core_mhz: f64) -> f64 {
+        self.v_min + self.v_slope_per_mhz * (core_mhz - self.f_min_mhz).max(0.0)
+    }
+
+    /// Energy of one simulated draw on a configuration.
+    ///
+    /// Dynamic energy charges the *busy* core cycles (the bottleneck stage
+    /// plus setup) at `V²`; leakage charges the draw's wall-clock time;
+    /// memory charges bytes moved.
+    pub fn draw_energy(&self, cost: &DrawCost, config: &ArchConfig) -> Energy {
+        let v = self.voltage_at(config.core_clock_mhz);
+        let busy_cycles = cost.max_core_cycles() + cost.overhead_cycles;
+        Energy {
+            dynamic_nj: busy_cycles * self.dynamic_nj_per_lane_cycle * v * v,
+            static_nj: self.leakage_w * (v / 1.0) * cost.time_ns * 1e-9 * 1e9,
+            memory_nj: cost.mem_bytes * self.dram_nj_per_byte,
+        }
+    }
+
+    /// Energy of a whole simulated workload on a configuration.
+    pub fn workload_energy(&self, cost: &WorkloadCost, config: &ArchConfig) -> Energy {
+        let mut total = Energy::default();
+        for frame in &cost.frames {
+            for draw in &frame.draws {
+                total.accumulate(self.draw_energy(draw, config));
+            }
+        }
+        total
+    }
+
+    /// Average power in watts over a simulated workload.
+    pub fn average_power_w(&self, cost: &WorkloadCost, config: &ArchConfig) -> f64 {
+        if cost.total_ns <= 0.0 {
+            return 0.0;
+        }
+        self.workload_energy(cost, config).total_nj() / cost.total_ns
+    }
+}
+
+/// Energy-delay product in joule-seconds (×10⁻¹⁸ of nJ·ns): the standard
+/// energy-efficiency ranking metric for DVFS pathfinding.
+pub fn energy_delay_product(energy: &Energy, time_ns: f64) -> f64 {
+    energy.total_nj() * time_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use subset3d_trace::gen::GameProfile;
+
+    fn costed(config: &ArchConfig) -> WorkloadCost {
+        let w = GameProfile::shooter("p").frames(3).draws_per_frame(40).build(2).generate();
+        Simulator::new(config.clone()).simulate_workload(&w).unwrap()
+    }
+
+    #[test]
+    fn voltage_monotone_and_clamped() {
+        let m = PowerModel::default_for(&ArchConfig::baseline());
+        assert_eq!(m.voltage_at(200.0), m.v_min);
+        assert_eq!(m.voltage_at(400.0), m.v_min);
+        assert!(m.voltage_at(800.0) > m.voltage_at(500.0));
+    }
+
+    #[test]
+    fn energy_components_positive() {
+        let config = ArchConfig::baseline();
+        let m = PowerModel::default_for(&config);
+        let e = m.workload_energy(&costed(&config), &config);
+        assert!(e.dynamic_nj > 0.0);
+        assert!(e.static_nj > 0.0);
+        assert!(e.memory_nj > 0.0);
+        assert!(e.total_nj() > e.dynamic_nj);
+    }
+
+    #[test]
+    fn higher_clock_burns_more_power_but_finishes_sooner() {
+        let slow = ArchConfig::baseline().with_core_clock(500.0);
+        let fast = ArchConfig::baseline().with_core_clock(1200.0);
+        let cost_slow = costed(&slow);
+        let cost_fast = costed(&fast);
+        let m = PowerModel::default_for(&ArchConfig::baseline());
+        assert!(cost_fast.total_ns < cost_slow.total_ns);
+        assert!(
+            m.average_power_w(&cost_fast, &fast) > m.average_power_w(&cost_slow, &slow),
+            "power must rise with clock"
+        );
+    }
+
+    #[test]
+    fn dvfs_energy_has_a_sweet_spot_or_monotone_shape() {
+        // Across the DVFS range the V² term makes the top end pay
+        // superlinear energy: energy at 1200 MHz must exceed energy at
+        // 700 MHz divided by any speedup gained.
+        let m = PowerModel::default_for(&ArchConfig::baseline());
+        let mut per_clock = Vec::new();
+        for mhz in [500.0, 700.0, 900.0, 1100.0] {
+            let config = ArchConfig::baseline().with_core_clock(mhz);
+            let cost = costed(&config);
+            per_clock.push((m.workload_energy(&cost, &config).total_nj(), cost.total_ns));
+        }
+        // Energy-delay product must favour a mid/low point over the top.
+        let edp: Vec<f64> =
+            per_clock.iter().map(|&(e, t)| energy_delay_product(&Energy { dynamic_nj: e, static_nj: 0.0, memory_nj: 0.0 }, t)).collect();
+        assert!(edp.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn average_power_zero_for_empty() {
+        let config = ArchConfig::baseline();
+        let m = PowerModel::default_for(&config);
+        let empty = WorkloadCost::from_frames(Vec::new());
+        assert_eq!(m.average_power_w(&empty, &config), 0.0);
+    }
+
+    #[test]
+    fn bigger_gpu_leaks_more() {
+        let small = PowerModel::default_for(&ArchConfig::small());
+        let large = PowerModel::default_for(&ArchConfig::large());
+        assert!(large.leakage_w > small.leakage_w);
+        assert!(large.dynamic_nj_per_lane_cycle > small.dynamic_nj_per_lane_cycle);
+    }
+}

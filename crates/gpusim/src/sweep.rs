@@ -1,0 +1,143 @@
+//! Sweep drivers: simulate a workload across frequencies or design points.
+
+use crate::config::ArchConfig;
+use crate::error::SimError;
+use crate::freq::FrequencySweep;
+use crate::sim::Simulator;
+use serde::{Deserialize, Serialize};
+use subset3d_trace::Workload;
+
+/// One point of a frequency sweep result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Core clock of the point in MHz.
+    pub core_clock_mhz: f64,
+    /// Simulated total workload time in nanoseconds.
+    pub total_ns: f64,
+}
+
+/// One point of a design-space sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Name of the design point.
+    pub name: String,
+    /// Simulated total workload time in nanoseconds.
+    pub total_ns: f64,
+}
+
+/// Simulates `workload` at every core clock of `sweep` on the `base` design.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownShader`] when the workload references shaders
+/// missing from its own library.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_gpusim::{sweep_frequencies, ArchConfig, FrequencySweep};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(2).draws_per_frame(15).build(1).generate();
+/// let points = sweep_frequencies(&w, &ArchConfig::baseline(), &FrequencySweep::standard())?;
+/// assert_eq!(points.len(), 9);
+/// // Higher clock never makes the workload slower.
+/// assert!(points.windows(2).all(|p| p[1].total_ns <= p[0].total_ns));
+/// # Ok::<(), subset3d_gpusim::SimError>(())
+/// ```
+pub fn sweep_frequencies(
+    workload: &Workload,
+    base: &ArchConfig,
+    sweep: &FrequencySweep,
+) -> Result<Vec<SweepPoint>, SimError> {
+    sweep
+        .configs(base)
+        .into_iter()
+        .map(|config| {
+            let mhz = config.core_clock_mhz;
+            let sim = Simulator::new(config);
+            Ok(SweepPoint {
+                core_clock_mhz: mhz,
+                total_ns: sim.simulate_workload(workload)?.total_ns,
+            })
+        })
+        .collect()
+}
+
+/// Simulates `workload` on every candidate design point.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownShader`] when the workload references shaders
+/// missing from its own library, and [`SimError::InvalidConfig`] for an
+/// invalid candidate.
+pub fn sweep_configs(
+    workload: &Workload,
+    candidates: &[ArchConfig],
+) -> Result<Vec<ConfigPoint>, SimError> {
+    candidates
+        .iter()
+        .map(|config| {
+            if !config.is_valid() {
+                return Err(SimError::InvalidConfig { name: config.name.clone() });
+            }
+            let sim = Simulator::new(config.clone());
+            Ok(ConfigPoint {
+                name: config.name.clone(),
+                total_ns: sim.simulate_workload(workload)?.total_ns,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload() -> Workload {
+        GameProfile::shooter("t").frames(3).draws_per_frame(30).build(4).generate()
+    }
+
+    #[test]
+    fn frequency_sweep_is_monotone_nonincreasing() {
+        let points =
+            sweep_frequencies(&workload(), &ArchConfig::baseline(), &FrequencySweep::standard())
+                .unwrap();
+        assert!(points.windows(2).all(|p| p[1].total_ns <= p[0].total_ns));
+    }
+
+    #[test]
+    fn frequency_sweep_is_sublinear() {
+        // 3× clock gives < 3× speedup because memory does not scale.
+        let points = sweep_frequencies(
+            &workload(),
+            &ArchConfig::baseline(),
+            &FrequencySweep::new(vec![400.0, 1200.0]),
+        )
+        .unwrap();
+        let speedup = points[0].total_ns / points[1].total_ns;
+        assert!(speedup > 1.2 && speedup < 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn config_sweep_reports_all_candidates() {
+        let points = sweep_configs(&workload(), &ArchConfig::pathfinding_candidates()).unwrap();
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.total_ns > 0.0));
+    }
+
+    #[test]
+    fn config_sweep_rejects_invalid_candidate() {
+        let mut bad = ArchConfig::baseline();
+        bad.rop_rate = 0;
+        let err = sweep_configs(&workload(), &[bad]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn large_config_beats_small() {
+        let points = sweep_configs(&workload(), &[ArchConfig::small(), ArchConfig::large()]).unwrap();
+        assert!(points[1].total_ns < points[0].total_ns);
+    }
+}

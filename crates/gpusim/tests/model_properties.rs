@@ -1,0 +1,122 @@
+//! Property tests on the analytical timing model: costs must respond
+//! monotonically and sanely to every workload and architecture knob.
+
+use proptest::prelude::*;
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_trace::gen::GameProfile;
+use subset3d_trace::{DrawCall, Workload};
+
+fn probe() -> (Workload, DrawCall) {
+    let w = GameProfile::shooter("probe").frames(1).draws_per_frame(20).build(77).generate();
+    let draw = w.frames()[0]
+        .draws()
+        .iter()
+        .find(|d| !d.textures.is_empty() && d.coverage < 0.5)
+        .expect("textured draw")
+        .clone();
+    (w, draw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cost is finite and positive across the whole draw-parameter space.
+    #[test]
+    fn cost_always_finite_positive(
+        vertices in 1u64..1_000_000,
+        coverage in 0.0f64..1.0,
+        overdraw in 0.0f64..16.0,
+        z_pass in 0.0f64..1.0,
+        locality in 0.0f64..1.0,
+        instances in 1u32..1_000,
+    ) {
+        let (w, mut draw) = probe();
+        draw.vertex_count = vertices;
+        draw.coverage = coverage;
+        draw.overdraw = overdraw;
+        draw.z_pass_rate = z_pass;
+        draw.texel_locality = locality;
+        draw.instance_count = instances;
+        let sim = Simulator::new(ArchConfig::baseline());
+        let cost = sim.simulate_draw(&draw, &w).unwrap();
+        prop_assert!(cost.time_ns.is_finite());
+        prop_assert!(cost.time_ns > 0.0);
+        prop_assert!(cost.mem_bytes.is_finite());
+        prop_assert!(cost.mem_bytes >= 0.0);
+    }
+
+    /// More vertices never make a draw cheaper.
+    #[test]
+    fn cost_monotone_in_vertices(v1 in 3u64..100_000, extra in 1u64..100_000) {
+        let (w, mut a) = probe();
+        a.vertex_count = v1;
+        let mut b = a.clone();
+        b.vertex_count = v1 + extra;
+        let sim = Simulator::new(ArchConfig::baseline());
+        let ca = sim.simulate_draw(&a, &w).unwrap();
+        let cb = sim.simulate_draw(&b, &w).unwrap();
+        prop_assert!(cb.time_ns >= ca.time_ns - 1e-9);
+    }
+
+    /// More coverage never makes a draw cheaper.
+    #[test]
+    fn cost_monotone_in_coverage(c1 in 0.0f64..0.5, extra in 0.0f64..0.5) {
+        let (w, mut a) = probe();
+        a.coverage = c1;
+        let mut b = a.clone();
+        b.coverage = c1 + extra;
+        let sim = Simulator::new(ArchConfig::baseline());
+        let ca = sim.simulate_draw(&a, &w).unwrap();
+        let cb = sim.simulate_draw(&b, &w).unwrap();
+        prop_assert!(cb.time_ns >= ca.time_ns - 1e-9);
+    }
+
+    /// A faster core clock never slows any draw down, and the speedup never
+    /// exceeds the clock ratio.
+    #[test]
+    fn clock_scaling_bounded(
+        mhz_low in 300.0f64..1000.0,
+        ratio in 1.05f64..3.0,
+        coverage in 0.001f64..0.9,
+    ) {
+        let (w, mut draw) = probe();
+        draw.coverage = coverage;
+        let slow = Simulator::new(ArchConfig::baseline().with_core_clock(mhz_low));
+        let fast = Simulator::new(ArchConfig::baseline().with_core_clock(mhz_low * ratio));
+        let cs = slow.simulate_draw(&draw, &w).unwrap();
+        let cf = fast.simulate_draw(&draw, &w).unwrap();
+        let speedup = cs.time_ns / cf.time_ns;
+        prop_assert!(speedup >= 1.0 - 1e-9, "speedup {speedup}");
+        prop_assert!(speedup <= ratio + 1e-9, "speedup {speedup} > ratio {ratio}");
+    }
+
+    /// Higher locality never increases memory traffic.
+    #[test]
+    fn locality_monotone_in_traffic(l1 in 0.0f64..0.9, extra in 0.0f64..0.1) {
+        let (w, mut a) = probe();
+        a.texel_locality = l1;
+        let mut b = a.clone();
+        b.texel_locality = l1 + extra;
+        let sim = Simulator::new(ArchConfig::baseline());
+        let ca = sim.simulate_draw(&a, &w).unwrap();
+        let cb = sim.simulate_draw(&b, &w).unwrap();
+        prop_assert!(cb.mem_bytes <= ca.mem_bytes + 1e-9);
+    }
+
+    /// Scaling every throughput resource up never slows a workload down.
+    #[test]
+    fn wider_machine_never_slower(eu_mult in 1u32..4) {
+        let (w, _) = probe();
+        let base = ArchConfig::baseline();
+        let wide = base
+            .to_builder()
+            .eu_count(base.eu_count * eu_mult)
+            .tex_rate(base.tex_rate * eu_mult)
+            .rop_rate(base.rop_rate * eu_mult)
+            .raster_rate(base.raster_rate * eu_mult)
+            .build();
+        let tb = Simulator::new(base).simulate_workload(&w).unwrap().total_ns;
+        let tw = Simulator::new(wide).simulate_workload(&w).unwrap().total_ns;
+        prop_assert!(tw <= tb + 1e-6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bootstrap confidence intervals.
+//!
+//! The frequency-scaling experiments report correlation coefficients from a
+//! handful of sweep points; a bootstrap CI quantifies how stable those
+//! coefficients are under resampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+}
+
+/// Percentile-bootstrap confidence interval of a paired statistic.
+///
+/// Resamples index pairs with replacement `resamples` times, evaluates
+/// `statistic` on each resample (resamples where the statistic is undefined
+/// — e.g. zero variance — are skipped), and returns the
+/// `[(1-level)/2, (1+level)/2]` percentile interval. Deterministic for a
+/// seed.
+///
+/// Returns `None` when the inputs are shorter than two pairs, the lengths
+/// differ, the full-sample statistic is undefined, or every resample was
+/// skipped.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_stats::{bootstrap_paired_ci, pearson};
+///
+/// let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + (x * 0.7).sin()).collect();
+/// let ci = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 500, 0.95, 7).unwrap();
+/// assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+/// assert!(ci.lo > 0.9);
+/// ```
+pub fn bootstrap_paired_ci<F>(
+    xs: &[f64],
+    ys: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64], &[f64]) -> Option<f64>,
+{
+    if xs.len() != ys.len() || xs.len() < 2 || resamples == 0 {
+        return None;
+    }
+    if !(0.0..1.0).contains(&level) {
+        return None;
+    }
+    let estimate = statistic(xs, ys)?;
+    let n = xs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(resamples);
+    let mut rx = vec![0.0; n];
+    let mut ry = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            rx[i] = xs[j];
+            ry[i] = ys[j];
+        }
+        if let Some(v) = statistic(&rx, &ry) {
+            values.push(v);
+        }
+    }
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| {
+        let idx = ((values.len() - 1) as f64 * q).round() as usize;
+        values[idx]
+    };
+    Some(BootstrapCi {
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+        estimate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::pearson;
+
+    fn noisy_linear(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + (x * 1.3).sin() * 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let (xs, ys) = noisy_linear(40);
+        let ci =
+            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.9, 1).unwrap();
+        assert!(ci.lo <= ci.estimate);
+        assert!(ci.estimate <= ci.hi);
+        assert!(ci.hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (xs, ys) = noisy_linear(25);
+        let a = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 200, 0.95, 9);
+        let b = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 200, 0.95, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let (xs, ys) = noisy_linear(20);
+        let narrow =
+            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.5, 3).unwrap();
+        let wide =
+            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.99, 3).unwrap();
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo - 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_none() {
+        assert!(bootstrap_paired_ci(&[1.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0)
+            .is_none());
+        assert!(bootstrap_paired_ci(&[1.0, 2.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0)
+            .is_none());
+        // Constant series: full-sample statistic undefined.
+        assert!(bootstrap_paired_ci(
+            &[1.0, 1.0, 1.0],
+            &[1.0, 2.0, 3.0],
+            |a, b| pearson(a, b).ok(),
+            10,
+            0.9,
+            0
+        )
+        .is_none());
+        // Bad level.
+        let (xs, ys) = noisy_linear(10);
+        assert!(bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 10, 1.5, 0).is_none());
+    }
+}

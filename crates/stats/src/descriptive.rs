@@ -1,0 +1,218 @@
+//! Descriptive statistics over `f64` slices.
+
+/// Sum of the values.
+///
+/// Uses Kahan compensated summation so that corpus-scale accumulations
+/// (hundreds of thousands of draw costs) do not drift.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::sum(&[1.0, 2.0, 3.0]), 6.0);
+/// assert_eq!(subset3d_stats::sum(&[]), 0.0);
+/// ```
+pub fn sum(values: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut comp = 0.0f64;
+    for &v in values {
+        let y = v - comp;
+        let t = acc + y;
+        comp = (t - acc) - y;
+        acc = t;
+    }
+    acc
+}
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::mean(&[2.0, 4.0]), 3.0);
+/// assert_eq!(subset3d_stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    sum(values) / values.len() as f64
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Returns `0.0` for an empty slice. Non-positive entries are skipped, which
+/// matches how speedup aggregation treats degenerate (zero-cost) samples.
+///
+/// # Examples
+///
+/// ```
+/// let g = subset3d_stats::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Sample variance (Bessel-corrected, divisor `n - 1`).
+///
+/// Returns `0.0` when fewer than two values are supplied.
+///
+/// # Examples
+///
+/// ```
+/// let v = subset3d_stats::variance(&[1.0, 2.0, 3.0]);
+/// assert!((v - 1.0).abs() < 1e-12);
+/// ```
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    ss / (values.len() - 1) as f64
+}
+
+/// Population variance (divisor `n`). Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let v = subset3d_stats::population_variance(&[1.0, 3.0]);
+/// assert!((v - 1.0).abs() < 1e-12);
+/// ```
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    ss / values.len() as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+///
+/// # Examples
+///
+/// ```
+/// let s = subset3d_stats::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!(s > 0.0);
+/// ```
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Minimum value, ignoring NaNs. Returns `None` for an empty slice or if
+/// every entry is NaN.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::min(&[3.0, 1.0, 2.0]), Some(1.0));
+/// assert_eq!(subset3d_stats::min(&[]), None);
+/// ```
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.min(v)),
+        })
+}
+
+/// Maximum value, ignoring NaNs. Returns `None` for an empty slice or if
+/// every entry is NaN.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::max(&[3.0, 1.0, 2.0]), Some(3.0));
+/// ```
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_empty_is_zero() {
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_is_compensated() {
+        // Naive summation of 1e16 + many 1.0s loses the small addends.
+        let mut values = vec![1e16];
+        values.extend(std::iter::repeat(1.0).take(1000));
+        values.push(-1e16);
+        assert_eq!(sum(&values), 1000.0);
+    }
+
+    #[test]
+    fn mean_single() {
+        assert_eq!(mean(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_variance_known_value() {
+        let v = population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_skips_nonpositive() {
+        let g = geometric_mean(&[0.0, -3.0, 1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_all_nonpositive_is_zero() {
+        assert_eq!(geometric_mean(&[0.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let vals = [f64::NAN, 2.0, 1.0, f64::NAN, 3.0];
+        assert_eq!(min(&vals), Some(1.0));
+        assert_eq!(max(&vals), Some(3.0));
+    }
+
+    #[test]
+    fn min_max_all_nan_is_none() {
+        assert_eq!(min(&[f64::NAN]), None);
+        assert_eq!(max(&[f64::NAN]), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixed-width histograms, used to characterise draw-cost distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// One bin of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Inclusive lower bound of the bin.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of samples that fell in the bin.
+    pub count: usize,
+}
+
+/// A fixed-width histogram over a closed range.
+///
+/// Values below the range clamp into the first bin and values above it clamp
+/// into the last bin, so `total()` always equals the number of `add` calls —
+/// a useful invariant for sanity-checking workload characterisation code.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.5, 9.9, 25.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.bins()[4].count, 2); // 9.9 and the clamped 25.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty (lo={lo}, hi={hi})");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one sample, clamping out-of-range values into the edge bins.
+    pub fn add(&mut self, value: f64) {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        let idx = if value <= self.lo {
+            0
+        } else if value >= self.hi {
+            n - 1
+        } else {
+            (((value - self.lo) / width) as usize).min(n - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no samples have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The bins with their bounds and counts.
+    pub fn bins(&self) -> Vec<HistogramBin> {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| HistogramBin {
+                lo: self.lo + i as f64 * width,
+                hi: self.lo + (i + 1) as f64 * width,
+                count,
+            })
+            .collect()
+    }
+
+    /// Renders the histogram as a one-line unicode sparkline (one block
+    /// character per bin, height proportional to the bin's share of the
+    /// maximum count).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subset3d_stats::Histogram;
+    ///
+    /// let mut h = Histogram::new(0.0, 4.0, 4);
+    /// h.extend([0.5, 1.5, 1.6, 1.7, 2.5]);
+    /// let line = h.sparkline();
+    /// assert_eq!(line.chars().count(), 4);
+    /// ```
+    pub fn sparkline(&self) -> String {
+        const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return " ".repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| {
+                let level = (c * (BLOCKS.len() - 1) + max - 1) / max; // ceil, 0 stays 0
+                BLOCKS[level.min(BLOCKS.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// Fraction of samples in each bin; all zeros when empty.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_counts_every_add() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([-5.0, 0.1, 0.5, 0.9, 5.0]);
+        assert_eq!(h.total(), 5);
+        let sum: usize = h.bins().iter().map(|b| b.count).sum();
+        assert_eq!(sum, 5);
+    }
+
+    #[test]
+    fn clamping_into_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(2.0);
+        assert_eq!(h.bins()[0].count, 1);
+        assert_eq!(h.bins()[1].count, 1);
+    }
+
+    #[test]
+    fn bin_bounds_tile_the_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let bins = h.bins();
+        assert_eq!(bins[0].lo, 0.0);
+        assert_eq!(bins[4].hi, 10.0);
+        for w in bins.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend([0.1, 0.2, 0.5, 0.9]);
+        let s: f64 = h.normalized().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_empty_all_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.normalized(), vec![0.0, 0.0, 0.0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn sparkline_heights_follow_counts() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend([0.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5]);
+        let line: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(line.len(), 3);
+        assert_eq!(line[1], '█', "fullest bin renders full block");
+        assert_ne!(line[0], ' ', "non-empty bin renders visibly");
+        assert_eq!(line[2], ' ', "empty bin renders blank");
+    }
+
+    #[test]
+    fn sparkline_of_empty_histogram_is_blank() {
+        let h = Histogram::new(0.0, 1.0, 5);
+        assert_eq!(h.sparkline(), "     ");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 2);
+    }
+}

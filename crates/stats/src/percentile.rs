@@ -1,0 +1,154 @@
+//! Percentiles and medians (linear-interpolation definition, type 7).
+
+/// Percentile of `values` at `p` in `[0, 100]`, using linear interpolation
+/// between closest ranks (the same definition as NumPy's default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(subset3d_stats::percentile(&v, 50.0), Some(2.5));
+/// assert_eq!(subset3d_stats::percentile(&v, 0.0), Some(1.0));
+/// assert_eq!(subset3d_stats::percentile(&v, 100.0), Some(4.0));
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted slice. See [`percentile`].
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 50th [`percentile`]). Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(subset3d_stats::median(&[1.0, 2.0]), Some(1.5));
+/// ```
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// A fixed set of commonly reported percentiles, computed in one sort.
+///
+/// # Examples
+///
+/// ```
+/// let p = subset3d_stats::Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(p.p50, 3.0);
+/// assert_eq!(p.p0, 1.0);
+/// assert_eq!(p.p100, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Percentiles {
+    /// Minimum (0th percentile).
+    pub p0: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum (100th percentile).
+    pub p100: f64,
+}
+
+impl Percentiles {
+    /// Computes the percentile set; returns `None` for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        Some(Percentiles {
+            p0: percentile_sorted(&sorted, 0.0),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            p100: percentile_sorted(&sorted, 100.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+        assert!(Percentiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 33.3), Some(7.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&v, 25.0), Some(15.0));
+        assert_eq!(percentile(&v, 75.0), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let p = Percentiles::of(&vals).unwrap();
+        assert!(p.p0 <= p.p25 && p.p25 <= p.p50 && p.p50 <= p.p75);
+        assert!(p.p75 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p100);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        assert_eq!(median(&[5.0, 1.0, 4.0, 2.0, 3.0]), Some(3.0));
+    }
+}

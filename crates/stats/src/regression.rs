@@ -1,0 +1,135 @@
+//! Ordinary least-squares linear regression on one predictor.
+
+use crate::correlation::CorrelationError;
+use crate::descriptive::mean;
+use serde::{Deserialize, Serialize};
+
+/// Result of an ordinary least-squares fit `y ≈ slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) of the fit.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted `y` for a given `x`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let fit = subset3d_stats::linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+    /// assert!((fit.predict(3.0) - 7.0).abs() < 1e-9);
+    /// # Ok::<(), subset3d_stats::CorrelationError>(())
+    /// ```
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope * x + intercept` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`CorrelationError::LengthMismatch`] when series lengths differ,
+/// [`CorrelationError::TooFewObservations`] for fewer than two pairs, and
+/// [`CorrelationError::ZeroVariance`] when `xs` is constant.
+///
+/// # Examples
+///
+/// ```
+/// let fit = subset3d_stats::linear_fit(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0])?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!(fit.intercept.abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// # Ok::<(), subset3d_stats::CorrelationError>(())
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, CorrelationError> {
+    if xs.len() != ys.len() {
+        return Err(CorrelationError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(CorrelationError::TooFewObservations);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return Err(CorrelationError::ZeroVariance);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R² = 1 - SS_res / SS_tot; define R² = 1 when ys is constant (perfect fit
+    // by the horizontal line).
+    let ss_tot: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let fit = linear_fit(&[0.0, 1.0, 2.0, 3.0], &[5.0, 7.0, 9.0, 11.0]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 5.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn constant_x_errors() {
+        assert_eq!(
+            linear_fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(CorrelationError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(matches!(
+            linear_fit(&[1.0, 2.0], &[1.0]),
+            Err(CorrelationError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! One-shot descriptive summary of a sample.
+
+use crate::descriptive::{max, mean, min, std_dev, sum};
+use crate::percentile::median;
+use serde::{Deserialize, Serialize};
+
+/// Descriptive summary of a sample: count, sum, mean, spread and extremes.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.sum, 10.0);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Compensated sum of samples.
+    pub sum: f64,
+    /// Arithmetic mean (`0.0` when empty).
+    pub mean: f64,
+    /// Median (`0.0` when empty).
+    pub median: f64,
+    /// Sample standard deviation (`0.0` when fewer than two samples).
+    pub std_dev: f64,
+    /// Minimum (`0.0` when empty).
+    pub min: f64,
+    /// Maximum (`0.0` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice. Degenerate fields default to `0.0`
+    /// on empty input so summaries remain printable.
+    pub fn of(values: &[f64]) -> Self {
+        Summary {
+            count: values.len(),
+            sum: sum(values),
+            mean: mean(values),
+            median: median(values).unwrap_or(0.0),
+            std_dev: std_dev(values),
+            min: min(values).unwrap_or(0.0),
+            max: max(values).unwrap_or(0.0),
+        }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), or `0.0` when the mean
+    /// is zero. A scale-free spread measure used to compare the cost
+    /// dispersion of clusters with very different magnitudes.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} median={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.median, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn cv_known() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s2 = Summary::of(&[1.0, 3.0]);
+        assert!((s2.coefficient_of_variation() - (2.0f64).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_not_empty() {
+        let s = Summary::of(&[1.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Draw-calls: the unit of work the subsetting methodology clusters.
+
+use crate::ids::{DrawId, ShaderId, StateId, TextureId};
+use crate::state::{BlendMode, CullMode, DepthMode};
+use crate::target::RenderTargetDesc;
+use serde::{Deserialize, Serialize};
+
+/// Primitive topology of a draw-call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimitiveTopology {
+    /// Independent triangles: 3 vertices per primitive.
+    TriangleList,
+    /// Triangle strip: one new vertex per primitive after the first.
+    TriangleStrip,
+    /// Independent line segments.
+    LineList,
+    /// Point sprites.
+    PointList,
+}
+
+impl PrimitiveTopology {
+    /// Number of primitives produced by `vertex_count` vertices.
+    pub fn primitives(self, vertex_count: u64) -> u64 {
+        match self {
+            PrimitiveTopology::TriangleList => vertex_count / 3,
+            PrimitiveTopology::TriangleStrip => vertex_count.saturating_sub(2),
+            PrimitiveTopology::LineList => vertex_count / 2,
+            PrimitiveTopology::PointList => vertex_count,
+        }
+    }
+}
+
+/// One recorded draw-call with its complete bound state and the
+/// scene-derived quantities (coverage, overdraw, …) that an API trace-replay
+/// tool measures per draw.
+///
+/// All fields are micro-architecture independent: they describe *what* the
+/// application asked the GPU to do, never how a particular GPU executes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrawCall {
+    /// Workload-unique identifier.
+    pub id: DrawId,
+    /// Interned pipeline state (shaders + fixed function).
+    pub state: StateId,
+    /// Bound vertex shader (denormalised from the state for convenience).
+    pub vertex_shader: ShaderId,
+    /// Bound pixel shader (denormalised from the state for convenience).
+    pub pixel_shader: ShaderId,
+    /// Output-merger blend mode (denormalised).
+    pub blend: BlendMode,
+    /// Depth mode (denormalised).
+    pub depth: DepthMode,
+    /// Cull mode (denormalised).
+    pub cull: CullMode,
+    /// Primitive topology.
+    pub topology: PrimitiveTopology,
+    /// Number of vertices submitted (after index expansion).
+    pub vertex_count: u64,
+    /// Number of instances (≥ 1).
+    pub instance_count: u32,
+    /// Textures bound for sampling.
+    pub textures: Vec<TextureId>,
+    /// Render target written by this draw.
+    pub render_target: RenderTargetDesc,
+    /// Fraction of the render target the draw's geometry covers, `0.0..=1.0`.
+    pub coverage: f64,
+    /// Average shading depth complexity over covered pixels (≥ 0; pixels
+    /// shaded = coverage × target pixels × overdraw × z-pass rate).
+    pub overdraw: f64,
+    /// Fraction of rasterised fragments that pass the early depth test,
+    /// `0.0..=1.0`.
+    pub z_pass_rate: f64,
+    /// Spatial locality of texture sampling, `0.0` (random) ..= `1.0`
+    /// (perfectly coherent). Drives texture-cache behaviour.
+    pub texel_locality: f64,
+    /// Generator material tag: ground-truth grouping used by tests, never by
+    /// the clustering features.
+    pub material_tag: u32,
+}
+
+impl DrawCall {
+    /// Starts building a draw-call. See [`DrawCallBuilder`].
+    pub fn builder(id: DrawId) -> DrawCallBuilder {
+        DrawCallBuilder::new(id)
+    }
+
+    /// Number of primitives submitted (vertices × instances through the
+    /// topology).
+    pub fn primitives(&self) -> u64 {
+        self.topology.primitives(self.vertex_count) * u64::from(self.instance_count)
+    }
+
+    /// Total vertex-shader invocations (vertices × instances).
+    pub fn vertex_invocations(&self) -> u64 {
+        self.vertex_count * u64::from(self.instance_count)
+    }
+
+    /// Expected pixel-shader invocations: covered target pixels × overdraw ×
+    /// early-Z pass rate.
+    pub fn shaded_pixels(&self) -> f64 {
+        self.coverage * self.render_target.pixels() as f64 * self.overdraw * self.z_pass_rate
+    }
+
+    /// Average rasterised area per surviving primitive, in pixels. Small
+    /// triangles are a classic GPU inefficiency; the simulator derates
+    /// rasteriser throughput below ~16 px.
+    pub fn avg_primitive_area(&self) -> f64 {
+        let prims = self.primitives() as f64 * self.cull.survival_rate();
+        if prims < 1.0 {
+            return 0.0;
+        }
+        self.coverage * self.render_target.pixels() as f64 * self.overdraw / prims
+    }
+}
+
+/// Builder for [`DrawCall`] (C-BUILDER); all knobs default to a cheap opaque
+/// triangle-list draw onto the 1080p back buffer.
+#[derive(Debug, Clone)]
+pub struct DrawCallBuilder {
+    draw: DrawCall,
+}
+
+impl DrawCallBuilder {
+    /// Creates the builder with neutral defaults.
+    pub fn new(id: DrawId) -> Self {
+        DrawCallBuilder {
+            draw: DrawCall {
+                id,
+                state: StateId(0),
+                vertex_shader: ShaderId(0),
+                pixel_shader: ShaderId(0),
+                blend: BlendMode::Opaque,
+                depth: DepthMode::TestAndWrite,
+                cull: CullMode::Back,
+                topology: PrimitiveTopology::TriangleList,
+                vertex_count: 3,
+                instance_count: 1,
+                textures: Vec::new(),
+                render_target: RenderTargetDesc::default(),
+                coverage: 0.01,
+                overdraw: 1.0,
+                z_pass_rate: 1.0,
+                texel_locality: 0.8,
+                material_tag: 0,
+            },
+        }
+    }
+
+    /// Sets the interned pipeline state id.
+    pub fn state(mut self, state: StateId) -> Self {
+        self.draw.state = state;
+        self
+    }
+
+    /// Sets the bound shaders.
+    pub fn shaders(mut self, vs: ShaderId, ps: ShaderId) -> Self {
+        self.draw.vertex_shader = vs;
+        self.draw.pixel_shader = ps;
+        self
+    }
+
+    /// Sets blend, depth and cull state.
+    pub fn fixed_function(mut self, blend: BlendMode, depth: DepthMode, cull: CullMode) -> Self {
+        self.draw.blend = blend;
+        self.draw.depth = depth;
+        self.draw.cull = cull;
+        self
+    }
+
+    /// Sets topology and vertex count.
+    pub fn geometry(mut self, topology: PrimitiveTopology, vertex_count: u64) -> Self {
+        self.draw.topology = topology;
+        self.draw.vertex_count = vertex_count;
+        self
+    }
+
+    /// Sets the instance count.
+    pub fn instances(mut self, count: u32) -> Self {
+        self.draw.instance_count = count.max(1);
+        self
+    }
+
+    /// Sets the bound texture list.
+    pub fn textures(mut self, textures: Vec<TextureId>) -> Self {
+        self.draw.textures = textures;
+        self
+    }
+
+    /// Sets the render target.
+    pub fn render_target(mut self, rt: RenderTargetDesc) -> Self {
+        self.draw.render_target = rt;
+        self
+    }
+
+    /// Sets coverage, overdraw and z-pass rate. Values are clamped to their
+    /// valid ranges.
+    pub fn rasterization(mut self, coverage: f64, overdraw: f64, z_pass_rate: f64) -> Self {
+        self.draw.coverage = coverage.clamp(0.0, 1.0);
+        self.draw.overdraw = overdraw.max(0.0);
+        self.draw.z_pass_rate = z_pass_rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets texture sampling locality (clamped to `0.0..=1.0`).
+    pub fn texel_locality(mut self, locality: f64) -> Self {
+        self.draw.texel_locality = locality.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the generator's material ground-truth tag.
+    pub fn material_tag(mut self, tag: u32) -> Self {
+        self.draw.material_tag = tag;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> DrawCall {
+        self.draw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_primitive_counts() {
+        assert_eq!(PrimitiveTopology::TriangleList.primitives(9), 3);
+        assert_eq!(PrimitiveTopology::TriangleStrip.primitives(9), 7);
+        assert_eq!(PrimitiveTopology::TriangleStrip.primitives(1), 0);
+        assert_eq!(PrimitiveTopology::LineList.primitives(8), 4);
+        assert_eq!(PrimitiveTopology::PointList.primitives(5), 5);
+    }
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let d = DrawCall::builder(DrawId(0)).build();
+        assert_eq!(d.instance_count, 1);
+        assert!(d.coverage > 0.0 && d.coverage <= 1.0);
+        assert_eq!(d.primitives(), 1);
+    }
+
+    #[test]
+    fn instancing_multiplies_work() {
+        let d = DrawCall::builder(DrawId(0))
+            .geometry(PrimitiveTopology::TriangleList, 300)
+            .instances(10)
+            .build();
+        assert_eq!(d.primitives(), 1000);
+        assert_eq!(d.vertex_invocations(), 3000);
+    }
+
+    #[test]
+    fn shaded_pixels_formula() {
+        let d = DrawCall::builder(DrawId(0))
+            .rasterization(0.5, 2.0, 0.5)
+            .build();
+        let expected = 0.5 * (1920.0 * 1080.0) * 2.0 * 0.5;
+        assert!((d.shaded_pixels() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rasterization_clamps() {
+        let d = DrawCall::builder(DrawId(0))
+            .rasterization(5.0, -1.0, 7.0)
+            .build();
+        assert_eq!(d.coverage, 1.0);
+        assert_eq!(d.overdraw, 0.0);
+        assert_eq!(d.z_pass_rate, 1.0);
+    }
+
+    #[test]
+    fn zero_instances_clamps_to_one() {
+        let d = DrawCall::builder(DrawId(0)).instances(0).build();
+        assert_eq!(d.instance_count, 1);
+    }
+
+    #[test]
+    fn avg_primitive_area_zero_when_no_prims() {
+        let d = DrawCall::builder(DrawId(0))
+            .geometry(PrimitiveTopology::TriangleList, 2)
+            .build();
+        assert_eq!(d.avg_primitive_area(), 0.0);
+    }
+
+    #[test]
+    fn avg_primitive_area_positive() {
+        let d = DrawCall::builder(DrawId(0))
+            .geometry(PrimitiveTopology::TriangleList, 3000)
+            .rasterization(0.2, 1.5, 1.0)
+            .build();
+        assert!(d.avg_primitive_area() > 0.0);
+    }
+}

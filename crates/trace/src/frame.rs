@@ -1,0 +1,103 @@
+//! Frames: ordered sequences of draw-calls.
+
+use crate::draw::DrawCall;
+use crate::ids::{FrameId, ShaderId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One rendered frame: an ordered list of draw-calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Position of the frame in the trace.
+    pub id: FrameId,
+    draws: Vec<DrawCall>,
+}
+
+impl Frame {
+    /// Creates a frame from its draws.
+    pub fn new(id: FrameId, draws: Vec<DrawCall>) -> Self {
+        Frame { id, draws }
+    }
+
+    /// The draws in submission order.
+    pub fn draws(&self) -> &[DrawCall] {
+        &self.draws
+    }
+
+    /// Number of draw-calls in the frame.
+    pub fn draw_count(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
+
+    /// The set of distinct shader ids (vertex and pixel) the frame uses —
+    /// the raw material for shader vectors.
+    pub fn shader_set(&self) -> BTreeSet<ShaderId> {
+        let mut set = BTreeSet::new();
+        for d in &self.draws {
+            set.insert(d.vertex_shader);
+            set.insert(d.pixel_shader);
+        }
+        set
+    }
+
+    /// Total vertex invocations across the frame.
+    pub fn total_vertices(&self) -> u64 {
+        self.draws.iter().map(DrawCall::vertex_invocations).sum()
+    }
+
+    /// Total expected shaded pixels across the frame.
+    pub fn total_shaded_pixels(&self) -> f64 {
+        self.draws.iter().map(DrawCall::shaded_pixels).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::PrimitiveTopology;
+    use crate::ids::DrawId;
+
+    fn frame_with(shaders: &[(u32, u32)]) -> Frame {
+        let draws = shaders
+            .iter()
+            .enumerate()
+            .map(|(i, &(vs, ps))| {
+                DrawCall::builder(DrawId(i as u64))
+                    .shaders(ShaderId(vs), ShaderId(ps))
+                    .geometry(PrimitiveTopology::TriangleList, 30)
+                    .build()
+            })
+            .collect();
+        Frame::new(FrameId(0), draws)
+    }
+
+    #[test]
+    fn shader_set_dedupes() {
+        let f = frame_with(&[(0, 1), (0, 1), (0, 2)]);
+        let set = f.shader_set();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&ShaderId(0)));
+        assert!(set.contains(&ShaderId(2)));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let f = frame_with(&[(0, 1), (2, 3)]);
+        assert_eq!(f.draw_count(), 2);
+        assert_eq!(f.total_vertices(), 60);
+        assert!(f.total_shaded_pixels() > 0.0);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = Frame::new(FrameId(3), Vec::new());
+        assert!(f.is_empty());
+        assert!(f.shader_set().is_empty());
+        assert_eq!(f.total_vertices(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Temporal coherence: a smooth camera-driven modulation of frame load.
+//!
+//! Real game frames are strongly correlated with their neighbours — the
+//! camera moves smoothly, so visible geometry and covered pixels change
+//! gradually. [`CameraWalk`] models this as a mean-reverting
+//! (Ornstein–Uhlenbeck-style) random walk whose value multiplies per-frame
+//! draw counts and coverages.
+
+use crate::gen::scene::Sampler;
+
+/// Mean-reverting random walk around `1.0`, clamped to a sane band.
+#[derive(Debug, Clone)]
+pub struct CameraWalk {
+    value: f64,
+    reversion: f64,
+    volatility: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl CameraWalk {
+    /// Creates a walk with the default band `[0.75, 1.3]`, mild reversion
+    /// and per-frame volatility.
+    pub fn new() -> Self {
+        CameraWalk {
+            value: 1.0,
+            reversion: 0.15,
+            volatility: 0.04,
+            lo: 0.75,
+            hi: 1.3,
+        }
+    }
+
+    /// The current modulation factor.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Advances the walk one frame and returns the new factor.
+    pub fn step(&mut self, sampler: &mut Sampler) -> f64 {
+        let noise = sampler.normal() * self.volatility;
+        self.value += self.reversion * (1.0 - self.value) + noise;
+        self.value = self.value.clamp(self.lo, self.hi);
+        self.value
+    }
+}
+
+impl Default for CameraWalk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(seed: u64) -> Sampler {
+        Sampler::new(StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn stays_in_band() {
+        let mut s = sampler(1);
+        let mut walk = CameraWalk::new();
+        for _ in 0..10_000 {
+            let v = walk.step(&mut s);
+            assert!((0.75..=1.3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn consecutive_steps_are_close() {
+        let mut s = sampler(2);
+        let mut walk = CameraWalk::new();
+        let mut prev = walk.value();
+        for _ in 0..1_000 {
+            let v = walk.step(&mut s);
+            assert!((v - prev).abs() < 0.25, "step jumped from {prev} to {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn long_run_mean_near_one() {
+        let mut s = sampler(3);
+        let mut walk = CameraWalk::new();
+        let values: Vec<f64> = (0..20_000).map(|_| walk.step(&mut s)).collect();
+        let mean = subset3d_stats::mean(&values);
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

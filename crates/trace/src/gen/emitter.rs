@@ -1,0 +1,715 @@
+//! Workload emission: turns a [`GameProfile`] into a [`Workload`].
+
+use crate::draw::{DrawCall, PrimitiveTopology};
+use crate::frame::Frame;
+use crate::gen::camera::CameraWalk;
+use crate::gen::material::{Material, MaterialClass};
+use crate::gen::phase_script::{PhaseKind, PhaseScript};
+use crate::gen::profile::GameProfile;
+use crate::gen::scene::Sampler;
+use crate::ids::{DrawId, FrameId, ShaderId, StateId, TextureId};
+use crate::shader::{ShaderLibrary, ShaderProgram, ShaderStage};
+use crate::state::StateTable;
+use crate::target::RenderTargetDesc;
+use crate::texture::{TextureDesc, TextureFormat, TextureRegistry};
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Ground-truth phase structure of a generated workload, used by tests and
+/// the phase-detection evaluation (the detector itself never sees this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseGroundTruth {
+    /// The script the workload was generated from.
+    pub script: PhaseScript,
+    /// Phase kind of every frame, in trace order.
+    pub per_frame: Vec<PhaseKind>,
+}
+
+/// Deterministic workload generator produced by [`GameProfile::build`].
+///
+/// The same profile and seed always generate byte-identical workloads.
+#[derive(Debug, Clone)]
+pub struct GameGenerator {
+    profile: GameProfile,
+    seed: u64,
+}
+
+/// Pool key: a material class either bound to a level area or global.
+type PoolKey = (MaterialClass, Option<u8>);
+
+/// One palette entry: a material index with its sampling weight.
+struct PaletteEntry {
+    material: usize,
+    weight: f64,
+}
+
+/// Everything a phase kind needs to emit frames.
+struct Palette {
+    /// Shadow-pass materials, rendered first every gameplay frame.
+    shadow: Vec<usize>,
+    /// Index of the (single) sky material opening the main pass, if any.
+    sky: Option<usize>,
+    /// Post-process materials drawn at frame end.
+    post: Vec<usize>,
+    /// Weighted bulk materials.
+    bulk: Vec<PaletteEntry>,
+}
+
+impl GameGenerator {
+    /// Creates a generator for a profile with a seed.
+    pub fn new(profile: GameProfile, seed: u64) -> Self {
+        GameGenerator { profile, seed }
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> Workload {
+        self.generate_with_truth().0
+    }
+
+    /// Generates the workload together with its phase ground truth.
+    pub fn generate_with_truth(&self) -> (Workload, PhaseGroundTruth) {
+        let mut sampler = Sampler::new(StdRng::seed_from_u64(self.seed));
+        let script = self.profile.resolved_script();
+        let per_frame = script.per_frame();
+
+        let areas = collect_areas(&script);
+        let mut shaders = ShaderLibrary::new();
+        let mut textures = TextureRegistry::new();
+        let mut states = StateTable::new();
+
+        let (materials, pools) =
+            self.build_materials(&mut sampler, &mut shaders, &mut textures, &areas);
+        let material_states: Vec<StateId> = materials
+            .iter()
+            .map(|m| {
+                let (blend, depth, cull) = m.class.fixed_function();
+                states.intern(m.vertex_shader, m.pixel_shader, blend, depth, cull)
+            })
+            .collect();
+
+        let palettes: BTreeMap<PhaseKind, Palette> = script
+            .distinct_kinds()
+            .into_iter()
+            .map(|kind| (kind, self.build_palette(kind, &pools, &mut sampler)))
+            .collect();
+
+        let mut camera = CameraWalk::new();
+        let mut next_draw_id = 0u64;
+        let mut frames = Vec::with_capacity(per_frame.len());
+        for (frame_idx, &kind) in per_frame.iter().enumerate() {
+            let cam = camera.step(&mut sampler);
+            let palette = &palettes[&kind];
+            let draws = self.emit_frame(
+                kind,
+                palette,
+                &materials,
+                &material_states,
+                cam,
+                &mut next_draw_id,
+                &mut sampler,
+            );
+            frames.push(Frame::new(FrameId(frame_idx as u32), draws));
+        }
+
+        let workload = Workload::new(self.profile.name.clone(), frames, shaders, textures, states);
+        let truth = PhaseGroundTruth { script, per_frame };
+        (workload, truth)
+    }
+
+    /// Builds the shader library, texture registry and material pools.
+    fn build_materials(
+        &self,
+        sampler: &mut Sampler,
+        shaders: &mut ShaderLibrary,
+        textures: &mut TextureRegistry,
+        areas: &[u8],
+    ) -> (Vec<Material>, BTreeMap<PoolKey, Vec<usize>>) {
+        // One vertex shader per class, shared across areas.
+        let vs_by_class: BTreeMap<MaterialClass, ShaderId> = MaterialClass::ALL
+            .iter()
+            .map(|&class| {
+                let mix = class.sample_vertex_mix(sampler);
+                let id = shaders.add(|id| {
+                    let mut p =
+                        ShaderProgram::new(id, ShaderStage::Vertex, format!("vs_{class:?}"), mix);
+                    p.registers = if class == MaterialClass::Character { 32 } else { 16 };
+                    p
+                });
+                (class, id)
+            })
+            .collect();
+
+        let mut materials = Vec::new();
+        let mut pools: BTreeMap<PoolKey, Vec<usize>> = BTreeMap::new();
+        for &class in &MaterialClass::ALL {
+            let keys: Vec<PoolKey> = if is_area_class(class) {
+                areas.iter().map(|&a| (class, Some(a))).collect()
+            } else {
+                vec![(class, None)]
+            };
+            for key in keys {
+                let pool = self.build_pool(key, vs_by_class[&class], sampler, shaders, textures, &mut materials);
+                pools.insert(key, pool);
+            }
+        }
+        (materials, pools)
+    }
+
+    /// Builds the shaders, textures and materials of one (class, area) pool,
+    /// returning the material indices.
+    fn build_pool(
+        &self,
+        (class, area): PoolKey,
+        vertex_shader: ShaderId,
+        sampler: &mut Sampler,
+        shaders: &mut ShaderLibrary,
+        textures: &mut TextureRegistry,
+        materials: &mut Vec<Material>,
+    ) -> Vec<usize> {
+        let suffix = match area {
+            Some(a) => format!("{class:?}_a{a}"),
+            None => format!("{class:?}"),
+        };
+        // Depth-only classes bind no textures; skip pool creation so the
+        // registry holds no unreferenced resources.
+        let pool_textures = if class.texture_slots() == 0 {
+            0
+        } else {
+            self.profile.textures_per_pool
+        };
+        let ps_pool: Vec<ShaderId> = (0..self.profile.shader_variants)
+            .map(|v| {
+                let mix = class.sample_pixel_mix(sampler);
+                shaders.add(|id| {
+                    let mut p =
+                        ShaderProgram::new(id, ShaderStage::Pixel, format!("ps_{suffix}_{v}"), mix);
+                    p.divergence = sampler.uniform(0.0, 0.3);
+                    p.registers = sampler.uniform_usize(12, 40) as u32;
+                    p
+                })
+            })
+            .collect();
+
+        let tex_pool: Vec<TextureId> = (0..pool_textures)
+            .map(|_| {
+                let (size, format) = texture_spec(class, sampler);
+                textures.add(|id| TextureDesc {
+                    id,
+                    width: size,
+                    height: size,
+                    mips: (32 - size.leading_zeros()).max(1),
+                    format,
+                })
+            })
+            .collect();
+
+        let count = material_count(class, self.profile.materials_per_class);
+        let mut indices = Vec::with_capacity(count);
+        for _ in 0..count {
+            let ps = ps_pool[sampler.uniform_usize(0, ps_pool.len() - 1)];
+            let slots = class.texture_slots().min(tex_pool.len());
+            let mut texs = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                texs.push(tex_pool[sampler.uniform_usize(0, tex_pool.len() - 1)]);
+            }
+            texs.sort();
+            texs.dedup();
+            let id = materials.len() as u32;
+            materials.push(Material {
+                id,
+                class,
+                vertex_shader,
+                pixel_shader: ps,
+                textures: texs,
+            });
+            indices.push(materials.len() - 1);
+        }
+        indices
+    }
+
+    /// Builds the material palette for one phase kind. Palettes are built
+    /// once, so repeated segments of the same kind share shaders exactly —
+    /// the property shader-vector phase detection relies on.
+    fn build_palette(
+        &self,
+        kind: PhaseKind,
+        pools: &BTreeMap<PoolKey, Vec<usize>>,
+        sampler: &mut Sampler,
+    ) -> Palette {
+        let area = kind.area();
+        let class_weights: Vec<(MaterialClass, f64)> = match kind {
+            PhaseKind::Menu => vec![(MaterialClass::Ui, 8.0)],
+            PhaseKind::Loading => vec![(MaterialClass::Ui, 1.0)],
+            PhaseKind::Explore(_) => vec![
+                (MaterialClass::Terrain, 4.0),
+                (MaterialClass::StaticMesh, 49.0),
+                (MaterialClass::Character, 6.0),
+                (MaterialClass::Transparent, 8.0),
+                (MaterialClass::Particle, 6.0),
+                (MaterialClass::Ui, 6.0),
+            ],
+            PhaseKind::Combat(_) => vec![
+                (MaterialClass::Terrain, 4.0),
+                (MaterialClass::StaticMesh, 38.0),
+                (MaterialClass::Character, 12.0),
+                (MaterialClass::Transparent, 10.0),
+                (MaterialClass::Particle, 18.0),
+                (MaterialClass::Ui, 8.0),
+            ],
+            PhaseKind::Cutscene(_) => vec![
+                (MaterialClass::Terrain, 5.0),
+                (MaterialClass::StaticMesh, 33.0),
+                (MaterialClass::Character, 25.0),
+                (MaterialClass::Transparent, 8.0),
+                (MaterialClass::Particle, 5.0),
+            ],
+        };
+
+        let lookup = |class: MaterialClass| -> &[usize] {
+            let key = if is_area_class(class) { (class, area) } else { (class, None) };
+            pools.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        };
+
+        let mut bulk = Vec::new();
+        for (class, class_weight) in class_weights {
+            let mats = lookup(class);
+            for &m in mats {
+                // Per-material popularity drawn once per palette: real scenes
+                // use a few materials heavily and the rest rarely.
+                let popularity = sampler.lognormal(1.0, 0.9);
+                bulk.push(PaletteEntry {
+                    material: m,
+                    weight: class_weight * popularity / mats.len() as f64,
+                });
+            }
+        }
+
+        let sky = area.and_then(|_| lookup(MaterialClass::Sky).first().copied());
+        let post_pool = lookup(MaterialClass::PostProcess);
+        let post: Vec<usize> = match kind {
+            PhaseKind::Menu | PhaseKind::Loading => Vec::new(),
+            PhaseKind::Cutscene(_) => post_pool.iter().copied().take(3).collect(),
+            _ => post_pool.iter().copied().take(2).collect(),
+        };
+        // Gameplay frames always render the shadow map.
+        let shadow: Vec<usize> = if area.is_some() {
+            lookup(MaterialClass::Shadow).to_vec()
+        } else {
+            Vec::new()
+        };
+        Palette { shadow, sky, post, bulk }
+    }
+
+    /// Emits one frame's draws.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_frame(
+        &self,
+        kind: PhaseKind,
+        palette: &Palette,
+        materials: &[Material],
+        material_states: &[StateId],
+        cam: f64,
+        next_draw_id: &mut u64,
+        sampler: &mut Sampler,
+    ) -> Vec<DrawCall> {
+        let target =
+            ((self.profile.draws_per_frame as f64 * kind.load_multiplier() * cam).round() as usize)
+                .max(1);
+        // The shadow pass takes ~8% of the frame's draw budget (at least
+        // one draw per shadow material so the pass always exists).
+        let shadow_count = if palette.shadow.is_empty() {
+            0
+        } else {
+            ((target as f64 * 0.08).round() as usize).max(palette.shadow.len())
+        };
+        let fixed = palette.sky.iter().count() + palette.post.len() + shadow_count;
+        let bulk_count = target.saturating_sub(fixed).max(1);
+
+        let mut draws = Vec::with_capacity(bulk_count + fixed);
+        if shadow_count > 0 {
+            let mut shadow_draws = Vec::with_capacity(shadow_count);
+            for i in 0..shadow_count {
+                // Round-robin over shadow materials, keeping draws grouped
+                // by material as a sorted shadow pass would.
+                let pick = palette.shadow[i * palette.shadow.len() / shadow_count];
+                shadow_draws.push(
+                    self.synth_draw(pick, materials, material_states, cam, next_draw_id, sampler),
+                );
+            }
+            draws.extend(shadow_draws);
+        }
+        if !palette.bulk.is_empty() {
+            let weights: Vec<f64> = palette.bulk.iter().map(|e| e.weight).collect();
+            let mut bulk_draws = Vec::with_capacity(bulk_count);
+            for _ in 0..bulk_count {
+                let pick = palette.bulk[sampler.weighted_index(&weights)].material;
+                bulk_draws.push(
+                    self.synth_draw(pick, materials, material_states, cam, next_draw_id, sampler),
+                );
+            }
+            // Engines render the shadow pass first, then sort opaque
+            // batches by material to minimise state changes; mirror that so
+            // pass structure and texture-cache warmth are realistic.
+            bulk_draws.sort_by_key(|d| {
+                let shadow_pass = d.render_target != RenderTargetDesc::back_buffer_1080p();
+                (
+                    std::cmp::Reverse(shadow_pass),
+                    std::cmp::Reverse(d.blend == crate::BlendMode::Opaque),
+                    d.material_tag,
+                )
+            });
+            // The sky quad opens the main (back-buffer) pass.
+            let main_start = bulk_draws
+                .iter()
+                .position(|d| d.render_target == RenderTargetDesc::back_buffer_1080p())
+                .unwrap_or(bulk_draws.len());
+            draws.extend(bulk_draws.drain(..main_start));
+            if let Some(sky) = palette.sky {
+                draws.push(
+                    self.synth_draw(sky, materials, material_states, cam, next_draw_id, sampler),
+                );
+            }
+            draws.extend(bulk_draws);
+        } else if let Some(sky) = palette.sky {
+            draws.push(self.synth_draw(sky, materials, material_states, cam, next_draw_id, sampler));
+        }
+        for &post in &palette.post {
+            draws.push(self.synth_draw(post, materials, material_states, cam, next_draw_id, sampler));
+        }
+        draws
+    }
+
+    /// Synthesises one draw-call from a material.
+    fn synth_draw(
+        &self,
+        material_idx: usize,
+        materials: &[Material],
+        material_states: &[StateId],
+        cam: f64,
+        next_draw_id: &mut u64,
+        sampler: &mut Sampler,
+    ) -> DrawCall {
+        let m = &materials[material_idx];
+        let class = m.class;
+        let id = DrawId(*next_draw_id);
+        *next_draw_id += 1;
+
+        let (v_median, v_sigma) = class.vertex_distribution();
+        let (c_median, c_sigma) = class.coverage_distribution();
+        let (o_mean, o_sd) = class.overdraw_distribution();
+
+        let (topology, vertex_count, instances) = match class {
+            MaterialClass::Particle => {
+                let systems = sampler.lognormal(40.0, 0.8).round().clamp(1.0, 4000.0) as u32;
+                (PrimitiveTopology::TriangleStrip, 4, systems)
+            }
+            MaterialClass::Sky | MaterialClass::Ui | MaterialClass::PostProcess => {
+                let v = sampler.lognormal(v_median, v_sigma).round().max(4.0) as u64;
+                (PrimitiveTopology::TriangleStrip, v, 1)
+            }
+            _ => {
+                let v = sampler.lognormal(v_median, v_sigma).round().max(3.0) as u64;
+                (PrimitiveTopology::TriangleList, v, 1)
+            }
+        };
+
+        let coverage_scale = if matches!(class, MaterialClass::Sky | MaterialClass::PostProcess) {
+            1.0
+        } else {
+            cam
+        };
+        let coverage = (sampler.lognormal(c_median, c_sigma) * coverage_scale).clamp(1e-6, 1.0);
+        let overdraw = sampler.normal_with(o_mean, o_sd).max(1.0);
+        let z_pass = (class.z_pass_rate() + sampler.normal() * 0.05).clamp(0.05, 1.0);
+        let locality = (class.texel_locality() + sampler.normal() * 0.05).clamp(0.05, 1.0);
+        let (blend, depth, cull) = class.fixed_function();
+        let render_target = if class == MaterialClass::Shadow {
+            RenderTargetDesc::offscreen(2048, crate::TextureFormat::Depth24Stencil8)
+        } else if self.profile.deferred && deferred_gbuffer_class(class) {
+            // Deferred shading: opaque geometry writes a 3-attachment HDR
+            // G-buffer (albedo / normal / material).
+            RenderTargetDesc::gbuffer_1080p(3)
+        } else {
+            RenderTargetDesc::back_buffer_1080p()
+        };
+
+        DrawCall::builder(id)
+            .state(material_states[material_idx])
+            .shaders(m.vertex_shader, m.pixel_shader)
+            .fixed_function(blend, depth, cull)
+            .geometry(topology, vertex_count)
+            .instances(instances)
+            .textures(m.textures.clone())
+            .render_target(render_target)
+            .rasterization(coverage, overdraw, z_pass)
+            .texel_locality(locality)
+            .material_tag(m.id)
+            .build()
+    }
+}
+
+/// Classes that write the G-buffer under deferred shading.
+fn deferred_gbuffer_class(class: MaterialClass) -> bool {
+    matches!(
+        class,
+        MaterialClass::Sky
+            | MaterialClass::Terrain
+            | MaterialClass::StaticMesh
+            | MaterialClass::Character
+    )
+}
+
+/// Classes whose pools are bound to a level area (their shaders change when
+/// the player moves to a new area).
+fn is_area_class(class: MaterialClass) -> bool {
+    !matches!(class, MaterialClass::Ui | MaterialClass::PostProcess)
+}
+
+/// Distinct areas referenced by the script, plus area 0 as a fallback so
+/// area-bound pools exist even for menu-only scripts.
+fn collect_areas(script: &PhaseScript) -> Vec<u8> {
+    let mut set: std::collections::BTreeSet<u8> =
+        script.segments().iter().filter_map(|s| s.kind.area()).collect();
+    set.insert(0);
+    set.into_iter().collect()
+}
+
+/// How many materials a class gets, given the profile knob.
+fn material_count(class: MaterialClass, base: usize) -> usize {
+    match class {
+        MaterialClass::Sky => 1,
+        MaterialClass::Terrain => (base / 3).max(2),
+        MaterialClass::StaticMesh => base * 2,
+        MaterialClass::Character => (base / 2).max(2),
+        MaterialClass::Transparent => (base / 2).max(2),
+        MaterialClass::Particle => (base / 2).max(2),
+        MaterialClass::Ui => (base / 2).max(3),
+        MaterialClass::PostProcess => 3,
+        MaterialClass::Shadow => (base / 3).max(2),
+    }
+}
+
+/// Texture edge size and format typical for a class.
+fn texture_spec(class: MaterialClass, sampler: &mut Sampler) -> (u32, TextureFormat) {
+    match class {
+        MaterialClass::Sky => (2048, TextureFormat::Bc1),
+        MaterialClass::Terrain => (1024, TextureFormat::Bc1),
+        MaterialClass::StaticMesh => {
+            let size = [512, 1024][sampler.uniform_usize(0, 1)];
+            let fmt = if sampler.chance(0.5) { TextureFormat::Bc1 } else { TextureFormat::Bc3 };
+            (size, fmt)
+        }
+        MaterialClass::Character => (1024, TextureFormat::Bc3),
+        MaterialClass::Transparent => (512, TextureFormat::Rgba8),
+        MaterialClass::Particle => (128, TextureFormat::Rgba8),
+        MaterialClass::Ui => (256, TextureFormat::Rgba8),
+        MaterialClass::PostProcess => (2048, TextureFormat::Rgba16f),
+        // Never reached: the shadow pool creates no textures (slots = 0).
+        MaterialClass::Shadow => (2048, TextureFormat::Depth24Stencil8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GameProfile;
+
+    fn small() -> GameGenerator {
+        GameProfile::shooter("t").frames(12).draws_per_frame(60).build(5)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GameProfile::shooter("t").frames(6).draws_per_frame(40).build(1).generate();
+        let b = GameProfile::shooter("t").frames(6).draws_per_frame(40).build(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_workload_is_valid() {
+        let w = small().generate();
+        let issues = w.validate();
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn truth_matches_frames() {
+        let (w, truth) = small().generate_with_truth();
+        assert_eq!(truth.per_frame.len(), w.frames().len());
+        assert_eq!(truth.script.total_frames(), w.frames().len());
+    }
+
+    #[test]
+    fn draw_ids_are_unique_and_dense() {
+        let w = small().generate();
+        let mut ids: Vec<u64> =
+            w.frames().iter().flat_map(|f| f.draws().iter().map(|d| d.id.raw())).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(ids[0], 0);
+        assert_eq!(*ids.last().unwrap(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn phase_load_shapes_draw_counts() {
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(60)
+            .draws_per_frame(100)
+            .build(3)
+            .generate_with_truth();
+        let mut menu = Vec::new();
+        let mut combat = Vec::new();
+        for (frame, kind) in w.frames().iter().zip(&truth.per_frame) {
+            match kind {
+                PhaseKind::Menu => menu.push(frame.draw_count() as f64),
+                PhaseKind::Combat(_) => combat.push(frame.draw_count() as f64),
+                _ => {}
+            }
+        }
+        assert!(!menu.is_empty() && !combat.is_empty());
+        assert!(subset3d_stats::mean(&combat) > 2.0 * subset3d_stats::mean(&menu));
+    }
+
+    #[test]
+    fn same_kind_segments_share_shader_sets() {
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(120)
+            .draws_per_frame(200)
+            .build(8)
+            .generate_with_truth();
+        // Collect the union of shaders per phase kind occurrence; two
+        // Explore(0) segments must have highly overlapping shader sets.
+        let mut first_explore0: Option<std::collections::BTreeSet<_>> = None;
+        let mut last_explore0: Option<std::collections::BTreeSet<_>> = None;
+        let mut seen_gap = false;
+        for (frame, kind) in w.frames().iter().zip(&truth.per_frame) {
+            if *kind == PhaseKind::Explore(0) {
+                let set = frame.shader_set();
+                if !seen_gap {
+                    first_explore0.get_or_insert_with(Default::default).extend(set);
+                } else {
+                    last_explore0.get_or_insert_with(Default::default).extend(set);
+                }
+            } else if first_explore0.is_some() {
+                seen_gap = true;
+            }
+        }
+        let (a, b) = (first_explore0.unwrap(), last_explore0.unwrap());
+        let inter = a.intersection(&b).count();
+        let union = a.union(&b).count();
+        assert!(
+            inter as f64 / union as f64 > 0.8,
+            "revisited area should reuse shaders: {inter}/{union}"
+        );
+    }
+
+    #[test]
+    fn bulk_draws_sorted_by_material_within_pass() {
+        let w = small().generate();
+        // Within each render pass of a frame, opaque non-fullscreen draws
+        // are grouped by material tag (non-decreasing runs).
+        let frame = &w.frames()[3];
+        let back_buffer = RenderTargetDesc::back_buffer_1080p();
+        for offscreen in [true, false] {
+            let tags: Vec<u32> = frame
+                .draws()
+                .iter()
+                .filter(|d| {
+                    d.blend == crate::BlendMode::Opaque
+                        && d.coverage < 1.0
+                        && (d.render_target != back_buffer) == offscreen
+                })
+                .map(|d| d.material_tag)
+                .collect();
+            let mut sorted = tags.clone();
+            sorted.sort_unstable();
+            assert_eq!(tags, sorted, "offscreen={offscreen}");
+        }
+    }
+
+    #[test]
+    fn deferred_mode_targets_gbuffer() {
+        let (w, truth) = GameProfile::shooter("t")
+            .frames(12)
+            .draws_per_frame(60)
+            .deferred(true)
+            .build(5)
+            .generate_with_truth();
+        assert!(w.validate().is_empty());
+        let mut gbuffer_draws = 0;
+        for (frame, kind) in w.frames().iter().zip(&truth.per_frame) {
+            if kind.area().is_none() {
+                continue;
+            }
+            for d in frame.draws() {
+                if d.render_target.format == crate::TextureFormat::Rgba16f {
+                    gbuffer_draws += 1;
+                }
+            }
+        }
+        assert!(gbuffer_draws > 0, "deferred frames must write the G-buffer");
+        // Forward mode never writes 16F targets.
+        let fwd = GameProfile::shooter("t").frames(12).draws_per_frame(60).build(5).generate();
+        assert!(fwd
+            .frames()
+            .iter()
+            .flat_map(|f| f.draws())
+            .all(|d| d.render_target.format != crate::TextureFormat::Rgba16f));
+    }
+
+    #[test]
+    fn deferred_workloads_move_more_bytes() {
+        // Fat G-buffer writes must show up as extra memory traffic.
+        let fwd = GameProfile::shooter("t").frames(6).draws_per_frame(80).build(9).generate();
+        let dfr = GameProfile::shooter("t")
+            .frames(6)
+            .draws_per_frame(80)
+            .deferred(true)
+            .build(9)
+            .generate();
+        // Compare per-draw colour write volume structurally: the deferred
+        // trace's opaque main-pass draws have double bytes-per-pixel.
+        let bpp = |w: &crate::Workload| -> f64 {
+            w.frames()
+                .iter()
+                .flat_map(|f| f.draws())
+                .map(|d| d.render_target.bytes_per_pixel() * d.shaded_pixels())
+                .sum()
+        };
+        assert!(bpp(&dfr) > bpp(&fwd) * 1.3, "{} vs {}", bpp(&dfr), bpp(&fwd));
+    }
+
+    #[test]
+    fn shadow_pass_precedes_main_pass() {
+        let (w, truth) = small().generate_with_truth();
+        let back_buffer = RenderTargetDesc::back_buffer_1080p();
+        for (frame, kind) in w.frames().iter().zip(&truth.per_frame) {
+            if kind.area().is_none() {
+                continue; // menu/loading frames have no shadow pass
+            }
+            // Once a back-buffer draw appears, no offscreen draw follows.
+            let mut seen_main = false;
+            let mut shadow_draws = 0;
+            for d in frame.draws() {
+                if d.render_target == back_buffer {
+                    seen_main = true;
+                } else {
+                    assert!(!seen_main, "shadow draw after main pass started");
+                    shadow_draws += 1;
+                }
+            }
+            assert!(shadow_draws > 0, "gameplay frame without shadow pass");
+        }
+    }
+}

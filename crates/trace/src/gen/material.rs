@@ -1,0 +1,302 @@
+//! Materials: the unit of intra-frame redundancy.
+//!
+//! Real engines batch geometry by material (shader pair + textures + fixed
+//! function state); the hundreds of draws in a frame come from a few dozen
+//! materials. The per-class parameter distributions below shape the
+//! heavy-tailed draw-cost structure the clustering methodology exploits.
+
+use crate::gen::scene::Sampler;
+use crate::ids::{ShaderId, TextureId};
+use crate::state::{BlendMode, CullMode, DepthMode};
+use crate::InstructionMix;
+use serde::{Deserialize, Serialize};
+
+/// Broad rendering class of a material, determining its draw-parameter
+/// distributions and fixed-function state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MaterialClass {
+    /// Skybox / environment dome: one huge quad, drawn once.
+    Sky,
+    /// Terrain patches: few draws, very heavy geometry.
+    Terrain,
+    /// Static level geometry: the bulk of draws.
+    StaticMesh,
+    /// Skinned characters: moderate draws, expensive vertex shading.
+    Character,
+    /// Alpha-blended surfaces (glass, water, decals).
+    Transparent,
+    /// Additive particle systems: tiny instanced quads, huge overdraw.
+    Particle,
+    /// HUD / UI elements: cheap, depth-disabled.
+    Ui,
+    /// Full-screen post-processing passes: texture-sampling heavy.
+    PostProcess,
+    /// Shadow-map pass: depth-only geometry onto an off-screen target.
+    Shadow,
+}
+
+impl MaterialClass {
+    /// Every class, in a stable order.
+    pub const ALL: [MaterialClass; 9] = [
+        MaterialClass::Sky,
+        MaterialClass::Terrain,
+        MaterialClass::StaticMesh,
+        MaterialClass::Character,
+        MaterialClass::Transparent,
+        MaterialClass::Particle,
+        MaterialClass::Ui,
+        MaterialClass::PostProcess,
+        MaterialClass::Shadow,
+    ];
+
+    /// Fixed-function state for the class.
+    pub fn fixed_function(self) -> (BlendMode, DepthMode, CullMode) {
+        match self {
+            MaterialClass::Sky => (BlendMode::Opaque, DepthMode::TestOnly, CullMode::None),
+            MaterialClass::Terrain | MaterialClass::StaticMesh | MaterialClass::Character => {
+                (BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Back)
+            }
+            MaterialClass::Transparent => {
+                (BlendMode::AlphaBlend, DepthMode::TestOnly, CullMode::None)
+            }
+            MaterialClass::Particle => (BlendMode::Additive, DepthMode::TestOnly, CullMode::None),
+            MaterialClass::Ui => (BlendMode::AlphaBlend, DepthMode::Disabled, CullMode::None),
+            MaterialClass::PostProcess => (BlendMode::Opaque, DepthMode::Disabled, CullMode::None),
+            MaterialClass::Shadow => (BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Front),
+        }
+    }
+
+    /// `(median, sigma)` of the lognormal vertex-count distribution.
+    pub fn vertex_distribution(self) -> (f64, f64) {
+        match self {
+            MaterialClass::Sky => (24.0, 0.2),
+            MaterialClass::Terrain => (24_000.0, 0.6),
+            MaterialClass::StaticMesh => (900.0, 1.0),
+            MaterialClass::Character => (6_000.0, 0.5),
+            MaterialClass::Transparent => (300.0, 0.8),
+            MaterialClass::Particle => (6.0, 0.3),
+            MaterialClass::Ui => (6.0, 0.4),
+            MaterialClass::PostProcess => (6.0, 0.0),
+            MaterialClass::Shadow => (1_200.0, 0.9),
+        }
+    }
+
+    /// `(median, sigma)` of the lognormal coverage distribution (fraction of
+    /// the render target covered by the draw's geometry).
+    pub fn coverage_distribution(self) -> (f64, f64) {
+        match self {
+            MaterialClass::Sky => (1.0, 0.0),
+            MaterialClass::Terrain => (0.22, 0.4),
+            MaterialClass::StaticMesh => (0.008, 1.1),
+            MaterialClass::Character => (0.015, 0.8),
+            MaterialClass::Transparent => (0.02, 1.0),
+            MaterialClass::Particle => (0.02, 1.0),
+            MaterialClass::Ui => (0.004, 0.8),
+            MaterialClass::PostProcess => (1.0, 0.0),
+            // Coverage of the 2048x2048 shadow map, not the back buffer.
+            MaterialClass::Shadow => (0.02, 1.0),
+        }
+    }
+
+    /// `(mean, sd)` of the (normal, clamped ≥ 1) overdraw distribution.
+    pub fn overdraw_distribution(self) -> (f64, f64) {
+        match self {
+            MaterialClass::Sky => (1.0, 0.0),
+            MaterialClass::Terrain => (1.1, 0.05),
+            MaterialClass::StaticMesh => (1.25, 0.15),
+            MaterialClass::Character => (1.1, 0.08),
+            MaterialClass::Transparent => (2.2, 0.5),
+            MaterialClass::Particle => (4.5, 1.5),
+            MaterialClass::Ui => (1.2, 0.1),
+            MaterialClass::PostProcess => (1.0, 0.0),
+            MaterialClass::Shadow => (1.15, 0.1),
+        }
+    }
+
+    /// Expected early-Z pass rate for the class.
+    pub fn z_pass_rate(self) -> f64 {
+        match self {
+            MaterialClass::Sky => 0.35,
+            MaterialClass::Terrain => 0.9,
+            MaterialClass::StaticMesh => 0.65,
+            MaterialClass::Character => 0.8,
+            MaterialClass::Transparent => 0.95,
+            MaterialClass::Particle => 0.9,
+            MaterialClass::Ui => 1.0,
+            MaterialClass::PostProcess => 1.0,
+            MaterialClass::Shadow => 0.95,
+        }
+    }
+
+    /// Expected texture-sampling locality for the class.
+    pub fn texel_locality(self) -> f64 {
+        match self {
+            MaterialClass::Sky => 0.95,
+            MaterialClass::Terrain => 0.7,
+            MaterialClass::StaticMesh => 0.62,
+            MaterialClass::Character => 0.68,
+            MaterialClass::Transparent => 0.6,
+            MaterialClass::Particle => 0.35,
+            MaterialClass::Ui => 0.9,
+            MaterialClass::PostProcess => 0.98,
+            MaterialClass::Shadow => 0.85,
+        }
+    }
+
+    /// Whether the class draws instanced batches (particles).
+    pub fn instanced(self) -> bool {
+        matches!(self, MaterialClass::Particle)
+    }
+
+    /// Number of textures a material of this class binds.
+    pub fn texture_slots(self) -> usize {
+        match self {
+            MaterialClass::Sky => 1,
+            MaterialClass::Terrain => 4,
+            MaterialClass::StaticMesh => 3,
+            MaterialClass::Character => 4,
+            MaterialClass::Transparent => 2,
+            MaterialClass::Particle => 1,
+            MaterialClass::Ui => 1,
+            MaterialClass::PostProcess => 3,
+            // Depth-only: no textures sampled.
+            MaterialClass::Shadow => 0,
+        }
+    }
+
+    /// Samples a pixel-shader instruction mix typical for the class.
+    pub fn sample_pixel_mix(self, sampler: &mut Sampler) -> InstructionMix {
+        let (alu, mad, trans, tex) = match self {
+            MaterialClass::Sky => (8.0, 4.0, 1.0, 1.0),
+            MaterialClass::Terrain => (30.0, 18.0, 3.0, 4.0),
+            MaterialClass::StaticMesh => (26.0, 16.0, 2.0, 3.0),
+            MaterialClass::Character => (38.0, 24.0, 4.0, 4.0),
+            MaterialClass::Transparent => (20.0, 12.0, 2.0, 2.0),
+            MaterialClass::Particle => (6.0, 3.0, 0.0, 1.0),
+            MaterialClass::Ui => (4.0, 2.0, 0.0, 1.0),
+            MaterialClass::PostProcess => (40.0, 20.0, 6.0, 9.0),
+            MaterialClass::Shadow => (2.0, 0.0, 0.0, 0.0),
+        };
+        let jitter = |s: &mut Sampler, v: f64| (v * s.uniform(0.7, 1.4)).round().max(0.0) as u32;
+        // Depth-only shadow shaders sample nothing; every other class
+        // samples at least one texture.
+        let min_tex = if self == MaterialClass::Shadow { 0 } else { 1 };
+        InstructionMix {
+            alu: jitter(sampler, alu),
+            mad: jitter(sampler, mad),
+            transcendental: jitter(sampler, trans),
+            texture_samples: jitter(sampler, tex).max(min_tex),
+            interpolants: sampler.uniform_usize(2, 8) as u32,
+            control_flow: sampler.uniform_usize(0, 4) as u32,
+        }
+    }
+
+    /// Samples a vertex-shader instruction mix typical for the class.
+    pub fn sample_vertex_mix(self, sampler: &mut Sampler) -> InstructionMix {
+        let base = match self {
+            MaterialClass::Character => 60.0, // skinning
+            MaterialClass::Terrain => 30.0,   // morphing / LOD blending
+            _ => 18.0,
+        };
+        let alu = (base * sampler.uniform(0.8, 1.3)).round() as u32;
+        InstructionMix {
+            alu,
+            mad: alu / 2,
+            transcendental: 1,
+            texture_samples: 0,
+            interpolants: sampler.uniform_usize(4, 10) as u32,
+            control_flow: if self == MaterialClass::Character { 3 } else { 1 },
+        }
+    }
+}
+
+/// A material: shader pair + textures + fixed-function state, tagged with
+/// its class and a generator-unique id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Generator-unique material id (becomes `DrawCall::material_tag`).
+    pub id: u32,
+    /// Rendering class.
+    pub class: MaterialClass,
+    /// Vertex shader used by draws of this material.
+    pub vertex_shader: ShaderId,
+    /// Pixel shader used by draws of this material.
+    pub pixel_shader: ShaderId,
+    /// Textures bound by draws of this material.
+    pub textures: Vec<TextureId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler() -> Sampler {
+        Sampler::new(StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn all_classes_listed_once() {
+        let mut set = std::collections::BTreeSet::new();
+        for c in MaterialClass::ALL {
+            assert!(set.insert(c), "{c:?} duplicated");
+        }
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn fixed_function_consistency() {
+        // Opaque geometry writes depth; blended geometry never does.
+        for c in MaterialClass::ALL {
+            let (blend, depth, _) = c.fixed_function();
+            if depth == DepthMode::TestAndWrite {
+                assert_eq!(blend, BlendMode::Opaque, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributions_positive() {
+        for c in MaterialClass::ALL {
+            let (vm, vs) = c.vertex_distribution();
+            assert!(vm > 0.0 && vs >= 0.0, "{c:?}");
+            let (cm, cs) = c.coverage_distribution();
+            assert!(cm > 0.0 && cm <= 1.0 && cs >= 0.0, "{c:?}");
+            let (om, os) = c.overdraw_distribution();
+            assert!(om >= 1.0 && os >= 0.0, "{c:?}");
+            assert!((0.0..=1.0).contains(&c.z_pass_rate()), "{c:?}");
+            assert!((0.0..=1.0).contains(&c.texel_locality()), "{c:?}");
+            // Only the depth-only shadow pass binds no textures.
+            if c == MaterialClass::Shadow {
+                assert_eq!(c.texture_slots(), 0);
+            } else {
+                assert!(c.texture_slots() >= 1, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_mix_always_samples_textures() {
+        let mut s = sampler();
+        for c in MaterialClass::ALL {
+            for _ in 0..20 {
+                let m = c.sample_pixel_mix(&mut s);
+                if c == MaterialClass::Shadow {
+                    assert_eq!(m.texture_samples, 0, "shadow pass is depth-only");
+                } else {
+                    assert!(m.texture_samples >= 1, "{c:?}");
+                }
+                assert!(m.total() > 0, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn character_vertex_shader_is_heaviest() {
+        let mut s = sampler();
+        let hero = MaterialClass::Character.sample_vertex_mix(&mut s);
+        let prop = MaterialClass::Ui.sample_vertex_mix(&mut s);
+        assert!(hero.alu > prop.alu);
+    }
+}

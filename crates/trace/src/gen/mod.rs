@@ -1,0 +1,46 @@
+//! Synthetic game-workload generators.
+//!
+//! The paper's corpus is proprietary D3D traces of commercial games. This
+//! module generates deterministic synthetic workloads with the same
+//! statistical structure (see `DESIGN.md` for the substitution argument):
+//!
+//! * **intra-frame redundancy** — draws are instances of a modest set of
+//!   [`Material`]s, so many draws per frame share shaders/state and differ
+//!   only in geometry, exactly the redundancy draw-call clustering exploits;
+//! * **heavy-tailed costs** — vertex counts and coverages follow lognormal
+//!   distributions per material class;
+//! * **temporal coherence** — a smooth camera random walk modulates
+//!   consecutive frames;
+//! * **phases** — every game follows a [`PhaseScript`] (menu → explore →
+//!   combat → cutscene …) where each phase kind uses a fixed material
+//!   palette, producing the repeating shader-vector phases the paper
+//!   observes in the BioShock series.
+//!
+//! # Examples
+//!
+//! ```
+//! use subset3d_trace::gen::GameProfile;
+//!
+//! let (workload, truth) = GameProfile::shooter("demo")
+//!     .frames(20)
+//!     .draws_per_frame(40)
+//!     .build(1)
+//!     .generate_with_truth();
+//! assert_eq!(truth.per_frame.len(), workload.frames().len());
+//! ```
+
+mod camera;
+mod corpus;
+mod emitter;
+mod material;
+mod phase_script;
+mod profile;
+mod scene;
+
+pub use camera::CameraWalk;
+pub use corpus::{bioshock_like_series, standard_corpus, standard_corpus_names, CORPUS_SEED};
+pub use emitter::{GameGenerator, PhaseGroundTruth};
+pub use material::{Material, MaterialClass};
+pub use phase_script::{PhaseKind, PhaseScript, PhaseSegment};
+pub use profile::{GameProfile, Genre};
+pub use scene::Sampler;

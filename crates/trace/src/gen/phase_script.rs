@@ -1,0 +1,344 @@
+//! Phase scripts: the ground-truth temporal structure of a synthetic game.
+//!
+//! A script is a sequence of segments (menu, exploration of an area, combat
+//! in an area, cutscene, loading). The emitter renders each segment with a
+//! material palette determined by the segment *kind*, so two `Explore(0)`
+//! segments minutes apart use the same shaders — producing exactly the
+//! repeating shader-vector phases the paper detects in the BioShock games.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a gameplay phase. The payload of `Explore`/`Combat`/
+/// `Cutscene` identifies the level area, which selects the material palette.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Front-end menu: UI-dominated, very few draws.
+    Menu,
+    /// Free exploration of a level area.
+    Explore(u8),
+    /// Combat in a level area: extra particles and transparency.
+    Combat(u8),
+    /// Scripted cutscene in an area: character-heavy.
+    Cutscene(u8),
+    /// Loading screen: nearly empty frames.
+    Loading,
+}
+
+impl PhaseKind {
+    /// Multiplier applied to the game's mean draws-per-frame for this phase.
+    pub fn load_multiplier(self) -> f64 {
+        match self {
+            PhaseKind::Menu => 0.25,
+            PhaseKind::Explore(_) => 1.0,
+            PhaseKind::Combat(_) => 1.25,
+            PhaseKind::Cutscene(_) => 0.9,
+            PhaseKind::Loading => 0.08,
+        }
+    }
+
+    /// The level area this phase plays in, when it has one.
+    pub fn area(self) -> Option<u8> {
+        match self {
+            PhaseKind::Explore(a) | PhaseKind::Combat(a) | PhaseKind::Cutscene(a) => Some(a),
+            PhaseKind::Menu | PhaseKind::Loading => None,
+        }
+    }
+}
+
+/// A contiguous run of frames with one phase kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSegment {
+    /// The phase kind.
+    pub kind: PhaseKind,
+    /// Number of frames in the segment.
+    pub frames: usize,
+}
+
+/// An ordered sequence of [`PhaseSegment`]s covering a whole trace.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::gen::{PhaseKind, PhaseScript};
+///
+/// let script = PhaseScript::shooter_default(100);
+/// assert_eq!(script.total_frames(), 100);
+/// assert!(script.has_repeats());
+/// assert_eq!(script.kind_at(0), Some(PhaseKind::Menu));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseScript {
+    segments: Vec<PhaseSegment>,
+}
+
+impl PhaseScript {
+    /// Creates a script from explicit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or any segment has zero frames.
+    pub fn new(segments: Vec<PhaseSegment>) -> Self {
+        assert!(!segments.is_empty(), "phase script needs at least one segment");
+        assert!(
+            segments.iter().all(|s| s.frames > 0),
+            "every segment needs at least one frame"
+        );
+        PhaseScript { segments }
+    }
+
+    /// The canonical single-player-shooter script (BioShock-like): menu,
+    /// alternating exploration/combat across two areas with *revisits*, a
+    /// cutscene, and a loading break. Scaled to `total_frames`.
+    pub fn shooter_default(total_frames: usize) -> Self {
+        Self::from_weights(
+            total_frames,
+            &[
+                (PhaseKind::Menu, 6.0),
+                (PhaseKind::Explore(0), 14.0),
+                (PhaseKind::Combat(0), 10.0),
+                (PhaseKind::Explore(0), 10.0),
+                (PhaseKind::Cutscene(0), 5.0),
+                (PhaseKind::Loading, 2.0),
+                (PhaseKind::Explore(1), 14.0),
+                (PhaseKind::Combat(1), 10.0),
+                (PhaseKind::Explore(1), 8.0),
+                (PhaseKind::Combat(1), 8.0),
+                (PhaseKind::Explore(0), 8.0),
+                (PhaseKind::Cutscene(1), 5.0),
+            ],
+        )
+    }
+
+    /// An RTS-like script: long play sessions in one map with escalating
+    /// combat, menu bookends.
+    pub fn rts_default(total_frames: usize) -> Self {
+        Self::from_weights(
+            total_frames,
+            &[
+                (PhaseKind::Menu, 8.0),
+                (PhaseKind::Explore(0), 20.0),
+                (PhaseKind::Combat(0), 16.0),
+                (PhaseKind::Explore(0), 12.0),
+                (PhaseKind::Combat(0), 20.0),
+                (PhaseKind::Explore(0), 10.0),
+                (PhaseKind::Combat(0), 10.0),
+                (PhaseKind::Menu, 4.0),
+            ],
+        )
+    }
+
+    /// A racing-like script: menu, laps around one track (strong repetition),
+    /// a replay cutscene.
+    pub fn racing_default(total_frames: usize) -> Self {
+        Self::from_weights(
+            total_frames,
+            &[
+                (PhaseKind::Menu, 8.0),
+                (PhaseKind::Explore(0), 18.0),
+                (PhaseKind::Explore(1), 12.0),
+                (PhaseKind::Explore(0), 18.0),
+                (PhaseKind::Explore(1), 12.0),
+                (PhaseKind::Explore(0), 18.0),
+                (PhaseKind::Cutscene(0), 8.0),
+                (PhaseKind::Menu, 6.0),
+            ],
+        )
+    }
+
+    /// Builds a script from `(kind, weight)` pairs, distributing
+    /// `total_frames` proportionally (every segment gets at least one frame;
+    /// rounding remainder goes to the largest segment).
+    ///
+    /// When `total_frames` is smaller than the number of segments, only the
+    /// heaviest `total_frames` segments are kept (in their original order),
+    /// so tiny test traces still resolve to a valid script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or `total_frames` is zero.
+    pub fn from_weights(total_frames: usize, weights: &[(PhaseKind, f64)]) -> Self {
+        assert!(!weights.is_empty(), "phase script needs at least one segment");
+        assert!(total_frames > 0, "phase script needs at least one frame");
+        let trimmed: Vec<(PhaseKind, f64)>;
+        let weights = if total_frames < weights.len() {
+            let mut order: Vec<usize> = (0..weights.len()).collect();
+            order.sort_by(|&a, &b| {
+                weights[b].1.partial_cmp(&weights[a].1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut keep: Vec<usize> = order.into_iter().take(total_frames).collect();
+            keep.sort_unstable();
+            trimmed = keep.into_iter().map(|i| weights[i]).collect();
+            &trimmed[..]
+        } else {
+            weights
+        };
+        let total_w: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut segments: Vec<PhaseSegment> = weights
+            .iter()
+            .map(|&(kind, w)| PhaseSegment {
+                kind,
+                frames: ((w / total_w * total_frames as f64).floor() as usize).max(1),
+            })
+            .collect();
+        // Fix up rounding so the total is exact.
+        let mut assigned: usize = segments.iter().map(|s| s.frames).sum();
+        while assigned > total_frames {
+            let idx = segments
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.frames > 1)
+                .max_by_key(|(_, s)| s.frames)
+                .map(|(i, _)| i)
+                .expect("cannot shrink script below one frame per segment");
+            segments[idx].frames -= 1;
+            assigned -= 1;
+        }
+        while assigned < total_frames {
+            let idx = segments
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.frames)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            segments[idx].frames += 1;
+            assigned += 1;
+        }
+        PhaseScript::new(segments)
+    }
+
+    /// The segments in order.
+    pub fn segments(&self) -> &[PhaseSegment] {
+        &self.segments
+    }
+
+    /// Total frames across every segment.
+    pub fn total_frames(&self) -> usize {
+        self.segments.iter().map(|s| s.frames).sum()
+    }
+
+    /// The phase kind of frame `index`, or `None` past the end.
+    pub fn kind_at(&self, index: usize) -> Option<PhaseKind> {
+        let mut offset = 0;
+        for s in &self.segments {
+            if index < offset + s.frames {
+                return Some(s.kind);
+            }
+            offset += s.frames;
+        }
+        None
+    }
+
+    /// Expands the script to one kind per frame.
+    pub fn per_frame(&self) -> Vec<PhaseKind> {
+        let mut out = Vec::with_capacity(self.total_frames());
+        for s in &self.segments {
+            out.extend(std::iter::repeat(s.kind).take(s.frames));
+        }
+        out
+    }
+
+    /// Whether some phase kind occurs in more than one (non-adjacent or
+    /// adjacent) segment — i.e. the trace contains repeating phases.
+    pub fn has_repeats(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.segments {
+            if !seen.insert(s.kind) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Distinct phase kinds in the script.
+    pub fn distinct_kinds(&self) -> Vec<PhaseKind> {
+        let set: std::collections::BTreeSet<PhaseKind> =
+            self.segments.iter().map(|s| s.kind).collect();
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shooter_script_totals_and_repeats() {
+        for frames in [50, 100, 120, 717] {
+            let s = PhaseScript::shooter_default(frames);
+            assert_eq!(s.total_frames(), frames, "frames={frames}");
+            assert!(s.has_repeats());
+        }
+    }
+
+    #[test]
+    fn kind_at_covers_whole_range() {
+        let s = PhaseScript::shooter_default(100);
+        for i in 0..100 {
+            assert!(s.kind_at(i).is_some(), "frame {i}");
+        }
+        assert_eq!(s.kind_at(100), None);
+    }
+
+    #[test]
+    fn per_frame_matches_kind_at() {
+        let s = PhaseScript::rts_default(64);
+        let pf = s.per_frame();
+        assert_eq!(pf.len(), 64);
+        for (i, &k) in pf.iter().enumerate() {
+            assert_eq!(Some(k), s.kind_at(i));
+        }
+    }
+
+    #[test]
+    fn load_multipliers_ordered_sensibly() {
+        assert!(PhaseKind::Loading.load_multiplier() < PhaseKind::Menu.load_multiplier());
+        assert!(PhaseKind::Menu.load_multiplier() < PhaseKind::Explore(0).load_multiplier());
+        assert!(PhaseKind::Explore(0).load_multiplier() < PhaseKind::Combat(0).load_multiplier());
+    }
+
+    #[test]
+    fn area_extraction() {
+        assert_eq!(PhaseKind::Explore(3).area(), Some(3));
+        assert_eq!(PhaseKind::Menu.area(), None);
+        assert_eq!(PhaseKind::Loading.area(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_script_panics() {
+        PhaseScript::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frame_segment_panics() {
+        PhaseScript::new(vec![PhaseSegment {
+            kind: PhaseKind::Menu,
+            frames: 0,
+        }]);
+    }
+
+    #[test]
+    fn from_weights_minimum_one_frame_each() {
+        let s = PhaseScript::from_weights(
+            3,
+            &[
+                (PhaseKind::Menu, 100.0),
+                (PhaseKind::Explore(0), 0.5),
+                (PhaseKind::Loading, 0.5),
+            ],
+        );
+        assert_eq!(s.total_frames(), 3);
+        assert!(s.segments().iter().all(|seg| seg.frames >= 1));
+    }
+
+    #[test]
+    fn distinct_kinds_sorted_unique() {
+        let s = PhaseScript::shooter_default(120);
+        let kinds = s.distinct_kinds();
+        let mut sorted = kinds.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(kinds, sorted);
+    }
+}

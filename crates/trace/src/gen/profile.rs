@@ -1,0 +1,186 @@
+//! Game profiles: the builder describing a synthetic game.
+
+use crate::gen::emitter::GameGenerator;
+use crate::gen::phase_script::PhaseScript;
+
+/// Broad genre of a synthetic game, selecting the default phase script and
+/// material composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Genre {
+    /// Single-player shooter (BioShock-like): two areas, combat bursts,
+    /// cutscenes — the structure the paper's phase study targets.
+    Shooter,
+    /// Real-time strategy: one map, escalating unit counts.
+    Rts,
+    /// Racing: laps around one track, strongest phase repetition.
+    Racing,
+}
+
+/// Builder describing a synthetic game; `build(seed)` yields the
+/// deterministic [`GameGenerator`].
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let workload = GameProfile::shooter("bio-like")
+///     .frames(30)
+///     .draws_per_frame(120)
+///     .shader_variants(3)
+///     .build(99)
+///     .generate();
+/// assert_eq!(workload.frames().len(), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GameProfile {
+    pub(crate) name: String,
+    pub(crate) genre: Genre,
+    pub(crate) frames: usize,
+    pub(crate) draws_per_frame: usize,
+    pub(crate) shader_variants: usize,
+    pub(crate) textures_per_pool: usize,
+    pub(crate) materials_per_class: usize,
+    pub(crate) script: Option<PhaseScript>,
+    pub(crate) deferred: bool,
+}
+
+impl GameProfile {
+    fn new(name: impl Into<String>, genre: Genre) -> Self {
+        GameProfile {
+            name: name.into(),
+            genre,
+            frames: 120,
+            draws_per_frame: 1000,
+            shader_variants: 4,
+            textures_per_pool: 12,
+            materials_per_class: 10,
+            script: None,
+            deferred: false,
+        }
+    }
+
+    /// A shooter-genre profile (BioShock-like).
+    pub fn shooter(name: impl Into<String>) -> Self {
+        Self::new(name, Genre::Shooter)
+    }
+
+    /// An RTS-genre profile.
+    pub fn rts(name: impl Into<String>) -> Self {
+        Self::new(name, Genre::Rts)
+    }
+
+    /// A racing-genre profile.
+    pub fn racing(name: impl Into<String>) -> Self {
+        Self::new(name, Genre::Racing)
+    }
+
+    /// Sets the number of frames to generate.
+    pub fn frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Sets the mean draw-calls per frame (phase multipliers and the camera
+    /// walk modulate around this).
+    pub fn draws_per_frame(mut self, draws: usize) -> Self {
+        self.draws_per_frame = draws;
+        self
+    }
+
+    /// Sets how many pixel-shader variants each (class, area) pool gets.
+    pub fn shader_variants(mut self, variants: usize) -> Self {
+        self.shader_variants = variants.max(1);
+        self
+    }
+
+    /// Sets how many textures each (class, area) pool gets.
+    pub fn textures_per_pool(mut self, textures: usize) -> Self {
+        self.textures_per_pool = textures.max(1);
+        self
+    }
+
+    /// Sets how many materials each (class, area) pool gets.
+    pub fn materials_per_class(mut self, materials: usize) -> Self {
+        self.materials_per_class = materials.max(1);
+        self
+    }
+
+    /// Overrides the genre-default phase script. The script's total frames
+    /// take precedence over [`GameProfile::frames`].
+    pub fn script(mut self, script: PhaseScript) -> Self {
+        self.script = Some(script);
+        self
+    }
+
+    /// Switches the renderer model to *deferred shading*: opaque geometry
+    /// writes a fat HDR G-buffer (RGBA16F) instead of the RGBA8 back
+    /// buffer, shifting draws toward bandwidth-bound — a different
+    /// architecture stress than the forward default.
+    pub fn deferred(mut self, enabled: bool) -> Self {
+        self.deferred = enabled;
+        self
+    }
+
+    /// Resolves the phase script this profile will use.
+    pub fn resolved_script(&self) -> PhaseScript {
+        match &self.script {
+            Some(s) => s.clone(),
+            None => match self.genre {
+                Genre::Shooter => PhaseScript::shooter_default(self.frames),
+                Genre::Rts => PhaseScript::rts_default(self.frames),
+                Genre::Racing => PhaseScript::racing_default(self.frames),
+            },
+        }
+    }
+
+    /// Finishes the profile into a deterministic generator.
+    pub fn build(self, seed: u64) -> GameGenerator {
+        GameGenerator::new(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::PhaseKind;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = GameProfile::shooter("x");
+        assert_eq!(p.frames, 120);
+        assert!(p.draws_per_frame > 0);
+        assert_eq!(p.resolved_script().total_frames(), 120);
+    }
+
+    #[test]
+    fn script_override_wins() {
+        let script = PhaseScript::from_weights(7, &[(PhaseKind::Menu, 1.0)]);
+        let p = GameProfile::rts("x").frames(500).script(script);
+        assert_eq!(p.resolved_script().total_frames(), 7);
+    }
+
+    #[test]
+    fn knobs_clamp_to_one() {
+        let p = GameProfile::racing("x")
+            .shader_variants(0)
+            .textures_per_pool(0)
+            .materials_per_class(0);
+        assert_eq!(p.shader_variants, 1);
+        assert_eq!(p.textures_per_pool, 1);
+        assert_eq!(p.materials_per_class, 1);
+    }
+
+    #[test]
+    fn deferred_flag_is_off_by_default() {
+        assert!(!GameProfile::shooter("x").deferred);
+        assert!(GameProfile::shooter("x").deferred(true).deferred);
+    }
+
+    #[test]
+    fn genres_have_distinct_scripts() {
+        let a = GameProfile::shooter("a").frames(100).resolved_script();
+        let b = GameProfile::racing("b").frames(100).resolved_script();
+        assert_ne!(a, b);
+    }
+}

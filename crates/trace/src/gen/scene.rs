@@ -1,0 +1,156 @@
+//! Deterministic distribution sampling for scene parameters.
+//!
+//! `rand` alone (without `rand_distr`) only gives uniform samples, so the
+//! lognormal and normal draws the generators need are built here from
+//! Box–Muller.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Deterministic sampler over the distributions the generators use.
+///
+/// Wraps a seeded [`StdRng`] so every generated workload is a pure function
+/// of its seed.
+#[derive(Debug)]
+pub struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// Creates a sampler from a seeded RNG.
+    pub fn new(rng: StdRng) -> Self {
+        Sampler { rng }
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer sample in `[lo, hi]`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Lognormal sample parameterised by the *median* (`exp(mu)`) and shape
+    /// `sigma` — a natural parameterisation for vertex counts.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median.max(f64::MIN_POSITIVE) * (sigma * self.normal()).exp()
+    }
+
+    /// Bernoulli sample with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Weighted index sample: returns an index `< weights.len()` with
+    /// probability proportional to the weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut pick = self.rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w {
+                return i;
+            }
+            pick -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Mutable access to the wrapped RNG for ad-hoc sampling.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sampler(seed: u64) -> Sampler {
+        Sampler::new(StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = sampler(7);
+        let mut b = sampler(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut s = sampler(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| s.normal()).collect();
+        let mean = subset3d_stats::mean(&samples);
+        let sd = subset3d_stats::std_dev(&samples);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    fn lognormal_median_is_parameter() {
+        let mut s = sampler(2);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| s.lognormal(800.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 800.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_heavy_tailed() {
+        let mut s = sampler(3);
+        let samples: Vec<f64> = (0..5_000).map(|_| s.lognormal(100.0, 1.2)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        let mean = subset3d_stats::mean(&samples);
+        let med = subset3d_stats::median(&samples).unwrap();
+        assert!(mean > med, "lognormal mean {mean} should exceed median {med}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut s = sampler(4);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5_000 {
+            counts[s.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_index_rejects_zero_total() {
+        sampler(5).weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_usize_bounds_inclusive() {
+        let mut s = sampler(6);
+        for _ in 0..100 {
+            let v = s.uniform_usize(2, 4);
+            assert!((2..=4).contains(&v));
+        }
+    }
+}

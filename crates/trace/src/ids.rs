@@ -1,0 +1,96 @@
+//! Typed identifiers for trace entities.
+//!
+//! Newtypes keep shader, texture, state, draw and frame identifiers
+//! statically distinct (C-NEWTYPE): a `ShaderId` can never be passed where a
+//! `TextureId` is expected even though both wrap a `u32`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric value of the identifier.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::ShaderProgram`] within a workload's shader library.
+    ShaderId(u32),
+    "sh"
+);
+define_id!(
+    /// Identifier of a [`crate::TextureDesc`] within a workload's texture registry.
+    TextureId(u32),
+    "tex"
+);
+define_id!(
+    /// Identifier of a [`crate::PipelineState`] within a workload's state table.
+    StateId(u32),
+    "st"
+);
+define_id!(
+    /// Identifier of a frame within a workload (its position in the trace).
+    FrameId(u32),
+    "f"
+);
+define_id!(
+    /// Workload-unique identifier of a draw-call.
+    DrawId(u64),
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ShaderId(3).to_string(), "sh3");
+        assert_eq!(TextureId(1).to_string(), "tex1");
+        assert_eq!(StateId(0).to_string(), "st0");
+        assert_eq!(FrameId(9).to_string(), "f9");
+        assert_eq!(DrawId(12).to_string(), "d12");
+    }
+
+    #[test]
+    fn from_and_raw_roundtrip() {
+        let id = ShaderId::from(42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(ShaderId(1) < ShaderId(2));
+        assert!(DrawId(5) > DrawId(4));
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(TextureId(7), "seven");
+        assert_eq!(m[&TextureId(7)], "seven");
+    }
+}

@@ -1,0 +1,61 @@
+//! 3D API-level workload trace model and synthetic game generators.
+//!
+//! The IISWC 2015 subsetting paper consumes Direct3D frame traces of
+//! commercial games. Those traces are proprietary, so this crate provides
+//! the substitution described in `DESIGN.md`:
+//!
+//! * a **trace model** — [`Workload`] → [`Frame`] → [`DrawCall`], with
+//!   [`ShaderProgram`]s, [`TextureDesc`]s, pipeline state and render
+//!   targets — carrying exactly the micro-architecture-independent
+//!   information the methodology needs, and
+//! * **synthetic game generators** ([`gen`]) that produce deterministic,
+//!   seedable workloads with the statistical structure of real games:
+//!   heavy-tailed draw costs, material-driven intra-frame redundancy,
+//!   temporal coherence between frames, and an explicit phase script
+//!   (menu → gameplay → combat → cutscene …) that yields the repeating
+//!   shader-vector phases the paper observes in the BioShock series.
+//!
+//! # Examples
+//!
+//! ```
+//! use subset3d_trace::gen::GameProfile;
+//!
+//! let workload = GameProfile::shooter("demo")
+//!     .frames(10)
+//!     .draws_per_frame(50)
+//!     .build(42)
+//!     .generate();
+//! assert_eq!(workload.frames().len(), 10);
+//! assert!(workload.total_draws() > 0);
+//! assert!(workload.validate().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod draw;
+mod encode;
+mod frame;
+mod ids;
+mod merge;
+mod shader;
+mod state;
+mod summary;
+mod target;
+mod texture;
+mod validate;
+mod workload;
+
+pub mod gen;
+
+pub use draw::{DrawCall, DrawCallBuilder, PrimitiveTopology};
+pub use encode::{decode_workload, encode_workload, EncodeError};
+pub use frame::Frame;
+pub use ids::{DrawId, FrameId, ShaderId, StateId, TextureId};
+pub use merge::merge_workloads;
+pub use shader::{InstructionMix, ShaderLibrary, ShaderProgram, ShaderStage};
+pub use state::{BlendMode, CullMode, DepthMode, PipelineState, StateTable};
+pub use summary::WorkloadSummary;
+pub use target::RenderTargetDesc;
+pub use texture::{TextureDesc, TextureFormat, TextureRegistry};
+pub use validate::ValidationIssue;
+pub use workload::Workload;

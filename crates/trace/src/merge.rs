@@ -1,0 +1,180 @@
+//! Merging workloads into suite traces.
+//!
+//! Pathfinding corpora combine several games. Merging remaps every shader,
+//! texture, state and draw identifier into one namespace so the combined
+//! trace is self-consistent; frames keep their relative order (all frames
+//! of the first workload, then the second, …).
+
+use crate::draw::DrawCall;
+use crate::frame::Frame;
+use crate::ids::{DrawId, FrameId, ShaderId, StateId, TextureId};
+use crate::shader::{ShaderLibrary, ShaderProgram};
+use crate::state::StateTable;
+use crate::texture::{TextureDesc, TextureRegistry};
+use crate::workload::Workload;
+use std::collections::BTreeMap;
+
+/// Concatenates workloads into one suite trace, remapping all resource and
+/// draw identifiers into a single namespace.
+///
+/// Per-frame simulation of the merged trace is bit-identical to simulating
+/// the inputs separately (cache warmth is tracked within frames), so
+/// merging never changes measured behaviour — only packaging.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::gen::GameProfile;
+/// use subset3d_trace::merge_workloads;
+///
+/// let a = GameProfile::shooter("a").frames(3).draws_per_frame(20).build(1).generate();
+/// let b = GameProfile::rts("b").frames(2).draws_per_frame(20).build(2).generate();
+/// let suite = merge_workloads("suite", &[&a, &b]);
+/// assert_eq!(suite.frames().len(), 5);
+/// assert_eq!(suite.total_draws(), a.total_draws() + b.total_draws());
+/// assert!(suite.validate().is_empty());
+/// ```
+pub fn merge_workloads(name: impl Into<String>, workloads: &[&Workload]) -> Workload {
+    assert!(!workloads.is_empty(), "need at least one workload to merge");
+    let mut shaders = ShaderLibrary::new();
+    let mut textures = TextureRegistry::new();
+    let mut states = StateTable::new();
+    let mut frames = Vec::new();
+    let mut next_frame = 0u32;
+    let mut next_draw = 0u64;
+
+    for &w in workloads {
+        // Remap shaders.
+        let mut shader_map: BTreeMap<ShaderId, ShaderId> = BTreeMap::new();
+        for p in w.shaders().iter() {
+            let new_id = shaders.add(|id| {
+                let mut np = ShaderProgram::new(id, p.stage, p.name.clone(), p.mix);
+                np.divergence = p.divergence;
+                np.registers = p.registers;
+                np
+            });
+            shader_map.insert(p.id, new_id);
+        }
+        // Remap textures.
+        let mut texture_map: BTreeMap<TextureId, TextureId> = BTreeMap::new();
+        for t in w.textures().iter() {
+            let new_id = textures.add(|id| TextureDesc { id, ..*t });
+            texture_map.insert(t.id, new_id);
+        }
+        // Re-intern states with remapped shaders.
+        let mut state_map: BTreeMap<StateId, StateId> = BTreeMap::new();
+        for s in w.states().iter() {
+            let vs = shader_map.get(&s.vertex_shader).copied().unwrap_or(s.vertex_shader);
+            let ps = shader_map.get(&s.pixel_shader).copied().unwrap_or(s.pixel_shader);
+            let new_id = states.intern(vs, ps, s.blend, s.depth, s.cull);
+            state_map.insert(s.id, new_id);
+        }
+        // Rewrite frames.
+        for frame in w.frames() {
+            let draws: Vec<DrawCall> = frame
+                .draws()
+                .iter()
+                .map(|d| {
+                    let id = DrawId(next_draw);
+                    next_draw += 1;
+                    DrawCall {
+                        id,
+                        state: state_map.get(&d.state).copied().unwrap_or(d.state),
+                        vertex_shader: shader_map
+                            .get(&d.vertex_shader)
+                            .copied()
+                            .unwrap_or(d.vertex_shader),
+                        pixel_shader: shader_map
+                            .get(&d.pixel_shader)
+                            .copied()
+                            .unwrap_or(d.pixel_shader),
+                        textures: d
+                            .textures
+                            .iter()
+                            .map(|t| texture_map.get(t).copied().unwrap_or(*t))
+                            .collect(),
+                        ..d.clone()
+                    }
+                })
+                .collect();
+            frames.push(Frame::new(FrameId(next_frame), draws));
+            next_frame += 1;
+        }
+    }
+    Workload::new(name, frames, shaders, textures, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GameProfile;
+
+    fn pair() -> (Workload, Workload) {
+        (
+            GameProfile::shooter("a").frames(4).draws_per_frame(30).build(10).generate(),
+            GameProfile::racing("b").frames(3).draws_per_frame(25).build(11).generate(),
+        )
+    }
+
+    #[test]
+    fn merged_trace_is_valid_and_complete() {
+        let (a, b) = pair();
+        let suite = merge_workloads("suite", &[&a, &b]);
+        assert!(suite.validate().is_empty());
+        assert_eq!(suite.frames().len(), 7);
+        assert_eq!(suite.total_draws(), a.total_draws() + b.total_draws());
+        assert_eq!(suite.shaders().len(), a.shaders().len() + b.shaders().len());
+        assert_eq!(suite.textures().len(), a.textures().len() + b.textures().len());
+    }
+
+    #[test]
+    fn frame_and_draw_ids_are_renumbered() {
+        let (a, b) = pair();
+        let suite = merge_workloads("suite", &[&a, &b]);
+        for (i, frame) in suite.frames().iter().enumerate() {
+            assert_eq!(frame.id.raw() as usize, i);
+        }
+        let mut expected = 0u64;
+        for frame in suite.frames() {
+            for d in frame.draws() {
+                assert_eq!(d.id.raw(), expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn merge_preserves_per_frame_structure() {
+        // Frame k of the suite is frame k of `a` (for k < |a|), with the
+        // same draw parameters (only ids remapped).
+        let (a, b) = pair();
+        let suite = merge_workloads("suite", &[&a, &b]);
+        for (sf, af) in suite.frames().iter().zip(a.frames()) {
+            assert_eq!(sf.draw_count(), af.draw_count());
+            for (sd, ad) in sf.draws().iter().zip(af.draws()) {
+                assert_eq!(sd.vertex_count, ad.vertex_count);
+                assert_eq!(sd.coverage, ad.coverage);
+                assert_eq!(sd.material_tag, ad.material_tag);
+            }
+        }
+        assert_eq!(suite.frames()[4].draw_count(), b.frames()[0].draw_count());
+    }
+
+    #[test]
+    fn single_workload_merge_is_a_renumbered_copy() {
+        let (a, _) = pair();
+        let suite = merge_workloads("solo", &[&a]);
+        assert_eq!(suite.total_draws(), a.total_draws());
+        assert!(suite.validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_merge_rejected() {
+        merge_workloads("none", &[]);
+    }
+}

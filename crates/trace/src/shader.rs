@@ -1,0 +1,256 @@
+//! Abstract shader programs and their instruction mixes.
+//!
+//! The methodology never executes shaders; it only needs per-invocation
+//! instruction counts by category — exactly the micro-architecture
+//! independent view the paper's draw-call features are built on — plus the
+//! shader *identity*, which drives the shader-vector phase signatures.
+
+use crate::ids::ShaderId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pipeline stage a shader program runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShaderStage {
+    /// Vertex shader: runs once per vertex.
+    Vertex,
+    /// Pixel (fragment) shader: runs once per shaded pixel.
+    Pixel,
+}
+
+/// Per-invocation instruction counts by category.
+///
+/// Counts are *static per-invocation averages* (loops already multiplied
+/// out), which is what an API-level trace tool can derive without execution.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::InstructionMix;
+///
+/// let mix = InstructionMix {
+///     alu: 30,
+///     mad: 12,
+///     transcendental: 2,
+///     texture_samples: 4,
+///     interpolants: 6,
+///     control_flow: 1,
+/// };
+/// assert_eq!(mix.total(), 55);
+/// assert!((mix.texture_ratio() - 4.0 / 55.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// Simple ALU ops (add, mul, logic, moves).
+    pub alu: u32,
+    /// Fused multiply-add ops.
+    pub mad: u32,
+    /// Transcendental ops (rcp, rsq, sin, exp, …) — lower throughput.
+    pub transcendental: u32,
+    /// Texture sample instructions.
+    pub texture_samples: u32,
+    /// Input interpolants consumed (pixel) or attributes fetched (vertex).
+    pub interpolants: u32,
+    /// Control-flow instructions (branches, loop headers).
+    pub control_flow: u32,
+}
+
+impl InstructionMix {
+    /// Total instruction count across every category.
+    pub fn total(&self) -> u32 {
+        self.alu
+            + self.mad
+            + self.transcendental
+            + self.texture_samples
+            + self.interpolants
+            + self.control_flow
+    }
+
+    /// Fraction of instructions that are texture samples (`0.0` when empty).
+    pub fn texture_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            f64::from(self.texture_samples) / f64::from(t)
+        }
+    }
+
+    /// Fraction of instructions that are control flow (`0.0` when empty).
+    pub fn control_flow_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            f64::from(self.control_flow) / f64::from(t)
+        }
+    }
+}
+
+/// An abstract shader program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShaderProgram {
+    /// Library-unique identifier.
+    pub id: ShaderId,
+    /// Stage the program executes at.
+    pub stage: ShaderStage,
+    /// Human-readable name (e.g. `"ps_metal_wall"`).
+    pub name: String,
+    /// Per-invocation instruction counts.
+    pub mix: InstructionMix,
+    /// Expected SIMD-lane divergence, `0.0` (uniform) ..= `1.0` (fully
+    /// divergent). Scales effective execution cost in the simulator.
+    pub divergence: f64,
+    /// Register pressure in registers per thread; high pressure reduces the
+    /// simulator's thread occupancy.
+    pub registers: u32,
+}
+
+impl ShaderProgram {
+    /// Creates a program with neutral divergence and register pressure.
+    pub fn new(id: ShaderId, stage: ShaderStage, name: impl Into<String>, mix: InstructionMix) -> Self {
+        ShaderProgram {
+            id,
+            stage,
+            name: name.into(),
+            mix,
+            divergence: 0.0,
+            registers: 16,
+        }
+    }
+}
+
+/// An ordered library of shader programs, indexed by [`ShaderId`].
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::{InstructionMix, ShaderLibrary, ShaderProgram, ShaderStage};
+///
+/// let mut lib = ShaderLibrary::new();
+/// let id = lib.add(|id| ShaderProgram::new(id, ShaderStage::Vertex, "vs", InstructionMix::default()));
+/// assert!(lib.get(id).is_some());
+/// assert_eq!(lib.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShaderLibrary {
+    programs: BTreeMap<ShaderId, ShaderProgram>,
+    next_id: u32,
+}
+
+impl ShaderLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a program built from the freshly allocated id and returns the id.
+    pub fn add(&mut self, build: impl FnOnce(ShaderId) -> ShaderProgram) -> ShaderId {
+        let id = ShaderId(self.next_id);
+        self.next_id += 1;
+        let program = build(id);
+        assert_eq!(program.id, id, "shader program must use the allocated id");
+        self.programs.insert(id, program);
+        id
+    }
+
+    /// Inserts a fully-formed program, replacing any existing program with
+    /// the same id. Keeps the id allocator ahead of the inserted id.
+    pub fn insert(&mut self, program: ShaderProgram) {
+        self.next_id = self.next_id.max(program.id.raw() + 1);
+        self.programs.insert(program.id, program);
+    }
+
+    /// Looks up a program by id.
+    pub fn get(&self, id: ShaderId) -> Option<&ShaderProgram> {
+        self.programs.get(&id)
+    }
+
+    /// Number of programs in the library.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the library contains no programs.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Iterates over programs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ShaderProgram> {
+        self.programs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstructionMix {
+        InstructionMix {
+            alu: 10,
+            mad: 5,
+            transcendental: 1,
+            texture_samples: 2,
+            interpolants: 4,
+            control_flow: 2,
+        }
+    }
+
+    #[test]
+    fn mix_total_and_ratios() {
+        let m = mix();
+        assert_eq!(m.total(), 24);
+        assert!((m.texture_ratio() - 2.0 / 24.0).abs() < 1e-12);
+        assert!((m.control_flow_ratio() - 2.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_ratios_are_zero() {
+        let m = InstructionMix::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.texture_ratio(), 0.0);
+        assert_eq!(m.control_flow_ratio(), 0.0);
+    }
+
+    #[test]
+    fn library_allocates_sequential_ids() {
+        let mut lib = ShaderLibrary::new();
+        let a = lib.add(|id| ShaderProgram::new(id, ShaderStage::Vertex, "a", mix()));
+        let b = lib.add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "b", mix()));
+        assert_eq!(a, ShaderId(0));
+        assert_eq!(b, ShaderId(1));
+        assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    fn library_get_missing_is_none() {
+        let lib = ShaderLibrary::new();
+        assert!(lib.get(ShaderId(5)).is_none());
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn insert_keeps_allocator_ahead() {
+        let mut lib = ShaderLibrary::new();
+        lib.insert(ShaderProgram::new(ShaderId(10), ShaderStage::Pixel, "x", mix()));
+        let next = lib.add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "y", mix()));
+        assert_eq!(next, ShaderId(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated id")]
+    fn add_with_wrong_id_panics() {
+        let mut lib = ShaderLibrary::new();
+        lib.add(|_| ShaderProgram::new(ShaderId(99), ShaderStage::Vertex, "bad", mix()));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut lib = ShaderLibrary::new();
+        lib.insert(ShaderProgram::new(ShaderId(2), ShaderStage::Pixel, "c", mix()));
+        lib.insert(ShaderProgram::new(ShaderId(0), ShaderStage::Vertex, "a", mix()));
+        let names: Vec<_> = lib.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Pipeline render state: blend, depth and cull configuration.
+
+use crate::ids::{ShaderId, StateId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Colour blend mode of the output merger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlendMode {
+    /// No blending; colour writes overwrite the target.
+    Opaque,
+    /// Classic `src*a + dst*(1-a)` alpha blending (read-modify-write).
+    AlphaBlend,
+    /// Additive blending (particles, glows; read-modify-write).
+    Additive,
+}
+
+impl BlendMode {
+    /// Whether the mode requires reading the destination (read-modify-write),
+    /// which doubles ROP bandwidth in the simulator.
+    pub fn reads_destination(self) -> bool {
+        !matches!(self, BlendMode::Opaque)
+    }
+}
+
+/// Depth test/write configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepthMode {
+    /// Depth test enabled and depth writes enabled (opaque geometry).
+    TestAndWrite,
+    /// Depth test enabled, writes disabled (transparency after opaque pass).
+    TestOnly,
+    /// Depth disabled entirely (UI, post-processing).
+    Disabled,
+}
+
+impl DepthMode {
+    /// Whether the depth buffer is accessed at all.
+    pub fn accesses_depth(self) -> bool {
+        !matches!(self, DepthMode::Disabled)
+    }
+}
+
+/// Triangle culling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CullMode {
+    /// No culling (double-sided geometry, full-screen quads).
+    None,
+    /// Back-face culling (the common case; halves rasterised triangles).
+    Back,
+    /// Front-face culling (shadow-volume style passes).
+    Front,
+}
+
+impl CullMode {
+    /// Expected fraction of submitted primitives that survive culling.
+    pub fn survival_rate(self) -> f64 {
+        match self {
+            CullMode::None => 1.0,
+            CullMode::Back | CullMode::Front => 0.55,
+        }
+    }
+}
+
+/// A complete pipeline state object: bound shaders plus fixed-function state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipelineState {
+    /// State-table-unique identifier.
+    pub id: StateId,
+    /// Bound vertex shader.
+    pub vertex_shader: ShaderId,
+    /// Bound pixel shader.
+    pub pixel_shader: ShaderId,
+    /// Output-merger blend mode.
+    pub blend: BlendMode,
+    /// Depth test/write mode.
+    pub depth: DepthMode,
+    /// Primitive cull mode.
+    pub cull: CullMode,
+}
+
+/// Interned table of pipeline states, deduplicating identical configurations.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::{BlendMode, CullMode, DepthMode, ShaderId, StateTable};
+///
+/// let mut table = StateTable::new();
+/// let a = table.intern(ShaderId(0), ShaderId(1), BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Back);
+/// let b = table.intern(ShaderId(0), ShaderId(1), BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Back);
+/// assert_eq!(a, b);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateTable {
+    states: Vec<PipelineState>,
+    #[serde(skip)]
+    index: BTreeMap<(ShaderId, ShaderId, u8, u8, u8), StateId>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a state, returning the existing id when an identical
+    /// configuration was interned before.
+    pub fn intern(
+        &mut self,
+        vertex_shader: ShaderId,
+        pixel_shader: ShaderId,
+        blend: BlendMode,
+        depth: DepthMode,
+        cull: CullMode,
+    ) -> StateId {
+        let key = (
+            vertex_shader,
+            pixel_shader,
+            blend_tag(blend),
+            depth_tag(depth),
+            cull_tag(cull),
+        );
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = StateId(self.states.len() as u32);
+        self.states.push(PipelineState {
+            id,
+            vertex_shader,
+            pixel_shader,
+            blend,
+            depth,
+            cull,
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Looks up a state by id.
+    pub fn get(&self, id: StateId) -> Option<&PipelineState> {
+        self.states.get(id.raw() as usize)
+    }
+
+    /// Number of distinct states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no states have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Iterates over states in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &PipelineState> {
+        self.states.iter()
+    }
+
+    /// Rebuilds the dedup index after deserialisation (the index itself is
+    /// not serialised).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .states
+            .iter()
+            .map(|s| {
+                (
+                    (
+                        s.vertex_shader,
+                        s.pixel_shader,
+                        blend_tag(s.blend),
+                        depth_tag(s.depth),
+                        cull_tag(s.cull),
+                    ),
+                    s.id,
+                )
+            })
+            .collect();
+    }
+}
+
+fn blend_tag(b: BlendMode) -> u8 {
+    match b {
+        BlendMode::Opaque => 0,
+        BlendMode::AlphaBlend => 1,
+        BlendMode::Additive => 2,
+    }
+}
+
+fn depth_tag(d: DepthMode) -> u8 {
+    match d {
+        DepthMode::TestAndWrite => 0,
+        DepthMode::TestOnly => 1,
+        DepthMode::Disabled => 2,
+    }
+}
+
+fn cull_tag(c: CullMode) -> u8 {
+    match c {
+        CullMode::None => 0,
+        CullMode::Back => 1,
+        CullMode::Front => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_destination_reads() {
+        assert!(!BlendMode::Opaque.reads_destination());
+        assert!(BlendMode::AlphaBlend.reads_destination());
+        assert!(BlendMode::Additive.reads_destination());
+    }
+
+    #[test]
+    fn depth_access() {
+        assert!(DepthMode::TestAndWrite.accesses_depth());
+        assert!(DepthMode::TestOnly.accesses_depth());
+        assert!(!DepthMode::Disabled.accesses_depth());
+    }
+
+    #[test]
+    fn cull_survival_rates() {
+        assert_eq!(CullMode::None.survival_rate(), 1.0);
+        assert!(CullMode::Back.survival_rate() < 1.0);
+    }
+
+    #[test]
+    fn intern_dedupes() {
+        let mut t = StateTable::new();
+        let a = t.intern(
+            ShaderId(0),
+            ShaderId(1),
+            BlendMode::Opaque,
+            DepthMode::TestAndWrite,
+            CullMode::Back,
+        );
+        let b = t.intern(
+            ShaderId(0),
+            ShaderId(1),
+            BlendMode::Opaque,
+            DepthMode::TestAndWrite,
+            CullMode::Back,
+        );
+        let c = t.intern(
+            ShaderId(0),
+            ShaderId(1),
+            BlendMode::Additive,
+            DepthMode::TestAndWrite,
+            CullMode::Back,
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_returns_interned_state() {
+        let mut t = StateTable::new();
+        let id = t.intern(
+            ShaderId(3),
+            ShaderId(4),
+            BlendMode::AlphaBlend,
+            DepthMode::TestOnly,
+            CullMode::None,
+        );
+        let s = t.get(id).unwrap();
+        assert_eq!(s.vertex_shader, ShaderId(3));
+        assert_eq!(s.pixel_shader, ShaderId(4));
+        assert_eq!(s.blend, BlendMode::AlphaBlend);
+    }
+
+    #[test]
+    fn rebuild_index_restores_dedup() {
+        let mut t = StateTable::new();
+        let id = t.intern(
+            ShaderId(0),
+            ShaderId(1),
+            BlendMode::Opaque,
+            DepthMode::Disabled,
+            CullMode::None,
+        );
+        // Simulate a deserialised table: states present, index empty.
+        let mut t2 = StateTable {
+            states: t.states.clone(),
+            index: BTreeMap::new(),
+        };
+        t2.rebuild_index();
+        let again = t2.intern(
+            ShaderId(0),
+            ShaderId(1),
+            BlendMode::Opaque,
+            DepthMode::Disabled,
+            CullMode::None,
+        );
+        assert_eq!(id, again);
+        assert_eq!(t2.len(), 1);
+    }
+}

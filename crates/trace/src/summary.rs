@@ -1,0 +1,112 @@
+//! Corpus-table summaries of workloads (paper Table 1 rows).
+
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use subset3d_stats::Summary;
+
+/// Summary statistics of one workload — a row of the corpus table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Workload (game) name.
+    pub name: String,
+    /// Number of frames.
+    pub frames: usize,
+    /// Total draw-calls.
+    pub draws: usize,
+    /// Distinct shader programs referenced.
+    pub unique_shaders: usize,
+    /// Distinct textures referenced.
+    pub unique_textures: usize,
+    /// Distinct pipeline states referenced.
+    pub unique_states: usize,
+    /// Distribution of draws per frame.
+    pub draws_per_frame: Summary,
+    /// Distribution of vertices per draw.
+    pub vertices_per_draw: Summary,
+    /// Distribution of pipeline-state changes per frame (adjacent draw
+    /// pairs with different interned state) — the batching quality of the
+    /// trace.
+    pub state_changes_per_frame: Summary,
+}
+
+impl WorkloadSummary {
+    /// Computes the summary of a workload.
+    pub fn of(w: &Workload) -> Self {
+        let mut shader_ids = std::collections::BTreeSet::new();
+        let mut texture_ids = std::collections::BTreeSet::new();
+        let mut state_ids = std::collections::BTreeSet::new();
+        let mut draws_per_frame = Vec::with_capacity(w.frames().len());
+        let mut vertices_per_draw = Vec::new();
+        let mut state_changes_per_frame = Vec::with_capacity(w.frames().len());
+        for frame in w.frames() {
+            draws_per_frame.push(frame.draw_count() as f64);
+            let mut changes = 0usize;
+            let mut previous = None;
+            for d in frame.draws() {
+                shader_ids.insert(d.vertex_shader);
+                shader_ids.insert(d.pixel_shader);
+                texture_ids.extend(d.textures.iter().copied());
+                state_ids.insert(d.state);
+                vertices_per_draw.push(d.vertex_count as f64);
+                if previous.is_some_and(|p| p != d.state) {
+                    changes += 1;
+                }
+                previous = Some(d.state);
+            }
+            state_changes_per_frame.push(changes as f64);
+        }
+        WorkloadSummary {
+            name: w.name.clone(),
+            frames: w.frames().len(),
+            draws: w.total_draws(),
+            unique_shaders: shader_ids.len(),
+            unique_textures: texture_ids.len(),
+            unique_states: state_ids.len(),
+            draws_per_frame: Summary::of(&draws_per_frame),
+            vertices_per_draw: Summary::of(&vertices_per_draw),
+            state_changes_per_frame: Summary::of(&state_changes_per_frame),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GameProfile;
+
+    #[test]
+    fn summary_counts_match_workload() {
+        let w = GameProfile::shooter("s").frames(6).draws_per_frame(30).build(3).generate();
+        let s = w.summary();
+        assert_eq!(s.frames, 6);
+        assert_eq!(s.draws, w.total_draws());
+        assert!(s.unique_shaders > 0);
+        assert!(s.unique_textures > 0);
+        assert!(s.unique_states > 0);
+        assert!(s.draws_per_frame.mean > 0.0);
+        assert!(s.vertices_per_draw.mean > 0.0);
+    }
+
+    #[test]
+    fn state_changes_bounded_by_draws() {
+        let w = GameProfile::shooter("s").frames(5).draws_per_frame(60).build(4).generate();
+        let s = w.summary();
+        // At most one change per adjacent pair; material sorting should
+        // keep changes well below the bound.
+        assert!(s.state_changes_per_frame.max < s.draws_per_frame.max);
+        assert!(s.state_changes_per_frame.mean > 0.0);
+        assert!(
+            s.state_changes_per_frame.mean < s.draws_per_frame.mean,
+            "sorted batches must change state less than once per draw"
+        );
+    }
+
+    #[test]
+    fn referenced_resources_do_not_exceed_tables() {
+        let w = GameProfile::shooter("s").frames(4).draws_per_frame(25).build(9).generate();
+        let s = w.summary();
+        assert!(s.unique_shaders <= w.shaders().len());
+        assert!(s.unique_textures <= w.textures().len());
+        assert!(s.unique_states <= w.states().len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Render target descriptors.
+
+use crate::texture::TextureFormat;
+use serde::{Deserialize, Serialize};
+
+/// Descriptor of the render target a draw-call writes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RenderTargetDesc {
+    /// Target width in pixels.
+    pub width: u32,
+    /// Target height in pixels.
+    pub height: u32,
+    /// Colour format of the target(s).
+    pub format: TextureFormat,
+    /// MSAA sample count (1 = no multisampling).
+    pub samples: u32,
+    /// Number of simultaneous colour attachments (MRT; 1 for a single
+    /// target, 3–4 for a deferred G-buffer).
+    pub color_attachments: u32,
+}
+
+impl RenderTargetDesc {
+    /// A 1080p RGBA8 target without multisampling — the back buffer used by
+    /// the synthetic games.
+    pub fn back_buffer_1080p() -> Self {
+        RenderTargetDesc {
+            width: 1920,
+            height: 1080,
+            format: TextureFormat::Rgba8,
+            samples: 1,
+            color_attachments: 1,
+        }
+    }
+
+    /// A square off-screen target (shadow maps, reflection probes).
+    pub fn offscreen(size: u32, format: TextureFormat) -> Self {
+        RenderTargetDesc {
+            width: size,
+            height: size,
+            format,
+            samples: 1,
+            color_attachments: 1,
+        }
+    }
+
+    /// A deferred-shading G-buffer: `attachments` simultaneous HDR colour
+    /// targets at 1080p.
+    pub fn gbuffer_1080p(attachments: u32) -> Self {
+        RenderTargetDesc {
+            width: 1920,
+            height: 1080,
+            format: TextureFormat::Rgba16f,
+            samples: 1,
+            color_attachments: attachments.max(1),
+        }
+    }
+
+    /// Total pixel count of the target (ignoring MSAA).
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Bytes written per fully-covered pixel, including MSAA expansion and
+    /// every colour attachment.
+    pub fn bytes_per_pixel(&self) -> f64 {
+        self.format.bytes_per_texel() * f64::from(self.samples) * f64::from(self.color_attachments)
+    }
+}
+
+impl Default for RenderTargetDesc {
+    fn default() -> Self {
+        Self::back_buffer_1080p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_buffer_dimensions() {
+        let rt = RenderTargetDesc::back_buffer_1080p();
+        assert_eq!(rt.pixels(), 1920 * 1080);
+        assert_eq!(rt.bytes_per_pixel(), 4.0);
+    }
+
+    #[test]
+    fn msaa_expands_bandwidth() {
+        let mut rt = RenderTargetDesc::back_buffer_1080p();
+        rt.samples = 4;
+        assert_eq!(rt.bytes_per_pixel(), 16.0);
+    }
+
+    #[test]
+    fn offscreen_is_square() {
+        let rt = RenderTargetDesc::offscreen(1024, TextureFormat::Rg32f);
+        assert_eq!(rt.pixels(), 1024 * 1024);
+        assert_eq!(rt.format, TextureFormat::Rg32f);
+    }
+
+    #[test]
+    fn mrt_multiplies_bandwidth() {
+        let g = RenderTargetDesc::gbuffer_1080p(3);
+        assert_eq!(g.color_attachments, 3);
+        assert_eq!(g.bytes_per_pixel(), 8.0 * 3.0);
+        assert_eq!(RenderTargetDesc::gbuffer_1080p(0).color_attachments, 1);
+    }
+
+    #[test]
+    fn default_is_back_buffer() {
+        assert_eq!(RenderTargetDesc::default(), RenderTargetDesc::back_buffer_1080p());
+    }
+}

@@ -1,0 +1,208 @@
+//! Texture descriptors and the per-workload texture registry.
+
+use crate::ids::TextureId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Storage format of a texture, determining bytes per texel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TextureFormat {
+    /// 8-bit RGBA, 4 bytes/texel.
+    Rgba8,
+    /// BC1 block compression, 0.5 bytes/texel.
+    Bc1,
+    /// BC3 block compression, 1 byte/texel.
+    Bc3,
+    /// 16-bit float RGBA, 8 bytes/texel (HDR intermediates).
+    Rgba16f,
+    /// 32-bit float RG, 8 bytes/texel (e.g. shadow moments).
+    Rg32f,
+    /// 24-bit depth + 8-bit stencil, 4 bytes/texel.
+    Depth24Stencil8,
+}
+
+impl TextureFormat {
+    /// Storage cost in bytes per texel (fractional for block-compressed
+    /// formats).
+    pub fn bytes_per_texel(self) -> f64 {
+        match self {
+            TextureFormat::Rgba8 => 4.0,
+            TextureFormat::Bc1 => 0.5,
+            TextureFormat::Bc3 => 1.0,
+            TextureFormat::Rgba16f => 8.0,
+            TextureFormat::Rg32f => 8.0,
+            TextureFormat::Depth24Stencil8 => 4.0,
+        }
+    }
+
+    /// Whether the format is block-compressed (cheaper bandwidth per sample).
+    pub fn is_compressed(self) -> bool {
+        matches!(self, TextureFormat::Bc1 | TextureFormat::Bc3)
+    }
+}
+
+/// Descriptor of an immutable texture resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextureDesc {
+    /// Registry-unique identifier.
+    pub id: TextureId,
+    /// Width in texels of mip 0.
+    pub width: u32,
+    /// Height in texels of mip 0.
+    pub height: u32,
+    /// Number of mip levels (≥ 1).
+    pub mips: u32,
+    /// Storage format.
+    pub format: TextureFormat,
+}
+
+impl TextureDesc {
+    /// Total storage footprint in bytes across all mip levels.
+    ///
+    /// Mip chain cost is the usual geometric series: each level is a quarter
+    /// of the previous one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subset3d_trace::{TextureDesc, TextureFormat, TextureId};
+    ///
+    /// let t = TextureDesc { id: TextureId(0), width: 256, height: 256, mips: 1, format: TextureFormat::Rgba8 };
+    /// assert_eq!(t.footprint_bytes(), 256.0 * 256.0 * 4.0);
+    /// ```
+    pub fn footprint_bytes(&self) -> f64 {
+        let base = f64::from(self.width) * f64::from(self.height);
+        let mut texels = 0.0;
+        let mut level = base;
+        for _ in 0..self.mips {
+            texels += level;
+            level /= 4.0;
+            if level < 1.0 {
+                break;
+            }
+        }
+        texels * self.format.bytes_per_texel()
+    }
+}
+
+/// An ordered registry of texture descriptors, indexed by [`TextureId`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TextureRegistry {
+    textures: BTreeMap<TextureId, TextureDesc>,
+    next_id: u32,
+}
+
+impl TextureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a texture built from the freshly allocated id and returns the id.
+    pub fn add(&mut self, build: impl FnOnce(TextureId) -> TextureDesc) -> TextureId {
+        let id = TextureId(self.next_id);
+        self.next_id += 1;
+        let tex = build(id);
+        assert_eq!(tex.id, id, "texture must use the allocated id");
+        self.textures.insert(id, tex);
+        id
+    }
+
+    /// Inserts a fully-formed descriptor, keeping the allocator ahead.
+    pub fn insert(&mut self, tex: TextureDesc) {
+        self.next_id = self.next_id.max(tex.id.raw() + 1);
+        self.textures.insert(tex.id, tex);
+    }
+
+    /// Looks up a descriptor by id.
+    pub fn get(&self, id: TextureId) -> Option<&TextureDesc> {
+        self.textures.get(&id)
+    }
+
+    /// Number of textures.
+    pub fn len(&self) -> usize {
+        self.textures.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.textures.is_empty()
+    }
+
+    /// Iterates over descriptors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TextureDesc> {
+        self.textures.values()
+    }
+
+    /// Combined footprint in bytes of a set of textures; unknown ids are
+    /// skipped (validation reports them separately).
+    pub fn combined_footprint(&self, ids: &[TextureId]) -> f64 {
+        ids.iter()
+            .filter_map(|id| self.get(*id))
+            .map(TextureDesc::footprint_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tex(id: u32, w: u32, h: u32, mips: u32, format: TextureFormat) -> TextureDesc {
+        TextureDesc {
+            id: TextureId(id),
+            width: w,
+            height: h,
+            mips,
+            format,
+        }
+    }
+
+    #[test]
+    fn bytes_per_texel_values() {
+        assert_eq!(TextureFormat::Rgba8.bytes_per_texel(), 4.0);
+        assert_eq!(TextureFormat::Bc1.bytes_per_texel(), 0.5);
+        assert!(TextureFormat::Bc1.is_compressed());
+        assert!(!TextureFormat::Rgba16f.is_compressed());
+    }
+
+    #[test]
+    fn footprint_with_mips_is_geometric() {
+        let one = tex(0, 128, 128, 1, TextureFormat::Rgba8).footprint_bytes();
+        let full = tex(0, 128, 128, 8, TextureFormat::Rgba8).footprint_bytes();
+        assert!(full > one);
+        assert!(full < one * 4.0 / 3.0 + 1.0);
+    }
+
+    #[test]
+    fn mip_chain_stops_at_subtexel_levels() {
+        // A 2x2 texture with an absurd mip count must not under/overflow.
+        let f = tex(0, 2, 2, 20, TextureFormat::Rgba8).footprint_bytes();
+        assert!(f >= 16.0 && f < 32.0);
+    }
+
+    #[test]
+    fn registry_allocates_and_looks_up() {
+        let mut reg = TextureRegistry::new();
+        let id = reg.add(|id| tex(id.raw(), 64, 64, 1, TextureFormat::Bc1));
+        assert_eq!(id, TextureId(0));
+        assert_eq!(reg.get(id).unwrap().width, 64);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn combined_footprint_skips_unknown() {
+        let mut reg = TextureRegistry::new();
+        let id = reg.add(|id| tex(id.raw(), 16, 16, 1, TextureFormat::Rgba8));
+        let f = reg.combined_footprint(&[id, TextureId(99)]);
+        assert_eq!(f, 16.0 * 16.0 * 4.0);
+    }
+
+    #[test]
+    fn insert_keeps_allocator_ahead() {
+        let mut reg = TextureRegistry::new();
+        reg.insert(tex(5, 8, 8, 1, TextureFormat::Rgba8));
+        let next = reg.add(|id| tex(id.raw(), 8, 8, 1, TextureFormat::Rgba8));
+        assert_eq!(next, TextureId(6));
+    }
+}

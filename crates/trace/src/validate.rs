@@ -1,0 +1,267 @@
+//! Trace well-formedness validation.
+
+use crate::ids::{DrawId, FrameId, ShaderId, StateId, TextureId};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single well-formedness problem found in a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValidationIssue {
+    /// A draw references a shader id missing from the library.
+    MissingShader {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+        /// The dangling shader reference.
+        shader: ShaderId,
+    },
+    /// A draw references a texture id missing from the registry.
+    MissingTexture {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+        /// The dangling texture reference.
+        texture: TextureId,
+    },
+    /// A draw references a pipeline state missing from the state table.
+    MissingState {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+        /// The dangling state reference.
+        state: StateId,
+    },
+    /// A draw's denormalised shaders disagree with its interned state.
+    StateShaderMismatch {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+    },
+    /// A scalar field is outside its documented range.
+    OutOfRange {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+        /// Name of the offending field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A draw submits zero vertices.
+    EmptyGeometry {
+        /// Frame containing the offending draw.
+        frame: FrameId,
+        /// The offending draw.
+        draw: DrawId,
+    },
+    /// Two draws share the same id.
+    DuplicateDrawId {
+        /// The duplicated id.
+        draw: DrawId,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::MissingShader { frame, draw, shader } => {
+                write!(f, "{frame}/{draw}: references missing shader {shader}")
+            }
+            ValidationIssue::MissingTexture { frame, draw, texture } => {
+                write!(f, "{frame}/{draw}: references missing texture {texture}")
+            }
+            ValidationIssue::MissingState { frame, draw, state } => {
+                write!(f, "{frame}/{draw}: references missing state {state}")
+            }
+            ValidationIssue::StateShaderMismatch { frame, draw } => {
+                write!(f, "{frame}/{draw}: denormalised shaders disagree with interned state")
+            }
+            ValidationIssue::OutOfRange { frame, draw, field, value } => {
+                write!(f, "{frame}/{draw}: field {field} out of range ({value})")
+            }
+            ValidationIssue::EmptyGeometry { frame, draw } => {
+                write!(f, "{frame}/{draw}: zero vertices")
+            }
+            ValidationIssue::DuplicateDrawId { draw } => {
+                write!(f, "duplicate draw id {draw}")
+            }
+        }
+    }
+}
+
+/// Validates referential integrity and value ranges of a workload.
+pub fn validate_workload(w: &Workload) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
+    for frame in w.frames() {
+        for draw in frame.draws() {
+            if !seen_ids.insert(draw.id) {
+                issues.push(ValidationIssue::DuplicateDrawId { draw: draw.id });
+            }
+            for shader in [draw.vertex_shader, draw.pixel_shader] {
+                if w.shaders().get(shader).is_none() {
+                    issues.push(ValidationIssue::MissingShader {
+                        frame: frame.id,
+                        draw: draw.id,
+                        shader,
+                    });
+                }
+            }
+            for &texture in &draw.textures {
+                if w.textures().get(texture).is_none() {
+                    issues.push(ValidationIssue::MissingTexture {
+                        frame: frame.id,
+                        draw: draw.id,
+                        texture,
+                    });
+                }
+            }
+            match w.states().get(draw.state) {
+                None => issues.push(ValidationIssue::MissingState {
+                    frame: frame.id,
+                    draw: draw.id,
+                    state: draw.state,
+                }),
+                Some(state) => {
+                    if state.vertex_shader != draw.vertex_shader
+                        || state.pixel_shader != draw.pixel_shader
+                    {
+                        issues.push(ValidationIssue::StateShaderMismatch {
+                            frame: frame.id,
+                            draw: draw.id,
+                        });
+                    }
+                }
+            }
+            for (field, value, lo, hi) in [
+                ("coverage", draw.coverage, 0.0, 1.0),
+                ("z_pass_rate", draw.z_pass_rate, 0.0, 1.0),
+                ("texel_locality", draw.texel_locality, 0.0, 1.0),
+                ("overdraw", draw.overdraw, 0.0, f64::INFINITY),
+            ] {
+                if !(lo..=hi).contains(&value) || value.is_nan() {
+                    issues.push(ValidationIssue::OutOfRange {
+                        frame: frame.id,
+                        draw: draw.id,
+                        field,
+                        value,
+                    });
+                }
+            }
+            if draw.vertex_count == 0 {
+                issues.push(ValidationIssue::EmptyGeometry {
+                    frame: frame.id,
+                    draw: draw.id,
+                });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::DrawCall;
+    use crate::frame::Frame;
+    use crate::shader::{ShaderLibrary, ShaderProgram, ShaderStage};
+    use crate::state::{BlendMode, CullMode, DepthMode, StateTable};
+    use crate::texture::TextureRegistry;
+
+    fn base() -> (ShaderLibrary, StateTable, TextureRegistry, StateId, ShaderId, ShaderId) {
+        let mut shaders = ShaderLibrary::new();
+        let vs = shaders
+            .add(|id| ShaderProgram::new(id, ShaderStage::Vertex, "vs", Default::default()));
+        let ps = shaders
+            .add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "ps", Default::default()));
+        let mut states = StateTable::new();
+        let st = states.intern(vs, ps, BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Back);
+        (shaders, states, TextureRegistry::new(), st, vs, ps)
+    }
+
+    #[test]
+    fn dangling_shader_reported() {
+        let (shaders, states, textures, st, vs, _) = base();
+        let draw = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ShaderId(99)).build();
+        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![draw])], shaders, textures, states);
+        let issues = w.validate();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MissingShader { shader, .. } if shader.raw() == 99)));
+        // The state/shader mismatch is also reported.
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::StateShaderMismatch { .. })));
+    }
+
+    #[test]
+    fn dangling_texture_reported() {
+        let (shaders, states, textures, st, vs, ps) = base();
+        let draw = DrawCall::builder(DrawId(0))
+            .state(st)
+            .shaders(vs, ps)
+            .textures(vec![TextureId(42)])
+            .build();
+        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![draw])], shaders, textures, states);
+        assert!(w
+            .validate()
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MissingTexture { texture, .. } if texture.raw() == 42)));
+    }
+
+    #[test]
+    fn duplicate_draw_ids_reported() {
+        let (shaders, states, textures, st, vs, ps) = base();
+        let d = DrawCall::builder(DrawId(7)).state(st).shaders(vs, ps).build();
+        let w = Workload::new(
+            "t",
+            vec![Frame::new(FrameId(0), vec![d.clone(), d])],
+            shaders,
+            textures,
+            states,
+        );
+        assert!(w
+            .validate()
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DuplicateDrawId { draw } if draw.raw() == 7)));
+    }
+
+    #[test]
+    fn zero_vertices_reported() {
+        let (shaders, states, textures, st, vs, ps) = base();
+        let mut d = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ps).build();
+        d.vertex_count = 0;
+        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![d])], shaders, textures, states);
+        assert!(w
+            .validate()
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::EmptyGeometry { .. })));
+    }
+
+    #[test]
+    fn out_of_range_coverage_reported() {
+        let (shaders, states, textures, st, vs, ps) = base();
+        let mut d = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ps).build();
+        d.coverage = 1.5; // bypasses the builder clamp on purpose
+        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![d])], shaders, textures, states);
+        assert!(w
+            .validate()
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::OutOfRange { field: "coverage", .. })));
+    }
+
+    #[test]
+    fn issues_display() {
+        let i = ValidationIssue::EmptyGeometry {
+            frame: FrameId(1),
+            draw: DrawId(2),
+        };
+        assert_eq!(i.to_string(), "f1/d2: zero vertices");
+    }
+}

@@ -1,0 +1,162 @@
+//! Workloads: complete traces with their resource tables.
+
+use crate::frame::Frame;
+use crate::shader::ShaderLibrary;
+use crate::state::StateTable;
+use crate::summary::WorkloadSummary;
+use crate::texture::TextureRegistry;
+use crate::validate::{validate_workload, ValidationIssue};
+use serde::{Deserialize, Serialize};
+
+/// A complete 3D workload trace: frames plus the shader library, texture
+/// registry and pipeline-state table the frames reference.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(4).draws_per_frame(20).build(1).generate();
+/// assert_eq!(w.frames().len(), 4);
+/// let summary = w.summary();
+/// assert_eq!(summary.frames, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable workload (game) name.
+    pub name: String,
+    frames: Vec<Frame>,
+    shaders: ShaderLibrary,
+    textures: TextureRegistry,
+    states: StateTable,
+}
+
+impl Workload {
+    /// Assembles a workload from parts.
+    pub fn new(
+        name: impl Into<String>,
+        frames: Vec<Frame>,
+        shaders: ShaderLibrary,
+        textures: TextureRegistry,
+        states: StateTable,
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            frames,
+            shaders,
+            textures,
+            states,
+        }
+    }
+
+    /// The frames in trace order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The shader library.
+    pub fn shaders(&self) -> &ShaderLibrary {
+        &self.shaders
+    }
+
+    /// The texture registry.
+    pub fn textures(&self) -> &TextureRegistry {
+        &self.textures
+    }
+
+    /// The pipeline-state table.
+    pub fn states(&self) -> &StateTable {
+        &self.states
+    }
+
+    /// Total number of draw-calls across all frames.
+    pub fn total_draws(&self) -> usize {
+        self.frames.iter().map(Frame::draw_count).sum()
+    }
+
+    /// Checks referential integrity and value ranges; an empty result means
+    /// the workload is well-formed.
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        validate_workload(self)
+    }
+
+    /// Computes the corpus-table summary of the workload.
+    pub fn summary(&self) -> WorkloadSummary {
+        WorkloadSummary::of(self)
+    }
+
+    /// Builds a new workload containing only the selected frames (by index),
+    /// sharing the resource tables. Out-of-range indices are skipped.
+    ///
+    /// Used to materialise phase-representative subsets.
+    pub fn select_frames(&self, indices: &[usize]) -> Workload {
+        let frames = indices
+            .iter()
+            .filter_map(|&i| self.frames.get(i).cloned())
+            .collect();
+        Workload {
+            name: format!("{}-subset", self.name),
+            frames,
+            shaders: self.shaders.clone(),
+            textures: self.textures.clone(),
+            states: self.states.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::DrawCall;
+    use crate::ids::{DrawId, FrameId};
+
+    fn tiny() -> Workload {
+        let mut shaders = ShaderLibrary::new();
+        let vs = shaders.add(|id| {
+            crate::ShaderProgram::new(id, crate::ShaderStage::Vertex, "vs", Default::default())
+        });
+        let ps = shaders.add(|id| {
+            crate::ShaderProgram::new(id, crate::ShaderStage::Pixel, "ps", Default::default())
+        });
+        let mut states = StateTable::new();
+        let st = states.intern(
+            vs,
+            ps,
+            crate::BlendMode::Opaque,
+            crate::DepthMode::TestAndWrite,
+            crate::CullMode::Back,
+        );
+        let draw = |id: u64| DrawCall::builder(DrawId(id)).state(st).shaders(vs, ps).build();
+        let frames = vec![
+            Frame::new(FrameId(0), vec![draw(0)]),
+            Frame::new(FrameId(1), vec![draw(1), draw(2)]),
+        ];
+        Workload::new("tiny", frames, shaders, TextureRegistry::new(), states)
+    }
+
+    #[test]
+    fn total_draws_sums_frames() {
+        assert_eq!(tiny().total_draws(), 3);
+    }
+
+    #[test]
+    fn tiny_workload_is_valid() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn select_frames_subsets_and_renames() {
+        let w = tiny();
+        let s = w.select_frames(&[1]);
+        assert_eq!(s.frames().len(), 1);
+        assert_eq!(s.total_draws(), 2);
+        assert!(s.name.ends_with("-subset"));
+    }
+
+    #[test]
+    fn select_frames_skips_out_of_range() {
+        let w = tiny();
+        let s = w.select_frames(&[0, 7]);
+        assert_eq!(s.frames().len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on the synthetic game generators: every profile in the
+//! knob space must yield a valid, deterministic, script-consistent trace.
+
+use proptest::prelude::*;
+use subset3d_trace::gen::{GameProfile, PhaseKind, PhaseScript};
+use subset3d_trace::{decode_workload, encode_workload};
+
+fn profile_strategy() -> impl Strategy<Value = (u8, usize, usize, usize, u64)> {
+    (
+        0u8..3,        // genre
+        3usize..20,    // frames
+        10usize..80,   // draws per frame
+        1usize..6,     // shader variants
+        any::<u64>(),  // seed
+    )
+}
+
+fn build(genre: u8, frames: usize, draws: usize, variants: usize, seed: u64) -> GameProfile {
+    let p = match genre {
+        0 => GameProfile::shooter("prop"),
+        1 => GameProfile::rts("prop"),
+        _ => GameProfile::racing("prop"),
+    };
+    p.frames(frames).draws_per_frame(draws).shader_variants(variants)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated trace is well-formed and matches its ground truth.
+    #[test]
+    fn generated_traces_valid_and_consistent(
+        (genre, frames, draws, variants, seed) in profile_strategy()
+    ) {
+        let (w, truth) = build(genre, frames, draws, variants, seed)
+            .build(seed)
+            .generate_with_truth();
+        prop_assert!(w.validate().is_empty());
+        prop_assert_eq!(w.frames().len(), frames);
+        prop_assert_eq!(truth.per_frame.len(), frames);
+        prop_assert_eq!(truth.script.total_frames(), frames);
+        // Menu/loading frames are lighter than gameplay frames on average.
+        let mut game = Vec::new();
+        let mut idle = Vec::new();
+        for (f, kind) in w.frames().iter().zip(&truth.per_frame) {
+            match kind {
+                PhaseKind::Menu | PhaseKind::Loading => idle.push(f.draw_count() as f64),
+                _ => game.push(f.draw_count() as f64),
+            }
+        }
+        if !game.is_empty() && !idle.is_empty() {
+            prop_assert!(
+                subset3d_stats::mean(&game) > subset3d_stats::mean(&idle),
+                "gameplay frames should out-draw menu frames"
+            );
+        }
+    }
+
+    /// Generation is a pure function of (profile, seed).
+    #[test]
+    fn generation_deterministic(
+        (genre, frames, draws, variants, seed) in profile_strategy()
+    ) {
+        let a = build(genre, frames, draws, variants, seed).build(seed).generate();
+        let b = build(genre, frames, draws, variants, seed).build(seed).generate();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The binary codec round-trips every generated trace exactly.
+    #[test]
+    fn codec_roundtrips_generated_traces(
+        (genre, frames, draws, variants, seed) in profile_strategy()
+    ) {
+        let w = build(genre, frames, draws, variants, seed).build(seed).generate();
+        let decoded = decode_workload(&encode_workload(&w)).unwrap();
+        prop_assert_eq!(w, decoded);
+    }
+
+    /// Custom scripts of any composition resolve and drive generation.
+    #[test]
+    fn custom_scripts_generate(
+        weights in prop::collection::vec((0u8..5, 0.1f64..10.0), 1..6),
+        frames in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let segments: Vec<(PhaseKind, f64)> = weights
+            .into_iter()
+            .map(|(k, w)| {
+                let kind = match k {
+                    0 => PhaseKind::Menu,
+                    1 => PhaseKind::Explore(0),
+                    2 => PhaseKind::Combat(1),
+                    3 => PhaseKind::Cutscene(0),
+                    _ => PhaseKind::Loading,
+                };
+                (kind, w)
+            })
+            .collect();
+        let script = PhaseScript::from_weights(frames, &segments);
+        prop_assert_eq!(script.total_frames(), frames);
+        let w = GameProfile::shooter("prop")
+            .script(script)
+            .draws_per_frame(20)
+            .build(seed)
+            .generate();
+        prop_assert!(w.validate().is_empty());
+        prop_assert_eq!(w.frames().len(), frames);
+    }
+}

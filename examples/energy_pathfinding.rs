@@ -1,0 +1,84 @@
+//! DVFS energy pathfinding with subsets: pick the energy-optimal operating
+//! point of a design without full-trace simulation.
+//!
+//! ```sh
+//! cargo run --release --example energy_pathfinding
+//! ```
+
+use subset3d::core::Table;
+use subset3d::gpusim::{energy_delay_product, Energy, PowerModel};
+use subset3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = GameProfile::shooter("dvfs-game")
+        .frames(60)
+        .draws_per_frame(700)
+        .build(11)
+        .generate();
+    let base = ArchConfig::baseline();
+    let sim = Simulator::new(base.clone());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&workload, &sim)?;
+    println!(
+        "subset keeps {:.2}% of draws; sweeping DVFS points both ways\n",
+        outcome.subset.draw_fraction() * 100.0
+    );
+
+    let sweep = FrequencySweep::standard();
+    let mut table = Table::new(vec![
+        "core MHz",
+        "parent energy",
+        "subset energy",
+        "parent EDP",
+        "subset EDP",
+    ]);
+    let mut best_parent = (f64::INFINITY, 0.0);
+    let mut best_subset = (f64::INFINITY, 0.0);
+    for config in sweep.configs(&base) {
+        let model = PowerModel::default_for(&config);
+        let sim = Simulator::new(config.clone());
+
+        // Full-trace view.
+        let parent_cost = sim.simulate_workload(&workload)?;
+        let parent_energy = model.workload_energy(&parent_cost, &config);
+        let parent_edp = energy_delay_product(&parent_energy, parent_cost.total_ns);
+
+        // Subset view: weighted per-draw energies from the detailed replay.
+        let replay = outcome.subset.replay_detailed(&workload, &sim)?;
+        let mut subset_energy = Energy::default();
+        for frame in &replay.frames {
+            for (weight, cost) in &frame.draws {
+                let mut e = model.draw_energy(cost, &config);
+                let scale = weight * frame.frame_weight;
+                e.dynamic_nj *= scale;
+                e.static_nj *= scale;
+                e.memory_nj *= scale;
+                subset_energy.accumulate(e);
+            }
+        }
+        let subset_edp = energy_delay_product(&subset_energy, replay.estimated_ns);
+
+        if parent_edp < best_parent.0 {
+            best_parent = (parent_edp, config.core_clock_mhz);
+        }
+        if subset_edp < best_subset.0 {
+            best_subset = (subset_edp, config.core_clock_mhz);
+        }
+        table.row(vec![
+            format!("{:.0}", config.core_clock_mhz),
+            format!("{:.2} J", parent_energy.total_nj() * 1e-9),
+            format!("{:.2} J", subset_energy.total_nj() * 1e-9),
+            format!("{:.3}", parent_edp * 1e-18),
+            format!("{:.3}", subset_edp * 1e-18),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "EDP-optimal clock: full trace says {} MHz, subset says {} MHz",
+        best_parent.1 as u64, best_subset.1 as u64
+    );
+    assert_eq!(
+        best_parent.1 as u64, best_subset.1 as u64,
+        "subset must pick the same operating point"
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Architecture pathfinding with subsets — the paper's motivating use-case.
+//!
+//! Ranks six candidate GPU designs two ways: by full-trace simulation and
+//! by replaying only the extracted subset, then compares the orderings and
+//! the simulation cost saved.
+//!
+//! ```sh
+//! cargo run --release --example pathfinding_sweep
+//! ```
+
+use subset3d::core::{pathfinding_rank_validation, Table};
+use subset3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = GameProfile::shooter("pathfinder-game")
+        .frames(80)
+        .draws_per_frame(1000)
+        .build(42)
+        .generate();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&workload, &sim)?;
+    let subset = &outcome.subset;
+    println!(
+        "subset keeps {:.3}% of draws; every candidate below is evaluated both ways\n",
+        subset.draw_fraction() * 100.0
+    );
+
+    let candidates = ArchConfig::pathfinding_candidates();
+    let (parent, estimate, agreement) =
+        pathfinding_rank_validation(&workload, subset, &candidates)?;
+
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| parent[a].partial_cmp(&parent[b]).unwrap());
+    let mut table = Table::new(vec!["rank", "design", "full-trace time", "subset estimate"]);
+    for (rank, &i) in order.iter().enumerate() {
+        table.row(vec![
+            (rank + 1).to_string(),
+            candidates[i].name.clone(),
+            format!("{:.2}ms", parent[i] / 1e6),
+            format!("{:.2}ms", estimate[i] / 1e6),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("rank agreement: {:.0}%", agreement * 100.0);
+    println!(
+        "simulation work: {} draws full-trace vs {} draws via subset ({}x less)",
+        workload.total_draws() * candidates.len(),
+        subset.selected_draw_count() * candidates.len(),
+        workload.total_draws() / subset.selected_draw_count().max(1),
+    );
+    Ok(())
+}

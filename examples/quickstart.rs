@@ -1,0 +1,65 @@
+//! Quickstart: subset a synthetic game and check the paper's headline
+//! metrics on it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use subset3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic BioShock-like trace: 60 frames, ~800 draws per frame,
+    //    fully deterministic from the seed.
+    let workload = GameProfile::shooter("quickstart-game")
+        .frames(60)
+        .draws_per_frame(800)
+        .build(2015)
+        .generate();
+    println!(
+        "workload: {} frames, {} draw-calls, {} shaders",
+        workload.frames().len(),
+        workload.total_draws(),
+        workload.shaders().len()
+    );
+
+    // 2. A baseline GPU design point and its simulator.
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    // 3. Run the full subsetting pipeline: per-frame draw clustering,
+    //    shader-vector phase detection, subset assembly.
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&workload, &sim)?;
+
+    println!(
+        "clustering: {:.1}% efficiency, {:.2}% prediction error, {:.2}% outlier clusters",
+        outcome.evaluation.mean_efficiency() * 100.0,
+        outcome.evaluation.mean_prediction_error() * 100.0,
+        outcome.evaluation.outlier_fraction() * 100.0,
+    );
+    println!(
+        "phases: {} detected across {} intervals (repeat coverage {:.0}%)",
+        outcome.phases.phase_count(),
+        outcome.phases.intervals.len(),
+        outcome.phases.repeat_coverage() * 100.0,
+    );
+    println!(
+        "subset: {} of {} draws ({:.3}% of parent)",
+        outcome.subset.selected_draw_count(),
+        workload.total_draws(),
+        outcome.subset.draw_fraction() * 100.0,
+    );
+
+    // 4. Validate: does the subset respond to frequency scaling like the
+    //    parent? (The paper's correlation-coefficient experiment.)
+    let sweep = FrequencySweep::standard();
+    let validation = subset3d::core::frequency_scaling_validation(
+        &workload,
+        &outcome.subset,
+        &ArchConfig::baseline(),
+        &sweep,
+    )?;
+    println!(
+        "frequency scaling correlation: r = {:.4} (paper: 0.997+)",
+        validation.correlation
+    );
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Failure injection: the system must reject corrupted inputs with typed
+//! errors — never panic, never return garbage silently.
+
+use proptest::prelude::*;
+use subset3d::core::{SubsetConfig, SubsetError, Subsetter};
+use subset3d::gpusim::{ArchConfig, SimError, Simulator};
+use subset3d::trace::gen::GameProfile;
+use subset3d::trace::{decode_workload, encode_workload, Frame, ShaderId, Workload};
+
+fn game(seed: u64) -> Workload {
+    GameProfile::shooter("victim").frames(6).draws_per_frame(30).build(seed).generate()
+}
+
+/// Rebuilds a workload with one draw's pixel shader dangling.
+fn corrupt_shader(w: &Workload) -> Workload {
+    let mut frames: Vec<Frame> = w.frames().to_vec();
+    let mut draws = frames[2].draws().to_vec();
+    draws[5].pixel_shader = ShaderId(u32::MAX);
+    frames[2] = Frame::new(frames[2].id, draws);
+    Workload::new(
+        w.name.clone(),
+        frames,
+        w.shaders().clone(),
+        w.textures().clone(),
+        w.states().clone(),
+    )
+}
+
+#[test]
+fn dangling_shader_fails_simulation_and_pipeline() {
+    let w = corrupt_shader(&game(1));
+    // Validation sees it…
+    assert!(!w.validate().is_empty());
+    // …simulation reports it as a typed error…
+    let sim = Simulator::new(ArchConfig::baseline());
+    assert!(matches!(
+        sim.simulate_workload(&w),
+        Err(SimError::UnknownShader { .. })
+    ));
+    // …and the pipeline propagates it.
+    assert!(matches!(
+        Subsetter::new(SubsetConfig::default()).run(&w, &sim),
+        Err(SubsetError::Simulation(_))
+    ));
+}
+
+#[test]
+fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+    let w = game(2);
+    let bytes = encode_workload(&w);
+    // Exhaustively truncate the header region, then sample the body.
+    for cut in (0..64.min(bytes.len())).chain((64..bytes.len()).step_by(997)) {
+        let result = decode_workload(&bytes[..cut]);
+        assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_workload(&bytes);
+    }
+
+    /// Single-byte corruption of a valid trace either still decodes (the
+    /// flip hit payload data) or fails with a typed error — it never
+    /// panics.
+    #[test]
+    fn decoder_survives_single_byte_flips(offset in 0usize..4096, flip in 1u8..=255) {
+        let w = game(3);
+        let mut bytes = encode_workload(&w).to_vec();
+        let idx = offset % bytes.len();
+        bytes[idx] ^= flip;
+        match decode_workload(&bytes) {
+            // A payload flip may decode to a different (possibly invalid)
+            // workload; validation is the next line of defence and must not
+            // panic either.
+            Ok(decoded) => {
+                let _ = decoded.validate();
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn simulator_is_finite_on_extreme_draws() {
+    // Hand-build degenerate draws at the edges of the parameter space and
+    // confirm costs stay finite and non-negative.
+    let w = game(4);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let template = w.frames()[0].draws()[0].clone();
+    let mut extremes = Vec::new();
+    for (vertex_count, coverage, overdraw, instances) in [
+        (1u64, 0.0f64, 0.0f64, 1u32),
+        (100_000_000, 1.0, 50.0, 1),
+        (3, 1e-9, 1.0, 65_535),
+        (3, 1.0, 1.0, 1),
+    ] {
+        let mut d = template.clone();
+        d.vertex_count = vertex_count;
+        d.coverage = coverage;
+        d.overdraw = overdraw;
+        d.instance_count = instances;
+        extremes.push(d);
+    }
+    for draw in &extremes {
+        let cost = sim.simulate_draw(draw, &w).unwrap();
+        assert!(cost.time_ns.is_finite() && cost.time_ns >= 0.0, "{draw:?}");
+        assert!(cost.mem_bytes.is_finite() && cost.mem_bytes >= 0.0);
+    }
+}
+
+#[test]
+fn subset_replay_against_truncated_workload_is_typed_error() {
+    let w = game(5);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    // Drop the back half of the frames: subset references must now dangle.
+    let truncated = w.select_frames(&(0..2).collect::<Vec<_>>());
+    assert!(matches!(
+        outcome.subset.replay(&truncated, &sim),
+        Err(SubsetError::SubsetMismatch { .. })
+    ));
+}

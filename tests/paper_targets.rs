@@ -1,0 +1,64 @@
+//! Regression guard: the paper's headline metrics on a scaled-down corpus.
+//!
+//! The full 828K-draw corpus runs in the release-mode experiment binaries;
+//! this test pins the same metrics on a miniature corpus with generous
+//! bands, so calibration regressions are caught by `cargo test`.
+
+use subset3d::core::{
+    frequency_scaling_validation, subset_suite, validate_suite_scaling, SubsetConfig,
+};
+use subset3d::gpusim::{ArchConfig, FrequencySweep, Simulator};
+use subset3d::trace::gen::GameProfile;
+use subset3d::trace::Workload;
+
+fn mini_corpus() -> Vec<Workload> {
+    vec![
+        GameProfile::shooter("mini-shock").frames(24).draws_per_frame(200).build(1).generate(),
+        GameProfile::rts("mini-strat").frames(20).draws_per_frame(180).build(2).generate(),
+        GameProfile::racing("mini-speed").frames(20).draws_per_frame(160).build(3).generate(),
+    ]
+}
+
+#[test]
+fn headline_metrics_hold_on_mini_corpus() {
+    let corpus = mini_corpus();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let config = SubsetConfig::default().with_interval_len(5);
+    let outcome = subset_suite(&corpus, &config, &sim).unwrap();
+
+    // Clustering quality: error well under 5%, efficiency meaningful,
+    // outliers rare. (Bands are loose: small frames cluster less
+    // efficiently than the 1400-draw corpus frames.)
+    let error = outcome.mean_prediction_error();
+    let efficiency = outcome.mean_efficiency();
+    let outliers = outcome.mean_outlier_fraction();
+    assert!(error < 0.05, "prediction error {error}");
+    assert!(efficiency > 0.25, "efficiency {efficiency}");
+    assert!(outliers < 0.10, "outliers {outliers}");
+
+    // Subsets are small.
+    let fraction = outcome.suite_draw_fraction(&corpus);
+    assert!(fraction < 0.10, "suite subset fraction {fraction}");
+
+    // And they track frequency scaling at suite level.
+    let sweep = FrequencySweep::new(vec![400.0, 600.0, 800.0, 1000.0, 1200.0]);
+    let (_, _, r) =
+        validate_suite_scaling(&corpus, &outcome, &ArchConfig::baseline(), &sweep).unwrap();
+    assert!(r > 0.997, "suite scaling correlation {r}");
+}
+
+#[test]
+fn every_mini_game_validates_individually() {
+    let corpus = mini_corpus();
+    let sim = Simulator::new(ArchConfig::baseline());
+    let config = SubsetConfig::default().with_interval_len(5);
+    let outcome = subset_suite(&corpus, &config, &sim).unwrap();
+    let sweep = FrequencySweep::new(vec![400.0, 800.0, 1200.0]);
+    for (w, (name, o)) in corpus.iter().zip(&outcome.games) {
+        let v = frequency_scaling_validation(w, &o.subset, &ArchConfig::baseline(), &sweep)
+            .unwrap();
+        assert!(v.correlation > 0.99, "{name}: r = {}", v.correlation);
+        assert!(o.subset.draw_fraction() < 0.15, "{name}: subset too large");
+        assert!(o.phases.phase_count() >= 1, "{name}: no phases");
+    }
+}

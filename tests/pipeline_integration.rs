@@ -1,0 +1,102 @@
+//! End-to-end integration: trace generation → simulation → clustering →
+//! phase detection → subset → validation, spanning every crate.
+
+use subset3d::core::{
+    frequency_scaling_validation, pathfinding_rank_validation, SubsetConfig, Subsetter,
+};
+use subset3d::gpusim::{ArchConfig, FrequencySweep, Simulator};
+use subset3d::trace::gen::GameProfile;
+use subset3d::trace::Workload;
+
+fn small_game(seed: u64) -> Workload {
+    GameProfile::shooter("integration")
+        .frames(24)
+        .draws_per_frame(150)
+        .build(seed)
+        .generate()
+}
+
+#[test]
+fn pipeline_produces_consistent_outcome() {
+    let w = small_game(100);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+
+    // Clusterings partition every frame.
+    for (frame, clustering) in w.frames().iter().zip(&outcome.clusterings) {
+        let member_total: usize = clustering.clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(member_total, frame.draw_count());
+    }
+    // Phase bookkeeping covers every interval.
+    let covered: usize = outcome.phases.phases.iter().map(|p| p.intervals.len()).sum();
+    assert_eq!(covered, outcome.phases.intervals.len());
+    // The subset references valid structure.
+    outcome.subset.validate(&w).unwrap();
+    assert!(outcome.subset.draw_fraction() > 0.0);
+    assert!(outcome.subset.draw_fraction() < 1.0);
+}
+
+#[test]
+fn subset_tracks_parent_under_frequency_scaling() {
+    let w = small_game(101);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let sweep = FrequencySweep::new(vec![400.0, 800.0, 1200.0]);
+    let v = frequency_scaling_validation(&w, &outcome.subset, &ArchConfig::baseline(), &sweep)
+        .unwrap();
+    assert!(v.correlation > 0.99, "r = {}", v.correlation);
+    // Both series are genuine speedups (above 1 at higher clocks).
+    assert!(v.parent_improvement[2] > 1.2);
+    assert!(v.subset_improvement[2] > 1.2);
+}
+
+#[test]
+fn subset_ranks_design_points_like_parent() {
+    let w = small_game(102);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let candidates = vec![ArchConfig::small(), ArchConfig::baseline(), ArchConfig::large()];
+    let (parent, estimate, agreement) =
+        pathfinding_rank_validation(&w, &outcome.subset, &candidates).unwrap();
+    // small must be slowest and large fastest in both views.
+    assert!(parent[0] > parent[1] && parent[1] > parent[2]);
+    assert!(estimate[0] > estimate[1] && estimate[1] > estimate[2]);
+    assert_eq!(agreement, 1.0);
+}
+
+#[test]
+fn prediction_error_is_small_and_efficiency_high() {
+    let w = small_game(103);
+    let sim = Simulator::new(ArchConfig::baseline());
+    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let error = outcome.evaluation.mean_prediction_error();
+    let efficiency = outcome.evaluation.mean_efficiency();
+    let outliers = outcome.evaluation.outlier_fraction();
+    assert!(error < 0.05, "error {error}");
+    assert!(efficiency > 0.3, "efficiency {efficiency}");
+    assert!(outliers < 0.10, "outliers {outliers}");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_across_runs() {
+    let sim = Simulator::new(ArchConfig::baseline());
+    let a = Subsetter::new(SubsetConfig::default()).run(&small_game(104), &sim).unwrap();
+    let b = Subsetter::new(SubsetConfig::default()).run(&small_game(104), &sim).unwrap();
+    assert_eq!(a.subset, b.subset);
+    assert_eq!(a.evaluation, b.evaluation);
+    assert_eq!(a.phases, b.phases);
+}
+
+#[test]
+fn different_genres_all_survive_the_pipeline() {
+    let sim = Simulator::new(ArchConfig::baseline());
+    for (name, w) in [
+        ("shooter", GameProfile::shooter("g1").frames(18).draws_per_frame(120).build(7).generate()),
+        ("rts", GameProfile::rts("g2").frames(18).draws_per_frame(120).build(8).generate()),
+        ("racing", GameProfile::racing("g3").frames(18).draws_per_frame(120).build(9).generate()),
+    ] {
+        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        assert!(outcome.phases.phase_count() >= 1, "{name}");
+        outcome.subset.validate(&w).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
