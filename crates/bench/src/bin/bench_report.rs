@@ -1,0 +1,196 @@
+//! Pipeline throughput report: measures the effect of the shared
+//! work-stealing executor and draw-cost memoization against a
+//! single-thread, uncached baseline, and records both in
+//! `BENCH_pipeline.json` at the repository root.
+//!
+//! Three scenarios, all on the same generated game trace:
+//!
+//! * **workload_sim** — one cold `simulate_workload` pass in the
+//!   out-of-the-box configuration (`CacheMode::Auto`, default threads).
+//!   On a trace with little verbatim repetition the cache self-disables,
+//!   so this mainly checks that memoization never costs more than a few
+//!   percent when it cannot help;
+//! * **iterated_sweep** — [`SWEEP_PASSES`] passes of the six-candidate
+//!   pathfinding sweep through a [`SweepSession`], the shape of the
+//!   iterative pathfinding loop. Every pass after the first is served
+//!   wholesale from the frame caches;
+//! * **subsetting_pipeline** — clustering + evaluation end to end.
+//!
+//! Every scenario is also run single-threaded with memoization off (the
+//! pre-executor behaviour); each timing is the best of three runs.
+
+use serde::Serialize;
+use std::time::Instant;
+use subset3d_core::{SubsetConfig, Subsetter};
+use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
+use subset3d_trace::gen::GameProfile;
+use subset3d_trace::Workload;
+
+/// Timing runs per measurement; the best is reported.
+const RUNS: usize = 3;
+
+/// Sweep passes in the iterated-sweep scenario.
+const SWEEP_PASSES: usize = 4;
+
+#[derive(Serialize)]
+struct Measurement {
+    wall_ms: f64,
+    draws_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Scenario {
+    single_thread_uncached: Measurement,
+    parallel_memoized: Measurement,
+    speedup: f64,
+    cache_hit_rate: f64,
+    frame_cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    workload_frames: usize,
+    workload_draws: usize,
+    sweep_candidates: usize,
+    sweep_passes: usize,
+    workload_sim: Scenario,
+    iterated_sweep: Scenario,
+    subsetting_pipeline: Scenario,
+}
+
+/// Best-of-[`RUNS`] wall time of `f`, in milliseconds.
+fn best_ms(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measurement(wall_ms: f64, draws: usize) -> Measurement {
+    Measurement { wall_ms, draws_per_sec: draws as f64 / (wall_ms / 1e3) }
+}
+
+fn scenario(
+    draws: usize,
+    baseline: impl FnMut(),
+    optimized: impl FnMut(),
+    stats: subset3d_gpusim::CacheStats,
+) -> Scenario {
+    let base = best_ms(baseline);
+    let opt = best_ms(optimized);
+    Scenario {
+        speedup: base / opt,
+        single_thread_uncached: measurement(base, draws),
+        parallel_memoized: measurement(opt, draws),
+        cache_hit_rate: stats.hit_rate(),
+        frame_cache_hit_rate: stats.frame_hit_rate(),
+    }
+}
+
+fn main() {
+    let threads = subset3d_exec::default_threads();
+    let workload: Workload =
+        GameProfile::shooter("bench").frames(120).draws_per_frame(400).build(11).generate();
+    let candidates = ArchConfig::pathfinding_candidates();
+    let draws = workload.total_draws();
+    println!(
+        "bench_report: {} frames / {} draws, {} candidate configs, {} threads",
+        workload.frames().len(),
+        draws,
+        candidates.len(),
+        threads,
+    );
+
+    // -- workload simulation (cold, out-of-the-box) --------------------
+    let sim_stats = {
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&workload).expect("simulate");
+        sim.cache_stats()
+    };
+    let workload_sim = scenario(
+        draws,
+        || {
+            subset3d_exec::set_thread_count(1);
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.set_cache_mode(CacheMode::Off);
+            sim.simulate_workload(&workload).expect("simulate");
+        },
+        || {
+            subset3d_exec::set_thread_count(threads);
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.simulate_workload(&workload).expect("simulate");
+        },
+        sim_stats,
+    );
+
+    // -- iterated pathfinding sweep ------------------------------------
+    let sweep_stats = {
+        let session = SweepSession::new(&candidates).expect("session");
+        for _ in 0..SWEEP_PASSES {
+            session.sweep(&workload).expect("sweep");
+        }
+        session.cache_stats()
+    };
+    let iterated_sweep = scenario(
+        draws * candidates.len() * SWEEP_PASSES,
+        || {
+            subset3d_exec::set_thread_count(1);
+            let session = SweepSession::new(&candidates).expect("session");
+            session.set_cache_mode(CacheMode::Off);
+            for _ in 0..SWEEP_PASSES {
+                session.sweep(&workload).expect("sweep");
+            }
+        },
+        || {
+            subset3d_exec::set_thread_count(threads);
+            let session = SweepSession::new(&candidates).expect("session");
+            for _ in 0..SWEEP_PASSES {
+                session.sweep(&workload).expect("sweep");
+            }
+        },
+        sweep_stats,
+    );
+
+    // -- subsetting pipeline -------------------------------------------
+    let pipeline_stats = {
+        subset3d_exec::set_thread_count(threads);
+        let sim = Simulator::new(ArchConfig::baseline());
+        Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+        sim.cache_stats()
+    };
+    let subsetting_pipeline = scenario(
+        draws,
+        || {
+            subset3d_exec::set_thread_count(1);
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.set_cache_mode(CacheMode::Off);
+            Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+        },
+        || {
+            subset3d_exec::set_thread_count(threads);
+            let sim = Simulator::new(ArchConfig::baseline());
+            Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+        },
+        pipeline_stats,
+    );
+    subset3d_exec::set_thread_count(threads);
+
+    let report = Report {
+        threads,
+        workload_frames: workload.frames().len(),
+        workload_draws: draws,
+        sweep_candidates: candidates.len(),
+        sweep_passes: SWEEP_PASSES,
+        workload_sim,
+        iterated_sweep,
+        subsetting_pipeline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("{json}");
+    println!("wrote BENCH_pipeline.json");
+}

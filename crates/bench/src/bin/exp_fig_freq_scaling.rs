@@ -16,11 +16,16 @@ fn main() {
     let sweep = FrequencySweep::standard();
     let base = ArchConfig::baseline();
 
-    let mut correlations = Vec::new();
-    for workload in &corpus {
+    // Per-game sweeps fan out over the shared pool; results come back in
+    // corpus order, so the printed figure is identical at any thread count.
+    let validations = subset3d_exec::par_map_indexed(&corpus, |_, workload| {
         let outcome = run_default_pipeline(workload);
-        let v = frequency_scaling_validation(workload, &outcome.subset, &base, &sweep)
-            .expect("validation");
+        frequency_scaling_validation(workload, &outcome.subset, &base, &sweep)
+            .expect("validation")
+    });
+
+    let mut correlations = Vec::new();
+    for (workload, v) in corpus.iter().zip(&validations) {
         let ci = subset3d_stats::bootstrap_paired_ci(
             &v.parent_improvement,
             &v.subset_improvement,

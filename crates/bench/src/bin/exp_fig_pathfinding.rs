@@ -14,20 +14,24 @@ fn main() {
     let corpus = standard_corpus();
     let candidates = ArchConfig::pathfinding_candidates();
 
+    // Per-game validation fans out over the shared pool; results come back
+    // in corpus order, so the printed figure is identical at any thread
+    // count.
+    let per_game = subset3d_exec::par_map_indexed(&corpus, |_, workload| {
+        let outcome = run_default_pipeline(workload);
+        pathfinding_rank_validation(workload, &outcome.subset, &candidates).expect("validation")
+    });
+
     // Aggregate corpus-level times per candidate.
     let mut parent_total = vec![0.0f64; candidates.len()];
     let mut subset_total = vec![0.0f64; candidates.len()];
     let mut agreements = Vec::new();
-    for workload in &corpus {
-        let outcome = run_default_pipeline(workload);
-        let (parent, estimate, agreement) =
-            pathfinding_rank_validation(workload, &outcome.subset, &candidates)
-                .expect("validation");
+    for (workload, (parent, estimate, agreement)) in corpus.iter().zip(&per_game) {
         for i in 0..candidates.len() {
             parent_total[i] += parent[i];
             subset_total[i] += estimate[i];
         }
-        agreements.push(agreement);
+        agreements.push(*agreement);
         println!("{}: per-game rank agreement {:.0}%", workload.name, agreement * 100.0);
     }
     println!();

@@ -10,7 +10,7 @@ use crate::predict::{predict_frame, FramePrediction};
 use crate::subset::WorkloadSubset;
 use serde::{Deserialize, Serialize};
 use subset3d_gpusim::Simulator;
-use subset3d_stats::mean;
+use subset3d_stats::{mean, mean_iter};
 use subset3d_trace::Workload;
 
 /// Per-workload clustering evaluation: the paper's Table-2 row.
@@ -25,7 +25,7 @@ pub struct WorkloadEvaluation {
 impl WorkloadEvaluation {
     /// Average per-frame performance-prediction error (paper target ≈ 1 %).
     pub fn mean_prediction_error(&self) -> f64 {
-        mean(&self.frames.iter().map(FramePrediction::error).collect::<Vec<_>>())
+        mean_iter(self.frames.iter().map(FramePrediction::error))
     }
 
     /// Average clustering efficiency (paper target ≈ 65.8 %).
@@ -169,28 +169,12 @@ impl Subsetter {
         })
     }
 
-    /// Clusters every frame, in parallel across a scoped thread pool.
+    /// Clusters every frame, in parallel on the shared [`subset3d_exec`]
+    /// pool. Results are in frame order and identical at any thread count.
     fn cluster_all_frames(&self, workload: &Workload) -> Vec<FrameClustering> {
-        let frames = workload.frames();
-        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
-        if frames.len() < 4 || threads < 2 {
-            return frames.iter().map(|f| cluster_frame(f, workload, &self.config)).collect();
-        }
-        let mut results: Vec<Option<FrameClustering>> = vec![None; frames.len()];
-        let chunk = frames.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (frame_chunk, result_chunk) in
-                frames.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
-                scope.spawn(move |_| {
-                    for (frame, slot) in frame_chunk.iter().zip(result_chunk.iter_mut()) {
-                        *slot = Some(cluster_frame(frame, workload, &self.config));
-                    }
-                });
-            }
+        subset3d_exec::par_map_indexed(workload.frames(), |_, frame| {
+            cluster_frame(frame, workload, &self.config)
         })
-        .expect("clustering worker panicked");
-        results.into_iter().map(|r| r.expect("every frame clustered")).collect()
     }
 }
 

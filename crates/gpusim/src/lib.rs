@@ -45,6 +45,7 @@ mod config;
 mod cost;
 mod error;
 mod freq;
+mod memo;
 mod power;
 mod sim;
 mod sweep;
@@ -54,6 +55,7 @@ pub use config::{ArchConfig, ArchConfigBuilder};
 pub use cost::{DrawCost, FrameCost, Stage, WorkloadCost};
 pub use error::SimError;
 pub use freq::FrequencySweep;
+pub use memo::{CacheMode, CacheStats};
 pub use power::{energy_delay_product, Energy, PowerModel};
 pub use sim::Simulator;
-pub use sweep::{sweep_configs, sweep_frequencies, ConfigPoint, SweepPoint};
+pub use sweep::{sweep_configs, sweep_frequencies, ConfigPoint, SweepPoint, SweepSession};

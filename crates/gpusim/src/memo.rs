@@ -1,0 +1,683 @@
+//! Draw-cost memoization.
+//!
+//! The analytical cost of a draw depends only on the features
+//! `analyze_draw` consumes — never on labels like the draw id, interned
+//! state id, or the generator's material tag. Costs are therefore cached
+//! by *content*: two draws share an entry exactly when `analyze_draw`
+//! would receive bit-identical arguments, so a memoized result is
+//! bit-identical to an uncached one by construction.
+//!
+//! The payoff is re-simulation: design sweeps, frequency sweeps, and
+//! validation runs replay the same `(workload, config)` pair — every
+//! draw after the first pass is a cache hit. Whether a single pass
+//! profits depends on how much a trace repeats materials verbatim, so
+//! the cache defaults to [`CacheMode::Auto`]: it observes its own hit
+//! rate over an initial window and bypasses itself when memoization is
+//! not paying for its bookkeeping, keeping never-repeating traces within
+//! a few percent of the uncached baseline.
+//!
+//! A lookup must be cheaper than `analyze_draw` itself (a few hundred
+//! nanoseconds), which drives three choices:
+//!
+//! * keys live **inline** in a fixed `[u64; MAX_WORDS]` — packing never
+//!   allocates;
+//! * bound textures are keyed by raw [`TextureId`] under a 128-bit
+//!   [`RegistryFingerprint`] of the whole registry (computed once per
+//!   simulation pass), instead of resolving each id through the
+//!   registry's `BTreeMap` on every lookup;
+//! * the key carries its own FNV-1a hash, computed once while packing,
+//!   which both picks the shard and feeds the map (via a pass-through
+//!   hasher), so a lookup hashes the key words exactly once.
+//!
+//! The map is sharded to keep simulation workers from serialising on one
+//! lock; each shard is a `parking_lot::RwLock<HashMap>`.
+//!
+//! Draw-grain memoization has a floor: on a trace whose draws almost
+//! never repeat verbatim, a hit costs about as much as the analytical
+//! model itself (one cold probe of a multi-megabyte table). Re-simulation
+//! — the sweep-session case — is therefore served at **frame** grain
+//! instead: a [`FrameCostCache`] keyed by a 128-bit digest of the
+//! frame's packed draw keys returns the whole `FrameCost` in one probe
+//! of a table with one entry per distinct frame. [`CacheMode::On`]
+//! enables it; the default [`CacheMode::Auto`] leaves it off, because
+//! digesting costs a fixed fraction of a pass and only repeated passes
+//! earn it back.
+
+use crate::cost::{DrawCost, FrameCost};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use subset3d_trace::{DrawCall, ShaderProgram, TextureRegistry};
+
+const SHARDS: usize = 16;
+
+/// Lookups observed before [`CacheMode::Auto`] judges profitability.
+/// Small enough that an unprofitable stream pays for only a fraction of
+/// a percent of a full pass in bookkeeping.
+const ADAPT_WINDOW: u64 = 512;
+
+/// Minimum hit rate over the window for `Auto` to keep memoizing.
+const ADAPT_MIN_HIT_RATE: f64 = 0.05;
+
+/// Memoization policy of a simulator's caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CacheMode {
+    /// Memoize draw costs, but self-disable if the observed hit rate
+    /// over the first [`ADAPT_WINDOW`] lookups shows memoization is not
+    /// profitable (re-armed by invalidation). Frame costs are not
+    /// retained. The single-pass default.
+    Auto = 0,
+    /// Re-simulation mode: additionally retain every simulated frame's
+    /// cost, so repeating a pass over the same workload (sweep sessions,
+    /// validation flows) is served wholesale from the frame cache.
+    /// Draw-grain memoization stays adaptive as in [`CacheMode::Auto`].
+    On = 1,
+    /// Never memoize; every lookup computes. The uncached baseline.
+    Off = 2,
+}
+
+/// A 128-bit FNV-1a digest of a [`TextureRegistry`]'s full contents.
+///
+/// Keying draws on raw texture ids is only sound within one registry;
+/// folding this fingerprint into every key extends that to any registry
+/// whose *content* matches, and separates registries that merely reuse
+/// ids. Two independent 64-bit FNV streams (distinct offset bases) make
+/// an accidental cross-registry collision a 2⁻¹²⁸ event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RegistryFingerprint([u64; 2]);
+
+impl RegistryFingerprint {
+    /// Digests every descriptor of `textures`, in registry (id) order.
+    pub(crate) fn of(textures: &TextureRegistry) -> Self {
+        let mut a: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut b: u64 = 0x6c62_272e_07bb_0142; // low half of the 128-bit basis
+        let mut mix = |w: u64| {
+            a = (a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for t in textures.iter() {
+            mix(u64::from(t.id.0));
+            mix(u64::from(t.width) | u64::from(t.height) << 32);
+            mix(u64::from(t.mips) | (t.format as u64) << 32);
+        }
+        RegistryFingerprint([a, b])
+    }
+}
+
+/// Key words before the per-texture entries: fixed-function word,
+/// vertex count, five f64 bit patterns, three render-target words, five
+/// words per shader stage, and the two fingerprint words.
+const FIXED_WORDS: usize = 22;
+
+/// Most bound textures a key can hold inline; draws binding more (none
+/// of the generator's material classes come close) bypass the cache.
+const MAX_TEXTURES: usize = 8;
+
+/// Inline capacity of a key, in words.
+const MAX_WORDS: usize = FIXED_WORDS + MAX_TEXTURES;
+
+/// Content-addressed key: the packed bit patterns of every
+/// `analyze_draw` input, plus its FNV-1a hash (computed once, used for
+/// both shard selection and the shard map). Stored inline — packing and
+/// probing never touch the heap.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct CostKey {
+    hash: u64,
+    len: u32,
+    /// Words `len..` stay zeroed, so derived equality over the whole
+    /// array is exact.
+    words: [u64; MAX_WORDS],
+}
+
+impl std::hash::Hash for CostKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl CostKey {
+    /// Packs the model-visible features of `(draw, vs, ps, warmth)`
+    /// under a registry fingerprint. Label fields (`id`, `state`,
+    /// `material_tag`, shader ids/names) are deliberately excluded.
+    ///
+    /// Returns `None` for draws binding more than [`MAX_TEXTURES`]
+    /// textures; such draws are computed directly.
+    pub(crate) fn of(
+        draw: &DrawCall,
+        vs: &ShaderProgram,
+        ps: &ShaderProgram,
+        registry: RegistryFingerprint,
+        warmth: f64,
+    ) -> Option<Self> {
+        if draw.textures.len() > MAX_TEXTURES {
+            return None;
+        }
+        let mut words = [0u64; MAX_WORDS];
+        let mut len = 0;
+        let mut push = |w: u64| {
+            words[len] = w;
+            len += 1;
+        };
+        // Fixed-function state and instance count packed exactly: 2 bits
+        // per 3–4-variant enum, instance count in bits 8..40.
+        push(
+            draw.blend as u64
+                | (draw.depth as u64) << 2
+                | (draw.cull as u64) << 4
+                | (draw.topology as u64) << 6
+                | u64::from(draw.instance_count) << 8,
+        );
+        push(draw.vertex_count);
+        // Rasterisation statistics, bit-exact.
+        push(draw.coverage.to_bits());
+        push(draw.overdraw.to_bits());
+        push(draw.z_pass_rate.to_bits());
+        push(draw.texel_locality.to_bits());
+        push(warmth.to_bits());
+        // Render target.
+        let rt = &draw.render_target;
+        push(u64::from(rt.width) | u64::from(rt.height) << 32);
+        push(rt.format as u64 | u64::from(rt.samples) << 32);
+        push(u64::from(rt.color_attachments));
+        // Shader programs: the full instruction mix plus execution
+        // characteristics. Identity (id, name) is irrelevant to cost.
+        for shader in [vs, ps] {
+            let m = &shader.mix;
+            push(u64::from(m.alu) | u64::from(m.mad) << 32);
+            push(u64::from(m.transcendental) | u64::from(m.texture_samples) << 32);
+            push(u64::from(m.interpolants) | u64::from(m.control_flow) << 32);
+            push(u64::from(shader.registers) | (shader.stage as u64) << 32);
+            push(shader.divergence.to_bits());
+        }
+        // The registry fingerprint scopes the raw texture ids below.
+        push(registry.0[0]);
+        push(registry.0[1]);
+        // Bound textures by id, in binding order (resolution — including
+        // ids the registry cannot resolve — is the fingerprint's job).
+        for id in &draw.textures {
+            push(u64::from(id.0));
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &words[..len] {
+            hash ^= w;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Some(CostKey { hash, len: len as u32, words })
+    }
+
+    fn shard(&self) -> usize {
+        // The map consumes the low bits (HashMap masks with capacity-1),
+        // so shards take the high ones.
+        (self.hash >> 60) as usize % SHARDS
+    }
+
+    /// The packed words, for folding into a frame digest.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words[..self.len as usize]
+    }
+}
+
+/// Running 128-bit FNV-1a digest over a frame's packed draw keys.
+///
+/// Two draws-sequences share a digest exactly when every draw's
+/// [`CostKey`] (which already folds in warmth and the registry
+/// fingerprint) matches word for word, in order — i.e. when the frames
+/// are indistinguishable to the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct FrameDigest {
+    streams: [u64; 2],
+    draws: u64,
+}
+
+impl FrameDigest {
+    pub(crate) fn new() -> Self {
+        FrameDigest { streams: [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142], draws: 0 }
+    }
+
+    /// Folds one draw's key into the digest, in submission order.
+    pub(crate) fn fold(&mut self, key: &CostKey) {
+        let [mut a, mut b] = self.streams;
+        for &w in key.words() {
+            a = (a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // The word count separates frames whose concatenations collide.
+        a = (a ^ key.len as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        b = (b ^ key.len as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        self.streams = [a, b];
+        self.draws += 1;
+    }
+}
+
+/// Feeds a [`CostKey`]'s precomputed hash straight to the map.
+#[derive(Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("CostKey hashes via write_u64 only");
+    }
+
+    fn write_u64(&mut self, hash: u64) {
+        self.0 = hash;
+    }
+}
+
+type Shard = RwLock<HashMap<CostKey, DrawCost, BuildHasherDefault<PassThroughHasher>>>;
+
+/// Memoization counters of a simulator, taken at one instant.
+///
+/// `hits`/`misses`/`bypassed` count **draw-grain** lookups;
+/// `frame_hits`/`frame_misses` count **frame-grain** lookups (only made
+/// in [`CacheMode::On`]). A frame served from the frame cache performs
+/// no draw-grain lookups at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Draw lookups answered from the cache.
+    pub hits: u64,
+    /// Draw lookups that ran the analytical model (and populated the
+    /// cache).
+    pub misses: u64,
+    /// Draw lookups that skipped the cache entirely (`Off` mode, or
+    /// after adaptive self-disabling).
+    pub bypassed: u64,
+    /// Whole frames served from the frame cache.
+    pub frame_hits: u64,
+    /// Frame lookups that simulated draw by draw (and retained the
+    /// result).
+    pub frame_misses: u64,
+}
+
+impl CacheStats {
+    /// Draw hits as a fraction of memoized draw lookups (`0.0` when none
+    /// happened). Bypassed lookups are excluded.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Frame hits as a fraction of frame lookups (`0.0` when none
+    /// happened).
+    pub fn frame_hit_rate(&self) -> f64 {
+        let total = self.frame_hits + self.frame_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.frame_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, thread-safe memo table from [`CostKey`] to [`DrawCost`].
+///
+/// Shared by every worker simulating on one `Simulator`; scoped to one
+/// architecture configuration (the owner clears it when the config
+/// changes).
+pub(crate) struct DrawCostCache {
+    shards: [Shard; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypassed: AtomicU64,
+    mode: AtomicU8,
+    /// Set when `Auto` judged memoization unprofitable; cleared by
+    /// [`DrawCostCache::clear`].
+    auto_bypass: AtomicU8,
+}
+
+impl DrawCostCache {
+    pub(crate) fn new() -> Self {
+        DrawCostCache {
+            shards: std::array::from_fn(|_| Shard::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
+            mode: AtomicU8::new(CacheMode::Auto as u8),
+            auto_bypass: AtomicU8::new(0),
+        }
+    }
+
+    /// Whether a draw lookup should consult the map right now. Draw-grain
+    /// memoization is adaptive in both `Auto` and `On`.
+    fn memoizing(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) != CacheMode::Off as u8
+            && self.auto_bypass.load(Ordering::Relaxed) == 0
+    }
+
+    /// Returns the memoized cost for the key `make_key` produces, or
+    /// computes it with `compute`, stores it, and returns it. Bypassed
+    /// lookups (mode `Off`, `Auto` after self-disabling, or an
+    /// un-keyable draw) compute directly — without even packing a key in
+    /// the first two cases; the value is the same bits either way.
+    pub(crate) fn get_or_compute(
+        &self,
+        make_key: impl FnOnce() -> Option<CostKey>,
+        compute: impl FnOnce() -> DrawCost,
+    ) -> DrawCost {
+        if !self.memoizing() {
+            self.bypassed.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        let Some(key) = make_key() else {
+            self.bypassed.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        };
+        let shard = &self.shards[key.shard()];
+        if let Some(cost) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cost;
+        }
+        let misses = self.misses.fetch_add(1, Ordering::Relaxed) + 1;
+        self.maybe_auto_disable(misses);
+        let cost = compute();
+        // A racing worker may have inserted the same key; both computed
+        // the same bits, so either insert winning is equivalent.
+        shard.write().insert(key, cost);
+        cost
+    }
+
+    /// Once the adaptation window has been observed, stop memoizing
+    /// draws if hits are not covering the bookkeeping. Checked on the
+    /// miss path only — an all-hit workload never needs it.
+    fn maybe_auto_disable(&self, misses: u64) {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        if lookups >= ADAPT_WINDOW && (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
+            self.auto_bypass.store(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypassed: self.bypassed.load(Ordering::Relaxed),
+            frame_hits: 0,
+            frame_misses: 0,
+        }
+    }
+
+    pub(crate) fn set_mode(&self, mode: CacheMode) {
+        self.mode.store(mode as u8, Ordering::Relaxed);
+        // Switching policy re-arms adaptation.
+        self.auto_bypass.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mode(&self) -> CacheMode {
+        match self.mode.load(Ordering::Relaxed) {
+            m if m == CacheMode::On as u8 => CacheMode::On,
+            m if m == CacheMode::Off as u8 => CacheMode::Off,
+            _ => CacheMode::Auto,
+        }
+    }
+
+    /// Drops every entry, zeroes the counters, and re-arms `Auto`
+    /// adaptation (config change).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bypassed.store(0, Ordering::Relaxed);
+        self.auto_bypass.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of distinct memoized draw shapes.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// Thread-safe memo table from [`FrameDigest`] to [`FrameCost`].
+///
+/// One entry per distinct frame per architecture configuration — small
+/// enough that a probe stays cache-resident, which is what lets a warm
+/// re-simulation pass skip the per-draw model entirely. Consulted only
+/// in [`CacheMode::On`]; cleared with the draw cache on invalidation.
+pub(crate) struct FrameCostCache {
+    map: RwLock<HashMap<FrameDigest, FrameCost>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FrameCostCache {
+    pub(crate) fn new() -> Self {
+        FrameCostCache {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The retained cost of the frame `digest` describes, if any.
+    pub(crate) fn get(&self, digest: &FrameDigest) -> Option<FrameCost> {
+        let hit = self.map.read().get(digest).cloned();
+        match hit {
+            Some(cost) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cost)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Retains a freshly simulated frame cost. Racing inserts of the
+    /// same digest computed identical bits, so either winning is fine.
+    pub(crate) fn insert(&self, digest: FrameDigest, cost: &FrameCost) {
+        self.map.write().insert(digest, cost.clone());
+    }
+
+    /// (frame hits, frame misses) observed so far.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of retained frames.
+    pub(crate) fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub(crate) fn clear(&self) {
+        self.map.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::test_support::{test_draw, test_ps, test_textures, test_vs};
+
+    fn fp() -> RegistryFingerprint {
+        RegistryFingerprint::of(&test_textures())
+    }
+
+    fn key(warmth: f64) -> CostKey {
+        CostKey::of(&test_draw(), &test_vs(), &test_ps(), fp(), warmth).unwrap()
+    }
+
+    fn compute() -> DrawCost {
+        crate::analytic::analyze_draw(
+            &test_draw(),
+            &test_vs(),
+            &test_ps(),
+            &test_textures(),
+            &crate::config::ArchConfig::baseline(),
+            0.0,
+        )
+    }
+
+    #[test]
+    fn identical_inputs_share_a_key() {
+        let (a, b) = (key(0.25), key(0.25));
+        assert_eq!(a, b);
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn label_fields_do_not_affect_the_key() {
+        let mut relabeled = test_draw();
+        relabeled.id = subset3d_trace::DrawId(4040);
+        relabeled.state = subset3d_trace::StateId(77);
+        relabeled.material_tag = 1234;
+        let a = key(0.5);
+        let b = CostKey::of(&relabeled, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_inputs_change_the_key() {
+        let base = key(0.5);
+        assert_ne!(base, key(0.75), "warmth must be part of the key");
+
+        let mut heavier = test_draw();
+        heavier.vertex_count += 1;
+        let k = CostKey::of(&heavier, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
+        assert_ne!(base, k);
+
+        let mut sharper = test_draw();
+        sharper.coverage += 1e-9;
+        let k = CostKey::of(&sharper, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
+        assert_ne!(base, k);
+    }
+
+    #[test]
+    fn key_length_is_exact() {
+        let k = key(0.0);
+        assert_eq!(k.len as usize, FIXED_WORDS + test_draw().textures.len());
+        // Words past `len` stay zero, so derived equality is exact.
+        assert!(k.words[k.len as usize..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn registry_content_changes_the_key() {
+        // Same draw, same texture ids — but the ids resolve differently
+        // (here: not at all), so the fingerprint must split the keys.
+        let empty = RegistryFingerprint::of(&TextureRegistry::new());
+        assert_ne!(fp(), empty);
+        let a = key(0.0);
+        let b = CostKey::of(&test_draw(), &test_vs(), &test_ps(), empty, 0.0).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn oversized_texture_binding_is_unkeyable() {
+        let mut wide = test_draw();
+        wide.textures = (0..=MAX_TEXTURES as u32).map(subset3d_trace::TextureId).collect();
+        assert!(CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0).is_none());
+
+        let cache = DrawCostCache::new();
+        let cost =
+            cache.get_or_compute(|| CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0), compute);
+        assert_eq!(cost, compute());
+        assert_eq!(cache.stats(), CacheStats { bypassed: 1, ..CacheStats::default() });
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache = DrawCostCache::new();
+        let a = cache.get_or_compute(|| Some(key(0.0)), compute);
+        let b = cache.get_or_compute(|| Some(key(0.0)), compute);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn off_mode_always_computes() {
+        let cache = DrawCostCache::new();
+        cache.set_mode(CacheMode::Off);
+        let mut calls = 0;
+        for _ in 0..3 {
+            cache.get_or_compute(
+                || Some(key(0.0)),
+                || {
+                    calls += 1;
+                    compute()
+                },
+            );
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats(), CacheStats { bypassed: 3, ..CacheStats::default() });
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn auto_mode_bypasses_an_unprofitable_stream() {
+        let cache = DrawCostCache::new();
+        // Every key distinct: the hit rate stays at zero, so Auto must
+        // give up once the window has been observed.
+        for i in 0..(ADAPT_WINDOW + 100) {
+            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+        }
+        let stats = cache.stats();
+        assert!(stats.bypassed >= 100, "expected bypassing after the window: {stats:?}");
+        assert!(stats.misses >= ADAPT_WINDOW, "window must be fully observed");
+        // Invalidation re-arms adaptation.
+        cache.clear();
+        cache.get_or_compute(|| Some(key(0.0)), compute);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn on_mode_draw_grain_stays_adaptive() {
+        // `On` retains frames; at draw grain it adapts exactly like
+        // `Auto`, because an unprofitable draw stream is unprofitable
+        // regardless of frame retention.
+        let cache = DrawCostCache::new();
+        cache.set_mode(CacheMode::On);
+        for i in 0..(ADAPT_WINDOW + 100) {
+            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+        }
+        let stats = cache.stats();
+        assert!(stats.bypassed >= 100, "expected bypassing after the window: {stats:?}");
+        assert_eq!(cache.mode(), CacheMode::On);
+    }
+
+    #[test]
+    fn frame_cache_round_trips_and_clears() {
+        let frame_cost = || {
+            crate::cost::FrameCost::from_draws(vec![compute(), compute()])
+        };
+        let cache = FrameCostCache::new();
+        let mut digest = FrameDigest::new();
+        digest.fold(&key(0.0));
+        digest.fold(&key(0.5));
+        assert!(cache.get(&digest).is_none());
+        cache.insert(digest, &frame_cost());
+        assert_eq!(cache.get(&digest).unwrap(), frame_cost());
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+
+        // Order and count are part of the digest.
+        let mut reversed = FrameDigest::new();
+        reversed.fold(&key(0.5));
+        reversed.fold(&key(0.0));
+        assert_ne!(digest, reversed);
+        let mut shorter = FrameDigest::new();
+        shorter.fold(&key(0.0));
+        assert_ne!(digest, shorter);
+
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.counters(), (0, 0));
+    }
+}

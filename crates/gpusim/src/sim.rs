@@ -4,8 +4,13 @@ use crate::analytic::analyze_draw;
 use crate::config::ArchConfig;
 use crate::cost::{DrawCost, FrameCost, WorkloadCost};
 use crate::error::SimError;
+use crate::memo::{
+    CacheMode, CacheStats, CostKey, DrawCostCache, FrameCostCache, FrameDigest,
+    RegistryFingerprint,
+};
+use std::borrow::Borrow;
 use std::collections::VecDeque;
-use subset3d_trace::{DrawCall, Frame, ShaderProgram, TextureId, Workload};
+use subset3d_trace::{DrawCall, Frame, ShaderProgram, TextureId, TextureRegistry, Workload};
 
 /// How many preceding draws contribute to texture-cache warmth.
 const WARMTH_WINDOW: usize = 6;
@@ -14,6 +19,21 @@ const WARMTH_WINDOW: usize = 6;
 ///
 /// Simulation is deterministic and O(1) per draw; a full 828K-draw corpus
 /// simulates in well under a second in release builds.
+///
+/// Draw costs are memoized by content: two draws whose model-visible
+/// features (and warmth context) are bit-identical share one cached
+/// [`DrawCost`], so repeated materials — ubiquitous in real traces — are
+/// analyzed once. In [`CacheMode::On`] whole frame costs are retained
+/// too, so re-simulating a workload (sweep sessions, validation flows)
+/// is served frame-wholesale. Both caches are keyed on exact bit
+/// patterns, making memoized results indistinguishable from uncached
+/// ones; they are shared across simulation worker threads and scoped to
+/// the current architecture configuration.
+///
+/// The config is held through [`Borrow`], so a simulator can own its
+/// [`ArchConfig`] (the default, via [`Simulator::new`]) or borrow one
+/// (via [`Simulator::from_ref`]) when the caller already owns the config,
+/// as design sweeps do.
 ///
 /// # Examples
 ///
@@ -27,13 +47,14 @@ const WARMTH_WINDOW: usize = 6;
 /// assert_eq!(frame_cost.draws.len(), w.frames()[0].draw_count());
 /// # Ok::<(), subset3d_gpusim::SimError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct Simulator {
-    config: ArchConfig,
+pub struct Simulator<C: Borrow<ArchConfig> = ArchConfig> {
+    config: C,
+    cache: DrawCostCache,
+    frames: FrameCostCache,
 }
 
 impl Simulator {
-    /// Creates a simulator for an architecture configuration.
+    /// Creates a simulator owning an architecture configuration.
     ///
     /// # Panics
     ///
@@ -41,12 +62,92 @@ impl Simulator {
     /// to pre-check untrusted configs.
     pub fn new(config: ArchConfig) -> Self {
         assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
-        Simulator { config }
+        Simulator { config, cache: DrawCostCache::new(), frames: FrameCostCache::new() }
     }
 
+    /// Replaces the architecture configuration. Memoized draw and frame
+    /// costs belong to the old config and are invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn set_config(&mut self, config: ArchConfig) {
+        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
+        self.config = config;
+        self.cache.clear();
+        self.frames.clear();
+    }
+}
+
+impl<'a> Simulator<&'a ArchConfig> {
+    /// Creates a simulator borrowing an architecture configuration,
+    /// avoiding a clone when the caller keeps ownership (as config
+    /// sweeps do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn from_ref(config: &'a ArchConfig) -> Self {
+        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
+        Simulator { config, cache: DrawCostCache::new(), frames: FrameCostCache::new() }
+    }
+}
+
+impl<C: Borrow<ArchConfig>> Simulator<C> {
     /// The simulated architecture configuration.
     pub fn config(&self) -> &ArchConfig {
-        &self.config
+        self.config.borrow()
+    }
+
+    /// Sets the draw-cost memoization policy (default:
+    /// [`CacheMode::Auto`]). [`CacheMode::Off`] does not drop existing
+    /// entries; lookups simply bypass them, which is how benchmarks
+    /// measure the uncached baseline. Results are bit-identical under
+    /// every mode.
+    pub fn set_cache_mode(&self, mode: CacheMode) {
+        self.cache.set_mode(mode);
+    }
+
+    /// The current draw-cost memoization policy.
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache.mode()
+    }
+
+    /// Hit/miss counters of the draw- and frame-cost caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.cache.stats();
+        (stats.frame_hits, stats.frame_misses) = self.frames.counters();
+        stats
+    }
+
+    /// Number of distinct draw shapes currently memoized.
+    pub fn cached_draw_shapes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of frame costs currently retained (populated only in
+    /// [`CacheMode::On`]).
+    pub fn cached_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Cost of one draw in one warmth context, via the memo cache.
+    ///
+    /// `registry` must be the fingerprint of `textures` — callers compute
+    /// it once per pass so cache lookups need not resolve texture ids.
+    fn cost_of(
+        &self,
+        draw: &DrawCall,
+        vs: &ShaderProgram,
+        ps: &ShaderProgram,
+        textures: &TextureRegistry,
+        registry: RegistryFingerprint,
+        warmth: f64,
+    ) -> DrawCost {
+        self.cache.get_or_compute(
+            || CostKey::of(draw, vs, ps, registry, warmth),
+            || analyze_draw(draw, vs, ps, textures, self.config.borrow(), warmth),
+        )
     }
 
     /// Simulates a single draw in isolation (cold caches, no warmth).
@@ -57,7 +158,8 @@ impl Simulator {
     /// missing from the workload's library.
     pub fn simulate_draw(&self, draw: &DrawCall, workload: &Workload) -> Result<DrawCost, SimError> {
         let (vs, ps) = self.resolve_shaders(draw, workload)?;
-        Ok(analyze_draw(draw, vs, ps, workload.textures(), &self.config, 0.0))
+        let registry = RegistryFingerprint::of(workload.textures());
+        Ok(self.cost_of(draw, vs, ps, workload.textures(), registry, 0.0))
     }
 
     /// Simulates one frame, tracking cross-draw texture warmth in submission
@@ -68,12 +170,87 @@ impl Simulator {
     /// Returns [`SimError::UnknownShader`] when a draw references shaders
     /// missing from the workload's library.
     pub fn simulate_frame(&self, frame: &Frame, workload: &Workload) -> Result<FrameCost, SimError> {
+        self.frame_with_fingerprint(frame, workload, RegistryFingerprint::of(workload.textures()))
+    }
+
+    /// [`Simulator::simulate_frame`] with the workload's texture-registry
+    /// fingerprint already computed (once per pass, not once per frame).
+    ///
+    /// In [`CacheMode::On`] the frame cache is consulted first: a frame
+    /// whose content digest has been simulated before is served wholesale,
+    /// without touching the per-draw model at all.
+    fn frame_with_fingerprint(
+        &self,
+        frame: &Frame,
+        workload: &Workload,
+        registry: RegistryFingerprint,
+    ) -> Result<FrameCost, SimError> {
+        if self.cache.mode() == CacheMode::On {
+            if let Some(cost) = self.frame_via_digest(frame, workload, registry)? {
+                return Ok(cost);
+            }
+        }
+        self.frame_draw_by_draw(frame, workload, registry)
+    }
+
+    /// Frame-cache path: digests the frame (every draw's packed cost key —
+    /// warmth included — folded in submission order), then serves a
+    /// retained cost or simulates once and retains it. The per-draw work
+    /// of digesting (shader resolution, warmth, key packing) is reused on
+    /// the miss path. Returns `None` when any draw is un-keyable, in which
+    /// case the caller simulates without retention.
+    fn frame_via_digest(
+        &self,
+        frame: &Frame,
+        workload: &Workload,
+        registry: RegistryFingerprint,
+    ) -> Result<Option<FrameCost>, SimError> {
+        let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(WARMTH_WINDOW);
+        let mut digest = FrameDigest::new();
+        let mut plan = Vec::with_capacity(frame.draw_count());
+        for draw in frame.draws() {
+            let (vs, ps) = self.resolve_shaders(draw, workload)?;
+            let warmth = warmth_of(draw, &recent);
+            match CostKey::of(draw, vs, ps, registry, warmth) {
+                Some(key) => {
+                    digest.fold(&key);
+                    plan.push((vs, ps, warmth, key));
+                }
+                None => return Ok(None),
+            }
+            if recent.len() == WARMTH_WINDOW {
+                recent.pop_front();
+            }
+            recent.push_back(&draw.textures);
+        }
+        if let Some(cost) = self.frames.get(&digest) {
+            return Ok(Some(cost));
+        }
+        let mut draws = Vec::with_capacity(frame.draw_count());
+        for (draw, (vs, ps, warmth, key)) in frame.draws().iter().zip(plan) {
+            draws.push(self.cache.get_or_compute(
+                || Some(key),
+                || analyze_draw(draw, vs, ps, workload.textures(), self.config.borrow(), warmth),
+            ));
+        }
+        let cost = FrameCost::from_draws(draws);
+        self.frames.insert(digest, &cost);
+        Ok(Some(cost))
+    }
+
+    /// Simulates one frame through the per-draw model.
+    fn frame_draw_by_draw(
+        &self,
+        frame: &Frame,
+        workload: &Workload,
+        registry: RegistryFingerprint,
+    ) -> Result<FrameCost, SimError> {
         let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(WARMTH_WINDOW);
         let mut draws = Vec::with_capacity(frame.draw_count());
         for draw in frame.draws() {
             let (vs, ps) = self.resolve_shaders(draw, workload)?;
             let warmth = warmth_of(draw, &recent);
-            draws.push(analyze_draw(draw, vs, ps, workload.textures(), &self.config, warmth));
+            draws.push(self.cost_of(draw, vs, ps, workload.textures(), registry, warmth));
             if recent.len() == WARMTH_WINDOW {
                 recent.pop_front();
             }
@@ -85,40 +262,34 @@ impl Simulator {
     /// Simulates a whole workload frame by frame.
     ///
     /// Frames are independent (cache warmth is tracked within a frame), so
-    /// large workloads are simulated on all available cores; the result is
-    /// bit-identical to a sequential pass.
+    /// large workloads fan out over the shared [`subset3d_exec`] pool, all
+    /// workers feeding one memo cache; the result is bit-identical to a
+    /// sequential pass at any thread count.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownShader`] when a draw references shaders
     /// missing from the workload's library.
-    pub fn simulate_workload(&self, workload: &Workload) -> Result<WorkloadCost, SimError> {
+    pub fn simulate_workload(&self, workload: &Workload) -> Result<WorkloadCost, SimError>
+    where
+        C: Sync,
+    {
         let frames = workload.frames();
-        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        // Below ~1000 draws the spawn overhead outweighs the work.
-        if threads < 2 || workload.total_draws() < 1000 {
+        let registry = RegistryFingerprint::of(workload.textures());
+        // Below ~1000 draws scheduling overhead outweighs the work.
+        if subset3d_exec::thread_count() < 2 || workload.total_draws() < 1000 {
             let mut costs = Vec::with_capacity(frames.len());
             for frame in frames {
-                costs.push(self.simulate_frame(frame, workload)?);
+                costs.push(self.frame_with_fingerprint(frame, workload, registry)?);
             }
             return Ok(WorkloadCost::from_frames(costs));
         }
-        let mut results: Vec<Option<Result<FrameCost, SimError>>> = vec![None; frames.len()];
-        let chunk = frames.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (frame_chunk, result_chunk) in
-                frames.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (frame, slot) in frame_chunk.iter().zip(result_chunk.iter_mut()) {
-                        *slot = Some(self.simulate_frame(frame, workload));
-                    }
-                });
-            }
+        let results = subset3d_exec::par_map_indexed(frames, |_, frame| {
+            self.frame_with_fingerprint(frame, workload, registry)
         });
         let mut costs = Vec::with_capacity(frames.len());
         for result in results {
-            costs.push(result.expect("every frame simulated")?);
+            costs.push(result?);
         }
         Ok(WorkloadCost::from_frames(costs))
     }
@@ -137,6 +308,27 @@ impl Simulator {
             shader: draw.pixel_shader,
         })?;
         Ok((vs, ps))
+    }
+}
+
+impl<C: Borrow<ArchConfig> + Clone> Clone for Simulator<C> {
+    /// Clones the configuration; the clone starts with an empty memo
+    /// cache (entries repopulate on first use, with identical bits).
+    fn clone(&self) -> Self {
+        Simulator {
+            config: self.config.clone(),
+            cache: DrawCostCache::new(),
+            frames: FrameCostCache::new(),
+        }
+    }
+}
+
+impl<C: Borrow<ArchConfig>> std::fmt::Debug for Simulator<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("config", self.config.borrow())
+            .field("cache_stats", &self.cache.stats())
+            .finish()
     }
 }
 
@@ -196,6 +388,102 @@ mod tests {
             .map(|f| sim.simulate_frame(f, &w).unwrap())
             .collect();
         assert_eq!(parallel, WorkloadCost::from_frames(sequential));
+    }
+
+    #[test]
+    fn memoized_results_are_bit_identical_to_uncached() {
+        let w = workload();
+        let cached = Simulator::new(ArchConfig::baseline());
+        let uncached = Simulator::new(ArchConfig::baseline());
+        uncached.set_cache_mode(CacheMode::Off);
+        let a = cached.simulate_workload(&w).unwrap();
+        let b = uncached.simulate_workload(&w).unwrap();
+        assert_eq!(a, b, "memoization must not change a single bit");
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "repeated materials should hit the cache");
+        let uncached_stats = uncached.cache_stats();
+        assert_eq!((uncached_stats.hits, uncached_stats.misses), (0, 0));
+        assert!(uncached_stats.bypassed > 0, "Off mode must count bypassed lookups");
+        // Per-draw costs too, not just the aggregates.
+        for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+            for (da, db) in fa.draws.iter().zip(fb.draws.iter()) {
+                assert_eq!(da.time_ns.to_bits(), db.time_ns.to_bits());
+                assert_eq!(da.mem_bytes.to_bits(), db.mem_bytes.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_accumulate_across_repeated_simulation() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&w).unwrap();
+        let first = sim.cache_stats();
+        sim.simulate_workload(&w).unwrap();
+        let second = sim.cache_stats();
+        // The second pass re-sees every draw shape: all hits, no new misses.
+        assert_eq!(second.misses, first.misses);
+        assert_eq!(second.hits, first.hits + first.hits + first.misses);
+        assert!(sim.cached_draw_shapes() > 0);
+        // Auto mode never retains frames.
+        assert_eq!(sim.cached_frames(), 0);
+        assert_eq!((second.frame_hits, second.frame_misses), (0, 0));
+    }
+
+    #[test]
+    fn on_mode_serves_repeated_frames_wholesale() {
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.set_cache_mode(CacheMode::On);
+        let a = sim.simulate_workload(&w).unwrap();
+        let cold = sim.cache_stats();
+        assert_eq!(cold.frame_misses, w.frames().len() as u64);
+        assert_eq!(sim.cached_frames(), w.frames().len());
+
+        let b = sim.simulate_workload(&w).unwrap();
+        let warm = sim.cache_stats();
+        assert_eq!(a, b, "frame-served results must be bit-identical");
+        assert_eq!(warm.frame_hits, w.frames().len() as u64);
+        assert_eq!(warm.frame_misses, cold.frame_misses);
+        // Served frames make no draw-grain lookups at all.
+        assert_eq!(warm.hits, cold.hits);
+        assert_eq!(warm.misses, cold.misses);
+
+        // And the whole thing matches an uncached simulator, bit for bit.
+        let uncached = Simulator::new(ArchConfig::baseline());
+        uncached.set_cache_mode(CacheMode::Off);
+        assert_eq!(a, uncached.simulate_workload(&w).unwrap());
+    }
+
+    #[test]
+    fn set_config_invalidates_cache() {
+        let w = workload();
+        let mut sim = Simulator::new(ArchConfig::baseline());
+        let base = sim.simulate_workload(&w).unwrap();
+        assert!(sim.cached_draw_shapes() > 0);
+
+        sim.set_config(ArchConfig::small());
+        assert_eq!(sim.cached_draw_shapes(), 0, "config change must clear the cache");
+        assert_eq!(sim.cached_frames(), 0);
+        assert_eq!(sim.cache_stats(), CacheStats::default());
+        let small = sim.simulate_workload(&w).unwrap();
+        assert!(small.total_ns > base.total_ns, "stale costs survived the config change");
+
+        // And the new config's results match a fresh simulator's exactly.
+        let fresh = Simulator::new(ArchConfig::small());
+        assert_eq!(small, fresh.simulate_workload(&w).unwrap());
+    }
+
+    #[test]
+    fn borrowed_config_simulator_matches_owned() {
+        let w = workload();
+        let config = ArchConfig::baseline();
+        let borrowed = Simulator::from_ref(&config);
+        let owned = Simulator::new(config.clone());
+        assert_eq!(
+            borrowed.simulate_workload(&w).unwrap(),
+            owned.simulate_workload(&w).unwrap()
+        );
     }
 
     #[test]

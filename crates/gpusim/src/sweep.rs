@@ -3,6 +3,7 @@
 use crate::config::ArchConfig;
 use crate::error::SimError;
 use crate::freq::FrequencySweep;
+use crate::memo::{CacheMode, CacheStats};
 use crate::sim::Simulator;
 use serde::{Deserialize, Serialize};
 use subset3d_trace::Workload;
@@ -27,6 +28,9 @@ pub struct ConfigPoint {
 
 /// Simulates `workload` at every core clock of `sweep` on the `base` design.
 ///
+/// Points are simulated concurrently on the shared [`subset3d_exec`] pool;
+/// the result order and every value are identical at any thread count.
+///
 /// # Errors
 ///
 /// Returns [`SimError::UnknownShader`] when the workload references shaders
@@ -50,21 +54,21 @@ pub fn sweep_frequencies(
     base: &ArchConfig,
     sweep: &FrequencySweep,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    sweep
-        .configs(base)
-        .into_iter()
-        .map(|config| {
-            let mhz = config.core_clock_mhz;
-            let sim = Simulator::new(config);
-            Ok(SweepPoint {
-                core_clock_mhz: mhz,
-                total_ns: sim.simulate_workload(workload)?.total_ns,
-            })
+    let configs = sweep.configs(base);
+    subset3d_exec::par_map_indexed(&configs, |_, config| {
+        let sim = Simulator::from_ref(config);
+        Ok(SweepPoint {
+            core_clock_mhz: config.core_clock_mhz,
+            total_ns: sim.simulate_workload(workload)?.total_ns,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
-/// Simulates `workload` on every candidate design point.
+/// Simulates `workload` on every candidate design point, concurrently on
+/// the shared [`subset3d_exec`] pool; the result order and every value are
+/// identical at any thread count.
 ///
 /// # Errors
 ///
@@ -75,19 +79,116 @@ pub fn sweep_configs(
     workload: &Workload,
     candidates: &[ArchConfig],
 ) -> Result<Vec<ConfigPoint>, SimError> {
-    candidates
-        .iter()
-        .map(|config| {
-            if !config.is_valid() {
-                return Err(SimError::InvalidConfig { name: config.name.clone() });
-            }
-            let sim = Simulator::new(config.clone());
+    // Validate up front so an invalid candidate is reported before any
+    // simulation work is spent (and `from_ref` below cannot panic).
+    if let Some(config) = candidates.iter().find(|c| !c.is_valid()) {
+        return Err(SimError::InvalidConfig { name: config.name.clone() });
+    }
+    subset3d_exec::par_map_indexed(candidates, |_, config| {
+        let sim = Simulator::from_ref(config);
+        Ok(ConfigPoint {
+            name: config.name.clone(),
+            total_ns: sim.simulate_workload(workload)?.total_ns,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// A reusable design-space sweep: one persistent [`Simulator`] per
+/// candidate, so repeated sweeps reuse memoized draw costs.
+///
+/// Architecture pathfinding is iterative — the same workloads are swept
+/// again and again while candidates are compared, and validation flows
+/// sweep both a parent trace and its subset (whose frames are verbatim
+/// copies of parent frames). With a session, every frame re-simulated
+/// after the first pass is served wholesale from the frame cache, so
+/// later sweeps cost a fraction of the first; results are bit-identical
+/// to [`sweep_configs`].
+///
+/// Simulators are created in [`CacheMode::On`]: re-simulation is the
+/// point of keeping a session, so frame costs are retained from the
+/// cold first pass onwards.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_gpusim::{ArchConfig, SweepSession};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(2).draws_per_frame(15).build(1).generate();
+/// let session = SweepSession::new(&ArchConfig::pathfinding_candidates())?;
+/// let first = session.sweep(&w)?;
+/// let second = session.sweep(&w)?; // served from the memo caches
+/// assert_eq!(first, second);
+/// # Ok::<(), subset3d_gpusim::SimError>(())
+/// ```
+pub struct SweepSession {
+    sims: Vec<Simulator>,
+}
+
+impl SweepSession {
+    /// Creates a session over candidate design points (each config is
+    /// cloned once, amortised over every subsequent sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an invalid candidate.
+    pub fn new(candidates: &[ArchConfig]) -> Result<Self, SimError> {
+        if let Some(config) = candidates.iter().find(|c| !c.is_valid()) {
+            return Err(SimError::InvalidConfig { name: config.name.clone() });
+        }
+        let sims: Vec<Simulator> = candidates
+            .iter()
+            .map(|config| {
+                let sim = Simulator::new(config.clone());
+                sim.set_cache_mode(CacheMode::On);
+                sim
+            })
+            .collect();
+        Ok(SweepSession { sims })
+    }
+
+    /// Sets the memoization policy of every candidate's simulator
+    /// (benchmarks use [`CacheMode::Off`] for an uncached baseline).
+    pub fn set_cache_mode(&self, mode: CacheMode) {
+        for sim in &self.sims {
+            sim.set_cache_mode(mode);
+        }
+    }
+
+    /// Simulates `workload` on every candidate, concurrently on the
+    /// shared [`subset3d_exec`] pool. Result order and every value are
+    /// identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownShader`] when the workload references
+    /// shaders missing from its own library.
+    pub fn sweep(&self, workload: &Workload) -> Result<Vec<ConfigPoint>, SimError> {
+        subset3d_exec::par_map_indexed(&self.sims, |_, sim| {
             Ok(ConfigPoint {
-                name: config.name.clone(),
+                name: sim.config().name.clone(),
                 total_ns: sim.simulate_workload(workload)?.total_ns,
             })
         })
+        .into_iter()
         .collect()
+    }
+
+    /// Aggregated hit/miss counters across every candidate's caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for sim in &self.sims {
+            let s = sim.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.bypassed += s.bypassed;
+            total.frame_hits += s.frame_hits;
+            total.frame_misses += s.frame_misses;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +240,38 @@ mod tests {
     fn large_config_beats_small() {
         let points = sweep_configs(&workload(), &[ArchConfig::small(), ArchConfig::large()]).unwrap();
         assert!(points[1].total_ns < points[0].total_ns);
+    }
+
+    #[test]
+    fn session_matches_one_shot_sweep_and_hits_on_repeat() {
+        let w = workload();
+        let candidates = ArchConfig::pathfinding_candidates();
+        let session = SweepSession::new(&candidates).unwrap();
+
+        let first = session.sweep(&w).unwrap();
+        assert_eq!(first, sweep_configs(&w, &candidates).unwrap());
+        let cold = session.cache_stats();
+        let frames = (w.frames().len() * candidates.len()) as u64;
+        assert_eq!(cold.frame_misses, frames);
+
+        // The second sweep re-sees every frame: served wholesale from the
+        // frame caches, bit-identical points, no new draw-grain work.
+        let second = session.sweep(&w).unwrap();
+        let warm = session.cache_stats();
+        assert_eq!(second, first);
+        assert_eq!(warm.frame_hits, frames);
+        assert_eq!(warm.frame_misses, cold.frame_misses);
+        assert_eq!(warm.misses, cold.misses);
+        assert_eq!(warm.hits, cold.hits);
+    }
+
+    #[test]
+    fn session_rejects_invalid_candidate() {
+        let mut bad = ArchConfig::baseline();
+        bad.eu_count = 0;
+        assert!(matches!(
+            SweepSession::new(&[ArchConfig::baseline(), bad]),
+            Err(SimError::InvalidConfig { .. })
+        ));
     }
 }

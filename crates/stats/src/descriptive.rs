@@ -12,9 +12,22 @@
 /// assert_eq!(subset3d_stats::sum(&[]), 0.0);
 /// ```
 pub fn sum(values: &[f64]) -> f64 {
+    sum_iter(values.iter().copied())
+}
+
+/// Streaming [`sum`]: Kahan-compensated summation of an iterator, without
+/// materialising a slice. Operation order matches [`sum`], so for the same
+/// values the result is bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::sum_iter((1..=3).map(f64::from)), 6.0);
+/// ```
+pub fn sum_iter(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut acc = 0.0f64;
     let mut comp = 0.0f64;
-    for &v in values {
+    for v in values {
         let y = v - comp;
         let t = acc + y;
         comp = (t - acc) - y;
@@ -32,10 +45,35 @@ pub fn sum(values: &[f64]) -> f64 {
 /// assert_eq!(subset3d_stats::mean(&[]), 0.0);
 /// ```
 pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
+    mean_iter(values.iter().copied())
+}
+
+/// Streaming [`mean`]: averages an iterator without materialising a slice.
+/// Returns `0.0` for an empty iterator; bit-identical to [`mean`] over the
+/// same values.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(subset3d_stats::mean_iter([2.0, 4.0]), 3.0);
+/// assert_eq!(subset3d_stats::mean_iter(std::iter::empty()), 0.0);
+/// ```
+pub fn mean_iter(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0f64;
+    let mut comp = 0.0f64;
+    let mut n = 0u64;
+    for v in values {
+        let y = v - comp;
+        let t = acc + y;
+        comp = (t - acc) - y;
+        acc = t;
+        n += 1;
     }
-    sum(values) / values.len() as f64
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
 }
 
 /// Geometric mean of strictly positive values.
@@ -173,6 +211,14 @@ mod tests {
     #[test]
     fn mean_single() {
         assert_eq!(mean(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn iter_variants_are_bit_identical_to_slice_variants() {
+        let mut values = vec![1e16, 0.1, -7.25, 3.5e-3];
+        values.extend((0..500).map(|i| (i as f64).sin()));
+        assert_eq!(sum(&values).to_bits(), sum_iter(values.iter().copied()).to_bits());
+        assert_eq!(mean(&values).to_bits(), mean_iter(values.iter().copied()).to_bits());
     }
 
     #[test]

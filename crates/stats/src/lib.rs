@@ -32,7 +32,10 @@ mod summary;
 
 pub use bootstrap::{bootstrap_paired_ci, BootstrapCi};
 pub use correlation::{pearson, rank_agreement, spearman, CorrelationError};
-pub use descriptive::{geometric_mean, max, mean, min, population_variance, std_dev, sum, variance};
+pub use descriptive::{
+    geometric_mean, max, mean, mean_iter, min, population_variance, std_dev, sum, sum_iter,
+    variance,
+};
 pub use histogram::{Histogram, HistogramBin};
 pub use percentile::{median, percentile, Percentiles};
 pub use regression::{LinearFit, linear_fit};

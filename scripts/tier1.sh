@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate (see ROADMAP.md): release build + test suite, then the
+# pipeline throughput report (writes BENCH_pipeline.json at repo root).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+cargo run -p subset3d-bench --bin bench_report --release

@@ -1,0 +1,233 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the call-site API of the real crate (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) but measures with a
+//! short fixed iteration budget and prints one line per benchmark.
+//! Bench targets here use `harness = false`, so `cargo test` executes
+//! them directly — the tiny budget keeps that fast.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget. Enough for a stable median on the
+/// fast benches without making `cargo test` crawl on the slow ones.
+const TIME_BUDGET: Duration = Duration::from_millis(40);
+const MAX_ITERS: u32 = 25;
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for compatibility; the iteration budget here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is a single untimed run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the budget here is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher { best_ns: f64::INFINITY };
+        f(&mut bencher);
+        report(&label, bencher.best_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher { best_ns: f64::INFINITY };
+        f(&mut bencher, input);
+        report(&label, bencher.best_ns);
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here.)
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, best_ns: f64) {
+    if best_ns.is_finite() {
+        println!("bench {label:<48} {}", format_ns(best_ns));
+    } else {
+        println!("bench {label:<48} (no measurement)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Measurement context passed to each benchmark closure.
+pub struct Bencher {
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times the routine, keeping the best per-iteration wall time
+    /// observed within the fixed budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Untimed warm-up run.
+        black_box(routine());
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..MAX_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed().as_nanos() as f64;
+            if elapsed < self.best_ns {
+                self.best_ns = elapsed;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark name with an attached parameter, e.g. `extract/500`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// A label that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum_input", input.len()), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_bencher_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("extract", 500).to_string(), "extract/500");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,187 @@
+//! MPMC channels with the `crossbeam-channel` API surface used here.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<ChannelState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct ChannelState<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, ChannelState<T>> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// The sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        lock(&self.shared).senders -= 1;
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, failing only when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = lock(&self.shared);
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+/// The receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        lock(&self.shared).receivers -= 1;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = lock(&self.shared);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = lock(&self.shared);
+        if let Some(item) = state.items.pop_front() {
+            return Ok(item);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking iterator over incoming messages; ends at disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().take(100).collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Work-stealing deques: `Worker`, `Stealer`, and `Injector`.
+//!
+//! Same API and stealing semantics as `crossbeam-deque`, implemented
+//! with `Mutex<VecDeque>` instead of the Chase-Lev algorithm.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race; the caller may retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+fn lock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The owner side of a work-stealing deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    fifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO deque (owner pops from the front).
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: true }
+    }
+
+    /// Creates a LIFO deque (owner pops from the back).
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: false }
+    }
+
+    /// Pushes a task onto the owner end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops a task from the owner end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.queue);
+        if self.fifo {
+            q.pop_front()
+        } else {
+            q.pop_back()
+        }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// The thief side of a work-stealing deque; always steals from the front.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// A shared FIFO injector queue all workers can push to and steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the back.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Attempts to steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pop_order() {
+        let fifo = Worker::new_fifo();
+        fifo.push(1);
+        fifo.push(2);
+        assert_eq!(fifo.pop(), Some(1));
+        let lifo = Worker::new_lifo();
+        lifo.push(1);
+        lifo.push(2);
+        assert_eq!(lifo.pop(), Some(2));
+    }
+
+    #[test]
+    fn stealers_take_from_front() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal().success(), Some('a'));
+        assert_eq!(inj.steal().success(), Some('b'));
+        assert!(inj.steal().is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim provides the API surface the workspace uses with
+//! the same semantics, built on `std::sync` primitives: the lock-free
+//! guts are replaced by short critical sections, which is correct (if
+//! slower under extreme contention) and keeps call sites source-
+//! compatible with the real crate.
+
+pub mod deque;
+pub mod channel;
+
+mod scope_impl;
+pub use scope_impl::{scope, Scope, ScopedJoinHandle};

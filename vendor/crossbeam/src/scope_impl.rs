@@ -1,0 +1,74 @@
+//! `crossbeam::scope` compatibility layer over `std::thread::scope`.
+
+use std::any::Any;
+
+/// A scope in which borrowed-data threads can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope, mirroring
+    /// the `crossbeam` signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+/// Runs `f` with a thread scope; like `crossbeam::scope`, child panics
+/// surface as an `Err` after all children have been joined (std's scope
+/// re-raises an unjoined child panic, which is caught here).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_children() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        let sum_ref = &sum;
+        scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| {
+                    sum_ref.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn child_panic_is_reported() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}

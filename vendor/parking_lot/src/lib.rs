@@ -1,0 +1,212 @@
+//! Offline vendored stand-in for `parking_lot`.
+//!
+//! The build environment has no network access and no cargo registry
+//! cache, so the real crate cannot be fetched. This shim exposes the
+//! subset of the `parking_lot` API this workspace uses — `Mutex`,
+//! `RwLock`, and `Condvar` without lock poisoning — implemented on the
+//! `std::sync` primitives. Semantics match `parking_lot`: a panic while a
+//! lock is held never poisons it for other threads.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock that does not poison.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock that does not poison.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing and reacquiring `guard`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY-free guard juggling: std's API consumes and returns the
+        // guard, parking_lot's mutates in place; bridge by move-in/move-out.
+        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Replaces `*slot` through a consuming closure; aborts on panic inside
+/// `f` (the closure only calls std lock methods that do not panic).
+fn replace_with<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // A None in the slot is never observable: `f` runs to completion or
+    // aborts the process.
+    struct Abort;
+    impl Drop for Abort {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let guard = std::ptr::read(slot);
+        let abort = Abort;
+        let new = f(guard);
+        std::mem::forget(abort);
+        std::ptr::write(slot, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_is_not_poisoned_by_panic() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+}

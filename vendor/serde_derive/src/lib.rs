@@ -1,0 +1,524 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` cannot be fetched in this offline build environment, so
+//! the item grammar is parsed directly from the `proc_macro` token
+//! stream. Supported shapes — which cover every derive site in this
+//! workspace — are:
+//!
+//! * structs with named fields (`#[serde(skip)]` honoured; `Option`
+//!   fields tolerate absent keys),
+//! * tuple structs (newtypes serialize transparently and additionally
+//!   implement `serde::MapKey` so they can key maps),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's JSON representation).
+//!
+//! Generic types are intentionally rejected; none exist in this
+//! workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field of a named struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    is_option: bool,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// A parsed derive input item.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i, &mut Vec::new());
+
+    let keyword = ident_text(&tokens, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&tokens, i).expect("expected type name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Input::NamedStruct { name, fields: Vec::new() }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes and a visibility modifier, collecting
+/// the idents inside any `#[serde(...)]` helper attribute into
+/// `serde_flags`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, serde_flags: &mut Vec<String>) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    collect_serde_flags(&g.stream(), serde_flags);
+                    *i += 2;
+                } else {
+                    panic!("dangling `#` in derive input");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Records flags from a `serde(...)` attribute body such as `skip`.
+fn collect_serde_flags(attr_body: &TokenStream, flags: &mut Vec<String>) {
+    let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+        (tokens.first(), tokens.get(1))
+    {
+        if name.to_string() == "serde" {
+            for tok in args.stream() {
+                if let TokenTree::Ident(flag) = tok {
+                    let flag = flag.to_string();
+                    assert!(
+                        flag == "skip" || flag == "default",
+                        "vendored serde_derive supports only #[serde(skip)] / #[serde(default)], found `{flag}`"
+                    );
+                    flags.push(flag);
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flags = Vec::new();
+        skip_attrs_and_vis(&tokens, &mut i, &mut flags);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens, i).expect("expected field name");
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // The type: everything up to the next top-level comma. Only the
+        // head ident matters (to spot `Option`); depth tracking skips
+        // commas inside generic args, which arrive as plain punct tokens.
+        let mut depth = 0i32;
+        let mut head: Option<String> = None;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Ident(id) if head.is_none() => head = Some(id.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field {
+            name: name.trim_start_matches("r#").to_string(),
+            skip: flags.iter().any(|f| f == "skip"),
+            is_option: head.as_deref() == Some("Option"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i, &mut Vec::new());
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens, i).expect("expected variant name");
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants are not supported (variant `{name}`)");
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn ident_text(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    match item {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            let mapkey = if *arity == 1 {
+                format!(
+                    "impl serde::MapKey for {name} {{\n\
+                         fn to_key(&self) -> ::std::string::String {{\n\
+                             serde::MapKey::to_key(&self.0)\n\
+                         }}\n\
+                         fn from_key(__k: &str) -> ::std::result::Result<Self, serde::Error> {{\n\
+                             ::std::result::Result::Ok({name}(serde::MapKey::from_key(__k)?))\n\
+                         }}\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}\n\
+                 {mapkey}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{0}\"), \
+                                 serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut __inner: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                                     ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  serde::Value::Object(__inner))])\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    match item {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.is_option {
+                    inits.push_str(&format!(
+                        "{0}: serde::__private::de_field_opt(__fields, \"{0}\")?,\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: serde::__private::de_field(__fields, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         let __fields = __v.as_object().ok_or_else(|| \
+                             serde::Error::expected(\"object\", __v))?;\n\
+                         let _ = &__fields;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
+                )
+            } else {
+                let gets: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                         serde::Error::expected(\"array\", __v))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(serde::Error::custom(\
+                             format!(\"expected array of {arity}, found {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    gets.join(", ")
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(\
+                                 serde::Deserialize::from_value(__val)?))"
+                            )
+                        } else {
+                            let gets: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __items = __val.as_array().ok_or_else(|| \
+                                     serde::Error::expected(\"array\", __val))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(serde::Error::custom(\
+                                         \"wrong tuple variant arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))",
+                                gets.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if f.is_option {
+                                inits.push_str(&format!(
+                                    "{0}: serde::__private::de_field_opt(__obj, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: serde::__private::de_field(__obj, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __obj = __val.as_object().ok_or_else(|| \
+                                     serde::Error::expected(\"object\", __val))?;\n\
+                                 let _ = &__obj;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(serde::Error::custom(\
+                                     format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                             }},\n\
+                             serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __val) = &__fields[0];\n\
+                                 let _ = &__val;\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\
+                                     __other => ::std::result::Result::Err(serde::Error::custom(\
+                                         format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(\
+                                 serde::Error::expected(\"variant of `{name}`\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde` [`Value`] tree as JSON text.
+//! Floats print via Rust's shortest-roundtrip `Display`, so every finite
+//! `f64` survives `to_string` → `from_str` bit-exactly (the behaviour the
+//! real crate's `float_roundtrip` feature guarantees). Non-finite floats
+//! render as `null`, matching the real crate.
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+pub type Error = serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the value model used here; the `Result` exists for
+/// call-site compatibility with the real crate.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the value model used here.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for the value model used here.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+/// Parses a value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
+    from_str(text)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display is shortest-roundtrip; force a ".0" onto integral
+    // floats so the value reads back as a float-typed token, matching
+    // the real crate.
+    let s = f.to_string();
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed input or trailing garbage.
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::Str),
+            b't' | b'f' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::custom(format!("bad literal at byte {}", self.pos)))
+                }
+            }
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::custom(format!("bad literal at byte {}", self.pos)))
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::custom("lone surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xD800) << 10)
+                                    + (low.checked_sub(0xDC00).ok_or_else(|| {
+                                        Error::custom("bad low surrogate")
+                                    })?);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::custom("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "bad escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::custom("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error::custom("bad \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| Error::custom("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if matches!(self.bytes.get(self.pos), Some(b'-')) {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("bad number at byte {start}")));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize> {
+    match first {
+        0x00..=0x7F => Ok(1),
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err(Error::custom("invalid UTF-8 in string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b".to_string()).unwrap(), r#""a\"b""#);
+        assert_eq!(from_str::<String>(r#""a\"b""#).unwrap(), "a\"b");
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for f in [0.1f64, 1.5, -2.75e-8, 1e300, 0.30000000000000004, 3.0] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {s}");
+        }
+    }
+
+    #[test]
+    fn integral_float_keeps_float_form() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Value::Object(vec![
+            ("xs".into(), Value::Array(vec![Value::Int(1), Value::Int(-2)])),
+            ("name".into(), Value::Str("trace".into())),
+            ("flag".into(), Value::Bool(false)),
+            ("none".into(), Value::Null),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(parse_value(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("4 4").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+    }
+}
