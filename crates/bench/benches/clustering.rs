@@ -36,7 +36,11 @@ fn bench_clustering(c: &mut Criterion) {
     // Hierarchical is O(n²)+ — bench only the small frame.
     let small = frame_points(200);
     group.bench_function("hierarchical_avg_200", |b| {
-        b.iter(|| Hierarchical::with_distance_cutoff(Linkage::Average, 1.05).fit(&small).len())
+        b.iter(|| {
+            Hierarchical::with_distance_cutoff(Linkage::Average, 1.05)
+                .fit(&small)
+                .len()
+        })
     });
     group.finish();
 }

@@ -35,7 +35,9 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .selected_draw_count()
         })
     });
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
+        .unwrap();
     group.bench_function("subset_replay", |b| {
         b.iter(|| outcome.subset.replay(&w, &sim).unwrap())
     });

@@ -18,14 +18,11 @@ fn bench_features(c: &mut Criterion) {
     for &draws in &[200usize, 1000] {
         let w = workload(draws);
         group.bench_with_input(BenchmarkId::new("extract", draws), &w, |b, w| {
-            b.iter(|| {
-                extract_frame_features(&w.frames()[0], w, FeatureKind::standard_set()).rows()
-            })
+            b.iter(|| extract_frame_features(&w.frames()[0], w, FeatureKind::standard_set()).rows())
         });
         group.bench_with_input(BenchmarkId::new("extract+normalize", draws), &w, |b, w| {
             b.iter(|| {
-                let mut m =
-                    extract_frame_features(&w.frames()[0], w, FeatureKind::standard_set());
+                let mut m = extract_frame_features(&w.frames()[0], w, FeatureKind::standard_set());
                 m.normalize(Normalization::ZScore);
                 m.apply_cost_weights();
                 m.rows()

@@ -28,7 +28,12 @@ fn bench_gpusim(c: &mut Criterion) {
             b.iter(|| analytic.simulate_frame(&w.frames()[0], w).unwrap().total_ns)
         });
         group.bench_with_input(BenchmarkId::new("pipelined_frame", draws), &w, |b, w| {
-            b.iter(|| pipelined.simulate_frame(&w.frames()[0], w).unwrap().total_ns)
+            b.iter(|| {
+                pipelined
+                    .simulate_frame(&w.frames()[0], w)
+                    .unwrap()
+                    .total_ns
+            })
         });
     }
     group.bench_function("cache_stream_50k", |b| {

@@ -18,6 +18,11 @@
 //!
 //! Every scenario is also run single-threaded with memoization off (the
 //! pre-executor behaviour); each timing is the best of three runs.
+//!
+//! The report additionally measures the cost of `subset3d-obs` metric
+//! recording (`metrics_overhead_pct`: workload_sim with metrics on vs.
+//! off, budget < 2 %) and embeds the `MetricsSnapshot` of an
+//! instrumented sweep-plus-pipeline pass.
 
 use serde::Serialize;
 use std::time::Instant;
@@ -57,6 +62,11 @@ struct Report {
     workload_sim: Scenario,
     iterated_sweep: Scenario,
     subsetting_pipeline: Scenario,
+    /// Wall-time cost of metric recording on the workload_sim scenario,
+    /// in percent (negative values are measurement noise).
+    metrics_overhead_pct: f64,
+    /// Snapshot of an instrumented sweep-plus-pipeline pass.
+    metrics: subset3d_obs::MetricsSnapshot,
 }
 
 /// Best-of-[`RUNS`] wall time of `f`, in milliseconds.
@@ -71,7 +81,10 @@ fn best_ms(mut f: impl FnMut()) -> f64 {
 }
 
 fn measurement(wall_ms: f64, draws: usize) -> Measurement {
-    Measurement { wall_ms, draws_per_sec: draws as f64 / (wall_ms / 1e3) }
+    Measurement {
+        wall_ms,
+        draws_per_sec: draws as f64 / (wall_ms / 1e3),
+    }
 }
 
 fn scenario(
@@ -93,8 +106,11 @@ fn scenario(
 
 fn main() {
     let threads = subset3d_exec::default_threads();
-    let workload: Workload =
-        GameProfile::shooter("bench").frames(120).draws_per_frame(400).build(11).generate();
+    let workload: Workload = GameProfile::shooter("bench")
+        .frames(120)
+        .draws_per_frame(400)
+        .build(11)
+        .generate();
     let candidates = ArchConfig::pathfinding_candidates();
     let draws = workload.total_draws();
     println!(
@@ -159,7 +175,9 @@ fn main() {
     let pipeline_stats = {
         subset3d_exec::set_thread_count(threads);
         let sim = Simulator::new(ArchConfig::baseline());
-        Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+        Subsetter::new(SubsetConfig::default())
+            .run(&workload, &sim)
+            .expect("pipeline");
         sim.cache_stats()
     };
     let subsetting_pipeline = scenario(
@@ -168,16 +186,49 @@ fn main() {
             subset3d_exec::set_thread_count(1);
             let sim = Simulator::new(ArchConfig::baseline());
             sim.set_cache_mode(CacheMode::Off);
-            Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+            Subsetter::new(SubsetConfig::default())
+                .run(&workload, &sim)
+                .expect("pipeline");
         },
         || {
             subset3d_exec::set_thread_count(threads);
             let sim = Simulator::new(ArchConfig::baseline());
-            Subsetter::new(SubsetConfig::default()).run(&workload, &sim).expect("pipeline");
+            Subsetter::new(SubsetConfig::default())
+                .run(&workload, &sim)
+                .expect("pipeline");
         },
         pipeline_stats,
     );
     subset3d_exec::set_thread_count(threads);
+
+    // -- metric-recording overhead -------------------------------------
+    // Same shape as workload_sim's optimized arm, metrics off vs. on.
+    let sim_pass = || {
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&workload).expect("simulate");
+    };
+    let off_ms = best_ms(sim_pass);
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    let on_ms = best_ms(sim_pass);
+    subset3d_obs::set_enabled(false);
+    let metrics_overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+
+    // -- instrumented snapshot -----------------------------------------
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    {
+        let session = SweepSession::new(&candidates).expect("session");
+        for _ in 0..SWEEP_PASSES {
+            session.sweep(&workload).expect("sweep");
+        }
+        let sim = Simulator::new(ArchConfig::baseline());
+        Subsetter::new(SubsetConfig::default())
+            .run(&workload, &sim)
+            .expect("pipeline");
+    }
+    let metrics = subset3d_obs::snapshot();
+    subset3d_obs::set_enabled(false);
 
     let report = Report {
         threads,
@@ -188,6 +239,8 @@ fn main() {
         workload_sim,
         iterated_sweep,
         subsetting_pipeline,
+        metrics_overhead_pct,
+        metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

@@ -20,9 +20,11 @@ fn main() {
 
     let mut table = Table::new(vec!["threshold", "efficiency", "error", "outliers"]);
     for &distance in &[0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0] {
-        let config = SubsetConfig::default()
-            .with_cluster_method(ClusterMethod::Threshold { distance });
-        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        let config =
+            SubsetConfig::default().with_cluster_method(ClusterMethod::Threshold { distance });
+        let outcome = Subsetter::new(config)
+            .run(&workload, &sim)
+            .expect("pipeline");
         table.row(vec![
             format!("{distance:.2}"),
             pct(outcome.evaluation.mean_efficiency()),

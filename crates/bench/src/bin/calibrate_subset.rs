@@ -13,13 +13,26 @@ use subset3d_trace::Workload;
 fn main() {
     header("CAL-SUBSET", "subset-stage parameter sweep");
     let games: Vec<Workload> = vec![
-        GameProfile::rts("stratcraft").frames(110).draws_per_frame(1000).build(CORPUS_SEED.wrapping_add(3)).generate(),
-        GameProfile::shooter("shock-infinite").frames(140).draws_per_frame(1200).build(CORPUS_SEED.wrapping_add(2)).generate(),
+        GameProfile::rts("stratcraft")
+            .frames(110)
+            .draws_per_frame(1000)
+            .build(CORPUS_SEED.wrapping_add(3))
+            .generate(),
+        GameProfile::shooter("shock-infinite")
+            .frames(140)
+            .draws_per_frame(1200)
+            .build(CORPUS_SEED.wrapping_add(2))
+            .generate(),
     ];
     let sim = Simulator::new(ArchConfig::baseline());
 
     let mut table = Table::new(vec![
-        "interval", "similarity", "frames/phase", "game", "size", "replay err",
+        "interval",
+        "similarity",
+        "frames/phase",
+        "game",
+        "size",
+        "replay err",
     ]);
     for &interval in &[4, 6, 10] {
         for &similarity in &[0.9, 0.95, 1.0] {

@@ -27,7 +27,9 @@ fn main() {
             let config = SubsetConfig::default()
                 .with_cluster_method(ClusterMethod::Threshold { distance })
                 .with_frames_per_phase(fpp);
-            let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+            let outcome = Subsetter::new(config)
+                .run(&workload, &sim)
+                .expect("pipeline");
             let estimate = outcome.subset.replay(&workload, &sim).expect("replay");
             points.push((
                 distance,
@@ -59,7 +61,11 @@ fn main() {
             fpp.to_string(),
             pct3(size),
             pct(err),
-            if pareto { "*".to_string() } else { String::new() },
+            if pareto {
+                "*".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -15,7 +15,10 @@ use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
 use subset3d_trace::{DrawId, PrimitiveTopology, TextureId};
 
 fn main() {
-    header("E14", "texture-cache model validation (analytic vs LRU simulation)");
+    header(
+        "E14",
+        "texture-cache model validation (analytic vs LRU simulation)",
+    );
     let config = ArchConfig::baseline();
     let cache_bytes = config.tex_cache_kib as usize * 1024;
 
@@ -40,8 +43,7 @@ fn main() {
             let footprint = (footprint_mib * 1024.0 * 1024.0) as u64;
             let mut cache = CacheSim::new(cache_bytes, 8, 64);
             let measured =
-                run_bilinear_stream(&mut cache, footprint, 200_000, locality, 4096, 99)
-                    .hit_rate();
+                run_bilinear_stream(&mut cache, footprint, 200_000, locality, 4096, 99).hit_rate();
 
             // Analytic: fabricate a draw with matching locality bound to a
             // texture of matching footprint, and read the hit rate the
@@ -66,12 +68,8 @@ fn main() {
                 .rasterization(0.05, 1.2, 0.8)
                 .texel_locality(locality)
                 .build();
-            let analytic = subset3d_gpusim::analytic::texture_hit_rate(
-                &draw,
-                w.textures(),
-                sim.config(),
-                0.0,
-            );
+            let analytic =
+                subset3d_gpusim::analytic::texture_hit_rate(&draw, w.textures(), sim.config(), 0.0);
             deltas.push((measured - analytic).abs());
             table.row(vec![
                 format!("{locality:.1}"),

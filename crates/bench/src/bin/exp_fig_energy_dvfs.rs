@@ -33,7 +33,10 @@ fn main() {
             parent_energy.push(pe.total_nj());
             parent_edp.push(energy_delay_product(&pe, parent_cost.total_ns));
 
-            let replay = outcome.subset.replay_detailed(workload, &sim).expect("replay");
+            let replay = outcome
+                .subset
+                .replay_detailed(workload, &sim)
+                .expect("replay");
             let mut se = subset3d_gpusim::Energy::default();
             for frame in &replay.frames {
                 for (weight, cost) in &frame.draws {
@@ -80,7 +83,10 @@ fn main() {
         let sim = Simulator::new(config.clone());
         let parent_cost = sim.simulate_workload(workload).expect("sim");
         let pe = model.workload_energy(&parent_cost, &config).total_nj();
-        let replay = outcome.subset.replay_detailed(workload, &sim).expect("replay");
+        let replay = outcome
+            .subset
+            .replay_detailed(workload, &sim)
+            .expect("replay");
         let mut se = 0.0;
         for frame in &replay.frames {
             for (weight, cost) in &frame.draws {

@@ -9,7 +9,10 @@ use subset3d_gpusim::{ArchConfig, Simulator};
 use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
 
 fn main() {
-    header("E3", "prediction error vs clustering efficiency (threshold sweep)");
+    header(
+        "E3",
+        "prediction error vs clustering efficiency (threshold sweep)",
+    );
     let workload = GameProfile::shooter("shock-1")
         .frames(60)
         .draws_per_frame(1400)
@@ -21,7 +24,9 @@ fn main() {
     for &distance in &[0.2, 0.4, 0.6, 0.8, 1.0, 1.05, 1.2, 1.5, 2.0, 2.5, 3.0] {
         let config =
             SubsetConfig::default().with_cluster_method(ClusterMethod::Threshold { distance });
-        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        let outcome = Subsetter::new(config)
+            .run(&workload, &sim)
+            .expect("pipeline");
         table.row(vec![
             format!("{distance:.2}"),
             pct(outcome.evaluation.mean_efficiency()),

@@ -19,10 +19,18 @@ fn main() {
         .generate();
     let sim = Simulator::new(ArchConfig::baseline());
 
-    let mut table = Table::new(vec!["feature set", "dims", "efficiency", "pred. error", "outliers"]);
+    let mut table = Table::new(vec![
+        "feature set",
+        "dims",
+        "efficiency",
+        "pred. error",
+        "outliers",
+    ]);
     let mut run = |name: &str, config: SubsetConfig| {
         let dims = config.features.len();
-        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        let outcome = Subsetter::new(config)
+            .run(&workload, &sim)
+            .expect("pipeline");
         table.row(vec![
             name.to_string(),
             dims.to_string(),
@@ -33,7 +41,10 @@ fn main() {
     };
 
     run("full (cost-weighted)", SubsetConfig::default());
-    run("full (unweighted)", SubsetConfig::default().with_cost_weighting(false));
+    run(
+        "full (unweighted)",
+        SubsetConfig::default().with_cost_weighting(false),
+    );
     use FeatureGroup::*;
     for group in [Geometry, Shading, Texturing, Raster, State] {
         let features = drop_group(&FeatureKind::standard_set(), group);

@@ -11,7 +11,10 @@ use subset3d_gpusim::{ArchConfig, Simulator};
 use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
 
 fn main() {
-    header("E17", "feature-to-cost correlation (basis of the cost weights)");
+    header(
+        "E17",
+        "feature-to-cost correlation (basis of the cost weights)",
+    );
     let workload = GameProfile::shooter("shock-1")
         .frames(40)
         .draws_per_frame(1000)
@@ -43,7 +46,12 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
 
-    let mut table = Table::new(vec!["feature", "group", "|r| with log draw time", "cost weight"]);
+    let mut table = Table::new(vec![
+        "feature",
+        "group",
+        "|r| with log draw time",
+        "cost weight",
+    ]);
     for (kind, r) in &rows {
         table.row(vec![
             format!("{kind:?}"),

@@ -20,8 +20,7 @@ fn main() {
     // corpus order, so the printed figure is identical at any thread count.
     let validations = subset3d_exec::par_map_indexed(&corpus, |_, workload| {
         let outcome = run_default_pipeline(workload);
-        frequency_scaling_validation(workload, &outcome.subset, &base, &sweep)
-            .expect("validation")
+        frequency_scaling_validation(workload, &outcome.subset, &base, &sweep).expect("validation")
     });
 
     let mut correlations = Vec::new();

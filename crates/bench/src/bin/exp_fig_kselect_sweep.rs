@@ -23,7 +23,10 @@ fn to_clustering(fc: &FrameClustering) -> Clustering {
 }
 
 fn main() {
-    header("E5", "cluster-count selection ablation (threshold vs fixed-k vs BIC)");
+    header(
+        "E5",
+        "cluster-count selection ablation (threshold vs fixed-k vs BIC)",
+    );
     // Smaller frames keep BIC k-means tractable; the comparison is the
     // point, not corpus scale.
     let workload = GameProfile::shooter("shock-1")
@@ -34,11 +37,20 @@ fn main() {
     let sim = Simulator::new(ArchConfig::baseline());
 
     let methods: Vec<(String, ClusterMethod)> = vec![
-        ("threshold(1.05)".into(), ClusterMethod::Threshold { distance: 1.05 }),
+        (
+            "threshold(1.05)".into(),
+            ClusterMethod::Threshold { distance: 1.05 },
+        ),
         ("kmeans(k=32)".into(), ClusterMethod::KMeansFixed { k: 32 }),
         ("kmeans(k=64)".into(), ClusterMethod::KMeansFixed { k: 64 }),
-        ("kmeans(k=128)".into(), ClusterMethod::KMeansFixed { k: 128 }),
-        ("kmeans-bic(max 160)".into(), ClusterMethod::KMeansBic { max_k: 160 }),
+        (
+            "kmeans(k=128)".into(),
+            ClusterMethod::KMeansFixed { k: 128 },
+        ),
+        (
+            "kmeans-bic(max 160)".into(),
+            ClusterMethod::KMeansBic { max_k: 160 },
+        ),
     ];
 
     // Reference partitions: the production threshold clustering per frame.
@@ -48,11 +60,18 @@ fn main() {
     .run(&workload, &sim)
     .expect("reference pipeline");
 
-    let mut table =
-        Table::new(vec!["method", "efficiency", "pred. error", "outliers", "ARI vs threshold"]);
+    let mut table = Table::new(vec![
+        "method",
+        "efficiency",
+        "pred. error",
+        "outliers",
+        "ARI vs threshold",
+    ]);
     for (name, method) in methods {
         let config = SubsetConfig::default().with_cluster_method(method);
-        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        let outcome = Subsetter::new(config)
+            .run(&workload, &sim)
+            .expect("pipeline");
         // Mean per-frame adjusted Rand index against the reference: do the
         // methods even group the same draws together?
         let ari = subset3d_stats::mean(

@@ -33,7 +33,10 @@ fn design_grid() -> Vec<ArchConfig> {
 }
 
 fn main() {
-    header("E19", "design-space exploration: Pareto front from subsets vs full trace");
+    header(
+        "E19",
+        "design-space exploration: Pareto front from subsets vs full trace",
+    );
     let workload = GameProfile::shooter("shock-1")
         .frames(80)
         .draws_per_frame(900)
@@ -77,16 +80,28 @@ fn main() {
             format!("{:.0}", parent_points[i].area_mm2),
             ms(parent_points[i].time_ns),
             ms(subset_points[i].time_ns),
-            if parent_front.contains(&i) { "*".into() } else { String::new() },
-            if subset_front.contains(&i) { "*".into() } else { String::new() },
+            if parent_front.contains(&i) {
+                "*".into()
+            } else {
+                String::new()
+            },
+            if subset_front.contains(&i) {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{}", table.render());
 
-    let parent_names: Vec<&str> =
-        parent_front.iter().map(|&i| parent_points[i].name.as_str()).collect();
-    let subset_names: Vec<&str> =
-        subset_front.iter().map(|&i| subset_points[i].name.as_str()).collect();
+    let parent_names: Vec<&str> = parent_front
+        .iter()
+        .map(|&i| parent_points[i].name.as_str())
+        .collect();
+    let subset_names: Vec<&str> = subset_front
+        .iter()
+        .map(|&i| subset_points[i].name.as_str())
+        .collect();
     println!("full-trace Pareto front: {}", parent_names.join(" → "));
     println!("subset     Pareto front: {}", subset_names.join(" → "));
     let agree = parent_names == subset_names;

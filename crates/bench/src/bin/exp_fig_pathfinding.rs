@@ -32,7 +32,11 @@ fn main() {
             subset_total[i] += estimate[i];
         }
         agreements.push(*agreement);
-        println!("{}: per-game rank agreement {:.0}%", workload.name, agreement * 100.0);
+        println!(
+            "{}: per-game rank agreement {:.0}%",
+            workload.name,
+            agreement * 100.0
+        );
     }
     println!();
 
@@ -59,9 +63,12 @@ fn main() {
 
     let mut subset_order: Vec<usize> = (0..candidates.len()).collect();
     subset_order.sort_by(|&a, &b| subset_total[a].partial_cmp(&subset_total[b]).unwrap());
-    let corpus_agreement =
-        order.iter().zip(&subset_order).filter(|(a, b)| a == b).count() as f64
-            / order.len() as f64;
+    let corpus_agreement = order
+        .iter()
+        .zip(&subset_order)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / order.len() as f64;
     println!(
         "corpus-level rank agreement: {:.0}% | mean per-game agreement: {:.0}%",
         corpus_agreement * 100.0,

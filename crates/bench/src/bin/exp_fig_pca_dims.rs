@@ -37,7 +37,9 @@ fn main() {
 
     let mut table = Table::new(vec!["dims", "efficiency", "pred. error", "outliers"]);
     let mut run = |label: String, config: SubsetConfig| {
-        let outcome = Subsetter::new(config).run(&workload, &sim).expect("pipeline");
+        let outcome = Subsetter::new(config)
+            .run(&workload, &sim)
+            .expect("pipeline");
         table.row(vec![
             label,
             pct(outcome.evaluation.mean_efficiency()),
@@ -47,7 +49,10 @@ fn main() {
     };
     run("full (19)".to_string(), SubsetConfig::default());
     for k in [12usize, 8, 6, 4, 2] {
-        run(format!("pca {k}"), SubsetConfig::default().with_pca(Some(k)));
+        run(
+            format!("pca {k}"),
+            SubsetConfig::default().with_pca(Some(k)),
+        );
     }
     println!("{}", table.render());
     println!("a handful of principal directions carries most of the clustering signal");

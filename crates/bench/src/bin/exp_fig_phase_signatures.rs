@@ -20,8 +20,11 @@ fn subset_from(
     analysis: &PhaseAnalysis,
     config: &SubsetConfig,
 ) -> WorkloadSubset {
-    let clusterings: Vec<_> =
-        workload.frames().iter().map(|f| cluster_frame(f, workload, config)).collect();
+    let clusterings: Vec<_> = workload
+        .frames()
+        .iter()
+        .map(|f| cluster_frame(f, workload, config))
+        .collect();
     WorkloadSubset::build(workload, analysis, &clusterings, config.frames_per_phase)
 }
 
@@ -31,10 +34,7 @@ fn subset_from(
 /// fraction whose areas differ. `0` means the detector never conflates
 /// level areas; high values mean representative frames stand in for
 /// content they do not contain.
-fn area_confusion(
-    analysis: &PhaseAnalysis,
-    truth: &subset3d_trace::gen::PhaseGroundTruth,
-) -> f64 {
+fn area_confusion(analysis: &PhaseAnalysis, truth: &subset3d_trace::gen::PhaseGroundTruth) -> f64 {
     // Ground-truth area of each pure interval; `None` entry = mixed
     // interval, excluded from the metric.
     let pure_area = |iv: &subset3d_core::FrameInterval| -> Option<Option<u8>> {
@@ -67,10 +67,19 @@ fn area_confusion(
 }
 
 fn main() {
-    header("E15", "phase-signature ablation: shader vectors vs load (SimPoint-style)");
+    header(
+        "E15",
+        "phase-signature ablation: shader vectors vs load (SimPoint-style)",
+    );
     let games = [
-        GameProfile::shooter("shock-1").frames(120).draws_per_frame(900).build(CORPUS_SEED),
-        GameProfile::racing("speedrush").frames(107).draws_per_frame(700).build(CORPUS_SEED.wrapping_add(4)),
+        GameProfile::shooter("shock-1")
+            .frames(120)
+            .draws_per_frame(900)
+            .build(CORPUS_SEED),
+        GameProfile::racing("speedrush")
+            .frames(107)
+            .draws_per_frame(700)
+            .build(CORPUS_SEED.wrapping_add(4)),
     ];
     // Shorter intervals than the pipeline default keep most intervals
     // inside one scripted segment, so content purity is meaningful for

@@ -15,7 +15,10 @@ fn phase_letter(id: usize) -> char {
 }
 
 fn main() {
-    header("E6", "phase timelines of the shooter series (paper: phases exist in every game)");
+    header(
+        "E6",
+        "phase timelines of the shooter series (paper: phases exist in every game)",
+    );
     let series = bioshock_like_series();
     let detector = PhaseDetector::new(10).with_similarity(0.85);
 
@@ -30,7 +33,11 @@ fn main() {
     for workload in &series {
         let analysis = detector.detect(workload).expect("detect");
         let pattern = PhasePattern::of(&analysis);
-        let timeline: String = analysis.sequence().iter().map(|&p| phase_letter(p)).collect();
+        let timeline: String = analysis
+            .sequence()
+            .iter()
+            .map(|&p| phase_letter(p))
+            .collect();
         println!("{:<16} {}", workload.name, timeline);
         table.row(vec![
             workload.name.clone(),

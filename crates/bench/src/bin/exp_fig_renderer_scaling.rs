@@ -11,7 +11,10 @@ use subset3d_gpusim::{ArchConfig, FrequencySweep};
 use subset3d_trace::gen::{GameProfile, CORPUS_SEED};
 
 fn main() {
-    header("E18", "forward vs deferred rendering under core-frequency scaling");
+    header(
+        "E18",
+        "forward vs deferred rendering under core-frequency scaling",
+    );
     let forward = GameProfile::shooter("forward")
         .frames(60)
         .draws_per_frame(900)

@@ -34,7 +34,5 @@ fn main() {
         pct(subset3d_stats::mean(&outl)),
     ]);
     println!("{}", table.render());
-    println!(
-        "paper averages: efficiency 65.8%, error 1.0%, outliers 3.0%"
-    );
+    println!("paper averages: efficiency 65.8%, error 1.0%, outliers 3.0%");
 }

@@ -25,7 +25,10 @@ fn main() {
     for workload in &corpus {
         let outcome = run_default_pipeline(workload);
         let subset = &outcome.subset;
-        let actual = sim.simulate_workload(workload).expect("parent sim").total_ns;
+        let actual = sim
+            .simulate_workload(workload)
+            .expect("parent sim")
+            .total_ns;
         let estimate = subset.replay(workload, &sim).expect("replay");
         let replay_error = (estimate - actual).abs() / actual;
         sizes.push(subset.draw_fraction());

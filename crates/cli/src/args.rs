@@ -30,6 +30,13 @@ pub enum Command {
         /// Subset JSON written by `subset --out-subset`.
         subset: String,
     },
+    /// Run an instrumented pass over a trace and print the metrics.
+    Stats {
+        /// Trace file to profile.
+        trace: String,
+        /// Emit the raw `MetricsSnapshot` JSON instead of the table.
+        json: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -64,6 +71,8 @@ pub struct SubsetArgs {
     pub out_subset: Option<String>,
     /// Print the machine-readable JSON summary instead of the table.
     pub json: bool,
+    /// Record metrics during the run and append a snapshot to the output.
+    pub metrics: bool,
 }
 
 /// A command-line parsing failure.
@@ -122,7 +131,10 @@ where
         "help" | "--help" | "-h" => Ok(Command::Help),
         "gen" => parse_gen(&rest),
         "info" => {
-            let path = rest.first().cloned().ok_or(ArgError::MissingRequired("trace path"))?;
+            let path = rest
+                .first()
+                .cloned()
+                .ok_or(ArgError::MissingRequired("trace path"))?;
             Ok(Command::Info { path })
         }
         "subset" => Ok(Command::Subset(parse_subset(&rest)?)),
@@ -155,13 +167,40 @@ where
             })
         }
         "rank" => {
-            let trace = rest.first().cloned().ok_or(ArgError::MissingRequired("trace path"))?;
-            let subset =
-                rest.get(1).cloned().ok_or(ArgError::MissingRequired("subset JSON path"))?;
+            let trace = rest
+                .first()
+                .cloned()
+                .ok_or(ArgError::MissingRequired("trace path"))?;
+            let subset = rest
+                .get(1)
+                .cloned()
+                .ok_or(ArgError::MissingRequired("subset JSON path"))?;
             if rest.len() > 2 {
                 return Err(ArgError::UnknownFlag(rest[2].clone()));
             }
             Ok(Command::Rank { trace, subset })
+        }
+        "stats" => {
+            let mut trace = None;
+            let mut json = false;
+            for arg in &rest {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(ArgError::UnknownFlag(flag.to_string()));
+                    }
+                    positional => {
+                        if trace.is_some() {
+                            return Err(ArgError::UnknownFlag(positional.to_string()));
+                        }
+                        trace = Some(positional.to_string());
+                    }
+                }
+            }
+            Ok(Command::Stats {
+                trace: trace.ok_or(ArgError::MissingRequired("trace path"))?,
+                json,
+            })
         }
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
@@ -176,14 +215,19 @@ fn parse_gen(rest: &[String]) -> Result<Command, ArgError> {
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
-            it.next().cloned().ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
         };
         match flag.as_str() {
             "--out" => out = Some(value("--out")?),
             "--genre" => {
                 let g = value("--genre")?;
                 if !matches!(g.as_str(), "shooter" | "rts" | "racing") {
-                    return Err(ArgError::BadValue { flag: "--genre".into(), value: g });
+                    return Err(ArgError::BadValue {
+                        flag: "--genre".into(),
+                        value: g,
+                    });
                 }
                 genre = g;
             }
@@ -209,10 +253,13 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
     let mut frames_per_phase = 1usize;
     let mut out_subset = None;
     let mut json = false;
+    let mut metrics = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
-            it.next().cloned().ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
         };
         match arg.as_str() {
             "--threshold" => threshold = parse_float(&value("--threshold")?, "--threshold")?,
@@ -222,6 +269,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
             }
             "--out-subset" => out_subset = Some(value("--out-subset")?),
             "--json" => json = true,
+            "--metrics" => metrics = true,
             flag if flag.starts_with("--") => {
                 return Err(ArgError::UnknownFlag(flag.to_string()));
             }
@@ -240,6 +288,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
         frames_per_phase,
         out_subset,
         json,
+        metrics,
     })
 }
 
@@ -285,12 +334,14 @@ mod tests {
         assert_eq!(g.frames, 60);
 
         let c = parse(&[
-            "gen", "--out", "y", "--genre", "rts", "--frames", "12", "--draws", "50", "--seed",
-            "9",
+            "gen", "--out", "y", "--genre", "rts", "--frames", "12", "--draws", "50", "--seed", "9",
         ])
         .unwrap();
         let Command::Gen(g) = c else { panic!() };
-        assert_eq!((g.genre.as_str(), g.frames, g.draws, g.seed), ("rts", 12, 50, 9));
+        assert_eq!(
+            (g.genre.as_str(), g.frames, g.draws, g.seed),
+            ("rts", 12, 50, 9)
+        );
     }
 
     #[test]
@@ -360,7 +411,10 @@ mod tests {
         let c = parse(&["rank", "a.trace", "s.json"]).unwrap();
         assert_eq!(
             c,
-            Command::Rank { trace: "a.trace".into(), subset: "s.json".into() }
+            Command::Rank {
+                trace: "a.trace".into(),
+                subset: "s.json".into()
+            }
         );
         assert!(matches!(
             parse(&["rank", "a.trace"]),
@@ -368,6 +422,42 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["rank", "a", "b", "c"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn subset_metrics_flag() {
+        let c = parse(&["subset", "a.trace", "--metrics"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert!(s.metrics);
+        let c = parse(&["subset", "a.trace"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert!(!s.metrics);
+    }
+
+    #[test]
+    fn stats_parses_trace_and_json() {
+        assert_eq!(
+            parse(&["stats", "a.trace"]),
+            Ok(Command::Stats {
+                trace: "a.trace".into(),
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&["stats", "a.trace", "--json"]),
+            Ok(Command::Stats {
+                trace: "a.trace".into(),
+                json: true
+            })
+        );
+        assert!(matches!(
+            parse(&["stats"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+        assert!(matches!(
+            parse(&["stats", "a", "--wat"]),
             Err(ArgError::UnknownFlag(_))
         ));
     }
@@ -388,7 +478,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_things() {
-        assert!(matches!(parse(&["frobnicate"]), Err(ArgError::UnknownCommand(_))));
+        assert!(matches!(
+            parse(&["frobnicate"]),
+            Err(ArgError::UnknownCommand(_))
+        ));
         assert!(matches!(
             parse(&["subset", "a", "--wat", "1"]),
             Err(ArgError::UnknownFlag(_))
@@ -419,6 +512,8 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(!ArgError::MissingCommand.to_string().is_empty());
-        assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
+        assert!(ArgError::UnknownFlag("--x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -3,11 +3,11 @@
 use crate::args::{Command, GenArgs, SubsetArgs};
 use std::fmt;
 use std::io::Write;
+use subset3d_core::ClusterMethod;
 use subset3d_core::{
     frequency_scaling_validation, SubsetConfig, Subsetter, SubsettingOutcome, Table,
 };
-use subset3d_core::ClusterMethod;
-use subset3d_gpusim::{ArchConfig, FrequencySweep, Simulator};
+use subset3d_gpusim::{ArchConfig, FrequencySweep, Simulator, SweepSession};
 use subset3d_trace::gen::GameProfile;
 use subset3d_trace::{decode_workload, encode_workload, Workload};
 
@@ -20,6 +20,8 @@ pub enum CliError {
     Decode(subset3d_trace::EncodeError),
     /// The pipeline failed.
     Pipeline(subset3d_core::SubsetError),
+    /// A report failed to serialise to JSON.
+    Serialize(serde_json::Error),
 }
 
 impl fmt::Display for CliError {
@@ -28,6 +30,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Decode(e) => write!(f, "trace decode error: {e}"),
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            CliError::Serialize(e) => write!(f, "serialisation error: {e}"),
         }
     }
 }
@@ -52,6 +55,18 @@ impl From<subset3d_core::SubsetError> for CliError {
     }
 }
 
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Serialize(e)
+    }
+}
+
+impl From<subset3d_gpusim::SimError> for CliError {
+    fn from(e: subset3d_gpusim::SimError) -> Self {
+        CliError::Pipeline(e.into())
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -65,11 +80,36 @@ pub fn run_command(command: &Command, out: &mut dyn Write) -> Result<(), CliErro
         }
         Command::Gen(args) => run_gen(args, out),
         Command::Info { path } => run_info(path, out),
-        Command::Subset(args) => run_subset(args, out),
-        Command::Sweep(args) => run_sweep(args, out),
+        Command::Subset(args) => instrumented(args.metrics, out, |out| run_subset(args, out)),
+        Command::Sweep(args) => instrumented(args.metrics, out, |out| run_sweep(args, out)),
         Command::Rank { trace, subset } => run_rank(trace, subset, out),
         Command::Merge { out: path, inputs } => run_merge(path, inputs, out),
+        Command::Stats { trace, json } => run_stats(trace, *json, out),
     }
+}
+
+/// Runs `f` with metric recording on (when requested) and appends the
+/// resulting [`subset3d_obs::MetricsSnapshot`] as JSON after the
+/// command's normal output, behind a `metrics:` marker line.
+fn instrumented(
+    metrics: bool,
+    out: &mut dyn Write,
+    f: impl FnOnce(&mut dyn Write) -> Result<(), CliError>,
+) -> Result<(), CliError> {
+    if !metrics {
+        return f(out);
+    }
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    let result = f(out);
+    // Snapshot before disabling so the snapshot records that it covers
+    // an instrumented run; the command's work has already completed.
+    let snapshot = subset3d_obs::snapshot();
+    subset3d_obs::set_enabled(false);
+    result?;
+    writeln!(out, "metrics:")?;
+    writeln!(out, "{}", serde_json::to_string_pretty(&snapshot)?)?;
+    Ok(())
 }
 
 fn run_gen(args: &GenArgs, out: &mut dyn Write) -> Result<(), CliError> {
@@ -110,22 +150,44 @@ fn run_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
     table.row(vec!["draws".into(), summary.draws.to_string()]);
     table.row(vec![
         "draws/frame".into(),
-        format!("{:.1} (min {:.0}, max {:.0})", summary.draws_per_frame.mean, summary.draws_per_frame.min, summary.draws_per_frame.max),
+        format!(
+            "{:.1} (min {:.0}, max {:.0})",
+            summary.draws_per_frame.mean, summary.draws_per_frame.min, summary.draws_per_frame.max
+        ),
     ]);
-    table.row(vec!["unique shaders".into(), summary.unique_shaders.to_string()]);
-    table.row(vec!["unique textures".into(), summary.unique_textures.to_string()]);
-    table.row(vec!["unique states".into(), summary.unique_states.to_string()]);
+    table.row(vec![
+        "unique shaders".into(),
+        summary.unique_shaders.to_string(),
+    ]);
+    table.row(vec![
+        "unique textures".into(),
+        summary.unique_textures.to_string(),
+    ]);
+    table.row(vec![
+        "unique states".into(),
+        summary.unique_states.to_string(),
+    ]);
     writeln!(out, "{}", table.render())?;
     // Distribution of draws per frame as a sparkline.
-    let per_frame: Vec<f64> =
-        workload.frames().iter().map(|f| f.draw_count() as f64).collect();
-    if let (Some(lo), Some(hi)) =
-        (subset3d_stats::min(&per_frame), subset3d_stats::max(&per_frame))
-    {
+    let per_frame: Vec<f64> = workload
+        .frames()
+        .iter()
+        .map(|f| f.draw_count() as f64)
+        .collect();
+    if let (Some(lo), Some(hi)) = (
+        subset3d_stats::min(&per_frame),
+        subset3d_stats::max(&per_frame),
+    ) {
         if hi > lo {
             let mut hist = subset3d_stats::Histogram::new(lo, hi, 24);
             hist.extend(per_frame.iter().copied());
-            writeln!(out, "draws/frame distribution: {} ({:.0}..{:.0})", hist.sparkline(), lo, hi)?;
+            writeln!(
+                out,
+                "draws/frame distribution: {} ({:.0}..{:.0})",
+                hist.sparkline(),
+                lo,
+                hi
+            )?;
         }
     }
     let issues = workload.validate();
@@ -142,7 +204,9 @@ fn run_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn pipeline(args: &SubsetArgs, workload: &Workload) -> Result<SubsettingOutcome, CliError> {
     let config = SubsetConfig::default()
-        .with_cluster_method(ClusterMethod::Threshold { distance: args.threshold })
+        .with_cluster_method(ClusterMethod::Threshold {
+            distance: args.threshold,
+        })
         .with_interval_len(args.interval)
         .with_frames_per_phase(args.frames_per_phase);
     let sim = Simulator::new(ArchConfig::baseline());
@@ -154,9 +218,9 @@ fn run_subset(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let outcome = pipeline(args, &workload)?;
     if args.json {
         let summary = outcome.summary(&workload);
-        writeln!(out, "{}", serde_json::to_string_pretty(&summary).expect("summary serialises"))?;
+        writeln!(out, "{}", serde_json::to_string_pretty(&summary)?)?;
         if let Some(path) = &args.out_subset {
-            let json = serde_json::to_string_pretty(&outcome.subset).expect("subset serialises");
+            let json = serde_json::to_string_pretty(&outcome.subset)?;
             std::fs::write(path, json)?;
         }
         return Ok(());
@@ -174,7 +238,10 @@ fn run_subset(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "cluster outliers".into(),
         format!("{:.2}%", outcome.evaluation.outlier_fraction() * 100.0),
     ]);
-    table.row(vec!["phases".into(), outcome.phases.phase_count().to_string()]);
+    table.row(vec![
+        "phases".into(),
+        outcome.phases.phase_count().to_string(),
+    ]);
     table.row(vec![
         "subset draws".into(),
         format!(
@@ -185,11 +252,15 @@ fn run_subset(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
     ]);
     table.row(vec![
         "kept frames".into(),
-        format!("{}/{}", outcome.subset.frames().len(), workload.frames().len()),
+        format!(
+            "{}/{}",
+            outcome.subset.frames().len(),
+            workload.frames().len()
+        ),
     ]);
     writeln!(out, "{}", table.render())?;
     if let Some(path) = &args.out_subset {
-        let json = serde_json::to_string_pretty(&outcome.subset).expect("subset serialises");
+        let json = serde_json::to_string_pretty(&outcome.subset)?;
         std::fs::write(path, json)?;
         writeln!(out, "wrote subset to {path}")?;
     }
@@ -217,17 +288,20 @@ fn run_rank(trace: &str, subset_path: &str, out: &mut dyn Write) -> Result<(), C
     use subset3d_core::pathfinding_rank_validation;
     let workload = load(trace)?;
     let json = std::fs::read_to_string(subset_path)?;
-    let subset: subset3d_core::WorkloadSubset = serde_json::from_str(&json)
-        .map_err(|e| CliError::Pipeline(subset3d_core::SubsetError::SubsetMismatch {
+    let subset: subset3d_core::WorkloadSubset = serde_json::from_str(&json).map_err(|e| {
+        CliError::Pipeline(subset3d_core::SubsetError::SubsetMismatch {
             reason: format!("subset JSON invalid: {e}"),
-        }))?;
+        })
+    })?;
     subset.validate(&workload)?;
     let candidates = ArchConfig::pathfinding_candidates();
     let (parent, estimate, agreement) =
         pathfinding_rank_validation(&workload, &subset, &candidates)?;
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by(|&a, &b| {
-        estimate[a].partial_cmp(&estimate[b]).unwrap_or(std::cmp::Ordering::Equal)
+        estimate[a]
+            .partial_cmp(&estimate[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut table = Table::new(vec!["rank", "design", "subset estimate", "full-trace time"]);
     for (rank, &i) in order.iter().enumerate() {
@@ -239,7 +313,11 @@ fn run_rank(trace: &str, subset_path: &str, out: &mut dyn Write) -> Result<(), C
         ]);
     }
     writeln!(out, "{}", table.render())?;
-    writeln!(out, "rank agreement with full trace: {:.0}%", agreement * 100.0)?;
+    writeln!(
+        out,
+        "rank agreement with full trace: {:.0}%",
+        agreement * 100.0
+    )?;
     Ok(())
 }
 
@@ -247,12 +325,8 @@ fn run_sweep(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let workload = load(&args.path)?;
     let outcome = pipeline(args, &workload)?;
     let sweep = FrequencySweep::standard();
-    let validation = frequency_scaling_validation(
-        &workload,
-        &outcome.subset,
-        &ArchConfig::baseline(),
-        &sweep,
-    )?;
+    let validation =
+        frequency_scaling_validation(&workload, &outcome.subset, &ArchConfig::baseline(), &sweep)?;
     let mut table = Table::new(vec!["core MHz", "parent improvement", "subset improvement"]);
     for ((mhz, p), s) in validation
         .points_mhz
@@ -260,10 +334,61 @@ fn run_sweep(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
         .zip(&validation.parent_improvement)
         .zip(&validation.subset_improvement)
     {
-        table.row(vec![format!("{mhz:.0}"), format!("{p:.4}x"), format!("{s:.4}x")]);
+        table.row(vec![
+            format!("{mhz:.0}"),
+            format!("{p:.4}x"),
+            format!("{s:.4}x"),
+        ]);
     }
     writeln!(out, "{}", table.render())?;
     writeln!(out, "correlation: r = {:.4}", validation.correlation)?;
+    Ok(())
+}
+
+/// Runs an instrumented subsetting pass plus an iterated candidate sweep
+/// over the trace and reports the collected metrics — nothing else.
+///
+/// The sweep runs twice on purpose: the second pass replays identical
+/// frames into warm caches, so the report shows steady-state hit rates
+/// rather than cold-start misses.
+fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(trace)?;
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    let result = (|| -> Result<(), CliError> {
+        let sim = Simulator::new(ArchConfig::baseline());
+        Subsetter::new(SubsetConfig::default()).run(&workload, &sim)?;
+        let session = SweepSession::new(&ArchConfig::pathfinding_candidates())?;
+        session.sweep(&workload)?;
+        session.sweep(&workload)?;
+        Ok(())
+    })();
+    let snapshot = subset3d_obs::snapshot();
+    subset3d_obs::set_enabled(false);
+    result?;
+    if json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&snapshot)?)?;
+        return Ok(());
+    }
+    let mut table = Table::new(vec!["metric", "value"]);
+    for (name, value) in &snapshot.counters {
+        table.row(vec![name.clone(), value.to_string()]);
+    }
+    for (name, value) in &snapshot.gauges {
+        table.row(vec![name.clone(), value.to_string()]);
+    }
+    for (name, hist) in &snapshot.histograms {
+        table.row(vec![
+            name.clone(),
+            format!(
+                "n={} total={:.3}ms mean={:.0}ns",
+                hist.count,
+                hist.sum_ns as f64 / 1e6,
+                hist.mean_ns
+            ),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
     Ok(())
 }
 
@@ -318,7 +443,10 @@ mod tests {
     fn subset_export_and_rank_roundtrip() {
         let trace = temp_path("rank-trace");
         let subset = temp_path("rank-subset");
-        run(&["gen", "--out", &trace, "--frames", "10", "--draws", "50", "--seed", "8"]).unwrap();
+        run(&[
+            "gen", "--out", &trace, "--frames", "10", "--draws", "50", "--seed", "8",
+        ])
+        .unwrap();
         let text = run(&["subset", &trace, "--interval", "4", "--out-subset", &subset]).unwrap();
         assert!(text.contains("wrote subset"));
         let rank = run(&["rank", &trace, &subset]).unwrap();
@@ -333,9 +461,23 @@ mod tests {
         let trace_a = temp_path("mismatch-a");
         let trace_b = temp_path("mismatch-b");
         let subset = temp_path("mismatch-subset");
-        run(&["gen", "--out", &trace_a, "--frames", "10", "--draws", "50", "--seed", "1"]).unwrap();
-        run(&["gen", "--out", &trace_b, "--frames", "4", "--draws", "10", "--seed", "2"]).unwrap();
-        run(&["subset", &trace_a, "--interval", "4", "--out-subset", &subset]).unwrap();
+        run(&[
+            "gen", "--out", &trace_a, "--frames", "10", "--draws", "50", "--seed", "1",
+        ])
+        .unwrap();
+        run(&[
+            "gen", "--out", &trace_b, "--frames", "4", "--draws", "10", "--seed", "2",
+        ])
+        .unwrap();
+        run(&[
+            "subset",
+            &trace_a,
+            "--interval",
+            "4",
+            "--out-subset",
+            &subset,
+        ])
+        .unwrap();
         let err = run(&["rank", &trace_b, &subset]).unwrap_err();
         assert!(matches!(err, CliError::Pipeline(_)));
         for p in [&trace_a, &trace_b, &subset] {
@@ -346,7 +488,10 @@ mod tests {
     #[test]
     fn subset_json_mode_emits_parseable_summary() {
         let trace = temp_path("json-trace");
-        run(&["gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4"]).unwrap();
+        run(&[
+            "gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4",
+        ])
+        .unwrap();
         let text = run(&["subset", &trace, "--interval", "4", "--json"]).unwrap();
         let summary: subset3d_core::OutcomeSummary =
             serde_json::from_str(&text).expect("valid JSON summary");
@@ -360,8 +505,14 @@ mod tests {
         let a = temp_path("merge-a");
         let b = temp_path("merge-b");
         let s = temp_path("merge-suite");
-        run(&["gen", "--out", &a, "--frames", "3", "--draws", "15", "--seed", "1"]).unwrap();
-        run(&["gen", "--out", &b, "--frames", "2", "--draws", "15", "--seed", "2"]).unwrap();
+        run(&[
+            "gen", "--out", &a, "--frames", "3", "--draws", "15", "--seed", "1",
+        ])
+        .unwrap();
+        run(&[
+            "gen", "--out", &b, "--frames", "2", "--draws", "15", "--seed", "2",
+        ])
+        .unwrap();
         let text = run(&["merge", "--out", &s, &a, &b]).unwrap();
         assert!(text.contains("5 frames"));
         let info = run(&["info", &s]).unwrap();
@@ -369,6 +520,73 @@ mod tests {
         for p in [&a, &b, &s] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    // Metric recording is process-global, so tests that enable it must
+    // not interleave with each other.
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Splits instrumented output at the `metrics:` marker and parses
+    /// the JSON tail back into a snapshot.
+    fn split_metrics(text: &str) -> (String, subset3d_obs::MetricsSnapshot) {
+        let (head, tail) = text.split_once("\nmetrics:\n").expect("metrics marker");
+        let snapshot = serde_json::from_str(tail).expect("snapshot JSON parses");
+        (head.to_string(), snapshot)
+    }
+
+    #[test]
+    fn subset_metrics_snapshot_round_trips() {
+        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("metrics-trace");
+        run(&[
+            "gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4",
+        ])
+        .unwrap();
+        let text = run(&["subset", &trace, "--interval", "4", "--metrics"]).unwrap();
+        let (head, snapshot) = split_metrics(&text);
+        assert!(head.contains("clustering efficiency"), "normal output kept");
+        assert!(snapshot.enabled);
+        assert!(
+            snapshot.counter("gpusim.draw_cache.misses").unwrap_or(0) > 0,
+            "an instrumented run must observe cache traffic: {snapshot:?}"
+        );
+        assert!(
+            snapshot.histograms.contains_key("pipeline.total_ns"),
+            "stage timing missing"
+        );
+
+        // And with `--json` both documents parse independently.
+        let text = run(&["subset", &trace, "--interval", "4", "--json", "--metrics"]).unwrap();
+        let (head, _snapshot) = split_metrics(&text);
+        let _summary: subset3d_core::OutcomeSummary =
+            serde_json::from_str(&head).expect("summary JSON parses");
+
+        // A plain run stays free of the marker.
+        let text = run(&["subset", &trace, "--interval", "4"]).unwrap();
+        assert!(!text.contains("metrics:"));
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn stats_reports_warm_cache_hits() {
+        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("stats-trace");
+        run(&[
+            "gen", "--out", &trace, "--frames", "6", "--draws", "30", "--seed", "9",
+        ])
+        .unwrap();
+        let text = run(&["stats", &trace, "--json"]).unwrap();
+        let snapshot: subset3d_obs::MetricsSnapshot =
+            serde_json::from_str(&text).expect("pure snapshot JSON");
+        assert!(
+            snapshot.counter("gpusim.frame_cache.hits").unwrap_or(0) > 0,
+            "iterated sweep must hit the frame cache: {snapshot:?}"
+        );
+
+        let table = run(&["stats", &trace]).unwrap();
+        assert!(table.contains("gpusim.draw_cache.hits"));
+        assert!(table.contains("pipeline.total_ns"));
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -29,9 +29,15 @@ USAGE:
                     [--draws N] [--seed N]
     subset3d info   <FILE>
     subset3d subset <FILE> [--threshold X] [--interval N] [--frames-per-phase N]
-                    [--out-subset <JSON>] [--json]
-    subset3d sweep  <FILE> [--threshold X] [--interval N]
+                    [--out-subset <JSON>] [--json] [--metrics]
+    subset3d sweep  <FILE> [--threshold X] [--interval N] [--metrics]
     subset3d rank   <FILE> <SUBSET.JSON>
     subset3d merge  --out <FILE> <TRACE>...
+    subset3d stats  <FILE> [--json]
     subset3d help
+
+`--metrics` records counters, cache statistics and stage timings during
+the run and appends a JSON MetricsSnapshot after the normal output (see
+the `metrics:` marker line). `stats` runs an instrumented subsetting
+pass plus an iterated sweep over a trace and reports only the metrics.
 ";

@@ -28,7 +28,8 @@ pub fn bic_score(points: &[Vec<f64>], clustering: &Clustering) -> f64 {
         if n_c == 0.0 {
             continue;
         }
-        log_likelihood += n_c * n_c.ln() - n_c * n_f.ln()
+        log_likelihood += n_c * n_c.ln()
+            - n_c * n_f.ln()
             - n_c * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
             - (n_c - 1.0) * d / 2.0;
     }
@@ -81,7 +82,11 @@ pub fn select_k_bic(
         let clustering = (0..RESTARTS)
             .map(|r| {
                 KMeans::new(k)
-                    .seed(seed.wrapping_add(k as u64).wrapping_mul(RESTARTS).wrapping_add(r))
+                    .seed(
+                        seed.wrapping_add(k as u64)
+                            .wrapping_mul(RESTARTS)
+                            .wrapping_add(r),
+                    )
                     .fit(points)
             })
             .min_by(|a, b| {
@@ -95,7 +100,8 @@ pub fn select_k_bic(
             best = Some((score, clustering));
         }
     }
-    best.map(|(_, c)| c).expect("at least one candidate k evaluated")
+    best.map(|(_, c)| c)
+        .expect("at least one candidate k evaluated")
 }
 
 #[cfg(test)]
@@ -121,10 +127,7 @@ mod tests {
         for b in 0..k {
             for i in 0..per {
                 let s = (b * per + i) as u64;
-                pts.push(vec![
-                    b as f64 * spacing + jitter(s * 2),
-                    jitter(s * 2 + 1),
-                ]);
+                pts.push(vec![b as f64 * spacing + jitter(s * 2), jitter(s * 2 + 1)]);
             }
         }
         pts
@@ -156,7 +159,10 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert_eq!(bic_score(&[], &Clustering::new(Vec::new(), Vec::new())), f64::NEG_INFINITY);
+        assert_eq!(
+            bic_score(&[], &Clustering::new(Vec::new(), Vec::new())),
+            f64::NEG_INFINITY
+        );
         let c = select_k_bic(&[], 1..=3, 0);
         assert!(c.is_empty());
     }

@@ -20,7 +20,10 @@ impl Clustering {
             assignments.iter().all(|&a| a < centroids.len()),
             "assignment out of centroid range"
         );
-        Clustering { assignments, centroids }
+        Clustering {
+            assignments,
+            centroids,
+        }
     }
 
     /// Cluster index of every point, in input order.

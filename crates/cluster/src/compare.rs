@@ -49,7 +49,11 @@ pub fn rand_index(a: &Clustering, b: &Clustering) -> f64 {
 /// assert_eq!(adjusted_rand_index(&a, &a), 1.0);
 /// ```
 pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
-    assert_eq!(a.point_count(), b.point_count(), "clusterings must cover the same points");
+    assert_eq!(
+        a.point_count(),
+        b.point_count(),
+        "clusterings must cover the same points"
+    );
     let n = a.point_count();
     if n < 2 {
         return 1.0;
@@ -63,9 +67,7 @@ pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
     }
     let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
     let sum_ij: f64 = table.iter().flatten().map(|&x| choose2(x)).sum();
-    let sum_a: f64 = (0..ka)
-        .map(|i| choose2(table[i].iter().sum::<u64>()))
-        .sum();
+    let sum_a: f64 = (0..ka).map(|i| choose2(table[i].iter().sum::<u64>())).sum();
     let sum_b: f64 = (0..kb)
         .map(|j| choose2(table.iter().map(|row| row[j]).sum::<u64>()))
         .sum();
@@ -81,7 +83,11 @@ pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
 
 /// `(n, number of agreeing pairs)` between two clusterings.
 fn pair_agreements(a: &Clustering, b: &Clustering) -> (usize, u64) {
-    assert_eq!(a.point_count(), b.point_count(), "clusterings must cover the same points");
+    assert_eq!(
+        a.point_count(),
+        b.point_count(),
+        "clusterings must cover the same points"
+    );
     let n = a.point_count();
     let aa = a.assignments();
     let bb = b.assignments();

@@ -132,7 +132,8 @@ impl Hierarchical {
             for c in 0..n {
                 if alive[c] && c != a && c != b {
                     let updated =
-                        self.linkage.update(dist[a * n + c], dist[b * n + c], sizes[a], sizes[b]);
+                        self.linkage
+                            .update(dist[a * n + c], dist[b * n + c], sizes[a], sizes[b]);
                     dist[a * n + c] = updated;
                     dist[c * n + a] = updated;
                 }
@@ -178,7 +179,11 @@ impl Hierarchical {
 }
 
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -235,7 +240,9 @@ mod tests {
 
     #[test]
     fn empty_and_single_point() {
-        assert!(Hierarchical::with_cluster_count(Linkage::Single, 2).fit(&[]).is_empty());
+        assert!(Hierarchical::with_cluster_count(Linkage::Single, 2)
+            .fit(&[])
+            .is_empty());
         let c = Hierarchical::with_cluster_count(Linkage::Single, 2).fit(&[vec![1.0]]);
         assert_eq!(c.len(), 1);
     }

@@ -17,7 +17,10 @@ pub fn kmeans_plus_plus(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = Vec::with_capacity(k);
     chosen.push(rng.gen_range(0..points.len()));
-    let mut best_sq: Vec<f64> = points.iter().map(|p| sq_dist(p, &points[chosen[0]])).collect();
+    let mut best_sq: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &points[chosen[0]]))
+        .collect();
     while chosen.len() < k {
         let total: f64 = best_sq.iter().sum();
         let next = if total <= 0.0 {

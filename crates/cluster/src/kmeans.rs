@@ -32,7 +32,11 @@ impl KMeans {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KMeans { k, max_iters: 50, seed: 0 }
+        KMeans {
+            k,
+            max_iters: 50,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed for initialisation.

@@ -28,7 +28,10 @@ pub fn medoid_of(points: &[Vec<f64>], members: &[usize]) -> Option<usize> {
         let mut best = members[0];
         let mut best_total = f64::INFINITY;
         for &i in members {
-            let total: f64 = members.iter().map(|&j| sq_dist(&points[i], &points[j])).sum();
+            let total: f64 = members
+                .iter()
+                .map(|&j| sq_dist(&points[i], &points[j]))
+                .sum();
             if total < best_total {
                 best_total = total;
                 best = i;
@@ -79,7 +82,12 @@ mod tests {
 
     #[test]
     fn exact_medoid_small_cluster() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.9, 0.1], vec![5.0, 5.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![5.0, 5.0],
+        ];
         // Members 0..3 (excluding the far point 3): medoid should be one of
         // the two nearby points, not the origin outlier.
         let m = medoid_of(&pts, &[0, 1, 2]).unwrap();

@@ -60,7 +60,11 @@ pub fn silhouette_score(points: &[Vec<f64>], clustering: &Clustering) -> Option<
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -105,7 +109,9 @@ mod tests {
 
     #[test]
     fn bounded_in_unit_interval() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64).cos(), (i as f64).sin()]).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64).cos(), (i as f64).sin()])
+            .collect();
         let c = KMeans::new(3).seed(2).fit(&pts);
         let s = silhouette_score(&pts, &c).unwrap();
         assert!((-1.0..=1.0).contains(&s));

@@ -31,7 +31,10 @@ impl ThresholdClustering {
     ///
     /// Panics if `threshold` is negative or NaN.
     pub fn new(threshold: f64) -> Self {
-        assert!(threshold >= 0.0, "threshold must be non-negative, got {threshold}");
+        assert!(
+            threshold >= 0.0,
+            "threshold must be non-negative, got {threshold}"
+        );
         ThresholdClustering { threshold }
     }
 
@@ -122,7 +125,9 @@ mod tests {
 
     #[test]
     fn cluster_count_monotone_in_threshold() {
-        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64 * 0.37).sin() * 3.0]).collect();
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i as f64 * 0.37).sin() * 3.0])
+            .collect();
         let mut prev = usize::MAX;
         for t in [0.0, 0.1, 0.5, 1.0, 5.0] {
             let n = ThresholdClustering::new(t).fit(&points).len();

@@ -153,7 +153,7 @@ impl SubsetConfig {
         }
         match self.method {
             ClusterMethod::Threshold { distance } => {
-                if !(distance >= 0.0) {
+                if distance.is_nan() || distance < 0.0 {
                     return fail("threshold distance must be non-negative");
                 }
             }
@@ -212,7 +212,8 @@ mod tests {
         let bad = SubsetConfig::default()
             .with_cluster_method(ClusterMethod::Threshold { distance: f64::NAN });
         assert!(bad.validate().is_err());
-        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansBic { max_k: 0 });
+        let bad =
+            SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansBic { max_k: 0 });
         assert!(bad.validate().is_err());
         let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansFixed { k: 0 });
         assert!(bad.validate().is_err());

@@ -179,8 +179,14 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn setup() -> (Workload, WorkloadCost) {
-        let w = GameProfile::shooter("g").frames(12).draws_per_frame(80).build(41).generate();
-        let cost = Simulator::new(ArchConfig::baseline()).simulate_workload(&w).unwrap();
+        let w = GameProfile::shooter("g")
+            .frames(12)
+            .draws_per_frame(80)
+            .build(41)
+            .generate();
+        let cost = Simulator::new(ArchConfig::baseline())
+            .simulate_workload(&w)
+            .unwrap();
         (w, cost)
     }
 
@@ -224,7 +230,11 @@ mod tests {
         let g = cluster_workload_global(&w, &SubsetConfig::default());
         let p = predict_workload_global(&g, &cost);
         assert_eq!(p.frame_errors.len(), w.frames().len());
-        assert!(p.mean_frame_error() < 0.25, "error {}", p.mean_frame_error());
+        assert!(
+            p.mean_frame_error() < 0.25,
+            "error {}",
+            p.mean_frame_error()
+        );
         assert!((0.0..=1.0).contains(&p.outlier_fraction));
     }
 
@@ -250,8 +260,14 @@ mod tests {
     fn mismatched_costs_rejected() {
         let (w, _) = setup();
         let g = cluster_workload_global(&w, &SubsetConfig::default());
-        let other = GameProfile::shooter("o").frames(2).draws_per_frame(10).build(1).generate();
-        let cost = Simulator::new(ArchConfig::baseline()).simulate_workload(&other).unwrap();
+        let other = GameProfile::shooter("o")
+            .frames(2)
+            .draws_per_frame(10)
+            .build(1)
+            .generate();
+        let cost = Simulator::new(ArchConfig::baseline())
+            .simulate_workload(&other)
+            .unwrap();
         predict_workload_global(&g, &cost);
     }
 }

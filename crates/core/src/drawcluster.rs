@@ -4,7 +4,12 @@ use crate::config::{ClusterMethod, SubsetConfig};
 use serde::{Deserialize, Serialize};
 use subset3d_cluster::{medoid_of, select_k_bic, KMeans, ThresholdClustering};
 use subset3d_features::extract_frame_features;
+use subset3d_obs::LazyHistogram;
 use subset3d_trace::{Frame, Workload};
+
+// Per-frame feature-extraction wall time; one sample per clustered
+// frame, recorded inside the parallel clustering stage.
+static OBS_FEATURES: LazyHistogram = LazyHistogram::new("pipeline.feature_extraction_ns");
 
 /// One cluster of similar draws within a frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,7 +88,9 @@ pub fn cluster_frame(frame: &Frame, workload: &Workload, config: &SubsetConfig) 
             draw_count: 0,
         };
     }
+    let feature_span = subset3d_obs::span(&OBS_FEATURES);
     let mut matrix = extract_frame_features(frame, workload, config.features.clone());
+    feature_span.end();
     matrix.normalize(config.normalization);
     if config.cost_weighting {
         matrix.apply_cost_weights();
@@ -131,7 +138,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(3).draws_per_frame(80).build(4).generate()
+        GameProfile::shooter("t")
+            .frames(3)
+            .draws_per_frame(80)
+            .build(4)
+            .generate()
     }
 
     fn config() -> SubsetConfig {
@@ -238,7 +249,10 @@ mod tests {
     #[test]
     fn pca_on_single_draw_frame_falls_back() {
         let w = workload();
-        let one = Frame::new(subset3d_trace::FrameId(77), vec![w.frames()[0].draws()[0].clone()]);
+        let one = Frame::new(
+            subset3d_trace::FrameId(77),
+            vec![w.frames()[0].draws()[0].clone()],
+        );
         let fc = cluster_frame(&one, &w, &config().with_pca(Some(4)));
         assert_eq!(fc.cluster_count(), 1);
     }

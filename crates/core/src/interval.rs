@@ -71,7 +71,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload(frames: usize) -> Workload {
-        GameProfile::shooter("t").frames(frames).draws_per_frame(20).build(3).generate()
+        GameProfile::shooter("t")
+            .frames(frames)
+            .draws_per_frame(20)
+            .build(3)
+            .generate()
     }
 
     #[test]

@@ -89,7 +89,9 @@ mod tests {
             })
             .collect();
         PhaseAnalysis {
-            intervals: (0..seq.len()).map(|i| FrameInterval { start: i, len: 1 }).collect(),
+            intervals: (0..seq.len())
+                .map(|i| FrameInterval { start: i, len: 1 })
+                .collect(),
             interval_phase: seq.to_vec(),
             phases,
         }
@@ -123,8 +125,15 @@ mod tests {
     #[test]
     fn shooter_workload_recurs() {
         use subset3d_trace::gen::GameProfile;
-        let w = GameProfile::shooter("t").frames(120).draws_per_frame(60).build(13).generate();
-        let analysis = crate::PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let w = GameProfile::shooter("t")
+            .frames(120)
+            .draws_per_frame(60)
+            .build(13)
+            .generate();
+        let analysis = crate::PhaseDetector::new(5)
+            .with_similarity(0.85)
+            .detect(&w)
+            .unwrap();
         let pattern = PhasePattern::of(&analysis);
         assert!(pattern.has_recurrence(), "runs: {:?}", pattern.runs);
     }

@@ -56,7 +56,12 @@ impl PhaseAnalysis {
         if self.intervals.is_empty() {
             return 0.0;
         }
-        let repeated: usize = self.phases.iter().filter(|p| p.repeats()).map(Phase::occurrences).sum();
+        let repeated: usize = self
+            .phases
+            .iter()
+            .filter(|p| p.repeats())
+            .map(Phase::occurrences)
+            .sum();
         repeated as f64 / self.intervals.len() as f64
     }
 
@@ -166,7 +171,9 @@ impl PhaseDetector {
                 // Matching against the founder (not an accumulated union)
                 // keeps membership stable: a phase's vocabulary does not
                 // drift as members join.
-                match phases.iter().position(|p| p.signature.jaccard(&signature) >= self.similarity)
+                match phases
+                    .iter()
+                    .position(|p| p.signature.jaccard(&signature) >= self.similarity)
                 {
                     Some(id) => id,
                     None => {
@@ -191,7 +198,10 @@ impl PhaseDetector {
             let mut members = phase.intervals.clone();
             members.sort_by_key(|&i| {
                 let iv = intervals[i];
-                workload.frames()[iv.frames()].iter().map(subset3d_trace::Frame::draw_count).sum::<usize>()
+                workload.frames()[iv.frames()]
+                    .iter()
+                    .map(subset3d_trace::Frame::draw_count)
+                    .sum::<usize>()
             });
             phase.representative = members[members.len() / 2];
         }
@@ -218,7 +228,10 @@ mod tests {
             .draws_per_frame(120)
             .build(21)
             .generate_with_truth();
-        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let analysis = PhaseDetector::new(5)
+            .with_similarity(0.85)
+            .detect(&w)
+            .unwrap();
 
         // Map each interval to its dominant ground-truth kind.
         let dominant_kind = |iv: &FrameInterval| {
@@ -239,10 +252,19 @@ mod tests {
             }
         }
         let explore0 = &by_kind[&PhaseKind::Explore(0)];
-        assert!(explore0.len() >= 2, "need at least two pure Explore(0) intervals");
-        let ids: std::collections::BTreeSet<usize> =
-            explore0.iter().map(|&i| analysis.interval_phase[i]).collect();
-        assert_eq!(ids.len(), 1, "Explore(0) intervals split across phases {ids:?}");
+        assert!(
+            explore0.len() >= 2,
+            "need at least two pure Explore(0) intervals"
+        );
+        let ids: std::collections::BTreeSet<usize> = explore0
+            .iter()
+            .map(|&i| analysis.interval_phase[i])
+            .collect();
+        assert_eq!(
+            ids.len(),
+            1,
+            "Explore(0) intervals split across phases {ids:?}"
+        );
     }
 
     #[test]
@@ -252,7 +274,10 @@ mod tests {
             .draws_per_frame(120)
             .build(22)
             .generate_with_truth();
-        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let analysis = PhaseDetector::new(5)
+            .with_similarity(0.85)
+            .detect(&w)
+            .unwrap();
         let mut phase_of_kind: std::collections::BTreeMap<PhaseKind, usize> = Default::default();
         for (i, iv) in analysis.intervals.iter().enumerate() {
             let kinds: std::collections::BTreeSet<PhaseKind> =
@@ -272,7 +297,11 @@ mod tests {
 
     #[test]
     fn exact_equality_groups_identical_vectors() {
-        let w = GameProfile::racing("t").frames(80).draws_per_frame(60).build(9).generate();
+        let w = GameProfile::racing("t")
+            .frames(80)
+            .draws_per_frame(60)
+            .build(9)
+            .generate();
         let analysis = PhaseDetector::new(4).detect(&w).unwrap();
         // Sanity: interval/phase bookkeeping is consistent.
         assert_eq!(analysis.interval_phase.len(), analysis.intervals.len());
@@ -287,14 +316,25 @@ mod tests {
     #[test]
     fn racing_script_has_high_repeat_coverage() {
         // Laps: the racing script repeats the same areas many times.
-        let w = GameProfile::racing("t").frames(100).draws_per_frame(80).build(10).generate();
-        let analysis = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let w = GameProfile::racing("t")
+            .frames(100)
+            .draws_per_frame(80)
+            .build(10)
+            .generate();
+        let analysis = PhaseDetector::new(5)
+            .with_similarity(0.85)
+            .detect(&w)
+            .unwrap();
         assert!(
             analysis.repeat_coverage() > 0.5,
             "coverage {}",
             analysis.repeat_coverage()
         );
-        assert!(analysis.compression() < 0.6, "compression {}", analysis.compression());
+        assert!(
+            analysis.compression() < 0.6,
+            "compression {}",
+            analysis.compression()
+        );
     }
 
     #[test]

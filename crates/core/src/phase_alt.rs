@@ -60,7 +60,10 @@ pub fn detect_phases_by_load(
     while start < frames.len() {
         let len = interval_len.min(frames.len() - start);
         let interval = FrameInterval { start, len };
-        let draws: usize = frames[interval.frames()].iter().map(|f| f.draw_count()).sum();
+        let draws: usize = frames[interval.frames()]
+            .iter()
+            .map(|f| f.draw_count())
+            .sum();
         intervals.push(interval);
         loads.push(draws as f64 / len as f64);
         start += len;
@@ -97,7 +100,10 @@ pub fn detect_phases_by_load(
     for phase in &mut phases {
         let mut members = phase.intervals.clone();
         members.sort_by_key(|&i| {
-            frames[intervals[i].frames()].iter().map(|f| f.draw_count()).sum::<usize>()
+            frames[intervals[i].frames()]
+                .iter()
+                .map(|f| f.draw_count())
+                .sum::<usize>()
         });
         phase.representative = members[members.len() / 2];
     }
@@ -115,7 +121,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(60).draws_per_frame(100).build(61).generate()
+        GameProfile::shooter("t")
+            .frames(60)
+            .draws_per_frame(100)
+            .build(61)
+            .generate()
     }
 
     #[test]
@@ -153,9 +163,8 @@ mod tests {
             by_load.intervals.iter().enumerate().find_map(|(i, iv)| {
                 let kinds: std::collections::BTreeSet<_> =
                     iv.frames().map(|f| truth.per_frame[f]).collect();
-                (kinds.len() == 1
-                    && kinds.contains(&subset3d_trace::gen::PhaseKind::Explore(area)))
-                .then_some(i)
+                (kinds.len() == 1 && kinds.contains(&subset3d_trace::gen::PhaseKind::Explore(area)))
+                    .then_some(i)
             })
         };
         if let (Some(a), Some(b)) = (pure(0), pure(1)) {

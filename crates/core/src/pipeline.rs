@@ -10,8 +10,17 @@ use crate::predict::{predict_frame, FramePrediction};
 use crate::subset::WorkloadSubset;
 use serde::{Deserialize, Serialize};
 use subset3d_gpusim::Simulator;
+use subset3d_obs::LazyHistogram;
 use subset3d_stats::{mean, mean_iter};
 use subset3d_trace::Workload;
+
+// Wall time per pipeline stage; `pipeline.total_ns` spans one whole
+// `Subsetter::run`, the rest partition it (modulo glue code).
+static OBS_TOTAL: LazyHistogram = LazyHistogram::new("pipeline.total_ns");
+static OBS_CLUSTERING: LazyHistogram = LazyHistogram::new("pipeline.clustering_ns");
+static OBS_EVALUATION: LazyHistogram = LazyHistogram::new("pipeline.evaluation_ns");
+static OBS_PHASES: LazyHistogram = LazyHistogram::new("pipeline.phase_detection_ns");
+static OBS_SUBSET: LazyHistogram = LazyHistogram::new("pipeline.subset_build_ns");
 
 /// Per-workload clustering evaluation: the paper's Table-2 row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,11 +145,15 @@ impl Subsetter {
         if workload.frames().is_empty() {
             return Err(SubsetError::EmptyWorkload);
         }
+        let _total = subset3d_obs::span(&OBS_TOTAL);
 
+        let clustering_span = subset3d_obs::span(&OBS_CLUSTERING);
         let clusterings = self.cluster_all_frames(workload);
+        clustering_span.end();
 
         // Ground-truth frame costs and prediction quality (sequential: the
         // analytical simulator is far cheaper than clustering).
+        let evaluation_span = subset3d_obs::span(&OBS_EVALUATION);
         let mut frames = Vec::with_capacity(workload.frames().len());
         let mut efficiencies = Vec::with_capacity(workload.frames().len());
         for (frame, clustering) in workload.frames().iter().zip(&clusterings) {
@@ -152,13 +165,23 @@ impl Subsetter {
             frames,
             efficiencies,
         };
+        evaluation_span.end();
 
+        let phase_span = subset3d_obs::span(&OBS_PHASES);
         let phases = PhaseDetector::new(self.config.interval_len)
             .with_similarity(self.config.phase_similarity)
             .detect(workload)?;
         let pattern = PhasePattern::of(&phases);
-        let subset =
-            WorkloadSubset::build(workload, &phases, &clusterings, self.config.frames_per_phase);
+        phase_span.end();
+
+        let subset_span = subset3d_obs::span(&OBS_SUBSET);
+        let subset = WorkloadSubset::build(
+            workload,
+            &phases,
+            &clusterings,
+            self.config.frames_per_phase,
+        );
+        subset_span.end();
 
         Ok(SubsettingOutcome {
             clusterings,
@@ -185,14 +208,20 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(30).draws_per_frame(60).build(23).generate()
+        GameProfile::shooter("t")
+            .frames(30)
+            .draws_per_frame(60)
+            .build(23)
+            .generate()
     }
 
     #[test]
     fn full_pipeline_runs() {
         let w = workload();
         let sim = Simulator::new(ArchConfig::baseline());
-        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let outcome = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
         assert_eq!(outcome.clusterings.len(), w.frames().len());
         assert_eq!(outcome.evaluation.frames.len(), w.frames().len());
         assert!(outcome.evaluation.mean_efficiency() > 0.0);
@@ -205,7 +234,9 @@ mod tests {
     fn outcome_summary_is_consistent_and_serialisable() {
         let w = workload();
         let sim = Simulator::new(ArchConfig::baseline());
-        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let outcome = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
         let summary = outcome.summary(&w);
         assert_eq!(summary.frames, w.frames().len());
         assert_eq!(summary.draws, w.total_draws());
@@ -222,8 +253,11 @@ mod tests {
         let config = SubsetConfig::default();
         let subsetter = Subsetter::new(config.clone());
         let parallel = subsetter.cluster_all_frames(&w);
-        let sequential: Vec<FrameClustering> =
-            w.frames().iter().map(|f| cluster_frame(f, &w, &config)).collect();
+        let sequential: Vec<FrameClustering> = w
+            .frames()
+            .iter()
+            .map(|f| cluster_frame(f, &w, &config))
+            .collect();
         assert_eq!(parallel, sequential);
     }
 
@@ -258,8 +292,12 @@ mod tests {
     fn deterministic_outcome() {
         let w = workload();
         let sim = Simulator::new(ArchConfig::baseline());
-        let a = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
-        let b = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let a = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
+        let b = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

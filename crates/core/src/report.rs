@@ -40,7 +40,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
         self
     }

@@ -140,7 +140,11 @@ mod tests {
     #[test]
     fn interval_vector_is_union_of_frames() {
         use subset3d_trace::gen::GameProfile;
-        let w = GameProfile::shooter("g").frames(6).draws_per_frame(30).build(2).generate();
+        let w = GameProfile::shooter("g")
+            .frames(6)
+            .draws_per_frame(30)
+            .build(2)
+            .generate();
         let joint = ShaderVector::of_frames(&w.frames()[0..3]);
         for f in &w.frames()[0..3] {
             for s in f.shader_set() {

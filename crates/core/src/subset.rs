@@ -99,9 +99,11 @@ impl WorkloadSubset {
             // frames by a *cost proxy* built only from API-observable
             // quantities (shaded pixels, vertices, draw count) normalises
             // that load difference while staying µarch-independent.
-            let phase_work: f64 = phase_frames.iter().map(|&f| frame_work_proxy(workload, f)).sum();
-            let chosen =
-                select_typical_frames(workload, &phase_frames, frames_per_phase);
+            let phase_work: f64 = phase_frames
+                .iter()
+                .map(|&f| frame_work_proxy(workload, f))
+                .sum();
+            let chosen = select_typical_frames(workload, &phase_frames, frames_per_phase);
             let chosen_work: f64 = chosen.iter().map(|&f| frame_work_proxy(workload, f)).sum();
             let weight = if chosen_work == 0.0 {
                 0.0
@@ -207,10 +209,7 @@ impl WorkloadSubset {
             for sd in &sf.draws {
                 let draw = frame.draws().get(sd.draw_index).ok_or_else(|| {
                     SubsetError::SubsetMismatch {
-                        reason: format!(
-                            "draw {} not in frame {}",
-                            sd.draw_index, sf.frame_index
-                        ),
+                        reason: format!("draw {} not in frame {}", sd.draw_index, sf.frame_index),
                     }
                 })?;
                 draws.push(draw.clone());
@@ -259,10 +258,7 @@ impl WorkloadSubset {
             for sd in &sf.draws {
                 if sd.draw_index >= frame.draw_count() {
                     return Err(SubsetError::SubsetMismatch {
-                        reason: format!(
-                            "draw {} not in frame {}",
-                            sd.draw_index, sf.frame_index
-                        ),
+                        reason: format!("draw {} not in frame {}", sd.draw_index, sf.frame_index),
                     });
                 }
                 if sd.weight <= 0.0 {
@@ -294,11 +290,7 @@ fn frame_work_proxy(workload: &Workload, frame_index: usize) -> f64 {
 /// frames whose per-pixel-shader draw distribution is closest (L1) to the
 /// phase's aggregate distribution. Shader-usage histograms are
 /// API-observable, so the selection stays micro-architecture independent.
-fn select_typical_frames(
-    workload: &Workload,
-    phase_frames: &[usize],
-    count: usize,
-) -> Vec<usize> {
+fn select_typical_frames(workload: &Workload, phase_frames: &[usize], count: usize) -> Vec<usize> {
     use std::collections::BTreeMap;
     if phase_frames.is_empty() {
         return Vec::new();
@@ -357,8 +349,16 @@ fn select_typical_frames(
             (l1 + 0.5 * volume, f)
         })
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
-    let mut out: Vec<usize> = scored.into_iter().take(count.max(1)).map(|(_, f)| f).collect();
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut out: Vec<usize> = scored
+        .into_iter()
+        .take(count.max(1))
+        .map(|(_, f)| f)
+        .collect();
     out.sort_unstable();
     out
 }
@@ -373,11 +373,21 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn setup() -> (Workload, PhaseAnalysis, Vec<FrameClustering>) {
-        let w = GameProfile::shooter("t").frames(40).draws_per_frame(60).build(17).generate();
-        let phases = PhaseDetector::new(5).with_similarity(0.85).detect(&w).unwrap();
+        let w = GameProfile::shooter("t")
+            .frames(40)
+            .draws_per_frame(60)
+            .build(17)
+            .generate();
+        let phases = PhaseDetector::new(5)
+            .with_similarity(0.85)
+            .detect(&w)
+            .unwrap();
         let config = SubsetConfig::default();
-        let clusterings: Vec<FrameClustering> =
-            w.frames().iter().map(|f| cluster_frame(f, &w, &config)).collect();
+        let clusterings: Vec<FrameClustering> = w
+            .frames()
+            .iter()
+            .map(|f| cluster_frame(f, &w, &config))
+            .collect();
         (w, phases, clusterings)
     }
 
@@ -439,7 +449,11 @@ mod tests {
     fn replay_on_wrong_workload_is_mismatch() {
         let (w, phases, clusterings) = setup();
         let subset = WorkloadSubset::build(&w, &phases, &clusterings, 1);
-        let tiny = GameProfile::shooter("other").frames(2).draws_per_frame(5).build(1).generate();
+        let tiny = GameProfile::shooter("other")
+            .frames(2)
+            .draws_per_frame(5)
+            .build(1)
+            .generate();
         let sim = Simulator::new(ArchConfig::baseline());
         assert!(matches!(
             subset.replay(&tiny, &sim),
@@ -451,7 +465,11 @@ mod tests {
     fn typical_frames_prefer_majority_composition() {
         // Frames 0..3 share one composition; frame 3 is an outlier with a
         // very different draw count — selection must prefer the majority.
-        let w = GameProfile::shooter("t").frames(20).draws_per_frame(80).build(31).generate();
+        let w = GameProfile::shooter("t")
+            .frames(20)
+            .draws_per_frame(80)
+            .build(31)
+            .generate();
         let all: Vec<usize> = (0..w.frames().len()).collect();
         let chosen = select_typical_frames(&w, &all, 2);
         assert_eq!(chosen.len(), 2);
@@ -466,7 +484,11 @@ mod tests {
 
     #[test]
     fn typical_frames_handles_edge_cases() {
-        let w = GameProfile::shooter("t").frames(5).draws_per_frame(20).build(32).generate();
+        let w = GameProfile::shooter("t")
+            .frames(5)
+            .draws_per_frame(20)
+            .build(32)
+            .generate();
         assert!(select_typical_frames(&w, &[], 3).is_empty());
         let single = select_typical_frames(&w, &[2], 3);
         assert_eq!(single, vec![2]);

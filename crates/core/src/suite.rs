@@ -22,24 +22,45 @@ pub struct SuiteOutcome {
 impl SuiteOutcome {
     /// Corpus-average per-frame prediction error (paper: 1.0 %).
     pub fn mean_prediction_error(&self) -> f64 {
-        mean(&self.games.iter().map(|(_, o)| o.evaluation.mean_prediction_error()).collect::<Vec<_>>())
+        mean(
+            &self
+                .games
+                .iter()
+                .map(|(_, o)| o.evaluation.mean_prediction_error())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Corpus-average clustering efficiency (paper: 65.8 %).
     pub fn mean_efficiency(&self) -> f64 {
-        mean(&self.games.iter().map(|(_, o)| o.evaluation.mean_efficiency()).collect::<Vec<_>>())
+        mean(
+            &self
+                .games
+                .iter()
+                .map(|(_, o)| o.evaluation.mean_efficiency())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Corpus-average outlier fraction (paper: 3.0 %).
     pub fn mean_outlier_fraction(&self) -> f64 {
-        mean(&self.games.iter().map(|(_, o)| o.evaluation.outlier_fraction()).collect::<Vec<_>>())
+        mean(
+            &self
+                .games
+                .iter()
+                .map(|(_, o)| o.evaluation.outlier_fraction())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Suite-wide subset size: kept draws over parent draws across all
     /// games.
     pub fn suite_draw_fraction(&self, workloads: &[Workload]) -> f64 {
-        let kept: usize =
-            self.games.iter().map(|(_, o)| o.subset.selected_draw_count()).sum();
+        let kept: usize = self
+            .games
+            .iter()
+            .map(|(_, o)| o.subset.selected_draw_count())
+            .sum();
         let parent: usize = workloads.iter().map(Workload::total_draws).sum();
         if parent == 0 {
             0.0
@@ -141,8 +162,16 @@ mod tests {
 
     fn suite() -> Vec<Workload> {
         vec![
-            GameProfile::shooter("a").frames(12).draws_per_frame(60).build(51).generate(),
-            GameProfile::racing("b").frames(12).draws_per_frame(60).build(52).generate(),
+            GameProfile::shooter("a")
+                .frames(12)
+                .draws_per_frame(60)
+                .build(51)
+                .generate(),
+            GameProfile::racing("b")
+                .frames(12)
+                .draws_per_frame(60)
+                .build(52)
+                .generate(),
         ]
     }
 
@@ -167,8 +196,7 @@ mod tests {
         let outcome = subset_suite(&workloads, &SubsetConfig::default(), &sim).unwrap();
         let sweep = FrequencySweep::new(vec![500.0, 900.0, 1300.0]);
         let (parent, subset, r) =
-            validate_suite_scaling(&workloads, &outcome, &ArchConfig::baseline(), &sweep)
-                .unwrap();
+            validate_suite_scaling(&workloads, &outcome, &ArchConfig::baseline(), &sweep).unwrap();
         assert_eq!(parent.len(), 3);
         assert_eq!(subset.len(), 3);
         assert!(r > 0.99, "r = {r}");

@@ -109,9 +109,15 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn setup() -> (Workload, WorkloadSubset) {
-        let w = GameProfile::shooter("t").frames(30).draws_per_frame(80).build(19).generate();
+        let w = GameProfile::shooter("t")
+            .frames(30)
+            .draws_per_frame(80)
+            .build(19)
+            .generate();
         let sim = Simulator::new(ArchConfig::baseline());
-        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let outcome = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
         (w, outcome.subset)
     }
 
@@ -119,8 +125,7 @@ mod tests {
     fn scaling_correlation_is_high() {
         let (w, subset) = setup();
         let sweep = FrequencySweep::new(vec![400.0, 700.0, 1000.0, 1300.0]);
-        let v =
-            frequency_scaling_validation(&w, &subset, &ArchConfig::baseline(), &sweep).unwrap();
+        let v = frequency_scaling_validation(&w, &subset, &ArchConfig::baseline(), &sweep).unwrap();
         assert_eq!(v.parent_improvement.len(), 4);
         assert_eq!(v.parent_improvement[0], 1.0);
         assert!(v.correlation > 0.99, "correlation {}", v.correlation);

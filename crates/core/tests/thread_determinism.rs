@@ -3,8 +3,10 @@
 //! Simulation, clustering, and sweeps all fan out over the shared
 //! `subset3d-exec` pool; every result must be bit-identical whether the
 //! pool runs one worker, two, or as many as the machine offers (the same
-//! counts `SUBSET3D_THREADS` can pin). A single `#[test]` drives all
-//! thread counts because the pool is process-global.
+//! counts `SUBSET3D_THREADS` can pin). Metric recording must be equally
+//! invisible: the same runs repeat with `subset3d_obs` enabled and are
+//! held to the same reference. A single `#[test]` drives all thread
+//! counts because the pool (and the metrics registry) is process-global.
 
 use subset3d_core::{SubsetConfig, Subsetter, SubsettingOutcome};
 use subset3d_gpusim::{
@@ -28,9 +30,15 @@ fn observe(workload: &Workload) -> Observed {
     let session = SweepSession::new(&candidates).unwrap();
     Observed {
         cost: sim.simulate_workload(workload).unwrap(),
-        outcome: Subsetter::new(SubsetConfig::default()).run(workload, &sim).unwrap(),
-        freq_points: sweep_frequencies(workload, &ArchConfig::baseline(), &FrequencySweep::standard())
+        outcome: Subsetter::new(SubsetConfig::default())
+            .run(workload, &sim)
             .unwrap(),
+        freq_points: sweep_frequencies(
+            workload,
+            &ArchConfig::baseline(),
+            &FrequencySweep::standard(),
+        )
+        .unwrap(),
         config_points: sweep_configs(workload, &candidates).unwrap(),
         session_points: session.sweep(workload).unwrap(),
     }
@@ -39,7 +47,11 @@ fn observe(workload: &Workload) -> Observed {
 #[test]
 fn results_are_bit_identical_at_any_thread_count() {
     // Large enough that simulate_workload takes its parallel path.
-    let workload = GameProfile::shooter("det").frames(6).draws_per_frame(250).build(9).generate();
+    let workload = GameProfile::shooter("det")
+        .frames(6)
+        .draws_per_frame(250)
+        .build(9)
+        .generate();
     assert!(workload.total_draws() >= 1000);
 
     let max = subset3d_exec::default_threads().max(4);
@@ -49,8 +61,69 @@ fn results_are_bit_identical_at_any_thread_count() {
     for threads in [2, max] {
         subset3d_exec::set_thread_count(threads);
         let observed = observe(&workload);
-        assert_eq!(observed.cost, reference.cost, "WorkloadCost at {threads} threads");
-        assert_eq!(observed.outcome, reference.outcome, "pipeline outcome at {threads} threads");
+        compare(&observed, &reference, threads);
+    }
+
+    // Metrics observe, they never steer: with recording enabled the
+    // results must still match the metrics-off reference bit for bit,
+    // at every thread count.
+    for threads in [1, 2, 8] {
+        subset3d_exec::set_thread_count(threads);
+        subset3d_obs::reset();
+        subset3d_obs::set_enabled(true);
+        let observed = observe(&workload);
+        let snapshot = subset3d_obs::snapshot();
+        subset3d_obs::set_enabled(false);
+        compare(&observed, &reference, threads);
+        assert!(
+            snapshot.counter("gpusim.draw_cache.misses").unwrap_or(0) > 0,
+            "instrumented run recorded no cache traffic at {threads} threads: {snapshot:?}"
+        );
+    }
+
+    // An iterated sweep session replays identical frames into warm
+    // caches; the snapshot must show the hits. A small workload keeps
+    // every simulator under the Auto adaptation window and below the
+    // parallel-dispatch threshold, so its cross-frame draw repetition
+    // yields the same hit counts at any thread count.
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    let small = GameProfile::shooter("warm")
+        .frames(4)
+        .draws_per_frame(50)
+        .build(2)
+        .generate();
+    let session = SweepSession::new(&ArchConfig::pathfinding_candidates()).unwrap();
+    let first = session.sweep(&small).unwrap();
+    let second = session.sweep(&small).unwrap();
+    let snapshot = subset3d_obs::snapshot();
+    subset3d_obs::set_enabled(false);
+    assert_eq!(first, second, "warm sweep must be bit-identical");
+    assert!(
+        snapshot.counter("gpusim.draw_cache.hits").unwrap_or(0) > 0,
+        "iterated sweep must hit the draw cache: {snapshot:?}"
+    );
+    assert!(
+        snapshot.counter("gpusim.frame_cache.hits").unwrap_or(0) > 0,
+        "iterated sweep must hit the frame cache: {snapshot:?}"
+    );
+    assert_eq!(
+        snapshot.counter("gpusim.draw_cache.bypassed"),
+        Some(0),
+        "sub-window stream must keep memoizing"
+    );
+}
+
+fn compare(observed: &Observed, reference: &Observed, threads: usize) {
+    {
+        assert_eq!(
+            observed.cost, reference.cost,
+            "WorkloadCost at {threads} threads"
+        );
+        assert_eq!(
+            observed.outcome, reference.outcome,
+            "pipeline outcome at {threads} threads"
+        );
         assert_eq!(
             observed.freq_points, reference.freq_points,
             "frequency sweep at {threads} threads"

@@ -40,12 +40,23 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
+use subset3d_obs::{LazyCounter, LazyHistogram};
 
 /// Environment variable overriding the global pool's thread count.
 pub const THREADS_ENV: &str = "SUBSET3D_THREADS";
+
+// Executor metrics (recorded only while `subset3d_obs` is enabled):
+// batches dispatched, items executed on the caller vs. each worker,
+// claim attempts that found the batch already drained, and how long a
+// batch sat in the channel before the first worker picked it up.
+static OBS_BATCHES: LazyCounter = LazyCounter::new("exec.batches");
+static OBS_CALLER_TASKS: LazyCounter = LazyCounter::new("exec.caller.tasks");
+static OBS_STEAL_EMPTY: LazyCounter = LazyCounter::new("exec.steal.empty");
+static OBS_QUEUE_WAIT: LazyHistogram = LazyHistogram::new("exec.queue_wait_ns");
 
 // ---- batch ------------------------------------------------------------
 
@@ -66,16 +77,37 @@ struct Batch {
     run: Box<dyn Fn(usize) + Send + Sync>,
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// When the batch was announced to the workers. `Some` only while
+    /// metrics are enabled, so the disabled path never samples a clock.
+    enqueued: Option<Instant>,
+    /// Set once the queue-wait sample has been recorded (first worker
+    /// to dequeue the batch wins).
+    wait_recorded: AtomicBool,
 }
 
 impl Batch {
-    /// Claims and executes items until the batch is exhausted.
-    fn work(&self) {
+    /// Records how long the batch waited in the channel; called by each
+    /// worker on receipt, samples only the first arrival.
+    fn note_dequeued(&self) {
+        if let Some(enqueued) = self.enqueued {
+            if !self.wait_recorded.swap(true, Ordering::Relaxed) {
+                let ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                OBS_QUEUE_WAIT.record(ns);
+            }
+        }
+    }
+
+    /// Claims and executes items until the batch is exhausted; returns
+    /// how many items this thread executed.
+    fn work(&self) -> usize {
+        let mut executed = 0;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
+                OBS_STEAL_EMPTY.incr();
                 break;
             }
+            executed += 1;
             if !self.poisoned.load(Ordering::Relaxed) {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run)(i))) {
                     self.poisoned.store(true, Ordering::Relaxed);
@@ -90,6 +122,7 @@ impl Batch {
                 self.done_cv.notify_all();
             }
         }
+        executed
     }
 
     /// Blocks until every item has settled.
@@ -113,7 +146,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 
@@ -128,11 +163,16 @@ impl ThreadPool {
             let handles = (0..threads - 1)
                 .map(|i| {
                     let rx: Receiver<Arc<Batch>> = rx.clone();
+                    // Resolved once per worker; every pool reuses the
+                    // same per-slot names, so counts accumulate across
+                    // pool resizes.
+                    let tasks = subset3d_obs::counter(&format!("exec.worker.{i}.tasks"));
                     std::thread::Builder::new()
                         .name(format!("subset3d-exec-{i}"))
                         .spawn(move || {
                             for batch in rx.iter() {
-                                batch.work();
+                                batch.note_dequeued();
+                                tasks.add(batch.work() as u64);
                             }
                         })
                         .expect("spawn pool worker")
@@ -142,7 +182,11 @@ impl ThreadPool {
         } else {
             (None, Vec::new())
         };
-        Self { threads, sender, workers: Mutex::new(workers) }
+        Self {
+            threads,
+            sender,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// Total parallelism of this pool, caller included.
@@ -202,7 +246,10 @@ impl ThreadPool {
                 run,
                 done: Mutex::new(false),
                 done_cv: Condvar::new(),
+                enqueued: subset3d_obs::enabled().then(Instant::now),
+                wait_recorded: AtomicBool::new(false),
             });
+            OBS_BATCHES.incr();
             if let Some(sender) = &self.sender {
                 // Announce once per worker; a worker that arrives after
                 // the batch drained exits its loop immediately.
@@ -210,7 +257,7 @@ impl ThreadPool {
                     let _ = sender.send(Arc::clone(&batch));
                 }
             }
-            batch.work();
+            OBS_CALLER_TASKS.add(batch.work() as u64);
             batch.wait();
 
             let panic_payload = batch.panic.lock().take();
@@ -293,7 +340,9 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The process-wide shared pool, created on first use.
@@ -431,10 +480,12 @@ mod tests {
         let inner_pool = Arc::clone(&pool);
         let got = pool.par_map_indexed(&outer, |_, &o| {
             let inner: Vec<usize> = (0..50).collect();
-            inner_pool.par_map_indexed(&inner, |_, &i| o * 100 + i).iter().sum::<usize>()
+            inner_pool
+                .par_map_indexed(&inner, |_, &i| o * 100 + i)
+                .iter()
+                .sum::<usize>()
         });
-        let expected: Vec<usize> =
-            (0..8).map(|o| (0..50).map(|i| o * 100 + i).sum()).collect();
+        let expected: Vec<usize> = (0..8).map(|o| (0..50).map(|i| o * 100 + i).sum()).collect();
         assert_eq!(got, expected);
     }
 
@@ -448,6 +499,44 @@ mod tests {
         assert_eq!(thread_count(), 1);
         let b = par_map_indexed(&items, |i, x| u64::from(*x) + i as u64);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_attribute_every_executed_task() {
+        subset3d_obs::reset();
+        subset3d_obs::set_enabled(true);
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..10_000).collect();
+        let got = pool.par_map_indexed(&items, |_, x| x + 1);
+
+        // A worker attributes its task count after its last claim, which
+        // can land just after the caller unblocks — poll briefly.
+        let attributed = |snap: &subset3d_obs::MetricsSnapshot| {
+            let caller = snap.counter("exec.caller.tasks").unwrap_or(0);
+            let workers: u64 = snap
+                .counters
+                .iter()
+                .filter(|(name, _)| name.starts_with("exec.worker."))
+                .map(|(_, n)| n)
+                .sum();
+            caller + workers
+        };
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let mut snap = subset3d_obs::snapshot();
+        while attributed(&snap) < items.len() as u64 && Instant::now() < deadline {
+            std::thread::yield_now();
+            snap = subset3d_obs::snapshot();
+        }
+        subset3d_obs::set_enabled(false);
+        subset3d_obs::reset();
+
+        assert_eq!(got, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        // Other tests may run batches concurrently, so lower bounds only.
+        assert!(snap.counter("exec.batches").unwrap_or(0) >= 1);
+        assert!(
+            attributed(&snap) >= items.len() as u64,
+            "tasks unaccounted for: {snap:?}"
+        );
     }
 
     #[test]

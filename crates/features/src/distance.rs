@@ -16,7 +16,11 @@ use serde::{Deserialize, Serialize};
 /// ```
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Manhattan (L1) distance between two equal-length slices.
@@ -33,9 +37,10 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// A selectable distance metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DistanceMetric {
     /// Euclidean (L2).
+    #[default]
     Euclidean,
     /// Manhattan (L1).
     Manhattan,
@@ -48,12 +53,6 @@ impl DistanceMetric {
             DistanceMetric::Euclidean => euclidean(a, b),
             DistanceMetric::Manhattan => manhattan(a, b),
         }
-    }
-}
-
-impl Default for DistanceMetric {
-    fn default() -> Self {
-        DistanceMetric::Euclidean
     }
 }
 

@@ -17,8 +17,14 @@ fn mix_total(mix: &InstructionMix) -> f64 {
 /// Extracts one feature value for a draw.
 fn feature_value(kind: FeatureKind, draw: &DrawCall, workload: &Workload) -> f64 {
     let shaders = workload.shaders();
-    let vs_mix = shaders.get(draw.vertex_shader).map(|p| p.mix).unwrap_or_default();
-    let ps_mix = shaders.get(draw.pixel_shader).map(|p| p.mix).unwrap_or_default();
+    let vs_mix = shaders
+        .get(draw.vertex_shader)
+        .map(|p| p.mix)
+        .unwrap_or_default();
+    let ps_mix = shaders
+        .get(draw.pixel_shader)
+        .map(|p| p.mix)
+        .unwrap_or_default();
     match kind {
         FeatureKind::VertexCount => log2p1(draw.vertex_invocations() as f64),
         FeatureKind::PrimitiveCount => log2p1(draw.primitives() as f64),
@@ -75,7 +81,12 @@ pub fn extract_draw_features(
     workload: &Workload,
     kinds: &[FeatureKind],
 ) -> FeatureVector {
-    FeatureVector::new(kinds.iter().map(|&k| feature_value(k, draw, workload)).collect())
+    FeatureVector::new(
+        kinds
+            .iter()
+            .map(|&k| feature_value(k, draw, workload))
+            .collect(),
+    )
 }
 
 /// Extracts the feature matrix of every draw in a frame (one row per draw,
@@ -104,7 +115,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(2).draws_per_frame(40).build(6).generate()
+        GameProfile::shooter("t")
+            .frames(2)
+            .draws_per_frame(40)
+            .build(6)
+            .generate()
     }
 
     #[test]
@@ -128,7 +143,9 @@ mod tests {
         let mut by_material: std::collections::HashMap<u32, Vec<f64>> = Default::default();
         for draw in frame.draws() {
             let v = extract_draw_features(draw, &w, &kinds);
-            let entry = by_material.entry(draw.material_tag).or_insert_with(|| v.as_slice().to_vec());
+            let entry = by_material
+                .entry(draw.material_tag)
+                .or_insert_with(|| v.as_slice().to_vec());
             assert_eq!(entry.as_slice(), v.as_slice());
         }
     }

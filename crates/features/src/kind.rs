@@ -179,7 +179,10 @@ mod tests {
     fn every_group_is_populated() {
         use FeatureGroup::*;
         for group in [Geometry, Shading, Texturing, Raster, State] {
-            let n = FeatureKind::ALL.iter().filter(|k| k.group() == group).count();
+            let n = FeatureKind::ALL
+                .iter()
+                .filter(|k| k.group() == group)
+                .count();
             assert!(n >= 3, "{group:?} has only {n} features");
         }
     }

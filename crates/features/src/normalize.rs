@@ -3,10 +3,11 @@
 use serde::{Deserialize, Serialize};
 
 /// How feature columns are rescaled before distance computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Normalization {
     /// Subtract the mean, divide by the standard deviation (the paper-style
     /// default: every feature contributes comparably to distances).
+    #[default]
     ZScore,
     /// Rescale to `[0, 1]` by the column's range.
     MinMax,
@@ -33,12 +34,6 @@ impl Normalization {
                 (lo, if range > 0.0 { range } else { 1.0 })
             }
         }
-    }
-}
-
-impl Default for Normalization {
-    fn default() -> Self {
-        Normalization::ZScore
     }
 }
 

@@ -24,8 +24,14 @@ impl fmt::Display for PcaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PcaError::TooFewRows => write!(f, "PCA needs at least two rows"),
-            PcaError::TooManyComponents { requested, available } => {
-                write!(f, "requested {requested} components but only {available} dimensions exist")
+            PcaError::TooManyComponents {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} components but only {available} dimensions exist"
+                )
             }
         }
     }
@@ -57,7 +63,10 @@ impl Pca {
             return Err(PcaError::TooFewRows);
         }
         if k > d {
-            return Err(PcaError::TooManyComponents { requested: k, available: d });
+            return Err(PcaError::TooManyComponents {
+                requested: k,
+                available: d,
+            });
         }
 
         let mut mean = vec![0.0; d];
@@ -80,6 +89,9 @@ impl Pca {
                 }
             }
         }
+        // Index-based on purpose: the upper triangle is mirrored into the
+        // lower one, so both `cov[i]` and `cov[j]` are written per step.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..d {
             for j in i..d {
                 cov[i][j] /= (n - 1) as f64;
@@ -264,7 +276,9 @@ mod tests {
 
     #[test]
     fn projection_dimension_matches_components() {
-        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64, 0.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 2.0 * i as f64, 0.0])
+            .collect();
         let pca = Pca::fit(&matrix_from(&rows), 2).unwrap();
         let p = pca.project(&rows[3]);
         assert_eq!(p.len(), pca.components().len());
@@ -285,7 +299,10 @@ mod tests {
         let two = matrix_from(&[vec![1.0, 2.0], vec![2.0, 3.0]]);
         assert!(matches!(
             Pca::fit(&two, 5),
-            Err(PcaError::TooManyComponents { requested: 5, available: 2 })
+            Err(PcaError::TooManyComponents {
+                requested: 5,
+                available: 2
+            })
         ));
     }
 }

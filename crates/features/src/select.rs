@@ -17,7 +17,11 @@ use crate::kind::{FeatureGroup, FeatureKind};
 /// assert!(without_raster.iter().all(|k| k.group() != FeatureGroup::Raster));
 /// ```
 pub fn drop_group(kinds: &[FeatureKind], group: FeatureGroup) -> Vec<FeatureKind> {
-    kinds.iter().copied().filter(|k| k.group() != group).collect()
+    kinds
+        .iter()
+        .copied()
+        .filter(|k| k.group() != group)
+        .collect()
 }
 
 #[cfg(test)]
@@ -51,6 +55,9 @@ mod tests {
             .into_iter()
             .filter(|k| k.group() == FeatureGroup::Geometry)
             .collect();
-        assert_eq!(drop_group(&geometry_only, FeatureGroup::State), geometry_only);
+        assert_eq!(
+            drop_group(&geometry_only, FeatureGroup::State),
+            geometry_only
+        );
     }
 }

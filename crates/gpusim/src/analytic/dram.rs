@@ -31,13 +31,22 @@ pub fn dram_bytes(
     let texture_bytes = tex.miss_bytes * (1.0 - l2_hit);
 
     let shaded = draw.shaded_pixels();
-    let write_factor = if draw.blend.reads_destination() { 2.0 } else { 1.0 };
-    let color_bytes = shaded * draw.render_target.bytes_per_pixel() * write_factor * COLOR_COMPRESSION;
+    let write_factor = if draw.blend.reads_destination() {
+        2.0
+    } else {
+        1.0
+    };
+    let color_bytes =
+        shaded * draw.render_target.bytes_per_pixel() * write_factor * COLOR_COMPRESSION;
 
     let depth_bytes = match draw.depth {
         DepthMode::Disabled => 0.0,
         DepthMode::TestOnly => {
-            draw.coverage * draw.render_target.pixels() as f64 * draw.overdraw * 4.0 * DEPTH_COMPRESSION
+            draw.coverage
+                * draw.render_target.pixels() as f64
+                * draw.overdraw
+                * 4.0
+                * DEPTH_COMPRESSION
         }
         DepthMode::TestAndWrite => {
             // Read on every rasterised fragment, write on passing fragments.
@@ -57,7 +66,13 @@ mod tests {
     use subset3d_trace::BlendMode;
 
     fn traffic(draw: &DrawCall, warmth: f64) -> TextureTraffic {
-        texture_traffic(draw, &test_ps(), &test_textures(), &ArchConfig::baseline(), warmth)
+        texture_traffic(
+            draw,
+            &test_ps(),
+            &test_textures(),
+            &ArchConfig::baseline(),
+            warmth,
+        )
     }
 
     #[test]
@@ -94,7 +109,10 @@ mod tests {
         let d = test_draw();
         let t = traffic(&d, 0.0);
         let small = ArchConfig::baseline().to_builder().l2_cache_kib(64).build();
-        let big = ArchConfig::baseline().to_builder().l2_cache_kib(8192).build();
+        let big = ArchConfig::baseline()
+            .to_builder()
+            .l2_cache_kib(8192)
+            .build();
         let a = dram_bytes(&d, &test_vs(), &small, &t);
         let b = dram_bytes(&d, &test_vs(), &big, &t);
         assert!(b < a);

@@ -64,16 +64,17 @@ pub fn analyze_draw(
         (Stage::Texture, tex.sample_cycles),
         (Stage::Rop, rop),
     ];
-    let (mut bottleneck, max_cycles) = stage_cycles
-        .iter()
-        .copied()
-        .fold((Stage::Overhead, 0.0f64), |(bs, bc), (s, c)| {
-            if c > bc {
-                (s, c)
-            } else {
-                (bs, bc)
-            }
-        });
+    let (mut bottleneck, max_cycles) =
+        stage_cycles
+            .iter()
+            .copied()
+            .fold((Stage::Overhead, 0.0f64), |(bs, bc), (s, c)| {
+                if c > bc {
+                    (s, c)
+                } else {
+                    (bs, bc)
+                }
+            });
     if overhead > max_cycles {
         bottleneck = Stage::Overhead;
     }
@@ -83,8 +84,7 @@ pub fn analyze_draw(
     if mem_time_ns > core_time_ns {
         bottleneck = Stage::Memory;
     }
-    let time_ns =
-        core_time_ns.max(mem_time_ns) + CONTENTION * core_time_ns.min(mem_time_ns);
+    let time_ns = core_time_ns.max(mem_time_ns) + CONTENTION * core_time_ns.min(mem_time_ns);
 
     DrawCost {
         geometry_cycles: geometry,
@@ -172,7 +172,14 @@ mod tests {
     use crate::config::ArchConfig;
 
     fn cost_with(config: &ArchConfig, warmth: f64) -> DrawCost {
-        analyze_draw(&test_draw(), &test_vs(), &test_ps(), &test_textures(), config, warmth)
+        analyze_draw(
+            &test_draw(),
+            &test_vs(),
+            &test_ps(),
+            &test_textures(),
+            config,
+            warmth,
+        )
     }
 
     #[test]

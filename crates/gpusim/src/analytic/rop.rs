@@ -10,7 +10,12 @@ use subset3d_trace::DrawCall;
 /// on every rasterised fragment (early-Z runs before shading).
 pub fn rop_cycles(draw: &DrawCall, config: &ArchConfig) -> f64 {
     let shaded = draw.shaded_pixels();
-    let color_ops = shaded * if draw.blend.reads_destination() { 2.0 } else { 1.0 };
+    let color_ops = shaded
+        * if draw.blend.reads_destination() {
+            2.0
+        } else {
+            1.0
+        };
     let depth_ops = if draw.depth.accesses_depth() {
         draw.coverage * draw.render_target.pixels() as f64 * draw.overdraw
     } else {

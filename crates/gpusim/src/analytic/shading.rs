@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn divergence_inflates_cost() {
-        let mix = InstructionMix { alu: 10, ..Default::default() };
+        let mix = InstructionMix {
+            alu: 10,
+            ..Default::default()
+        };
         assert!(instruction_cycles(&mix, 0.5) > instruction_cycles(&mix, 0.0));
         // Clamped above 1.0.
         assert_eq!(instruction_cycles(&mix, 5.0), instruction_cycles(&mix, 1.0));

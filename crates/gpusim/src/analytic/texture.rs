@@ -73,7 +73,8 @@ pub fn texture_traffic(
         .min(textures.combined_footprint(&draw.textures));
     // Warm data was already fetched by recent draws, shrinking this draw's
     // compulsory traffic too.
-    let refetch = (1.0 + (1.0 - draw.texel_locality)) * (1.0 - WARMTH_RECOVERY * warmth.clamp(0.0, 1.0));
+    let refetch =
+        (1.0 + (1.0 - draw.texel_locality)) * (1.0 - WARMTH_RECOVERY * warmth.clamp(0.0, 1.0));
     let miss_bytes = raw_miss_bytes.min(unique_bytes * refetch);
     // Filtering throughput, derated when misses stall the pipeline.
     let sample_cycles = samples / f64::from(config.tex_rate) * (1.0 + 0.3 * miss_rate);
@@ -130,10 +131,11 @@ mod tests {
         let d = test_draw();
         let reg = test_textures();
         let small = ArchConfig::baseline().to_builder().tex_cache_kib(8).build();
-        let big = ArchConfig::baseline().to_builder().tex_cache_kib(4096).build();
-        assert!(
-            texture_hit_rate(&d, &reg, &big, 0.0) > texture_hit_rate(&d, &reg, &small, 0.0)
-        );
+        let big = ArchConfig::baseline()
+            .to_builder()
+            .tex_cache_kib(4096)
+            .build();
+        assert!(texture_hit_rate(&d, &reg, &big, 0.0) > texture_hit_rate(&d, &reg, &small, 0.0));
     }
 
     #[test]
@@ -154,7 +156,13 @@ mod tests {
     fn traffic_zero_without_samples() {
         let mut ps = test_ps();
         ps.mix.texture_samples = 0;
-        let t = texture_traffic(&test_draw(), &ps, &test_textures(), &ArchConfig::baseline(), 0.0);
+        let t = texture_traffic(
+            &test_draw(),
+            &ps,
+            &test_textures(),
+            &ArchConfig::baseline(),
+            0.0,
+        );
         assert_eq!(t.sample_cycles, 0.0);
         assert_eq!(t.miss_bytes, 0.0);
     }

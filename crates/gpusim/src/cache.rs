@@ -66,8 +66,14 @@ impl CacheSim {
     /// Panics if any parameter is zero, `line_bytes` is not a power of two,
     /// or the capacity holds fewer lines than the associativity.
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0, "cache parameters must be positive");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache parameters must be positive"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways, "capacity too small for associativity");
         let set_count = lines / ways;
@@ -216,7 +222,12 @@ mod tests {
         let mut high = CacheSim::new(32 * 1024, 8, 64);
         let a = run_locality_stream(&mut low, 16 << 20, 50_000, 0.1, 7);
         let b = run_locality_stream(&mut high, 16 << 20, 50_000, 0.95, 7);
-        assert!(b.hit_rate() > a.hit_rate() + 0.2, "{} vs {}", b.hit_rate(), a.hit_rate());
+        assert!(
+            b.hit_rate() > a.hit_rate() + 0.2,
+            "{} vs {}",
+            b.hit_rate(),
+            a.hit_rate()
+        );
     }
 
     #[test]

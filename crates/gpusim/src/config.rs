@@ -145,7 +145,9 @@ impl ArchConfig {
 
     /// Starts a builder seeded from this configuration.
     pub fn to_builder(&self) -> ArchConfigBuilder {
-        ArchConfigBuilder { config: self.clone() }
+        ArchConfigBuilder {
+            config: self.clone(),
+        }
     }
 
     /// Returns a copy with a different core clock (name annotated).
@@ -337,7 +339,11 @@ mod tests {
 
     #[test]
     fn builder_roundtrip() {
-        let c = ArchConfig::baseline().to_builder().eu_count(10).simd_width(16).build();
+        let c = ArchConfig::baseline()
+            .to_builder()
+            .eu_count(10)
+            .simd_width(16)
+            .build();
         assert_eq!(c.eu_count, 10);
         assert_eq!(c.simd_width, 16);
     }

@@ -176,7 +176,11 @@ mod tests {
     fn random_stream_misses_rows() {
         let mut dram = DramModel::default_device();
         let stats = run_dram_stream(&mut dram, 1 << 30, 10_000, 0.0, 1);
-        assert!(stats.row_hit_rate() < 0.05, "hit rate {}", stats.row_hit_rate());
+        assert!(
+            stats.row_hit_rate() < 0.05,
+            "hit rate {}",
+            stats.row_hit_rate()
+        );
     }
 
     #[test]

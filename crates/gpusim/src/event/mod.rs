@@ -44,7 +44,11 @@ impl PipelineSim {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: ArchConfig) -> Self {
-        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
+        assert!(
+            config.is_valid(),
+            "invalid architecture configuration '{}'",
+            config.name
+        );
         PipelineSim { config }
     }
 
@@ -66,14 +70,20 @@ impl PipelineSim {
         let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(6);
         let mut service = Vec::with_capacity(frame.draw_count());
         for draw in frame.draws() {
-            let vs = workload.shaders().get(draw.vertex_shader).ok_or(SimError::UnknownShader {
-                draw: draw.id,
-                shader: draw.vertex_shader,
-            })?;
-            let ps = workload.shaders().get(draw.pixel_shader).ok_or(SimError::UnknownShader {
-                draw: draw.id,
-                shader: draw.pixel_shader,
-            })?;
+            let vs = workload
+                .shaders()
+                .get(draw.vertex_shader)
+                .ok_or(SimError::UnknownShader {
+                    draw: draw.id,
+                    shader: draw.vertex_shader,
+                })?;
+            let ps = workload
+                .shaders()
+                .get(draw.pixel_shader)
+                .ok_or(SimError::UnknownShader {
+                    draw: draw.id,
+                    shader: draw.pixel_shader,
+                })?;
             let warmth = if draw.textures.is_empty() {
                 0.0
             } else {
@@ -83,7 +93,14 @@ impl PipelineSim {
                     .count() as f64
                     / draw.textures.len() as f64
             };
-            service.push(service_times(draw, vs, ps, workload.textures(), &self.config, warmth));
+            service.push(service_times(
+                draw,
+                vs,
+                ps,
+                workload.textures(),
+                &self.config,
+                warmth,
+            ));
             if recent.len() == 6 {
                 recent.pop_front();
             }
@@ -104,7 +121,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(3).draws_per_frame(60).build(9).generate()
+        GameProfile::shooter("t")
+            .frames(3)
+            .draws_per_frame(60)
+            .build(9)
+            .generate()
     }
 
     #[test]

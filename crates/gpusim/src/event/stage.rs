@@ -37,7 +37,10 @@ impl PipeStage {
 
     /// Position of the stage in [`PipeStage::ORDER`].
     pub fn index(self) -> usize {
-        PipeStage::ORDER.iter().position(|&s| s == self).expect("stage in ORDER")
+        PipeStage::ORDER
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage in ORDER")
     }
 }
 

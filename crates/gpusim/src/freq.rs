@@ -62,7 +62,10 @@ impl FrequencySweep {
 
     /// Materialises the swept architecture configs from a base design.
     pub fn configs(&self, base: &ArchConfig) -> Vec<ArchConfig> {
-        self.points_mhz.iter().map(|&mhz| base.with_core_clock(mhz)).collect()
+        self.points_mhz
+            .iter()
+            .map(|&mhz| base.with_core_clock(mhz))
+            .collect()
     }
 }
 
@@ -83,7 +86,10 @@ impl FrequencySweep {
     pub fn improvement_series(times: &[f64]) -> Vec<f64> {
         match times.first() {
             None => Vec::new(),
-            Some(&base) => times.iter().map(|&t| if t > 0.0 { base / t } else { 0.0 }).collect(),
+            Some(&base) => times
+                .iter()
+                .map(|&t| if t > 0.0 { base / t } else { 0.0 })
+                .collect(),
         }
     }
 }

@@ -48,7 +48,21 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use subset3d_obs::LazyCounter;
 use subset3d_trace::{DrawCall, ShaderProgram, TextureRegistry};
+
+// Process-global mirrors of the per-cache counters (see `subset3d_obs`):
+// each simulator keeps exact per-instance stats in `CacheStats`; these
+// aggregate the same events across every cache in the process so a
+// `MetricsSnapshot` shows cache behaviour without holding a `Simulator`.
+static OBS_DRAW_HITS: LazyCounter = LazyCounter::new("gpusim.draw_cache.hits");
+static OBS_DRAW_MISSES: LazyCounter = LazyCounter::new("gpusim.draw_cache.misses");
+static OBS_DRAW_BYPASSED: LazyCounter = LazyCounter::new("gpusim.draw_cache.bypassed");
+static OBS_AUTO_DISABLE: LazyCounter = LazyCounter::new("gpusim.draw_cache.auto_disable");
+static OBS_DRAW_EVICTED: LazyCounter = LazyCounter::new("gpusim.draw_cache.evicted");
+static OBS_FRAME_HITS: LazyCounter = LazyCounter::new("gpusim.frame_cache.hits");
+static OBS_FRAME_MISSES: LazyCounter = LazyCounter::new("gpusim.frame_cache.misses");
+static OBS_FRAME_EVICTED: LazyCounter = LazyCounter::new("gpusim.frame_cache.evicted");
 
 const SHARDS: usize = 16;
 
@@ -204,7 +218,11 @@ impl CostKey {
             hash ^= w;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        Some(CostKey { hash, len: len as u32, words })
+        Some(CostKey {
+            hash,
+            len: len as u32,
+            words,
+        })
     }
 
     fn shard(&self) -> usize {
@@ -233,7 +251,10 @@ pub(crate) struct FrameDigest {
 
 impl FrameDigest {
     pub(crate) fn new() -> Self {
-        FrameDigest { streams: [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142], draws: 0 }
+        FrameDigest {
+            streams: [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142],
+            draws: 0,
+        }
     }
 
     /// Folds one draw's key into the digest, in submission order.
@@ -365,18 +386,22 @@ impl DrawCostCache {
     ) -> DrawCost {
         if !self.memoizing() {
             self.bypassed.fetch_add(1, Ordering::Relaxed);
+            OBS_DRAW_BYPASSED.incr();
             return compute();
         }
         let Some(key) = make_key() else {
             self.bypassed.fetch_add(1, Ordering::Relaxed);
+            OBS_DRAW_BYPASSED.incr();
             return compute();
         };
         let shard = &self.shards[key.shard()];
         if let Some(cost) = shard.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            OBS_DRAW_HITS.incr();
             return *cost;
         }
         let misses = self.misses.fetch_add(1, Ordering::Relaxed) + 1;
+        OBS_DRAW_MISSES.incr();
         self.maybe_auto_disable(misses);
         let cost = compute();
         // A racing worker may have inserted the same key; both computed
@@ -391,8 +416,16 @@ impl DrawCostCache {
     fn maybe_auto_disable(&self, misses: u64) {
         let hits = self.hits.load(Ordering::Relaxed);
         let lookups = hits + misses;
-        if lookups >= ADAPT_WINDOW && (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
+        if lookups < ADAPT_WINDOW {
+            // Streams shorter than the window never complete an
+            // observation; profitability stays unjudged and the cache
+            // keeps memoizing — a short (even 1-frame) workload must not
+            // be written off from a partial window.
+            return;
+        }
+        if (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
             self.auto_bypass.store(1, Ordering::Relaxed);
+            OBS_AUTO_DISABLE.incr();
         }
     }
 
@@ -424,7 +457,9 @@ impl DrawCostCache {
     /// adaptation (config change).
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            let mut map = shard.write();
+            OBS_DRAW_EVICTED.add(map.len() as u64);
+            map.clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -465,10 +500,12 @@ impl FrameCostCache {
         match hit {
             Some(cost) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                OBS_FRAME_HITS.incr();
                 Some(cost)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                OBS_FRAME_MISSES.incr();
                 None
             }
         }
@@ -482,7 +519,10 @@ impl FrameCostCache {
 
     /// (frame hits, frame misses) observed so far.
     pub(crate) fn counters(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of retained frames.
@@ -492,7 +532,9 @@ impl FrameCostCache {
 
     /// Drops every entry and zeroes the counters.
     pub(crate) fn clear(&self) {
-        self.map.write().clear();
+        let mut map = self.map.write();
+        OBS_FRAME_EVICTED.add(map.len() as u64);
+        map.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -578,14 +620,24 @@ mod tests {
     #[test]
     fn oversized_texture_binding_is_unkeyable() {
         let mut wide = test_draw();
-        wide.textures = (0..=MAX_TEXTURES as u32).map(subset3d_trace::TextureId).collect();
+        wide.textures = (0..=MAX_TEXTURES as u32)
+            .map(subset3d_trace::TextureId)
+            .collect();
         assert!(CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0).is_none());
 
         let cache = DrawCostCache::new();
-        let cost =
-            cache.get_or_compute(|| CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0), compute);
+        let cost = cache.get_or_compute(
+            || CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0),
+            compute,
+        );
         assert_eq!(cost, compute());
-        assert_eq!(cache.stats(), CacheStats { bypassed: 1, ..CacheStats::default() });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                bypassed: 1,
+                ..CacheStats::default()
+            }
+        );
     }
 
     #[test]
@@ -594,7 +646,14 @@ mod tests {
         let a = cache.get_or_compute(|| Some(key(0.0)), compute);
         let b = cache.get_or_compute(|| Some(key(0.0)), compute);
         assert_eq!(a, b);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
@@ -616,7 +675,13 @@ mod tests {
             );
         }
         assert_eq!(calls, 3);
-        assert_eq!(cache.stats(), CacheStats { bypassed: 3, ..CacheStats::default() });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                bypassed: 3,
+                ..CacheStats::default()
+            }
+        );
         assert_eq!(cache.len(), 0);
     }
 
@@ -629,12 +694,41 @@ mod tests {
             cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
         }
         let stats = cache.stats();
-        assert!(stats.bypassed >= 100, "expected bypassing after the window: {stats:?}");
-        assert!(stats.misses >= ADAPT_WINDOW, "window must be fully observed");
+        assert!(
+            stats.bypassed >= 100,
+            "expected bypassing after the window: {stats:?}"
+        );
+        assert!(
+            stats.misses >= ADAPT_WINDOW,
+            "window must be fully observed"
+        );
         // Invalidation re-arms adaptation.
         cache.clear();
         cache.get_or_compute(|| Some(key(0.0)), compute);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn auto_mode_keeps_memoizing_short_streams() {
+        // A stream shorter than the adaptation window never completes
+        // an observation, so Auto must not write the cache off even
+        // though every lookup so far missed (regression: a 1-frame
+        // workload would otherwise sit at 0 % hit rate and be judged
+        // unprofitable from a partial window).
+        let cache = DrawCostCache::new();
+        for i in 0..(ADAPT_WINDOW - 1) {
+            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+        }
+        assert_eq!(cache.stats().bypassed, 0, "sub-window stream bypassed");
+
+        // A second pass over the same keys must hit — the cache stayed
+        // live and retained every entry.
+        for i in 0..(ADAPT_WINDOW - 1) {
+            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.bypassed, 0, "cache disabled itself: {stats:?}");
+        assert_eq!(stats.hits, ADAPT_WINDOW - 1);
     }
 
     #[test]
@@ -648,15 +742,16 @@ mod tests {
             cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
         }
         let stats = cache.stats();
-        assert!(stats.bypassed >= 100, "expected bypassing after the window: {stats:?}");
+        assert!(
+            stats.bypassed >= 100,
+            "expected bypassing after the window: {stats:?}"
+        );
         assert_eq!(cache.mode(), CacheMode::On);
     }
 
     #[test]
     fn frame_cache_round_trips_and_clears() {
-        let frame_cost = || {
-            crate::cost::FrameCost::from_draws(vec![compute(), compute()])
-        };
+        let frame_cost = || crate::cost::FrameCost::from_draws(vec![compute(), compute()]);
         let cache = FrameCostCache::new();
         let mut digest = FrameDigest::new();
         digest.fold(&key(0.0));

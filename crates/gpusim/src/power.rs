@@ -134,8 +134,14 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn costed(config: &ArchConfig) -> WorkloadCost {
-        let w = GameProfile::shooter("p").frames(3).draws_per_frame(40).build(2).generate();
-        Simulator::new(config.clone()).simulate_workload(&w).unwrap()
+        let w = GameProfile::shooter("p")
+            .frames(3)
+            .draws_per_frame(40)
+            .build(2)
+            .generate();
+        Simulator::new(config.clone())
+            .simulate_workload(&w)
+            .unwrap()
     }
 
     #[test]
@@ -184,8 +190,19 @@ mod tests {
             per_clock.push((m.workload_energy(&cost, &config).total_nj(), cost.total_ns));
         }
         // Energy-delay product must favour a mid/low point over the top.
-        let edp: Vec<f64> =
-            per_clock.iter().map(|&(e, t)| energy_delay_product(&Energy { dynamic_nj: e, static_nj: 0.0, memory_nj: 0.0 }, t)).collect();
+        let edp: Vec<f64> = per_clock
+            .iter()
+            .map(|&(e, t)| {
+                energy_delay_product(
+                    &Energy {
+                        dynamic_nj: e,
+                        static_nj: 0.0,
+                        memory_nj: 0.0,
+                    },
+                    t,
+                )
+            })
+            .collect();
         assert!(edp.iter().all(|&x| x > 0.0));
     }
 

@@ -5,8 +5,7 @@ use crate::config::ArchConfig;
 use crate::cost::{DrawCost, FrameCost, WorkloadCost};
 use crate::error::SimError;
 use crate::memo::{
-    CacheMode, CacheStats, CostKey, DrawCostCache, FrameCostCache, FrameDigest,
-    RegistryFingerprint,
+    CacheMode, CacheStats, CostKey, DrawCostCache, FrameCostCache, FrameDigest, RegistryFingerprint,
 };
 use std::borrow::Borrow;
 use std::collections::VecDeque;
@@ -61,8 +60,16 @@ impl Simulator {
     /// Panics if the configuration is invalid; use [`ArchConfig::is_valid`]
     /// to pre-check untrusted configs.
     pub fn new(config: ArchConfig) -> Self {
-        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
-        Simulator { config, cache: DrawCostCache::new(), frames: FrameCostCache::new() }
+        assert!(
+            config.is_valid(),
+            "invalid architecture configuration '{}'",
+            config.name
+        );
+        Simulator {
+            config,
+            cache: DrawCostCache::new(),
+            frames: FrameCostCache::new(),
+        }
     }
 
     /// Replaces the architecture configuration. Memoized draw and frame
@@ -72,7 +79,11 @@ impl Simulator {
     ///
     /// Panics if the configuration is invalid.
     pub fn set_config(&mut self, config: ArchConfig) {
-        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
+        assert!(
+            config.is_valid(),
+            "invalid architecture configuration '{}'",
+            config.name
+        );
         self.config = config;
         self.cache.clear();
         self.frames.clear();
@@ -88,8 +99,16 @@ impl<'a> Simulator<&'a ArchConfig> {
     ///
     /// Panics if the configuration is invalid.
     pub fn from_ref(config: &'a ArchConfig) -> Self {
-        assert!(config.is_valid(), "invalid architecture configuration '{}'", config.name);
-        Simulator { config, cache: DrawCostCache::new(), frames: FrameCostCache::new() }
+        assert!(
+            config.is_valid(),
+            "invalid architecture configuration '{}'",
+            config.name
+        );
+        Simulator {
+            config,
+            cache: DrawCostCache::new(),
+            frames: FrameCostCache::new(),
+        }
     }
 }
 
@@ -156,7 +175,11 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
     ///
     /// Returns [`SimError::UnknownShader`] when the draw references shaders
     /// missing from the workload's library.
-    pub fn simulate_draw(&self, draw: &DrawCall, workload: &Workload) -> Result<DrawCost, SimError> {
+    pub fn simulate_draw(
+        &self,
+        draw: &DrawCall,
+        workload: &Workload,
+    ) -> Result<DrawCost, SimError> {
         let (vs, ps) = self.resolve_shaders(draw, workload)?;
         let registry = RegistryFingerprint::of(workload.textures());
         Ok(self.cost_of(draw, vs, ps, workload.textures(), registry, 0.0))
@@ -169,8 +192,16 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
     ///
     /// Returns [`SimError::UnknownShader`] when a draw references shaders
     /// missing from the workload's library.
-    pub fn simulate_frame(&self, frame: &Frame, workload: &Workload) -> Result<FrameCost, SimError> {
-        self.frame_with_fingerprint(frame, workload, RegistryFingerprint::of(workload.textures()))
+    pub fn simulate_frame(
+        &self,
+        frame: &Frame,
+        workload: &Workload,
+    ) -> Result<FrameCost, SimError> {
+        self.frame_with_fingerprint(
+            frame,
+            workload,
+            RegistryFingerprint::of(workload.textures()),
+        )
     }
 
     /// [`Simulator::simulate_frame`] with the workload's texture-registry
@@ -230,7 +261,16 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         for (draw, (vs, ps, warmth, key)) in frame.draws().iter().zip(plan) {
             draws.push(self.cache.get_or_compute(
                 || Some(key),
-                || analyze_draw(draw, vs, ps, workload.textures(), self.config.borrow(), warmth),
+                || {
+                    analyze_draw(
+                        draw,
+                        vs,
+                        ps,
+                        workload.textures(),
+                        self.config.borrow(),
+                        warmth,
+                    )
+                },
             ));
         }
         let cost = FrameCost::from_draws(draws);
@@ -299,14 +339,20 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         draw: &DrawCall,
         workload: &'w Workload,
     ) -> Result<(&'w ShaderProgram, &'w ShaderProgram), SimError> {
-        let vs = workload.shaders().get(draw.vertex_shader).ok_or(SimError::UnknownShader {
-            draw: draw.id,
-            shader: draw.vertex_shader,
-        })?;
-        let ps = workload.shaders().get(draw.pixel_shader).ok_or(SimError::UnknownShader {
-            draw: draw.id,
-            shader: draw.pixel_shader,
-        })?;
+        let vs = workload
+            .shaders()
+            .get(draw.vertex_shader)
+            .ok_or(SimError::UnknownShader {
+                draw: draw.id,
+                shader: draw.vertex_shader,
+            })?;
+        let ps = workload
+            .shaders()
+            .get(draw.pixel_shader)
+            .ok_or(SimError::UnknownShader {
+                draw: draw.id,
+                shader: draw.pixel_shader,
+            })?;
         Ok((vs, ps))
     }
 }
@@ -352,7 +398,11 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(4).draws_per_frame(50).build(2).generate()
+        GameProfile::shooter("t")
+            .frames(4)
+            .draws_per_frame(50)
+            .build(2)
+            .generate()
     }
 
     #[test]
@@ -378,7 +428,11 @@ mod tests {
     fn parallel_path_matches_sequential() {
         // Big enough to take the threaded path; compare against an explicit
         // sequential pass.
-        let w = GameProfile::shooter("big").frames(8).draws_per_frame(300).build(7).generate();
+        let w = GameProfile::shooter("big")
+            .frames(8)
+            .draws_per_frame(300)
+            .build(7)
+            .generate();
         assert!(w.total_draws() >= 1000, "test needs the parallel path");
         let sim = Simulator::new(ArchConfig::baseline());
         let parallel = sim.simulate_workload(&w).unwrap();
@@ -403,7 +457,10 @@ mod tests {
         assert!(stats.hits > 0, "repeated materials should hit the cache");
         let uncached_stats = uncached.cache_stats();
         assert_eq!((uncached_stats.hits, uncached_stats.misses), (0, 0));
-        assert!(uncached_stats.bypassed > 0, "Off mode must count bypassed lookups");
+        assert!(
+            uncached_stats.bypassed > 0,
+            "Off mode must count bypassed lookups"
+        );
         // Per-draw costs too, not just the aggregates.
         for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
             for (da, db) in fa.draws.iter().zip(fb.draws.iter()) {
@@ -428,6 +485,29 @@ mod tests {
         // Auto mode never retains frames.
         assert_eq!(sim.cached_frames(), 0);
         assert_eq!((second.frame_hits, second.frame_misses), (0, 0));
+    }
+
+    #[test]
+    fn one_frame_workload_keeps_memoizing() {
+        // Regression: a stream shorter than the Auto adaptation window
+        // must not disable the cache — the hit-rate judgment needs a
+        // full window, and a tiny workload never provides one.
+        let w = GameProfile::shooter("tiny")
+            .frames(1)
+            .draws_per_frame(40)
+            .build(3)
+            .generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&w).unwrap();
+        let cold = sim.cache_stats();
+        assert_eq!(cold.bypassed, 0, "short stream was written off: {cold:?}");
+
+        // The second pass re-sees every draw shape: all hits.
+        sim.simulate_workload(&w).unwrap();
+        let warm = sim.cache_stats();
+        assert_eq!(warm.bypassed, 0, "cache disabled itself: {warm:?}");
+        assert_eq!(warm.hits, cold.hits * 2 + cold.misses);
+        assert_eq!(warm.misses, cold.misses);
     }
 
     #[test]
@@ -463,11 +543,18 @@ mod tests {
         assert!(sim.cached_draw_shapes() > 0);
 
         sim.set_config(ArchConfig::small());
-        assert_eq!(sim.cached_draw_shapes(), 0, "config change must clear the cache");
+        assert_eq!(
+            sim.cached_draw_shapes(),
+            0,
+            "config change must clear the cache"
+        );
         assert_eq!(sim.cached_frames(), 0);
         assert_eq!(sim.cache_stats(), CacheStats::default());
         let small = sim.simulate_workload(&w).unwrap();
-        assert!(small.total_ns > base.total_ns, "stale costs survived the config change");
+        assert!(
+            small.total_ns > base.total_ns,
+            "stale costs survived the config change"
+        );
 
         // And the new config's results match a fresh simulator's exactly.
         let fresh = Simulator::new(ArchConfig::small());

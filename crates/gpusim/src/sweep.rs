@@ -82,7 +82,9 @@ pub fn sweep_configs(
     // Validate up front so an invalid candidate is reported before any
     // simulation work is spent (and `from_ref` below cannot panic).
     if let Some(config) = candidates.iter().find(|c| !c.is_valid()) {
-        return Err(SimError::InvalidConfig { name: config.name.clone() });
+        return Err(SimError::InvalidConfig {
+            name: config.name.clone(),
+        });
     }
     subset3d_exec::par_map_indexed(candidates, |_, config| {
         let sim = Simulator::from_ref(config);
@@ -136,7 +138,9 @@ impl SweepSession {
     /// Returns [`SimError::InvalidConfig`] for an invalid candidate.
     pub fn new(candidates: &[ArchConfig]) -> Result<Self, SimError> {
         if let Some(config) = candidates.iter().find(|c| !c.is_valid()) {
-            return Err(SimError::InvalidConfig { name: config.name.clone() });
+            return Err(SimError::InvalidConfig {
+                name: config.name.clone(),
+            });
         }
         let sims: Vec<Simulator> = candidates
             .iter()
@@ -197,14 +201,21 @@ mod tests {
     use subset3d_trace::gen::GameProfile;
 
     fn workload() -> Workload {
-        GameProfile::shooter("t").frames(3).draws_per_frame(30).build(4).generate()
+        GameProfile::shooter("t")
+            .frames(3)
+            .draws_per_frame(30)
+            .build(4)
+            .generate()
     }
 
     #[test]
     fn frequency_sweep_is_monotone_nonincreasing() {
-        let points =
-            sweep_frequencies(&workload(), &ArchConfig::baseline(), &FrequencySweep::standard())
-                .unwrap();
+        let points = sweep_frequencies(
+            &workload(),
+            &ArchConfig::baseline(),
+            &FrequencySweep::standard(),
+        )
+        .unwrap();
         assert!(points.windows(2).all(|p| p[1].total_ns <= p[0].total_ns));
     }
 
@@ -238,7 +249,8 @@ mod tests {
 
     #[test]
     fn large_config_beats_small() {
-        let points = sweep_configs(&workload(), &[ArchConfig::small(), ArchConfig::large()]).unwrap();
+        let points =
+            sweep_configs(&workload(), &[ArchConfig::small(), ArchConfig::large()]).unwrap();
         assert!(points[1].total_ns < points[0].total_ns);
     }
 

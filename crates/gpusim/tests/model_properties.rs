@@ -7,7 +7,11 @@ use subset3d_trace::gen::GameProfile;
 use subset3d_trace::{DrawCall, Workload};
 
 fn probe() -> (Workload, DrawCall) {
-    let w = GameProfile::shooter("probe").frames(1).draws_per_frame(20).build(77).generate();
+    let w = GameProfile::shooter("probe")
+        .frames(1)
+        .draws_per_frame(20)
+        .build(77)
+        .generate();
     let draw = w.frames()[0]
         .draws()
         .iter()

@@ -1,0 +1,213 @@
+//! Process-global metrics for the subset3d pipeline.
+//!
+//! Every stage of the stack — the executor, the simulator's memo caches,
+//! the subsetting pipeline, the CLI — reports into one registry of named
+//! [`Counter`]s, [`Gauge`]s and fixed-bucket latency [`Histogram`]s, so
+//! a single [`snapshot`] shows where time and cache capacity go across a
+//! whole run.
+//!
+//! # Cost model
+//!
+//! Metrics are **off by default**. Every recording call checks one
+//! process-global `AtomicBool` with a relaxed load before doing anything
+//! else, so the disabled cost of an instrumented hot path is a
+//! predictable branch — measured well under the 2 % overhead budget on
+//! the bench workload (see `BENCH_pipeline.json`). When enabled, each
+//! event is a single relaxed `fetch_add`; histograms additionally take
+//! two `Instant` samples per span.
+//!
+//! Metrics observe, they never steer: no simulated value, clustering
+//! decision, or cache lookup depends on a metric, so results are
+//! bit-identical with metrics on or off (asserted by the cross-crate
+//! determinism test).
+//!
+//! # Adding a metric
+//!
+//! Declare a lazy handle next to the code it observes and record into
+//! it; the first touch registers the name globally:
+//!
+//! ```
+//! static FRAMES_SEEN: subset3d_obs::LazyCounter =
+//!     subset3d_obs::LazyCounter::new("example.frames_seen");
+//!
+//! subset3d_obs::set_enabled(true);
+//! FRAMES_SEEN.incr();
+//! let snap = subset3d_obs::snapshot();
+//! assert_eq!(snap.counter("example.frames_seen"), Some(1));
+//! # subset3d_obs::set_enabled(false);
+//! # subset3d_obs::reset();
+//! ```
+//!
+//! Names are dot-separated, coarsest scope first: `exec.steal.empty`,
+//! `gpusim.draw_cache.hits`, `pipeline.clustering_ns`. Histogram names
+//! end in `_ns` — every histogram records nanoseconds.
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{counter, gauge, histogram, LazyCounter, LazyGauge, LazyHistogram};
+pub use snapshot::{BucketCount, HistogramSnapshot, MetricsSnapshot};
+pub use span::{span, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether metrics are currently being recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off, process-wide. Recording is off by
+/// default; values accumulated so far are kept (use [`reset`] to zero
+/// them).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Takes a consistent-enough snapshot of every registered metric.
+///
+/// Individual values are read with relaxed loads while other threads may
+/// still be recording, so a snapshot taken mid-run can be a few events
+/// behind per metric; a snapshot taken after the observed work has
+/// completed is exact.
+pub fn snapshot() -> MetricsSnapshot {
+    registry::global().snapshot(enabled())
+}
+
+/// Zeroes every registered metric (names stay registered).
+pub fn reset() {
+    registry::global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and the enabled flag are process-global, so tests
+    // sharing this binary serialize on one lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_metrics<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        reset();
+        out
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let c = counter("test.disabled_counter");
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = histogram("test.disabled_hist_ns");
+        h.record(100);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        with_metrics(|| {
+            let c = counter("test.counter");
+            c.incr();
+            c.add(9);
+            assert_eq!(c.get(), 10);
+
+            let g = gauge("test.gauge");
+            g.set(7);
+            g.add(-3);
+            assert_eq!(g.get(), 4);
+
+            let h = histogram("test.hist_ns");
+            for ns in [1, 1000, 1000, 1_000_000] {
+                h.record(ns);
+            }
+            assert_eq!(h.count(), 4);
+            assert_eq!(h.sum_ns(), 1_002_001);
+        });
+    }
+
+    #[test]
+    fn snapshot_reflects_and_reset_clears() {
+        with_metrics(|| {
+            counter("test.snap_counter").add(3);
+            gauge("test.snap_gauge").set(-2);
+            histogram("test.snap_hist_ns").record(512);
+
+            let snap = snapshot();
+            assert!(snap.enabled);
+            assert_eq!(snap.counter("test.snap_counter"), Some(3));
+            assert_eq!(snap.gauges.get("test.snap_gauge"), Some(&-2));
+            let hist = &snap.histograms["test.snap_hist_ns"];
+            assert_eq!((hist.count, hist.sum_ns), (1, 512));
+            assert_eq!((hist.min_ns, hist.max_ns), (512, 512));
+
+            reset();
+            let snap = snapshot();
+            assert_eq!(snap.counter("test.snap_counter"), Some(0));
+            assert_eq!(snap.histograms["test.snap_hist_ns"].count, 0);
+        });
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = with_metrics(|| {
+            counter("test.json_counter").add(42);
+            histogram("test.json_hist_ns").record(123_456);
+            snapshot()
+        });
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn spans_record_elapsed_time() {
+        with_metrics(|| {
+            static SPAN_HIST: LazyHistogram = LazyHistogram::new("test.span_hist_ns");
+            {
+                let _s = span(&SPAN_HIST);
+                std::hint::black_box(0u64);
+            }
+            let h = histogram("test.span_hist_ns");
+            assert_eq!(h.count(), 1);
+        });
+    }
+
+    #[test]
+    fn lazy_handles_resolve_to_the_registry() {
+        with_metrics(|| {
+            static LAZY: LazyCounter = LazyCounter::new("test.lazy_counter");
+            LAZY.incr();
+            LAZY.add(2);
+            assert_eq!(counter("test.lazy_counter").get(), 3);
+        });
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_events() {
+        with_metrics(|| {
+            let c = counter("test.concurrent");
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..10_000 {
+                            c.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.get(), 40_000);
+        });
+    }
+}

@@ -1,0 +1,226 @@
+//! The three metric primitives: counter, gauge, latency histogram.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Buckets of a latency [`Histogram`]: bucket `i` counts values in
+/// `(2^(i-1), 2^i]` nanoseconds (bucket 0 holds 0..=1 ns). 40 buckets
+/// cover one nanosecond to about nine minutes, enough for any stage of
+/// the pipeline.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing event count.
+///
+/// Recording is a relaxed `fetch_add` behind the global enabled check;
+/// reads are relaxed loads. All operations are thread-safe.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` events (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event (no-op while metrics are disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value (queue depths, pool sizes, cache
+/// residency).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge (no-op while metrics are disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the gauge by `delta` (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket (power-of-two nanoseconds) latency histogram.
+///
+/// The bucket layout is fixed at compile time so recording never
+/// allocates or takes a lock: one relaxed `fetch_add` into the bucket,
+/// plus count/sum/min/max updates. Percentile-grade precision is not the
+/// goal — locating a stage's cost within a factor of two is.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket covering `ns` (the smallest power of two ≥ `ns`).
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    let bits = 64 - ns.saturating_sub(1).leading_zeros() as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of bucket `i`, in nanoseconds.
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl Histogram {
+    pub(crate) const fn new() -> Self {
+        // `AtomicU64::new` is const, but array-repeat needs a const item.
+        // Each repeat instantiates a fresh atomic, which is exactly what
+        // an all-zero bucket array wants.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            counts: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration in nanoseconds (no-op while metrics are
+    /// disabled).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded duration (`None` when empty).
+    pub fn min_ns(&self) -> Option<u64> {
+        match self.min_ns.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    /// Largest recorded duration (`None` when empty).
+    pub fn max_ns(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max_ns.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub(crate) fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 11);
+        // Everything past the last bound lands in the final bucket.
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_each_bucket() {
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_bound(i)), i, "upper bound of bucket {i}");
+            assert_eq!(
+                bucket_of(bucket_bound(i) + 1),
+                i + 1,
+                "first value past bucket {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Serialisable point-in-time view of the registry.
+
+use crate::metrics::{bucket_bound, Histogram, HISTOGRAM_BUCKETS};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One non-empty histogram bucket: `count` values were at most `le_ns`
+/// nanoseconds (and above the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, in nanoseconds.
+    pub le_ns: u64,
+    /// Number of recorded values in the bucket.
+    pub count: u64,
+}
+
+/// Point-in-time view of one latency [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations, in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest recorded duration (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded duration (0 when empty).
+    pub max_ns: u64,
+    /// Mean recorded duration (0 when empty).
+    pub mean_ns: f64,
+    /// Non-empty buckets, in ascending bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn of(hist: &Histogram) -> Self {
+        let count = hist.count();
+        let sum_ns = hist.sum_ns();
+        let counts = hist.bucket_counts();
+        HistogramSnapshot {
+            count,
+            sum_ns,
+            min_ns: hist.min_ns().unwrap_or(0),
+            max_ns: hist.max_ns().unwrap_or(0),
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                sum_ns as f64 / count as f64
+            },
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .filter(|&i| counts[i] > 0)
+                .map(|i| BucketCount {
+                    le_ns: bucket_bound(i),
+                    count: counts[i],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Every registered metric's value at one instant — what the CLI's
+/// `--metrics` flag and `stats` subcommand print, and what
+/// `bench_report` folds into `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Whether recording was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Total recorded time of a histogram in milliseconds, if
+    /// registered.
+    pub fn total_ms(&self, name: &str) -> Option<f64> {
+        self.histograms.get(name).map(|h| h.sum_ns as f64 / 1e6)
+    }
+}

@@ -1,0 +1,49 @@
+//! RAII stage timers.
+
+use crate::registry::LazyHistogram;
+use std::time::Instant;
+
+/// Times a scope into a latency histogram: created by [`span`], records
+/// the elapsed nanoseconds when dropped.
+///
+/// While metrics are disabled the span holds no `Instant` and drop does
+/// nothing, so an instrumented stage pays one relaxed atomic load.
+#[must_use = "a span times the scope it is bound to; binding it to _ drops it immediately"]
+pub struct Span {
+    hist: Option<(&'static crate::Histogram, Instant)>,
+}
+
+impl Span {
+    /// Ends the span early, recording the time spent so far.
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.hist.take() {
+            // Saturates in ~585 years; the cast cannot truncate sooner.
+            hist.record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+/// Starts timing a scope into `hist`.
+///
+/// ```
+/// static STAGE_NS: subset3d_obs::LazyHistogram =
+///     subset3d_obs::LazyHistogram::new("example.stage_ns");
+///
+/// subset3d_obs::set_enabled(true);
+/// {
+///     let _span = subset3d_obs::span(&STAGE_NS);
+///     // ... the work being timed ...
+/// }
+/// assert_eq!(subset3d_obs::snapshot().histograms["example.stage_ns"].count, 1);
+/// # subset3d_obs::set_enabled(false);
+/// # subset3d_obs::reset();
+/// ```
+pub fn span(hist: &'static LazyHistogram) -> Span {
+    Span {
+        hist: crate::enabled().then(|| (hist.resolve(), Instant::now())),
+    }
+}

@@ -97,15 +97,17 @@ mod tests {
 
     fn noisy_linear(n: usize) -> (Vec<f64>, Vec<f64>) {
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + (x * 1.3).sin() * 2.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 3.0 * x + (x * 1.3).sin() * 2.0)
+            .collect();
         (xs, ys)
     }
 
     #[test]
     fn interval_brackets_estimate() {
         let (xs, ys) = noisy_linear(40);
-        let ci =
-            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.9, 1).unwrap();
+        let ci = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.9, 1).unwrap();
         assert!(ci.lo <= ci.estimate);
         assert!(ci.estimate <= ci.hi);
         assert!(ci.hi <= 1.0 + 1e-12);
@@ -122,19 +124,20 @@ mod tests {
     #[test]
     fn wider_level_wider_interval() {
         let (xs, ys) = noisy_linear(20);
-        let narrow =
-            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.5, 3).unwrap();
-        let wide =
-            bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.99, 3).unwrap();
+        let narrow = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.5, 3).unwrap();
+        let wide = bootstrap_paired_ci(&xs, &ys, |a, b| pearson(a, b).ok(), 400, 0.99, 3).unwrap();
         assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo - 1e-12);
     }
 
     #[test]
     fn degenerate_inputs_none() {
-        assert!(bootstrap_paired_ci(&[1.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0)
-            .is_none());
-        assert!(bootstrap_paired_ci(&[1.0, 2.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0)
-            .is_none());
+        assert!(
+            bootstrap_paired_ci(&[1.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0).is_none()
+        );
+        assert!(
+            bootstrap_paired_ci(&[1.0, 2.0], &[1.0], |a, b| pearson(a, b).ok(), 10, 0.9, 0)
+                .is_none()
+        );
         // Constant series: full-sample statistic undefined.
         assert!(bootstrap_paired_ci(
             &[1.0, 1.0, 1.0],

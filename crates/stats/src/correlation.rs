@@ -151,7 +151,11 @@ fn check_pair(xs: &[f64], ys: &[f64]) -> Result<(), CorrelationError> {
 /// Fractional (average-of-ties) ranks, 1-based.
 fn fractional_ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -202,7 +206,10 @@ mod tests {
 
     #[test]
     fn pearson_too_few() {
-        assert_eq!(pearson(&[1.0], &[1.0]), Err(CorrelationError::TooFewObservations));
+        assert_eq!(
+            pearson(&[1.0], &[1.0]),
+            Err(CorrelationError::TooFewObservations)
+        );
     }
 
     #[test]

@@ -203,7 +203,7 @@ mod tests {
     fn sum_is_compensated() {
         // Naive summation of 1e16 + many 1.0s loses the small addends.
         let mut values = vec![1e16];
-        values.extend(std::iter::repeat(1.0).take(1000));
+        values.extend(std::iter::repeat_n(1.0, 1000));
         values.push(-1e16);
         assert_eq!(sum(&values), 1000.0);
     }
@@ -217,8 +217,14 @@ mod tests {
     fn iter_variants_are_bit_identical_to_slice_variants() {
         let mut values = vec![1e16, 0.1, -7.25, 3.5e-3];
         values.extend((0..500).map(|i| (i as f64).sin()));
-        assert_eq!(sum(&values).to_bits(), sum_iter(values.iter().copied()).to_bits());
-        assert_eq!(mean(&values).to_bits(), mean_iter(values.iter().copied()).to_bits());
+        assert_eq!(
+            sum(&values).to_bits(),
+            sum_iter(values.iter().copied()).to_bits()
+        );
+        assert_eq!(
+            mean(&values).to_bits(),
+            mean_iter(values.iter().copied()).to_bits()
+        );
     }
 
     #[test]

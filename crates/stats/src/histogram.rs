@@ -47,7 +47,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `hi <= lo`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty (lo={lo}, hi={hi})");
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo={lo}, hi={hi})"
+        );
         Histogram {
             lo,
             hi,
@@ -131,7 +134,7 @@ impl Histogram {
         self.counts
             .iter()
             .map(|&c| {
-                let level = (c * (BLOCKS.len() - 1) + max - 1) / max; // ceil, 0 stays 0
+                let level = (c * (BLOCKS.len() - 1)).div_ceil(max); // ceil, 0 stays 0
                 BLOCKS[level.min(BLOCKS.len() - 1)]
             })
             .collect()

@@ -38,7 +38,7 @@ pub use descriptive::{
 };
 pub use histogram::{Histogram, HistogramBin};
 pub use percentile::{median, percentile, Percentiles};
-pub use regression::{LinearFit, linear_fit};
+pub use regression::{linear_fit, LinearFit};
 pub use summary::Summary;
 
 #[cfg(test)]

@@ -3,11 +3,14 @@
 /// Percentile of `values` at `p` in `[0, 100]`, using linear interpolation
 /// between closest ranks (the same definition as NumPy's default).
 ///
-/// Returns `None` for an empty slice.
+/// Returns `None` for an empty slice or if any value is NaN — a rank has
+/// no meaning in an unordered multiset, and measurement code upstream
+/// must not be taken down by one bad sample.
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+/// Panics if `p` is outside `[0, 100]` (a caller bug, not a data
+/// property).
 ///
 /// # Examples
 ///
@@ -16,15 +19,26 @@
 /// assert_eq!(subset3d_stats::percentile(&v, 50.0), Some(2.5));
 /// assert_eq!(subset3d_stats::percentile(&v, 0.0), Some(1.0));
 /// assert_eq!(subset3d_stats::percentile(&v, 100.0), Some(4.0));
+/// assert_eq!(subset3d_stats::percentile(&[1.0, f64::NAN], 50.0), None);
 /// ```
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
-    if values.is_empty() {
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be in [0, 100], got {p}"
+    );
+    let sorted = sorted_finite_ranks(values)?;
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Sorts `values` for rank lookups; `None` for empty or NaN-bearing
+/// input.
+fn sorted_finite_ranks(values: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    Some(percentile_sorted(&sorted, p))
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted)
 }
 
 /// Percentile of an already-sorted slice. See [`percentile`].
@@ -44,7 +58,8 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
-/// Median (the 50th [`percentile`]). Returns `None` for an empty slice.
+/// Median (the 50th [`percentile`]). Returns `None` for an empty slice
+/// or NaN-bearing input.
 ///
 /// # Examples
 ///
@@ -85,17 +100,10 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Computes the percentile set; returns `None` for an empty slice.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any value is NaN.
+    /// Computes the percentile set; returns `None` for an empty slice or
+    /// NaN-bearing input (see [`percentile`]).
     pub fn of(values: &[f64]) -> Option<Self> {
-        if values.is_empty() {
-            return None;
-        }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        let sorted = sorted_finite_ranks(values)?;
         Some(Percentiles {
             p0: percentile_sorted(&sorted, 0.0),
             p25: percentile_sorted(&sorted, 25.0),
@@ -150,5 +158,23 @@ mod tests {
     #[test]
     fn unsorted_input_ok() {
         assert_eq!(median(&[5.0, 1.0, 4.0, 2.0, 3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn nan_input_returns_none() {
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 50.0), None);
+        assert_eq!(percentile(&[f64::NAN], 0.0), None);
+        assert_eq!(median(&[f64::NAN, 1.0]), None);
+        assert!(Percentiles::of(&[2.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn infinities_are_ranked_not_rejected() {
+        // Only NaN is unrankable; infinities sort to the extremes.
+        let v = [f64::NEG_INFINITY, 1.0, f64::INFINITY];
+        assert_eq!(percentile(&v, 50.0), Some(1.0));
+        let p = Percentiles::of(&v).unwrap();
+        assert_eq!(p.p0, f64::NEG_INFINITY);
+        assert_eq!(p.p100, f64::INFINITY);
     }
 }

@@ -81,7 +81,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, CorrelationError>
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Ok(LinearFit {
         slope,
         intercept,

@@ -206,7 +206,12 @@ fn get_shader(buf: &mut &[u8]) -> Result<ShaderProgram, EncodeError> {
     let stage = match buf.get_u8() {
         0 => ShaderStage::Vertex,
         1 => ShaderStage::Pixel,
-        tag => return Err(EncodeError::BadTag { what: "shader stage", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "shader stage",
+                tag,
+            })
+        }
     };
     let name = get_str(buf)?;
     need(buf, 7 * 4 + 8)?;
@@ -291,7 +296,12 @@ fn get_draw(buf: &mut &[u8]) -> Result<DrawCall, EncodeError> {
         1 => PrimitiveTopology::TriangleStrip,
         2 => PrimitiveTopology::LineList,
         3 => PrimitiveTopology::PointList,
-        tag => return Err(EncodeError::BadTag { what: "topology", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "topology",
+                tag,
+            })
+        }
     };
     need(buf, 8 + 4 + 2)?;
     let vertex_count = buf.get_u64();
@@ -344,7 +354,12 @@ fn blend_from(tag: u8) -> Result<BlendMode, EncodeError> {
         0 => BlendMode::Opaque,
         1 => BlendMode::AlphaBlend,
         2 => BlendMode::Additive,
-        tag => return Err(EncodeError::BadTag { what: "blend mode", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "blend mode",
+                tag,
+            })
+        }
     })
 }
 
@@ -361,7 +376,12 @@ fn depth_from(tag: u8) -> Result<DepthMode, EncodeError> {
         0 => DepthMode::TestAndWrite,
         1 => DepthMode::TestOnly,
         2 => DepthMode::Disabled,
-        tag => return Err(EncodeError::BadTag { what: "depth mode", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "depth mode",
+                tag,
+            })
+        }
     })
 }
 
@@ -378,7 +398,12 @@ fn cull_from(tag: u8) -> Result<CullMode, EncodeError> {
         0 => CullMode::None,
         1 => CullMode::Back,
         2 => CullMode::Front,
-        tag => return Err(EncodeError::BadTag { what: "cull mode", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "cull mode",
+                tag,
+            })
+        }
     })
 }
 
@@ -401,7 +426,12 @@ fn format_from(tag: u8) -> Result<TextureFormat, EncodeError> {
         3 => TextureFormat::Rgba16f,
         4 => TextureFormat::Rg32f,
         5 => TextureFormat::Depth24Stencil8,
-        tag => return Err(EncodeError::BadTag { what: "texture format", tag }),
+        tag => {
+            return Err(EncodeError::BadTag {
+                what: "texture format",
+                tag,
+            })
+        }
     })
 }
 

@@ -134,7 +134,11 @@ impl GameGenerator {
                 let id = shaders.add(|id| {
                     let mut p =
                         ShaderProgram::new(id, ShaderStage::Vertex, format!("vs_{class:?}"), mix);
-                    p.registers = if class == MaterialClass::Character { 32 } else { 16 };
+                    p.registers = if class == MaterialClass::Character {
+                        32
+                    } else {
+                        16
+                    };
                     p
                 });
                 (class, id)
@@ -150,7 +154,14 @@ impl GameGenerator {
                 vec![(class, None)]
             };
             for key in keys {
-                let pool = self.build_pool(key, vs_by_class[&class], sampler, shaders, textures, &mut materials);
+                let pool = self.build_pool(
+                    key,
+                    vs_by_class[&class],
+                    sampler,
+                    shaders,
+                    textures,
+                    &mut materials,
+                );
                 pools.insert(key, pool);
             }
         }
@@ -268,7 +279,11 @@ impl GameGenerator {
         };
 
         let lookup = |class: MaterialClass| -> &[usize] {
-            let key = if is_area_class(class) { (class, area) } else { (class, None) };
+            let key = if is_area_class(class) {
+                (class, area)
+            } else {
+                (class, None)
+            };
             pools.get(&key).map(Vec::as_slice).unwrap_or(&[])
         };
 
@@ -299,7 +314,12 @@ impl GameGenerator {
         } else {
             Vec::new()
         };
-        Palette { shadow, sky, post, bulk }
+        Palette {
+            shadow,
+            sky,
+            post,
+            bulk,
+        }
     }
 
     /// Emits one frame's draws.
@@ -314,9 +334,9 @@ impl GameGenerator {
         next_draw_id: &mut u64,
         sampler: &mut Sampler,
     ) -> Vec<DrawCall> {
-        let target =
-            ((self.profile.draws_per_frame as f64 * kind.load_multiplier() * cam).round() as usize)
-                .max(1);
+        let target = ((self.profile.draws_per_frame as f64 * kind.load_multiplier() * cam).round()
+            as usize)
+            .max(1);
         // The shadow pass takes ~8% of the frame's draw budget (at least
         // one draw per shadow material so the pass always exists).
         let shadow_count = if palette.shadow.is_empty() {
@@ -334,9 +354,14 @@ impl GameGenerator {
                 // Round-robin over shadow materials, keeping draws grouped
                 // by material as a sorted shadow pass would.
                 let pick = palette.shadow[i * palette.shadow.len() / shadow_count];
-                shadow_draws.push(
-                    self.synth_draw(pick, materials, material_states, cam, next_draw_id, sampler),
-                );
+                shadow_draws.push(self.synth_draw(
+                    pick,
+                    materials,
+                    material_states,
+                    cam,
+                    next_draw_id,
+                    sampler,
+                ));
             }
             draws.extend(shadow_draws);
         }
@@ -345,9 +370,14 @@ impl GameGenerator {
             let mut bulk_draws = Vec::with_capacity(bulk_count);
             for _ in 0..bulk_count {
                 let pick = palette.bulk[sampler.weighted_index(&weights)].material;
-                bulk_draws.push(
-                    self.synth_draw(pick, materials, material_states, cam, next_draw_id, sampler),
-                );
+                bulk_draws.push(self.synth_draw(
+                    pick,
+                    materials,
+                    material_states,
+                    cam,
+                    next_draw_id,
+                    sampler,
+                ));
             }
             // Engines render the shadow pass first, then sort opaque
             // batches by material to minimise state changes; mirror that so
@@ -367,16 +397,35 @@ impl GameGenerator {
                 .unwrap_or(bulk_draws.len());
             draws.extend(bulk_draws.drain(..main_start));
             if let Some(sky) = palette.sky {
-                draws.push(
-                    self.synth_draw(sky, materials, material_states, cam, next_draw_id, sampler),
-                );
+                draws.push(self.synth_draw(
+                    sky,
+                    materials,
+                    material_states,
+                    cam,
+                    next_draw_id,
+                    sampler,
+                ));
             }
             draws.extend(bulk_draws);
         } else if let Some(sky) = palette.sky {
-            draws.push(self.synth_draw(sky, materials, material_states, cam, next_draw_id, sampler));
+            draws.push(self.synth_draw(
+                sky,
+                materials,
+                material_states,
+                cam,
+                next_draw_id,
+                sampler,
+            ));
         }
         for &post in &palette.post {
-            draws.push(self.synth_draw(post, materials, material_states, cam, next_draw_id, sampler));
+            draws.push(self.synth_draw(
+                post,
+                materials,
+                material_states,
+                cam,
+                next_draw_id,
+                sampler,
+            ));
         }
         draws
     }
@@ -470,8 +519,11 @@ fn is_area_class(class: MaterialClass) -> bool {
 /// Distinct areas referenced by the script, plus area 0 as a fallback so
 /// area-bound pools exist even for menu-only scripts.
 fn collect_areas(script: &PhaseScript) -> Vec<u8> {
-    let mut set: std::collections::BTreeSet<u8> =
-        script.segments().iter().filter_map(|s| s.kind.area()).collect();
+    let mut set: std::collections::BTreeSet<u8> = script
+        .segments()
+        .iter()
+        .filter_map(|s| s.kind.area())
+        .collect();
     set.insert(0);
     set.into_iter().collect()
 }
@@ -498,7 +550,11 @@ fn texture_spec(class: MaterialClass, sampler: &mut Sampler) -> (u32, TextureFor
         MaterialClass::Terrain => (1024, TextureFormat::Bc1),
         MaterialClass::StaticMesh => {
             let size = [512, 1024][sampler.uniform_usize(0, 1)];
-            let fmt = if sampler.chance(0.5) { TextureFormat::Bc1 } else { TextureFormat::Bc3 };
+            let fmt = if sampler.chance(0.5) {
+                TextureFormat::Bc1
+            } else {
+                TextureFormat::Bc3
+            };
             (size, fmt)
         }
         MaterialClass::Character => (1024, TextureFormat::Bc3),
@@ -517,7 +573,10 @@ mod tests {
     use crate::gen::GameProfile;
 
     fn small() -> GameGenerator {
-        GameProfile::shooter("t").frames(12).draws_per_frame(60).build(5)
+        GameProfile::shooter("t")
+            .frames(12)
+            .draws_per_frame(60)
+            .build(5)
     }
 
     #[test]
@@ -529,8 +588,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = GameProfile::shooter("t").frames(6).draws_per_frame(40).build(1).generate();
-        let b = GameProfile::shooter("t").frames(6).draws_per_frame(40).build(2).generate();
+        let a = GameProfile::shooter("t")
+            .frames(6)
+            .draws_per_frame(40)
+            .build(1)
+            .generate();
+        let b = GameProfile::shooter("t")
+            .frames(6)
+            .draws_per_frame(40)
+            .build(2)
+            .generate();
         assert_ne!(a, b);
     }
 
@@ -551,8 +618,11 @@ mod tests {
     #[test]
     fn draw_ids_are_unique_and_dense() {
         let w = small().generate();
-        let mut ids: Vec<u64> =
-            w.frames().iter().flat_map(|f| f.draws().iter().map(|d| d.id.raw())).collect();
+        let mut ids: Vec<u64> = w
+            .frames()
+            .iter()
+            .flat_map(|f| f.draws().iter().map(|d| d.id.raw()))
+            .collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
@@ -597,9 +667,13 @@ mod tests {
             if *kind == PhaseKind::Explore(0) {
                 let set = frame.shader_set();
                 if !seen_gap {
-                    first_explore0.get_or_insert_with(Default::default).extend(set);
+                    first_explore0
+                        .get_or_insert_with(Default::default)
+                        .extend(set);
                 } else {
-                    last_explore0.get_or_insert_with(Default::default).extend(set);
+                    last_explore0
+                        .get_or_insert_with(Default::default)
+                        .extend(set);
                 }
             } else if first_explore0.is_some() {
                 seen_gap = true;
@@ -660,7 +734,11 @@ mod tests {
         }
         assert!(gbuffer_draws > 0, "deferred frames must write the G-buffer");
         // Forward mode never writes 16F targets.
-        let fwd = GameProfile::shooter("t").frames(12).draws_per_frame(60).build(5).generate();
+        let fwd = GameProfile::shooter("t")
+            .frames(12)
+            .draws_per_frame(60)
+            .build(5)
+            .generate();
         assert!(fwd
             .frames()
             .iter()
@@ -671,7 +749,11 @@ mod tests {
     #[test]
     fn deferred_workloads_move_more_bytes() {
         // Fat G-buffer writes must show up as extra memory traffic.
-        let fwd = GameProfile::shooter("t").frames(6).draws_per_frame(80).build(9).generate();
+        let fwd = GameProfile::shooter("t")
+            .frames(6)
+            .draws_per_frame(80)
+            .build(9)
+            .generate();
         let dfr = GameProfile::shooter("t")
             .frames(6)
             .draws_per_frame(80)
@@ -687,7 +769,12 @@ mod tests {
                 .map(|d| d.render_target.bytes_per_pixel() * d.shaded_pixels())
                 .sum()
         };
-        assert!(bpp(&dfr) > bpp(&fwd) * 1.3, "{} vs {}", bpp(&dfr), bpp(&fwd));
+        assert!(
+            bpp(&dfr) > bpp(&fwd) * 1.3,
+            "{} vs {}",
+            bpp(&dfr),
+            bpp(&fwd)
+        );
     }
 
     #[test]

@@ -205,7 +205,11 @@ impl MaterialClass {
             transcendental: 1,
             texture_samples: 0,
             interpolants: sampler.uniform_usize(4, 10) as u32,
-            control_flow: if self == MaterialClass::Character { 3 } else { 1 },
+            control_flow: if self == MaterialClass::Character {
+                3
+            } else {
+                1
+            },
         }
     }
 }

@@ -78,7 +78,10 @@ impl PhaseScript {
     ///
     /// Panics if `segments` is empty or any segment has zero frames.
     pub fn new(segments: Vec<PhaseSegment>) -> Self {
-        assert!(!segments.is_empty(), "phase script needs at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "phase script needs at least one segment"
+        );
         assert!(
             segments.iter().all(|s| s.frames > 0),
             "every segment needs at least one frame"
@@ -157,13 +160,19 @@ impl PhaseScript {
     ///
     /// Panics if `weights` is empty or `total_frames` is zero.
     pub fn from_weights(total_frames: usize, weights: &[(PhaseKind, f64)]) -> Self {
-        assert!(!weights.is_empty(), "phase script needs at least one segment");
+        assert!(
+            !weights.is_empty(),
+            "phase script needs at least one segment"
+        );
         assert!(total_frames > 0, "phase script needs at least one frame");
         let trimmed: Vec<(PhaseKind, f64)>;
         let weights = if total_frames < weights.len() {
             let mut order: Vec<usize> = (0..weights.len()).collect();
             order.sort_by(|&a, &b| {
-                weights[b].1.partial_cmp(&weights[a].1).unwrap_or(std::cmp::Ordering::Equal)
+                weights[b]
+                    .1
+                    .partial_cmp(&weights[a].1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut keep: Vec<usize> = order.into_iter().take(total_frames).collect();
             keep.sort_unstable();
@@ -232,7 +241,7 @@ impl PhaseScript {
     pub fn per_frame(&self) -> Vec<PhaseKind> {
         let mut out = Vec::with_capacity(self.total_frames());
         for s in &self.segments {
-            out.extend(std::iter::repeat(s.kind).take(s.frames));
+            out.extend(std::iter::repeat_n(s.kind, s.frames));
         }
         out
     }

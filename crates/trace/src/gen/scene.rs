@@ -124,7 +124,10 @@ mod tests {
         assert!(samples.iter().all(|&v| v > 0.0));
         let mean = subset3d_stats::mean(&samples);
         let med = subset3d_stats::median(&samples).unwrap();
-        assert!(mean > med, "lognormal mean {mean} should exceed median {med}");
+        assert!(
+            mean > med,
+            "lognormal mean {mean} should exceed median {med}"
+        );
     }
 
     #[test]

@@ -68,8 +68,14 @@ pub fn merge_workloads(name: impl Into<String>, workloads: &[&Workload]) -> Work
         // Re-intern states with remapped shaders.
         let mut state_map: BTreeMap<StateId, StateId> = BTreeMap::new();
         for s in w.states().iter() {
-            let vs = shader_map.get(&s.vertex_shader).copied().unwrap_or(s.vertex_shader);
-            let ps = shader_map.get(&s.pixel_shader).copied().unwrap_or(s.pixel_shader);
+            let vs = shader_map
+                .get(&s.vertex_shader)
+                .copied()
+                .unwrap_or(s.vertex_shader);
+            let ps = shader_map
+                .get(&s.pixel_shader)
+                .copied()
+                .unwrap_or(s.pixel_shader);
             let new_id = states.intern(vs, ps, s.blend, s.depth, s.cull);
             state_map.insert(s.id, new_id);
         }
@@ -115,8 +121,16 @@ mod tests {
 
     fn pair() -> (Workload, Workload) {
         (
-            GameProfile::shooter("a").frames(4).draws_per_frame(30).build(10).generate(),
-            GameProfile::racing("b").frames(3).draws_per_frame(25).build(11).generate(),
+            GameProfile::shooter("a")
+                .frames(4)
+                .draws_per_frame(30)
+                .build(10)
+                .generate(),
+            GameProfile::racing("b")
+                .frames(3)
+                .draws_per_frame(25)
+                .build(11)
+                .generate(),
         )
     }
 
@@ -128,7 +142,10 @@ mod tests {
         assert_eq!(suite.frames().len(), 7);
         assert_eq!(suite.total_draws(), a.total_draws() + b.total_draws());
         assert_eq!(suite.shaders().len(), a.shaders().len() + b.shaders().len());
-        assert_eq!(suite.textures().len(), a.textures().len() + b.textures().len());
+        assert_eq!(
+            suite.textures().len(),
+            a.textures().len() + b.textures().len()
+        );
     }
 
     #[test]

@@ -108,7 +108,12 @@ pub struct ShaderProgram {
 
 impl ShaderProgram {
     /// Creates a program with neutral divergence and register pressure.
-    pub fn new(id: ShaderId, stage: ShaderStage, name: impl Into<String>, mix: InstructionMix) -> Self {
+    pub fn new(
+        id: ShaderId,
+        stage: ShaderStage,
+        name: impl Into<String>,
+        mix: InstructionMix,
+    ) -> Self {
         ShaderProgram {
             id,
             stage,
@@ -233,7 +238,12 @@ mod tests {
     #[test]
     fn insert_keeps_allocator_ahead() {
         let mut lib = ShaderLibrary::new();
-        lib.insert(ShaderProgram::new(ShaderId(10), ShaderStage::Pixel, "x", mix()));
+        lib.insert(ShaderProgram::new(
+            ShaderId(10),
+            ShaderStage::Pixel,
+            "x",
+            mix(),
+        ));
         let next = lib.add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "y", mix()));
         assert_eq!(next, ShaderId(11));
     }
@@ -248,8 +258,18 @@ mod tests {
     #[test]
     fn iter_in_id_order() {
         let mut lib = ShaderLibrary::new();
-        lib.insert(ShaderProgram::new(ShaderId(2), ShaderStage::Pixel, "c", mix()));
-        lib.insert(ShaderProgram::new(ShaderId(0), ShaderStage::Vertex, "a", mix()));
+        lib.insert(ShaderProgram::new(
+            ShaderId(2),
+            ShaderStage::Pixel,
+            "c",
+            mix(),
+        ));
+        lib.insert(ShaderProgram::new(
+            ShaderId(0),
+            ShaderStage::Vertex,
+            "a",
+            mix(),
+        ));
         let names: Vec<_> = lib.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, vec!["a", "c"]);
     }

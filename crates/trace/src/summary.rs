@@ -71,12 +71,15 @@ impl WorkloadSummary {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::gen::GameProfile;
 
     #[test]
     fn summary_counts_match_workload() {
-        let w = GameProfile::shooter("s").frames(6).draws_per_frame(30).build(3).generate();
+        let w = GameProfile::shooter("s")
+            .frames(6)
+            .draws_per_frame(30)
+            .build(3)
+            .generate();
         let s = w.summary();
         assert_eq!(s.frames, 6);
         assert_eq!(s.draws, w.total_draws());
@@ -89,7 +92,11 @@ mod tests {
 
     #[test]
     fn state_changes_bounded_by_draws() {
-        let w = GameProfile::shooter("s").frames(5).draws_per_frame(60).build(4).generate();
+        let w = GameProfile::shooter("s")
+            .frames(5)
+            .draws_per_frame(60)
+            .build(4)
+            .generate();
         let s = w.summary();
         // At most one change per adjacent pair; material sorting should
         // keep changes well below the bound.
@@ -103,7 +110,11 @@ mod tests {
 
     #[test]
     fn referenced_resources_do_not_exceed_tables() {
-        let w = GameProfile::shooter("s").frames(4).draws_per_frame(25).build(9).generate();
+        let w = GameProfile::shooter("s")
+            .frames(4)
+            .draws_per_frame(25)
+            .build(9)
+            .generate();
         let s = w.summary();
         assert!(s.unique_shaders <= w.shaders().len());
         assert!(s.unique_textures <= w.textures().len());

@@ -108,6 +108,9 @@ mod tests {
 
     #[test]
     fn default_is_back_buffer() {
-        assert_eq!(RenderTargetDesc::default(), RenderTargetDesc::back_buffer_1080p());
+        assert_eq!(
+            RenderTargetDesc::default(),
+            RenderTargetDesc::back_buffer_1080p()
+        );
     }
 }

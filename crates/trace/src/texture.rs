@@ -178,7 +178,7 @@ mod tests {
     fn mip_chain_stops_at_subtexel_levels() {
         // A 2x2 texture with an absurd mip count must not under/overflow.
         let f = tex(0, 2, 2, 20, TextureFormat::Rgba8).footprint_bytes();
-        assert!(f >= 16.0 && f < 32.0);
+        assert!((16.0..32.0).contains(&f));
     }
 
     #[test]

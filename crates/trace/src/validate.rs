@@ -70,19 +70,35 @@ pub enum ValidationIssue {
 impl fmt::Display for ValidationIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationIssue::MissingShader { frame, draw, shader } => {
+            ValidationIssue::MissingShader {
+                frame,
+                draw,
+                shader,
+            } => {
                 write!(f, "{frame}/{draw}: references missing shader {shader}")
             }
-            ValidationIssue::MissingTexture { frame, draw, texture } => {
+            ValidationIssue::MissingTexture {
+                frame,
+                draw,
+                texture,
+            } => {
                 write!(f, "{frame}/{draw}: references missing texture {texture}")
             }
             ValidationIssue::MissingState { frame, draw, state } => {
                 write!(f, "{frame}/{draw}: references missing state {state}")
             }
             ValidationIssue::StateShaderMismatch { frame, draw } => {
-                write!(f, "{frame}/{draw}: denormalised shaders disagree with interned state")
+                write!(
+                    f,
+                    "{frame}/{draw}: denormalised shaders disagree with interned state"
+                )
             }
-            ValidationIssue::OutOfRange { frame, draw, field, value } => {
+            ValidationIssue::OutOfRange {
+                frame,
+                draw,
+                field,
+                value,
+            } => {
                 write!(f, "{frame}/{draw}: field {field} out of range ({value})")
             }
             ValidationIssue::EmptyGeometry { frame, draw } => {
@@ -174,26 +190,48 @@ mod tests {
     use crate::state::{BlendMode, CullMode, DepthMode, StateTable};
     use crate::texture::TextureRegistry;
 
-    fn base() -> (ShaderLibrary, StateTable, TextureRegistry, StateId, ShaderId, ShaderId) {
+    fn base() -> (
+        ShaderLibrary,
+        StateTable,
+        TextureRegistry,
+        StateId,
+        ShaderId,
+        ShaderId,
+    ) {
         let mut shaders = ShaderLibrary::new();
-        let vs = shaders
-            .add(|id| ShaderProgram::new(id, ShaderStage::Vertex, "vs", Default::default()));
-        let ps = shaders
-            .add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "ps", Default::default()));
+        let vs =
+            shaders.add(|id| ShaderProgram::new(id, ShaderStage::Vertex, "vs", Default::default()));
+        let ps =
+            shaders.add(|id| ShaderProgram::new(id, ShaderStage::Pixel, "ps", Default::default()));
         let mut states = StateTable::new();
-        let st = states.intern(vs, ps, BlendMode::Opaque, DepthMode::TestAndWrite, CullMode::Back);
+        let st = states.intern(
+            vs,
+            ps,
+            BlendMode::Opaque,
+            DepthMode::TestAndWrite,
+            CullMode::Back,
+        );
         (shaders, states, TextureRegistry::new(), st, vs, ps)
     }
 
     #[test]
     fn dangling_shader_reported() {
         let (shaders, states, textures, st, vs, _) = base();
-        let draw = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ShaderId(99)).build();
-        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![draw])], shaders, textures, states);
+        let draw = DrawCall::builder(DrawId(0))
+            .state(st)
+            .shaders(vs, ShaderId(99))
+            .build();
+        let w = Workload::new(
+            "t",
+            vec![Frame::new(FrameId(0), vec![draw])],
+            shaders,
+            textures,
+            states,
+        );
         let issues = w.validate();
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::MissingShader { shader, .. } if shader.raw() == 99)));
+        assert!(issues.iter().any(
+            |i| matches!(i, ValidationIssue::MissingShader { shader, .. } if shader.raw() == 99)
+        ));
         // The state/shader mismatch is also reported.
         assert!(issues
             .iter()
@@ -208,17 +246,25 @@ mod tests {
             .shaders(vs, ps)
             .textures(vec![TextureId(42)])
             .build();
-        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![draw])], shaders, textures, states);
-        assert!(w
-            .validate()
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::MissingTexture { texture, .. } if texture.raw() == 42)));
+        let w = Workload::new(
+            "t",
+            vec![Frame::new(FrameId(0), vec![draw])],
+            shaders,
+            textures,
+            states,
+        );
+        assert!(w.validate().iter().any(
+            |i| matches!(i, ValidationIssue::MissingTexture { texture, .. } if texture.raw() == 42)
+        ));
     }
 
     #[test]
     fn duplicate_draw_ids_reported() {
         let (shaders, states, textures, st, vs, ps) = base();
-        let d = DrawCall::builder(DrawId(7)).state(st).shaders(vs, ps).build();
+        let d = DrawCall::builder(DrawId(7))
+            .state(st)
+            .shaders(vs, ps)
+            .build();
         let w = Workload::new(
             "t",
             vec![Frame::new(FrameId(0), vec![d.clone(), d])],
@@ -235,9 +281,18 @@ mod tests {
     #[test]
     fn zero_vertices_reported() {
         let (shaders, states, textures, st, vs, ps) = base();
-        let mut d = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ps).build();
+        let mut d = DrawCall::builder(DrawId(0))
+            .state(st)
+            .shaders(vs, ps)
+            .build();
         d.vertex_count = 0;
-        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![d])], shaders, textures, states);
+        let w = Workload::new(
+            "t",
+            vec![Frame::new(FrameId(0), vec![d])],
+            shaders,
+            textures,
+            states,
+        );
         assert!(w
             .validate()
             .iter()
@@ -247,13 +302,25 @@ mod tests {
     #[test]
     fn out_of_range_coverage_reported() {
         let (shaders, states, textures, st, vs, ps) = base();
-        let mut d = DrawCall::builder(DrawId(0)).state(st).shaders(vs, ps).build();
+        let mut d = DrawCall::builder(DrawId(0))
+            .state(st)
+            .shaders(vs, ps)
+            .build();
         d.coverage = 1.5; // bypasses the builder clamp on purpose
-        let w = Workload::new("t", vec![Frame::new(FrameId(0), vec![d])], shaders, textures, states);
-        assert!(w
-            .validate()
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::OutOfRange { field: "coverage", .. })));
+        let w = Workload::new(
+            "t",
+            vec![Frame::new(FrameId(0), vec![d])],
+            shaders,
+            textures,
+            states,
+        );
+        assert!(w.validate().iter().any(|i| matches!(
+            i,
+            ValidationIssue::OutOfRange {
+                field: "coverage",
+                ..
+            }
+        )));
     }
 
     #[test]

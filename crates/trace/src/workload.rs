@@ -126,7 +126,12 @@ mod tests {
             crate::DepthMode::TestAndWrite,
             crate::CullMode::Back,
         );
-        let draw = |id: u64| DrawCall::builder(DrawId(id)).state(st).shaders(vs, ps).build();
+        let draw = |id: u64| {
+            DrawCall::builder(DrawId(id))
+                .state(st)
+                .shaders(vs, ps)
+                .build()
+        };
         let frames = vec![
             Frame::new(FrameId(0), vec![draw(0)]),
             Frame::new(FrameId(1), vec![draw(1), draw(2)]),

@@ -7,21 +7,23 @@ use subset3d_trace::{decode_workload, encode_workload};
 
 fn profile_strategy() -> impl Strategy<Value = (u8, usize, usize, usize, u64)> {
     (
-        0u8..3,        // genre
-        3usize..20,    // frames
-        10usize..80,   // draws per frame
-        1usize..6,     // shader variants
-        any::<u64>(),  // seed
+        0u8..3,       // genre
+        3usize..20,   // frames
+        10usize..80,  // draws per frame
+        1usize..6,    // shader variants
+        any::<u64>(), // seed
     )
 }
 
-fn build(genre: u8, frames: usize, draws: usize, variants: usize, seed: u64) -> GameProfile {
+fn build(genre: u8, frames: usize, draws: usize, variants: usize, _seed: u64) -> GameProfile {
     let p = match genre {
         0 => GameProfile::shooter("prop"),
         1 => GameProfile::rts("prop"),
         _ => GameProfile::racing("prop"),
     };
-    p.frames(frames).draws_per_frame(draws).shader_variants(variants)
+    p.frames(frames)
+        .draws_per_frame(draws)
+        .shader_variants(variants)
 }
 
 proptest! {

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bytes = encode_workload(&workload);
     let decoded = decode_workload(&bytes)?;
     assert_eq!(workload, decoded);
-    println!("binary trace: {:.2} MiB, round-trips exactly", bytes.len() as f64 / (1 << 20) as f64);
+    println!(
+        "binary trace: {:.2} MiB, round-trips exactly",
+        bytes.len() as f64 / (1 << 20) as f64
+    );
 
     // Where does this game spend its GPU time?
     let sim = Simulator::new(ArchConfig::baseline());
@@ -54,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut by_stage: std::collections::BTreeMap<String, f64> = Default::default();
     for frame in &cost.frames {
         for draw in &frame.draws {
-            *by_stage.entry(format!("{:?}", draw.bottleneck)).or_default() += draw.time_ns;
+            *by_stage
+                .entry(format!("{:?}", draw.bottleneck))
+                .or_default() += draw.time_ns;
         }
     }
     println!("\nbottleneck breakdown (fraction of GPU time):");

@@ -29,9 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Detection: what shader vectors reveal (the detector never sees the
     // script).
     let interval = 5;
-    let analysis = PhaseDetector::new(interval).with_similarity(0.85).detect(&workload)?;
+    let analysis = PhaseDetector::new(interval)
+        .with_similarity(0.85)
+        .detect(&workload)?;
     let timeline: String = analysis.sequence().iter().map(|&p| letter(p)).collect();
-    println!("\ndetected timeline ({} frames per letter): {timeline}", interval);
+    println!(
+        "\ndetected timeline ({} frames per letter): {timeline}",
+        interval
+    );
 
     let pattern = PhasePattern::of(&analysis);
     println!(
@@ -51,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 *kinds.entry(truth.per_frame[f]).or_default() += 1;
             }
         }
-        let composition: Vec<String> =
-            kinds.iter().map(|(k, n)| format!("{k:?}×{n}")).collect();
+        let composition: Vec<String> = kinds.iter().map(|(k, n)| format!("{k:?}×{n}")).collect();
         println!(
             "  phase {} ({} shaders, {} occurrences): {}",
             letter(phase.id),

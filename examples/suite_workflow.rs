@@ -11,9 +11,21 @@ use subset3d::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A three-genre mini-corpus.
     let suite = vec![
-        GameProfile::shooter("alpha").frames(40).draws_per_frame(500).build(1).generate(),
-        GameProfile::rts("bravo").frames(36).draws_per_frame(450).build(2).generate(),
-        GameProfile::racing("charlie").frames(32).draws_per_frame(400).build(3).generate(),
+        GameProfile::shooter("alpha")
+            .frames(40)
+            .draws_per_frame(500)
+            .build(1)
+            .generate(),
+        GameProfile::rts("bravo")
+            .frames(36)
+            .draws_per_frame(450)
+            .build(2)
+            .generate(),
+        GameProfile::racing("charlie")
+            .frames(32)
+            .draws_per_frame(400)
+            .build(3)
+            .generate(),
     ];
     let sim = Simulator::new(ArchConfig::baseline());
 
@@ -45,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         validate_suite_scaling(&suite, &outcome, &ArchConfig::baseline(), &sweep)?;
     let mut table = Table::new(vec!["core MHz", "parent improvement", "subset improvement"]);
     for ((mhz, p), s) in sweep.points_mhz().iter().zip(&parent).zip(&subset) {
-        table.row(vec![format!("{mhz:.0}"), format!("{p:.4}x"), format!("{s:.4}x")]);
+        table.row(vec![
+            format!("{mhz:.0}"),
+            format!("{p:.4}x"),
+            format!("{s:.4}x"),
+        ]);
     }
     println!("{}", table.render());
     println!("suite scaling correlation: r = {r:.4} (paper: 0.997+)");

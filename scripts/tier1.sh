@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
-# Tier-1 gate (see ROADMAP.md): release build + test suite, then the
-# pipeline throughput report (writes BENCH_pipeline.json at repo root).
+# Tier-1 gate (see ROADMAP.md): formatting and lint gates, release build +
+# test suite, then the pipeline throughput report (writes
+# BENCH_pipeline.json at repo root).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
 
 cargo build --release
 cargo test -q

@@ -12,8 +12,16 @@ use subset3d::prelude::*;
 fn global_clustering_composes_with_merged_suites() {
     // Merge two games, cluster the suite globally, and verify the global
     // prediction holds at frame granularity across the game boundary.
-    let a = GameProfile::shooter("a").frames(8).draws_per_frame(60).build(71).generate();
-    let b = GameProfile::racing("b").frames(6).draws_per_frame(50).build(72).generate();
+    let a = GameProfile::shooter("a")
+        .frames(8)
+        .draws_per_frame(60)
+        .build(71)
+        .generate();
+    let b = GameProfile::racing("b")
+        .frames(6)
+        .draws_per_frame(50)
+        .build(72)
+        .generate();
     let suite = merge_workloads("suite", &[&a, &b]);
     let sim = Simulator::new(ArchConfig::baseline());
     let costs = sim.simulate_workload(&suite).unwrap();
@@ -51,14 +59,22 @@ fn suite_energy_estimation_via_subsets() {
     // Estimate suite energy from per-game subsets and compare with the
     // full simulation — the E11 path exercised through the public API.
     let suite = vec![
-        GameProfile::shooter("x").frames(10).draws_per_frame(60).build(81).generate(),
-        GameProfile::rts("y").frames(8).draws_per_frame(50).build(82).generate(),
+        GameProfile::shooter("x")
+            .frames(10)
+            .draws_per_frame(60)
+            .build(81)
+            .generate(),
+        GameProfile::rts("y")
+            .frames(8)
+            .draws_per_frame(50)
+            .build(82)
+            .generate(),
     ];
     let config = ArchConfig::baseline();
     let sim = Simulator::new(config.clone());
     let model = PowerModel::default_for(&config);
-    let outcome = subset_suite(&suite, &SubsetConfig::default().with_interval_len(4), &sim)
-        .unwrap();
+    let outcome =
+        subset_suite(&suite, &SubsetConfig::default().with_interval_len(4), &sim).unwrap();
 
     let mut parent_energy = 0.0;
     let mut subset_energy = 0.0;
@@ -74,7 +90,11 @@ fn suite_energy_estimation_via_subsets() {
         }
     }
     let err = (subset_energy - parent_energy).abs() / parent_energy;
-    assert!(err < 0.15, "suite energy estimate off by {:.1}%", err * 100.0);
+    assert!(
+        err < 0.15,
+        "suite energy estimate off by {:.1}%",
+        err * 100.0
+    );
     assert!(energy_delay_product(&Default::default(), 0.0) == 0.0);
 }
 
@@ -96,7 +116,11 @@ fn deferred_renderer_flows_through_the_whole_pipeline() {
 
     // Deferred frames are more memory-leaning than forward frames of the
     // same content.
-    let fwd = GameProfile::shooter("fwd").frames(16).draws_per_frame(80).build(91).generate();
+    let fwd = GameProfile::shooter("fwd")
+        .frames(16)
+        .draws_per_frame(80)
+        .build(91)
+        .generate();
     let mem_share = |w: &Workload| {
         let cost = sim.simulate_workload(w).unwrap();
         let by_stage = cost.bottleneck_breakdown();

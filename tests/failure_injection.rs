@@ -8,7 +8,11 @@ use subset3d::trace::gen::GameProfile;
 use subset3d::trace::{decode_workload, encode_workload, Frame, ShaderId, Workload};
 
 fn game(seed: u64) -> Workload {
-    GameProfile::shooter("victim").frames(6).draws_per_frame(30).build(seed).generate()
+    GameProfile::shooter("victim")
+        .frames(6)
+        .draws_per_frame(30)
+        .build(seed)
+        .generate()
 }
 
 /// Rebuilds a workload with one draw's pixel shader dangling.
@@ -51,7 +55,10 @@ fn truncation_at_every_prefix_is_an_error_not_a_panic() {
     // Exhaustively truncate the header region, then sample the body.
     for cut in (0..64.min(bytes.len())).chain((64..bytes.len()).step_by(997)) {
         let result = decode_workload(&bytes[..cut]);
-        assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+        assert!(
+            result.is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
     }
 }
 
@@ -73,14 +80,11 @@ proptest! {
         let mut bytes = encode_workload(&w).to_vec();
         let idx = offset % bytes.len();
         bytes[idx] ^= flip;
-        match decode_workload(&bytes) {
-            // A payload flip may decode to a different (possibly invalid)
-            // workload; validation is the next line of defence and must not
-            // panic either.
-            Ok(decoded) => {
-                let _ = decoded.validate();
-            }
-            Err(_) => {}
+        // A payload flip may decode to a different (possibly invalid)
+        // workload; validation is the next line of defence and must not
+        // panic either.
+        if let Ok(decoded) = decode_workload(&bytes) {
+            let _ = decoded.validate();
         }
     }
 }
@@ -117,7 +121,9 @@ fn simulator_is_finite_on_extreme_draws() {
 fn subset_replay_against_truncated_workload_is_typed_error() {
     let w = game(5);
     let sim = Simulator::new(ArchConfig::baseline());
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
+        .unwrap();
     // Drop the back half of the frames: subset references must now dangle.
     let truncated = w.select_frames(&(0..2).collect::<Vec<_>>());
     assert!(matches!(

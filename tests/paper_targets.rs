@@ -13,9 +13,21 @@ use subset3d::trace::Workload;
 
 fn mini_corpus() -> Vec<Workload> {
     vec![
-        GameProfile::shooter("mini-shock").frames(24).draws_per_frame(200).build(1).generate(),
-        GameProfile::rts("mini-strat").frames(20).draws_per_frame(180).build(2).generate(),
-        GameProfile::racing("mini-speed").frames(20).draws_per_frame(160).build(3).generate(),
+        GameProfile::shooter("mini-shock")
+            .frames(24)
+            .draws_per_frame(200)
+            .build(1)
+            .generate(),
+        GameProfile::rts("mini-strat")
+            .frames(20)
+            .draws_per_frame(180)
+            .build(2)
+            .generate(),
+        GameProfile::racing("mini-speed")
+            .frames(20)
+            .draws_per_frame(160)
+            .build(3)
+            .generate(),
     ]
 }
 
@@ -55,8 +67,8 @@ fn every_mini_game_validates_individually() {
     let outcome = subset_suite(&corpus, &config, &sim).unwrap();
     let sweep = FrequencySweep::new(vec![400.0, 800.0, 1200.0]);
     for (w, (name, o)) in corpus.iter().zip(&outcome.games) {
-        let v = frequency_scaling_validation(w, &o.subset, &ArchConfig::baseline(), &sweep)
-            .unwrap();
+        let v =
+            frequency_scaling_validation(w, &o.subset, &ArchConfig::baseline(), &sweep).unwrap();
         assert!(v.correlation > 0.99, "{name}: r = {}", v.correlation);
         assert!(o.subset.draw_fraction() < 0.15, "{name}: subset too large");
         assert!(o.phases.phase_count() >= 1, "{name}: no phases");

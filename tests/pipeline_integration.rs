@@ -20,7 +20,9 @@ fn small_game(seed: u64) -> Workload {
 fn pipeline_produces_consistent_outcome() {
     let w = small_game(100);
     let sim = Simulator::new(ArchConfig::baseline());
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
+        .unwrap();
 
     // Clusterings partition every frame.
     for (frame, clustering) in w.frames().iter().zip(&outcome.clusterings) {
@@ -28,7 +30,12 @@ fn pipeline_produces_consistent_outcome() {
         assert_eq!(member_total, frame.draw_count());
     }
     // Phase bookkeeping covers every interval.
-    let covered: usize = outcome.phases.phases.iter().map(|p| p.intervals.len()).sum();
+    let covered: usize = outcome
+        .phases
+        .phases
+        .iter()
+        .map(|p| p.intervals.len())
+        .sum();
     assert_eq!(covered, outcome.phases.intervals.len());
     // The subset references valid structure.
     outcome.subset.validate(&w).unwrap();
@@ -40,10 +47,12 @@ fn pipeline_produces_consistent_outcome() {
 fn subset_tracks_parent_under_frequency_scaling() {
     let w = small_game(101);
     let sim = Simulator::new(ArchConfig::baseline());
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
-    let sweep = FrequencySweep::new(vec![400.0, 800.0, 1200.0]);
-    let v = frequency_scaling_validation(&w, &outcome.subset, &ArchConfig::baseline(), &sweep)
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
         .unwrap();
+    let sweep = FrequencySweep::new(vec![400.0, 800.0, 1200.0]);
+    let v =
+        frequency_scaling_validation(&w, &outcome.subset, &ArchConfig::baseline(), &sweep).unwrap();
     assert!(v.correlation > 0.99, "r = {}", v.correlation);
     // Both series are genuine speedups (above 1 at higher clocks).
     assert!(v.parent_improvement[2] > 1.2);
@@ -54,8 +63,14 @@ fn subset_tracks_parent_under_frequency_scaling() {
 fn subset_ranks_design_points_like_parent() {
     let w = small_game(102);
     let sim = Simulator::new(ArchConfig::baseline());
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
-    let candidates = vec![ArchConfig::small(), ArchConfig::baseline(), ArchConfig::large()];
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
+        .unwrap();
+    let candidates = vec![
+        ArchConfig::small(),
+        ArchConfig::baseline(),
+        ArchConfig::large(),
+    ];
     let (parent, estimate, agreement) =
         pathfinding_rank_validation(&w, &outcome.subset, &candidates).unwrap();
     // small must be slowest and large fastest in both views.
@@ -68,7 +83,9 @@ fn subset_ranks_design_points_like_parent() {
 fn prediction_error_is_small_and_efficiency_high() {
     let w = small_game(103);
     let sim = Simulator::new(ArchConfig::baseline());
-    let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+    let outcome = Subsetter::new(SubsetConfig::default())
+        .run(&w, &sim)
+        .unwrap();
     let error = outcome.evaluation.mean_prediction_error();
     let efficiency = outcome.evaluation.mean_efficiency();
     let outliers = outcome.evaluation.outlier_fraction();
@@ -80,8 +97,12 @@ fn prediction_error_is_small_and_efficiency_high() {
 #[test]
 fn whole_pipeline_is_deterministic_across_runs() {
     let sim = Simulator::new(ArchConfig::baseline());
-    let a = Subsetter::new(SubsetConfig::default()).run(&small_game(104), &sim).unwrap();
-    let b = Subsetter::new(SubsetConfig::default()).run(&small_game(104), &sim).unwrap();
+    let a = Subsetter::new(SubsetConfig::default())
+        .run(&small_game(104), &sim)
+        .unwrap();
+    let b = Subsetter::new(SubsetConfig::default())
+        .run(&small_game(104), &sim)
+        .unwrap();
     assert_eq!(a.subset, b.subset);
     assert_eq!(a.evaluation, b.evaluation);
     assert_eq!(a.phases, b.phases);
@@ -91,12 +112,38 @@ fn whole_pipeline_is_deterministic_across_runs() {
 fn different_genres_all_survive_the_pipeline() {
     let sim = Simulator::new(ArchConfig::baseline());
     for (name, w) in [
-        ("shooter", GameProfile::shooter("g1").frames(18).draws_per_frame(120).build(7).generate()),
-        ("rts", GameProfile::rts("g2").frames(18).draws_per_frame(120).build(8).generate()),
-        ("racing", GameProfile::racing("g3").frames(18).draws_per_frame(120).build(9).generate()),
+        (
+            "shooter",
+            GameProfile::shooter("g1")
+                .frames(18)
+                .draws_per_frame(120)
+                .build(7)
+                .generate(),
+        ),
+        (
+            "rts",
+            GameProfile::rts("g2")
+                .frames(18)
+                .draws_per_frame(120)
+                .build(8)
+                .generate(),
+        ),
+        (
+            "racing",
+            GameProfile::racing("g3")
+                .frames(18)
+                .draws_per_frame(120)
+                .build(9)
+                .generate(),
+        ),
     ] {
-        let outcome = Subsetter::new(SubsetConfig::default()).run(&w, &sim).unwrap();
+        let outcome = Subsetter::new(SubsetConfig::default())
+            .run(&w, &sim)
+            .unwrap();
         assert!(outcome.phases.phase_count() >= 1, "{name}");
-        outcome.subset.validate(&w).unwrap_or_else(|e| panic!("{name}: {e}"));
+        outcome
+            .subset
+            .validate(&w)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

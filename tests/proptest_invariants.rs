@@ -11,10 +11,7 @@ use subset3d::trace::ShaderId;
 
 /// Strategy: a small dataset of low-dimensional points.
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, 3),
-        1..60,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 1..60)
 }
 
 proptest! {

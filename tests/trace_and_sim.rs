@@ -7,7 +7,11 @@ use subset3d::trace::{decode_workload, encode_workload};
 
 #[test]
 fn serde_json_roundtrip_of_workload() {
-    let w = GameProfile::rts("json").frames(4).draws_per_frame(30).build(5).generate();
+    let w = GameProfile::rts("json")
+        .frames(4)
+        .draws_per_frame(30)
+        .build(5)
+        .generate();
     let json = serde_json::to_string(&w).unwrap();
     let back: subset3d::trace::Workload = serde_json::from_str(&json).unwrap();
     // The state-table dedup index is skipped in serde; equality of the
@@ -19,20 +23,40 @@ fn serde_json_roundtrip_of_workload() {
 
 #[test]
 fn binary_and_json_agree() {
-    let w = GameProfile::racing("bin").frames(4).draws_per_frame(40).build(6).generate();
+    let w = GameProfile::racing("bin")
+        .frames(4)
+        .draws_per_frame(40)
+        .build(6)
+        .generate();
     let decoded = decode_workload(&encode_workload(&w)).unwrap();
     assert_eq!(w, decoded);
-    let cost_a = Simulator::new(ArchConfig::baseline()).simulate_workload(&w).unwrap();
-    let cost_b = Simulator::new(ArchConfig::baseline()).simulate_workload(&decoded).unwrap();
+    let cost_a = Simulator::new(ArchConfig::baseline())
+        .simulate_workload(&w)
+        .unwrap();
+    let cost_b = Simulator::new(ArchConfig::baseline())
+        .simulate_workload(&decoded)
+        .unwrap();
     assert_eq!(cost_a, cost_b);
 }
 
 #[test]
 fn frequency_sweep_monotone_for_all_genres() {
     for w in [
-        GameProfile::shooter("a").frames(6).draws_per_frame(60).build(1).generate(),
-        GameProfile::rts("b").frames(6).draws_per_frame(60).build(2).generate(),
-        GameProfile::racing("c").frames(6).draws_per_frame(60).build(3).generate(),
+        GameProfile::shooter("a")
+            .frames(6)
+            .draws_per_frame(60)
+            .build(1)
+            .generate(),
+        GameProfile::rts("b")
+            .frames(6)
+            .draws_per_frame(60)
+            .build(2)
+            .generate(),
+        GameProfile::racing("c")
+            .frames(6)
+            .draws_per_frame(60)
+            .build(3)
+            .generate(),
     ] {
         let points =
             sweep_frequencies(&w, &ArchConfig::baseline(), &FrequencySweep::standard()).unwrap();
@@ -48,10 +72,18 @@ fn frequency_sweep_monotone_for_all_genres() {
 fn candidate_ordering_is_sane() {
     // `large` strictly dominates `baseline`, which dominates `small`,
     // whatever the content.
-    let w = GameProfile::shooter("order").frames(8).draws_per_frame(100).build(11).generate();
+    let w = GameProfile::shooter("order")
+        .frames(8)
+        .draws_per_frame(100)
+        .build(11)
+        .generate();
     let times = sweep_configs(
         &w,
-        &[ArchConfig::small(), ArchConfig::baseline(), ArchConfig::large()],
+        &[
+            ArchConfig::small(),
+            ArchConfig::baseline(),
+            ArchConfig::large(),
+        ],
     )
     .unwrap();
     assert!(times[0].total_ns > times[1].total_ns);
@@ -60,7 +92,11 @@ fn candidate_ordering_is_sane() {
 
 #[test]
 fn pipelined_model_agrees_with_analytic_across_frames() {
-    let w = GameProfile::shooter("agree").frames(10).draws_per_frame(120).build(12).generate();
+    let w = GameProfile::shooter("agree")
+        .frames(10)
+        .draws_per_frame(120)
+        .build(12)
+        .generate();
     let analytic = Simulator::new(ArchConfig::baseline());
     let pipelined = PipelineSim::new(ArchConfig::baseline());
     let a: Vec<f64> = w
@@ -86,8 +122,16 @@ fn merging_never_changes_simulated_behaviour() {
     // Per-frame costs of a merged suite equal the concatenation of the
     // inputs' per-frame costs: merging is packaging, not behaviour.
     use subset3d::trace::merge_workloads;
-    let a = GameProfile::shooter("a").frames(4).draws_per_frame(40).build(31).generate();
-    let b = GameProfile::rts("b").frames(3).draws_per_frame(35).build(32).generate();
+    let a = GameProfile::shooter("a")
+        .frames(4)
+        .draws_per_frame(40)
+        .build(31)
+        .generate();
+    let b = GameProfile::rts("b")
+        .frames(3)
+        .draws_per_frame(35)
+        .build(32)
+        .generate();
     let suite = merge_workloads("suite", &[&a, &b]);
     let sim = Simulator::new(ArchConfig::baseline());
     let suite_cost = sim.simulate_workload(&suite).unwrap();

@@ -132,7 +132,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of written bytes.
@@ -147,7 +149,9 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: Arc::new(self.data) }
+        Bytes {
+            data: Arc::new(self.data),
+        }
     }
 }
 
@@ -174,12 +178,16 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::new(Vec::new()) }
+        Bytes {
+            data: Arc::new(Vec::new()),
+        }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::new(data.to_vec()) }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+        }
     }
 
     /// Number of bytes.
@@ -209,7 +217,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: Arc::new(data) }
+        Bytes {
+            data: Arc::new(data),
+        }
     }
 }
 

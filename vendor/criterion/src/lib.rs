@@ -30,7 +30,10 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
     }
 }
 
@@ -62,7 +65,9 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        let mut bencher = Bencher { best_ns: f64::INFINITY };
+        let mut bencher = Bencher {
+            best_ns: f64::INFINITY,
+        };
         f(&mut bencher);
         report(&label, bencher.best_ns);
         self
@@ -79,7 +84,9 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        let mut bencher = Bencher { best_ns: f64::INFINITY };
+        let mut bencher = Bencher {
+            best_ns: f64::INFINITY,
+        };
         f(&mut bencher, input);
         report(&label, bencher.best_ns);
         self
@@ -143,12 +150,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Combines a function name and a parameter into one label.
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        Self { label: format!("{}/{}", function.into(), parameter) }
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// A label that is only a parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -212,9 +223,11 @@ mod tests {
         group.sample_size(10);
         group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let input = vec![1u64, 2, 3];
-        group.bench_with_input(BenchmarkId::new("sum_input", input.len()), &input, |b, v| {
-            b.iter(|| v.iter().sum::<u64>())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sum_input", input.len()),
+            &input,
+            |b, v| b.iter(|| v.iter().sum::<u64>()),
+        );
         group.finish();
     }
 

@@ -41,10 +41,19 @@ fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, ChannelState<T>> {
 /// Creates an unbounded MPMC channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        queue: Mutex::new(ChannelState {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         ready: Condvar::new(),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 /// The sending half of a channel.
@@ -56,7 +65,9 @@ pub struct Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         lock(&self.shared).senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -90,7 +101,9 @@ pub struct Receiver<T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         lock(&self.shared).receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

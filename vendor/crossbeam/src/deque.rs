@@ -46,12 +46,18 @@ pub struct Worker<T> {
 impl<T> Worker<T> {
     /// Creates a FIFO deque (owner pops from the front).
     pub fn new_fifo() -> Self {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: true }
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            fifo: true,
+        }
     }
 
     /// Creates a LIFO deque (owner pops from the back).
     pub fn new_lifo() -> Self {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: false }
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            fifo: false,
+        }
     }
 
     /// Pushes a task onto the owner end.
@@ -81,7 +87,9 @@ impl<T> Worker<T> {
 
     /// Creates a stealer handle for other threads.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -93,7 +101,9 @@ pub struct Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -126,7 +136,9 @@ pub struct Injector<T> {
 impl<T> Injector<T> {
     /// Creates an empty injector.
     pub fn new() -> Self {
-        Injector { queue: Mutex::new(VecDeque::new()) }
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
     }
 
     /// Pushes a task onto the back.

@@ -7,8 +7,8 @@
 //! slower under extreme contention) and keeps call sites source-
 //! compatible with the real crate.
 
-pub mod deque;
 pub mod channel;
+pub mod deque;
 
 mod scope_impl;
 pub use scope_impl::{scope, Scope, ScopedJoinHandle};

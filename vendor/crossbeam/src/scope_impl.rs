@@ -28,7 +28,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         T: Send + 'scope,
     {
         let inner = self.inner;
-        ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner })) }
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner })),
+        }
     }
 }
 

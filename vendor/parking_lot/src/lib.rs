@@ -101,7 +101,9 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         // SAFETY-free guard juggling: std's API consumes and returns the
         // guard, parking_lot's mutates in place; bridge by move-in/move-out.
-        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(PoisonError::into_inner));
+        replace_with(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
     }
 
     /// Blocks until notified or `timeout` elapses.

@@ -128,7 +128,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 
 /// Strategy producing any value of `T` (`any::<u64>()` etc.).
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Length specification for [`collection::vec`]: a fixed size or range.
@@ -139,19 +141,28 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        Self { lo: n, hi_exclusive: n + 1 }
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
 impl From<std::ops::Range<usize>> for SizeRange {
     fn from(r: std::ops::Range<usize>) -> Self {
-        Self { lo: r.start, hi_exclusive: r.end }
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-        Self { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
     }
 }
 
@@ -168,7 +179,10 @@ pub mod collection {
 
     /// `vec(strategy, len)` — `len` may be a `usize` or a range.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -192,11 +206,11 @@ pub mod collection {
     }
 
     /// `btree_set(strategy, len)` — `len` may be a `usize` or a range.
-    pub fn btree_set<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> BTreeSetStrategy<S> {
-        BTreeSetStrategy { element, size: size.into() }
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
@@ -320,7 +334,11 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_name() {
-        let strat = (0u8..3, any::<u64>(), prop::collection::vec(0.0f64..1.0, 1..6));
+        let strat = (
+            0u8..3,
+            any::<u64>(),
+            prop::collection::vec(0.0f64..1.0, 1..6),
+        );
         let mut a = crate::rng_for_test("x");
         let mut b = crate::rng_for_test("x");
         for _ in 0..50 {

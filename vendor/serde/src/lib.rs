@@ -62,7 +62,10 @@ impl Value {
 
     /// Looks up an object field by name.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// A one-word description of the variant, for error messages.
@@ -88,12 +91,16 @@ pub struct Error {
 impl Error {
     /// Creates an error with a message.
     pub fn custom(message: impl Into<String>) -> Self {
-        Error { message: message.into() }
+        Error {
+            message: message.into(),
+        }
     }
 
     /// Creates a type-mismatch error.
     pub fn expected(what: &str, got: &Value) -> Self {
-        Error { message: format!("expected {what}, found {}", got.kind()) }
+        Error {
+            message: format!("expected {what}, found {}", got.kind()),
+        }
     }
 }
 
@@ -444,7 +451,11 @@ impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::Ha
 
 impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -460,7 +471,11 @@ impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
 
 impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -495,13 +510,11 @@ pub mod __private {
     /// # Errors
     ///
     /// Returns an [`Error`] when the field is absent or malformed.
-    pub fn de_field<T: Deserialize>(
-        fields: &[(String, Value)],
-        name: &str,
-    ) -> Result<T, Error> {
+    pub fn de_field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
         match fields.iter().find(|(k, _)| k == name) {
-            Some((_, v)) => T::from_value(v)
-                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
             None => Err(Error::custom(format!("missing field `{name}`"))),
         }
     }
@@ -533,8 +546,11 @@ mod tests {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
     }
 
     #[test]

@@ -38,23 +38,36 @@ enum VariantKind {
 
 /// A parsed derive input item.
 enum Input {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the vendored `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives the vendored `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // ---- parsing ---------------------------------------------------------
@@ -74,21 +87,27 @@ fn parse(input: TokenStream) -> Input {
 
     match keyword.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Input::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Input::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Input::NamedStruct { name, fields: Vec::new() }
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::NamedStruct {
+                name,
+                fields: Vec::new(),
+            },
             other => panic!("unsupported struct body for `{name}`: {other:?}"),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Input::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("unsupported enum body for `{name}`: {other:?}"),
         },
         other => panic!("cannot derive for `{other}` items"),
@@ -404,9 +423,7 @@ fn gen_deserialize(item: &Input) -> String {
         }
         Input::TupleStruct { name, arity } => {
             let body = if *arity == 1 {
-                format!(
-                    "::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
-                )
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
             } else {
                 let gets: Vec<String> = (0..*arity)
                     .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
@@ -447,9 +464,7 @@ fn gen_deserialize(item: &Input) -> String {
                             )
                         } else {
                             let gets: Vec<String> = (0..*arity)
-                                .map(|i| {
-                                    format!("serde::Deserialize::from_value(&__items[{i}])?")
-                                })
+                                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
                                 .collect();
                             format!(
                                 "let __items = __val.as_array().ok_or_else(|| \

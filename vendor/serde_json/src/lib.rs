@@ -65,8 +65,8 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
 /// Returns an [`Error`] on invalid UTF-8, malformed JSON, or a shape
 /// mismatch.
 pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
-    let text = std::str::from_utf8(bytes)
-        .map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
     from_str(text)
 }
 
@@ -176,11 +176,17 @@ struct Parser<'a> {
 ///
 /// Returns an [`Error`] on malformed input or trailing garbage.
 pub fn parse_value(text: &str) -> Result<Value> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
     }
     Ok(v)
 }
@@ -341,9 +347,9 @@ impl<'a> Parser<'a> {
                                 let low = self.hex4()?;
                                 let combined = 0x10000
                                     + ((code - 0xD800) << 10)
-                                    + (low.checked_sub(0xDC00).ok_or_else(|| {
-                                        Error::custom("bad low surrogate")
-                                    })?);
+                                    + (low
+                                        .checked_sub(0xDC00)
+                                        .ok_or_else(|| Error::custom("bad low surrogate"))?);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::custom("bad surrogate pair"))?
                             } else {
@@ -353,10 +359,7 @@ impl<'a> Parser<'a> {
                             out.push(c);
                         }
                         other => {
-                            return Err(Error::custom(format!(
-                                "bad escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::custom(format!("bad escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -406,8 +409,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if text.is_empty() || text == "-" {
             return Err(Error::custom(format!("bad number at byte {start}")));
         }
@@ -465,7 +468,10 @@ mod tests {
     #[test]
     fn nested_structures_roundtrip() {
         let v = Value::Object(vec![
-            ("xs".into(), Value::Array(vec![Value::Int(1), Value::Int(-2)])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Int(1), Value::Int(-2)]),
+            ),
             ("name".into(), Value::Str("trace".into())),
             ("flag".into(), Value::Bool(false)),
             ("none".into(), Value::Null),
