@@ -65,6 +65,10 @@ struct Report {
     /// Wall-time cost of metric recording on the workload_sim scenario,
     /// in percent (negative values are measurement noise).
     metrics_overhead_pct: f64,
+    /// Wall time of one differential-oracle comparison over the testkit
+    /// corpus (all cache modes, both passes) — the price of the tier-1
+    /// `testkit` step, tracked so harness regressions are visible.
+    oracle_check_ms: f64,
     /// Snapshot of an instrumented sweep-plus-pipeline pass.
     metrics: subset3d_obs::MetricsSnapshot,
 }
@@ -230,6 +234,18 @@ fn main() {
     let metrics = subset3d_obs::snapshot();
     subset3d_obs::set_enabled(false);
 
+    // -- differential-oracle wall time ---------------------------------
+    // Same comparison tier-1 runs (testkit corpus, every cache mode,
+    // both passes), timed so the harness itself can't silently regress.
+    let oracle_corpus = subset3d_testkit::corpus::oracle_corpus();
+    let oracle_check_ms = best_ms(|| {
+        for (name, workload) in &oracle_corpus {
+            subset3d_testkit::oracle::run_oracle_all_modes(name, workload, &ArchConfig::baseline())
+                .expect("oracle")
+                .assert_clean();
+        }
+    });
+
     let report = Report {
         threads,
         workload_frames: workload.frames().len(),
@@ -240,6 +256,7 @@ fn main() {
         iterated_sweep,
         subsetting_pipeline,
         metrics_overhead_pct,
+        oracle_check_ms,
         metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

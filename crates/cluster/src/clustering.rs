@@ -75,6 +75,66 @@ impl Clustering {
             .sum()
     }
 
+    /// Checks the partition invariant every algorithm must uphold: each
+    /// point is assigned to exactly one existing cluster and
+    /// [`Clustering::members`] covers each point exactly once. Returns a
+    /// description of the first violation, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable reason when the invariant does
+    /// not hold.
+    pub fn check_partition(&self) -> Result<(), String> {
+        for (i, &a) in self.assignments.iter().enumerate() {
+            if a >= self.centroids.len() {
+                return Err(format!(
+                    "point {i} assigned to cluster {a} of {}",
+                    self.centroids.len()
+                ));
+            }
+        }
+        let mut seen = vec![false; self.assignments.len()];
+        for (cluster, members) in self.members().iter().enumerate() {
+            for &m in members {
+                if m >= seen.len() {
+                    return Err(format!("cluster {cluster} lists unknown point {m}"));
+                }
+                if seen[m] {
+                    return Err(format!("point {m} appears in two clusters"));
+                }
+                seen[m] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("point {missing} is in no cluster"));
+        }
+        Ok(())
+    }
+
+    /// Returns the clustering with cluster indices permuted by `perm`
+    /// (cluster `i` becomes cluster `perm[i]`): the same partition under
+    /// new labels. Metamorphic tests use this to assert label-invariance
+    /// of downstream metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len()`.
+    pub fn relabeled(&self, perm: &[usize]) -> Clustering {
+        assert_eq!(perm.len(), self.centroids.len(), "permutation length");
+        let mut inverse = vec![usize::MAX; perm.len()];
+        for (from, &to) in perm.iter().enumerate() {
+            assert!(
+                to < perm.len() && inverse[to] == usize::MAX,
+                "not a permutation"
+            );
+            inverse[to] = from;
+        }
+        Clustering {
+            assignments: self.assignments.iter().map(|&a| perm[a]).collect(),
+            centroids: inverse.iter().map(|&i| self.centroids[i].clone()).collect(),
+        }
+    }
+
     /// Removes clusters with no members, compacting indices; returns the
     /// number of clusters removed.
     pub fn drop_empty(&mut self) -> usize {

@@ -59,6 +59,7 @@ mod pipeline;
 mod predict;
 mod report;
 mod shader_vector;
+mod snapshot;
 mod subset;
 mod suite;
 mod validate;
@@ -79,6 +80,7 @@ pub use pipeline::{OutcomeSummary, Subsetter, SubsettingOutcome, WorkloadEvaluat
 pub use predict::{predict_frame, FramePrediction};
 pub use report::Table;
 pub use shader_vector::ShaderVector;
+pub use snapshot::{PipelineSnapshot, SnapshotFrame};
 pub use subset::{ReplayedFrame, SelectedDraw, SelectedFrame, SubsetReplay, WorkloadSubset};
 pub use suite::{subset_suite, validate_suite_scaling, SuiteOutcome};
 pub use validate::{frequency_scaling_validation, pathfinding_rank_validation, ScalingValidation};

@@ -1,0 +1,120 @@
+//! Serialisable snapshot of an end-to-end pipeline run.
+//!
+//! [`PipelineSnapshot`] flattens a [`SubsettingOutcome`] into plain,
+//! deterministic, serde-friendly data — the payload of the golden-snapshot
+//! harness in `subset3d-testkit`. Every field derives from the outcome in
+//! a fixed order, so the same workload, configuration and code produce the
+//! same JSON bytes on every run; any byte of drift names a behaviour
+//! change that must be either fixed or consciously re-golded.
+
+use crate::pattern::PhasePattern;
+use crate::pipeline::{OutcomeSummary, SubsettingOutcome};
+use crate::validate::ScalingValidation;
+use serde::{Deserialize, Serialize};
+use subset3d_trace::Workload;
+
+/// One frame kept in the subset, as recorded in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFrame {
+    /// Index of the frame within the parent workload.
+    pub frame_index: usize,
+    /// Number of parent frames this frame stands for.
+    pub weight: f64,
+    /// Number of representative draws kept from the frame.
+    pub kept_draws: usize,
+}
+
+/// Deterministic, serialisable record of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// The condensed table row.
+    pub summary: OutcomeSummary,
+    /// Per-frame relative prediction errors, in trace order.
+    pub frame_errors: Vec<f64>,
+    /// Per-frame clustering efficiencies, in trace order.
+    pub efficiencies: Vec<f64>,
+    /// Per-frame cluster counts, in trace order.
+    pub cluster_counts: Vec<usize>,
+    /// Phase id of every interval, in interval order.
+    pub phase_sequence: Vec<usize>,
+    /// Repeating-pattern summary of the phase sequence.
+    pub pattern: PhasePattern,
+    /// The frames kept in the subset, in selection order.
+    pub subset_frames: Vec<SnapshotFrame>,
+    /// Frequency-scaling validation, when the capture included one.
+    pub scaling: Option<ScalingValidation>,
+}
+
+impl PipelineSnapshot {
+    /// Captures a snapshot of an outcome against its parent workload.
+    pub fn capture(workload: &Workload, outcome: &SubsettingOutcome) -> Self {
+        PipelineSnapshot {
+            summary: outcome.summary(workload),
+            frame_errors: outcome
+                .evaluation
+                .frames
+                .iter()
+                .map(|f| f.error())
+                .collect(),
+            efficiencies: outcome.evaluation.efficiencies.clone(),
+            cluster_counts: outcome
+                .clusterings
+                .iter()
+                .map(|c| c.cluster_count())
+                .collect(),
+            phase_sequence: outcome.phases.sequence().to_vec(),
+            pattern: outcome.pattern.clone(),
+            subset_frames: outcome
+                .subset
+                .frames()
+                .iter()
+                .map(|f| SnapshotFrame {
+                    frame_index: f.frame_index,
+                    weight: f.weight,
+                    kept_draws: f.draws.len(),
+                })
+                .collect(),
+            scaling: None,
+        }
+    }
+
+    /// Attaches a frequency-scaling validation to the snapshot.
+    pub fn with_scaling(mut self, scaling: ScalingValidation) -> Self {
+        self.scaling = Some(scaling);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SubsetConfig;
+    use crate::pipeline::Subsetter;
+    use subset3d_gpusim::{ArchConfig, Simulator};
+    use subset3d_trace::gen::GameProfile;
+
+    #[test]
+    fn snapshot_round_trips_and_is_deterministic() {
+        let w = GameProfile::shooter("snap")
+            .frames(12)
+            .draws_per_frame(40)
+            .build(9)
+            .generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+        let run = || {
+            let outcome = Subsetter::new(SubsetConfig::default())
+                .run(&w, &sim)
+                .unwrap();
+            PipelineSnapshot::capture(&w, &outcome)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "capture must be deterministic");
+        assert_eq!(a.frame_errors.len(), w.frames().len());
+        assert_eq!(a.cluster_counts.len(), w.frames().len());
+        assert!(!a.subset_frames.is_empty());
+        let json = serde_json::to_string_pretty(&a).unwrap();
+        let back: PipelineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

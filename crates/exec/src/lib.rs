@@ -372,6 +372,22 @@ pub fn thread_count() -> usize {
     global().threads()
 }
 
+/// Runs `f` with the global pool resized to `threads`, restoring the
+/// previous parallelism afterwards (also on panic). The pool is process
+/// global, so callers that depend on a specific thread count while other
+/// threads submit work should serialise access themselves.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_thread_count(self.0);
+        }
+    }
+    let _restore = Restore(thread_count());
+    set_thread_count(threads);
+    f()
+}
+
 /// [`ThreadPool::par_map_indexed`] on the global pool.
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where

@@ -44,6 +44,13 @@ impl FeatureMatrix {
         self.rows == 0
     }
 
+    /// Whether every stored value is finite (no NaN or infinity). Feature
+    /// extraction must only produce finite values; invariant checkers in
+    /// the testkit assert this on arbitrary workloads.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
     /// Appends a row.
     ///
     /// # Panics

@@ -39,6 +39,9 @@ pub mod analytic;
 pub mod cache;
 pub mod dram;
 pub mod event;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+pub mod reference;
 
 mod area;
 mod config;

@@ -398,6 +398,9 @@ impl DrawCostCache {
         if let Some(cost) = shard.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             OBS_DRAW_HITS.incr();
+            #[cfg(feature = "fault-injection")]
+            return crate::fault::corrupt_hit(*cost);
+            #[cfg(not(feature = "fault-injection"))]
             return *cost;
         }
         let misses = self.misses.fetch_add(1, Ordering::Relaxed) + 1;

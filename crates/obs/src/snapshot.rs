@@ -32,6 +32,26 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Estimates the `p`-th percentile (`0.0..=100.0`) from the bucket
+    /// counts: the inclusive upper bound of the bucket holding the
+    /// `ceil(p/100 · count)`-th smallest sample. `None` when the
+    /// histogram is empty or `p` is NaN or outside `0..=100`; exact to
+    /// within one power-of-two bucket otherwise.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for bucket in &self.buckets {
+            seen += bucket.count;
+            if seen >= rank {
+                return Some(bucket.le_ns);
+            }
+        }
+        self.buckets.last().map(|b| b.le_ns)
+    }
+
     pub(crate) fn of(hist: &Histogram) -> Self {
         let count = hist.count();
         let sum_ns = hist.sum_ns();

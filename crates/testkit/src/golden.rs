@@ -1,0 +1,230 @@
+//! The golden-snapshot harness.
+//!
+//! A golden test serialises a deterministic pipeline result to JSON and
+//! compares it byte-for-byte against a file committed under
+//! `tests/golden/` at the workspace root. On mismatch the failure names
+//! the **first divergent field** (by JSON path), not just "files differ".
+//!
+//! To re-bless after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p subset3d-testkit --test golden_snapshots
+//! git diff tests/golden/   # review every changed field before committing
+//! ```
+//!
+//! Regeneration is bit-identical run to run — the snapshots contain only
+//! deterministic data — so a second `UPDATE_GOLDEN=1` run leaves the tree
+//! clean.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Environment variable that switches golden checks to regeneration mode.
+pub const UPDATE_GOLDEN_ENV: &str = "UPDATE_GOLDEN";
+
+/// Outcome of a golden comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenOutcome {
+    /// The snapshot matched the committed golden byte for byte.
+    Match,
+    /// `UPDATE_GOLDEN=1`: the golden file was (re)written.
+    Updated,
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+///
+/// # Errors
+///
+/// Returns a message when no ancestor qualifies (the harness is running
+/// outside the repository).
+pub fn workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+    }
+    Err(format!(
+        "no workspace root above {}: golden tests must run inside the repository",
+        start.display()
+    ))
+}
+
+/// The committed golden directory, `tests/golden/` under the workspace
+/// root.
+///
+/// # Errors
+///
+/// Propagates [`workspace_root`] failure.
+pub fn golden_dir() -> Result<PathBuf, String> {
+    Ok(workspace_root()?.join("tests").join("golden"))
+}
+
+/// Renders a JSON path segment list as `root.a[3].b` for diff messages.
+fn render_path(path: &[String]) -> String {
+    let mut out = String::from("root");
+    for seg in path {
+        out.push_str(seg);
+    }
+    out
+}
+
+fn value_repr(v: &Value) -> String {
+    match v {
+        Value::Float(f) => format!("{f:e} (bits {:#018x})", f.to_bits()),
+        other => serde_json::to_string(other).unwrap_or_else(|_| format!("{other:?}")),
+    }
+}
+
+/// Recursively finds the first structural difference between two JSON
+/// values, returning `(path, expected, actual)` rendered for humans.
+fn first_divergence(
+    path: &mut Vec<String>,
+    expected: &Value,
+    actual: &Value,
+) -> Option<(String, String, String)> {
+    match (expected, actual) {
+        (Value::Array(e), Value::Array(a)) => {
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                path.push(format!("[{i}]"));
+                if let Some(d) = first_divergence(path, ev, av) {
+                    return Some(d);
+                }
+                path.pop();
+            }
+            if e.len() != a.len() {
+                return Some((
+                    render_path(path),
+                    format!("array of {}", e.len()),
+                    format!("array of {}", a.len()),
+                ));
+            }
+            None
+        }
+        (Value::Object(e), Value::Object(a)) => {
+            for (i, ((ek, ev), (ak, av))) in e.iter().zip(a.iter()).enumerate() {
+                if ek != ak {
+                    path.push(format!(".{{field {i}}}"));
+                    return Some((
+                        render_path(path),
+                        format!("field {ek:?}"),
+                        format!("field {ak:?}"),
+                    ));
+                }
+                path.push(format!(".{ek}"));
+                if let Some(d) = first_divergence(path, ev, av) {
+                    return Some(d);
+                }
+                path.pop();
+            }
+            if e.len() != a.len() {
+                return Some((
+                    render_path(path),
+                    format!("object of {}", e.len()),
+                    format!("object of {}", a.len()),
+                ));
+            }
+            None
+        }
+        (e, a) if e == a => None,
+        (e, a) => Some((render_path(path), value_repr(e), value_repr(a))),
+    }
+}
+
+/// Produces the human-readable diff between two JSON documents: the first
+/// divergent field by path, or `None` when they are structurally equal.
+///
+/// # Errors
+///
+/// Returns a message when either document fails to parse.
+pub fn diff_json(expected: &str, actual: &str) -> Result<Option<String>, String> {
+    let e: Value =
+        serde_json::parse_value(expected).map_err(|err| format!("golden unparsable: {err}"))?;
+    let a: Value =
+        serde_json::parse_value(actual).map_err(|err| format!("snapshot unparsable: {err}"))?;
+    Ok(
+        first_divergence(&mut Vec::new(), &e, &a).map(|(path, exp, act)| {
+            format!("first divergent field at {path}: golden {exp}, run produced {act}")
+        }),
+    )
+}
+
+/// Checks `snapshot_json` against the committed golden `<name>.json`.
+///
+/// With `UPDATE_GOLDEN=1` in the environment the golden file is rewritten
+/// instead and [`GoldenOutcome::Updated`] returned.
+///
+/// # Errors
+///
+/// Returns a diff report naming the first divergent field on mismatch, an
+/// instruction to regenerate when the golden file is missing, or an I/O
+/// message.
+pub fn check_golden(name: &str, snapshot_json: &str) -> Result<GoldenOutcome, String> {
+    let dir = golden_dir()?;
+    let path = dir.join(format!("{name}.json"));
+    if std::env::var(UPDATE_GOLDEN_ENV).map(|v| v == "1") == Ok(true) {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        write_if_changed(&path, snapshot_json)?;
+        return Ok(GoldenOutcome::Updated);
+    }
+    let golden = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing golden {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test -p subset3d-testkit \
+             --test golden_snapshots` and commit the result",
+            path.display()
+        )
+    })?;
+    if golden == snapshot_json {
+        return Ok(GoldenOutcome::Match);
+    }
+    match diff_json(&golden, snapshot_json)? {
+        Some(diff) => Err(format!("golden {name} diverged: {diff}")),
+        None => Err(format!(
+            "golden {name} diverged in formatting only (values equal); \
+             regenerate with UPDATE_GOLDEN=1"
+        )),
+    }
+}
+
+/// Writes only when contents differ, keeping mtimes (and `git status`)
+/// quiet on no-op regeneration.
+fn write_if_changed(path: &Path, contents: &str) -> Result<(), String> {
+    if matches!(std::fs::read_to_string(path), Ok(old) if old == contents) {
+        return Ok(());
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_and_has_golden_parent() {
+        let root = workspace_root().unwrap();
+        assert!(root.join("Cargo.toml").exists());
+        assert!(golden_dir().unwrap().starts_with(&root));
+    }
+
+    #[test]
+    fn diff_names_first_divergent_field() {
+        let golden = r#"{"a": 1, "b": {"c": [1.0, 2.0]}}"#;
+        let run = r#"{"a": 1, "b": {"c": [1.0, 2.5]}}"#;
+        let diff = diff_json(golden, run).unwrap().unwrap();
+        assert!(diff.contains("root.b.c[1]"), "{diff}");
+        assert!(diff_json(golden, golden).unwrap().is_none());
+    }
+
+    #[test]
+    fn diff_reports_length_and_key_changes() {
+        let diff = diff_json(r#"[1, 2]"#, r#"[1, 2, 3]"#).unwrap().unwrap();
+        assert!(diff.contains("array of 2"), "{diff}");
+        let diff = diff_json(r#"{"x": 1}"#, r#"{"y": 1}"#).unwrap().unwrap();
+        assert!(diff.contains("field \"x\""), "{diff}");
+    }
+}

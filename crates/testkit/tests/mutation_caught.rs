@@ -1,0 +1,60 @@
+//! Proves the differential oracle has teeth: with the test-only
+//! `fault-injection` hook armed, a memo-cache hit returns its stored cost
+//! with `time_ns` flipped by one ulp — the smallest possible corruption —
+//! and the oracle must still name it.
+//!
+//! Gated behind `required-features = ["fault-injection"]`: plain
+//! `cargo test` never compiles the hook. Run via
+//! `cargo test -p subset3d-testkit --features fault-injection`.
+
+use subset3d_gpusim::{fault, ArchConfig, Simulator};
+use subset3d_testkit::corpus::golden_corpus;
+use subset3d_testkit::oracle::run_oracle;
+
+/// Disarms the hook even if an assertion below panics, so a failure here
+/// cannot poison other tests in a shared process.
+struct Disarm;
+
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+#[test]
+fn one_ulp_memo_corruption_is_caught() {
+    let _guard = Disarm;
+    let (_, workload) = golden_corpus().remove(0);
+    let sim = Simulator::new(ArchConfig::baseline());
+
+    // Pass 1, disarmed: populates the memo cache; oracle must be clean.
+    run_oracle("mutation/populate", &workload, &sim)
+        .unwrap()
+        .assert_clean();
+    assert!(
+        sim.cache_stats().hits > 0,
+        "corpus must exercise the memo cache or this test is vacuous"
+    );
+
+    // Pass 2, armed: every draw served from the cache carries a one-ulp
+    // flip in time_ns. The bitwise oracle must report it.
+    fault::arm();
+    let report = run_oracle("mutation/armed", &workload, &sim).unwrap();
+    fault::disarm();
+    assert!(
+        !report.is_clean(),
+        "armed one-ulp memo corruption went undetected"
+    );
+    assert!(
+        report.divergences.iter().any(|d| d.field == "time_ns"),
+        "corruption should surface as a time_ns divergence, got: {}",
+        report.divergences[0]
+    );
+
+    // Disarmed again on a fresh simulator: clean, proving the divergence
+    // above came from the armed hook and nothing else.
+    let fresh = Simulator::new(ArchConfig::baseline());
+    run_oracle("mutation/disarmed", &workload, &fresh)
+        .unwrap()
+        .assert_clean();
+}

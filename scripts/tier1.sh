@@ -1,15 +1,23 @@
 #!/usr/bin/env sh
 # Tier-1 gate (see ROADMAP.md): formatting and lint gates, release build +
-# test suite, then the pipeline throughput report (writes
+# test suite, the correctness harness (differential oracle, mutation
+# catch, golden snapshots), then the pipeline throughput report (writes
 # BENCH_pipeline.json at repo root).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+# --all-targets lints tests, benches and examples too, not just lib code.
+cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build --release
 cargo test -q
+
+# Correctness harness: the fault-injection feature compiles the memo-cache
+# mutation hook so mutation_caught can prove the oracle detects a seeded
+# one-ulp corruption; the oracle matrix and golden-snapshot gates run in
+# the same pass.
+cargo test -p subset3d-testkit --features fault-injection -q
 
 cargo run -p subset3d-bench --bin bench_report --release

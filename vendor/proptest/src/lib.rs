@@ -240,6 +240,115 @@ pub fn rng_for_test(name: &str) -> TestRng {
     TestRng::seed_from_u64(hash)
 }
 
+/// The RNG replaying one persisted or freshly drawn case seed.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Draws the next case seed from a property's name-seeded seeder RNG.
+pub fn next_case_seed(seeder: &mut TestRng) -> u64 {
+    seeder.gen()
+}
+
+/// Counterexample persistence: failing case seeds are appended to
+/// `proptest-regressions/<source path>.txt` (mirroring the source tree
+/// under the workspace root) and replayed by every property in that
+/// source file before its random phase — so a counterexample found once
+/// is re-checked on every CI run forever. Files use the upstream
+/// proptest `cc <seed>` line format (hex seeds here) and are meant to be
+/// committed.
+pub mod persistence {
+    use std::path::PathBuf;
+
+    /// One `cc` line: the failing seed plus the property it broke.
+    fn format_record(property: &str, seed: u64) -> String {
+        format!("cc {seed:#018x} # {property}\n")
+    }
+
+    /// Parses the seeds out of a regression file's text. Lines that do
+    /// not start with `cc ` (comments, blanks) are ignored; everything
+    /// after the seed is commentary.
+    pub fn parse_seeds(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let token = rest.split_whitespace().next()?;
+                let hex = token.strip_prefix("0x").unwrap_or(token);
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Locates the workspace root as the nearest ancestor of the current
+    /// directory that actually contains `source_file` (a `file!()` path,
+    /// which cargo emits relative to the workspace root).
+    fn root_for(source_file: &str) -> Option<PathBuf> {
+        let cwd = std::env::current_dir().ok()?;
+        for dir in cwd.ancestors() {
+            if dir.join(source_file).exists() {
+                return Some(dir.to_path_buf());
+            }
+        }
+        None
+    }
+
+    /// The regression file for a source file:
+    /// `proptest-regressions/crates/foo/tests/bar.txt` for
+    /// `crates/foo/tests/bar.rs`.
+    pub fn seed_path(source_file: &str) -> Option<PathBuf> {
+        let root = root_for(source_file)?;
+        let mut rel = PathBuf::from(source_file);
+        rel.set_extension("txt");
+        Some(root.join("proptest-regressions").join(rel))
+    }
+
+    /// Loads every persisted seed for a source file; empty when no
+    /// regression file exists (the common case).
+    pub fn load(source_file: &str) -> Vec<u64> {
+        match seed_path(source_file).map(std::fs::read_to_string) {
+            Some(Ok(text)) => parse_seeds(&text),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Appends a failing case's seed to the source file's regression
+    /// file, creating it (with a header) on first failure. Best-effort:
+    /// persistence must never mask the original test failure, so I/O
+    /// errors are reported to stderr and swallowed.
+    pub fn record(source_file: &str, property: &str, seed: u64) {
+        let Some(path) = seed_path(source_file) else {
+            eprintln!("proptest: cannot locate workspace root; seed {seed:#018x} not persisted");
+            return;
+        };
+        let mut contents = match std::fs::read_to_string(&path) {
+            Ok(existing) => existing,
+            Err(_) => "# Seeds for failure cases proptest has generated in the past.\n\
+                 # It is automatically read and these particular cases re-run before\n\
+                 # any novel cases are generated. It is recommended to check this file\n\
+                 # in to source control so everyone who runs the test benefits from\n\
+                 # these saved cases.\n"
+                .to_string(),
+        };
+        let line = format_record(property, seed);
+        if contents.contains(line.trim_end()) {
+            return;
+        }
+        contents.push_str(&line);
+        let write = path
+            .parent()
+            .map(std::fs::create_dir_all)
+            .unwrap_or(Ok(()))
+            .and_then(|()| std::fs::write(&path, contents));
+        match write {
+            Ok(()) => eprintln!(
+                "proptest: persisted failing seed {seed:#018x} to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("proptest: cannot persist seed to {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Asserts a condition inside a property body.
 #[macro_export]
 macro_rules! prop_assert {
@@ -258,8 +367,12 @@ macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
-/// Declares property tests: each `fn` runs its body against `cases`
-/// random samples of its argument strategies.
+/// Declares property tests: each `fn` first replays every seed persisted
+/// in this source file's `proptest-regressions/` entry, then runs its
+/// body against `cases` fresh random samples of its argument strategies.
+/// Each case draws from its own 64-bit seed; a failing seed is appended
+/// to the regression file so the counterexample replays deterministically
+/// on every future run.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -273,18 +386,41 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
                 let strategies = ( $($strat,)+ );
-                for case in 0..config.cases {
+                // Replay phase: persisted counterexamples from this
+                // source file, before any new randomness.
+                for seed in $crate::persistence::load(file!()) {
+                    let mut rng = $crate::rng_from_seed(seed);
                     let ( $($arg,)+ ) =
                         $crate::Strategy::sample(&strategies, &mut rng);
                     let run = || $body;
                     if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
                         eprintln!(
-                            "proptest: property {} failed on case {}/{}",
+                            "proptest: property {} failed replaying persisted seed {:#018x}",
+                            stringify!($name),
+                            seed,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+                // Random phase: per-case seeds drawn from a seeder keyed
+                // to the property's full name, so runs are deterministic
+                // and any failing case is persistable by its seed alone.
+                let mut seeder = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let case_seed = $crate::next_case_seed(&mut seeder);
+                    let mut rng = $crate::rng_from_seed(case_seed);
+                    let ( $($arg,)+ ) =
+                        $crate::Strategy::sample(&strategies, &mut rng);
+                    let run = || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        $crate::persistence::record(file!(), stringify!($name), case_seed);
+                        eprintln!(
+                            "proptest: property {} failed on case {}/{} (seed {:#018x})",
                             stringify!($name),
                             case + 1,
                             config.cases,
+                            case_seed,
                         );
                         ::std::panic::resume_unwind(panic);
                     }
@@ -356,6 +492,48 @@ mod tests {
         }
         let fixed = prop::collection::vec(0u32..10, 2);
         assert_eq!(fixed.sample(&mut rng).len(), 2);
+    }
+
+    #[test]
+    fn persistence_parses_cc_lines() {
+        let text = "# header comment\n\
+                    cc 0x00000000deadbeef # cost_always_finite_positive\n\
+                    cc 1234abcd\n\
+                    not a record\n\
+                    \n\
+                    cc zzzz # unparsable seed ignored\n";
+        assert_eq!(
+            crate::persistence::parse_seeds(text),
+            vec![0xdead_beef, 0x1234_abcd]
+        );
+    }
+
+    #[test]
+    fn persistence_load_is_empty_without_a_regression_file() {
+        assert!(crate::persistence::load("no/such/source_file.rs").is_empty());
+    }
+
+    /// End-to-end path resolution against this workspace's committed
+    /// regression files: the seeds pinned for the trace generator suite
+    /// must be found from any crate's working directory.
+    #[test]
+    fn persistence_resolves_committed_workspace_seeds() {
+        let seeds = crate::persistence::load("crates/trace/tests/gen_properties.rs");
+        assert!(
+            !seeds.is_empty(),
+            "committed proptest-regressions seeds for the trace suite not found"
+        );
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_property_name() {
+        let mut a = crate::rng_for_test("suite::prop");
+        let mut b = crate::rng_for_test("suite::prop");
+        let seeds_a: Vec<u64> = (0..8).map(|_| crate::next_case_seed(&mut a)).collect();
+        let seeds_b: Vec<u64> = (0..8).map(|_| crate::next_case_seed(&mut b)).collect();
+        assert_eq!(seeds_a, seeds_b);
+        let mut c = crate::rng_for_test("suite::other_prop");
+        assert_ne!(seeds_a[0], crate::next_case_seed(&mut c));
     }
 
     proptest! {
