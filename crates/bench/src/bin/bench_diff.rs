@@ -1,0 +1,270 @@
+//! Compares two pipeline benchmark reports and flags regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
+//! ```
+//!
+//! With two files, the committed reports are compared directly. With
+//! one, a fresh measurement runs in-process (median-of-3 timings — the
+//! noise-robust policy, since a failing comparison must mean something)
+//! and is compared against the baseline file.
+//!
+//! Wall times are machine-dependent, so absolute milliseconds are shown
+//! for context but regressions are judged on the dimensionless metrics:
+//! scenario speedups (lower is worse) and the two observability
+//! overheads (higher is worse). The default threshold is 10 %.
+//!
+//! Exit status is non-zero when any regression exceeds the threshold,
+//! unless `--check` (report-only dry-run for CI) is given.
+
+use std::process::ExitCode;
+use subset3d_bench::report::{collect, median_timer, Report};
+
+/// Allowed relative regression before the diff fails, in percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+const USAGE: &str = "\
+usage: bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
+
+  Compares two BENCH_pipeline.json reports, or a committed baseline
+  against a fresh in-process measurement when no candidate is given.
+  --threshold PCT   allowed regression on speedups/overheads (default 10)
+  --check           report only; always exit 0
+";
+
+struct Args {
+    baseline: String,
+    candidate: Option<String>,
+    threshold_pct: f64,
+    check: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut check = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --threshold value: {v}"))?;
+                if !threshold_pct.is_finite() || threshold_pct < 0.0 {
+                    return Err(format!("bad --threshold value: {v}"));
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            path => positional.push(path.to_string()),
+        }
+    }
+    match positional.len() {
+        1 | 2 => Ok(Args {
+            baseline: positional[0].clone(),
+            candidate: positional.get(1).cloned(),
+            threshold_pct,
+            check,
+        }),
+        0 => Err("missing baseline report".into()),
+        _ => Err("at most two report files".into()),
+    }
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not a bench report: {e}"))
+}
+
+/// One compared metric. `higher_is_better` decides the regression
+/// direction: speedups regress downward, overheads regress upward.
+struct Row {
+    name: &'static str,
+    base: f64,
+    cand: f64,
+    higher_is_better: bool,
+}
+
+impl Row {
+    /// Signed regression in percent (positive = worse), or `None` when
+    /// the baseline is degenerate (zero/NaN) and no ratio exists.
+    fn regression_pct(&self) -> Option<f64> {
+        if !self.base.is_finite() || !self.cand.is_finite() {
+            return None;
+        }
+        if self.higher_is_better {
+            if self.base <= 0.0 {
+                return None;
+            }
+            Some((self.base - self.cand) / self.base * 100.0)
+        } else {
+            // Overheads hover around zero, so a ratio is meaningless;
+            // compare in absolute percentage points instead.
+            Some(self.cand.max(0.0) - self.base.max(0.0))
+        }
+    }
+}
+
+fn rows(base: &Report, cand: &Report) -> Vec<Row> {
+    let speedups = [
+        (
+            "workload_sim.speedup",
+            &base.workload_sim,
+            &cand.workload_sim,
+        ),
+        (
+            "iterated_sweep.speedup",
+            &base.iterated_sweep,
+            &cand.iterated_sweep,
+        ),
+        (
+            "subsetting_pipeline.speedup",
+            &base.subsetting_pipeline,
+            &cand.subsetting_pipeline,
+        ),
+    ];
+    let mut out: Vec<Row> = speedups
+        .into_iter()
+        .map(|(name, b, c)| Row {
+            name,
+            base: b.speedup,
+            cand: c.speedup,
+            higher_is_better: true,
+        })
+        .collect();
+    out.push(Row {
+        name: "metrics_overhead_pct",
+        base: base.metrics_overhead_pct,
+        cand: cand.metrics_overhead_pct,
+        higher_is_better: false,
+    });
+    out.push(Row {
+        name: "trace_overhead_pct",
+        base: base.trace_overhead_pct,
+        cand: cand.trace_overhead_pct,
+        higher_is_better: false,
+    });
+    out
+}
+
+fn context_ms(base: &Report, cand: &Report) -> Vec<(&'static str, f64, f64)> {
+    vec![
+        (
+            "workload_sim.parallel_memoized",
+            base.workload_sim.parallel_memoized.wall_ms,
+            cand.workload_sim.parallel_memoized.wall_ms,
+        ),
+        (
+            "iterated_sweep.parallel_memoized",
+            base.iterated_sweep.parallel_memoized.wall_ms,
+            cand.iterated_sweep.parallel_memoized.wall_ms,
+        ),
+        (
+            "subsetting_pipeline.parallel_memoized",
+            base.subsetting_pipeline.parallel_memoized.wall_ms,
+            cand.subsetting_pipeline.parallel_memoized.wall_ms,
+        ),
+        ("oracle_check", base.oracle_check_ms, cand.oracle_check_ms),
+    ]
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("bench_diff: {msg}");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base = match load_report(&args.baseline) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cand = match &args.candidate {
+        Some(path) => match load_report(path) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("bench_diff: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            println!("bench_diff: no candidate file, measuring fresh (median-of-3)...");
+            collect(median_timer)
+        }
+    };
+    let cand_label = args.candidate.as_deref().unwrap_or("<fresh run>");
+    println!(
+        "bench_diff: {} vs {} (threshold {:.1}%{})",
+        args.baseline,
+        cand_label,
+        args.threshold_pct,
+        if args.check { ", report only" } else { "" },
+    );
+    if base.workload_draws != cand.workload_draws || base.threads != cand.threads {
+        println!(
+            "note: workload/threads differ ({} draws x{} vs {} draws x{}) — \
+             comparison is indicative only",
+            base.workload_draws, base.threads, cand.workload_draws, cand.threads,
+        );
+    }
+
+    println!(
+        "\n{:<34} {:>12} {:>12} {:>10}",
+        "metric", "baseline", "candidate", "delta"
+    );
+    let mut regressions = Vec::new();
+    for row in rows(&base, &cand) {
+        let delta = row.regression_pct();
+        let verdict = match delta {
+            Some(d) if d > args.threshold_pct => {
+                regressions.push((row.name, d));
+                "REGRESSED"
+            }
+            Some(_) => "",
+            None => "n/a",
+        };
+        println!(
+            "{:<34} {:>12.3} {:>12.3} {:>9.2}{} {}",
+            row.name,
+            row.base,
+            row.cand,
+            delta.unwrap_or(f64::NAN),
+            if row.higher_is_better { "%" } else { "pp" },
+            verdict,
+        );
+    }
+    println!("\nwall times (machine-dependent, for context):");
+    for (name, b, c) in context_ms(&base, &cand) {
+        println!("{name:<34} {b:>10.2}ms {c:>10.2}ms");
+    }
+
+    if regressions.is_empty() {
+        println!("\nno regressions beyond {:.1}%", args.threshold_pct);
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "\n{} regression(s) beyond {:.1}%:",
+        regressions.len(),
+        args.threshold_pct
+    );
+    for (name, pct) in &regressions {
+        println!("  {name}: {pct:.2} worse");
+    }
+    if args.check {
+        println!("--check: reporting only, exiting 0");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

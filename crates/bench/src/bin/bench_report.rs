@@ -10,8 +10,8 @@
 //!   On a trace with little verbatim repetition the cache self-disables,
 //!   so this mainly checks that memoization never costs more than a few
 //!   percent when it cannot help;
-//! * **iterated_sweep** — [`SWEEP_PASSES`] passes of the six-candidate
-//!   pathfinding sweep through a [`SweepSession`], the shape of the
+//! * **iterated_sweep** — `SWEEP_PASSES` passes of the six-candidate
+//!   pathfinding sweep through a `SweepSession`, the shape of the
 //!   iterative pathfinding loop. Every pass after the first is served
 //!   wholesale from the frame caches;
 //! * **subsetting_pipeline** — clustering + evaluation end to end.
@@ -20,247 +20,30 @@
 //! pre-executor behaviour); each timing is the best of three runs.
 //!
 //! The report additionally measures the cost of `subset3d-obs` metric
-//! recording (`metrics_overhead_pct`: workload_sim with metrics on vs.
-//! off, budget < 2 %) and embeds the `MetricsSnapshot` of an
-//! instrumented sweep-plus-pipeline pass.
+//! recording and flight-mode event tracing (`metrics_overhead_pct` and
+//! `trace_overhead_pct`: medians of five interleaved off/on pairs on the
+//! workload_sim shape, budget < 2 %) and embeds the `MetricsSnapshot`
+//! of an instrumented sweep-plus-pipeline pass. The measurement code is
+//! shared with `bench_diff` via [`subset3d_bench::report`].
 
-use serde::Serialize;
-use std::time::Instant;
-use subset3d_core::{SubsetConfig, Subsetter};
-use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
-use subset3d_trace::gen::GameProfile;
-use subset3d_trace::Workload;
-
-/// Timing runs per measurement; the best is reported.
-const RUNS: usize = 3;
-
-/// Sweep passes in the iterated-sweep scenario.
-const SWEEP_PASSES: usize = 4;
-
-#[derive(Serialize)]
-struct Measurement {
-    wall_ms: f64,
-    draws_per_sec: f64,
-}
-
-#[derive(Serialize)]
-struct Scenario {
-    single_thread_uncached: Measurement,
-    parallel_memoized: Measurement,
-    speedup: f64,
-    cache_hit_rate: f64,
-    frame_cache_hit_rate: f64,
-}
-
-#[derive(Serialize)]
-struct Report {
-    threads: usize,
-    workload_frames: usize,
-    workload_draws: usize,
-    sweep_candidates: usize,
-    sweep_passes: usize,
-    workload_sim: Scenario,
-    iterated_sweep: Scenario,
-    subsetting_pipeline: Scenario,
-    /// Wall-time cost of metric recording on the workload_sim scenario,
-    /// in percent (negative values are measurement noise).
-    metrics_overhead_pct: f64,
-    /// Wall time of one differential-oracle comparison over the testkit
-    /// corpus (all cache modes, both passes) — the price of the tier-1
-    /// `testkit` step, tracked so harness regressions are visible.
-    oracle_check_ms: f64,
-    /// Snapshot of an instrumented sweep-plus-pipeline pass.
-    metrics: subset3d_obs::MetricsSnapshot,
-}
-
-/// Best-of-[`RUNS`] wall time of `f`, in milliseconds.
-fn best_ms(mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..RUNS {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
-
-fn measurement(wall_ms: f64, draws: usize) -> Measurement {
-    Measurement {
-        wall_ms,
-        draws_per_sec: draws as f64 / (wall_ms / 1e3),
-    }
-}
-
-fn scenario(
-    draws: usize,
-    baseline: impl FnMut(),
-    optimized: impl FnMut(),
-    stats: subset3d_gpusim::CacheStats,
-) -> Scenario {
-    let base = best_ms(baseline);
-    let opt = best_ms(optimized);
-    Scenario {
-        speedup: base / opt,
-        single_thread_uncached: measurement(base, draws),
-        parallel_memoized: measurement(opt, draws),
-        cache_hit_rate: stats.hit_rate(),
-        frame_cache_hit_rate: stats.frame_hit_rate(),
-    }
-}
+use subset3d_bench::report::{best_timer, collect, OVERHEAD_REPS, RUNS};
 
 fn main() {
-    let threads = subset3d_exec::default_threads();
-    let workload: Workload = GameProfile::shooter("bench")
-        .frames(120)
-        .draws_per_frame(400)
-        .build(11)
-        .generate();
-    let candidates = ArchConfig::pathfinding_candidates();
-    let draws = workload.total_draws();
+    let report = collect(best_timer);
     println!(
         "bench_report: {} frames / {} draws, {} candidate configs, {} threads",
-        workload.frames().len(),
-        draws,
-        candidates.len(),
-        threads,
+        report.workload_frames, report.workload_draws, report.sweep_candidates, report.threads,
     );
-
-    // -- workload simulation (cold, out-of-the-box) --------------------
-    let sim_stats = {
-        let sim = Simulator::new(ArchConfig::baseline());
-        sim.simulate_workload(&workload).expect("simulate");
-        sim.cache_stats()
-    };
-    let workload_sim = scenario(
-        draws,
-        || {
-            subset3d_exec::set_thread_count(1);
-            let sim = Simulator::new(ArchConfig::baseline());
-            sim.set_cache_mode(CacheMode::Off);
-            sim.simulate_workload(&workload).expect("simulate");
-        },
-        || {
-            subset3d_exec::set_thread_count(threads);
-            let sim = Simulator::new(ArchConfig::baseline());
-            sim.simulate_workload(&workload).expect("simulate");
-        },
-        sim_stats,
-    );
-
-    // -- iterated pathfinding sweep ------------------------------------
-    let sweep_stats = {
-        let session = SweepSession::new(&candidates).expect("session");
-        for _ in 0..SWEEP_PASSES {
-            session.sweep(&workload).expect("sweep");
-        }
-        session.cache_stats()
-    };
-    let iterated_sweep = scenario(
-        draws * candidates.len() * SWEEP_PASSES,
-        || {
-            subset3d_exec::set_thread_count(1);
-            let session = SweepSession::new(&candidates).expect("session");
-            session.set_cache_mode(CacheMode::Off);
-            for _ in 0..SWEEP_PASSES {
-                session.sweep(&workload).expect("sweep");
-            }
-        },
-        || {
-            subset3d_exec::set_thread_count(threads);
-            let session = SweepSession::new(&candidates).expect("session");
-            for _ in 0..SWEEP_PASSES {
-                session.sweep(&workload).expect("sweep");
-            }
-        },
-        sweep_stats,
-    );
-
-    // -- subsetting pipeline -------------------------------------------
-    let pipeline_stats = {
-        subset3d_exec::set_thread_count(threads);
-        let sim = Simulator::new(ArchConfig::baseline());
-        Subsetter::new(SubsetConfig::default())
-            .run(&workload, &sim)
-            .expect("pipeline");
-        sim.cache_stats()
-    };
-    let subsetting_pipeline = scenario(
-        draws,
-        || {
-            subset3d_exec::set_thread_count(1);
-            let sim = Simulator::new(ArchConfig::baseline());
-            sim.set_cache_mode(CacheMode::Off);
-            Subsetter::new(SubsetConfig::default())
-                .run(&workload, &sim)
-                .expect("pipeline");
-        },
-        || {
-            subset3d_exec::set_thread_count(threads);
-            let sim = Simulator::new(ArchConfig::baseline());
-            Subsetter::new(SubsetConfig::default())
-                .run(&workload, &sim)
-                .expect("pipeline");
-        },
-        pipeline_stats,
-    );
-    subset3d_exec::set_thread_count(threads);
-
-    // -- metric-recording overhead -------------------------------------
-    // Same shape as workload_sim's optimized arm, metrics off vs. on.
-    let sim_pass = || {
-        let sim = Simulator::new(ArchConfig::baseline());
-        sim.simulate_workload(&workload).expect("simulate");
-    };
-    let off_ms = best_ms(sim_pass);
-    subset3d_obs::reset();
-    subset3d_obs::set_enabled(true);
-    let on_ms = best_ms(sim_pass);
-    subset3d_obs::set_enabled(false);
-    let metrics_overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
-
-    // -- instrumented snapshot -----------------------------------------
-    subset3d_obs::reset();
-    subset3d_obs::set_enabled(true);
-    {
-        let session = SweepSession::new(&candidates).expect("session");
-        for _ in 0..SWEEP_PASSES {
-            session.sweep(&workload).expect("sweep");
-        }
-        let sim = Simulator::new(ArchConfig::baseline());
-        Subsetter::new(SubsetConfig::default())
-            .run(&workload, &sim)
-            .expect("pipeline");
-    }
-    let metrics = subset3d_obs::snapshot();
-    subset3d_obs::set_enabled(false);
-
-    // -- differential-oracle wall time ---------------------------------
-    // Same comparison tier-1 runs (testkit corpus, every cache mode,
-    // both passes), timed so the harness itself can't silently regress.
-    let oracle_corpus = subset3d_testkit::corpus::oracle_corpus();
-    let oracle_check_ms = best_ms(|| {
-        for (name, workload) in &oracle_corpus {
-            subset3d_testkit::oracle::run_oracle_all_modes(name, workload, &ArchConfig::baseline())
-                .expect("oracle")
-                .assert_clean();
-        }
-    });
-
-    let report = Report {
-        threads,
-        workload_frames: workload.frames().len(),
-        workload_draws: draws,
-        sweep_candidates: candidates.len(),
-        sweep_passes: SWEEP_PASSES,
-        workload_sim,
-        iterated_sweep,
-        subsetting_pipeline,
-        metrics_overhead_pct,
-        oracle_check_ms,
-        metrics,
-    };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("{json}");
-    println!("wrote BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json (best-of-{RUNS} timings)");
+    // The JSON keeps the raw medians (negative = noise); only this
+    // human-facing summary clamps at zero.
+    println!(
+        "metrics overhead: {:.2}% | trace overhead (flight mode): {:.2}% \
+         (medians of {OVERHEAD_REPS} interleaved off/on pairs, clamped at 0)",
+        report.metrics_overhead_pct.max(0.0),
+        report.trace_overhead_pct.max(0.0),
+    );
 }

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use subset3d_core::{SubsetConfig, Subsetter, SubsettingOutcome};
 use subset3d_gpusim::{ArchConfig, Simulator};
 use subset3d_trace::Workload;

@@ -1,0 +1,431 @@
+//! Shared measurement machinery behind `bench_report` and `bench_diff`.
+//!
+//! `bench_report` writes the full [`Report`] to `BENCH_pipeline.json`;
+//! `bench_diff` deserialises committed reports and re-collects fresh
+//! ones, so everything here derives both `Serialize` and `Deserialize`
+//! and the timing helpers are shared (same workload, same scenarios,
+//! same medians) to keep the two binaries comparable.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use subset3d_core::{SubsetConfig, Subsetter};
+use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
+use subset3d_trace::gen::GameProfile;
+use subset3d_trace::Workload;
+
+/// Timing runs per scenario measurement; the best is reported.
+pub const RUNS: usize = 3;
+
+/// Sweep passes in the iterated-sweep scenario.
+pub const SWEEP_PASSES: usize = 4;
+
+/// Interleaved off/on repetitions behind each overhead median. Five
+/// pairs, not one: a single pair is dominated by scheduling noise (the
+/// committed report once claimed a *negative* metrics overhead).
+pub const OVERHEAD_REPS: usize = 5;
+
+/// One timed arm of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated draws per second at that wall time.
+    pub draws_per_sec: f64,
+}
+
+/// A baseline-vs-optimized comparison on one workload shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// One thread, memoization off — the pre-executor behaviour.
+    pub single_thread_uncached: Measurement,
+    /// Default threads, memoization on.
+    pub parallel_memoized: Measurement,
+    /// `single_thread_uncached / parallel_memoized` wall-time ratio.
+    pub speedup: f64,
+    /// Draw-cost cache hit rate of the optimized arm.
+    pub cache_hit_rate: f64,
+    /// Frame cache hit rate of the optimized arm.
+    pub frame_cache_hit_rate: f64,
+}
+
+/// Everything `bench_report` measures — the schema of
+/// `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Thread count of the parallel arms.
+    pub threads: usize,
+    /// Frames in the bench workload.
+    pub workload_frames: usize,
+    /// Draws in the bench workload.
+    pub workload_draws: usize,
+    /// Candidate configs in the sweep scenarios.
+    pub sweep_candidates: usize,
+    /// Passes in the iterated-sweep scenario.
+    pub sweep_passes: usize,
+    /// One cold `simulate_workload` pass, out-of-the-box configuration.
+    pub workload_sim: Scenario,
+    /// [`SWEEP_PASSES`] passes of the pathfinding sweep via a session.
+    pub iterated_sweep: Scenario,
+    /// Clustering + evaluation end to end.
+    pub subsetting_pipeline: Scenario,
+    /// Wall-time cost of metric recording on the workload_sim shape:
+    /// median of [`OVERHEAD_REPS`] interleaved off/on pairs, in percent.
+    /// The raw median is kept here (it may be slightly negative on a
+    /// noisy machine); only the printed summary clamps at zero.
+    pub metrics_overhead_pct: f64,
+    /// Wall-time cost of flight-recorder event tracing on the same
+    /// shape, measured like `metrics_overhead_pct`. Absent from reports
+    /// predating the tracing layer, hence the default.
+    #[serde(default)]
+    pub trace_overhead_pct: f64,
+    /// Wall time of one differential-oracle comparison over the testkit
+    /// corpus (all cache modes, both passes) — the price of the tier-1
+    /// `testkit` step, tracked so harness regressions are visible.
+    pub oracle_check_ms: f64,
+    /// Snapshot of an instrumented sweep-plus-pipeline pass.
+    pub metrics: subset3d_obs::MetricsSnapshot,
+}
+
+/// Wall time of one invocation of `f`, in milliseconds.
+pub fn one_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-of-`runs` wall time of `f`, in milliseconds.
+pub fn best_ms(mut f: impl FnMut(), runs: usize) -> f64 {
+    (0..runs.max(1))
+        .map(|_| one_ms(&mut f))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Median-of-`runs` wall time of `f`, in milliseconds — the noise-robust
+/// timing `bench_diff` uses for fresh runs.
+pub fn median_ms(mut f: impl FnMut(), runs: usize) -> f64 {
+    let samples: Vec<f64> = (0..runs.max(1)).map(|_| one_ms(&mut f)).collect();
+    median(samples)
+}
+
+/// Median of a sample set (mean of the middle two for even counts).
+/// Panics on an empty input — callers always measure at least once.
+pub fn median(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of no samples");
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Median relative overhead, in percent, of `with` over `without`:
+/// [`OVERHEAD_REPS`] interleaved pairs so drift hits both arms equally.
+pub fn paired_overhead_pct(mut without: impl FnMut() -> f64, mut with: impl FnMut() -> f64) -> f64 {
+    let pcts: Vec<f64> = (0..OVERHEAD_REPS)
+        .map(|_| {
+            let off = without();
+            let on = with();
+            (on - off) / off * 100.0
+        })
+        .collect();
+    median(pcts)
+}
+
+/// The workload every scenario runs on.
+pub fn bench_workload() -> Workload {
+    GameProfile::shooter("bench")
+        .frames(120)
+        .draws_per_frame(400)
+        .build(11)
+        .generate()
+}
+
+fn measurement(wall_ms: f64, draws: usize) -> Measurement {
+    Measurement {
+        wall_ms,
+        draws_per_sec: draws as f64 / (wall_ms / 1e3),
+    }
+}
+
+fn scenario(draws: usize, base: f64, opt: f64, stats: subset3d_gpusim::CacheStats) -> Scenario {
+    Scenario {
+        speedup: base / opt,
+        single_thread_uncached: measurement(base, draws),
+        parallel_memoized: measurement(opt, draws),
+        cache_hit_rate: stats.hit_rate(),
+        frame_cache_hit_rate: stats.frame_hit_rate(),
+    }
+}
+
+/// Runs the full measurement suite and returns the report.
+///
+/// `timer` is the scenario-timing policy: [`best_ms`] in `bench_report`
+/// (fastest clean run), [`median_ms`] in `bench_diff` (robust against a
+/// single slow outlier when a failing comparison must mean something).
+pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
+    let threads = subset3d_exec::default_threads();
+    let workload = bench_workload();
+    let candidates = ArchConfig::pathfinding_candidates();
+    let draws = workload.total_draws();
+
+    // Thread-count changes happen OUTSIDE the timed closures: resizing
+    // spawns a fresh pool, and measuring that re-spawn used to shave the
+    // parallel arms' speedups below their true value.
+
+    // -- workload simulation (cold, out-of-the-box) --------------------
+    subset3d_exec::set_thread_count(threads);
+    let sim_stats = {
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&workload).expect("simulate");
+        sim.cache_stats()
+    };
+    subset3d_exec::set_thread_count(1);
+    let base = timer(
+        &mut || {
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.set_cache_mode(CacheMode::Off);
+            sim.simulate_workload(&workload).expect("simulate");
+        },
+        RUNS,
+    );
+    subset3d_exec::set_thread_count(threads);
+    let opt = timer(
+        &mut || {
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.simulate_workload(&workload).expect("simulate");
+        },
+        RUNS,
+    );
+    let workload_sim = scenario(draws, base, opt, sim_stats);
+
+    // -- iterated pathfinding sweep ------------------------------------
+    let sweep_stats = {
+        let session = SweepSession::new(&candidates).expect("session");
+        for _ in 0..SWEEP_PASSES {
+            session.sweep(&workload).expect("sweep");
+        }
+        session.cache_stats()
+    };
+    subset3d_exec::set_thread_count(1);
+    let base = timer(
+        &mut || {
+            let session = SweepSession::new(&candidates).expect("session");
+            session.set_cache_mode(CacheMode::Off);
+            for _ in 0..SWEEP_PASSES {
+                session.sweep(&workload).expect("sweep");
+            }
+        },
+        RUNS,
+    );
+    subset3d_exec::set_thread_count(threads);
+    let opt = timer(
+        &mut || {
+            let session = SweepSession::new(&candidates).expect("session");
+            for _ in 0..SWEEP_PASSES {
+                session.sweep(&workload).expect("sweep");
+            }
+        },
+        RUNS,
+    );
+    let iterated_sweep = scenario(
+        draws * candidates.len() * SWEEP_PASSES,
+        base,
+        opt,
+        sweep_stats,
+    );
+
+    // -- subsetting pipeline -------------------------------------------
+    let pipeline_stats = {
+        let sim = Simulator::new(ArchConfig::baseline());
+        Subsetter::new(SubsetConfig::default())
+            .run(&workload, &sim)
+            .expect("pipeline");
+        sim.cache_stats()
+    };
+    subset3d_exec::set_thread_count(1);
+    let base = timer(
+        &mut || {
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.set_cache_mode(CacheMode::Off);
+            Subsetter::new(SubsetConfig::default())
+                .run(&workload, &sim)
+                .expect("pipeline");
+        },
+        RUNS,
+    );
+    subset3d_exec::set_thread_count(threads);
+    let opt = timer(
+        &mut || {
+            let sim = Simulator::new(ArchConfig::baseline());
+            Subsetter::new(SubsetConfig::default())
+                .run(&workload, &sim)
+                .expect("pipeline");
+        },
+        RUNS,
+    );
+    let subsetting_pipeline = scenario(draws, base, opt, pipeline_stats);
+
+    // -- observability overhead ----------------------------------------
+    // Same shape as workload_sim's optimized arm; each rep interleaves
+    // an off and an on pass so machine drift cancels.
+    let sim_pass = || {
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.simulate_workload(&workload).expect("simulate");
+    };
+    let metrics_overhead_pct = paired_overhead_pct(
+        || one_ms(sim_pass),
+        || {
+            subset3d_obs::reset();
+            subset3d_obs::set_enabled(true);
+            let ms = one_ms(sim_pass);
+            subset3d_obs::set_enabled(false);
+            ms
+        },
+    );
+    let trace_overhead_pct = paired_overhead_pct(
+        || one_ms(sim_pass),
+        || {
+            subset3d_obs::start_tracing(subset3d_obs::TraceMode::Flight);
+            let ms = one_ms(sim_pass);
+            subset3d_obs::stop_tracing();
+            ms
+        },
+    );
+
+    // -- instrumented snapshot -----------------------------------------
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    {
+        let session = SweepSession::new(&candidates).expect("session");
+        for _ in 0..SWEEP_PASSES {
+            session.sweep(&workload).expect("sweep");
+        }
+        let sim = Simulator::new(ArchConfig::baseline());
+        Subsetter::new(SubsetConfig::default())
+            .run(&workload, &sim)
+            .expect("pipeline");
+    }
+    let metrics = subset3d_obs::snapshot();
+    subset3d_obs::set_enabled(false);
+
+    // -- differential-oracle wall time ---------------------------------
+    let oracle_corpus = subset3d_testkit::corpus::oracle_corpus();
+    let oracle_check_ms = timer(
+        &mut || {
+            for (name, workload) in &oracle_corpus {
+                subset3d_testkit::oracle::run_oracle_all_modes(
+                    name,
+                    workload,
+                    &ArchConfig::baseline(),
+                )
+                .expect("oracle")
+                .assert_clean();
+            }
+        },
+        RUNS,
+    );
+
+    Report {
+        threads,
+        workload_frames: workload.frames().len(),
+        workload_draws: draws,
+        sweep_candidates: candidates.len(),
+        sweep_passes: SWEEP_PASSES,
+        workload_sim,
+        iterated_sweep,
+        subsetting_pipeline,
+        metrics_overhead_pct,
+        trace_overhead_pct,
+        oracle_check_ms,
+        metrics,
+    }
+}
+
+/// [`best_ms`] with the `fn`-pointer signature [`collect`] takes.
+pub fn best_timer(f: &mut dyn FnMut(), runs: usize) -> f64 {
+    best_ms(f, runs)
+}
+
+/// [`median_ms`] with the `fn`-pointer signature [`collect`] takes.
+pub fn median_timer(f: &mut dyn FnMut(), runs: usize) -> f64 {
+    median_ms(f, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let m = Measurement {
+            wall_ms: 1.5,
+            draws_per_sec: 2e6,
+        };
+        let s = Scenario {
+            single_thread_uncached: m.clone(),
+            parallel_memoized: m,
+            speedup: 1.0,
+            cache_hit_rate: 0.5,
+            frame_cache_hit_rate: 0.25,
+        };
+        Report {
+            threads: 4,
+            workload_frames: 10,
+            workload_draws: 100,
+            sweep_candidates: 6,
+            sweep_passes: 4,
+            workload_sim: s.clone(),
+            iterated_sweep: s.clone(),
+            subsetting_pipeline: s,
+            metrics_overhead_pct: -0.5,
+            trace_overhead_pct: 1.25,
+            oracle_check_ms: 12.0,
+            metrics: subset3d_obs::MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_unsorted() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn reports_without_trace_overhead_still_deserialize() {
+        // Committed BENCH files from before the tracing layer lack the
+        // field; `#[serde(default)]` must absorb that.
+        let json = serde_json::to_string_pretty(&sample_report()).unwrap();
+        let stripped = json.replace("\"trace_overhead_pct\": 1.25,\n  ", "");
+        assert!(!stripped.contains("trace_overhead_pct"));
+        let back: Report = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.trace_overhead_pct, 0.0);
+    }
+
+    #[test]
+    fn timing_helpers_return_finite_times() {
+        let t = best_ms(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            2,
+        );
+        assert!(t.is_finite() && t >= 0.0);
+        let t = median_ms(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            3,
+        );
+        assert!(t.is_finite() && t >= 0.0);
+    }
+}

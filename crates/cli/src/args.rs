@@ -37,6 +37,15 @@ pub enum Command {
         /// Emit the raw `MetricsSnapshot` JSON instead of the table.
         json: bool,
     },
+    /// Run the pipeline under the event tracer and emit a Chrome trace
+    /// plus a per-stage self-time table.
+    TraceProfile(SubsetArgs),
+    /// Validate a Chrome trace-event JSON file against the exporter's
+    /// schema.
+    TraceValidate {
+        /// Trace JSON file to validate.
+        path: String,
+    },
     /// Print usage.
     Help,
 }
@@ -73,6 +82,8 @@ pub struct SubsetArgs {
     pub json: bool,
     /// Record metrics during the run and append a snapshot to the output.
     pub metrics: bool,
+    /// Optional path to write a Chrome trace-event JSON of the run.
+    pub trace_out: Option<String>,
 }
 
 /// A command-line parsing failure.
@@ -139,6 +150,17 @@ where
         }
         "subset" => Ok(Command::Subset(parse_subset(&rest)?)),
         "sweep" => Ok(Command::Sweep(parse_subset(&rest)?)),
+        "trace-profile" => Ok(Command::TraceProfile(parse_subset(&rest)?)),
+        "trace-validate" => {
+            let path = rest
+                .first()
+                .cloned()
+                .ok_or(ArgError::MissingRequired("trace JSON path"))?;
+            if rest.len() > 1 {
+                return Err(ArgError::UnknownFlag(rest[1].clone()));
+            }
+            Ok(Command::TraceValidate { path })
+        }
         "merge" => {
             let mut it = rest.iter();
             let mut out = None;
@@ -252,6 +274,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
     let mut interval = 10usize;
     let mut frames_per_phase = 1usize;
     let mut out_subset = None;
+    let mut trace_out = None;
     let mut json = false;
     let mut metrics = false;
     let mut it = rest.iter();
@@ -268,6 +291,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
                 frames_per_phase = parse_num(&value("--frames-per-phase")?, "--frames-per-phase")?;
             }
             "--out-subset" => out_subset = Some(value("--out-subset")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--json" => json = true,
             "--metrics" => metrics = true,
             flag if flag.starts_with("--") => {
@@ -287,6 +311,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
         interval,
         frames_per_phase,
         out_subset,
+        trace_out,
         json,
         metrics,
     })
@@ -458,6 +483,52 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["stats", "a", "--wat"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn subset_trace_out_flag() {
+        let c = parse(&["subset", "a.trace", "--trace-out", "t.json"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert_eq!(s.trace_out.as_deref(), Some("t.json"));
+        let c = parse(&["sweep", "a.trace", "--trace-out", "t.json"]).unwrap();
+        let Command::Sweep(s) = c else { panic!() };
+        assert_eq!(s.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(
+            parse(&["subset", "a.trace", "--trace-out"]),
+            Err(ArgError::MissingValue("--trace-out".into()))
+        );
+    }
+
+    #[test]
+    fn trace_profile_shares_subset_args() {
+        let c = parse(&["trace-profile", "a.trace", "--interval", "4"]).unwrap();
+        let Command::TraceProfile(s) = c else {
+            panic!()
+        };
+        assert_eq!(s.path, "a.trace");
+        assert_eq!(s.interval, 4);
+        assert!(matches!(
+            parse(&["trace-profile"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+    }
+
+    #[test]
+    fn trace_validate_takes_one_path() {
+        assert_eq!(
+            parse(&["trace-validate", "t.json"]),
+            Ok(Command::TraceValidate {
+                path: "t.json".into()
+            })
+        );
+        assert!(matches!(
+            parse(&["trace-validate"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+        assert!(matches!(
+            parse(&["trace-validate", "a", "b"]),
             Err(ArgError::UnknownFlag(_))
         ));
     }

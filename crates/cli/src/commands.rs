@@ -22,6 +22,8 @@ pub enum CliError {
     Pipeline(subset3d_core::SubsetError),
     /// A report failed to serialise to JSON.
     Serialize(serde_json::Error),
+    /// A trace file failed schema validation.
+    Trace(String),
 }
 
 impl fmt::Display for CliError {
@@ -31,6 +33,7 @@ impl fmt::Display for CliError {
             CliError::Decode(e) => write!(f, "trace decode error: {e}"),
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CliError::Serialize(e) => write!(f, "serialisation error: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
 }
@@ -80,12 +83,59 @@ pub fn run_command(command: &Command, out: &mut dyn Write) -> Result<(), CliErro
         }
         Command::Gen(args) => run_gen(args, out),
         Command::Info { path } => run_info(path, out),
-        Command::Subset(args) => instrumented(args.metrics, out, |out| run_subset(args, out)),
-        Command::Sweep(args) => instrumented(args.metrics, out, |out| run_sweep(args, out)),
+        Command::Subset(args) => traced(args.trace_out.as_deref(), out, |out| {
+            instrumented(args.metrics, out, |out| run_subset(args, out))
+        }),
+        Command::Sweep(args) => traced(args.trace_out.as_deref(), out, |out| {
+            instrumented(args.metrics, out, |out| run_sweep(args, out))
+        }),
         Command::Rank { trace, subset } => run_rank(trace, subset, out),
         Command::Merge { out: path, inputs } => run_merge(path, inputs, out),
         Command::Stats { trace, json } => run_stats(trace, *json, out),
+        Command::TraceProfile(args) => run_trace_profile(args, out),
+        Command::TraceValidate { path } => run_trace_validate(path, out),
     }
+}
+
+/// Runs `f` under the event tracer (when `--trace-out` was given) and
+/// writes the collected trace as Chrome trace-event JSON. When the
+/// command fails, the most recent events are dumped to stderr as JSONL
+/// instead — the flight-recorder contract: failed runs stay diagnosable.
+fn traced(
+    trace_out: Option<&str>,
+    out: &mut dyn Write,
+    f: impl FnOnce(&mut dyn Write) -> Result<(), CliError>,
+) -> Result<(), CliError> {
+    let Some(path) = trace_out else {
+        return f(out);
+    };
+    subset3d_obs::install_panic_dump();
+    subset3d_obs::start_tracing(subset3d_obs::TraceMode::Full);
+    let result = f(out);
+    let events = subset3d_obs::stop_tracing();
+    if let Err(e) = result {
+        dump_flight_tail(&events);
+        return Err(e);
+    }
+    let json = subset3d_obs::export_chrome(&events, &subset3d_obs::thread_names());
+    std::fs::write(path, &json)?;
+    writeln!(
+        out,
+        "wrote Chrome trace to {path} ({} events)",
+        events.len()
+    )?;
+    Ok(())
+}
+
+/// Writes the last [`subset3d_obs::FLIGHT_CAPACITY`] events to stderr
+/// as JSONL.
+fn dump_flight_tail(events: &[subset3d_obs::TraceEvent]) {
+    let tail = &events[events.len().saturating_sub(subset3d_obs::FLIGHT_CAPACITY)..];
+    eprintln!(
+        "subset3d flight recorder: {} most recent trace events follow",
+        tail.len()
+    );
+    eprint!("{}", subset3d_obs::export_jsonl(tail));
 }
 
 /// Runs `f` with metric recording on (when requested) and appends the
@@ -392,6 +442,69 @@ fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliErro
     Ok(())
 }
 
+/// Runs the full subsetting pipeline under the event tracer, writes the
+/// Chrome trace, and prints a per-stage self-time table — `perf report`
+/// for one pipeline run. The trace lands at `--trace-out` or
+/// `<input>.trace.json`.
+fn run_trace_profile(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(&args.path)?;
+    subset3d_obs::install_panic_dump();
+    subset3d_obs::start_tracing(subset3d_obs::TraceMode::Full);
+    let result = pipeline(args, &workload);
+    let events = subset3d_obs::stop_tracing();
+    if let Err(e) = result {
+        dump_flight_tail(&events);
+        return Err(e);
+    }
+
+    let summary = subset3d_obs::self_time(&events);
+    let total_self_ns: u64 = summary.iter().map(|s| s.self_ns).sum();
+    let mut table = Table::new(vec!["span", "count", "total ms", "self ms", "self %"]);
+    for stage in &summary {
+        table.row(vec![
+            stage.name.to_string(),
+            stage.count.to_string(),
+            format!("{:.3}", stage.total_ns as f64 / 1e6),
+            format!("{:.3}", stage.self_ns as f64 / 1e6),
+            format!(
+                "{:.1}",
+                stage.self_ns as f64 / total_self_ns.max(1) as f64 * 100.0
+            ),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+
+    let path = args
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| format!("{}.trace.json", args.path));
+    let json = subset3d_obs::export_chrome(&events, &subset3d_obs::thread_names());
+    std::fs::write(&path, &json)?;
+    writeln!(
+        out,
+        "wrote Chrome trace to {path} ({} events)",
+        events.len()
+    )?;
+    writeln!(
+        out,
+        "open it at https://ui.perfetto.dev (or chrome://tracing)"
+    )?;
+    Ok(())
+}
+
+/// Validates a Chrome trace-event JSON file against the exporter's own
+/// schema check and prints the event counts.
+fn run_trace_validate(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let json = std::fs::read_to_string(path)?;
+    let stats = subset3d_obs::validate_chrome(&json).map_err(CliError::Trace)?;
+    writeln!(
+        out,
+        "{path} is a valid Chrome trace: {} events ({} spans, {} instants, {} flows) on {} threads",
+        stats.events, stats.spans, stats.instants, stats.flows, stats.threads
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +531,7 @@ mod tests {
 
     #[test]
     fn gen_info_subset_sweep_roundtrip() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = temp_path("roundtrip");
         let text = run(&[
             "gen", "--out", &path, "--frames", "12", "--draws", "60", "--seed", "5",
@@ -441,6 +555,7 @@ mod tests {
 
     #[test]
     fn subset_export_and_rank_roundtrip() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let trace = temp_path("rank-trace");
         let subset = temp_path("rank-subset");
         run(&[
@@ -458,6 +573,7 @@ mod tests {
 
     #[test]
     fn rank_rejects_mismatched_subset() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let trace_a = temp_path("mismatch-a");
         let trace_b = temp_path("mismatch-b");
         let subset = temp_path("mismatch-subset");
@@ -487,6 +603,7 @@ mod tests {
 
     #[test]
     fn subset_json_mode_emits_parseable_summary() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let trace = temp_path("json-trace");
         run(&[
             "gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4",
@@ -522,9 +639,10 @@ mod tests {
         }
     }
 
-    // Metric recording is process-global, so tests that enable it must
-    // not interleave with each other.
-    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // Metric and trace recording are process-global, so tests that
+    // enable either must not interleave with any test that runs a
+    // pipeline (its events would pollute the active trace).
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     /// Splits instrumented output at the `metrics:` marker and parses
     /// the JSON tail back into a snapshot.
@@ -536,7 +654,7 @@ mod tests {
 
     #[test]
     fn subset_metrics_snapshot_round_trips() {
-        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let trace = temp_path("metrics-trace");
         run(&[
             "gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "4",
@@ -569,7 +687,7 @@ mod tests {
 
     #[test]
     fn stats_reports_warm_cache_hits() {
-        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let trace = temp_path("stats-trace");
         run(&[
             "gen", "--out", &trace, "--frames", "6", "--draws", "30", "--seed", "9",
@@ -587,6 +705,85 @@ mod tests {
         assert!(table.contains("gpusim.draw_cache.hits"));
         assert!(table.contains("pipeline.total_ns"));
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn trace_profile_emits_valid_chrome_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("profile-trace");
+        let out_json = temp_path("profile-chrome");
+        run(&[
+            "gen", "--out", &trace, "--frames", "8", "--draws", "40", "--seed", "3",
+        ])
+        .unwrap();
+        let text = run(&[
+            "trace-profile",
+            &trace,
+            "--interval",
+            "4",
+            "--trace-out",
+            &out_json,
+        ])
+        .unwrap();
+        assert!(text.contains("self %"), "self-time table missing: {text}");
+        assert!(text.contains("pipeline.clustering"));
+        assert!(text.contains("ui.perfetto.dev"));
+
+        let verdict = run(&["trace-validate", &out_json]).unwrap();
+        assert!(verdict.contains("valid Chrome trace"), "{verdict}");
+
+        // All five pipeline stages must appear as spans.
+        let json = std::fs::read_to_string(&out_json).unwrap();
+        for stage in [
+            "pipeline.feature_extraction",
+            "pipeline.clustering",
+            "pipeline.evaluation",
+            "pipeline.phase_detection",
+            "pipeline.subset_build",
+        ] {
+            assert!(json.contains(stage), "stage {stage} missing from trace");
+        }
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&out_json).ok();
+    }
+
+    #[test]
+    fn subset_trace_out_writes_validating_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("traceout-trace");
+        let out_json = temp_path("traceout-chrome");
+        run(&[
+            "gen", "--out", &trace, "--frames", "6", "--draws", "30", "--seed", "7",
+        ])
+        .unwrap();
+        let text = run(&[
+            "subset",
+            &trace,
+            "--interval",
+            "4",
+            "--trace-out",
+            &out_json,
+        ])
+        .unwrap();
+        assert!(text.contains("clustering efficiency"), "normal output kept");
+        assert!(text.contains("wrote Chrome trace"));
+        let json = std::fs::read_to_string(&out_json).unwrap();
+        subset3d_obs::validate_chrome(&json).expect("emitted trace validates");
+        assert!(
+            !subset3d_obs::trace_enabled(),
+            "tracing must stop with the command"
+        );
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&out_json).ok();
+    }
+
+    #[test]
+    fn trace_validate_rejects_non_trace_json() {
+        let path = temp_path("invalid-chrome");
+        std::fs::write(&path, r#"{"notTraceEvents": []}"#).unwrap();
+        let err = run(&["trace-validate", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Trace(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

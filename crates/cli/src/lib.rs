@@ -30,14 +30,27 @@ USAGE:
     subset3d info   <FILE>
     subset3d subset <FILE> [--threshold X] [--interval N] [--frames-per-phase N]
                     [--out-subset <JSON>] [--json] [--metrics]
+                    [--trace-out <JSON>]
     subset3d sweep  <FILE> [--threshold X] [--interval N] [--metrics]
+                    [--trace-out <JSON>]
     subset3d rank   <FILE> <SUBSET.JSON>
     subset3d merge  --out <FILE> <TRACE>...
     subset3d stats  <FILE> [--json]
+    subset3d trace-profile  <FILE> [--threshold X] [--interval N]
+                    [--trace-out <JSON>]
+    subset3d trace-validate <JSON>
     subset3d help
 
 `--metrics` records counters, cache statistics and stage timings during
 the run and appends a JSON MetricsSnapshot after the normal output (see
 the `metrics:` marker line). `stats` runs an instrumented subsetting
-pass plus an iterated sweep over a trace and reports only the metrics.
+pass plus an iterated sweep over a trace and reports only the metrics
+(`--json` emits the raw MetricsSnapshot instead of the table).
+
+`--trace-out` records a per-thread event timeline of the run and writes
+it as Chrome trace-event JSON — open it at https://ui.perfetto.dev.
+`trace-profile` runs the pipeline under the tracer and also prints a
+per-stage self-time table; `trace-validate` checks a trace file against
+the exporter's schema. If a traced run fails, the most recent events
+are dumped to stderr as JSONL (the flight recorder).
 ";

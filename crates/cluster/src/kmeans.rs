@@ -60,12 +60,15 @@ impl KMeans {
         }
         let k = self.k.min(points.len());
         let dim = points[0].len();
+        let mut fit_span = subset3d_obs::trace_span("cluster", "kmeans.fit");
+        let mut iterations = 0u64;
         let mut centroids: Vec<Vec<f64>> = kmeans_plus_plus(points, k, self.seed)
             .into_iter()
             .map(|i| points[i].clone())
             .collect();
         let mut assignments = vec![0usize; points.len()];
         for _ in 0..self.max_iters {
+            iterations += 1;
             // Assignment step.
             let mut changed = false;
             for (i, p) in points.iter().enumerate() {
@@ -100,6 +103,8 @@ impl KMeans {
                 break;
             }
         }
+        fit_span.set_arg("iterations", iterations);
+        fit_span.end();
         // Final assignment against the final centroids.
         for (i, p) in points.iter().enumerate() {
             assignments[i] = nearest_centroid(p, &centroids);

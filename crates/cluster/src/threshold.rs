@@ -51,6 +51,8 @@ impl ThresholdClustering {
     /// threshold, which makes workload-global clustering (hundreds of
     /// thousands of points against thousands of leaders) tractable.
     pub fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        let _t =
+            subset3d_obs::trace_span_arg("cluster", "threshold.fit", "points", points.len() as u64);
         let mut leaders: Vec<usize> = Vec::new();
         let mut assignments = Vec::with_capacity(points.len());
         let threshold_sq = self.threshold * self.threshold;

@@ -89,7 +89,16 @@ pub fn cluster_frame(frame: &Frame, workload: &Workload, config: &SubsetConfig) 
         };
     }
     let feature_span = subset3d_obs::span(&OBS_FEATURES);
+    let t_features = subset3d_obs::trace_span_arg(
+        "pipeline",
+        "pipeline.feature_extraction",
+        "frame",
+        u64::from(frame.id.raw()),
+    );
     let mut matrix = extract_frame_features(frame, workload, config.features.clone());
+    // Tail of the flow arrow this frame's `frame.simulate` span completes.
+    subset3d_obs::trace_flow_start("pipeline", "frame.link", u64::from(frame.id.raw()));
+    t_features.end();
     feature_span.end();
     matrix.normalize(config.normalization);
     if config.cost_weighting {

@@ -146,18 +146,38 @@ impl Subsetter {
             return Err(SubsetError::EmptyWorkload);
         }
         let _total = subset3d_obs::span(&OBS_TOTAL);
+        let _t_total = subset3d_obs::trace_span_arg(
+            "pipeline",
+            "pipeline.run",
+            "frames",
+            workload.frames().len() as u64,
+        );
 
         let clustering_span = subset3d_obs::span(&OBS_CLUSTERING);
+        let t_clustering = subset3d_obs::trace_span("pipeline", "pipeline.clustering");
         let clusterings = self.cluster_all_frames(workload);
+        t_clustering.end();
         clustering_span.end();
 
         // Ground-truth frame costs and prediction quality (sequential: the
         // analytical simulator is far cheaper than clustering).
         let evaluation_span = subset3d_obs::span(&OBS_EVALUATION);
+        let t_evaluation = subset3d_obs::trace_span("pipeline", "pipeline.evaluation");
         let mut frames = Vec::with_capacity(workload.frames().len());
         let mut efficiencies = Vec::with_capacity(workload.frames().len());
         for (frame, clustering) in workload.frames().iter().zip(&clusterings) {
+            let t_frame = subset3d_obs::trace_span_arg(
+                "pipeline",
+                "frame.simulate",
+                "frame",
+                u64::from(frame.id.raw()),
+            );
+            // Empty frames skip feature extraction (no flow start to pair).
+            if !frame.is_empty() {
+                subset3d_obs::trace_flow_end("pipeline", "frame.link", u64::from(frame.id.raw()));
+            }
             let cost = sim.simulate_frame(frame, workload)?;
+            t_frame.end();
             frames.push(predict_frame(clustering, &cost));
             efficiencies.push(clustering.efficiency());
         }
@@ -165,22 +185,27 @@ impl Subsetter {
             frames,
             efficiencies,
         };
+        t_evaluation.end();
         evaluation_span.end();
 
         let phase_span = subset3d_obs::span(&OBS_PHASES);
+        let t_phases = subset3d_obs::trace_span("pipeline", "pipeline.phase_detection");
         let phases = PhaseDetector::new(self.config.interval_len)
             .with_similarity(self.config.phase_similarity)
             .detect(workload)?;
         let pattern = PhasePattern::of(&phases);
+        t_phases.end();
         phase_span.end();
 
         let subset_span = subset3d_obs::span(&OBS_SUBSET);
+        let t_subset = subset3d_obs::trace_span("pipeline", "pipeline.subset_build");
         let subset = WorkloadSubset::build(
             workload,
             &phases,
             &clusterings,
             self.config.frames_per_phase,
         );
+        t_subset.end();
         subset_span.end();
 
         Ok(SubsettingOutcome {
@@ -196,6 +221,12 @@ impl Subsetter {
     /// pool. Results are in frame order and identical at any thread count.
     fn cluster_all_frames(&self, workload: &Workload) -> Vec<FrameClustering> {
         subset3d_exec::par_map_indexed(workload.frames(), |_, frame| {
+            let _t = subset3d_obs::trace_span_arg(
+                "pipeline",
+                "frame.cluster",
+                "frame",
+                u64::from(frame.id.raw()),
+            );
             cluster_frame(frame, workload, &self.config)
         })
     }

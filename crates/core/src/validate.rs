@@ -54,7 +54,8 @@ pub fn frequency_scaling_validation(
 ) -> Result<ScalingValidation, SubsetError> {
     let mut parent_times = Vec::with_capacity(sweep.len());
     let mut subset_times = Vec::with_capacity(sweep.len());
-    for config in sweep.configs(base) {
+    for (i, config) in sweep.configs(base).into_iter().enumerate() {
+        let _t = subset3d_obs::trace_span_arg("gpusim", "sweep.candidate", "index", i as u64);
         let sim = Simulator::new(config);
         parent_times.push(sim.simulate_workload(workload)?.total_ns);
         subset_times.push(subset.replay(workload, &sim)?);
@@ -90,7 +91,8 @@ pub fn pathfinding_rank_validation(
 ) -> Result<(Vec<f64>, Vec<f64>, f64), SubsetError> {
     let mut parent = Vec::with_capacity(candidates.len());
     let mut estimate = Vec::with_capacity(candidates.len());
-    for config in candidates {
+    for (i, config) in candidates.iter().enumerate() {
+        let _t = subset3d_obs::trace_span_arg("gpusim", "sweep.candidate", "index", i as u64);
         let sim = Simulator::new(config.clone());
         parent.push(sim.simulate_workload(workload)?.total_ns);
         estimate.push(subset.replay(workload, &sim)?);

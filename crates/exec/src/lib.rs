@@ -27,6 +27,16 @@
 //! variable (falling back to the machine's available parallelism) and
 //! can be resized at runtime with [`set_thread_count`].
 //!
+//! # Small-workload serial fallback
+//!
+//! Announcing a batch to the workers costs a channel send and a wakeup
+//! per worker — more than a tiny batch saves. Batches with fewer than
+//! [`serial_threshold`] items (default [`DEFAULT_SERIAL_THRESHOLD`],
+//! override with `SUBSET3D_SERIAL_THRESHOLD`) therefore run inline on
+//! the caller. Because results always land at their item's index, the
+//! fallback is invisible to callers: outputs are bit-identical either
+//! way (covered by the determinism test).
+//!
 //! # Panics
 //!
 //! A panic inside the mapping function is captured on the worker,
@@ -48,6 +58,26 @@ use subset3d_obs::{LazyCounter, LazyHistogram};
 
 /// Environment variable overriding the global pool's thread count.
 pub const THREADS_ENV: &str = "SUBSET3D_THREADS";
+
+/// Environment variable overriding the serial-fallback threshold.
+pub const SERIAL_THRESHOLD_ENV: &str = "SUBSET3D_SERIAL_THRESHOLD";
+
+/// Default batch size below which [`ThreadPool::par_map_indexed`] runs
+/// inline on the caller instead of fanning out. Small enough that the
+/// six-candidate pathfinding sweep (few items, each expensive) still
+/// parallelises.
+pub const DEFAULT_SERIAL_THRESHOLD: usize = 4;
+
+/// Item count below which batches run inline: `SUBSET3D_SERIAL_THRESHOLD`
+/// if set to an integer, otherwise [`DEFAULT_SERIAL_THRESHOLD`].
+pub fn serial_threshold() -> usize {
+    if let Ok(raw) = std::env::var(SERIAL_THRESHOLD_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    DEFAULT_SERIAL_THRESHOLD
+}
 
 // Executor metrics (recorded only while `subset3d_obs` is enabled):
 // batches dispatched, items executed on the caller vs. each worker,
@@ -105,10 +135,12 @@ impl Batch {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
                 OBS_STEAL_EMPTY.incr();
+                subset3d_obs::trace_instant("exec", "exec.steal.empty");
                 break;
             }
             executed += 1;
             if !self.poisoned.load(Ordering::Relaxed) {
+                let _task = subset3d_obs::trace_span_arg("exec", "exec.task", "item", i as u64);
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run)(i))) {
                     self.poisoned.store(true, Ordering::Relaxed);
                     let mut slot = self.panic.lock();
@@ -205,9 +237,12 @@ impl ThreadPool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
-        if self.threads <= 1 || n <= 1 {
+        if self.threads <= 1 || n <= 1 || n < serial_threshold() {
+            let _span =
+                subset3d_obs::trace_span_arg("exec", "exec.batch.serial", "items", n as u64);
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        let _span = subset3d_obs::trace_span_arg("exec", "exec.batch", "items", n as u64);
 
         let mut storage: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
         // SAFETY: MaybeUninit requires no initialization.
@@ -553,6 +588,43 @@ mod tests {
             attributed(&snap) >= items.len() as u64,
             "tasks unaccounted for: {snap:?}"
         );
+    }
+
+    // Tests that mutate SUBSET3D_SERIAL_THRESHOLD serialize on one lock.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn serial_fallback_is_bit_identical() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Float math whose result would expose any reassociation or
+        // reordering between the inline and fanned-out paths.
+        let items: Vec<u64> = (0..100).collect();
+        let pool = ThreadPool::new(8);
+        let run = || {
+            pool.par_map_indexed(&items, |i, &x| {
+                (0..50).fold(x as f64 + i as f64, |acc, k| acc * 1.000_1 + k as f64)
+            })
+        };
+        std::env::set_var(SERIAL_THRESHOLD_ENV, "1000"); // everything inline
+        let serial = run();
+        std::env::set_var(SERIAL_THRESHOLD_ENV, "0"); // everything fanned out
+        let parallel = run();
+        std::env::remove_var(SERIAL_THRESHOLD_ENV);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "item {i} diverged");
+        }
+    }
+
+    #[test]
+    fn serial_threshold_reads_environment() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var(SERIAL_THRESHOLD_ENV, "17");
+        assert_eq!(serial_threshold(), 17);
+        std::env::set_var(SERIAL_THRESHOLD_ENV, "not-a-number");
+        assert_eq!(serial_threshold(), DEFAULT_SERIAL_THRESHOLD);
+        std::env::remove_var(SERIAL_THRESHOLD_ENV);
+        assert_eq!(serial_threshold(), DEFAULT_SERIAL_THRESHOLD);
     }
 
     #[test]

@@ -398,6 +398,7 @@ impl DrawCostCache {
         if let Some(cost) = shard.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             OBS_DRAW_HITS.incr();
+            subset3d_obs::trace_instant("gpusim", "draw_cache.hit");
             #[cfg(feature = "fault-injection")]
             return crate::fault::corrupt_hit(*cost);
             #[cfg(not(feature = "fault-injection"))]
@@ -405,6 +406,7 @@ impl DrawCostCache {
         }
         let misses = self.misses.fetch_add(1, Ordering::Relaxed) + 1;
         OBS_DRAW_MISSES.incr();
+        subset3d_obs::trace_instant("gpusim", "draw_cache.miss");
         self.maybe_auto_disable(misses);
         let cost = compute();
         // A racing worker may have inserted the same key; both computed
@@ -429,6 +431,12 @@ impl DrawCostCache {
         if (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
             self.auto_bypass.store(1, Ordering::Relaxed);
             OBS_AUTO_DISABLE.incr();
+            subset3d_obs::trace_instant_arg(
+                "gpusim",
+                "draw_cache.auto_disable",
+                "lookups",
+                lookups,
+            );
         }
     }
 
@@ -504,11 +512,13 @@ impl FrameCostCache {
             Some(cost) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 OBS_FRAME_HITS.incr();
+                subset3d_obs::trace_instant("gpusim", "frame_cache.hit");
                 Some(cost)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 OBS_FRAME_MISSES.incr();
+                subset3d_obs::trace_instant("gpusim", "frame_cache.miss");
                 None
             }
         }

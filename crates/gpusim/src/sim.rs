@@ -315,6 +315,12 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         C: Sync,
     {
         let frames = workload.frames();
+        let _t = subset3d_obs::trace_span_arg(
+            "gpusim",
+            "gpusim.simulate_workload",
+            "frames",
+            frames.len() as u64,
+        );
         let registry = RegistryFingerprint::of(workload.textures());
         // Below ~1000 draws scheduling overhead outweighs the work.
         if subset3d_exec::thread_count() < 2 || workload.total_draws() < 1000 {

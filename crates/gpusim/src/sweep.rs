@@ -55,7 +55,8 @@ pub fn sweep_frequencies(
     sweep: &FrequencySweep,
 ) -> Result<Vec<SweepPoint>, SimError> {
     let configs = sweep.configs(base);
-    subset3d_exec::par_map_indexed(&configs, |_, config| {
+    subset3d_exec::par_map_indexed(&configs, |i, config| {
+        let _t = subset3d_obs::trace_span_arg("gpusim", "sweep.candidate", "index", i as u64);
         let sim = Simulator::from_ref(config);
         Ok(SweepPoint {
             core_clock_mhz: config.core_clock_mhz,
@@ -86,7 +87,8 @@ pub fn sweep_configs(
             name: config.name.clone(),
         });
     }
-    subset3d_exec::par_map_indexed(candidates, |_, config| {
+    subset3d_exec::par_map_indexed(candidates, |i, config| {
+        let _t = subset3d_obs::trace_span_arg("gpusim", "sweep.candidate", "index", i as u64);
         let sim = Simulator::from_ref(config);
         Ok(ConfigPoint {
             name: config.name.clone(),
@@ -170,7 +172,8 @@ impl SweepSession {
     /// Returns [`SimError::UnknownShader`] when the workload references
     /// shaders missing from its own library.
     pub fn sweep(&self, workload: &Workload) -> Result<Vec<ConfigPoint>, SimError> {
-        subset3d_exec::par_map_indexed(&self.sims, |_, sim| {
+        subset3d_exec::par_map_indexed(&self.sims, |i, sim| {
+            let _t = subset3d_obs::trace_span_arg("gpusim", "sweep.candidate", "index", i as u64);
             Ok(ConfigPoint {
                 name: sim.config().name.clone(),
                 total_ns: sim.simulate_workload(workload)?.total_ns,

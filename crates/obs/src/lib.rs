@@ -1,10 +1,14 @@
-//! Process-global metrics for the subset3d pipeline.
+//! Process-global observability for the subset3d pipeline: aggregate
+//! metrics and structured event tracing.
 //!
 //! Every stage of the stack — the executor, the simulator's memo caches,
 //! the subsetting pipeline, the CLI — reports into one registry of named
 //! [`Counter`]s, [`Gauge`]s and fixed-bucket latency [`Histogram`]s, so
 //! a single [`snapshot`] shows where time and cache capacity go across a
-//! whole run.
+//! whole run. The [`trace`]-layer (see [`start_tracing`], [`trace_span`]
+//! and the [`chrome`] exporters) complements the aggregates with a
+//! per-thread event timeline viewable in Perfetto, plus a bounded
+//! flight recorder for post-hoc failure diagnosis.
 //!
 //! # Cost model
 //!
@@ -42,15 +46,24 @@
 //! `gpusim.draw_cache.hits`, `pipeline.clustering_ns`. Histogram names
 //! end in `_ns` — every histogram records nanoseconds.
 
+pub mod chrome;
 mod metrics;
 mod registry;
 mod snapshot;
 mod span;
+mod trace;
 
+pub use chrome::{export_chrome, export_jsonl, validate_chrome, ChromeStats, TRACE_PID};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{counter, gauge, histogram, LazyCounter, LazyGauge, LazyHistogram};
 pub use snapshot::{BucketCount, HistogramSnapshot, MetricsSnapshot};
 pub use span::{span, Span};
+pub use trace::{
+    events_dropped, events_recorded, install_panic_dump, recent_events, self_time, start_tracing,
+    stop_tracing, thread_names, trace_allocs, trace_enabled, trace_flow_end, trace_flow_start,
+    trace_instant, trace_instant_arg, trace_span, trace_span_arg, SelfTime, TraceEvent, TraceMode,
+    TracePhase, TraceSpan, FLIGHT_CAPACITY,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

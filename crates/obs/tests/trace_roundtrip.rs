@@ -1,0 +1,198 @@
+//! Integration round-trip of the Chrome trace exporter: events recorded
+//! through the public tracing API are exported, deserialised back
+//! through typed structs, and checked for the fields, nesting and flow
+//! pairing the trace-event format requires.
+//!
+//! Tracing state is process-global, so every test takes [`LOCK`].
+
+use serde::Deserialize;
+use subset3d_obs::{
+    events_recorded, export_chrome, start_tracing, stop_tracing, thread_names, trace_allocs,
+    trace_flow_end, trace_flow_start, trace_instant, trace_span, trace_span_arg, validate_chrome,
+    TraceMode, TRACE_PID,
+};
+
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One deserialised trace event. Every field the format makes
+/// conditional is an `Option`, so absent keys parse as `None`.
+#[derive(Debug, Deserialize)]
+struct ChromeEvent {
+    ph: Option<String>,
+    ts: Option<f64>,
+    dur: Option<f64>,
+    pid: Option<u64>,
+    tid: Option<u64>,
+    name: Option<String>,
+    cat: Option<String>,
+    id: Option<u64>,
+    bp: Option<String>,
+    s: Option<String>,
+    args: Option<serde::Value>,
+}
+
+#[derive(Debug, Deserialize)]
+#[allow(non_snake_case)]
+struct ChromeTrace {
+    traceEvents: Vec<ChromeEvent>,
+    displayTimeUnit: Option<String>,
+}
+
+/// Records a small but representative event mix: nested spans and an
+/// instant on the calling thread, one span on a named worker thread,
+/// and a paired flow arrow between the two.
+fn record_sample() -> String {
+    start_tracing(TraceMode::Full);
+    {
+        let outer = trace_span("test", "outer");
+        {
+            let _inner = trace_span_arg("test", "inner", "items", 3);
+            trace_instant("test", "tick");
+            trace_flow_start("test", "link", 42);
+        }
+        outer.end();
+    }
+    std::thread::Builder::new()
+        .name("trace-worker".into())
+        .spawn(|| {
+            let _span = trace_span("test", "worker_span");
+            trace_flow_end("test", "link", 42);
+        })
+        .expect("spawn")
+        .join()
+        .expect("join");
+    let events = stop_tracing();
+    export_chrome(&events, &thread_names())
+}
+
+#[test]
+fn chrome_export_round_trips_through_typed_structs() {
+    let _guard = lock();
+    let json = record_sample();
+    let trace: ChromeTrace = serde_json::from_str(&json).expect("typed deserialize");
+    assert_eq!(trace.displayTimeUnit.as_deref(), Some("ms"));
+    assert!(
+        trace.traceEvents.len() >= 7,
+        "expected metadata + recorded events, got {}",
+        trace.traceEvents.len()
+    );
+    for ev in &trace.traceEvents {
+        let ph = ev.ph.as_deref().expect("every event has ph");
+        assert!(ev.name.is_some(), "every event has a name");
+        assert!(ev.pid.is_some(), "every event has a pid");
+        assert!(ev.tid.is_some(), "every event has a tid");
+        assert_eq!(ev.pid, Some(TRACE_PID));
+        match ph {
+            "M" => {
+                // Metadata carries its payload under args.name.
+                let args = ev.args.as_ref().expect("metadata args");
+                assert!(
+                    args.as_object()
+                        .is_some_and(|o| o.iter().any(|(k, _)| k == "name")),
+                    "metadata args must hold a name"
+                );
+            }
+            "X" => {
+                assert!(ev.ts.is_some(), "complete event has ts");
+                assert!(ev.dur.is_some(), "complete event has dur");
+                assert!(ev.cat.is_some(), "recorded events carry a category");
+            }
+            "i" => {
+                assert!(ev.ts.is_some());
+                assert_eq!(ev.s.as_deref(), Some("t"), "instants are thread-scoped");
+            }
+            "s" => assert!(ev.id.is_some(), "flow start carries an id"),
+            "f" => {
+                assert!(ev.id.is_some(), "flow end carries an id");
+                assert_eq!(ev.bp.as_deref(), Some("e"), "flow end binds enclosing");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn spans_nest_and_flows_pair_in_the_export() {
+    let _guard = lock();
+    let json = record_sample();
+    let trace: ChromeTrace = serde_json::from_str(&json).expect("typed deserialize");
+
+    // Nesting: inner lies within outer on the same thread.
+    let span = |name: &str| {
+        trace
+            .traceEvents
+            .iter()
+            .find(|e| e.ph.as_deref() == Some("X") && e.name.as_deref() == Some(name))
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    let outer = span("outer");
+    let inner = span("inner");
+    assert_eq!(outer.tid, inner.tid, "nested spans share a thread");
+    let (ots, odur) = (outer.ts.unwrap(), outer.dur.unwrap());
+    let (its, idur) = (inner.ts.unwrap(), inner.dur.unwrap());
+    assert!(
+        its >= ots && its + idur <= ots + odur,
+        "inner [{its}, {}] must nest in outer [{ots}, {}]",
+        its + idur,
+        ots + odur
+    );
+    // The worker span lives on a different, named thread.
+    let worker = span("worker_span");
+    assert_ne!(worker.tid, outer.tid, "worker span has its own tid");
+    let worker_meta = trace.traceEvents.iter().any(|e| {
+        e.ph.as_deref() == Some("M")
+            && e.name.as_deref() == Some("thread_name")
+            && e.tid == worker.tid
+    });
+    assert!(worker_meta, "worker thread is named in the metadata");
+
+    // Flows: start and end ids pair exactly, across threads.
+    let ids = |ph: &str| -> Vec<u64> {
+        trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.ph.as_deref() == Some(ph))
+            .map(|e| e.id.expect("flow id"))
+            .collect()
+    };
+    let starts = ids("s");
+    let ends = ids("f");
+    assert_eq!(starts, vec![42]);
+    assert_eq!(starts, ends, "every flow start pairs with a flow end");
+
+    // And the exporter's own schema check agrees.
+    validate_chrome(&json).expect("export validates");
+}
+
+#[test]
+fn disabled_tracing_is_event_free_and_allocation_free() {
+    let _guard = lock();
+    // Warm this thread's buffer registration so the measurement below
+    // sees steady state, then drop back to disabled.
+    start_tracing(TraceMode::Full);
+    trace_instant("test", "warmup");
+    stop_tracing();
+
+    let events_before = events_recorded();
+    let allocs_before = trace_allocs();
+    for i in 0..1000 {
+        let _span = trace_span_arg("test", "disabled", "i", i);
+        trace_instant("test", "disabled_tick");
+        trace_flow_start("test", "disabled_link", i);
+        trace_flow_end("test", "disabled_link", i);
+    }
+    assert_eq!(
+        events_recorded(),
+        events_before,
+        "disabled tracing must record nothing"
+    );
+    assert_eq!(
+        trace_allocs(),
+        allocs_before,
+        "disabled tracing must not allocate"
+    );
+}

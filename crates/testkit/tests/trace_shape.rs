@@ -1,0 +1,81 @@
+//! Golden snapshot of the pipeline's trace shape: which events a full
+//! subsetting run emits, and how many of each. Timings are wall-clock
+//! noise, so the snapshot keeps only the deterministic structure —
+//! event counts per (category, name, phase) — and pins it byte for
+//! byte under `tests/golden/trace_shape_shooter.json`.
+//!
+//! The run is forced single-threaded: with one worker the serial
+//! fallback executes everything inline, so cache hit/miss sequences
+//! (and therefore instant-event counts) are reproducible. Re-bless
+//! with `UPDATE_GOLDEN=1` after an intentional instrumentation change.
+
+use std::collections::BTreeMap;
+use subset3d_core::{SubsetConfig, Subsetter};
+use subset3d_gpusim::{ArchConfig, Simulator};
+use subset3d_obs::{start_tracing, stop_tracing, TraceEvent, TraceMode, TracePhase};
+use subset3d_testkit::golden::check_golden;
+use subset3d_trace::gen::GameProfile;
+
+fn phase_tag(phase: TracePhase) -> &'static str {
+    match phase {
+        TracePhase::Span => "span",
+        TracePhase::Instant => "instant",
+        TracePhase::FlowStart => "flow_start",
+        TracePhase::FlowEnd => "flow_end",
+    }
+}
+
+/// Collapses a trace into its deterministic shape: count per
+/// `cat/name/phase`, in BTreeMap (= serialisation) order.
+fn shape_of(events: &[TraceEvent]) -> BTreeMap<String, u64> {
+    let mut shape = BTreeMap::new();
+    for ev in events {
+        *shape
+            .entry(format!("{}/{}/{}", ev.cat, ev.name, phase_tag(ev.phase)))
+            .or_insert(0u64) += 1;
+    }
+    shape
+}
+
+#[test]
+fn pipeline_trace_shape_matches_golden() {
+    let workload = GameProfile::shooter("trace-shape")
+        .frames(24)
+        .draws_per_frame(40)
+        .build(7)
+        .generate();
+
+    let events = subset3d_exec::with_thread_count(1, || {
+        start_tracing(TraceMode::Full);
+        let sim = Simulator::new(ArchConfig::baseline());
+        let outcome = Subsetter::new(SubsetConfig::default()).run(&workload, &sim);
+        let events = stop_tracing();
+        outcome.expect("pipeline");
+        events
+    });
+
+    let shape = shape_of(&events);
+    assert!(
+        shape.keys().any(|k| k.starts_with("pipeline/")),
+        "pipeline stages must be traced"
+    );
+
+    // Flow arrows must already pair up before the shape is pinned —
+    // a broken link would otherwise only fail at re-bless time.
+    let starts: u64 = shape
+        .iter()
+        .filter(|(k, _)| k.ends_with("/flow_start"))
+        .map(|(_, v)| v)
+        .sum();
+    let ends: u64 = shape
+        .iter()
+        .filter(|(k, _)| k.ends_with("/flow_end"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(starts, ends, "unpaired flow arrows in the pipeline trace");
+
+    let snapshot = serde_json::to_string_pretty(&shape).expect("serialize shape");
+    if let Err(msg) = check_golden("trace_shape_shooter", &snapshot) {
+        panic!("{msg}");
+    }
+}

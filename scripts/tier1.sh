@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 gate (see ROADMAP.md): formatting and lint gates, release build +
 # test suite, the correctness harness (differential oracle, mutation
-# catch, golden snapshots), then the pipeline throughput report (writes
-# BENCH_pipeline.json at repo root).
+# catch, golden snapshots), a trace-subsystem smoke test, then the
+# pipeline throughput report (writes BENCH_pipeline.json at repo root).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,5 +19,22 @@ cargo test -q
 # one-ulp corruption; the oracle matrix and golden-snapshot gates run in
 # the same pass.
 cargo test -p subset3d-testkit --features fault-injection -q
+
+# Trace smoke: profile a small shooter workload under the event tracer,
+# then re-validate the emitted file with the exporter's own schema check
+# (laminar span nesting, flow pairing, required fields).
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run -p subset3d-cli --release -q -- gen --out "$TRACE_TMP/smoke.trace" \
+    --genre shooter --frames 24 --draws 60 --seed 7
+cargo run -p subset3d-cli --release -q -- trace-profile "$TRACE_TMP/smoke.trace" \
+    --trace-out "$TRACE_TMP/smoke.trace.json"
+cargo run -p subset3d-cli --release -q -- trace-validate "$TRACE_TMP/smoke.trace.json"
+
+# Perf guard, report-only: compare the committed benchmark report against
+# a fresh median-of-3 measurement. Machine variance makes a hard gate
+# flaky in CI, so --check prints regressions without failing the build;
+# run bench_diff without --check locally when a perf change is on trial.
+cargo run -p subset3d-bench --bin bench_diff --release -- --check BENCH_pipeline.json
 
 cargo run -p subset3d-bench --bin bench_report --release

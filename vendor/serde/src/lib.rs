@@ -535,6 +535,24 @@ pub mod __private {
                 .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
         }
     }
+
+    /// Fetches a `#[serde(default)]` field: absent keys take the type's
+    /// default value instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the field is present but malformed.
+    pub fn de_field_default<T: Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match fields.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
 }
 
 #[cfg(test)]

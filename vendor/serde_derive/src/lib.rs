@@ -5,8 +5,8 @@
 //! stream. Supported shapes — which cover every derive site in this
 //! workspace — are:
 //!
-//! * structs with named fields (`#[serde(skip)]` honoured; `Option`
-//!   fields tolerate absent keys),
+//! * structs with named fields (`#[serde(skip)]` and `#[serde(default)]`
+//!   honoured; `Option` fields tolerate absent keys),
 //! * tuple structs (newtypes serialize transparently and additionally
 //!   implement `serde::MapKey` so they can key maps),
 //! * enums with unit, tuple, and struct variants (externally tagged,
@@ -21,6 +21,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
     is_option: bool,
 }
 
@@ -197,6 +198,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: name.trim_start_matches("r#").to_string(),
             skip: flags.iter().any(|f| f == "skip"),
+            default: flags.iter().any(|f| f == "default"),
             is_option: head.as_deref() == Some("Option"),
         });
     }
@@ -403,6 +405,11 @@ fn gen_deserialize(item: &Input) -> String {
                         "{0}: serde::__private::de_field_opt(__fields, \"{0}\")?,\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: serde::__private::de_field_default(__fields, \"{0}\")?,\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{0}: serde::__private::de_field(__fields, \"{0}\")?,\n",
@@ -490,6 +497,11 @@ fn gen_deserialize(item: &Input) -> String {
                             } else if f.is_option {
                                 inits.push_str(&format!(
                                     "{0}: serde::__private::de_field_opt(__obj, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{0}: serde::__private::de_field_default(__obj, \"{0}\")?,\n",
                                     f.name
                                 ));
                             } else {
