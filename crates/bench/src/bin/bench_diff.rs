@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
+//!            [--metric SUBSTR] [--max-overhead PCT]
 //! ```
 //!
 //! With two files, the committed reports are compared directly. With
@@ -14,6 +15,14 @@
 //! scenario speedups (lower is worse) and the two observability
 //! overheads (higher is worse). The default threshold is 10 %.
 //!
+//! A degenerate baseline (a stage too fast for the clock, recorded as a
+//! `0.0` speedup) has no meaningful ratio; such rows show the absolute
+//! delta in the metric's own units and are never judged as regressions.
+//!
+//! `--max-overhead` adds an absolute budget on top of the relative
+//! comparison: any candidate `*_overhead_pct` above the budget fails
+//! even if the baseline was equally bad.
+//!
 //! Exit status is non-zero when any regression exceeds the threshold,
 //! unless `--check` (report-only dry-run for CI) is given.
 
@@ -25,23 +34,30 @@ const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
 
 const USAGE: &str = "\
 usage: bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
+                  [--metric SUBSTR] [--max-overhead PCT]
 
   Compares two BENCH_pipeline.json reports, or a committed baseline
   against a fresh in-process measurement when no candidate is given.
-  --threshold PCT   allowed regression on speedups/overheads (default 10)
-  --check           report only; always exit 0
+  --threshold PCT     allowed regression on speedups/overheads (default 10)
+  --metric SUBSTR     judge only metrics whose name contains SUBSTR
+  --max-overhead PCT  absolute budget: candidate *_overhead_pct above PCT fails
+  --check             report only; always exit 0
 ";
 
 struct Args {
     baseline: String,
     candidate: Option<String>,
     threshold_pct: f64,
+    metric_filter: Option<String>,
+    max_overhead_pct: Option<f64>,
     check: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut metric_filter = None;
+    let mut max_overhead_pct = None;
     let mut check = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -56,6 +72,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("bad --threshold value: {v}"));
                 }
             }
+            "--metric" => {
+                let v = it.next().ok_or("--metric needs a value")?;
+                if v.is_empty() {
+                    return Err("--metric needs a non-empty value".into());
+                }
+                metric_filter = Some(v.clone());
+            }
+            "--max-overhead" => {
+                let v = it.next().ok_or("--max-overhead needs a value")?;
+                let pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --max-overhead value: {v}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("bad --max-overhead value: {v}"));
+                }
+                max_overhead_pct = Some(pct);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             path => positional.push(path.to_string()),
@@ -66,6 +99,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             baseline: positional[0].clone(),
             candidate: positional.get(1).cloned(),
             threshold_pct,
+            metric_filter,
+            max_overhead_pct,
             check,
         }),
         0 => Err("missing baseline report".into()),
@@ -78,6 +113,23 @@ fn load_report(path: &str) -> Result<Report, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path} is not a bench report: {e}"))
 }
 
+/// How a row's baseline/candidate pair compares.
+enum Delta {
+    /// Relative regression in percent (positive = worse); judged against
+    /// the threshold.
+    RelPct(f64),
+    /// Overheads hover around zero, so a ratio is meaningless; absolute
+    /// percentage-point delta (positive = worse), judged against the
+    /// threshold directly.
+    AbsPp(f64),
+    /// Degenerate baseline (zero speedup = stage too fast to time): no
+    /// ratio exists, so the absolute delta in the metric's own units is
+    /// shown for context and the row is never judged.
+    AbsUnjudged(f64),
+    /// Non-finite input; nothing meaningful to show.
+    NotComparable,
+}
+
 /// One compared metric. `higher_is_better` decides the regression
 /// direction: speedups regress downward, overheads regress upward.
 struct Row {
@@ -88,22 +140,22 @@ struct Row {
 }
 
 impl Row {
-    /// Signed regression in percent (positive = worse), or `None` when
-    /// the baseline is degenerate (zero/NaN) and no ratio exists.
-    fn regression_pct(&self) -> Option<f64> {
+    fn delta(&self) -> Delta {
         if !self.base.is_finite() || !self.cand.is_finite() {
-            return None;
+            return Delta::NotComparable;
         }
         if self.higher_is_better {
             if self.base <= 0.0 {
-                return None;
+                return Delta::AbsUnjudged(self.cand - self.base);
             }
-            Some((self.base - self.cand) / self.base * 100.0)
+            Delta::RelPct((self.base - self.cand) / self.base * 100.0)
         } else {
-            // Overheads hover around zero, so a ratio is meaningless;
-            // compare in absolute percentage points instead.
-            Some(self.cand.max(0.0) - self.base.max(0.0))
+            Delta::AbsPp(self.cand.max(0.0) - self.base.max(0.0))
         }
+    }
+
+    fn is_overhead(&self) -> bool {
+        !self.higher_is_better
     }
 }
 
@@ -147,6 +199,33 @@ fn rows(base: &Report, cand: &Report) -> Vec<Row> {
         higher_is_better: false,
     });
     out
+}
+
+/// Regressions found when judging `rows` under the given policy.
+/// Each entry is `(metric name, human-readable reason)`.
+fn judge(
+    rows: &[Row],
+    threshold_pct: f64,
+    max_overhead_pct: Option<f64>,
+) -> Vec<(&'static str, String)> {
+    let mut regressions = Vec::new();
+    for row in rows {
+        match row.delta() {
+            Delta::RelPct(d) | Delta::AbsPp(d) if d > threshold_pct => {
+                regressions.push((row.name, format!("{d:.2} worse")));
+            }
+            _ => {}
+        }
+        if let Some(budget) = max_overhead_pct {
+            if row.is_overhead() && row.cand.is_finite() && row.cand > budget {
+                regressions.push((
+                    row.name,
+                    format!("{:.2}% exceeds absolute budget {budget:.2}%", row.cand),
+                ));
+            }
+        }
+    }
+    regressions
 }
 
 fn context_ms(base: &Report, cand: &Report) -> Vec<(&'static str, f64, f64)> {
@@ -205,10 +284,14 @@ fn main() -> ExitCode {
     };
     let cand_label = args.candidate.as_deref().unwrap_or("<fresh run>");
     println!(
-        "bench_diff: {} vs {} (threshold {:.1}%{})",
+        "bench_diff: {} vs {} (threshold {:.1}%{}{})",
         args.baseline,
         cand_label,
         args.threshold_pct,
+        match args.max_overhead_pct {
+            Some(b) => format!(", overhead budget {b:.1}%"),
+            None => String::new(),
+        },
         if args.check { ", report only" } else { "" },
     );
     if base.workload_draws != cand.workload_draws || base.threads != cand.threads {
@@ -219,29 +302,45 @@ fn main() -> ExitCode {
         );
     }
 
+    let all_rows = rows(&base, &cand);
+    let selected: Vec<Row> = match &args.metric_filter {
+        Some(substr) => all_rows
+            .into_iter()
+            .filter(|r| r.name.contains(substr.as_str()))
+            .collect(),
+        None => all_rows,
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "bench_diff: --metric {} matches no metrics",
+            args.metric_filter.as_deref().unwrap_or(""),
+        );
+        return ExitCode::from(2);
+    }
+
+    let regressions = judge(&selected, args.threshold_pct, args.max_overhead_pct);
+
     println!(
         "\n{:<34} {:>12} {:>12} {:>10}",
         "metric", "baseline", "candidate", "delta"
     );
-    let mut regressions = Vec::new();
-    for row in rows(&base, &cand) {
-        let delta = row.regression_pct();
-        let verdict = match delta {
-            Some(d) if d > args.threshold_pct => {
-                regressions.push((row.name, d));
-                "REGRESSED"
-            }
-            Some(_) => "",
-            None => "n/a",
+    for row in &selected {
+        let regressed = regressions.iter().any(|(name, _)| *name == row.name);
+        let (delta_text, verdict) = match row.delta() {
+            Delta::RelPct(d) => (
+                format!("{d:>9.2}%"),
+                if regressed { "REGRESSED" } else { "" },
+            ),
+            Delta::AbsPp(d) => (
+                format!("{d:>9.2}pp"),
+                if regressed { "REGRESSED" } else { "" },
+            ),
+            Delta::AbsUnjudged(d) => (format!("{d:>+9.3} abs"), "n/a (degenerate baseline)"),
+            Delta::NotComparable => ("       n/a".to_string(), "n/a"),
         };
         println!(
-            "{:<34} {:>12.3} {:>12.3} {:>9.2}{} {}",
-            row.name,
-            row.base,
-            row.cand,
-            delta.unwrap_or(f64::NAN),
-            if row.higher_is_better { "%" } else { "pp" },
-            verdict,
+            "{:<34} {:>12.3} {:>12.3} {} {}",
+            row.name, row.base, row.cand, delta_text, verdict,
         );
     }
     println!("\nwall times (machine-dependent, for context):");
@@ -258,13 +357,112 @@ fn main() -> ExitCode {
         regressions.len(),
         args.threshold_pct
     );
-    for (name, pct) in &regressions {
-        println!("  {name}: {pct:.2} worse");
+    for (name, reason) in &regressions {
+        println!("  {name}: {reason}");
     }
     if args.check {
         println!("--check: reporting only, exiting 0");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_metric_and_max_overhead_flags() {
+        let args = parse_args(&strs(&[
+            "base.json",
+            "cand.json",
+            "--metric",
+            "overhead",
+            "--max-overhead",
+            "2",
+            "--check",
+        ]))
+        .unwrap();
+        assert_eq!(args.metric_filter.as_deref(), Some("overhead"));
+        assert_eq!(args.max_overhead_pct, Some(2.0));
+        assert!(args.check);
+    }
+
+    #[test]
+    fn parse_rejects_bad_max_overhead() {
+        assert!(parse_args(&strs(&["b.json", "--max-overhead", "-1"])).is_err());
+        assert!(parse_args(&strs(&["b.json", "--max-overhead", "inf"])).is_err());
+        assert!(parse_args(&strs(&["b.json", "--max-overhead"])).is_err());
+        assert!(parse_args(&strs(&["b.json", "--metric", ""])).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_speedup_is_absolute_and_unjudged() {
+        let row = Row {
+            name: "s",
+            base: 0.0,
+            cand: 3.0,
+            higher_is_better: true,
+        };
+        match row.delta() {
+            Delta::AbsUnjudged(d) => assert_eq!(d, 3.0),
+            _ => panic!("expected absolute unjudged delta"),
+        }
+        // Even a huge absolute swing on a degenerate baseline is not a
+        // regression: there is no ratio to judge.
+        let down = Row {
+            name: "s",
+            base: 0.0,
+            cand: -100.0,
+            higher_is_better: true,
+        };
+        assert!(judge(&[row, down], 0.0, None).is_empty());
+    }
+
+    #[test]
+    fn overheads_judged_in_percentage_points() {
+        let row = Row {
+            name: "metrics_overhead_pct",
+            base: 1.0,
+            cand: 4.5,
+            higher_is_better: false,
+        };
+        match row.delta() {
+            Delta::AbsPp(d) => assert!((d - 3.5).abs() < 1e-12),
+            _ => panic!("expected pp delta"),
+        }
+        assert_eq!(judge(&[row], 2.0, None).len(), 1);
+    }
+
+    #[test]
+    fn max_overhead_budget_flags_candidate_regardless_of_baseline() {
+        // Baseline is just as bad, so the relative comparison passes —
+        // only the absolute budget catches it.
+        let row = Row {
+            name: "metrics_overhead_pct",
+            base: 5.0,
+            cand: 5.1,
+            higher_is_better: false,
+        };
+        assert!(judge(std::slice::from_ref(&row), 2.0, None).is_empty());
+        let hits = judge(&[row], 2.0, Some(2.0));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("budget"));
+    }
+
+    #[test]
+    fn max_overhead_budget_ignores_speedup_rows() {
+        let row = Row {
+            name: "workload_sim.speedup",
+            base: 3.0,
+            cand: 3.0,
+            higher_is_better: true,
+        };
+        assert!(judge(&[row], 10.0, Some(0.0)).is_empty());
     }
 }

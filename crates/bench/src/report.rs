@@ -122,14 +122,20 @@ pub fn median(mut values: Vec<f64>) -> f64 {
 
 /// Median relative overhead, in percent, of `with` over `without`:
 /// [`OVERHEAD_REPS`] interleaved pairs so drift hits both arms equally.
+/// Pairs whose baseline arm is too fast to time (0 ms on a coarse clock)
+/// have no meaningful ratio and are skipped; if every pair degenerates,
+/// the overhead is reported as `0.0` rather than `inf`/`NaN`.
 pub fn paired_overhead_pct(mut without: impl FnMut() -> f64, mut with: impl FnMut() -> f64) -> f64 {
     let pcts: Vec<f64> = (0..OVERHEAD_REPS)
-        .map(|_| {
+        .filter_map(|_| {
             let off = without();
             let on = with();
-            (on - off) / off * 100.0
+            (off > 0.0).then(|| (on - off) / off * 100.0)
         })
         .collect();
+    if pcts.is_empty() {
+        return 0.0;
+    }
     median(pcts)
 }
 
@@ -145,13 +151,22 @@ pub fn bench_workload() -> Workload {
 fn measurement(wall_ms: f64, draws: usize) -> Measurement {
     Measurement {
         wall_ms,
-        draws_per_sec: draws as f64 / (wall_ms / 1e3),
+        // A 0 ms median (sub-millisecond stage on a coarse clock) has no
+        // meaningful rate; report 0 rather than `inf` so the JSON stays
+        // finite and `bench_diff` can flag the row as degenerate.
+        draws_per_sec: if wall_ms > 0.0 {
+            draws as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
     }
 }
 
 fn scenario(draws: usize, base: f64, opt: f64, stats: subset3d_gpusim::CacheStats) -> Scenario {
     Scenario {
-        speedup: base / opt,
+        // 0.0 marks "not measurable" (optimized arm too fast to time);
+        // `bench_diff` treats it as a degenerate baseline, not a ratio.
+        speedup: if opt > 0.0 { base / opt } else { 0.0 },
         single_thread_uncached: measurement(base, draws),
         parallel_memoized: measurement(opt, draws),
         cache_hit_rate: stats.hit_rate(),

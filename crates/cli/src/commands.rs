@@ -439,6 +439,12 @@ fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliErro
         ]);
     }
     writeln!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "metric shards: {}/{} thread slots in use",
+        subset3d_obs::shard_slots_in_use(),
+        subset3d_obs::shard_capacity()
+    )?;
     Ok(())
 }
 
@@ -704,6 +710,7 @@ mod tests {
         let table = run(&["stats", &trace]).unwrap();
         assert!(table.contains("gpusim.draw_cache.hits"));
         assert!(table.contains("pipeline.total_ns"));
+        assert!(table.contains("metric shards:"));
         std::fs::remove_file(&trace).ok();
     }
 

@@ -2,6 +2,12 @@
 
 use crate::clustering::Clustering;
 use crate::init::kmeans_plus_plus;
+use subset3d_obs::{LazyCounter, LazyHistogram};
+
+// Aggregate fit metrics (recorded only while `subset3d_obs` is enabled),
+// complementing the per-fit trace spans: fits run and wall time each.
+static OBS_FITS: LazyCounter = LazyCounter::new("cluster.kmeans.fits");
+static OBS_FIT_NS: LazyHistogram = LazyHistogram::new("cluster.kmeans.fit_ns");
 
 /// k-means clustering configuration.
 ///
@@ -60,6 +66,8 @@ impl KMeans {
         }
         let k = self.k.min(points.len());
         let dim = points[0].len();
+        OBS_FITS.incr();
+        let _fit_timer = subset3d_obs::span(&OBS_FIT_NS);
         let mut fit_span = subset3d_obs::trace_span("cluster", "kmeans.fit");
         let mut iterations = 0u64;
         let mut centroids: Vec<Vec<f64>> = kmeans_plus_plus(points, k, self.seed)

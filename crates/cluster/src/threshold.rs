@@ -7,6 +7,12 @@
 //! paper reports efficiency as a measured outcome rather than a parameter.
 
 use crate::clustering::Clustering;
+use subset3d_obs::{LazyCounter, LazyHistogram};
+
+// Aggregate fit metrics (recorded only while `subset3d_obs` is enabled),
+// complementing the per-fit trace spans: fits run and wall time each.
+static OBS_FITS: LazyCounter = LazyCounter::new("cluster.threshold.fits");
+static OBS_FIT_NS: LazyHistogram = LazyHistogram::new("cluster.threshold.fit_ns");
 
 /// Leader clustering with a Euclidean distance threshold.
 ///
@@ -51,6 +57,8 @@ impl ThresholdClustering {
     /// threshold, which makes workload-global clustering (hundreds of
     /// thousands of points against thousands of leaders) tractable.
     pub fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        OBS_FITS.incr();
+        let _fit_timer = subset3d_obs::span(&OBS_FIT_NS);
         let _t =
             subset3d_obs::trace_span_arg("cluster", "threshold.fit", "points", points.len() as u64);
         let mut leaders: Vec<usize> = Vec::new();

@@ -202,6 +202,10 @@ impl ThreadPool {
                     std::thread::Builder::new()
                         .name(format!("subset3d-exec-{i}"))
                         .spawn(move || {
+                            // Claim this worker's metric shard slot up
+                            // front so the one-time claim (a mutex) never
+                            // lands inside a timed batch.
+                            subset3d_obs::claim_thread_slot();
                             for batch in rx.iter() {
                                 batch.note_dequeued();
                                 tasks.add(batch.work() as u64);

@@ -1,5 +1,28 @@
 //! The three metric primitives: counter, gauge, latency histogram.
+//!
+//! Each primitive owns a table of [`MAX_SHARDS`] cache-line-padded
+//! shards, one per thread-slot (see [`crate::shard`]): recording writes
+//! only the calling thread's shard — a plain relaxed load/store on an
+//! exclusively owned slot, a relaxed `fetch_add` on the shared overflow
+//! slot — and reads aggregate across the table. No recording path takes
+//! a lock or touches a cache line another thread is writing.
+//!
+//! Aggregated reads are *consistent enough*, not atomic: a snapshot
+//! taken while other threads record can trail by a few events per shard,
+//! and a histogram read can transiently see a bucket/sum/min/max update
+//! whose `count` increment has not landed yet (the count is bumped
+//! last, so a torn read undercounts rather than inventing values).
+//! Emptiness is therefore judged per field by sentinel — never inferred
+//! from `count` — which is what keeps `min_ns()`/`max_ns()` from
+//! reporting a phantom `0` mid-record. Reads taken after the observed
+//! work has completed are exact, including events recorded by threads
+//! that have since exited (shards outlive their owning thread).
+//!
+//! [`reset`](Counter::reset) is not synchronised against concurrent
+//! recording; every caller (bench harness, CLI, tests) resets between
+//! runs, not during them.
 
+use crate::shard::{self, MAX_SHARDS};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Buckets of a latency [`Histogram`]: bucket `i` counts values in
@@ -8,19 +31,53 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 /// the pipeline.
 pub const HISTOGRAM_BUCKETS: usize = 40;
 
+/// One padded counter slot. 128-byte alignment keeps adjacent slots —
+/// each written by a different thread — on separate cache-line pairs
+/// (the spatial prefetcher pulls lines two at a time).
+#[repr(align(128))]
+#[derive(Debug)]
+struct PadU64(AtomicU64);
+
+#[repr(align(128))]
+#[derive(Debug)]
+struct PadI64(AtomicI64);
+
+/// Adds `n` to an exclusively owned slot with plain relaxed loads and
+/// stores: the owner is the slot's only writer, so the unfenced
+/// read-modify-write cannot lose updates.
+#[inline]
+fn bump_exclusive(cell: &AtomicU64, n: u64) {
+    cell.store(
+        cell.load(Ordering::Relaxed).wrapping_add(n),
+        Ordering::Relaxed,
+    );
+}
+
 /// A monotonically increasing event count.
 ///
-/// Recording is a relaxed `fetch_add` behind the global enabled check;
-/// reads are relaxed loads. All operations are thread-safe.
-#[derive(Debug, Default)]
+/// Recording is one relaxed store into the calling thread's shard behind
+/// the global enabled check; [`get`](Counter::get) sums the shards. All
+/// operations are thread-safe.
+#[derive(Debug)]
 pub struct Counter {
-    value: AtomicU64,
+    shards: [PadU64; MAX_SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Counter {
     pub(crate) const fn new() -> Self {
+        // `AtomicU64::new` is const, but array-repeat needs a const item.
+        // Each repeat instantiates a fresh atomic, which is exactly what
+        // an all-zero shard table wants.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: PadU64 = PadU64(AtomicU64::new(0));
         Counter {
-            value: AtomicU64::new(0),
+            shards: [ZERO; MAX_SHARDS],
         }
     }
 
@@ -28,7 +85,13 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::enabled() {
-            self.value.fetch_add(n, Ordering::Relaxed);
+            let slot = shard::slot();
+            let cell = &self.shards[slot.idx].0;
+            if slot.exclusive {
+                bump_exclusive(cell, n);
+            } else {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 
@@ -38,27 +101,46 @@ impl Counter {
         self.add(1);
     }
 
-    /// The current count.
+    /// The current count, aggregated across every thread's shard.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
     }
 
     pub(crate) fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
     }
 }
 
 /// A signed instantaneous value (queue depths, pool sizes, cache
 /// residency).
-#[derive(Debug, Default)]
+///
+/// Shards hold per-thread *deltas*; [`get`](Gauge::get) sums them.
+/// [`add`](Gauge::add) is uncontended and loses nothing under
+/// concurrency. [`set`](Gauge::set) rebases the sum through the calling
+/// thread's shard, which is exact for a single-owner gauge (the intended
+/// shape) but racy when several threads `set` concurrently — last
+/// writer does *not* reliably win there, unlike pre-shard behaviour.
+#[derive(Debug)]
 pub struct Gauge {
-    value: AtomicI64,
+    shards: [PadI64; MAX_SHARDS],
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Gauge {
     pub(crate) const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: PadI64 = PadI64(AtomicI64::new(0));
         Gauge {
-            value: AtomicI64::new(0),
+            shards: [ZERO; MAX_SHARDS],
         }
     }
 
@@ -66,7 +148,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if crate::enabled() {
-            self.value.store(v, Ordering::Relaxed);
+            self.add_delta(v.wrapping_sub(self.get()));
         }
     }
 
@@ -74,33 +156,99 @@ impl Gauge {
     #[inline]
     pub fn add(&self, delta: i64) {
         if crate::enabled() {
-            self.value.fetch_add(delta, Ordering::Relaxed);
+            self.add_delta(delta);
         }
     }
 
-    /// The current value.
+    #[inline]
+    fn add_delta(&self, delta: i64) {
+        let slot = shard::slot();
+        let cell = &self.shards[slot.idx].0;
+        if slot.exclusive {
+            cell.store(
+                cell.load(Ordering::Relaxed).wrapping_add(delta),
+                Ordering::Relaxed,
+            );
+        } else {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value, aggregated across every thread's shard.
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .fold(0i64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
     }
 
     pub(crate) fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Largest nanosecond value a histogram records; larger inputs clamp.
+/// Keeps `u64::MAX` free as the min sentinel and the `max + 1` encoding
+/// from saturating — 2^64 − 2 ns is still over five centuries.
+const MAX_RECORDABLE_NS: u64 = u64::MAX - 1;
+
+/// The empty [`HistShard::min_ns`] sentinel.
+const MIN_EMPTY: u64 = u64::MAX;
+
+/// One thread's slice of a histogram. A shard is written by one thread
+/// only (bar the shared overflow slot), so the whole struct is padded as
+/// a unit rather than per field.
+#[repr(align(128))]
+#[derive(Debug)]
+struct HistShard {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    /// Smallest recorded value; [`MIN_EMPTY`] while the shard is empty.
+    min_ns: AtomicU64,
+    /// Largest recorded value **plus one**; `0` while the shard is
+    /// empty. The offset encoding lets a recorded `0 ns` be told apart
+    /// from "nothing recorded" without consulting `count` — consulting
+    /// `count` is exactly the torn read this layer used to have.
+    max_ns: AtomicU64,
+}
+
+impl HistShard {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: HistShard = {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistShard {
+            counts: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(MIN_EMPTY),
+            max_ns: AtomicU64::new(0),
+        }
+    };
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(MIN_EMPTY, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
     }
 }
 
 /// A fixed-bucket (power-of-two nanoseconds) latency histogram.
 ///
 /// The bucket layout is fixed at compile time so recording never
-/// allocates or takes a lock: one relaxed `fetch_add` into the bucket,
-/// plus count/sum/min/max updates. Percentile-grade precision is not the
-/// goal — locating a stage's cost within a factor of two is.
+/// allocates or takes a lock: bucket/count/sum/min/max updates land in
+/// the calling thread's shard as plain relaxed stores. Percentile-grade
+/// precision is not the goal — locating a stage's cost within a factor
+/// of two is.
 #[derive(Debug)]
 pub struct Histogram {
-    counts: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    min_ns: AtomicU64,
-    max_ns: AtomicU64,
+    shards: [HistShard; MAX_SHARDS],
 }
 
 impl Default for Histogram {
@@ -123,74 +271,99 @@ pub(crate) fn bucket_bound(i: usize) -> u64 {
 
 impl Histogram {
     pub(crate) const fn new() -> Self {
-        // `AtomicU64::new` is const, but array-repeat needs a const item.
-        // Each repeat instantiates a fresh atomic, which is exactly what
-        // an all-zero bucket array wants.
-        #[allow(clippy::declare_interior_mutable_const)]
-        const ZERO: AtomicU64 = AtomicU64::new(0);
         Histogram {
-            counts: [ZERO; HISTOGRAM_BUCKETS],
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            min_ns: AtomicU64::new(u64::MAX),
-            max_ns: AtomicU64::new(0),
+            shards: [HistShard::EMPTY; MAX_SHARDS],
         }
     }
 
     /// Records one duration in nanoseconds (no-op while metrics are
-    /// disabled).
+    /// disabled). Values above [`MAX_RECORDABLE_NS`] — five-plus
+    /// centuries — clamp.
     #[inline]
     pub fn record(&self, ns: u64) {
         if !crate::enabled() {
             return;
         }
-        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let ns = ns.min(MAX_RECORDABLE_NS);
+        let slot = shard::slot();
+        let sh = &self.shards[slot.idx];
+        if slot.exclusive {
+            bump_exclusive(&sh.counts[bucket_of(ns)], 1);
+            bump_exclusive(&sh.sum_ns, ns);
+            if ns < sh.min_ns.load(Ordering::Relaxed) {
+                sh.min_ns.store(ns, Ordering::Relaxed);
+            }
+            if ns + 1 > sh.max_ns.load(Ordering::Relaxed) {
+                sh.max_ns.store(ns + 1, Ordering::Relaxed);
+            }
+            // Count last: a concurrent aggregation may miss this event
+            // entirely, but never sees a count without its value.
+            bump_exclusive(&sh.count, 1);
+        } else {
+            sh.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+            sh.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            sh.min_ns.fetch_min(ns, Ordering::Relaxed);
+            sh.max_ns.fetch_max(ns + 1, Ordering::Relaxed);
+            sh.count.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded durations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.shards.iter().fold(0u64, |acc, s| {
+            acc.wrapping_add(s.count.load(Ordering::Relaxed))
+        })
     }
 
     /// Sum of all recorded durations in nanoseconds.
     pub fn sum_ns(&self) -> u64 {
-        self.sum_ns.load(Ordering::Relaxed)
+        self.shards.iter().fold(0u64, |acc, s| {
+            acc.wrapping_add(s.sum_ns.load(Ordering::Relaxed))
+        })
     }
 
-    /// Smallest recorded duration (`None` when empty).
+    /// Smallest recorded duration (`None` when empty). Emptiness is the
+    /// field's own sentinel, never inferred from [`count`](Self::count),
+    /// so a concurrent recorder can never surface a phantom value.
     pub fn min_ns(&self) -> Option<u64> {
-        match self.min_ns.load(Ordering::Relaxed) {
-            u64::MAX => None,
-            v => Some(v),
-        }
+        let min = self
+            .shards
+            .iter()
+            .map(|s| s.min_ns.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(MIN_EMPTY);
+        (min != MIN_EMPTY).then_some(min)
     }
 
-    /// Largest recorded duration (`None` when empty).
+    /// Largest recorded duration (`None` when empty; sentinel-based like
+    /// [`min_ns`](Self::min_ns) — a mid-record reader sees `None`, never
+    /// a phantom `0`).
     pub fn max_ns(&self) -> Option<u64> {
-        if self.count() == 0 {
-            None
-        } else {
-            Some(self.max_ns.load(Ordering::Relaxed))
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.max_ns.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        match max {
+            0 => None,
+            m => Some(m - 1),
         }
     }
 
-    /// Per-bucket counts, in bucket order.
+    /// Per-bucket counts aggregated across shards, in bucket order.
     pub(crate) fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
-        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+        std::array::from_fn(|i| {
+            self.shards.iter().fold(0u64, |acc, s| {
+                acc.wrapping_add(s.counts[i].load(Ordering::Relaxed))
+            })
+        })
     }
 
     pub(crate) fn reset(&self) {
-        for c in &self.counts {
-            c.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.reset();
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum_ns.store(0, Ordering::Relaxed);
-        self.min_ns.store(u64::MAX, Ordering::Relaxed);
-        self.max_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -222,5 +395,47 @@ mod tests {
                 "first value past bucket {i}"
             );
         }
+    }
+
+    #[test]
+    fn torn_count_does_not_invent_min_max() {
+        // Regression: a reader that arrives between a recorder's count
+        // update and its min/max updates used to see `count() > 0` with
+        // `max_ns() == Some(0)` (max keyed off the count) while
+        // `min_ns()` said `None` (sentinel) — two different answers to
+        // "is this histogram empty". Both are sentinel-based now: a
+        // shard with a count but untouched extrema reports *no* extrema.
+        let h = Histogram::new();
+        h.shards[0].count.store(3, Ordering::Relaxed);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min_ns(), None, "phantom min from a torn read");
+        assert_eq!(h.max_ns(), None, "phantom max from a torn read");
+    }
+
+    #[test]
+    fn zero_duration_is_distinct_from_empty() {
+        let _guard = crate::test_lock();
+        let h = Histogram::new();
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.max_ns(), None);
+        // A recorded 0 ns is a real observation, not emptiness.
+        crate::set_enabled(true);
+        h.record(0);
+        crate::set_enabled(false);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(0));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn oversized_durations_clamp_not_wrap() {
+        let _guard = crate::test_lock();
+        let h = Histogram::new();
+        crate::set_enabled(true);
+        h.record(u64::MAX);
+        crate::set_enabled(false);
+        assert_eq!(h.max_ns(), Some(MAX_RECORDABLE_NS));
+        assert_eq!(h.min_ns(), Some(MAX_RECORDABLE_NS));
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 1);
     }
 }

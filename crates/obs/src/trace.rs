@@ -113,7 +113,11 @@ pub fn events_recorded() -> u64 {
     EVENTS_RECORDED.load(Ordering::Relaxed)
 }
 
-/// Events overwritten by the flight-recorder ring since process start.
+/// Events evicted by flight-recorder ring wrap since process start —
+/// exactly those, nothing else: recording calls made while tracing is
+/// off are rejected before they count as recorded *or* dropped, so
+/// within one flight run `retained + dropped == recorded` holds (the
+/// accounting test asserts it).
 pub fn events_dropped() -> u64 {
     EVENTS_DROPPED.load(Ordering::Relaxed)
 }
@@ -147,8 +151,17 @@ struct Ring {
 }
 
 impl Ring {
-    fn push(&mut self, ev: TraceEvent) {
-        if flight_mode() && self.items.len() >= FLIGHT_CAPACITY {
+    /// Appends an event, evicting the oldest when `flight` and full.
+    ///
+    /// `flight` is the mode captured once by [`record`] — re-reading the
+    /// global here would be a second, possibly disagreeing read (torn
+    /// across a concurrent mode flip), misclassifying the push as
+    /// append-vs-evict and miscounting [`EVENTS_DROPPED`]. The drop
+    /// counter ticks exactly once per event evicted by ring wrap and
+    /// nowhere else; recording calls rejected while tracing is off never
+    /// reach this function, let alone the counter.
+    fn push(&mut self, ev: TraceEvent, flight: bool) {
+        if flight && self.items.len() >= FLIGHT_CAPACITY {
             self.items[self.start] = ev;
             self.start = (self.start + 1) % self.items.len();
             EVENTS_DROPPED.fetch_add(1, Ordering::Relaxed);
@@ -220,10 +233,14 @@ fn register_thread() -> Arc<ThreadBuf> {
 }
 
 fn record(mut ev: TraceEvent) {
+    // Read the mode exactly once per event and thread it through to the
+    // ring, so a concurrent mode flip cannot change the eviction
+    // decision (and with it the drop accounting) mid-record.
+    let flight = flight_mode();
     THREAD_BUF.with(|cell| {
         let buf = cell.get_or_init(register_thread);
         ev.tid = buf.tid;
-        lock(&buf.events).push(ev);
+        lock(&buf.events).push(ev, flight);
     });
     EVENTS_RECORDED.fetch_add(1, Ordering::Relaxed);
 }
@@ -598,6 +615,7 @@ mod tests {
         let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert!(!trace_enabled());
         let recorded = events_recorded();
+        let dropped = events_dropped();
         let allocs = trace_allocs();
         for _ in 0..100 {
             let _s = trace_span("test", "noop");
@@ -606,6 +624,11 @@ mod tests {
             trace_flow_end("test", "noop", 1);
         }
         assert_eq!(events_recorded(), recorded, "disabled path recorded events");
+        assert_eq!(
+            events_dropped(),
+            dropped,
+            "rejected-while-off events counted as dropped"
+        );
         assert_eq!(trace_allocs(), allocs, "disabled path allocated");
     }
 
@@ -622,6 +645,33 @@ mod tests {
         assert_eq!(vals[0], 500);
         assert_eq!(*vals.last().unwrap(), FLIGHT_CAPACITY as u64 + 499);
         assert!(events_dropped() >= 500);
+    }
+
+    #[test]
+    fn flight_drop_accounting_is_exact() {
+        // Wrap the ring well past capacity on one thread and check the
+        // books balance: every event is recorded, exactly the evicted
+        // ones are dropped, and retained + dropped == recorded.
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let recorded0 = events_recorded();
+        let dropped0 = events_dropped();
+        const EXTRA: u64 = 317;
+        start_tracing(TraceMode::Flight);
+        for i in 0..(FLIGHT_CAPACITY as u64 + EXTRA) {
+            trace_instant_arg("test", "wrap", "i", i);
+        }
+        let events = stop_tracing();
+        let recorded = events_recorded() - recorded0;
+        let dropped = events_dropped() - dropped0;
+        assert_eq!(recorded, FLIGHT_CAPACITY as u64 + EXTRA);
+        assert_eq!(dropped, EXTRA, "dropped must count ring evictions only");
+        assert_eq!(events.len() as u64 + dropped, recorded);
+        // The retained window is exactly the newest FLIGHT_CAPACITY.
+        assert_eq!(events.first().unwrap().arg_val, EXTRA);
+        assert_eq!(
+            events.last().unwrap().arg_val,
+            FLIGHT_CAPACITY as u64 + EXTRA - 1
+        );
     }
 
     #[test]

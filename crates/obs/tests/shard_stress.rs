@@ -1,0 +1,141 @@
+//! Multi-thread stress test for the sharded metrics layer.
+//!
+//! Ground-truth check: many writer threads — more than the shard table
+//! has exclusive slots, so the shared overflow slot is exercised too —
+//! hammer a counter and a histogram concurrently, then exit. Aggregated
+//! totals read after the threads are gone must equal the arithmetic
+//! ground truth exactly: slot recycling must never lose counts, because
+//! values live in the metric shard tables, not in thread-local storage.
+
+use std::sync::{Barrier, Mutex, MutexGuard};
+use subset3d_obs as obs;
+
+/// Tests in this binary flip the process-global enabled flag, so they
+/// must not interleave.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// More live threads than exclusive shard slots, forcing late claimers
+/// onto the shared overflow slot.
+const OVERFLOW_THREADS: usize = obs::MAX_SHARDS + 16;
+/// Enough sequential short-lived threads to recycle every slot twice.
+const CHURN_THREADS: usize = obs::MAX_SHARDS * 2;
+const ADDS_PER_THREAD: u64 = 1_000;
+
+#[test]
+fn concurrent_writers_aggregate_to_ground_truth() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let counter = obs::counter("stress.concurrent.count");
+    let hist = obs::histogram("stress.concurrent.ns");
+    let base_count = counter.get();
+    let base_hist_count = hist.count();
+    let base_hist_sum = hist.sum_ns();
+
+    // All threads claim slots and write while every sibling is alive, so
+    // threads beyond MAX_SHARDS - 1 exclusive slots share the overflow
+    // slot and its fetch_add path runs under real contention.
+    let barrier = Barrier::new(OVERFLOW_THREADS);
+    std::thread::scope(|s| {
+        for t in 0..OVERFLOW_THREADS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..ADDS_PER_THREAD {
+                    counter.add(2);
+                    hist.record(t as u64 * ADDS_PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let n = OVERFLOW_THREADS as u64 * ADDS_PER_THREAD;
+    assert_eq!(counter.get() - base_count, 2 * n);
+    assert_eq!(hist.count() - base_hist_count, n);
+    // Sum of 0..n recorded exactly once each.
+    assert_eq!(hist.sum_ns() - base_hist_sum, n * (n - 1) / 2);
+    assert_eq!(hist.min_ns(), Some(0));
+    assert_eq!(hist.max_ns(), Some(n - 1));
+    obs::set_enabled(false);
+}
+
+#[test]
+fn counts_survive_thread_exit_and_slot_recycling() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let counter = obs::counter("stress.churn.count");
+    let hist = obs::histogram("stress.churn.ns");
+    let base_count = counter.get();
+    let base_hist_count = hist.count();
+
+    // Sequential short-lived threads: each one claims a slot, writes,
+    // and exits before the snapshot, returning its slot for the next
+    // thread to reuse. CHURN_THREADS > MAX_SHARDS guarantees every
+    // exclusive slot is claimed by at least two distinct threads.
+    for t in 0..CHURN_THREADS {
+        std::thread::spawn(move || {
+            let counter = obs::counter("stress.churn.count");
+            let hist = obs::histogram("stress.churn.ns");
+            for _ in 0..ADDS_PER_THREAD {
+                counter.incr();
+            }
+            hist.record(t as u64 + 1);
+        })
+        .join()
+        .expect("writer thread panicked");
+    }
+
+    assert_eq!(
+        counter.get() - base_count,
+        CHURN_THREADS as u64 * ADDS_PER_THREAD,
+        "slot recycling lost counter increments from exited threads"
+    );
+    assert_eq!(hist.count() - base_hist_count, CHURN_THREADS as u64);
+    assert!(hist.min_ns().is_some());
+    assert_eq!(hist.max_ns(), Some(CHURN_THREADS as u64));
+    obs::set_enabled(false);
+}
+
+#[test]
+fn snapshot_matches_ground_truth_after_writers_exit() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let threads = 8;
+    let counter = obs::counter("stress.snapshot.count");
+    let hist = obs::histogram("stress.snapshot.ns");
+    let base_count = counter.get();
+    let base_hist_count = hist.count();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for i in 0..ADDS_PER_THREAD {
+                    counter.incr();
+                    hist.record(100 + i % 10);
+                }
+            });
+        }
+    });
+
+    let snap = obs::snapshot();
+    let n = threads as u64 * ADDS_PER_THREAD;
+    assert_eq!(
+        snap.counters.get("stress.snapshot.count").copied(),
+        Some(base_count + n)
+    );
+    let h = snap
+        .histograms
+        .get("stress.snapshot.ns")
+        .expect("histogram missing from snapshot");
+    assert_eq!(h.count, base_hist_count + n);
+    assert_eq!(h.min_ns, 100);
+    assert_eq!(h.max_ns, 109);
+    assert_eq!(
+        h.buckets.iter().map(|b| b.count).sum::<u64>(),
+        base_hist_count + n,
+        "bucket counts must aggregate across shards too"
+    );
+    obs::set_enabled(false);
+}

@@ -37,4 +37,13 @@ cargo run -p subset3d-cli --release -q -- trace-validate "$TRACE_TMP/smoke.trace
 # run bench_diff without --check locally when a perf change is on trial.
 cargo run -p subset3d-bench --bin bench_diff --release -- --check BENCH_pipeline.json
 
+# Metrics-overhead regression step: refresh BENCH_pipeline.json, then
+# diff the observability overheads (parallel-pass metrics/trace cost)
+# against the previously committed report, with a 2 pp drift threshold
+# and a 2 % absolute budget on the candidate — the sharded-counter
+# design target. Report-only for the same machine-variance reason.
+cp BENCH_pipeline.json "$TRACE_TMP/committed_bench.json"
 cargo run -p subset3d-bench --bin bench_report --release
+cargo run -p subset3d-bench --bin bench_diff --release -- \
+    --check --threshold 2 --metric overhead --max-overhead 2 \
+    "$TRACE_TMP/committed_bench.json" BENCH_pipeline.json
