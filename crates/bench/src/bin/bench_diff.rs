@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
-//!            [--metric SUBSTR] [--max-overhead PCT]
+//!            [--metric SUBSTR] [--max-overhead PCT] [--min-speedup RATIO]
 //! ```
 //!
 //! With two files, the committed reports are compared directly. With
@@ -23,8 +23,14 @@
 //! comparison: any candidate `*_overhead_pct` above the budget fails
 //! even if the baseline was equally bad.
 //!
+//! `--min-speedup` is an absolute floor on the candidate's scenario
+//! speedups: any selected speedup row below the floor fails **even
+//! under `--check`** — a floor violation means the optimization itself
+//! stopped winning, which is never just noise worth waving through.
+//!
 //! Exit status is non-zero when any regression exceeds the threshold,
-//! unless `--check` (report-only dry-run for CI) is given.
+//! unless `--check` (report-only dry-run for CI) is given; floor
+//! violations fail regardless.
 
 use std::process::ExitCode;
 use subset3d_bench::report::{collect, median_timer, Report};
@@ -34,14 +40,16 @@ const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
 
 const USAGE: &str = "\
 usage: bench_diff <baseline.json> [candidate.json] [--threshold PCT] [--check]
-                  [--metric SUBSTR] [--max-overhead PCT]
+                  [--metric SUBSTR] [--max-overhead PCT] [--min-speedup RATIO]
 
   Compares two BENCH_pipeline.json reports, or a committed baseline
   against a fresh in-process measurement when no candidate is given.
-  --threshold PCT     allowed regression on speedups/overheads (default 10)
-  --metric SUBSTR     judge only metrics whose name contains SUBSTR
-  --max-overhead PCT  absolute budget: candidate *_overhead_pct above PCT fails
-  --check             report only; always exit 0
+  --threshold PCT      allowed regression on speedups/overheads (default 10)
+  --metric SUBSTR      judge only metrics whose name contains SUBSTR
+  --max-overhead PCT   absolute budget: candidate *_overhead_pct above PCT fails
+  --min-speedup RATIO  absolute floor: candidate speedup below RATIO fails
+                       even under --check
+  --check              report only; exit 0 unless a speedup floor is broken
 ";
 
 struct Args {
@@ -50,6 +58,7 @@ struct Args {
     threshold_pct: f64,
     metric_filter: Option<String>,
     max_overhead_pct: Option<f64>,
+    min_speedup: Option<f64>,
     check: bool,
 }
 
@@ -58,6 +67,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
     let mut metric_filter = None;
     let mut max_overhead_pct = None;
+    let mut min_speedup = None;
     let mut check = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -89,6 +99,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 max_overhead_pct = Some(pct);
             }
+            "--min-speedup" => {
+                let v = it.next().ok_or("--min-speedup needs a value")?;
+                let floor = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --min-speedup value: {v}"))?;
+                if !floor.is_finite() || floor < 0.0 {
+                    return Err(format!("bad --min-speedup value: {v}"));
+                }
+                min_speedup = Some(floor);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             path => positional.push(path.to_string()),
@@ -101,6 +121,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             threshold_pct,
             metric_filter,
             max_overhead_pct,
+            min_speedup,
             check,
         }),
         0 => Err("missing baseline report".into()),
@@ -157,6 +178,25 @@ impl Row {
     fn is_overhead(&self) -> bool {
         !self.higher_is_better
     }
+
+    fn is_speedup(&self) -> bool {
+        self.higher_is_better
+    }
+}
+
+/// Speedup rows whose candidate value sits below the absolute floor.
+/// Judged separately from [`judge`] because floor violations are fatal
+/// even under `--check`.
+fn below_floor(rows: &[Row], floor: f64) -> Vec<(&'static str, String)> {
+    rows.iter()
+        .filter(|row| row.is_speedup() && row.cand.is_finite() && row.cand < floor)
+        .map(|row| {
+            (
+                row.name,
+                format!("{:.3} below absolute floor {floor:.3}", row.cand),
+            )
+        })
+        .collect()
 }
 
 fn rows(base: &Report, cand: &Report) -> Vec<Row> {
@@ -319,6 +359,10 @@ fn main() -> ExitCode {
     }
 
     let regressions = judge(&selected, args.threshold_pct, args.max_overhead_pct);
+    let floor_failures = match args.min_speedup {
+        Some(floor) => below_floor(&selected, floor),
+        None => Vec::new(),
+    };
 
     println!(
         "\n{:<34} {:>12} {:>12} {:>10}",
@@ -348,9 +392,21 @@ fn main() -> ExitCode {
         println!("{name:<34} {b:>10.2}ms {c:>10.2}ms");
     }
 
+    if !floor_failures.is_empty() {
+        println!("\n{} speedup floor violation(s):", floor_failures.len());
+        for (name, reason) in &floor_failures {
+            println!("  {name}: {reason}");
+        }
+    }
     if regressions.is_empty() {
         println!("\nno regressions beyond {:.1}%", args.threshold_pct);
-        return ExitCode::SUCCESS;
+        return if floor_failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            // Floor violations are absolute: --check does not wave
+            // them through.
+            ExitCode::FAILURE
+        };
     }
     println!(
         "\n{} regression(s) beyond {:.1}%:",
@@ -360,7 +416,9 @@ fn main() -> ExitCode {
     for (name, reason) in &regressions {
         println!("  {name}: {reason}");
     }
-    if args.check {
+    if !floor_failures.is_empty() {
+        ExitCode::FAILURE
+    } else if args.check {
         println!("--check: reporting only, exiting 0");
         ExitCode::SUCCESS
     } else {
@@ -453,6 +511,47 @@ mod tests {
         let hits = judge(&[row], 2.0, Some(2.0));
         assert_eq!(hits.len(), 1);
         assert!(hits[0].1.contains("budget"));
+    }
+
+    #[test]
+    fn parse_min_speedup_flag() {
+        let args = parse_args(&strs(&["b.json", "--min-speedup", "1.0"])).unwrap();
+        assert_eq!(args.min_speedup, Some(1.0));
+        assert!(parse_args(&strs(&["b.json", "--min-speedup", "-1"])).is_err());
+        assert!(parse_args(&strs(&["b.json", "--min-speedup", "nan"])).is_err());
+        assert!(parse_args(&strs(&["b.json", "--min-speedup"])).is_err());
+    }
+
+    #[test]
+    fn speedup_floor_catches_candidate_regardless_of_baseline() {
+        // Baseline was just as slow, so the relative comparison passes;
+        // only the absolute floor flags the row.
+        let slow = Row {
+            name: "workload_sim.speedup",
+            base: 0.9,
+            cand: 0.95,
+            higher_is_better: true,
+        };
+        let fast = Row {
+            name: "iterated_sweep.speedup",
+            base: 2.0,
+            cand: 2.5,
+            higher_is_better: true,
+        };
+        let overhead = Row {
+            name: "metrics_overhead_pct",
+            base: 0.5,
+            cand: 0.6,
+            higher_is_better: false,
+        };
+        let rows = [slow, fast, overhead];
+        assert!(judge(&rows, 10.0, None).is_empty());
+        let fails = below_floor(&rows, 1.0);
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].0, "workload_sim.speedup");
+        assert!(fails[0].1.contains("floor"));
+        // Overhead rows are never judged against the speedup floor.
+        assert!(below_floor(&rows, 0.0).is_empty());
     }
 
     #[test]

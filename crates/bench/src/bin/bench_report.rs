@@ -7,13 +7,14 @@
 //!
 //! * **workload_sim** — one cold `simulate_workload` pass in the
 //!   out-of-the-box configuration (`CacheMode::Auto`, default threads).
-//!   On a trace with little verbatim repetition the cache self-disables,
-//!   so this mainly checks that memoization never costs more than a few
-//!   percent when it cannot help;
+//!   Generated traces repeat a few thousand draw *shapes* across tens of
+//!   thousands of draws, so shape-grain memoization pays even on a cold
+//!   pass; if a stream ever stops repeating, the adaptive policy
+//!   bypasses the cache and periodically re-probes;
 //! * **iterated_sweep** — `SWEEP_PASSES` passes of the six-candidate
 //!   pathfinding sweep through a `SweepSession`, the shape of the
 //!   iterative pathfinding loop. Every pass after the first is served
-//!   wholesale from the frame caches;
+//!   wholesale from the batch caches;
 //! * **subsetting_pipeline** — clustering + evaluation end to end.
 //!
 //! Every scenario is also run single-threaded with memoization off (the
@@ -26,7 +27,27 @@
 //! of an instrumented sweep-plus-pipeline pass. The measurement code is
 //! shared with `bench_diff` via [`subset3d_bench::report`].
 
-use subset3d_bench::report::{best_timer, collect, OVERHEAD_REPS, RUNS};
+use subset3d_bench::report::{best_timer, collect, Scenario, OVERHEAD_REPS, RUNS};
+
+fn rate(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "unused".to_string(),
+    }
+}
+
+fn cache_summary(name: &str, s: &Scenario) {
+    println!(
+        "{name:<20} speedup {:.3} | shape cache {} | batch cache {} | \
+         bypassed {} | auto-disables {} | reprobes {}",
+        s.speedup,
+        rate(s.cache_hit_rate),
+        rate(s.batch_cache_hit_rate),
+        s.bypassed,
+        s.auto_disables,
+        s.reprobes,
+    );
+}
 
 fn main() {
     let report = collect(best_timer);
@@ -38,6 +59,9 @@ fn main() {
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("{json}");
     println!("wrote BENCH_pipeline.json (best-of-{RUNS} timings)");
+    cache_summary("workload_sim", &report.workload_sim);
+    cache_summary("iterated_sweep", &report.iterated_sweep);
+    cache_summary("subsetting_pipeline", &report.subsetting_pipeline);
     // The JSON keeps the raw medians (negative = noise); only this
     // human-facing summary clamps at zero.
     println!(

@@ -58,11 +58,9 @@ fn main() {
                         .unwrap()
                 })
                 .expect("texture");
+            let first = w.frames()[0].draw(0).expect("draw 0");
             let draw = subset3d_trace::DrawCall::builder(DrawId(0))
-                .shaders(
-                    w.frames()[0].draws()[0].vertex_shader,
-                    w.frames()[0].draws()[0].pixel_shader,
-                )
+                .shaders(first.vertex_shader, first.pixel_shader)
                 .geometry(PrimitiveTopology::TriangleList, 300)
                 .textures(vec![TextureId(tex.id.raw())])
                 .rasterization(0.05, 1.2, 0.8)

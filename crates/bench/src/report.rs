@@ -42,10 +42,25 @@ pub struct Scenario {
     pub parallel_memoized: Measurement,
     /// `single_thread_uncached / parallel_memoized` wall-time ratio.
     pub speedup: f64,
-    /// Draw-cost cache hit rate of the optimized arm.
-    pub cache_hit_rate: f64,
-    /// Frame cache hit rate of the optimized arm.
-    pub frame_cache_hit_rate: f64,
+    /// Draw-shape cache hit rate of the optimized arm; `null` when the
+    /// cache never engaged (no lookups), so "unused" is distinguishable
+    /// from "used and always missed".
+    pub cache_hit_rate: Option<f64>,
+    /// Batch cache hit rate of the optimized arm; `null` when no batch
+    /// probe was attempted. The alias keeps pre-columnar reports (which
+    /// recorded a per-frame cache) deserializable.
+    #[serde(alias = "frame_cache_hit_rate")]
+    pub batch_cache_hit_rate: Option<f64>,
+    /// Draws the optimized arm computed without probing the shape cache
+    /// (adaptive bypass windows).
+    #[serde(default)]
+    pub bypassed: u64,
+    /// Times the adaptive policy disabled the shape cache mid-stream.
+    #[serde(default)]
+    pub auto_disables: u64,
+    /// Times a disabled cache re-armed to probe for a profitable phase.
+    #[serde(default)]
+    pub reprobes: u64,
 }
 
 /// Everything `bench_report` measures — the schema of
@@ -170,7 +185,10 @@ fn scenario(draws: usize, base: f64, opt: f64, stats: subset3d_gpusim::CacheStat
         single_thread_uncached: measurement(base, draws),
         parallel_memoized: measurement(opt, draws),
         cache_hit_rate: stats.hit_rate(),
-        frame_cache_hit_rate: stats.frame_hit_rate(),
+        batch_cache_hit_rate: stats.batch_hit_rate(),
+        bypassed: stats.bypassed,
+        auto_disables: stats.auto_disables,
+        reprobes: stats.reprobes,
     }
 }
 
@@ -381,8 +399,11 @@ mod tests {
             single_thread_uncached: m.clone(),
             parallel_memoized: m,
             speedup: 1.0,
-            cache_hit_rate: 0.5,
-            frame_cache_hit_rate: 0.25,
+            cache_hit_rate: Some(0.5),
+            batch_cache_hit_rate: Some(0.25),
+            bypassed: 0,
+            auto_disables: 0,
+            reprobes: 0,
         };
         Report {
             threads: 4,
@@ -424,6 +445,38 @@ mod tests {
         assert!(!stripped.contains("trace_overhead_pct"));
         let back: Report = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.trace_overhead_pct, 0.0);
+    }
+
+    #[test]
+    fn pre_columnar_scenarios_still_deserialize() {
+        // Old reports recorded a frame-grain cache as a bare number and
+        // had no adaptive counters; the alias + defaults must absorb
+        // that, and a plain `0.75` must land as `Some(0.75)`.
+        let json = r#"{
+            "single_thread_uncached": {"wall_ms": 1.0, "draws_per_sec": 1e6},
+            "parallel_memoized": {"wall_ms": 0.5, "draws_per_sec": 2e6},
+            "speedup": 2.0,
+            "cache_hit_rate": 0.75,
+            "frame_cache_hit_rate": 0.25
+        }"#;
+        let s: Scenario = serde_json::from_str(json).unwrap();
+        assert_eq!(s.cache_hit_rate, Some(0.75));
+        assert_eq!(s.batch_cache_hit_rate, Some(0.25));
+        assert_eq!(s.bypassed, 0);
+        assert_eq!(s.auto_disables, 0);
+        assert_eq!(s.reprobes, 0);
+    }
+
+    #[test]
+    fn unengaged_caches_serialize_as_null() {
+        let mut s = sample_report().workload_sim;
+        s.cache_hit_rate = None;
+        s.batch_cache_hit_rate = None;
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"cache_hit_rate\":null"));
+        assert!(json.contains("\"batch_cache_hit_rate\":null"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cache_hit_rate, None);
     }
 
     #[test]

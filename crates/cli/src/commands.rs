@@ -703,8 +703,8 @@ mod tests {
         let snapshot: subset3d_obs::MetricsSnapshot =
             serde_json::from_str(&text).expect("pure snapshot JSON");
         assert!(
-            snapshot.counter("gpusim.frame_cache.hits").unwrap_or(0) > 0,
-            "iterated sweep must hit the frame cache: {snapshot:?}"
+            snapshot.counter("gpusim.batch_cache.hits").unwrap_or(0) > 0,
+            "iterated sweep must hit the batch cache: {snapshot:?}"
         );
 
         let table = run(&["stats", &trace]).unwrap();

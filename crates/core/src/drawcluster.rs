@@ -260,7 +260,7 @@ mod tests {
         let w = workload();
         let one = Frame::new(
             subset3d_trace::FrameId(77),
-            vec![w.frames()[0].draws()[0].clone()],
+            vec![w.frames()[0].draw(0).unwrap()],
         );
         let fc = cluster_frame(&one, &w, &config().with_pca(Some(4)));
         assert_eq!(fc.cluster_count(), 1);

@@ -207,12 +207,16 @@ impl WorkloadSubset {
             })?;
             let mut draws = Vec::with_capacity(sf.draws.len());
             for sd in &sf.draws {
-                let draw = frame.draws().get(sd.draw_index).ok_or_else(|| {
-                    SubsetError::SubsetMismatch {
-                        reason: format!("draw {} not in frame {}", sd.draw_index, sf.frame_index),
-                    }
-                })?;
-                draws.push(draw.clone());
+                let draw =
+                    frame
+                        .draw(sd.draw_index)
+                        .ok_or_else(|| SubsetError::SubsetMismatch {
+                            reason: format!(
+                                "draw {} not in frame {}",
+                                sd.draw_index, sf.frame_index
+                            ),
+                        })?;
+                draws.push(draw);
             }
             let mini = Frame::new(frame.id, draws);
             let cost = sim.simulate_frame(&mini, workload)?;
@@ -279,10 +283,9 @@ impl WorkloadSubset {
 /// pixels plus vertex work plus a fixed per-draw overhead, in comparable
 /// "pixel-equivalent" units. Purely a function of the trace.
 fn frame_work_proxy(workload: &Workload, frame_index: usize) -> f64 {
-    workload.frames()[frame_index]
-        .draws()
-        .iter()
-        .map(|d| d.shaded_pixels() + 0.2 * d.vertex_invocations() as f64 + 2_000.0)
+    let cols = workload.frames()[frame_index].columns();
+    (0..cols.len())
+        .map(|i| cols.shaded_pixels_at(i) + 0.2 * cols.vertex_invocations_at(i) as f64 + 2_000.0)
         .sum()
 }
 
@@ -297,8 +300,8 @@ fn select_typical_frames(workload: &Workload, phase_frames: &[usize], count: usi
     }
     let histogram = |frame: &Frame| {
         let mut h: BTreeMap<subset3d_trace::ShaderId, f64> = BTreeMap::new();
-        for d in frame.draws() {
-            *h.entry(d.pixel_shader).or_default() += 1.0;
+        for &ps in frame.columns().pixel_shaders() {
+            *h.entry(ps).or_default() += 1.0;
         }
         let total: f64 = h.values().sum();
         if total > 0.0 {
@@ -312,8 +315,8 @@ fn select_typical_frames(workload: &Workload, phase_frames: &[usize], count: usi
     let mut aggregate: BTreeMap<subset3d_trace::ShaderId, f64> = BTreeMap::new();
     let mut total = 0.0;
     for &f in phase_frames {
-        for d in workload.frames()[f].draws() {
-            *aggregate.entry(d.pixel_shader).or_default() += 1.0;
+        for &ps in workload.frames()[f].columns().pixel_shaders() {
+            *aggregate.entry(ps).or_default() += 1.0;
             total += 1.0;
         }
     }

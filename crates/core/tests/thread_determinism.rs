@@ -104,8 +104,8 @@ fn results_are_bit_identical_at_any_thread_count() {
         "iterated sweep must hit the draw cache: {snapshot:?}"
     );
     assert!(
-        snapshot.counter("gpusim.frame_cache.hits").unwrap_or(0) > 0,
-        "iterated sweep must hit the frame cache: {snapshot:?}"
+        snapshot.counter("gpusim.batch_cache.hits").unwrap_or(0) > 0,
+        "iterated sweep must hit the batch cache: {snapshot:?}"
     );
     assert_eq!(
         snapshot.counter("gpusim.draw_cache.bypassed"),

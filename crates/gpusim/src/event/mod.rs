@@ -67,9 +67,10 @@ impl PipelineSim {
         frame: &Frame,
         workload: &Workload,
     ) -> Result<PipelineResult, SimError> {
+        let draws = frame.to_draws();
         let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(6);
         let mut service = Vec::with_capacity(frame.draw_count());
-        for draw in frame.draws() {
+        for draw in &draws {
             let vs = workload
                 .shaders()
                 .get(draw.vertex_shader)

@@ -60,5 +60,5 @@ pub use error::SimError;
 pub use freq::FrequencySweep;
 pub use memo::{CacheMode, CacheStats};
 pub use power::{energy_delay_product, Energy, PowerModel};
-pub use sim::Simulator;
+pub use sim::{Simulator, DEFAULT_BATCH_WIDTH};
 pub use sweep::{sweep_configs, sweep_frequencies, ConfigPoint, SweepPoint, SweepSession};

@@ -1,4 +1,4 @@
-//! Draw-cost memoization.
+//! Draw-cost memoization at shape and batch grain.
 //!
 //! The analytical cost of a draw depends only on the features
 //! `analyze_draw` consumes — never on labels like the draw id, interned
@@ -7,49 +7,47 @@
 //! would receive bit-identical arguments, so a memoized result is
 //! bit-identical to an uncached one by construction.
 //!
-//! The payoff is re-simulation: design sweeps, frequency sweeps, and
-//! validation runs replay the same `(workload, config)` pair — every
-//! draw after the first pass is a cache hit. Whether a single pass
-//! profits depends on how much a trace repeats materials verbatim, so
-//! the cache defaults to [`CacheMode::Auto`]: it observes its own hit
-//! rate over an initial window and bypasses itself when memoization is
-//! not paying for its bookkeeping, keeping never-repeating traces within
-//! a few percent of the uncached baseline.
+//! A lookup must be much cheaper than `analyze_draw` itself (a few
+//! hundred nanoseconds), which drives the key design: a draw is keyed by
+//! a 128-bit **shape digest** — two independent 64-bit FNV-1a streams
+//! folded over the exact bit patterns of every model input (fixed
+//! function, rasterisation statistics, warmth, render target, both
+//! shader mixes, the texture-registry fingerprint, and the raw bound
+//! texture ids). Digesting reads the words straight out of the columnar
+//! draw storage and never allocates or compares long keys; the map is
+//! `HashMap<[u64; 2], DrawCost>` behind a pass-through hasher, so a
+//! probe hashes nothing and compares 16 bytes. An accidental collision
+//! is a 2⁻¹²⁸ event — the same contract the registry fingerprint and
+//! the frame digests of earlier revisions already relied on.
 //!
-//! A lookup must be cheaper than `analyze_draw` itself (a few hundred
-//! nanoseconds), which drives three choices:
+//! Shape-grain memoization pays off *within* a pass (real traces repeat
+//! materials verbatim ~10×), but whether it pays depends on the trace,
+//! so the cache defaults to [`CacheMode::Auto`]: it observes its own hit
+//! rate over an adaptation window and bypasses itself when memoization
+//! is not covering its bookkeeping. Unlike earlier revisions, the
+//! disable is **not latched for the process lifetime**: after
+//! [`REPROBE_AFTER_BATCHES`] bypassed batches the cache re-arms a fresh
+//! observation window, so a workload whose redundancy changes mid-stream
+//! (or a second pass over the same stream) gets memoization back.
 //!
-//! * keys live **inline** in a fixed `[u64; MAX_WORDS]` — packing never
-//!   allocates;
-//! * bound textures are keyed by raw [`TextureId`] under a 128-bit
-//!   [`RegistryFingerprint`] of the whole registry (computed once per
-//!   simulation pass), instead of resolving each id through the
-//!   registry's `BTreeMap` on every lookup;
-//! * the key carries its own FNV-1a hash, computed once while packing,
-//!   which both picks the shard and feeds the map (via a pass-through
-//!   hasher), so a lookup hashes the key words exactly once.
+//! Re-simulation — the sweep-session case — is served at **batch**
+//! grain: the simulator evaluates draws in fixed-width batches, and
+//! [`CacheMode::On`] retains each batch's costs under a digest of its
+//! draw shapes. A warm pass probes once per batch (not once per draw)
+//! and copies the whole cost slice out, replacing the per-frame cache
+//! whose single-probe-per-frame design could not amortise digesting on
+//! cold streams.
 //!
-//! The map is sharded to keep simulation workers from serialising on one
-//! lock; each shard is a `parking_lot::RwLock<HashMap>`.
-//!
-//! Draw-grain memoization has a floor: on a trace whose draws almost
-//! never repeat verbatim, a hit costs about as much as the analytical
-//! model itself (one cold probe of a multi-megabyte table). Re-simulation
-//! — the sweep-session case — is therefore served at **frame** grain
-//! instead: a [`FrameCostCache`] keyed by a 128-bit digest of the
-//! frame's packed draw keys returns the whole `FrameCost` in one probe
-//! of a table with one entry per distinct frame. [`CacheMode::On`]
-//! enables it; the default [`CacheMode::Auto`] leaves it off, because
-//! digesting costs a fixed fraction of a pass and only repeated passes
-//! earn it back.
+//! The shape map is sharded to keep simulation workers from serialising
+//! on one lock; each shard is a `parking_lot::RwLock<HashMap>`.
 
-use crate::cost::{DrawCost, FrameCost};
+use crate::cost::DrawCost;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use subset3d_obs::LazyCounter;
-use subset3d_trace::{DrawCall, ShaderProgram, TextureRegistry};
+use subset3d_trace::TextureRegistry;
 
 // Process-global mirrors of the per-cache counters (see `subset3d_obs`):
 // each simulator keeps exact per-instance stats in `CacheStats`; these
@@ -63,34 +61,50 @@ static OBS_DRAW_HITS: LazyCounter = LazyCounter::new("gpusim.draw_cache.hits");
 static OBS_DRAW_MISSES: LazyCounter = LazyCounter::new("gpusim.draw_cache.misses");
 static OBS_DRAW_BYPASSED: LazyCounter = LazyCounter::new("gpusim.draw_cache.bypassed");
 static OBS_AUTO_DISABLE: LazyCounter = LazyCounter::new("gpusim.draw_cache.auto_disable");
+static OBS_REPROBE: LazyCounter = LazyCounter::new("gpusim.draw_cache.reprobe");
 static OBS_DRAW_EVICTED: LazyCounter = LazyCounter::new("gpusim.draw_cache.evicted");
-static OBS_FRAME_HITS: LazyCounter = LazyCounter::new("gpusim.frame_cache.hits");
-static OBS_FRAME_MISSES: LazyCounter = LazyCounter::new("gpusim.frame_cache.misses");
-static OBS_FRAME_EVICTED: LazyCounter = LazyCounter::new("gpusim.frame_cache.evicted");
+static OBS_BATCH_HITS: LazyCounter = LazyCounter::new("gpusim.batch_cache.hits");
+static OBS_BATCH_MISSES: LazyCounter = LazyCounter::new("gpusim.batch_cache.misses");
+static OBS_BATCH_EVICTED: LazyCounter = LazyCounter::new("gpusim.batch_cache.evicted");
 
 const SHARDS: usize = 16;
 
 /// Lookups observed before [`CacheMode::Auto`] judges profitability.
 /// Small enough that an unprofitable stream pays for only a fraction of
 /// a percent of a full pass in bookkeeping.
-const ADAPT_WINDOW: u64 = 512;
+pub(crate) const ADAPT_WINDOW: u64 = 512;
 
 /// Minimum hit rate over the window for `Auto` to keep memoizing.
 const ADAPT_MIN_HIT_RATE: f64 = 0.05;
+
+/// Bypassed batches tolerated before a self-disabled cache re-arms a
+/// fresh observation window. At the default batch width this spaces
+/// re-probes tens of thousands of draws apart, so a stream that stays
+/// unprofitable pays well under a percent for the periodic check while
+/// a stream whose redundancy returns is picked back up promptly.
+pub(crate) const REPROBE_AFTER_BATCHES: u64 = 256;
+
+/// FNV-1a offset bases of the two independent digest streams, and the
+/// shared 64-bit FNV prime.
+const FNV_BASIS_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_BASIS_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Memoization policy of a simulator's caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum CacheMode {
-    /// Memoize draw costs, but self-disable if the observed hit rate
-    /// over the first [`ADAPT_WINDOW`] lookups shows memoization is not
-    /// profitable (re-armed by invalidation). Frame costs are not
-    /// retained. The single-pass default.
+    /// Memoize draw costs by shape, but self-disable when the observed
+    /// hit rate over an [`ADAPT_WINDOW`]-lookup window shows memoization
+    /// is not profitable — and re-probe after
+    /// [`REPROBE_AFTER_BATCHES`] bypassed batches rather than staying
+    /// off for the process lifetime. Batch costs are not retained. The
+    /// single-pass default.
     Auto = 0,
-    /// Re-simulation mode: additionally retain every simulated frame's
-    /// cost, so repeating a pass over the same workload (sweep sessions,
-    /// validation flows) is served wholesale from the frame cache.
-    /// Draw-grain memoization stays adaptive as in [`CacheMode::Auto`].
+    /// Re-simulation mode: additionally retain every evaluated batch's
+    /// costs, so repeating a pass over the same workload (sweep
+    /// sessions, validation flows) is served batch-wholesale. Shape
+    /// memoization stays adaptive as in [`CacheMode::Auto`].
     On = 1,
     /// Never memoize; every lookup computes. The uncached baseline.
     Off = 2,
@@ -99,184 +113,108 @@ pub enum CacheMode {
 /// A 128-bit FNV-1a digest of a [`TextureRegistry`]'s full contents.
 ///
 /// Keying draws on raw texture ids is only sound within one registry;
-/// folding this fingerprint into every key extends that to any registry
-/// whose *content* matches, and separates registries that merely reuse
-/// ids. Two independent 64-bit FNV streams (distinct offset bases) make
-/// an accidental cross-registry collision a 2⁻¹²⁸ event.
+/// folding this fingerprint into every shape digest extends that to any
+/// registry whose *content* matches, and separates registries that
+/// merely reuse ids. Two independent 64-bit FNV streams (distinct
+/// offset bases) make an accidental cross-registry collision a 2⁻¹²⁸
+/// event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct RegistryFingerprint([u64; 2]);
+pub(crate) struct RegistryFingerprint(pub(crate) [u64; 2]);
 
 impl RegistryFingerprint {
     /// Digests every descriptor of `textures`, in registry (id) order.
     pub(crate) fn of(textures: &TextureRegistry) -> Self {
-        let mut a: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-        let mut b: u64 = 0x6c62_272e_07bb_0142; // low half of the 128-bit basis
-        let mut mix = |w: u64| {
-            a = (a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-            b = (b ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-        };
+        let mut streams = ShapeHasher::new();
         for t in textures.iter() {
-            mix(u64::from(t.id.0));
-            mix(u64::from(t.width) | u64::from(t.height) << 32);
-            mix(u64::from(t.mips) | (t.format as u64) << 32);
+            streams.word(u64::from(t.id.0));
+            streams.word(u64::from(t.width) | u64::from(t.height) << 32);
+            streams.word(u64::from(t.mips) | (t.format as u64) << 32);
         }
-        RegistryFingerprint([a, b])
+        RegistryFingerprint(streams.streams)
     }
 }
 
-/// Key words before the per-texture entries: fixed-function word,
-/// vertex count, five f64 bit patterns, three render-target words, five
-/// words per shader stage, and the two fingerprint words.
-const FIXED_WORDS: usize = 22;
-
-/// Most bound textures a key can hold inline; draws binding more (none
-/// of the generator's material classes come close) bypass the cache.
-const MAX_TEXTURES: usize = 8;
-
-/// Inline capacity of a key, in words.
-const MAX_WORDS: usize = FIXED_WORDS + MAX_TEXTURES;
-
-/// Content-addressed key: the packed bit patterns of every
-/// `analyze_draw` input, plus its FNV-1a hash (computed once, used for
-/// both shard selection and the shard map). Stored inline — packing and
-/// probing never touch the heap.
-#[derive(Debug, PartialEq, Eq)]
-pub(crate) struct CostKey {
-    hash: u64,
-    len: u32,
-    /// Words `len..` stay zeroed, so derived equality over the whole
-    /// array is exact.
-    words: [u64; MAX_WORDS],
+/// Dual-stream FNV-1a word folder: the primitive under shape digests,
+/// batch digests, and the registry fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShapeHasher {
+    streams: [u64; 2],
+    words: u64,
 }
 
-impl std::hash::Hash for CostKey {
+impl ShapeHasher {
+    pub(crate) fn new() -> Self {
+        ShapeHasher {
+            streams: [FNV_BASIS_A, FNV_BASIS_B],
+            words: 0,
+        }
+    }
+
+    /// Folds one 64-bit word into both streams.
+    #[inline]
+    pub(crate) fn word(&mut self, w: u64) {
+        self.streams[0] = (self.streams[0] ^ w).wrapping_mul(FNV_PRIME);
+        self.streams[1] = (self.streams[1] ^ w).wrapping_mul(FNV_PRIME);
+        self.words += 1;
+    }
+
+    /// Finishes the digest: the word count is folded last so sequences
+    /// of different lengths whose concatenations coincide stay distinct.
+    #[inline]
+    pub(crate) fn finish(mut self) -> [u64; 2] {
+        let n = self.words;
+        self.word(n);
+        self.streams
+    }
+}
+
+/// Content-addressed key of one draw in one warmth context: a 128-bit
+/// digest of every `analyze_draw` input. Label fields (`id`, `state`,
+/// `material_tag`, shader ids/names) are deliberately excluded by the
+/// packing in `sim.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DrawShape(pub(crate) [u64; 2]);
+
+impl std::hash::Hash for DrawShape {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.hash);
+        state.write_u64(self.0[0]);
     }
 }
 
-impl CostKey {
-    /// Packs the model-visible features of `(draw, vs, ps, warmth)`
-    /// under a registry fingerprint. Label fields (`id`, `state`,
-    /// `material_tag`, shader ids/names) are deliberately excluded.
-    ///
-    /// Returns `None` for draws binding more than [`MAX_TEXTURES`]
-    /// textures; such draws are computed directly.
-    pub(crate) fn of(
-        draw: &DrawCall,
-        vs: &ShaderProgram,
-        ps: &ShaderProgram,
-        registry: RegistryFingerprint,
-        warmth: f64,
-    ) -> Option<Self> {
-        if draw.textures.len() > MAX_TEXTURES {
-            return None;
-        }
-        let mut words = [0u64; MAX_WORDS];
-        let mut len = 0;
-        let mut push = |w: u64| {
-            words[len] = w;
-            len += 1;
-        };
-        // Fixed-function state and instance count packed exactly: 2 bits
-        // per 3–4-variant enum, instance count in bits 8..40.
-        push(
-            draw.blend as u64
-                | (draw.depth as u64) << 2
-                | (draw.cull as u64) << 4
-                | (draw.topology as u64) << 6
-                | u64::from(draw.instance_count) << 8,
-        );
-        push(draw.vertex_count);
-        // Rasterisation statistics, bit-exact.
-        push(draw.coverage.to_bits());
-        push(draw.overdraw.to_bits());
-        push(draw.z_pass_rate.to_bits());
-        push(draw.texel_locality.to_bits());
-        push(warmth.to_bits());
-        // Render target.
-        let rt = &draw.render_target;
-        push(u64::from(rt.width) | u64::from(rt.height) << 32);
-        push(rt.format as u64 | u64::from(rt.samples) << 32);
-        push(u64::from(rt.color_attachments));
-        // Shader programs: the full instruction mix plus execution
-        // characteristics. Identity (id, name) is irrelevant to cost.
-        for shader in [vs, ps] {
-            let m = &shader.mix;
-            push(u64::from(m.alu) | u64::from(m.mad) << 32);
-            push(u64::from(m.transcendental) | u64::from(m.texture_samples) << 32);
-            push(u64::from(m.interpolants) | u64::from(m.control_flow) << 32);
-            push(u64::from(shader.registers) | (shader.stage as u64) << 32);
-            push(shader.divergence.to_bits());
-        }
-        // The registry fingerprint scopes the raw texture ids below.
-        push(registry.0[0]);
-        push(registry.0[1]);
-        // Bound textures by id, in binding order (resolution — including
-        // ids the registry cannot resolve — is the fingerprint's job).
-        for id in &draw.textures {
-            push(u64::from(id.0));
-        }
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for &w in &words[..len] {
-            hash ^= w;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        Some(CostKey {
-            hash,
-            len: len as u32,
-            words,
-        })
-    }
-
+impl DrawShape {
     fn shard(&self) -> usize {
         // The map consumes the low bits (HashMap masks with capacity-1),
         // so shards take the high ones.
-        (self.hash >> 60) as usize % SHARDS
-    }
-
-    /// The packed words, for folding into a frame digest.
-    pub(crate) fn words(&self) -> &[u64] {
-        &self.words[..self.len as usize]
+        (self.0[0] >> 60) as usize % SHARDS
     }
 }
 
-/// Running 128-bit FNV-1a digest over a frame's packed draw keys.
-///
-/// Two draws-sequences share a digest exactly when every draw's
-/// [`CostKey`] (which already folds in warmth and the registry
-/// fingerprint) matches word for word, in order — i.e. when the frames
-/// are indistinguishable to the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct FrameDigest {
-    streams: [u64; 2],
-    draws: u64,
+/// Content-addressed key of one fixed-width batch: a 128-bit digest of
+/// the batch's draw shapes, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchKey([u64; 2]);
+
+impl std::hash::Hash for BatchKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0[0]);
+    }
 }
 
-impl FrameDigest {
-    pub(crate) fn new() -> Self {
-        FrameDigest {
-            streams: [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142],
-            draws: 0,
+impl BatchKey {
+    /// Digests a batch's draw shapes, in submission order. The shape
+    /// count is folded by [`ShapeHasher::finish`], so a prefix batch
+    /// never collides with its extension (ragged tail batches).
+    pub(crate) fn of(shapes: &[DrawShape]) -> Self {
+        let mut h = ShapeHasher::new();
+        for s in shapes {
+            h.word(s.0[0]);
+            h.word(s.0[1]);
         }
-    }
-
-    /// Folds one draw's key into the digest, in submission order.
-    pub(crate) fn fold(&mut self, key: &CostKey) {
-        let [mut a, mut b] = self.streams;
-        for &w in key.words() {
-            a = (a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-            b = (b ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        // The word count separates frames whose concatenations collide.
-        a = (a ^ key.len as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        b = (b ^ key.len as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        self.streams = [a, b];
-        self.draws += 1;
+        BatchKey(h.finish())
     }
 }
 
-/// Feeds a [`CostKey`]'s precomputed hash straight to the map.
+/// Feeds a digest's precomputed first word straight to the map.
 #[derive(Default)]
 struct PassThroughHasher(u64);
 
@@ -286,7 +224,7 @@ impl Hasher for PassThroughHasher {
     }
 
     fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("CostKey hashes via write_u64 only");
+        unreachable!("digest keys hash via write_u64 only");
     }
 
     fn write_u64(&mut self, hash: u64) {
@@ -294,98 +232,119 @@ impl Hasher for PassThroughHasher {
     }
 }
 
-type Shard = RwLock<HashMap<CostKey, DrawCost, BuildHasherDefault<PassThroughHasher>>>;
+type Shard = RwLock<HashMap<DrawShape, DrawCost, BuildHasherDefault<PassThroughHasher>>>;
 
 /// Memoization counters of a simulator, taken at one instant.
 ///
-/// `hits`/`misses`/`bypassed` count **draw-grain** lookups;
-/// `frame_hits`/`frame_misses` count **frame-grain** lookups (only made
-/// in [`CacheMode::On`]). A frame served from the frame cache performs
-/// no draw-grain lookups at all.
+/// `hits`/`misses`/`bypassed` count **shape-grain** (per-draw) lookups;
+/// `batch_hits`/`batch_misses` count **batch-grain** lookups (only made
+/// in [`CacheMode::On`]). A batch served from the batch cache performs
+/// no shape-grain lookups at all. `auto_disables` counts the times the
+/// adaptive policy judged a window unprofitable and switched the shape
+/// cache off; `reprobes` counts the times a switched-off cache re-armed
+/// a fresh window after [`REPROBE_AFTER_BATCHES`] bypassed batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Draw lookups answered from the cache.
+    /// Shape lookups answered from the cache.
     pub hits: u64,
-    /// Draw lookups that ran the analytical model (and populated the
+    /// Shape lookups that ran the analytical model (and populated the
     /// cache).
     pub misses: u64,
-    /// Draw lookups that skipped the cache entirely (`Off` mode, or
-    /// after adaptive self-disabling).
+    /// Shape lookups that skipped the cache entirely (`Off` mode, or
+    /// while adaptively self-disabled).
     pub bypassed: u64,
-    /// Whole frames served from the frame cache.
-    pub frame_hits: u64,
-    /// Frame lookups that simulated draw by draw (and retained the
+    /// Whole batches served from the batch cache.
+    pub batch_hits: u64,
+    /// Batch lookups that evaluated draw by draw (and retained the
     /// result).
-    pub frame_misses: u64,
+    pub batch_misses: u64,
+    /// Times the adaptive policy disabled the shape cache.
+    pub auto_disables: u64,
+    /// Times a disabled shape cache re-armed for a fresh probe window.
+    pub reprobes: u64,
 }
 
 impl CacheStats {
-    /// Draw hits as a fraction of memoized draw lookups (`0.0` when none
-    /// happened). Bypassed lookups are excluded.
-    pub fn hit_rate(&self) -> f64 {
+    /// Shape hits as a fraction of memoized shape lookups, or `None`
+    /// when the cache never engaged (no lookups consulted the map).
+    /// Bypassed lookups are excluded.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
         }
     }
 
-    /// Frame hits as a fraction of frame lookups (`0.0` when none
-    /// happened).
-    pub fn frame_hit_rate(&self) -> f64 {
-        let total = self.frame_hits + self.frame_misses;
+    /// Batch hits as a fraction of batch lookups, or `None` when the
+    /// batch cache never engaged.
+    pub fn batch_hit_rate(&self) -> Option<f64> {
+        let total = self.batch_hits + self.batch_misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.frame_hits as f64 / total as f64
+            Some(self.batch_hits as f64 / total as f64)
         }
     }
 }
 
-/// Sharded, thread-safe memo table from [`CostKey`] to [`DrawCost`].
+/// Sharded, thread-safe memo table from [`DrawShape`] to [`DrawCost`].
 ///
 /// Shared by every worker simulating on one `Simulator`; scoped to one
 /// architecture configuration (the owner clears it when the config
 /// changes).
-pub(crate) struct DrawCostCache {
+pub(crate) struct ShapeCache {
     shards: [Shard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     bypassed: AtomicU64,
+    auto_disables: AtomicU64,
+    reprobes: AtomicU64,
+    /// Hit/miss counts of the *current* observation window; reset when
+    /// a window is judged or re-armed, unlike the cumulative stats.
+    window_hits: AtomicU64,
+    window_misses: AtomicU64,
+    /// Batches bypassed since the last auto-disable; drives re-probing.
+    bypassed_batches: AtomicU64,
     mode: AtomicU8,
     /// Set when `Auto` judged memoization unprofitable; cleared by
-    /// [`DrawCostCache::clear`].
+    /// re-probing, [`ShapeCache::set_mode`] and [`ShapeCache::clear`].
     auto_bypass: AtomicU8,
 }
 
-impl DrawCostCache {
+impl ShapeCache {
     pub(crate) fn new() -> Self {
-        DrawCostCache {
+        ShapeCache {
             shards: std::array::from_fn(|_| Shard::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypassed: AtomicU64::new(0),
+            auto_disables: AtomicU64::new(0),
+            reprobes: AtomicU64::new(0),
+            window_hits: AtomicU64::new(0),
+            window_misses: AtomicU64::new(0),
+            bypassed_batches: AtomicU64::new(0),
             mode: AtomicU8::new(CacheMode::Auto as u8),
             auto_bypass: AtomicU8::new(0),
         }
     }
 
-    /// Whether a draw lookup should consult the map right now. Draw-grain
-    /// memoization is adaptive in both `Auto` and `On`.
-    fn memoizing(&self) -> bool {
+    /// Whether a shape lookup should consult the map right now.
+    /// Shape-grain memoization is adaptive in both `Auto` and `On`.
+    pub(crate) fn memoizing(&self) -> bool {
         self.mode.load(Ordering::Relaxed) != CacheMode::Off as u8
             && self.auto_bypass.load(Ordering::Relaxed) == 0
     }
 
-    /// Returns the memoized cost for the key `make_key` produces, or
+    /// Returns the memoized cost for the shape `digest` produces, or
     /// computes it with `compute`, stores it, and returns it. Bypassed
-    /// lookups (mode `Off`, `Auto` after self-disabling, or an
-    /// un-keyable draw) compute directly — without even packing a key in
-    /// the first two cases; the value is the same bits either way.
+    /// lookups (mode `Off`, or while adaptively disabled) compute
+    /// directly — without even digesting; the value is the same bits
+    /// either way.
     pub(crate) fn get_or_compute(
         &self,
-        make_key: impl FnOnce() -> Option<CostKey>,
+        digest: impl FnOnce() -> DrawShape,
         compute: impl FnOnce() -> DrawCost,
     ) -> DrawCost {
         if !self.memoizing() {
@@ -393,14 +352,11 @@ impl DrawCostCache {
             OBS_DRAW_BYPASSED.incr();
             return compute();
         }
-        let Some(key) = make_key() else {
-            self.bypassed.fetch_add(1, Ordering::Relaxed);
-            OBS_DRAW_BYPASSED.incr();
-            return compute();
-        };
-        let shard = &self.shards[key.shard()];
-        if let Some(cost) = shard.read().get(&key) {
+        let shape = digest();
+        let shard = &self.shards[shape.shard()];
+        if let Some(cost) = shard.read().get(&shape) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.window_hits.fetch_add(1, Ordering::Relaxed);
             OBS_DRAW_HITS.incr();
             subset3d_obs::trace_instant("gpusim", "draw_cache.hit");
             #[cfg(feature = "fault-injection")]
@@ -408,23 +364,24 @@ impl DrawCostCache {
             #[cfg(not(feature = "fault-injection"))]
             return *cost;
         }
-        let misses = self.misses.fetch_add(1, Ordering::Relaxed) + 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let window_misses = self.window_misses.fetch_add(1, Ordering::Relaxed) + 1;
         OBS_DRAW_MISSES.incr();
         subset3d_obs::trace_instant("gpusim", "draw_cache.miss");
-        self.maybe_auto_disable(misses);
+        self.maybe_auto_disable(window_misses);
         let cost = compute();
-        // A racing worker may have inserted the same key; both computed
+        // A racing worker may have inserted the same shape; both computed
         // the same bits, so either insert winning is equivalent.
-        shard.write().insert(key, cost);
+        shard.write().insert(shape, cost);
         cost
     }
 
-    /// Once the adaptation window has been observed, stop memoizing
-    /// draws if hits are not covering the bookkeeping. Checked on the
-    /// miss path only — an all-hit workload never needs it.
-    fn maybe_auto_disable(&self, misses: u64) {
-        let hits = self.hits.load(Ordering::Relaxed);
-        let lookups = hits + misses;
+    /// Once the observation window has been seen, stop memoizing shapes
+    /// if hits are not covering the bookkeeping. Checked on the miss
+    /// path only — an all-hit workload never needs it.
+    fn maybe_auto_disable(&self, window_misses: u64) {
+        let hits = self.window_hits.load(Ordering::Relaxed);
+        let lookups = hits + window_misses;
         if lookups < ADAPT_WINDOW {
             // Streams shorter than the window never complete an
             // observation; profitability stays unjudged and the cache
@@ -434,6 +391,8 @@ impl DrawCostCache {
         }
         if (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
             self.auto_bypass.store(1, Ordering::Relaxed);
+            self.bypassed_batches.store(0, Ordering::Relaxed);
+            self.auto_disables.fetch_add(1, Ordering::Relaxed);
             OBS_AUTO_DISABLE.incr();
             subset3d_obs::trace_instant_arg(
                 "gpusim",
@@ -441,6 +400,32 @@ impl DrawCostCache {
                 "lookups",
                 lookups,
             );
+        } else {
+            // Profitable window: restart the observation so the judgment
+            // always reflects recent behaviour.
+            self.window_hits.store(0, Ordering::Relaxed);
+            self.window_misses.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Notes that one batch was processed without consulting the cache.
+    /// After [`REPROBE_AFTER_BATCHES`] such batches, an adaptively
+    /// disabled cache re-arms a fresh observation window — the fix for
+    /// the latch-off-forever failure mode, where one unprofitable
+    /// prefix disabled memoization for the process lifetime.
+    pub(crate) fn note_bypassed_batch(&self) {
+        if self.auto_bypass.load(Ordering::Relaxed) == 0 {
+            return; // `Off` mode bypasses deliberately; never re-probe.
+        }
+        let batches = self.bypassed_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if batches >= REPROBE_AFTER_BATCHES {
+            self.bypassed_batches.store(0, Ordering::Relaxed);
+            self.window_hits.store(0, Ordering::Relaxed);
+            self.window_misses.store(0, Ordering::Relaxed);
+            self.auto_bypass.store(0, Ordering::Relaxed);
+            self.reprobes.fetch_add(1, Ordering::Relaxed);
+            OBS_REPROBE.incr();
+            subset3d_obs::trace_instant("gpusim", "draw_cache.reprobe");
         }
     }
 
@@ -449,15 +434,20 @@ impl DrawCostCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bypassed: self.bypassed.load(Ordering::Relaxed),
-            frame_hits: 0,
-            frame_misses: 0,
+            batch_hits: 0,
+            batch_misses: 0,
+            auto_disables: self.auto_disables.load(Ordering::Relaxed),
+            reprobes: self.reprobes.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn set_mode(&self, mode: CacheMode) {
         self.mode.store(mode as u8, Ordering::Relaxed);
-        // Switching policy re-arms adaptation.
+        // Switching policy re-arms adaptation with a fresh window.
         self.auto_bypass.store(0, Ordering::Relaxed);
+        self.window_hits.store(0, Ordering::Relaxed);
+        self.window_misses.store(0, Ordering::Relaxed);
+        self.bypassed_batches.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn mode(&self) -> CacheMode {
@@ -479,6 +469,11 @@ impl DrawCostCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.bypassed.store(0, Ordering::Relaxed);
+        self.auto_disables.store(0, Ordering::Relaxed);
+        self.reprobes.store(0, Ordering::Relaxed);
+        self.window_hits.store(0, Ordering::Relaxed);
+        self.window_misses.store(0, Ordering::Relaxed);
+        self.bypassed_batches.store(0, Ordering::Relaxed);
         self.auto_bypass.store(0, Ordering::Relaxed);
     }
 
@@ -488,53 +483,58 @@ impl DrawCostCache {
     }
 }
 
-/// Thread-safe memo table from [`FrameDigest`] to [`FrameCost`].
+/// Thread-safe memo table from [`BatchKey`] to a batch's draw costs.
 ///
-/// One entry per distinct frame per architecture configuration — small
-/// enough that a probe stays cache-resident, which is what lets a warm
-/// re-simulation pass skip the per-draw model entirely. Consulted only
-/// in [`CacheMode::On`]; cleared with the draw cache on invalidation.
-pub(crate) struct FrameCostCache {
-    map: RwLock<HashMap<FrameDigest, FrameCost>>,
+/// One entry per distinct batch per architecture configuration; a warm
+/// re-simulation pass probes once per batch and copies the cost slice
+/// out, skipping the per-draw model entirely. Consulted only in
+/// [`CacheMode::On`]; cleared with the shape cache on invalidation.
+pub(crate) struct BatchCostCache {
+    map: RwLock<HashMap<BatchKey, Box<[DrawCost]>, BuildHasherDefault<PassThroughHasher>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl FrameCostCache {
+impl BatchCostCache {
     pub(crate) fn new() -> Self {
-        FrameCostCache {
-            map: RwLock::new(HashMap::new()),
+        BatchCostCache {
+            map: RwLock::new(HashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The retained cost of the frame `digest` describes, if any.
-    pub(crate) fn get(&self, digest: &FrameDigest) -> Option<FrameCost> {
-        let hit = self.map.read().get(digest).cloned();
+    /// The retained costs of the batch `key` describes, if any.
+    #[allow(unused_mut)]
+    pub(crate) fn get(&self, key: &BatchKey) -> Option<Vec<DrawCost>> {
+        let hit = self.map.read().get(key).map(|costs| costs.to_vec());
         match hit {
-            Some(cost) => {
+            Some(mut costs) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                OBS_FRAME_HITS.incr();
-                subset3d_obs::trace_instant("gpusim", "frame_cache.hit");
-                Some(cost)
+                OBS_BATCH_HITS.incr();
+                subset3d_obs::trace_instant("gpusim", "batch_cache.hit");
+                #[cfg(feature = "fault-injection")]
+                for c in &mut costs {
+                    *c = crate::fault::corrupt_hit(*c);
+                }
+                Some(costs)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                OBS_FRAME_MISSES.incr();
-                subset3d_obs::trace_instant("gpusim", "frame_cache.miss");
+                OBS_BATCH_MISSES.incr();
+                subset3d_obs::trace_instant("gpusim", "batch_cache.miss");
                 None
             }
         }
     }
 
-    /// Retains a freshly simulated frame cost. Racing inserts of the
-    /// same digest computed identical bits, so either winning is fine.
-    pub(crate) fn insert(&self, digest: FrameDigest, cost: &FrameCost) {
-        self.map.write().insert(digest, cost.clone());
+    /// Retains a freshly evaluated batch's costs. Racing inserts of the
+    /// same key computed identical bits, so either winning is fine.
+    pub(crate) fn insert(&self, key: BatchKey, costs: &[DrawCost]) {
+        self.map.write().insert(key, costs.into());
     }
 
-    /// (frame hits, frame misses) observed so far.
+    /// (batch hits, batch misses) observed so far.
     pub(crate) fn counters(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -542,7 +542,7 @@ impl FrameCostCache {
         )
     }
 
-    /// Number of retained frames.
+    /// Number of retained batches.
     pub(crate) fn len(&self) -> usize {
         self.map.read().len()
     }
@@ -550,7 +550,7 @@ impl FrameCostCache {
     /// Drops every entry and zeroes the counters.
     pub(crate) fn clear(&self) {
         let mut map = self.map.write();
-        OBS_FRAME_EVICTED.add(map.len() as u64);
+        OBS_BATCH_EVICTED.add(map.len() as u64);
         map.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -561,13 +561,14 @@ impl FrameCostCache {
 mod tests {
     use super::*;
     use crate::analytic::test_support::{test_draw, test_ps, test_textures, test_vs};
+    use crate::sim::draw_shape_of;
 
     fn fp() -> RegistryFingerprint {
         RegistryFingerprint::of(&test_textures())
     }
 
-    fn key(warmth: f64) -> CostKey {
-        CostKey::of(&test_draw(), &test_vs(), &test_ps(), fp(), warmth).unwrap()
+    fn shape(warmth: f64) -> DrawShape {
+        draw_shape_of(&test_draw(), &test_vs(), &test_ps(), fp(), warmth)
     }
 
     fn compute() -> DrawCost {
@@ -582,95 +583,71 @@ mod tests {
     }
 
     #[test]
-    fn identical_inputs_share_a_key() {
-        let (a, b) = (key(0.25), key(0.25));
-        assert_eq!(a, b);
-        assert_eq!(a.hash, b.hash);
+    fn identical_inputs_share_a_shape() {
+        assert_eq!(shape(0.25), shape(0.25));
     }
 
     #[test]
-    fn label_fields_do_not_affect_the_key() {
+    fn label_fields_do_not_affect_the_shape() {
         let mut relabeled = test_draw();
         relabeled.id = subset3d_trace::DrawId(4040);
         relabeled.state = subset3d_trace::StateId(77);
         relabeled.material_tag = 1234;
-        let a = key(0.5);
-        let b = CostKey::of(&relabeled, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
+        let a = shape(0.5);
+        let b = draw_shape_of(&relabeled, &test_vs(), &test_ps(), fp(), 0.5);
         assert_eq!(a, b);
     }
 
     #[test]
-    fn model_inputs_change_the_key() {
-        let base = key(0.5);
-        assert_ne!(base, key(0.75), "warmth must be part of the key");
+    fn model_inputs_change_the_shape() {
+        let base = shape(0.5);
+        assert_ne!(base, shape(0.75), "warmth must be part of the shape");
 
         let mut heavier = test_draw();
         heavier.vertex_count += 1;
-        let k = CostKey::of(&heavier, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
-        assert_ne!(base, k);
+        let s = draw_shape_of(&heavier, &test_vs(), &test_ps(), fp(), 0.5);
+        assert_ne!(base, s);
 
         let mut sharper = test_draw();
         sharper.coverage += 1e-9;
-        let k = CostKey::of(&sharper, &test_vs(), &test_ps(), fp(), 0.5).unwrap();
-        assert_ne!(base, k);
+        let s = draw_shape_of(&sharper, &test_vs(), &test_ps(), fp(), 0.5);
+        assert_ne!(base, s);
     }
 
     #[test]
-    fn key_length_is_exact() {
-        let k = key(0.0);
-        assert_eq!(k.len as usize, FIXED_WORDS + test_draw().textures.len());
-        // Words past `len` stay zero, so derived equality is exact.
-        assert!(k.words[k.len as usize..].iter().all(|&w| w == 0));
-    }
-
-    #[test]
-    fn registry_content_changes_the_key() {
+    fn registry_content_changes_the_shape() {
         // Same draw, same texture ids — but the ids resolve differently
-        // (here: not at all), so the fingerprint must split the keys.
+        // (here: not at all), so the fingerprint must split the shapes.
         let empty = RegistryFingerprint::of(&TextureRegistry::new());
         assert_ne!(fp(), empty);
-        let a = key(0.0);
-        let b = CostKey::of(&test_draw(), &test_vs(), &test_ps(), empty, 0.0).unwrap();
+        let a = shape(0.0);
+        let b = draw_shape_of(&test_draw(), &test_vs(), &test_ps(), empty, 0.0);
         assert_ne!(a, b);
     }
 
     #[test]
-    fn oversized_texture_binding_is_unkeyable() {
+    fn wide_texture_bindings_are_keyable() {
+        // Shape digests have no inline capacity: a draw binding dozens of
+        // textures still memoizes (the old fixed-width key design had to
+        // bypass these).
         let mut wide = test_draw();
-        wide.textures = (0..=MAX_TEXTURES as u32)
-            .map(subset3d_trace::TextureId)
-            .collect();
-        assert!(CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0).is_none());
-
-        let cache = DrawCostCache::new();
-        let cost = cache.get_or_compute(
-            || CostKey::of(&wide, &test_vs(), &test_ps(), fp(), 0.0),
-            compute,
-        );
-        assert_eq!(cost, compute());
-        assert_eq!(
-            cache.stats(),
-            CacheStats {
-                bypassed: 1,
-                ..CacheStats::default()
-            }
-        );
+        wide.textures = (0..32).map(subset3d_trace::TextureId).collect();
+        let a = draw_shape_of(&wide, &test_vs(), &test_ps(), fp(), 0.0);
+        let b = draw_shape_of(&wide, &test_vs(), &test_ps(), fp(), 0.0);
+        assert_eq!(a, b);
+        wide.textures.pop();
+        let c = draw_shape_of(&wide, &test_vs(), &test_ps(), fp(), 0.0);
+        assert_ne!(a, c, "binding count must be part of the shape");
     }
 
     #[test]
     fn cache_counts_hits_and_misses() {
-        let cache = DrawCostCache::new();
-        let a = cache.get_or_compute(|| Some(key(0.0)), compute);
-        let b = cache.get_or_compute(|| Some(key(0.0)), compute);
+        let cache = ShapeCache::new();
+        let a = cache.get_or_compute(|| shape(0.0), compute);
+        let b = cache.get_or_compute(|| shape(0.0), compute);
         assert_eq!(a, b);
-        assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                ..CacheStats::default()
-            }
-        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.bypassed), (1, 1, 0));
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
@@ -679,12 +656,12 @@ mod tests {
 
     #[test]
     fn off_mode_always_computes() {
-        let cache = DrawCostCache::new();
+        let cache = ShapeCache::new();
         cache.set_mode(CacheMode::Off);
         let mut calls = 0;
         for _ in 0..3 {
             cache.get_or_compute(
-                || Some(key(0.0)),
+                || shape(0.0),
                 || {
                     calls += 1;
                     compute()
@@ -700,15 +677,23 @@ mod tests {
             }
         );
         assert_eq!(cache.len(), 0);
+
+        // Off-mode batches never trigger a re-probe: bypassing was asked
+        // for, not judged.
+        for _ in 0..(2 * REPROBE_AFTER_BATCHES) {
+            cache.note_bypassed_batch();
+        }
+        assert!(!cache.memoizing());
+        assert_eq!(cache.stats().reprobes, 0);
     }
 
     #[test]
     fn auto_mode_bypasses_an_unprofitable_stream() {
-        let cache = DrawCostCache::new();
-        // Every key distinct: the hit rate stays at zero, so Auto must
+        let cache = ShapeCache::new();
+        // Every shape distinct: the hit rate stays at zero, so Auto must
         // give up once the window has been observed.
         for i in 0..(ADAPT_WINDOW + 100) {
-            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+            cache.get_or_compute(|| shape(f64::from(i as u32)), compute);
         }
         let stats = cache.stats();
         assert!(
@@ -719,9 +704,10 @@ mod tests {
             stats.misses >= ADAPT_WINDOW,
             "window must be fully observed"
         );
+        assert_eq!(stats.auto_disables, 1);
         // Invalidation re-arms adaptation.
         cache.clear();
-        cache.get_or_compute(|| Some(key(0.0)), compute);
+        cache.get_or_compute(|| shape(0.0), compute);
         assert_eq!(cache.stats().misses, 1);
     }
 
@@ -732,16 +718,16 @@ mod tests {
         // though every lookup so far missed (regression: a 1-frame
         // workload would otherwise sit at 0 % hit rate and be judged
         // unprofitable from a partial window).
-        let cache = DrawCostCache::new();
+        let cache = ShapeCache::new();
         for i in 0..(ADAPT_WINDOW - 1) {
-            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+            cache.get_or_compute(|| shape(f64::from(i as u32)), compute);
         }
         assert_eq!(cache.stats().bypassed, 0, "sub-window stream bypassed");
 
-        // A second pass over the same keys must hit — the cache stayed
+        // A second pass over the same shapes must hit — the cache stayed
         // live and retained every entry.
         for i in 0..(ADAPT_WINDOW - 1) {
-            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+            cache.get_or_compute(|| shape(f64::from(i as u32)), compute);
         }
         let stats = cache.stats();
         assert_eq!(stats.bypassed, 0, "cache disabled itself: {stats:?}");
@@ -749,14 +735,54 @@ mod tests {
     }
 
     #[test]
+    fn disabled_cache_reprobes_after_bypassed_batches() {
+        let cache = ShapeCache::new();
+        // Disable via an unprofitable window.
+        for i in 0..ADAPT_WINDOW {
+            cache.get_or_compute(|| shape(f64::from(i as u32)), compute);
+        }
+        assert!(!cache.memoizing(), "expected auto-disable");
+
+        // Fewer bypassed batches than the threshold: still off.
+        for _ in 0..(REPROBE_AFTER_BATCHES - 1) {
+            cache.note_bypassed_batch();
+        }
+        assert!(!cache.memoizing());
+
+        // The threshold batch re-arms a fresh window.
+        cache.note_bypassed_batch();
+        assert!(cache.memoizing(), "cache must re-probe, not latch off");
+        assert_eq!(cache.stats().reprobes, 1);
+
+        // The re-armed window is fresh: a now-profitable stream keeps
+        // the cache on (repeating one shape → ~100 % hit rate).
+        for _ in 0..(2 * ADAPT_WINDOW) {
+            cache.get_or_compute(|| shape(0.0), compute);
+        }
+        assert!(cache.memoizing(), "profitable re-probe window stayed on");
+        assert_eq!(cache.stats().auto_disables, 1);
+    }
+
+    #[test]
+    fn profitable_windows_keep_restarting() {
+        // An all-hit stream must never disable, however long it runs.
+        let cache = ShapeCache::new();
+        for _ in 0..(4 * ADAPT_WINDOW) {
+            cache.get_or_compute(|| shape(0.0), compute);
+        }
+        assert!(cache.memoizing());
+        assert_eq!(cache.stats().auto_disables, 0);
+    }
+
+    #[test]
     fn on_mode_draw_grain_stays_adaptive() {
-        // `On` retains frames; at draw grain it adapts exactly like
+        // `On` retains batches; at shape grain it adapts exactly like
         // `Auto`, because an unprofitable draw stream is unprofitable
-        // regardless of frame retention.
-        let cache = DrawCostCache::new();
+        // regardless of batch retention.
+        let cache = ShapeCache::new();
         cache.set_mode(CacheMode::On);
         for i in 0..(ADAPT_WINDOW + 100) {
-            cache.get_or_compute(|| Some(key(f64::from(i as u32))), compute);
+            cache.get_or_compute(|| shape(f64::from(i as u32)), compute);
         }
         let stats = cache.stats();
         assert!(
@@ -767,26 +793,21 @@ mod tests {
     }
 
     #[test]
-    fn frame_cache_round_trips_and_clears() {
-        let frame_cost = || crate::cost::FrameCost::from_draws(vec![compute(), compute()]);
-        let cache = FrameCostCache::new();
-        let mut digest = FrameDigest::new();
-        digest.fold(&key(0.0));
-        digest.fold(&key(0.5));
-        assert!(cache.get(&digest).is_none());
-        cache.insert(digest, &frame_cost());
-        assert_eq!(cache.get(&digest).unwrap(), frame_cost());
+    fn batch_cache_round_trips_and_clears() {
+        let costs = vec![compute(), compute()];
+        let cache = BatchCostCache::new();
+        let key = BatchKey::of(&[shape(0.0), shape(0.5)]);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, &costs);
+        assert_eq!(cache.get(&key).unwrap(), costs);
         assert_eq!(cache.counters(), (1, 1));
         assert_eq!(cache.len(), 1);
 
-        // Order and count are part of the digest.
-        let mut reversed = FrameDigest::new();
-        reversed.fold(&key(0.5));
-        reversed.fold(&key(0.0));
-        assert_ne!(digest, reversed);
-        let mut shorter = FrameDigest::new();
-        shorter.fold(&key(0.0));
-        assert_ne!(digest, shorter);
+        // Order and count are part of the key.
+        let reversed = BatchKey::of(&[shape(0.5), shape(0.0)]);
+        assert_ne!(key, reversed);
+        let shorter = BatchKey::of(&[shape(0.0)]);
+        assert_ne!(key, shorter);
 
         cache.clear();
         assert_eq!(cache.len(), 0);

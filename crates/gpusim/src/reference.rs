@@ -337,11 +337,11 @@ pub fn reference_frame_cost(
     workload: &Workload,
     config: &ArchConfig,
 ) -> Result<FrameCost, SimError> {
-    let draws = frame.draws();
+    let draws = frame.to_draws();
     let mut costs = Vec::with_capacity(draws.len());
     for (i, draw) in draws.iter().enumerate() {
         let (vs, ps) = resolve(draw, workload)?;
-        let warmth = warmth_at(draws, i);
+        let warmth = warmth_at(&draws, i);
         costs.push(reference_draw_cost(
             draw,
             vs,
@@ -501,7 +501,7 @@ mod tests {
     fn unknown_shader_reported() {
         let w = workload();
         let mut frames: Vec<Frame> = w.frames().to_vec();
-        let mut draws = frames[0].draws().to_vec();
+        let mut draws = frames[0].to_draws();
         draws[0].vertex_shader = subset3d_trace::ShaderId(4242);
         frames[0] = Frame::new(frames[0].id, draws);
         let bad = Workload::new(

@@ -1,18 +1,38 @@
-//! The analytical simulator front-end with cross-draw warmth tracking.
+//! The analytical simulator front-end: fixed-width columnar batch
+//! execution with cross-draw warmth tracking.
+//!
+//! Frames store draws column-major ([`subset3d_trace::DrawColumns`]);
+//! the simulator walks each frame in fixed-width batches of
+//! [`DEFAULT_BATCH_WIDTH`] draws. Per batch it streams the columns
+//! directly — shader resolution through a dense per-pass table, warmth
+//! from the texture pool, shape digests straight off the column words —
+//! and materialises an AoS [`DrawCall`] only on a cache miss, where
+//! `analyze_draw` (which is struct-at-a-time and shared with the
+//! reference model) actually runs. Batches are also the unit of
+//! parallel fan-out and of batch-grain memoization (see
+//! [`crate::memo`]).
 
 use crate::analytic::analyze_draw;
 use crate::config::ArchConfig;
 use crate::cost::{DrawCost, FrameCost, WorkloadCost};
 use crate::error::SimError;
 use crate::memo::{
-    CacheMode, CacheStats, CostKey, DrawCostCache, FrameCostCache, FrameDigest, RegistryFingerprint,
+    BatchCostCache, BatchKey, CacheMode, CacheStats, DrawShape, RegistryFingerprint, ShapeCache,
+    ShapeHasher,
 };
 use std::borrow::Borrow;
-use std::collections::VecDeque;
-use subset3d_trace::{DrawCall, Frame, ShaderProgram, TextureId, TextureRegistry, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use subset3d_trace::{DrawCall, DrawColumns, DrawId, Frame, ShaderId, ShaderProgram, Workload};
 
 /// How many preceding draws contribute to texture-cache warmth.
 const WARMTH_WINDOW: usize = 6;
+
+/// Draws per fixed-width simulation batch: the unit of parallel fan-out
+/// and of batch-grain memoization. Wide enough that one batch-cache
+/// probe amortises over many draws and the per-batch setup (shader
+/// resolution, warmth) stays a small fraction of the model work; narrow
+/// enough that a frame splits into several tasks for the pool.
+pub const DEFAULT_BATCH_WIDTH: usize = 64;
 
 /// Analytical GPU performance simulator.
 ///
@@ -22,9 +42,9 @@ const WARMTH_WINDOW: usize = 6;
 /// Draw costs are memoized by content: two draws whose model-visible
 /// features (and warmth context) are bit-identical share one cached
 /// [`DrawCost`], so repeated materials — ubiquitous in real traces — are
-/// analyzed once. In [`CacheMode::On`] whole frame costs are retained
+/// analyzed once. In [`CacheMode::On`] whole batch costs are retained
 /// too, so re-simulating a workload (sweep sessions, validation flows)
-/// is served frame-wholesale. Both caches are keyed on exact bit
+/// is served batch-wholesale. Both caches are keyed on exact bit
 /// patterns, making memoized results indistinguishable from uncached
 /// ones; they are shared across simulation worker threads and scoped to
 /// the current architecture configuration.
@@ -48,8 +68,9 @@ const WARMTH_WINDOW: usize = 6;
 /// ```
 pub struct Simulator<C: Borrow<ArchConfig> = ArchConfig> {
     config: C,
-    cache: DrawCostCache,
-    frames: FrameCostCache,
+    cache: ShapeCache,
+    batches: BatchCostCache,
+    batch_width: AtomicUsize,
 }
 
 impl Simulator {
@@ -67,12 +88,13 @@ impl Simulator {
         );
         Simulator {
             config,
-            cache: DrawCostCache::new(),
-            frames: FrameCostCache::new(),
+            cache: ShapeCache::new(),
+            batches: BatchCostCache::new(),
+            batch_width: AtomicUsize::new(DEFAULT_BATCH_WIDTH),
         }
     }
 
-    /// Replaces the architecture configuration. Memoized draw and frame
+    /// Replaces the architecture configuration. Memoized draw and batch
     /// costs belong to the old config and are invalidated.
     ///
     /// # Panics
@@ -86,7 +108,7 @@ impl Simulator {
         );
         self.config = config;
         self.cache.clear();
-        self.frames.clear();
+        self.batches.clear();
     }
 }
 
@@ -106,8 +128,9 @@ impl<'a> Simulator<&'a ArchConfig> {
         );
         Simulator {
             config,
-            cache: DrawCostCache::new(),
-            frames: FrameCostCache::new(),
+            cache: ShapeCache::new(),
+            batches: BatchCostCache::new(),
+            batch_width: AtomicUsize::new(DEFAULT_BATCH_WIDTH),
         }
     }
 }
@@ -118,24 +141,36 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         self.config.borrow()
     }
 
-    /// Sets the draw-cost memoization policy (default:
-    /// [`CacheMode::Auto`]). [`CacheMode::Off`] does not drop existing
-    /// entries; lookups simply bypass them, which is how benchmarks
-    /// measure the uncached baseline. Results are bit-identical under
-    /// every mode.
+    /// Sets the memoization policy (default: [`CacheMode::Auto`]).
+    /// [`CacheMode::Off`] does not drop existing entries; lookups simply
+    /// bypass them, which is how benchmarks measure the uncached
+    /// baseline. Results are bit-identical under every mode.
     pub fn set_cache_mode(&self, mode: CacheMode) {
         self.cache.set_mode(mode);
     }
 
-    /// The current draw-cost memoization policy.
+    /// The current memoization policy.
     pub fn cache_mode(&self) -> CacheMode {
         self.cache.mode()
     }
 
-    /// Hit/miss counters of the draw- and frame-cost caches.
+    /// Sets the fixed batch width (clamped to at least 1). Purely an
+    /// execution parameter: results are bit-identical at every width.
+    /// Different widths produce different batch-cache keys, so changing
+    /// it mid-session forfeits batch (not shape) reuse.
+    pub fn set_batch_width(&self, width: usize) {
+        self.batch_width.store(width.max(1), Ordering::Relaxed);
+    }
+
+    /// The current fixed batch width.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width.load(Ordering::Relaxed)
+    }
+
+    /// Hit/miss counters of the shape- and batch-cost caches.
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.cache.stats();
-        (stats.frame_hits, stats.frame_misses) = self.frames.counters();
+        (stats.batch_hits, stats.batch_misses) = self.batches.counters();
         stats
     }
 
@@ -144,29 +179,10 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         self.cache.len()
     }
 
-    /// Number of frame costs currently retained (populated only in
+    /// Number of batch costs currently retained (populated only in
     /// [`CacheMode::On`]).
-    pub fn cached_frames(&self) -> usize {
-        self.frames.len()
-    }
-
-    /// Cost of one draw in one warmth context, via the memo cache.
-    ///
-    /// `registry` must be the fingerprint of `textures` — callers compute
-    /// it once per pass so cache lookups need not resolve texture ids.
-    fn cost_of(
-        &self,
-        draw: &DrawCall,
-        vs: &ShaderProgram,
-        ps: &ShaderProgram,
-        textures: &TextureRegistry,
-        registry: RegistryFingerprint,
-        warmth: f64,
-    ) -> DrawCost {
-        self.cache.get_or_compute(
-            || CostKey::of(draw, vs, ps, registry, warmth),
-            || analyze_draw(draw, vs, ps, textures, self.config.borrow(), warmth),
-        )
+    pub fn cached_batches(&self) -> usize {
+        self.batches.len()
     }
 
     /// Simulates a single draw in isolation (cold caches, no warmth).
@@ -180,13 +196,29 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         draw: &DrawCall,
         workload: &Workload,
     ) -> Result<DrawCost, SimError> {
-        let (vs, ps) = self.resolve_shaders(draw, workload)?;
+        let vs = workload
+            .shaders()
+            .get(draw.vertex_shader)
+            .ok_or(SimError::UnknownShader {
+                draw: draw.id,
+                shader: draw.vertex_shader,
+            })?;
+        let ps = workload
+            .shaders()
+            .get(draw.pixel_shader)
+            .ok_or(SimError::UnknownShader {
+                draw: draw.id,
+                shader: draw.pixel_shader,
+            })?;
         let registry = RegistryFingerprint::of(workload.textures());
-        Ok(self.cost_of(draw, vs, ps, workload.textures(), registry, 0.0))
+        Ok(self.cache.get_or_compute(
+            || draw_shape_of(draw, vs, ps, registry, 0.0),
+            || analyze_draw(draw, vs, ps, workload.textures(), self.config.borrow(), 0.0),
+        ))
     }
 
-    /// Simulates one frame, tracking cross-draw texture warmth in submission
-    /// order.
+    /// Simulates one frame, tracking cross-draw texture warmth in
+    /// submission order, batch by batch.
     ///
     /// # Errors
     ///
@@ -197,75 +229,97 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
         frame: &Frame,
         workload: &Workload,
     ) -> Result<FrameCost, SimError> {
-        self.frame_with_fingerprint(
-            frame,
-            workload,
-            RegistryFingerprint::of(workload.textures()),
-        )
+        let ctx = ShaderCtx::build(workload);
+        let registry = RegistryFingerprint::of(workload.textures());
+        self.frame_with_ctx(frame, workload, &ctx, registry)
     }
 
-    /// [`Simulator::simulate_frame`] with the workload's texture-registry
-    /// fingerprint already computed (once per pass, not once per frame).
-    ///
-    /// In [`CacheMode::On`] the frame cache is consulted first: a frame
-    /// whose content digest has been simulated before is served wholesale,
-    /// without touching the per-draw model at all.
-    fn frame_with_fingerprint(
+    /// [`Simulator::simulate_frame`] with the per-pass context (dense
+    /// shader table, registry fingerprint) already built — once per
+    /// pass, not once per frame.
+    fn frame_with_ctx(
         &self,
         frame: &Frame,
         workload: &Workload,
+        ctx: &ShaderCtx<'_>,
         registry: RegistryFingerprint,
     ) -> Result<FrameCost, SimError> {
-        if self.cache.mode() == CacheMode::On {
-            if let Some(cost) = self.frame_via_digest(frame, workload, registry)? {
-                return Ok(cost);
-            }
+        let cols = frame.columns();
+        let width = self.batch_width();
+        let mut draws = Vec::with_capacity(cols.len());
+        let mut start = 0;
+        while start < cols.len() {
+            let end = (start + width).min(cols.len());
+            draws.extend(self.simulate_batch(cols, workload, ctx, registry, start, end)?);
+            start = end;
         }
-        self.frame_draw_by_draw(frame, workload, registry)
+        Ok(FrameCost::from_draws(draws))
     }
 
-    /// Frame-cache path: digests the frame (every draw's packed cost key —
-    /// warmth included — folded in submission order), then serves a
-    /// retained cost or simulates once and retains it. The per-draw work
-    /// of digesting (shader resolution, warmth, key packing) is reused on
-    /// the miss path. Returns `None` when any draw is un-keyable, in which
-    /// case the caller simulates without retention.
-    fn frame_via_digest(
+    /// Simulates the draws `start..end` of one frame's columns — the
+    /// fixed-width batch at the heart of the hot path.
+    ///
+    /// Shader resolution for the whole range comes first, so dangling
+    /// references are reported identically whether or not any cache
+    /// would have served the content. In [`CacheMode::On`] the batch's
+    /// shape digests are folded into a [`BatchKey`] and the batch cache
+    /// probed once; a hit returns the whole cost slice without any
+    /// shape-grain work. Otherwise each draw goes through the shape
+    /// cache, materialising a [`DrawCall`] for `analyze_draw` only on a
+    /// miss.
+    fn simulate_batch(
         &self,
-        frame: &Frame,
+        cols: &DrawColumns,
         workload: &Workload,
+        ctx: &ShaderCtx<'_>,
         registry: RegistryFingerprint,
-    ) -> Result<Option<FrameCost>, SimError> {
-        let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(WARMTH_WINDOW);
-        let mut digest = FrameDigest::new();
-        let mut plan = Vec::with_capacity(frame.draw_count());
-        for draw in frame.draws() {
-            let (vs, ps) = self.resolve_shaders(draw, workload)?;
-            let warmth = warmth_of(draw, &recent);
-            match CostKey::of(draw, vs, ps, registry, warmth) {
-                Some(key) => {
-                    digest.fold(&key);
-                    plan.push((vs, ps, warmth, key));
-                }
-                None => return Ok(None),
-            }
-            if recent.len() == WARMTH_WINDOW {
-                recent.pop_front();
-            }
-            recent.push_back(&draw.textures);
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<DrawCost>, SimError> {
+        let ids = cols.ids();
+        let vs_ids = cols.vertex_shaders();
+        let ps_ids = cols.pixel_shaders();
+        let mut resolved = Vec::with_capacity(end - start);
+        for i in start..end {
+            let vs = ctx.resolve(ids[i], vs_ids[i])?;
+            let ps = ctx.resolve(ids[i], ps_ids[i])?;
+            resolved.push((vs, ps));
         }
-        if let Some(cost) = self.frames.get(&digest) {
-            return Ok(Some(cost));
+        let warmths: Vec<f64> = (start..end).map(|i| warmth_at(cols, i)).collect();
+
+        // Batch-grain probe ([`CacheMode::On`] only): the key is the
+        // fold of every member's shape, so digesting here also feeds the
+        // per-draw lookups below on a batch miss.
+        let shapes: Option<Vec<DrawShape>> = (self.cache.mode() == CacheMode::On).then(|| {
+            (start..end)
+                .map(|i| {
+                    let (vs, ps) = &resolved[i - start];
+                    shape_at(cols, i, &vs.pack, &ps.pack, registry, warmths[i - start])
+                })
+                .collect()
+        });
+        let key = shapes.as_ref().map(|s| BatchKey::of(s));
+        if let Some(key) = &key {
+            if let Some(costs) = self.batches.get(key) {
+                return Ok(costs);
+            }
         }
-        let mut draws = Vec::with_capacity(frame.draw_count());
-        for (draw, (vs, ps, warmth, key)) in frame.draws().iter().zip(plan) {
-            draws.push(self.cache.get_or_compute(
-                || Some(key),
+
+        let memoizing = self.cache.memoizing();
+        let mut costs = Vec::with_capacity(end - start);
+        for (k, i) in (start..end).enumerate() {
+            let (vs, ps) = &resolved[k];
+            let warmth = warmths[k];
+            costs.push(self.cache.get_or_compute(
+                || match &shapes {
+                    Some(s) => s[k],
+                    None => shape_at(cols, i, &vs.pack, &ps.pack, registry, warmth),
+                },
                 || {
                     analyze_draw(
-                        draw,
-                        vs,
-                        ps,
+                        &cols.get(i).expect("batch index in range"),
+                        vs.program,
+                        ps.program,
                         workload.textures(),
                         self.config.borrow(),
                         warmth,
@@ -273,36 +327,22 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
                 },
             ));
         }
-        let cost = FrameCost::from_draws(draws);
-        self.frames.insert(digest, &cost);
-        Ok(Some(cost))
-    }
-
-    /// Simulates one frame through the per-draw model.
-    fn frame_draw_by_draw(
-        &self,
-        frame: &Frame,
-        workload: &Workload,
-        registry: RegistryFingerprint,
-    ) -> Result<FrameCost, SimError> {
-        let mut recent: VecDeque<&[TextureId]> = VecDeque::with_capacity(WARMTH_WINDOW);
-        let mut draws = Vec::with_capacity(frame.draw_count());
-        for draw in frame.draws() {
-            let (vs, ps) = self.resolve_shaders(draw, workload)?;
-            let warmth = warmth_of(draw, &recent);
-            draws.push(self.cost_of(draw, vs, ps, workload.textures(), registry, warmth));
-            if recent.len() == WARMTH_WINDOW {
-                recent.pop_front();
-            }
-            recent.push_back(&draw.textures);
+        if !memoizing {
+            self.cache.note_bypassed_batch();
         }
-        Ok(FrameCost::from_draws(draws))
+        if let Some(key) = key {
+            self.batches.insert(key, &costs);
+        }
+        Ok(costs)
     }
 
-    /// Simulates a whole workload frame by frame.
+    /// Simulates a whole workload batch by batch.
     ///
-    /// Frames are independent (cache warmth is tracked within a frame), so
-    /// large workloads fan out over the shared [`subset3d_exec`] pool, all
+    /// Frames are independent (cache warmth is tracked within a frame)
+    /// and batches within a frame are independent too (warmth looks
+    /// backwards into the columns, not at other batches' outputs), so
+    /// large workloads flatten into one task list of fixed-width batches
+    /// and fan out over the shared [`subset3d_exec`] pool in chunks, all
     /// workers feeding one memo cache; the result is bit-identical to a
     /// sequential pass at any thread count.
     ///
@@ -321,56 +361,68 @@ impl<C: Borrow<ArchConfig>> Simulator<C> {
             "frames",
             frames.len() as u64,
         );
+        let ctx = ShaderCtx::build(workload);
         let registry = RegistryFingerprint::of(workload.textures());
         // Below ~1000 draws scheduling overhead outweighs the work.
         if subset3d_exec::thread_count() < 2 || workload.total_draws() < 1000 {
             let mut costs = Vec::with_capacity(frames.len());
             for frame in frames {
-                costs.push(self.frame_with_fingerprint(frame, workload, registry)?);
+                costs.push(self.frame_with_ctx(frame, workload, &ctx, registry)?);
             }
             return Ok(WorkloadCost::from_frames(costs));
         }
-        let results = subset3d_exec::par_map_indexed(frames, |_, frame| {
-            self.frame_with_fingerprint(frame, workload, registry)
-        });
-        let mut costs = Vec::with_capacity(frames.len());
-        for result in results {
-            costs.push(result?);
+        let width = self.batch_width();
+        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for (frame_index, frame) in frames.iter().enumerate() {
+            let n = frame.draw_count();
+            let mut start = 0;
+            while start < n {
+                let end = (start + width).min(n);
+                tasks.push((frame_index, start, end));
+                start = end;
+            }
         }
-        Ok(WorkloadCost::from_frames(costs))
-    }
-
-    fn resolve_shaders<'w>(
-        &self,
-        draw: &DrawCall,
-        workload: &'w Workload,
-    ) -> Result<(&'w ShaderProgram, &'w ShaderProgram), SimError> {
-        let vs = workload
-            .shaders()
-            .get(draw.vertex_shader)
-            .ok_or(SimError::UnknownShader {
-                draw: draw.id,
-                shader: draw.vertex_shader,
-            })?;
-        let ps = workload
-            .shaders()
-            .get(draw.pixel_shader)
-            .ok_or(SimError::UnknownShader {
-                draw: draw.id,
-                shader: draw.pixel_shader,
-            })?;
-        Ok((vs, ps))
+        // Batches are uniform and cheap; claiming a handful at a time
+        // keeps the pool's shared counter off the hot path while still
+        // load-balancing across workers.
+        let chunk = (tasks.len() / (subset3d_exec::thread_count() * 4)).clamp(1, 8);
+        let results =
+            subset3d_exec::par_map_chunked(&tasks, chunk, |_, &(frame_index, start, end)| {
+                self.simulate_batch(
+                    frames[frame_index].columns(),
+                    workload,
+                    &ctx,
+                    registry,
+                    start,
+                    end,
+                )
+            });
+        // Tasks were generated in draw order, so concatenating results
+        // in task order reassembles every frame exactly as the
+        // sequential path would.
+        let mut per_frame: Vec<Vec<DrawCost>> = frames
+            .iter()
+            .map(|f| Vec::with_capacity(f.draw_count()))
+            .collect();
+        for (&(frame_index, _, _), result) in tasks.iter().zip(results) {
+            per_frame[frame_index].extend(result?);
+        }
+        Ok(WorkloadCost::from_frames(
+            per_frame.into_iter().map(FrameCost::from_draws).collect(),
+        ))
     }
 }
 
 impl<C: Borrow<ArchConfig> + Clone> Clone for Simulator<C> {
-    /// Clones the configuration; the clone starts with an empty memo
-    /// cache (entries repopulate on first use, with identical bits).
+    /// Clones the configuration and batch width; the clone starts with
+    /// empty memo caches (entries repopulate on first use, with
+    /// identical bits).
     fn clone(&self) -> Self {
         Simulator {
             config: self.config.clone(),
-            cache: DrawCostCache::new(),
-            frames: FrameCostCache::new(),
+            cache: ShapeCache::new(),
+            batches: BatchCostCache::new(),
+            batch_width: AtomicUsize::new(self.batch_width()),
         }
     }
 }
@@ -379,23 +431,172 @@ impl<C: Borrow<ArchConfig>> std::fmt::Debug for Simulator<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("config", self.config.borrow())
-            .field("cache_stats", &self.cache.stats())
+            .field("batch_width", &self.batch_width())
+            .field("cache_stats", &self.cache_stats())
             .finish()
     }
 }
 
-/// Warmth of a draw given the texture sets of recent draws: the fraction of
-/// its bound textures that appear in the window.
-fn warmth_of(draw: &DrawCall, recent: &VecDeque<&[TextureId]>) -> f64 {
-    if draw.textures.is_empty() {
+/// A resolved shader: the program (for `analyze_draw`) plus its packed
+/// key words (for shape digests), computed once per pass.
+struct ResolvedShader<'w> {
+    program: &'w ShaderProgram,
+    pack: [u64; 5],
+}
+
+/// Dense per-pass shader table indexed by raw [`ShaderId`], replacing a
+/// `BTreeMap` walk per draw with one bounds-checked load per lookup.
+struct ShaderCtx<'w> {
+    programs: Vec<Option<ResolvedShader<'w>>>,
+}
+
+impl<'w> ShaderCtx<'w> {
+    fn build(workload: &'w Workload) -> Self {
+        // Library iteration is id-ordered, so the last program bounds
+        // the table size. Generator ids are dense; a sparse library
+        // merely leaves `None` holes.
+        let size = workload
+            .shaders()
+            .iter()
+            .last()
+            .map(|p| p.id.raw() as usize + 1)
+            .unwrap_or(0);
+        let mut programs: Vec<Option<ResolvedShader<'w>>> = Vec::with_capacity(size);
+        programs.resize_with(size, || None);
+        for program in workload.shaders().iter() {
+            programs[program.id.raw() as usize] = Some(ResolvedShader {
+                program,
+                pack: shader_pack(program),
+            });
+        }
+        ShaderCtx { programs }
+    }
+
+    fn resolve(&self, draw: DrawId, shader: ShaderId) -> Result<&ResolvedShader<'w>, SimError> {
+        match self.programs.get(shader.raw() as usize) {
+            Some(Some(resolved)) => Ok(resolved),
+            _ => Err(SimError::UnknownShader { draw, shader }),
+        }
+    }
+}
+
+/// Warmth of the draw at `index`: the fraction of its bound textures
+/// appearing in the texture sets of the [`WARMTH_WINDOW`] preceding
+/// draws of the same frame. Reads the shared texture pool directly;
+/// the count-over-length division makes the value bit-identical however
+/// the sets are stored.
+fn warmth_at(cols: &DrawColumns, index: usize) -> f64 {
+    let textures = cols.textures_of(index);
+    if textures.is_empty() {
         return 0.0;
     }
-    let hits = draw
-        .textures
+    let window_start = index.saturating_sub(WARMTH_WINDOW);
+    let hits = textures
         .iter()
-        .filter(|t| recent.iter().any(|set| set.contains(t)))
+        .filter(|t| (window_start..index).any(|j| cols.textures_of(j).contains(t)))
         .count();
-    hits as f64 / draw.textures.len() as f64
+    hits as f64 / textures.len() as f64
+}
+
+/// The five packed key words of one shader program: the full instruction
+/// mix plus execution characteristics. Identity (id, name) is irrelevant
+/// to cost and deliberately excluded.
+fn shader_pack(shader: &ShaderProgram) -> [u64; 5] {
+    let m = &shader.mix;
+    [
+        u64::from(m.alu) | u64::from(m.mad) << 32,
+        u64::from(m.transcendental) | u64::from(m.texture_samples) << 32,
+        u64::from(m.interpolants) | u64::from(m.control_flow) << 32,
+        u64::from(shader.registers) | (shader.stage as u64) << 32,
+        shader.divergence.to_bits(),
+    ]
+}
+
+/// Digests the draw at `index` straight off the columns. Must fold the
+/// same word sequence as [`draw_shape_of`] — the memo tests cross-check
+/// the two paths.
+fn shape_at(
+    cols: &DrawColumns,
+    index: usize,
+    vs_pack: &[u64; 5],
+    ps_pack: &[u64; 5],
+    registry: RegistryFingerprint,
+    warmth: f64,
+) -> DrawShape {
+    let mut h = ShapeHasher::new();
+    // Fixed-function state and instance count packed exactly: 2 bits
+    // per 3–4-variant enum, instance count in bits 8..40.
+    h.word(
+        cols.blends()[index] as u64
+            | (cols.depths()[index] as u64) << 2
+            | (cols.culls()[index] as u64) << 4
+            | (cols.topologies()[index] as u64) << 6
+            | u64::from(cols.instance_counts()[index]) << 8,
+    );
+    h.word(cols.vertex_counts()[index]);
+    // Rasterisation statistics, bit-exact.
+    h.word(cols.coverages()[index].to_bits());
+    h.word(cols.overdraws()[index].to_bits());
+    h.word(cols.z_pass_rates()[index].to_bits());
+    h.word(cols.texel_localities()[index].to_bits());
+    h.word(warmth.to_bits());
+    // Render target.
+    let rt = &cols.render_targets()[index];
+    h.word(u64::from(rt.width) | u64::from(rt.height) << 32);
+    h.word(rt.format as u64 | u64::from(rt.samples) << 32);
+    h.word(u64::from(rt.color_attachments));
+    for &w in vs_pack.iter().chain(ps_pack) {
+        h.word(w);
+    }
+    // The registry fingerprint scopes the raw texture ids below.
+    h.word(registry.0[0]);
+    h.word(registry.0[1]);
+    // Bound textures by id, in binding order (resolution — including
+    // ids the registry cannot resolve — is the fingerprint's job).
+    for id in cols.textures_of(index) {
+        h.word(u64::from(id.0));
+    }
+    DrawShape(h.finish())
+}
+
+/// [`shape_at`] for an AoS [`DrawCall`] — the cold path used by
+/// [`Simulator::simulate_draw`]. The word sequence must match
+/// [`shape_at`] exactly so struct-level and columnar lookups share
+/// entries.
+pub(crate) fn draw_shape_of(
+    draw: &DrawCall,
+    vs: &ShaderProgram,
+    ps: &ShaderProgram,
+    registry: RegistryFingerprint,
+    warmth: f64,
+) -> DrawShape {
+    let mut h = ShapeHasher::new();
+    h.word(
+        draw.blend as u64
+            | (draw.depth as u64) << 2
+            | (draw.cull as u64) << 4
+            | (draw.topology as u64) << 6
+            | u64::from(draw.instance_count) << 8,
+    );
+    h.word(draw.vertex_count);
+    h.word(draw.coverage.to_bits());
+    h.word(draw.overdraw.to_bits());
+    h.word(draw.z_pass_rate.to_bits());
+    h.word(draw.texel_locality.to_bits());
+    h.word(warmth.to_bits());
+    let rt = &draw.render_target;
+    h.word(u64::from(rt.width) | u64::from(rt.height) << 32);
+    h.word(rt.format as u64 | u64::from(rt.samples) << 32);
+    h.word(u64::from(rt.color_attachments));
+    for &w in shader_pack(vs).iter().chain(&shader_pack(ps)) {
+        h.word(w);
+    }
+    h.word(registry.0[0]);
+    h.word(registry.0[1]);
+    for id in &draw.textures {
+        h.word(u64::from(id.0));
+    }
+    DrawShape(h.finish())
 }
 
 #[cfg(test)]
@@ -409,6 +610,14 @@ mod tests {
             .draws_per_frame(50)
             .build(2)
             .generate()
+    }
+
+    /// Total number of fixed-width batches a workload splits into.
+    fn batch_count(w: &Workload, width: usize) -> u64 {
+        w.frames()
+            .iter()
+            .map(|f| f.draw_count().div_ceil(width) as u64)
+            .sum()
     }
 
     #[test]
@@ -431,6 +640,28 @@ mod tests {
     }
 
     #[test]
+    fn columnar_shape_matches_struct_shape() {
+        // The two digest paths (columns in the batch loop, struct in
+        // `simulate_draw`) must fold identical word sequences.
+        let w = workload();
+        let registry = RegistryFingerprint::of(w.textures());
+        let ctx = ShaderCtx::build(&w);
+        let cols = w.frames()[0].columns();
+        for i in 0..cols.len() {
+            let draw = cols.get(i).unwrap();
+            let vs = ctx.resolve(draw.id, draw.vertex_shader).unwrap();
+            let ps = ctx.resolve(draw.id, draw.pixel_shader).unwrap();
+            for warmth in [0.0, 0.5] {
+                assert_eq!(
+                    shape_at(cols, i, &vs.pack, &ps.pack, registry, warmth),
+                    draw_shape_of(&draw, vs.program, ps.program, registry, warmth),
+                    "draw {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_path_matches_sequential() {
         // Big enough to take the threaded path; compare against an explicit
         // sequential pass.
@@ -448,6 +679,23 @@ mod tests {
             .map(|f| sim.simulate_frame(f, &w).unwrap())
             .collect();
         assert_eq!(parallel, WorkloadCost::from_frames(sequential));
+    }
+
+    #[test]
+    fn batch_width_does_not_change_results() {
+        let w = workload();
+        let baseline = Simulator::new(ArchConfig::baseline());
+        baseline.set_cache_mode(CacheMode::Off);
+        let expected = baseline.simulate_workload(&w).unwrap();
+        for width in [1, 3, 64, 128, 10_000] {
+            for mode in [CacheMode::Auto, CacheMode::On, CacheMode::Off] {
+                let sim = Simulator::new(ArchConfig::baseline());
+                sim.set_batch_width(width);
+                sim.set_cache_mode(mode);
+                let got = sim.simulate_workload(&w).unwrap();
+                assert_eq!(got, expected, "width {width}, mode {mode:?} diverged");
+            }
+        }
     }
 
     #[test]
@@ -488,9 +736,9 @@ mod tests {
         assert_eq!(second.misses, first.misses);
         assert_eq!(second.hits, first.hits + first.hits + first.misses);
         assert!(sim.cached_draw_shapes() > 0);
-        // Auto mode never retains frames.
-        assert_eq!(sim.cached_frames(), 0);
-        assert_eq!((second.frame_hits, second.frame_misses), (0, 0));
+        // Auto mode never retains batches.
+        assert_eq!(sim.cached_batches(), 0);
+        assert_eq!((second.batch_hits, second.batch_misses), (0, 0));
     }
 
     #[test]
@@ -517,21 +765,22 @@ mod tests {
     }
 
     #[test]
-    fn on_mode_serves_repeated_frames_wholesale() {
+    fn on_mode_serves_repeated_batches_wholesale() {
         let w = workload();
         let sim = Simulator::new(ArchConfig::baseline());
         sim.set_cache_mode(CacheMode::On);
+        let batches = batch_count(&w, sim.batch_width());
         let a = sim.simulate_workload(&w).unwrap();
         let cold = sim.cache_stats();
-        assert_eq!(cold.frame_misses, w.frames().len() as u64);
-        assert_eq!(sim.cached_frames(), w.frames().len());
+        assert_eq!(cold.batch_misses, batches);
+        assert_eq!(sim.cached_batches(), batches as usize);
 
         let b = sim.simulate_workload(&w).unwrap();
         let warm = sim.cache_stats();
-        assert_eq!(a, b, "frame-served results must be bit-identical");
-        assert_eq!(warm.frame_hits, w.frames().len() as u64);
-        assert_eq!(warm.frame_misses, cold.frame_misses);
-        // Served frames make no draw-grain lookups at all.
+        assert_eq!(a, b, "batch-served results must be bit-identical");
+        assert_eq!(warm.batch_hits, batches);
+        assert_eq!(warm.batch_misses, cold.batch_misses);
+        // Served batches make no shape-grain lookups at all.
         assert_eq!(warm.hits, cold.hits);
         assert_eq!(warm.misses, cold.misses);
 
@@ -542,11 +791,39 @@ mod tests {
     }
 
     #[test]
+    fn ragged_tail_batches_are_distinct_cache_entries() {
+        // 50 draws per frame at width 64 → every frame is one ragged
+        // batch; at width 16 → three full + one ragged. Re-running at a
+        // different width must miss (the key folds the member count),
+        // then hit on repeat.
+        let w = workload();
+        let sim = Simulator::new(ArchConfig::baseline());
+        sim.set_cache_mode(CacheMode::On);
+        sim.set_batch_width(16);
+        let a = sim.simulate_workload(&w).unwrap();
+        let cold = sim.cache_stats();
+        assert_eq!(cold.batch_misses, batch_count(&w, 16));
+
+        sim.set_batch_width(64);
+        let b = sim.simulate_workload(&w).unwrap();
+        assert_eq!(a, b);
+        let refold = sim.cache_stats();
+        assert_eq!(refold.batch_hits, 0, "different widths must not alias");
+        assert_eq!(refold.batch_misses, cold.batch_misses + batch_count(&w, 64));
+
+        sim.set_batch_width(16);
+        sim.simulate_workload(&w).unwrap();
+        assert_eq!(sim.cache_stats().batch_hits, batch_count(&w, 16));
+    }
+
+    #[test]
     fn set_config_invalidates_cache() {
         let w = workload();
         let mut sim = Simulator::new(ArchConfig::baseline());
+        sim.set_cache_mode(CacheMode::On);
         let base = sim.simulate_workload(&w).unwrap();
         assert!(sim.cached_draw_shapes() > 0);
+        assert!(sim.cached_batches() > 0);
 
         sim.set_config(ArchConfig::small());
         assert_eq!(
@@ -554,7 +831,7 @@ mod tests {
             0,
             "config change must clear the cache"
         );
-        assert_eq!(sim.cached_frames(), 0);
+        assert_eq!(sim.cached_batches(), 0);
         assert_eq!(sim.cache_stats(), CacheStats::default());
         let small = sim.simulate_workload(&w).unwrap();
         assert!(
@@ -584,7 +861,7 @@ mod tests {
         let mut w = workload();
         // Corrupt one draw to reference a dangling shader.
         let mut frames: Vec<Frame> = w.frames().to_vec();
-        let mut draws = frames[0].draws().to_vec();
+        let mut draws = frames[0].to_draws();
         draws[0].pixel_shader = subset3d_trace::ShaderId(9999);
         frames[0] = Frame::new(frames[0].id, draws);
         w = Workload::new(
@@ -594,11 +871,17 @@ mod tests {
             w.textures().clone(),
             w.states().clone(),
         );
-        let sim = Simulator::new(ArchConfig::baseline());
-        assert!(matches!(
-            sim.simulate_workload(&w),
-            Err(SimError::UnknownShader { .. })
-        ));
+        for mode in [CacheMode::Auto, CacheMode::On, CacheMode::Off] {
+            let sim = Simulator::new(ArchConfig::baseline());
+            sim.set_cache_mode(mode);
+            assert!(
+                matches!(
+                    sim.simulate_workload(&w),
+                    Err(SimError::UnknownShader { .. })
+                ),
+                "mode {mode:?} swallowed the dangling reference"
+            );
+        }
     }
 
     #[test]
@@ -612,9 +895,10 @@ mod tests {
         // Find two draws of the same material (same features) at different
         // positions; later repeats should never cost more in context than
         // the isolated (cold) cost.
+        let draws = frame.to_draws();
         let mut found = false;
-        for (i, d) in frame.draws().iter().enumerate().skip(1) {
-            if frame.draws()[i - 1].material_tag == d.material_tag && !d.textures.is_empty() {
+        for (i, d) in draws.iter().enumerate().skip(1) {
+            if draws[i - 1].material_tag == d.material_tag && !d.textures.is_empty() {
                 let cold = sim.simulate_draw(d, &w).unwrap();
                 assert!(frame_cost.draws[i].time_ns <= cold.time_ns + 1e-9);
                 found = true;

@@ -105,13 +105,13 @@ pub fn sweep_configs(
 /// Architecture pathfinding is iterative — the same workloads are swept
 /// again and again while candidates are compared, and validation flows
 /// sweep both a parent trace and its subset (whose frames are verbatim
-/// copies of parent frames). With a session, every frame re-simulated
-/// after the first pass is served wholesale from the frame cache, so
+/// copies of parent frames). With a session, every batch re-simulated
+/// after the first pass is served wholesale from the batch cache, so
 /// later sweeps cost a fraction of the first; results are bit-identical
 /// to [`sweep_configs`].
 ///
 /// Simulators are created in [`CacheMode::On`]: re-simulation is the
-/// point of keeping a session, so frame costs are retained from the
+/// point of keeping a session, so batch costs are retained from the
 /// cold first pass onwards.
 ///
 /// # Examples
@@ -191,8 +191,10 @@ impl SweepSession {
             total.hits += s.hits;
             total.misses += s.misses;
             total.bypassed += s.bypassed;
-            total.frame_hits += s.frame_hits;
-            total.frame_misses += s.frame_misses;
+            total.batch_hits += s.batch_hits;
+            total.batch_misses += s.batch_misses;
+            total.auto_disables += s.auto_disables;
+            total.reprobes += s.reprobes;
         }
         total
     }
@@ -266,16 +268,18 @@ mod tests {
         let first = session.sweep(&w).unwrap();
         assert_eq!(first, sweep_configs(&w, &candidates).unwrap());
         let cold = session.cache_stats();
-        let frames = (w.frames().len() * candidates.len()) as u64;
-        assert_eq!(cold.frame_misses, frames);
+        // 30 draws per frame < one 64-wide batch, so every frame is one
+        // (ragged) batch per candidate.
+        let batches = (w.frames().len() * candidates.len()) as u64;
+        assert_eq!(cold.batch_misses, batches);
 
-        // The second sweep re-sees every frame: served wholesale from the
-        // frame caches, bit-identical points, no new draw-grain work.
+        // The second sweep re-sees every batch: served wholesale from the
+        // batch caches, bit-identical points, no new shape-grain work.
         let second = session.sweep(&w).unwrap();
         let warm = session.cache_stats();
         assert_eq!(second, first);
-        assert_eq!(warm.frame_hits, frames);
-        assert_eq!(warm.frame_misses, cold.frame_misses);
+        assert_eq!(warm.batch_hits, batches);
+        assert_eq!(warm.batch_misses, cold.batch_misses);
         assert_eq!(warm.misses, cold.misses);
         assert_eq!(warm.hits, cold.hits);
     }

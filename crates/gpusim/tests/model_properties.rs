@@ -13,11 +13,10 @@ fn probe() -> (Workload, DrawCall) {
         .build(77)
         .generate();
     let draw = w.frames()[0]
-        .draws()
-        .iter()
+        .to_draws()
+        .into_iter()
         .find(|d| !d.textures.is_empty() && d.coverage < 0.5)
-        .expect("textured draw")
-        .clone();
+        .expect("textured draw");
     (w, draw)
 }
 

@@ -134,7 +134,7 @@ pub fn check_draw_permutation(
     config: &ArchConfig,
     permutation: &[usize],
 ) -> Result<(), String> {
-    let draws = frame.draws();
+    let draws = frame.to_draws();
     if permutation.len() != draws.len() {
         return Err(format!(
             "permutation length {} != draw count {}",
@@ -151,7 +151,7 @@ pub fn check_draw_permutation(
     }
     let sim = Simulator::new(config.clone());
     let mut original = 0.0;
-    for draw in draws {
+    for draw in &draws {
         original += sim
             .simulate_draw(draw, workload)
             .map_err(|e| format!("isolated draw failed: {e}"))?

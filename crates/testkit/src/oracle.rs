@@ -264,6 +264,7 @@ pub fn run_oracle(
     for &mhz in &ORACLE_SWEEP_MHZ {
         let swept = Simulator::new(config.with_core_clock(mhz));
         swept.set_cache_mode(sim.cache_mode());
+        swept.set_batch_width(sim.batch_width());
         optimized_times.push(swept.simulate_workload(workload)?.total_ns);
     }
     let optimized_series = subset3d_gpusim::FrequencySweep::improvement_series(&optimized_times);
@@ -343,6 +344,43 @@ pub fn run_oracle_all_modes(
             let report = run_oracle(&context, workload, &sim)?;
             divergences.extend(report.divergences);
             draws_compared += report.draws_compared;
+        }
+    }
+    Ok(OracleReport {
+        divergences,
+        draws_compared,
+    })
+}
+
+/// Runs [`run_oracle`] at every combination of cache mode and batch
+/// width, twice each. Batching must be invisible: whether a frame is
+/// executed draw by draw (`width 1`), in the default 64-draw batches, or
+/// in 128-draw batches (each leaving a different ragged tail), every
+/// cost bit must match the struct-at-a-time reference.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any pass.
+pub fn run_oracle_batch_widths(
+    label: &str,
+    workload: &Workload,
+    config: &ArchConfig,
+    widths: &[usize],
+) -> Result<OracleReport, SimError> {
+    let threads = subset3d_exec::thread_count();
+    let mut divergences = Vec::new();
+    let mut draws_compared = 0;
+    for &width in widths {
+        for mode in [CacheMode::Auto, CacheMode::On, CacheMode::Off] {
+            let sim = Simulator::new(config.clone());
+            sim.set_cache_mode(mode);
+            sim.set_batch_width(width);
+            for pass in 0..2 {
+                let context = format!("{label}/{mode:?}/w{width}/{threads}t/pass{pass}");
+                let report = run_oracle(&context, workload, &sim)?;
+                divergences.extend(report.divergences);
+                draws_compared += report.draws_compared;
+            }
         }
     }
     Ok(OracleReport {

@@ -1,0 +1,362 @@
+//! Columnar (structure-of-arrays) draw storage.
+//!
+//! [`DrawColumns`] stores every [`DrawCall`] field in its own parallel
+//! vector, with bound-texture lists packed into one shared pool indexed
+//! by per-draw `(offset, len)` ranges. Hot paths — feature extraction,
+//! the analytical simulator's batch loop, subset work proxies — stream
+//! individual columns in tight loops instead of chasing per-struct
+//! fields; cold paths (serde of the binary trace format, validation,
+//! ad-hoc tests) materialise an AoS [`DrawCall`] view per draw via
+//! [`DrawColumns::get`] or [`DrawColumns::to_draws`].
+//!
+//! The derived per-draw helpers ([`DrawColumns::shaded_pixels_at`] and
+//! friends) mirror the corresponding [`DrawCall`] methods *expression
+//! for expression*: IEEE 754 guarantees equal expression trees produce
+//! equal bits, which is what lets the testkit differential oracle prove
+//! the columnar hot path bit-identical to the struct-at-a-time
+//! reference model.
+
+use crate::draw::{DrawCall, PrimitiveTopology};
+use crate::ids::{DrawId, ShaderId, StateId, TextureId};
+use crate::state::{BlendMode, CullMode, DepthMode};
+use crate::target::RenderTargetDesc;
+use serde::{Deserialize, Serialize};
+
+/// Structure-of-arrays storage for an ordered sequence of draw-calls.
+///
+/// Every vector holds one field of every draw, in submission order; all
+/// vectors share the same length. Texture bindings live in a flat pool
+/// (`texture_pool`) addressed by parallel `tex_offsets`/`tex_lens`
+/// ranges, so a draw's bindings are a contiguous slice and the columns
+/// themselves stay fixed-width.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::{DrawCall, DrawColumns, DrawId};
+///
+/// let draws = vec![DrawCall::builder(DrawId(0)).build()];
+/// let cols = DrawColumns::from_draws(draws.clone());
+/// assert_eq!(cols.len(), 1);
+/// assert_eq!(cols.to_draws(), draws);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DrawColumns {
+    ids: Vec<DrawId>,
+    states: Vec<StateId>,
+    vertex_shaders: Vec<ShaderId>,
+    pixel_shaders: Vec<ShaderId>,
+    blends: Vec<BlendMode>,
+    depths: Vec<DepthMode>,
+    culls: Vec<CullMode>,
+    topologies: Vec<PrimitiveTopology>,
+    vertex_counts: Vec<u64>,
+    instance_counts: Vec<u32>,
+    render_targets: Vec<RenderTargetDesc>,
+    coverages: Vec<f64>,
+    overdraws: Vec<f64>,
+    z_pass_rates: Vec<f64>,
+    texel_localities: Vec<f64>,
+    material_tags: Vec<u32>,
+    tex_offsets: Vec<u32>,
+    tex_lens: Vec<u32>,
+    texture_pool: Vec<TextureId>,
+}
+
+impl DrawColumns {
+    /// Creates empty columns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds columns from draws in submission order.
+    pub fn from_draws(draws: impl IntoIterator<Item = DrawCall>) -> Self {
+        let mut cols = DrawColumns::new();
+        for draw in draws {
+            cols.push(draw);
+        }
+        cols
+    }
+
+    /// Appends one draw, decomposing it into the columns.
+    pub fn push(&mut self, draw: DrawCall) {
+        self.ids.push(draw.id);
+        self.states.push(draw.state);
+        self.vertex_shaders.push(draw.vertex_shader);
+        self.pixel_shaders.push(draw.pixel_shader);
+        self.blends.push(draw.blend);
+        self.depths.push(draw.depth);
+        self.culls.push(draw.cull);
+        self.topologies.push(draw.topology);
+        self.vertex_counts.push(draw.vertex_count);
+        self.instance_counts.push(draw.instance_count);
+        self.render_targets.push(draw.render_target);
+        self.coverages.push(draw.coverage);
+        self.overdraws.push(draw.overdraw);
+        self.z_pass_rates.push(draw.z_pass_rate);
+        self.texel_localities.push(draw.texel_locality);
+        self.material_tags.push(draw.material_tag);
+        self.tex_offsets.push(self.texture_pool.len() as u32);
+        self.tex_lens.push(draw.textures.len() as u32);
+        self.texture_pool.extend(draw.textures);
+    }
+
+    /// Number of draws stored.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no draws are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Materialises the draw at `index` as an AoS [`DrawCall`], or `None`
+    /// when out of range. Intended for cold paths and cache-miss
+    /// fallbacks; hot loops should read columns directly.
+    pub fn get(&self, index: usize) -> Option<DrawCall> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(DrawCall {
+            id: self.ids[index],
+            state: self.states[index],
+            vertex_shader: self.vertex_shaders[index],
+            pixel_shader: self.pixel_shaders[index],
+            blend: self.blends[index],
+            depth: self.depths[index],
+            cull: self.culls[index],
+            topology: self.topologies[index],
+            vertex_count: self.vertex_counts[index],
+            instance_count: self.instance_counts[index],
+            textures: self.textures_of(index).to_vec(),
+            render_target: self.render_targets[index],
+            coverage: self.coverages[index],
+            overdraw: self.overdraws[index],
+            z_pass_rate: self.z_pass_rates[index],
+            texel_locality: self.texel_localities[index],
+            material_tag: self.material_tags[index],
+        })
+    }
+
+    /// Materialises every draw in submission order.
+    pub fn to_draws(&self) -> Vec<DrawCall> {
+        (0..self.len()).map(|i| self.get(i).unwrap()).collect()
+    }
+
+    /// The textures bound by the draw at `index`, as a pool slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn textures_of(&self, index: usize) -> &[TextureId] {
+        let start = self.tex_offsets[index] as usize;
+        let len = self.tex_lens[index] as usize;
+        &self.texture_pool[start..start + len]
+    }
+
+    /// Draw ids, in submission order.
+    pub fn ids(&self) -> &[DrawId] {
+        &self.ids
+    }
+
+    /// Interned pipeline-state ids.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// Bound vertex shaders.
+    pub fn vertex_shaders(&self) -> &[ShaderId] {
+        &self.vertex_shaders
+    }
+
+    /// Bound pixel shaders.
+    pub fn pixel_shaders(&self) -> &[ShaderId] {
+        &self.pixel_shaders
+    }
+
+    /// Output-merger blend modes.
+    pub fn blends(&self) -> &[BlendMode] {
+        &self.blends
+    }
+
+    /// Depth modes.
+    pub fn depths(&self) -> &[DepthMode] {
+        &self.depths
+    }
+
+    /// Cull modes.
+    pub fn culls(&self) -> &[CullMode] {
+        &self.culls
+    }
+
+    /// Primitive topologies.
+    pub fn topologies(&self) -> &[PrimitiveTopology] {
+        &self.topologies
+    }
+
+    /// Submitted vertex counts.
+    pub fn vertex_counts(&self) -> &[u64] {
+        &self.vertex_counts
+    }
+
+    /// Instance counts.
+    pub fn instance_counts(&self) -> &[u32] {
+        &self.instance_counts
+    }
+
+    /// Render targets written.
+    pub fn render_targets(&self) -> &[RenderTargetDesc] {
+        &self.render_targets
+    }
+
+    /// Render-target coverage fractions.
+    pub fn coverages(&self) -> &[f64] {
+        &self.coverages
+    }
+
+    /// Overdraw factors.
+    pub fn overdraws(&self) -> &[f64] {
+        &self.overdraws
+    }
+
+    /// Early-Z pass rates.
+    pub fn z_pass_rates(&self) -> &[f64] {
+        &self.z_pass_rates
+    }
+
+    /// Texture-sampling locality factors.
+    pub fn texel_localities(&self) -> &[f64] {
+        &self.texel_localities
+    }
+
+    /// Generator material ground-truth tags.
+    pub fn material_tags(&self) -> &[u32] {
+        &self.material_tags
+    }
+
+    /// Bound-texture counts per draw.
+    pub fn texture_counts(&self) -> &[u32] {
+        &self.tex_lens
+    }
+
+    /// Primitives submitted by the draw at `index`; mirrors
+    /// [`DrawCall::primitives`] bit for bit.
+    pub fn primitives_at(&self, index: usize) -> u64 {
+        self.topologies[index].primitives(self.vertex_counts[index])
+            * u64::from(self.instance_counts[index])
+    }
+
+    /// Vertex-shader invocations of the draw at `index`; mirrors
+    /// [`DrawCall::vertex_invocations`] bit for bit.
+    pub fn vertex_invocations_at(&self, index: usize) -> u64 {
+        self.vertex_counts[index] * u64::from(self.instance_counts[index])
+    }
+
+    /// Expected pixel-shader invocations of the draw at `index`; mirrors
+    /// [`DrawCall::shaded_pixels`] bit for bit.
+    pub fn shaded_pixels_at(&self, index: usize) -> f64 {
+        self.coverages[index]
+            * self.render_targets[index].pixels() as f64
+            * self.overdraws[index]
+            * self.z_pass_rates[index]
+    }
+
+    /// Average rasterised area per surviving primitive of the draw at
+    /// `index`; mirrors [`DrawCall::avg_primitive_area`] bit for bit.
+    pub fn avg_primitive_area_at(&self, index: usize) -> f64 {
+        let prims = self.primitives_at(index) as f64 * self.culls[index].survival_rate();
+        if prims < 1.0 {
+            return 0.0;
+        }
+        self.coverages[index] * self.render_targets[index].pixels() as f64 * self.overdraws[index]
+            / prims
+    }
+}
+
+impl FromIterator<DrawCall> for DrawColumns {
+    fn from_iter<T: IntoIterator<Item = DrawCall>>(iter: T) -> Self {
+        DrawColumns::from_draws(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::DrawCall;
+
+    fn sample_draws() -> Vec<DrawCall> {
+        vec![
+            DrawCall::builder(DrawId(0))
+                .shaders(ShaderId(1), ShaderId(2))
+                .geometry(PrimitiveTopology::TriangleList, 300)
+                .textures(vec![TextureId(4), TextureId(9)])
+                .rasterization(0.2, 1.4, 0.8)
+                .material_tag(7)
+                .build(),
+            DrawCall::builder(DrawId(1))
+                .geometry(PrimitiveTopology::TriangleStrip, 10)
+                .instances(3)
+                .build(),
+            DrawCall::builder(DrawId(2))
+                .textures(vec![TextureId(4)])
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let draws = sample_draws();
+        let cols = DrawColumns::from_draws(draws.clone());
+        assert_eq!(cols.len(), draws.len());
+        assert_eq!(cols.to_draws(), draws);
+        for (i, d) in draws.iter().enumerate() {
+            assert_eq!(cols.get(i).unwrap(), *d);
+        }
+        assert!(cols.get(draws.len()).is_none());
+    }
+
+    #[test]
+    fn texture_pool_slices_match() {
+        let cols = DrawColumns::from_draws(sample_draws());
+        assert_eq!(cols.textures_of(0), &[TextureId(4), TextureId(9)]);
+        assert!(cols.textures_of(1).is_empty());
+        assert_eq!(cols.textures_of(2), &[TextureId(4)]);
+        assert_eq!(cols.texture_counts(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn derived_helpers_match_struct_methods_bitwise() {
+        let draws = sample_draws();
+        let cols = DrawColumns::from_draws(draws.clone());
+        for (i, d) in draws.iter().enumerate() {
+            assert_eq!(cols.primitives_at(i), d.primitives());
+            assert_eq!(cols.vertex_invocations_at(i), d.vertex_invocations());
+            assert_eq!(
+                cols.shaded_pixels_at(i).to_bits(),
+                d.shaded_pixels().to_bits()
+            );
+            assert_eq!(
+                cols.avg_primitive_area_at(i).to_bits(),
+                d.avg_primitive_area().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_columns() {
+        let cols = DrawColumns::new();
+        assert!(cols.is_empty());
+        assert_eq!(cols.len(), 0);
+        assert!(cols.to_draws().is_empty());
+        assert!(cols.get(0).is_none());
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let cols = DrawColumns::from_draws(sample_draws());
+        let json = serde_json::to_string(&cols).unwrap();
+        let back: DrawColumns = serde_json::from_str(&json).unwrap();
+        assert_eq!(cols, back);
+    }
+}

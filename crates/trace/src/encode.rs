@@ -91,8 +91,8 @@ pub fn encode_workload(w: &Workload) -> Bytes {
     for frame in w.frames() {
         buf.put_u32(frame.id.raw());
         buf.put_u32(frame.draw_count() as u32);
-        for d in frame.draws() {
-            put_draw(&mut buf, d);
+        for d in frame.to_draws() {
+            put_draw(&mut buf, &d);
         }
     }
     buf.freeze()

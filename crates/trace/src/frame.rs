@@ -1,58 +1,90 @@
-//! Frames: ordered sequences of draw-calls.
+//! Frames: ordered sequences of draw-calls, stored columnar.
 
+use crate::columns::DrawColumns;
 use crate::draw::DrawCall;
 use crate::ids::{FrameId, ShaderId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-/// One rendered frame: an ordered list of draw-calls.
+/// One rendered frame: an ordered list of draw-calls, held in a columnar
+/// (structure-of-arrays) [`DrawColumns`] layout.
+///
+/// Hot paths stream the columns via [`Frame::columns`]; cold paths
+/// materialise per-draw [`DrawCall`] structs via [`Frame::to_draws`] or
+/// [`Frame::draw`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Frame {
     /// Position of the frame in the trace.
     pub id: FrameId,
-    draws: Vec<DrawCall>,
+    columns: DrawColumns,
 }
 
 impl Frame {
-    /// Creates a frame from its draws.
+    /// Creates a frame from its draws, decomposing them into columns.
     pub fn new(id: FrameId, draws: Vec<DrawCall>) -> Self {
-        Frame { id, draws }
+        Frame {
+            id,
+            columns: DrawColumns::from_draws(draws),
+        }
     }
 
-    /// The draws in submission order.
-    pub fn draws(&self) -> &[DrawCall] {
-        &self.draws
+    /// Creates a frame directly from columnar draw storage.
+    pub fn from_columns(id: FrameId, columns: DrawColumns) -> Self {
+        Frame { id, columns }
+    }
+
+    /// The columnar draw storage, in submission order.
+    pub fn columns(&self) -> &DrawColumns {
+        &self.columns
+    }
+
+    /// Materialises every draw as an AoS [`DrawCall`], in submission
+    /// order. Allocates; intended for cold paths (serde, validation,
+    /// tests), not per-draw hot loops.
+    pub fn to_draws(&self) -> Vec<DrawCall> {
+        self.columns.to_draws()
+    }
+
+    /// Materialises the draw at `index`, or `None` when out of range.
+    pub fn draw(&self, index: usize) -> Option<DrawCall> {
+        self.columns.get(index)
     }
 
     /// Number of draw-calls in the frame.
     pub fn draw_count(&self) -> usize {
-        self.draws.len()
+        self.columns.len()
     }
 
     /// Whether the frame is empty.
     pub fn is_empty(&self) -> bool {
-        self.draws.is_empty()
+        self.columns.is_empty()
     }
 
     /// The set of distinct shader ids (vertex and pixel) the frame uses —
     /// the raw material for shader vectors.
     pub fn shader_set(&self) -> BTreeSet<ShaderId> {
         let mut set = BTreeSet::new();
-        for d in &self.draws {
-            set.insert(d.vertex_shader);
-            set.insert(d.pixel_shader);
+        for &vs in self.columns.vertex_shaders() {
+            set.insert(vs);
+        }
+        for &ps in self.columns.pixel_shaders() {
+            set.insert(ps);
         }
         set
     }
 
     /// Total vertex invocations across the frame.
     pub fn total_vertices(&self) -> u64 {
-        self.draws.iter().map(DrawCall::vertex_invocations).sum()
+        (0..self.columns.len())
+            .map(|i| self.columns.vertex_invocations_at(i))
+            .sum()
     }
 
     /// Total expected shaded pixels across the frame.
     pub fn total_shaded_pixels(&self) -> f64 {
-        self.draws.iter().map(DrawCall::shaded_pixels).sum()
+        (0..self.columns.len())
+            .map(|i| self.columns.shaded_pixels_at(i))
+            .sum()
     }
 }
 
@@ -99,5 +131,15 @@ mod tests {
         assert!(f.is_empty());
         assert!(f.shader_set().is_empty());
         assert_eq!(f.total_vertices(), 0);
+    }
+
+    #[test]
+    fn columns_round_trip_through_frame() {
+        let f = frame_with(&[(0, 1), (2, 3)]);
+        let draws = f.to_draws();
+        let g = Frame::from_columns(f.id, crate::columns::DrawColumns::from_draws(draws));
+        assert_eq!(f, g);
+        assert_eq!(f.draw(0).unwrap().id, DrawId(0));
+        assert!(f.draw(2).is_none());
     }
 }

@@ -621,7 +621,7 @@ mod tests {
         let mut ids: Vec<u64> = w
             .frames()
             .iter()
-            .flat_map(|f| f.draws().iter().map(|d| d.id.raw()))
+            .flat_map(|f| f.to_draws().into_iter().map(|d| d.id.raw()))
             .collect();
         let n = ids.len();
         ids.sort_unstable();
@@ -697,7 +697,7 @@ mod tests {
         let back_buffer = RenderTargetDesc::back_buffer_1080p();
         for offscreen in [true, false] {
             let tags: Vec<u32> = frame
-                .draws()
+                .to_draws()
                 .iter()
                 .filter(|d| {
                     d.blend == crate::BlendMode::Opaque
@@ -726,7 +726,7 @@ mod tests {
             if kind.area().is_none() {
                 continue;
             }
-            for d in frame.draws() {
+            for d in frame.to_draws() {
                 if d.render_target.format == crate::TextureFormat::Rgba16f {
                     gbuffer_draws += 1;
                 }
@@ -742,7 +742,7 @@ mod tests {
         assert!(fwd
             .frames()
             .iter()
-            .flat_map(|f| f.draws())
+            .flat_map(|f| f.to_draws())
             .all(|d| d.render_target.format != crate::TextureFormat::Rgba16f));
     }
 
@@ -765,7 +765,7 @@ mod tests {
         let bpp = |w: &crate::Workload| -> f64 {
             w.frames()
                 .iter()
-                .flat_map(|f| f.draws())
+                .flat_map(|f| f.to_draws())
                 .map(|d| d.render_target.bytes_per_pixel() * d.shaded_pixels())
                 .sum()
         };
@@ -788,7 +788,7 @@ mod tests {
             // Once a back-buffer draw appears, no offscreen draw follows.
             let mut seen_main = false;
             let mut shadow_draws = 0;
-            for d in frame.draws() {
+            for d in frame.to_draws() {
                 if d.render_target == back_buffer {
                     seen_main = true;
                 } else {

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod columns;
 mod draw;
 mod encode;
 mod frame;
@@ -47,6 +48,7 @@ mod workload;
 
 pub mod gen;
 
+pub use columns::DrawColumns;
 pub use draw::{DrawCall, DrawCallBuilder, PrimitiveTopology};
 pub use encode::{decode_workload, encode_workload, EncodeError};
 pub use frame::Frame;

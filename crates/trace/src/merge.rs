@@ -82,8 +82,8 @@ pub fn merge_workloads(name: impl Into<String>, workloads: &[&Workload]) -> Work
         // Rewrite frames.
         for frame in w.frames() {
             let draws: Vec<DrawCall> = frame
-                .draws()
-                .iter()
+                .to_draws()
+                .into_iter()
                 .map(|d| {
                     let id = DrawId(next_draw);
                     next_draw += 1;
@@ -157,7 +157,7 @@ mod tests {
         }
         let mut expected = 0u64;
         for frame in suite.frames() {
-            for d in frame.draws() {
+            for d in frame.to_draws() {
                 assert_eq!(d.id.raw(), expected);
                 expected += 1;
             }
@@ -172,7 +172,7 @@ mod tests {
         let suite = merge_workloads("suite", &[&a, &b]);
         for (sf, af) in suite.frames().iter().zip(a.frames()) {
             assert_eq!(sf.draw_count(), af.draw_count());
-            for (sd, ad) in sf.draws().iter().zip(af.draws()) {
+            for (sd, ad) in sf.to_draws().iter().zip(af.to_draws().iter()) {
                 assert_eq!(sd.vertex_count, ad.vertex_count);
                 assert_eq!(sd.coverage, ad.coverage);
                 assert_eq!(sd.material_tag, ad.material_tag);

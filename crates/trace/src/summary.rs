@@ -42,16 +42,18 @@ impl WorkloadSummary {
             draws_per_frame.push(frame.draw_count() as f64);
             let mut changes = 0usize;
             let mut previous = None;
-            for d in frame.draws() {
-                shader_ids.insert(d.vertex_shader);
-                shader_ids.insert(d.pixel_shader);
-                texture_ids.extend(d.textures.iter().copied());
-                state_ids.insert(d.state);
-                vertices_per_draw.push(d.vertex_count as f64);
-                if previous.is_some_and(|p| p != d.state) {
+            let cols = frame.columns();
+            for i in 0..cols.len() {
+                shader_ids.insert(cols.vertex_shaders()[i]);
+                shader_ids.insert(cols.pixel_shaders()[i]);
+                texture_ids.extend(cols.textures_of(i).iter().copied());
+                let state = cols.states()[i];
+                state_ids.insert(state);
+                vertices_per_draw.push(cols.vertex_counts()[i] as f64);
+                if previous.is_some_and(|p| p != state) {
                     changes += 1;
                 }
-                previous = Some(d.state);
+                previous = Some(state);
             }
             state_changes_per_frame.push(changes as f64);
         }

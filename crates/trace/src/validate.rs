@@ -116,7 +116,7 @@ pub fn validate_workload(w: &Workload) -> Vec<ValidationIssue> {
     let mut issues = Vec::new();
     let mut seen_ids = std::collections::HashSet::new();
     for frame in w.frames() {
-        for draw in frame.draws() {
+        for draw in frame.to_draws() {
             if !seen_ids.insert(draw.id) {
                 issues.push(ValidationIssue::DuplicateDrawId { draw: draw.id });
             }

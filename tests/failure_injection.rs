@@ -18,7 +18,7 @@ fn game(seed: u64) -> Workload {
 /// Rebuilds a workload with one draw's pixel shader dangling.
 fn corrupt_shader(w: &Workload) -> Workload {
     let mut frames: Vec<Frame> = w.frames().to_vec();
-    let mut draws = frames[2].draws().to_vec();
+    let mut draws = frames[2].to_draws();
     draws[5].pixel_shader = ShaderId(u32::MAX);
     frames[2] = Frame::new(frames[2].id, draws);
     Workload::new(
@@ -95,7 +95,7 @@ fn simulator_is_finite_on_extreme_draws() {
     // confirm costs stay finite and non-negative.
     let w = game(4);
     let sim = Simulator::new(ArchConfig::baseline());
-    let template = w.frames()[0].draws()[0].clone();
+    let template = w.frames()[0].draw(0).expect("draw 0");
     let mut extremes = Vec::new();
     for (vertex_count, coverage, overdraw, instances) in [
         (1u64, 0.0f64, 0.0f64, 1u32),

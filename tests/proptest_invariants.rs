@@ -7,11 +7,112 @@ use subset3d::features::{euclidean, manhattan};
 use subset3d::gpusim::{ArchConfig, Simulator};
 use subset3d::stats::{pearson, percentile, Histogram};
 use subset3d::trace::gen::GameProfile;
-use subset3d::trace::ShaderId;
+use subset3d::trace::{
+    BlendMode, CullMode, DepthMode, DrawCall, DrawColumns, DrawId, PrimitiveTopology,
+    RenderTargetDesc, ShaderId, StateId, TextureFormat, TextureId,
+};
 
 /// Strategy: a small dataset of low-dimensional points.
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 1..60)
+}
+
+/// Strategy: one fully arbitrary draw-call, covering every column of the
+/// SoA layout including NaN-free float extremes and empty/wide texture
+/// binding lists.
+fn draw_strategy() -> impl Strategy<Value = DrawCall> {
+    let topology = (0u8..4).prop_map(|i| match i {
+        0 => PrimitiveTopology::TriangleList,
+        1 => PrimitiveTopology::TriangleStrip,
+        2 => PrimitiveTopology::LineList,
+        _ => PrimitiveTopology::PointList,
+    });
+    let blend = (0u8..3).prop_map(|i| match i {
+        0 => BlendMode::Opaque,
+        1 => BlendMode::AlphaBlend,
+        _ => BlendMode::Additive,
+    });
+    let depth = (0u8..3).prop_map(|i| match i {
+        0 => DepthMode::TestAndWrite,
+        1 => DepthMode::TestOnly,
+        _ => DepthMode::Disabled,
+    });
+    let cull = (0u8..3).prop_map(|i| match i {
+        0 => CullMode::None,
+        1 => CullMode::Back,
+        _ => CullMode::Front,
+    });
+    let format = (0u8..3).prop_map(|i| match i {
+        0 => TextureFormat::Rgba8,
+        1 => TextureFormat::Bc1,
+        _ => TextureFormat::Rgba16f,
+    });
+    let target = (1u32..8192, 1u32..8192, format, 1u32..=8, 1u32..=4).prop_map(
+        |(width, height, format, samples, color_attachments)| RenderTargetDesc {
+            width,
+            height,
+            format,
+            samples,
+            color_attachments,
+        },
+    );
+    (
+        (
+            any::<u64>(),
+            any::<u32>(),
+            0u32..64,
+            0u32..64,
+            blend,
+            depth,
+            cull,
+            topology,
+        ),
+        (
+            0u64..10_000_000,
+            1u32..=65_535,
+            prop::collection::vec(0u32..256, 0..12),
+            target,
+            0.0f64..=1.0,
+            1.0f64..=50.0,
+            0.0f64..=1.0,
+            0.0f64..=1.0,
+            any::<u32>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (id, state, vs, ps, blend, depth, cull, topology),
+                (
+                    vertex_count,
+                    instance_count,
+                    textures,
+                    render_target,
+                    coverage,
+                    overdraw,
+                    z_pass_rate,
+                    texel_locality,
+                    material_tag,
+                ),
+            )| DrawCall {
+                id: DrawId(id),
+                state: StateId(state),
+                vertex_shader: ShaderId(vs),
+                pixel_shader: ShaderId(ps),
+                blend,
+                depth,
+                cull,
+                topology,
+                vertex_count,
+                instance_count,
+                textures: textures.into_iter().map(TextureId).collect(),
+                render_target,
+                coverage,
+                overdraw,
+                z_pass_rate,
+                texel_locality,
+                material_tag,
+            },
+        )
 }
 
 proptest! {
@@ -100,6 +201,26 @@ proptest! {
         if let Ok(r) = pearson(&xs, &ys) {
             prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
         }
+    }
+
+    #[test]
+    fn columnar_layout_round_trips_losslessly(
+        draws in prop::collection::vec(draw_strategy(), 0..40),
+    ) {
+        // SoA ↔ AoS must be bijective: scattering arbitrary draws into
+        // columns and gathering them back reproduces every field bit for
+        // bit, in order.
+        let cols = DrawColumns::from_draws(draws.iter().cloned());
+        prop_assert_eq!(cols.len(), draws.len());
+        prop_assert_eq!(cols.to_draws(), draws.clone());
+        // Random access agrees with the bulk gather.
+        for (i, draw) in draws.iter().enumerate() {
+            prop_assert_eq!(&cols.get(i).unwrap(), draw);
+        }
+        // And a second scatter from the gathered draws is identical —
+        // the mapping is stable, not merely invertible once.
+        let again = DrawColumns::from_draws(cols.to_draws());
+        prop_assert_eq!(again.to_draws(), draws);
     }
 
     #[test]

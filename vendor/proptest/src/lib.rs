@@ -40,6 +40,31 @@ pub trait Strategy {
 
     /// Draws one value from the strategy.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every drawn value through `f`, as in real proptest's
+    /// `prop_map` (shrinking is not modelled here, so the mapping is a
+    /// plain post-sample transform).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy adapter behind [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -93,6 +118,8 @@ tuple_strategy! {
     (A 0, B 1, C 2, D 3, E 4, F 5)
     (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
     (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
 }
 
 /// Types with a canonical full-domain strategy, for [`any`].

@@ -553,6 +553,71 @@ pub mod __private {
             None => Ok(T::default()),
         }
     }
+
+    /// Key lookup honouring a `#[serde(alias = "...")]` fallback name;
+    /// the primary name wins when both keys are present.
+    fn find_aliased<'a>(
+        fields: &'a [(String, Value)],
+        name: &str,
+        alias: &str,
+    ) -> Option<&'a Value> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .or_else(|| fields.iter().find(|(k, _)| k == alias))
+            .map(|(_, v)| v)
+    }
+
+    /// [`de_field`] with an alias fallback name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when both keys are absent or the value is
+    /// malformed.
+    pub fn de_field_alias<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        alias: &str,
+    ) -> Result<T, Error> {
+        match find_aliased(fields, name, alias) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// [`de_field_opt`] with an alias fallback name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when a present value is malformed.
+    pub fn de_field_opt_alias<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        alias: &str,
+    ) -> Result<Option<T>, Error> {
+        match find_aliased(fields, name, alias) {
+            Some(Value::Null) | None => Ok(None),
+            Some(v) => T::from_value(v)
+                .map(Some)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        }
+    }
+
+    /// [`de_field_default`] with an alias fallback name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when a present value is malformed.
+    pub fn de_field_default_alias<T: Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &str,
+        alias: &str,
+    ) -> Result<T, Error> {
+        match find_aliased(fields, name, alias) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 //! stream. Supported shapes — which cover every derive site in this
 //! workspace — are:
 //!
-//! * structs with named fields (`#[serde(skip)]` and `#[serde(default)]`
-//!   honoured; `Option` fields tolerate absent keys),
+//! * structs with named fields (`#[serde(skip)]`, `#[serde(default)]`
+//!   and `#[serde(alias = "...")]` honoured; `Option` fields tolerate
+//!   absent keys),
 //! * tuple structs (newtypes serialize transparently and additionally
 //!   implement `serde::MapKey` so they can key maps),
 //! * enums with unit, tuple, and struct variants (externally tagged,
@@ -23,6 +24,7 @@ struct Field {
     skip: bool,
     default: bool,
     is_option: bool,
+    alias: Option<String>,
 }
 
 /// A parsed enum variant.
@@ -141,21 +143,53 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, serde_flags: &mut Vec
     }
 }
 
-/// Records flags from a `serde(...)` attribute body such as `skip`.
+/// Records flags from a `serde(...)` attribute body. Bare `skip` /
+/// `default` flags are pushed verbatim; `alias = "name"` is pushed as
+/// `alias=name`.
 fn collect_serde_flags(attr_body: &TokenStream, flags: &mut Vec<String>) {
     let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
     if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
         (tokens.first(), tokens.get(1))
     {
         if name.to_string() == "serde" {
-            for tok in args.stream() {
-                if let TokenTree::Ident(flag) = tok {
-                    let flag = flag.to_string();
-                    assert!(
-                        flag == "skip" || flag == "default",
-                        "vendored serde_derive supports only #[serde(skip)] / #[serde(default)], found `{flag}`"
-                    );
-                    flags.push(flag);
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < args.len() {
+                match &args[i] {
+                    TokenTree::Ident(flag) => {
+                        let flag = flag.to_string();
+                        match flag.as_str() {
+                            "skip" | "default" => {
+                                flags.push(flag);
+                                i += 1;
+                            }
+                            "alias" => {
+                                assert!(
+                                    matches!(&args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '='),
+                                    "expected `=` after `alias`"
+                                );
+                                let lit = match args.get(i + 2) {
+                                    Some(TokenTree::Literal(l)) => l.to_string(),
+                                    other => {
+                                        panic!("expected string after `alias =`, found {other:?}")
+                                    }
+                                };
+                                let alias = lit.trim_matches('"');
+                                assert!(
+                                    !alias.is_empty() && lit.starts_with('"'),
+                                    "`alias` takes a non-empty string literal, found {lit}"
+                                );
+                                flags.push(format!("alias={alias}"));
+                                i += 3;
+                            }
+                            other => panic!(
+                                "vendored serde_derive supports only #[serde(skip)] / \
+                                 #[serde(default)] / #[serde(alias = \"...\")], found `{other}`"
+                            ),
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                    other => panic!("unexpected token in #[serde(...)]: {other:?}"),
                 }
             }
         }
@@ -200,6 +234,9 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             skip: flags.iter().any(|f| f == "skip"),
             default: flags.iter().any(|f| f == "default"),
             is_option: head.as_deref() == Some("Option"),
+            alias: flags
+                .iter()
+                .find_map(|f| f.strip_prefix("alias=").map(str::to_string)),
         });
     }
     fields
@@ -390,32 +427,37 @@ fn gen_serialize(item: &Input) -> String {
     }
 }
 
+/// The init line of one named field in a generated `from_value`.
+/// `source` is the in-scope binding of the parsed key/value pairs.
+fn field_init(f: &Field, source: &str) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default(),\n", f.name);
+    }
+    let helper = if f.is_option {
+        "de_field_opt"
+    } else if f.default {
+        "de_field_default"
+    } else {
+        "de_field"
+    };
+    match &f.alias {
+        Some(alias) => format!(
+            "{0}: serde::__private::{helper}_alias({source}, \"{0}\", \"{alias}\")?,\n",
+            f.name
+        ),
+        None => format!(
+            "{0}: serde::__private::{helper}({source}, \"{0}\")?,\n",
+            f.name
+        ),
+    }
+}
+
 fn gen_deserialize(item: &Input) -> String {
     match item {
         Input::NamedStruct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                if f.skip {
-                    inits.push_str(&format!(
-                        "{}: ::core::default::Default::default(),\n",
-                        f.name
-                    ));
-                } else if f.is_option {
-                    inits.push_str(&format!(
-                        "{0}: serde::__private::de_field_opt(__fields, \"{0}\")?,\n",
-                        f.name
-                    ));
-                } else if f.default {
-                    inits.push_str(&format!(
-                        "{0}: serde::__private::de_field_default(__fields, \"{0}\")?,\n",
-                        f.name
-                    ));
-                } else {
-                    inits.push_str(&format!(
-                        "{0}: serde::__private::de_field(__fields, \"{0}\")?,\n",
-                        f.name
-                    ));
-                }
+                inits.push_str(&field_init(f, "__fields"));
             }
             format!(
                 "impl serde::Deserialize for {name} {{\n\
@@ -489,27 +531,7 @@ fn gen_deserialize(item: &Input) -> String {
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            if f.skip {
-                                inits.push_str(&format!(
-                                    "{}: ::core::default::Default::default(),\n",
-                                    f.name
-                                ));
-                            } else if f.is_option {
-                                inits.push_str(&format!(
-                                    "{0}: serde::__private::de_field_opt(__obj, \"{0}\")?,\n",
-                                    f.name
-                                ));
-                            } else if f.default {
-                                inits.push_str(&format!(
-                                    "{0}: serde::__private::de_field_default(__obj, \"{0}\")?,\n",
-                                    f.name
-                                ));
-                            } else {
-                                inits.push_str(&format!(
-                                    "{0}: serde::__private::de_field(__obj, \"{0}\")?,\n",
-                                    f.name
-                                ));
-                            }
+                            inits.push_str(&field_init(f, "__obj"));
                         }
                         data_arms.push_str(&format!(
                             "\"{vname}\" => {{\n\
