@@ -228,17 +228,25 @@ fn rows(base: &Report, cand: &Report) -> Vec<Row> {
         .collect();
     out.push(Row {
         name: "metrics_overhead_pct",
-        base: base.metrics_overhead_pct,
-        cand: cand.metrics_overhead_pct,
+        base: clamp_overhead(base.metrics_overhead_pct),
+        cand: clamp_overhead(cand.metrics_overhead_pct),
         higher_is_better: false,
     });
     out.push(Row {
         name: "trace_overhead_pct",
-        base: base.trace_overhead_pct,
-        cand: cand.trace_overhead_pct,
+        base: clamp_overhead(base.trace_overhead_pct),
+        cand: clamp_overhead(cand.trace_overhead_pct),
         higher_is_better: false,
     });
     out
+}
+
+/// Overheads are clamped at load: committed baselines predating the
+/// at-rest clamp can carry a negative noise median, and a negative arm
+/// would inflate the percentage-point delta and distort `--max-overhead`
+/// budget checks. Cost below the clock floor is zero cost.
+fn clamp_overhead(pct: f64) -> f64 {
+    pct.max(0.0)
 }
 
 /// Regressions found when judging `rows` under the given policy.
@@ -552,6 +560,34 @@ mod tests {
         assert!(fails[0].1.contains("floor"));
         // Overhead rows are never judged against the speedup floor.
         assert!(below_floor(&rows, 0.0).is_empty());
+    }
+
+    #[test]
+    fn negative_overheads_are_clamped_at_load() {
+        // A committed baseline predating the at-rest clamp (raw medians
+        // like -2.32 were serialized) must not inflate the delta: the
+        // candidate's true cost over a noise-negative baseline is its
+        // own clamped value, not cand + |baseline|.
+        let row = Row {
+            name: "metrics_overhead_pct",
+            base: clamp_overhead(-2.32),
+            cand: clamp_overhead(0.5),
+            higher_is_better: false,
+        };
+        match row.delta() {
+            Delta::AbsPp(d) => assert!((d - 0.5).abs() < 1e-12),
+            _ => panic!("expected pp delta"),
+        }
+        // A negative candidate is zero cost, not negative cost: it sits
+        // exactly at a zero budget rather than under-running it, and a
+        // tiny positive budget passes it.
+        let neg_cand = Row {
+            name: "trace_overhead_pct",
+            base: clamp_overhead(1.0),
+            cand: clamp_overhead(-0.3),
+            higher_is_better: false,
+        };
+        assert!(judge(&[neg_cand], 10.0, Some(0.1)).is_empty());
     }
 
     #[test]

@@ -20,14 +20,26 @@
 //! Every scenario is also run single-threaded with memoization off (the
 //! pre-executor behaviour); each timing is the best of three runs.
 //!
+//! Per-scenario cache statistics are deltas over each scenario's own
+//! instrumented pass on a shared simulator, so back-to-back scenarios
+//! report their actual (different) cache behaviour rather than an
+//! identical fresh-run transcript.
+//!
 //! The report additionally measures the cost of `subset3d-obs` metric
 //! recording and flight-mode event tracing (`metrics_overhead_pct` and
 //! `trace_overhead_pct`: medians of five interleaved off/on pairs on the
-//! workload_sim shape, budget < 2 %) and embeds the `MetricsSnapshot`
-//! of an instrumented sweep-plus-pipeline pass. The measurement code is
-//! shared with `bench_diff` via [`subset3d_bench::report`].
+//! workload_sim shape, clamped at zero with the signed medians kept in
+//! `*_raw_pct`, budget < 2 %), embeds the `MetricsSnapshot` of an
+//! instrumented sweep-plus-pipeline pass, and runs the backend bake-off:
+//! every clustering methodology scored on prediction error, subsetting
+//! efficiency and outlier fraction across the three game profiles. The
+//! measurement code is shared with `bench_diff` via
+//! [`subset3d_bench::report`].
 
-use subset3d_bench::report::{best_timer, collect, Scenario, OVERHEAD_REPS, RUNS};
+use subset3d_bench::report::{
+    best_timer, collect, Report, Scenario, BAKEOFF_DRAWS_PER_FRAME, BAKEOFF_FRAMES, OVERHEAD_REPS,
+    RUNS,
+};
 
 fn rate(r: Option<f64>) -> String {
     match r {
@@ -62,12 +74,37 @@ fn main() {
     cache_summary("workload_sim", &report.workload_sim);
     cache_summary("iterated_sweep", &report.iterated_sweep);
     cache_summary("subsetting_pipeline", &report.subsetting_pipeline);
-    // The JSON keeps the raw medians (negative = noise); only this
-    // human-facing summary clamps at zero.
+    // The serialized fields are clamped at zero (negative = scheduling
+    // noise); the signed medians survive in the `*_raw_pct` fields.
     println!(
         "metrics overhead: {:.2}% | trace overhead (flight mode): {:.2}% \
-         (medians of {OVERHEAD_REPS} interleaved off/on pairs, clamped at 0)",
-        report.metrics_overhead_pct.max(0.0),
-        report.trace_overhead_pct.max(0.0),
+         (medians of {OVERHEAD_REPS} interleaved off/on pairs, clamped at 0; \
+         raw {:.2}% / {:.2}%)",
+        report.metrics_overhead_pct,
+        report.trace_overhead_pct,
+        report.metrics_overhead_raw_pct,
+        report.trace_overhead_raw_pct,
     );
+    bakeoff_table(&report);
+}
+
+fn bakeoff_table(report: &Report) {
+    println!(
+        "\nbackend bake-off ({BAKEOFF_FRAMES} frames x {BAKEOFF_DRAWS_PER_FRAME} \
+         draws per profile):"
+    );
+    println!(
+        "{:<12} {:<9} {:>11} {:>11} {:>9}",
+        "backend", "profile", "pred error", "efficiency", "outliers"
+    );
+    for s in &report.bakeoff {
+        println!(
+            "{:<12} {:<9} {:>10.2}% {:>10.1}% {:>8.1}%",
+            s.backend,
+            s.profile,
+            s.prediction_error * 100.0,
+            s.efficiency * 100.0,
+            s.outlier_fraction * 100.0,
+        );
+    }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use subset3d_core::{SubsetConfig, Subsetter};
+use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter};
 use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
 use subset3d_trace::gen::GameProfile;
 use subset3d_trace::Workload;
@@ -34,6 +34,12 @@ pub struct Measurement {
 }
 
 /// A baseline-vs-optimized comparison on one workload shape.
+///
+/// Cache counters come from a dedicated instrumented pass on a simulator
+/// *shared across scenarios*, reported as the delta over that scenario's
+/// own pass ([`subset3d_gpusim::CacheStats::delta`]). Fresh-simulator
+/// stats passes used to make every scenario's counters an identical
+/// transcript of the same cold run over the same workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// One thread, memoization off — the pre-executor behaviour.
@@ -84,21 +90,50 @@ pub struct Report {
     /// Clustering + evaluation end to end.
     pub subsetting_pipeline: Scenario,
     /// Wall-time cost of metric recording on the workload_sim shape:
-    /// median of [`OVERHEAD_REPS`] interleaved off/on pairs, in percent.
-    /// The raw median is kept here (it may be slightly negative on a
-    /// noisy machine); only the printed summary clamps at zero.
+    /// median of [`OVERHEAD_REPS`] interleaved off/on pairs, in percent,
+    /// clamped at zero. A negative median is scheduling noise, and a
+    /// committed negative value poisons downstream absolute-budget
+    /// checks; the signed median survives in `metrics_overhead_raw_pct`.
     pub metrics_overhead_pct: f64,
+    /// The unclamped signed median behind `metrics_overhead_pct`.
+    /// Absent from reports predating the clamp, hence the default.
+    #[serde(default)]
+    pub metrics_overhead_raw_pct: f64,
     /// Wall-time cost of flight-recorder event tracing on the same
-    /// shape, measured like `metrics_overhead_pct`. Absent from reports
-    /// predating the tracing layer, hence the default.
+    /// shape, measured and clamped like `metrics_overhead_pct`. Absent
+    /// from reports predating the tracing layer, hence the default.
     #[serde(default)]
     pub trace_overhead_pct: f64,
+    /// The unclamped signed median behind `trace_overhead_pct`.
+    #[serde(default)]
+    pub trace_overhead_raw_pct: f64,
     /// Wall time of one differential-oracle comparison over the testkit
     /// corpus (all cache modes, both passes) — the price of the tier-1
     /// `testkit` step, tracked so harness regressions are visible.
     pub oracle_check_ms: f64,
     /// Snapshot of an instrumented sweep-plus-pipeline pass.
     pub metrics: subset3d_obs::MetricsSnapshot,
+    /// Cross-methodology bake-off: every clustering backend scored on
+    /// every game profile (see [`collect_bakeoff`]). Absent from reports
+    /// predating pluggable backends, hence the default.
+    #[serde(default)]
+    pub bakeoff: Vec<BackendScore>,
+}
+
+/// One backend × profile cell of the cross-methodology bake-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendScore {
+    /// Backend name, in its CLI `--backend` spelling.
+    pub backend: String,
+    /// Game profile the score was measured on.
+    pub profile: String,
+    /// Mean relative frame-prediction error of the subset.
+    pub prediction_error: f64,
+    /// Mean clustering efficiency in `[0, 1]` — the fraction of draw
+    /// simulation avoided (paper target ≈ 0.658).
+    pub efficiency: f64,
+    /// Fraction of frames whose prediction error is an outlier.
+    pub outlier_fraction: f64,
 }
 
 /// Wall time of one invocation of `f`, in milliseconds.
@@ -163,6 +198,73 @@ pub fn bench_workload() -> Workload {
         .generate()
 }
 
+/// Frames in each bake-off workload.
+pub const BAKEOFF_FRAMES: usize = 24;
+
+/// Draws per frame in each bake-off workload — deliberately modest: the
+/// PCA + agglomerative backend is O(n³) in draws per frame.
+pub const BAKEOFF_DRAWS_PER_FRAME: usize = 150;
+
+/// The backends the bake-off compares, with the same parameters the CLI
+/// `--backend` flag applies.
+fn bakeoff_methods() -> Vec<(&'static str, ClusterMethod)> {
+    vec![
+        ("threshold", ClusterMethod::Threshold { distance: 1.05 }),
+        ("kmeans", ClusterMethod::KMeansBic { max_k: 12 }),
+        (
+            "stratified",
+            ClusterMethod::Stratified {
+                strata: 8,
+                rate: 0.1,
+            },
+        ),
+        (
+            "pca-agglo",
+            ClusterMethod::PcaAgglo {
+                components: 4,
+                clusters: 16,
+            },
+        ),
+    ]
+}
+
+fn bakeoff_scores(frames: usize, draws_per_frame: usize) -> Vec<BackendScore> {
+    let mut scores = Vec::new();
+    for (profile, seed) in [("shooter", 11u64), ("rts", 13), ("racing", 17)] {
+        let builder = match profile {
+            "shooter" => GameProfile::shooter(profile),
+            "rts" => GameProfile::rts(profile),
+            _ => GameProfile::racing(profile),
+        };
+        let workload = builder
+            .frames(frames)
+            .draws_per_frame(draws_per_frame)
+            .build(seed)
+            .generate();
+        for (name, method) in bakeoff_methods() {
+            let sim = Simulator::new(ArchConfig::baseline());
+            let outcome = Subsetter::new(SubsetConfig::default().with_cluster_method(method))
+                .run(&workload, &sim)
+                .expect("bake-off pipeline");
+            scores.push(BackendScore {
+                backend: name.to_string(),
+                profile: profile.to_string(),
+                prediction_error: outcome.evaluation.mean_prediction_error(),
+                efficiency: outcome.evaluation.mean_efficiency(),
+                outlier_fraction: outcome.evaluation.outlier_fraction(),
+            });
+        }
+    }
+    scores
+}
+
+/// Runs the cross-methodology bake-off: every clustering backend on
+/// every game profile, scored on the paper's three quality axes —
+/// prediction error, subsetting efficiency and outlier fraction.
+pub fn collect_bakeoff() -> Vec<BackendScore> {
+    bakeoff_scores(BAKEOFF_FRAMES, BAKEOFF_DRAWS_PER_FRAME)
+}
+
 fn measurement(wall_ms: f64, draws: usize) -> Measurement {
     Measurement {
         wall_ms,
@@ -207,12 +309,19 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
     // spawns a fresh pool, and measuring that re-spawn used to shave the
     // parallel arms' speedups below their true value.
 
+    // One simulator feeds every non-sweep scenario's instrumented stats
+    // pass; each scenario snapshots the counters first and reports the
+    // delta over its own pass. Per-scenario fresh simulators used to
+    // replay the same cold transcript, so every scenario published
+    // byte-identical cache stats.
+    let stats_sim = Simulator::new(ArchConfig::baseline());
+
     // -- workload simulation (cold, out-of-the-box) --------------------
     subset3d_exec::set_thread_count(threads);
     let sim_stats = {
-        let sim = Simulator::new(ArchConfig::baseline());
-        sim.simulate_workload(&workload).expect("simulate");
-        sim.cache_stats()
+        let before = stats_sim.cache_stats();
+        stats_sim.simulate_workload(&workload).expect("simulate");
+        stats_sim.cache_stats().delta(&before)
     };
     subset3d_exec::set_thread_count(1);
     let base = timer(
@@ -270,12 +379,15 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
     );
 
     // -- subsetting pipeline -------------------------------------------
+    // Same shared simulator: this scenario's stats show pipeline cache
+    // behaviour over a warm cache, not a re-run of workload_sim's cold
+    // transcript.
     let pipeline_stats = {
-        let sim = Simulator::new(ArchConfig::baseline());
+        let before = stats_sim.cache_stats();
         Subsetter::new(SubsetConfig::default())
-            .run(&workload, &sim)
+            .run(&workload, &stats_sim)
             .expect("pipeline");
-        sim.cache_stats()
+        stats_sim.cache_stats().delta(&before)
     };
     subset3d_exec::set_thread_count(1);
     let base = timer(
@@ -307,7 +419,7 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         let sim = Simulator::new(ArchConfig::baseline());
         sim.simulate_workload(&workload).expect("simulate");
     };
-    let metrics_overhead_pct = paired_overhead_pct(
+    let metrics_overhead_raw_pct = paired_overhead_pct(
         || one_ms(sim_pass),
         || {
             subset3d_obs::reset();
@@ -317,7 +429,7 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
             ms
         },
     );
-    let trace_overhead_pct = paired_overhead_pct(
+    let trace_overhead_raw_pct = paired_overhead_pct(
         || one_ms(sim_pass),
         || {
             subset3d_obs::start_tracing(subset3d_obs::TraceMode::Flight);
@@ -369,10 +481,13 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         workload_sim,
         iterated_sweep,
         subsetting_pipeline,
-        metrics_overhead_pct,
-        trace_overhead_pct,
+        metrics_overhead_pct: metrics_overhead_raw_pct.max(0.0),
+        metrics_overhead_raw_pct,
+        trace_overhead_pct: trace_overhead_raw_pct.max(0.0),
+        trace_overhead_raw_pct,
         oracle_check_ms,
         metrics,
+        bakeoff: collect_bakeoff(),
     }
 }
 
@@ -414,10 +529,19 @@ mod tests {
             workload_sim: s.clone(),
             iterated_sweep: s.clone(),
             subsetting_pipeline: s,
-            metrics_overhead_pct: -0.5,
+            metrics_overhead_pct: 0.0,
+            metrics_overhead_raw_pct: -0.5,
             trace_overhead_pct: 1.25,
+            trace_overhead_raw_pct: 1.25,
             oracle_check_ms: 12.0,
             metrics: subset3d_obs::MetricsSnapshot::default(),
+            bakeoff: vec![BackendScore {
+                backend: "threshold".to_string(),
+                profile: "shooter".to_string(),
+                prediction_error: 0.05,
+                efficiency: 12.5,
+                outlier_fraction: 0.02,
+            }],
         }
     }
 
@@ -477,6 +601,98 @@ mod tests {
         assert!(json.contains("\"batch_cache_hit_rate\":null"));
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.cache_hit_rate, None);
+    }
+
+    #[test]
+    fn reports_without_raw_overheads_or_bakeoff_still_deserialize() {
+        // Committed BENCH files from before the clamp/bake-off lack the
+        // fields; `#[serde(default)]` must absorb that.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json
+            .replace("\"metrics_overhead_raw_pct\":-0.5,", "")
+            .replace("\"trace_overhead_raw_pct\":1.25,", "");
+        let stripped = {
+            // Drop the bakeoff array wholesale.
+            let start = stripped.find(",\"bakeoff\":").unwrap();
+            let end = stripped[start..].find(']').unwrap() + start + 1;
+            format!("{}{}", &stripped[..start], &stripped[end..])
+        };
+        assert!(!stripped.contains("raw_pct") && !stripped.contains("bakeoff"));
+        let back: Report = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.metrics_overhead_raw_pct, 0.0);
+        assert_eq!(back.trace_overhead_raw_pct, 0.0);
+        assert!(back.bakeoff.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_scenario_stats_are_never_identical_when_nonzero() {
+        // Satellite of the shared-stats-simulator fix: two consecutive
+        // scenario stats passes over the same workload must publish
+        // *different* deltas (cold pass vs warm pipeline), never an
+        // identical transcript.
+        let workload = GameProfile::shooter("stats-regression")
+            .frames(6)
+            .draws_per_frame(60)
+            .build(5)
+            .generate();
+        let sim = Simulator::new(ArchConfig::baseline());
+
+        let before = sim.cache_stats();
+        sim.simulate_workload(&workload).expect("simulate");
+        let first = sim.cache_stats().delta(&before);
+
+        let before = sim.cache_stats();
+        Subsetter::new(SubsetConfig::default())
+            .run(&workload, &sim)
+            .expect("pipeline");
+        let second = sim.cache_stats().delta(&before);
+
+        assert!(
+            first.hits + first.misses + first.bypassed > 0,
+            "first scenario saw no cache traffic"
+        );
+        assert!(
+            second.hits + second.misses + second.bypassed > 0,
+            "second scenario saw no cache traffic"
+        );
+        assert_ne!(
+            first, second,
+            "back-to-back scenarios published identical nonzero cache stats"
+        );
+    }
+
+    #[test]
+    fn bakeoff_covers_every_backend_and_profile_with_finite_scores() {
+        // Tiny workload — the real sizes live in collect_bakeoff(); this
+        // exercises the exact collection path.
+        let scores = bakeoff_scores(3, 40);
+        assert_eq!(scores.len(), 4 * 3);
+        for s in &scores {
+            assert!(
+                s.prediction_error.is_finite() && s.prediction_error >= 0.0,
+                "{}/{}",
+                s.backend,
+                s.profile
+            );
+            assert!(
+                (0.0..=1.0).contains(&s.efficiency),
+                "{}/{}",
+                s.backend,
+                s.profile
+            );
+            assert!(
+                (0.0..=1.0).contains(&s.outlier_fraction),
+                "{}/{}",
+                s.backend,
+                s.profile
+            );
+        }
+        let mut names: Vec<&str> = scores.iter().map(|s| s.backend.as_str()).collect();
+        names.dedup();
+        assert_eq!(
+            names,
+            ["threshold", "kmeans", "stratified", "pca-agglo"].repeat(3)
+        );
     }
 
     #[test]

@@ -65,12 +65,59 @@ pub struct GenArgs {
     pub seed: u64,
 }
 
+/// Clustering backend selected with `--backend`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Leader clustering at a distance threshold (the paper's method).
+    #[default]
+    Threshold,
+    /// k-means with BIC model selection.
+    KMeans,
+    /// Two-phase stratified sampling.
+    Stratified,
+    /// PCA projection + average-linkage agglomerative merging.
+    PcaAgglo,
+}
+
+impl Backend {
+    /// Every selectable backend, in flag-documentation order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Threshold,
+        Backend::KMeans,
+        Backend::Stratified,
+        Backend::PcaAgglo,
+    ];
+
+    /// Parses a `--backend` value; `None` for unknown names.
+    pub fn parse(value: &str) -> Option<Backend> {
+        match value {
+            "threshold" => Some(Backend::Threshold),
+            "kmeans" => Some(Backend::KMeans),
+            "stratified" => Some(Backend::Stratified),
+            "pca-agglo" => Some(Backend::PcaAgglo),
+            _ => None,
+        }
+    }
+
+    /// The flag value naming this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threshold => "threshold",
+            Backend::KMeans => "kmeans",
+            Backend::Stratified => "stratified",
+            Backend::PcaAgglo => "pca-agglo",
+        }
+    }
+}
+
 /// Arguments of `subset3d subset` / `subset3d sweep`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubsetArgs {
     /// Input trace path.
     pub path: String,
-    /// Clustering distance threshold.
+    /// Clustering backend.
+    pub backend: Backend,
+    /// Clustering distance threshold (threshold backend only).
     pub threshold: f64,
     /// Phase-interval length in frames.
     pub interval: usize,
@@ -270,6 +317,7 @@ fn parse_gen(rest: &[String]) -> Result<Command, ArgError> {
 
 fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
     let mut path = None;
+    let mut backend = Backend::default();
     let mut threshold = 1.02f64;
     let mut interval = 10usize;
     let mut frames_per_phase = 1usize;
@@ -285,6 +333,13 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
                 .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
         };
         match arg.as_str() {
+            "--backend" => {
+                let b = value("--backend")?;
+                backend = Backend::parse(&b).ok_or(ArgError::BadValue {
+                    flag: "--backend".into(),
+                    value: b,
+                })?;
+            }
             "--threshold" => threshold = parse_float(&value("--threshold")?, "--threshold")?,
             "--interval" => interval = parse_num(&value("--interval")?, "--interval")?,
             "--frames-per-phase" => {
@@ -307,6 +362,7 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
     }
     Ok(SubsetArgs {
         path: path.ok_or(ArgError::MissingRequired("trace path"))?,
+        backend,
         threshold,
         interval,
         frames_per_phase,
@@ -395,6 +451,33 @@ mod tests {
         assert_eq!(s.frames_per_phase, 1);
         assert_eq!(s.out_subset, None);
         assert!(!s.json);
+    }
+
+    #[test]
+    fn subset_backend_flag() {
+        let c = parse(&["subset", "a.trace"]).unwrap();
+        let Command::Subset(s) = c else { panic!() };
+        assert_eq!(s.backend, Backend::Threshold);
+        for backend in Backend::ALL {
+            let c = parse(&["subset", "a.trace", "--backend", backend.name()]).unwrap();
+            let Command::Subset(s) = c else { panic!() };
+            assert_eq!(s.backend, backend);
+            assert_eq!(Backend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(
+            parse(&["subset", "a.trace", "--backend", "voronoi"]),
+            Err(ArgError::BadValue {
+                flag: "--backend".into(),
+                value: "voronoi".into()
+            })
+        );
+        assert_eq!(
+            parse(&["subset", "a.trace", "--backend"]),
+            Err(ArgError::MissingValue("--backend".into()))
+        );
+        let c = parse(&["sweep", "a.trace", "--backend", "stratified"]).unwrap();
+        let Command::Sweep(s) = c else { panic!() };
+        assert_eq!(s.backend, Backend::Stratified);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Command, GenArgs, SubsetArgs};
+use crate::args::{Backend, Command, GenArgs, SubsetArgs};
 use std::fmt;
 use std::io::Write;
 use subset3d_core::ClusterMethod;
@@ -252,11 +252,29 @@ fn run_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Maps a `--backend` selection onto its [`ClusterMethod`]. Only the
+/// threshold backend consumes `--threshold`; the alternates use fixed
+/// parameters matched to the bake-off defaults.
+fn cluster_method(args: &SubsetArgs) -> ClusterMethod {
+    match args.backend {
+        Backend::Threshold => ClusterMethod::Threshold {
+            distance: args.threshold,
+        },
+        Backend::KMeans => ClusterMethod::KMeansBic { max_k: 12 },
+        Backend::Stratified => ClusterMethod::Stratified {
+            strata: 8,
+            rate: 0.1,
+        },
+        Backend::PcaAgglo => ClusterMethod::PcaAgglo {
+            components: 4,
+            clusters: 16,
+        },
+    }
+}
+
 fn pipeline(args: &SubsetArgs, workload: &Workload) -> Result<SubsettingOutcome, CliError> {
     let config = SubsetConfig::default()
-        .with_cluster_method(ClusterMethod::Threshold {
-            distance: args.threshold,
-        })
+        .with_cluster_method(cluster_method(args))
         .with_interval_len(args.interval)
         .with_frames_per_phase(args.frames_per_phase);
     let sim = Simulator::new(ArchConfig::baseline());
@@ -556,6 +574,33 @@ mod tests {
         let sweep = run(&["sweep", &path, "--interval", "4"]).unwrap();
         assert!(sweep.contains("correlation"));
 
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn subset_runs_every_backend() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = temp_path("backends");
+        run(&[
+            "gen", "--out", &path, "--frames", "8", "--draws", "40", "--seed", "3",
+        ])
+        .unwrap();
+        for backend in Backend::ALL {
+            let text = run(&[
+                "subset",
+                &path,
+                "--interval",
+                "4",
+                "--backend",
+                backend.name(),
+            ])
+            .unwrap_or_else(|e| panic!("{}: {e}", backend.name()));
+            assert!(
+                text.contains("clustering efficiency"),
+                "{} produced no report",
+                backend.name()
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

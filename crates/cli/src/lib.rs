@@ -17,7 +17,7 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Command, GenArgs, SubsetArgs};
+pub use args::{parse_args, ArgError, Backend, Command, GenArgs, SubsetArgs};
 pub use commands::{run_command, CliError};
 
 /// Usage text printed on parse errors and `--help`.
@@ -28,11 +28,12 @@ USAGE:
     subset3d gen    --out <FILE> [--genre shooter|rts|racing] [--frames N]
                     [--draws N] [--seed N]
     subset3d info   <FILE>
-    subset3d subset <FILE> [--threshold X] [--interval N] [--frames-per-phase N]
+    subset3d subset <FILE> [--backend threshold|kmeans|stratified|pca-agglo]
+                    [--threshold X] [--interval N] [--frames-per-phase N]
                     [--out-subset <JSON>] [--json] [--metrics]
                     [--trace-out <JSON>]
-    subset3d sweep  <FILE> [--threshold X] [--interval N] [--metrics]
-                    [--trace-out <JSON>]
+    subset3d sweep  <FILE> [--backend B] [--threshold X] [--interval N]
+                    [--metrics] [--trace-out <JSON>]
     subset3d rank   <FILE> <SUBSET.JSON>
     subset3d merge  --out <FILE> <TRACE>...
     subset3d stats  <FILE> [--json]
@@ -40,6 +41,11 @@ USAGE:
                     [--trace-out <JSON>]
     subset3d trace-validate <JSON>
     subset3d help
+
+`--backend` selects the clustering methodology: `threshold` (the
+paper's leader clustering; `--threshold` sets its distance), `kmeans`
+(BIC model selection), `stratified` (two-phase stratified sampling) or
+`pca-agglo` (PCA + average-linkage agglomerative merging).
 
 `--metrics` records counters, cache statistics and stage timings during
 the run and appends a JSON MetricsSnapshot after the normal output (see

@@ -17,6 +17,13 @@
 //! All algorithms are deterministic given their seed and produce a common
 //! [`Clustering`] result.
 //!
+//! On top of the raw algorithms sits the [`Subsetter`] trait: a pluggable
+//! backend contract (feature vectors in, partition + representatives out)
+//! with implementations for the threshold path, k-means, two-phase
+//! stratified sampling and PCA + agglomerative merging. Backends fit over
+//! a canonical content ordering, so their output is invariant under input
+//! permutation — see [`canonical_order`].
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +49,7 @@ mod init;
 mod kmeans;
 mod medoid;
 mod silhouette;
+mod subsetter;
 mod threshold;
 
 pub use bic::{bic_score, select_k_bic};
@@ -52,4 +60,8 @@ pub use init::kmeans_plus_plus;
 pub use kmeans::KMeans;
 pub use medoid::medoid_of;
 pub use silhouette::silhouette_score;
+pub use subsetter::{
+    canonical_order, KMeansSubsetter, PcaAggloSubsetter, StratifiedSubsetter, Subsetter,
+    SubsetterFit, ThresholdSubsetter,
+};
 pub use threshold::ThresholdClustering;

@@ -24,6 +24,22 @@ pub enum ClusterMethod {
         /// The fixed cluster count.
         k: usize,
     },
+    /// Two-phase stratified sampling: quantile strata on a cheap scalar
+    /// key, proportional systematic sampling within each stratum.
+    Stratified {
+        /// Number of strata.
+        strata: usize,
+        /// Within-stratum sampling rate in `(0, 1]`.
+        rate: f64,
+    },
+    /// Power-iteration PCA projection followed by average-linkage
+    /// agglomerative merging to a target cluster count.
+    PcaAgglo {
+        /// Principal components to keep.
+        components: usize,
+        /// Target cluster count per frame.
+        clusters: usize,
+    },
 }
 
 /// Configuration of the full subsetting pipeline.
@@ -167,6 +183,25 @@ impl SubsetConfig {
                     return fail("k must be positive");
                 }
             }
+            ClusterMethod::Stratified { strata, rate } => {
+                if strata == 0 {
+                    return fail("strata must be positive");
+                }
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return fail("stratified rate must be in (0, 1]");
+                }
+            }
+            ClusterMethod::PcaAgglo {
+                components,
+                clusters,
+            } => {
+                if components == 0 {
+                    return fail("pca-agglo components must be positive");
+                }
+                if clusters == 0 {
+                    return fail("pca-agglo clusters must be positive");
+                }
+            }
         }
         Ok(())
     }
@@ -217,6 +252,45 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::KMeansFixed { k: 0 });
         assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::Stratified {
+            strata: 0,
+            rate: 0.1,
+        });
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::Stratified {
+            strata: 4,
+            rate: 1.5,
+        });
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::PcaAgglo {
+            components: 0,
+            clusters: 8,
+        });
+        assert!(bad.validate().is_err());
+        let bad = SubsetConfig::default().with_cluster_method(ClusterMethod::PcaAgglo {
+            components: 4,
+            clusters: 0,
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn new_methods_validate_and_round_trip() {
+        let strat = SubsetConfig::default().with_cluster_method(ClusterMethod::Stratified {
+            strata: 8,
+            rate: 0.1,
+        });
+        strat.validate().unwrap();
+        let agglo = SubsetConfig::default().with_cluster_method(ClusterMethod::PcaAgglo {
+            components: 4,
+            clusters: 16,
+        });
+        agglo.validate().unwrap();
+        for config in [strat, agglo] {
+            let json = serde_json::to_string(&config).unwrap();
+            let back: SubsetConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, config);
+        }
     }
 
     #[test]

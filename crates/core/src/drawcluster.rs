@@ -2,7 +2,10 @@
 
 use crate::config::{ClusterMethod, SubsetConfig};
 use serde::{Deserialize, Serialize};
-use subset3d_cluster::{medoid_of, select_k_bic, KMeans, ThresholdClustering};
+use subset3d_cluster::{
+    KMeansSubsetter, PcaAggloSubsetter, StratifiedSubsetter, Subsetter as SubsetterBackend,
+    ThresholdSubsetter,
+};
 use subset3d_features::extract_frame_features;
 use subset3d_obs::LazyHistogram;
 use subset3d_trace::{Frame, Workload};
@@ -63,6 +66,36 @@ impl FrameClustering {
     }
 }
 
+/// Builds the clustering backend a [`ClusterMethod`] selects.
+///
+/// The returned [`SubsetterBackend`](subset3d_cluster::Subsetter) fits over
+/// a canonical content ordering of its input, so every method — including
+/// the order-sensitive leader clustering — produces the same partition for
+/// any permutation of the same draws.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{subsetter_for, ClusterMethod};
+///
+/// let backend = subsetter_for(&ClusterMethod::Threshold { distance: 1.0 }, 0);
+/// assert_eq!(backend.name(), "threshold");
+/// ```
+pub fn subsetter_for(method: &ClusterMethod, seed: u64) -> Box<dyn SubsetterBackend> {
+    match *method {
+        ClusterMethod::Threshold { distance } => Box::new(ThresholdSubsetter::new(distance)),
+        ClusterMethod::KMeansBic { max_k } => Box::new(KMeansSubsetter::bic(max_k, seed)),
+        ClusterMethod::KMeansFixed { k } => Box::new(KMeansSubsetter::fixed(k, seed)),
+        ClusterMethod::Stratified { strata, rate } => {
+            Box::new(StratifiedSubsetter::new(strata, rate, seed))
+        }
+        ClusterMethod::PcaAgglo {
+            components,
+            clusters,
+        } => Box::new(PcaAggloSubsetter::new(components, clusters)),
+    }
+}
+
 /// Clusters one frame's draws on their MAI features.
 ///
 /// The frame's features are extracted, normalised *within the frame* (the
@@ -114,25 +147,15 @@ pub fn cluster_frame(frame: &Frame, workload: &Workload, config: &SubsetConfig) 
         None => matrix.to_rows(),
     };
 
-    let clustering = match config.method {
-        ClusterMethod::Threshold { distance } => ThresholdClustering::new(distance).fit(&points),
-        ClusterMethod::KMeansBic { max_k } => {
-            select_k_bic(&points, 1..=max_k.min(points.len()), config.seed)
-        }
-        ClusterMethod::KMeansFixed { k } => KMeans::new(k).seed(config.seed).fit(&points),
-    };
-
-    let clusters = clustering
+    let fit = subsetter_for(&config.method, config.seed).fit(&points);
+    let clusters = fit
+        .clustering
         .members()
         .into_iter()
-        .filter(|m| !m.is_empty())
-        .map(|members| {
-            let representative =
-                medoid_of(&points, &members).expect("non-empty cluster has a medoid");
-            DrawCluster {
-                members,
-                representative,
-            }
+        .zip(fit.representatives)
+        .map(|(members, representative)| DrawCluster {
+            members,
+            representative,
         })
         .collect();
     FrameClustering {
@@ -231,6 +254,83 @@ mod tests {
         );
         let total: usize = fc.clusters.iter().map(DrawCluster::len).sum();
         assert_eq!(total, frame.draw_count());
+    }
+
+    #[test]
+    fn stratified_produces_valid_partition() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let fc = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::Stratified {
+                strata: 8,
+                rate: 0.1,
+            }),
+        );
+        let total: usize = fc.clusters.iter().map(DrawCluster::len).sum();
+        assert_eq!(total, frame.draw_count());
+        // ~10 % sampling with 8 strata keeps well under one cluster per draw.
+        assert!(fc.efficiency() > 0.5, "efficiency {}", fc.efficiency());
+    }
+
+    #[test]
+    fn pca_agglo_respects_target_count() {
+        let w = workload();
+        let frame = &w.frames()[1];
+        let fc = cluster_frame(
+            frame,
+            &w,
+            &config().with_cluster_method(ClusterMethod::PcaAgglo {
+                components: 4,
+                clusters: 16,
+            }),
+        );
+        let total: usize = fc.clusters.iter().map(DrawCluster::len).sum();
+        assert_eq!(total, frame.draw_count());
+        assert!(fc.cluster_count() <= 16);
+    }
+
+    #[test]
+    fn every_method_clusters_draw_order_invariantly() {
+        // The backends fit over a canonical content ordering, so reversing
+        // the frame's draw list must yield the same partition content.
+        let w = workload();
+        let frame = &w.frames()[0];
+        let reversed = Frame::new(
+            frame.id,
+            (0..frame.draw_count())
+                .rev()
+                .map(|i| frame.draw(i).unwrap())
+                .collect(),
+        );
+        for method in [
+            ClusterMethod::Threshold { distance: 1.02 },
+            ClusterMethod::KMeansBic { max_k: 8 },
+            ClusterMethod::Stratified {
+                strata: 8,
+                rate: 0.1,
+            },
+            ClusterMethod::PcaAgglo {
+                components: 4,
+                clusters: 16,
+            },
+        ] {
+            let cfg = config().with_cluster_method(method.clone());
+            let a = cluster_frame(frame, &w, &cfg);
+            let b = cluster_frame(&reversed, &w, &cfg);
+            assert_eq!(
+                a.cluster_count(),
+                b.cluster_count(),
+                "cluster count moved under draw reversal for {method:?}"
+            );
+            // Cluster populations must match as multisets.
+            let mut sizes_a: Vec<usize> = a.clusters.iter().map(DrawCluster::len).collect();
+            let mut sizes_b: Vec<usize> = b.clusters.iter().map(DrawCluster::len).collect();
+            sizes_a.sort_unstable();
+            sizes_b.sort_unstable();
+            assert_eq!(sizes_a, sizes_b, "populations moved for {method:?}");
+        }
     }
 
     #[test]

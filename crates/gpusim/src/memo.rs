@@ -78,11 +78,21 @@ pub(crate) const ADAPT_WINDOW: u64 = 512;
 const ADAPT_MIN_HIT_RATE: f64 = 0.05;
 
 /// Bypassed batches tolerated before a self-disabled cache re-arms a
-/// fresh observation window. At the default batch width this spaces
-/// re-probes tens of thousands of draws apart, so a stream that stays
-/// unprofitable pays well under a percent for the periodic check while
-/// a stream whose redundancy returns is picked back up promptly.
+/// fresh observation window — the *base* of the re-probe schedule. At
+/// the default batch width this spaces re-probes tens of thousands of
+/// draws apart, so a stream that stays unprofitable pays well under a
+/// percent for the periodic check while a stream whose redundancy
+/// returns is picked back up promptly.
 pub(crate) const REPROBE_AFTER_BATCHES: u64 = 256;
+
+/// Ceiling of the re-probe backoff. Each re-probe whose fresh window is
+/// again judged unprofitable doubles the interval until the next probe,
+/// capped here; a probe whose window proves profitable resets the
+/// interval to [`REPROBE_AFTER_BATCHES`]. Without the backoff a stream
+/// that never profits oscillates disable/re-probe every
+/// [`REPROBE_AFTER_BATCHES`] batches for its whole duration, paying a
+/// full [`ADAPT_WINDOW`] of bookkeeping per oscillation.
+pub(crate) const REPROBE_BACKOFF_CAP: u64 = 8192;
 
 /// FNV-1a offset bases of the two independent digest streams, and the
 /// shared 64-bit FNV prime.
@@ -287,6 +297,22 @@ impl CacheStats {
             Some(self.batch_hits as f64 / total as f64)
         }
     }
+
+    /// Counter-wise difference `self − earlier`: the cache activity
+    /// between two snapshots of the same simulator. Saturating, so a
+    /// snapshot taken across a [`ShapeCache::clear`] degrades to the
+    /// post-clear counts instead of wrapping.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bypassed: self.bypassed.saturating_sub(earlier.bypassed),
+            batch_hits: self.batch_hits.saturating_sub(earlier.batch_hits),
+            batch_misses: self.batch_misses.saturating_sub(earlier.batch_misses),
+            auto_disables: self.auto_disables.saturating_sub(earlier.auto_disables),
+            reprobes: self.reprobes.saturating_sub(earlier.reprobes),
+        }
+    }
 }
 
 /// Sharded, thread-safe memo table from [`DrawShape`] to [`DrawCost`].
@@ -307,6 +333,13 @@ pub(crate) struct ShapeCache {
     window_misses: AtomicU64,
     /// Batches bypassed since the last auto-disable; drives re-probing.
     bypassed_batches: AtomicU64,
+    /// Bypassed batches required before the *next* re-probe: starts at
+    /// [`REPROBE_AFTER_BATCHES`], doubles after every failed re-probe up
+    /// to [`REPROBE_BACKOFF_CAP`], and resets on a profitable window.
+    reprobe_interval: AtomicU64,
+    /// Set between a re-probe and its window judgment, so a disable can
+    /// tell a *failed probe* (back off) from a first-time disable.
+    probing: AtomicU8,
     mode: AtomicU8,
     /// Set when `Auto` judged memoization unprofitable; cleared by
     /// re-probing, [`ShapeCache::set_mode`] and [`ShapeCache::clear`].
@@ -325,6 +358,8 @@ impl ShapeCache {
             window_hits: AtomicU64::new(0),
             window_misses: AtomicU64::new(0),
             bypassed_batches: AtomicU64::new(0),
+            reprobe_interval: AtomicU64::new(REPROBE_AFTER_BATCHES),
+            probing: AtomicU8::new(0),
             mode: AtomicU8::new(CacheMode::Auto as u8),
             auto_bypass: AtomicU8::new(0),
         }
@@ -390,6 +425,15 @@ impl ShapeCache {
             return;
         }
         if (hits as f64) < ADAPT_MIN_HIT_RATE * lookups as f64 {
+            if self.probing.swap(0, Ordering::Relaxed) == 1 {
+                // A re-probe's window failed: the stream is still
+                // unprofitable, so back off — double the wait before the
+                // next probe, up to the cap — instead of oscillating at
+                // the base interval forever.
+                let next =
+                    (self.reprobe_interval.load(Ordering::Relaxed) * 2).min(REPROBE_BACKOFF_CAP);
+                self.reprobe_interval.store(next, Ordering::Relaxed);
+            }
             self.auto_bypass.store(1, Ordering::Relaxed);
             self.bypassed_batches.store(0, Ordering::Relaxed);
             self.auto_disables.fetch_add(1, Ordering::Relaxed);
@@ -402,26 +446,35 @@ impl ShapeCache {
             );
         } else {
             // Profitable window: restart the observation so the judgment
-            // always reflects recent behaviour.
+            // always reflects recent behaviour, and reset the re-probe
+            // schedule — profitability proven, any earlier backoff is
+            // stale.
             self.window_hits.store(0, Ordering::Relaxed);
             self.window_misses.store(0, Ordering::Relaxed);
+            self.probing.store(0, Ordering::Relaxed);
+            self.reprobe_interval
+                .store(REPROBE_AFTER_BATCHES, Ordering::Relaxed);
         }
     }
 
     /// Notes that one batch was processed without consulting the cache.
-    /// After [`REPROBE_AFTER_BATCHES`] such batches, an adaptively
-    /// disabled cache re-arms a fresh observation window — the fix for
-    /// the latch-off-forever failure mode, where one unprofitable
-    /// prefix disabled memoization for the process lifetime.
+    /// After the current re-probe interval's worth of such batches
+    /// ([`REPROBE_AFTER_BATCHES`] at first, doubled per failed probe up
+    /// to [`REPROBE_BACKOFF_CAP`]), an adaptively disabled cache re-arms
+    /// a fresh observation window — the fix for the latch-off-forever
+    /// failure mode, where one unprofitable prefix disabled memoization
+    /// for the process lifetime, without the opposite failure mode of
+    /// oscillating on streams that never profit.
     pub(crate) fn note_bypassed_batch(&self) {
         if self.auto_bypass.load(Ordering::Relaxed) == 0 {
             return; // `Off` mode bypasses deliberately; never re-probe.
         }
         let batches = self.bypassed_batches.fetch_add(1, Ordering::Relaxed) + 1;
-        if batches >= REPROBE_AFTER_BATCHES {
+        if batches >= self.reprobe_interval.load(Ordering::Relaxed) {
             self.bypassed_batches.store(0, Ordering::Relaxed);
             self.window_hits.store(0, Ordering::Relaxed);
             self.window_misses.store(0, Ordering::Relaxed);
+            self.probing.store(1, Ordering::Relaxed);
             self.auto_bypass.store(0, Ordering::Relaxed);
             self.reprobes.fetch_add(1, Ordering::Relaxed);
             OBS_REPROBE.incr();
@@ -443,11 +496,15 @@ impl ShapeCache {
 
     pub(crate) fn set_mode(&self, mode: CacheMode) {
         self.mode.store(mode as u8, Ordering::Relaxed);
-        // Switching policy re-arms adaptation with a fresh window.
+        // Switching policy re-arms adaptation with a fresh window and a
+        // fresh re-probe schedule.
         self.auto_bypass.store(0, Ordering::Relaxed);
         self.window_hits.store(0, Ordering::Relaxed);
         self.window_misses.store(0, Ordering::Relaxed);
         self.bypassed_batches.store(0, Ordering::Relaxed);
+        self.reprobe_interval
+            .store(REPROBE_AFTER_BATCHES, Ordering::Relaxed);
+        self.probing.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn mode(&self) -> CacheMode {
@@ -474,6 +531,9 @@ impl ShapeCache {
         self.window_hits.store(0, Ordering::Relaxed);
         self.window_misses.store(0, Ordering::Relaxed);
         self.bypassed_batches.store(0, Ordering::Relaxed);
+        self.reprobe_interval
+            .store(REPROBE_AFTER_BATCHES, Ordering::Relaxed);
+        self.probing.store(0, Ordering::Relaxed);
         self.auto_bypass.store(0, Ordering::Relaxed);
     }
 
@@ -761,6 +821,118 @@ mod tests {
         }
         assert!(cache.memoizing(), "profitable re-probe window stayed on");
         assert_eq!(cache.stats().auto_disables, 1);
+    }
+
+    /// Runs one full adaptation window of all-miss lookups (fresh shapes
+    /// starting at `start`), returning the next unused shape number.
+    fn burn_unprofitable_window(cache: &ShapeCache, start: u32) -> u32 {
+        for i in start..start + ADAPT_WINDOW as u32 {
+            cache.get_or_compute(|| shape(f64::from(i)), compute);
+        }
+        start + ADAPT_WINDOW as u32
+    }
+
+    #[test]
+    fn failed_reprobes_back_off_exponentially() {
+        let cache = ShapeCache::new();
+        let mut next = burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing(), "expected initial auto-disable");
+
+        // Each failed probe doubles the wait until the next, capped; the
+        // cap then holds for further failures.
+        let schedule = [256u64, 512, 1024, 2048, 4096, 8192, 8192, 8192];
+        assert_eq!(schedule[0], REPROBE_AFTER_BATCHES);
+        assert_eq!(*schedule.last().unwrap(), REPROBE_BACKOFF_CAP);
+        for (round, &interval) in schedule.iter().enumerate() {
+            for _ in 0..interval - 1 {
+                cache.note_bypassed_batch();
+            }
+            assert!(
+                !cache.memoizing(),
+                "round {round}: re-probed {} batches early",
+                interval
+            );
+            cache.note_bypassed_batch();
+            assert!(cache.memoizing(), "round {round}: probe did not re-arm");
+            assert_eq!(cache.stats().reprobes, round as u64 + 1);
+            // The probe window fails again: still no redundancy.
+            next = burn_unprofitable_window(&cache, next);
+            assert!(!cache.memoizing(), "round {round}: window must fail");
+        }
+    }
+
+    #[test]
+    fn profitable_probe_window_resets_the_backoff() {
+        let cache = ShapeCache::new();
+        let mut next = burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing());
+
+        // Fail one probe to reach a widened interval (512).
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        next = burn_unprofitable_window(&cache, next);
+        for _ in 0..2 * REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        assert!(cache.memoizing(), "second probe at the doubled interval");
+
+        // This probe's window proves profitable: all-hit lookups plus one
+        // judging miss past the window. The judgment restarts the window,
+        // so a second full all-miss window is needed to disable again.
+        for _ in 0..ADAPT_WINDOW {
+            cache.get_or_compute(|| shape(0.0), compute);
+        }
+        next = burn_unprofitable_window(&cache, next);
+        next = burn_unprofitable_window(&cache, next);
+        assert!(
+            !cache.memoizing(),
+            "follow-up unprofitable windows disable again"
+        );
+        // The successful probe reset the schedule: the next re-probe
+        // comes after the base interval again, not the doubled one.
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        assert!(cache.memoizing(), "backoff must reset after success");
+        let _ = next;
+    }
+
+    #[test]
+    fn stats_delta_subtracts_and_saturates() {
+        let earlier = CacheStats {
+            hits: 10,
+            misses: 5,
+            bypassed: 2,
+            batch_hits: 1,
+            batch_misses: 1,
+            auto_disables: 1,
+            reprobes: 1,
+        };
+        let later = CacheStats {
+            hits: 25,
+            misses: 9,
+            bypassed: 2,
+            batch_hits: 4,
+            batch_misses: 1,
+            auto_disables: 2,
+            reprobes: 1,
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(
+            d,
+            CacheStats {
+                hits: 15,
+                misses: 4,
+                bypassed: 0,
+                batch_hits: 3,
+                batch_misses: 0,
+                auto_disables: 1,
+                reprobes: 0,
+            }
+        );
+        // A snapshot spanning a clear() saturates instead of wrapping.
+        assert_eq!(CacheStats::default().delta(&earlier), CacheStats::default());
     }
 
     #[test]

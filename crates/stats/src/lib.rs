@@ -26,6 +26,7 @@ mod bootstrap;
 mod correlation;
 mod descriptive;
 mod histogram;
+mod pca;
 mod percentile;
 mod regression;
 mod summary;
@@ -37,6 +38,7 @@ pub use descriptive::{
     variance,
 };
 pub use histogram::{Histogram, HistogramBin};
+pub use pca::{Pca, PcaError};
 pub use percentile::{median, percentile, Percentiles};
 pub use regression::{linear_fit, LinearFit};
 pub use summary::Summary;

@@ -17,6 +17,7 @@
 //!
 //! Everything else is exact.
 
+use subset3d_cluster::Subsetter as SubsetterBackend;
 use subset3d_core::{predict_frame, FrameClustering};
 use subset3d_gpusim::{ArchConfig, CacheMode, FrameCost, Simulator};
 use subset3d_trace::{Frame, Workload};
@@ -227,9 +228,83 @@ pub fn check_cluster_relabeling(
     Ok(())
 }
 
+/// **Backend partition contract**: a [`SubsetterBackend`] fit over any
+/// point set must be a valid partition with exactly one in-cluster
+/// representative per cluster ([`subset3d_cluster::SubsetterFit::check`]).
+///
+/// # Errors
+///
+/// Returns the backend name plus the first contract violation.
+pub fn check_backend_partition(
+    backend: &dyn SubsetterBackend,
+    points: &[Vec<f64>],
+) -> Result<(), String> {
+    let fit = backend.fit(points);
+    fit.check(points.len())
+        .map_err(|e| format!("backend {}: {e}", backend.name()))
+}
+
+/// **Backend permutation invariance**: a backend's partition depends only
+/// on the multiset of feature vectors, never on submission order. Fits the
+/// original and a permuted copy and checks that the label sequences
+/// correspond under the permutation and that the representative *vectors*
+/// (not indices) are identical.
+///
+/// `permutation` maps new position → original point index.
+///
+/// # Errors
+///
+/// Returns the backend name plus the divergence, or a description of a
+/// malformed `permutation`.
+pub fn check_backend_permutation(
+    backend: &dyn SubsetterBackend,
+    points: &[Vec<f64>],
+    permutation: &[usize],
+) -> Result<(), String> {
+    if permutation.len() != points.len() {
+        return Err(format!(
+            "permutation length {} != point count {}",
+            permutation.len(),
+            points.len()
+        ));
+    }
+    let mut seen = vec![false; points.len()];
+    for &p in permutation {
+        if p >= points.len() || seen[p] {
+            return Err(format!("not a permutation: index {p}"));
+        }
+        seen[p] = true;
+    }
+    let shuffled: Vec<Vec<f64>> = permutation.iter().map(|&i| points[i].clone()).collect();
+    let a = backend.fit(points);
+    let b = backend.fit(&shuffled);
+    // Point permutation[i] of the original is point i of the shuffle, so
+    // under canonical labels the sequences must correspond exactly.
+    let relabeled: Vec<usize> = permutation
+        .iter()
+        .map(|&i| a.clustering.assignments()[i])
+        .collect();
+    if relabeled != b.clustering.assignments() {
+        return Err(format!(
+            "backend {}: assignments depend on point order",
+            backend.name()
+        ));
+    }
+    let reps_a: Vec<&Vec<f64>> = a.representatives.iter().map(|&r| &points[r]).collect();
+    let reps_b: Vec<&Vec<f64>> = b.representatives.iter().map(|&r| &shuffled[r]).collect();
+    if reps_a != reps_b {
+        return Err(format!(
+            "backend {}: representative vectors depend on point order",
+            backend.name()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use subset3d_cluster::ThresholdSubsetter;
     use subset3d_core::{cluster_frame, SubsetConfig};
     use subset3d_trace::gen::GameProfile;
 
@@ -259,6 +334,20 @@ mod tests {
         let k = clustering.clusters.len();
         let rotate: Vec<usize> = (0..k).map(|i| (i + 1) % k).collect();
         check_cluster_relabeling(&clustering, &cost, &rotate).unwrap();
+    }
+
+    #[test]
+    fn backend_checkers_pass_and_reject() {
+        let points: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64 * 0.9).sin() * 2.0, i as f64 % 3.0])
+            .collect();
+        let backend = ThresholdSubsetter::new(0.7);
+        check_backend_partition(&backend, &points).unwrap();
+        let reversed: Vec<usize> = (0..points.len()).rev().collect();
+        check_backend_permutation(&backend, &points, &reversed).unwrap();
+        let bad = vec![0; points.len()];
+        let err = check_backend_permutation(&backend, &points, &bad).unwrap_err();
+        assert!(err.contains("not a permutation"), "{err}");
     }
 
     #[test]

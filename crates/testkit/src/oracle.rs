@@ -226,6 +226,23 @@ pub fn run_oracle(
     workload: &Workload,
     sim: &Simulator,
 ) -> Result<OracleReport, SimError> {
+    run_oracle_with_config(context, workload, sim, &SubsetConfig::default())
+}
+
+/// [`run_oracle`] with an explicit pipeline configuration for the
+/// prediction-layer check, so the oracle can hold *every* clustering
+/// backend — not just the default threshold method — to the bitwise
+/// contract.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] as [`run_oracle`] does.
+pub fn run_oracle_with_config(
+    context: &str,
+    workload: &Workload,
+    sim: &Simulator,
+    subset_config: &SubsetConfig,
+) -> Result<OracleReport, SimError> {
     let config = sim.config().clone();
     let reference_cost = reference::reference_workload_cost(workload, &config)?;
     let optimized_cost = sim.simulate_workload(workload)?;
@@ -280,9 +297,8 @@ pub fn run_oracle(
     // Prediction error: the clustering evaluation arithmetic, naive vs
     // production, on the optimized costs (the cost layer was compared
     // above; this isolates the prediction layer).
-    let subset_config = SubsetConfig::default();
     for (fi, frame) in workload.frames().iter().enumerate() {
-        let clustering = cluster_frame(frame, workload, &subset_config);
+        let clustering = cluster_frame(frame, workload, subset_config);
         let cost = &optimized_cost.frames[fi];
         let reference_pred = reference_predict_frame(&clustering, cost);
         let optimized_pred = predict_frame(&clustering, cost);
@@ -333,6 +349,21 @@ pub fn run_oracle_all_modes(
     workload: &Workload,
     config: &ArchConfig,
 ) -> Result<OracleReport, SimError> {
+    run_oracle_all_modes_with_config(label, workload, config, &SubsetConfig::default())
+}
+
+/// [`run_oracle_all_modes`] with an explicit pipeline configuration, so
+/// the cache-mode matrix can be swept once per clustering backend.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any pass.
+pub fn run_oracle_all_modes_with_config(
+    label: &str,
+    workload: &Workload,
+    config: &ArchConfig,
+    subset_config: &SubsetConfig,
+) -> Result<OracleReport, SimError> {
     let threads = subset3d_exec::thread_count();
     let mut divergences = Vec::new();
     let mut draws_compared = 0;
@@ -341,7 +372,7 @@ pub fn run_oracle_all_modes(
         sim.set_cache_mode(mode);
         for pass in 0..2 {
             let context = format!("{label}/{mode:?}/{threads}t/pass{pass}");
-            let report = run_oracle(&context, workload, &sim)?;
+            let report = run_oracle_with_config(&context, workload, &sim, subset_config)?;
             divergences.extend(report.divergences);
             draws_compared += report.draws_compared;
         }

@@ -31,6 +31,17 @@ cargo run -p subset3d-cli --release -q -- trace-profile "$TRACE_TMP/smoke.trace"
     --trace-out "$TRACE_TMP/smoke.trace.json"
 cargo run -p subset3d-cli --release -q -- trace-validate "$TRACE_TMP/smoke.trace.json"
 
+# Backend smoke: run the subsetting pipeline once per clustering backend
+# on the same small workload, each under the tracer, and re-validate
+# every emitted trace. Catches a backend that panics, hangs or emits a
+# malformed timeline before the full bake-off would.
+for backend in threshold kmeans stratified pca-agglo; do
+    cargo run -p subset3d-cli --release -q -- subset "$TRACE_TMP/smoke.trace" \
+        --backend "$backend" --trace-out "$TRACE_TMP/smoke.$backend.json"
+    cargo run -p subset3d-cli --release -q -- trace-validate \
+        "$TRACE_TMP/smoke.$backend.json"
+done
+
 # Perf guard, report-only: compare the committed benchmark report against
 # a fresh median-of-3 measurement. Machine variance makes a hard gate
 # flaky in CI, so --check prints regressions without failing the build;
