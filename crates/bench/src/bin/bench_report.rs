@@ -35,6 +35,10 @@
 //! efficiency and outlier fraction across the three game profiles. The
 //! measurement code is shared with `bench_diff` via
 //! [`subset3d_bench::report`].
+//!
+//! The **serve_replay** scenario streams the same workload through
+//! concurrent `subset3d-serve` sessions in chunks, recording session and
+//! frame throughput plus the per-chunk incremental-fit latency digest.
 
 use subset3d_bench::report::{
     best_timer, collect, Report, Scenario, BAKEOFF_DRAWS_PER_FRAME, BAKEOFF_FRAMES, OVERHEAD_REPS,
@@ -85,6 +89,19 @@ fn main() {
         report.metrics_overhead_raw_pct,
         report.trace_overhead_raw_pct,
     );
+    if let Some(s) = &report.serve_replay {
+        println!(
+            "serve_replay: {} sessions x {} frames ({}-frame chunks) | \
+             {:.1} sessions/s | {:.0} frames/s | ingest p50 {:.3}ms p99 {:.3}ms",
+            s.sessions,
+            s.frames_per_session,
+            s.chunk_frames,
+            s.sessions_per_sec,
+            s.frames_per_sec,
+            s.ingest_latency.p50_ns as f64 / 1e6,
+            s.ingest_latency.p99_ns as f64 / 1e6,
+        );
+    }
     bakeoff_table(&report);
 }
 

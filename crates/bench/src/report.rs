@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter};
 use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
+use subset3d_serve::{replay, ReplayOptions, ReplayOutcome, ServeConfig};
 use subset3d_trace::gen::GameProfile;
 use subset3d_trace::Workload;
 
@@ -118,6 +119,73 @@ pub struct Report {
     /// predating pluggable backends, hence the default.
     #[serde(default)]
     pub bakeoff: Vec<BackendScore>,
+    /// Streaming-service replay throughput and incremental-fit latency.
+    /// Absent from reports predating the serve layer, hence the default.
+    #[serde(default)]
+    pub serve_replay: Option<ServeReplayBench>,
+}
+
+/// Percentile digest of a set of per-call latencies, nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyDigest {
+    /// Samples the digest summarises.
+    pub count: usize,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 90th-percentile latency.
+    pub p90_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+impl LatencyDigest {
+    /// Digests `samples` (any order); all-zero for an empty set.
+    pub fn of(samples: &[u64]) -> LatencyDigest {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencyDigest {
+            count: sorted.len(),
+            mean_ns: if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+            },
+            p50_ns: pct(50.0),
+            p90_ns: pct(90.0),
+            p99_ns: pct(99.0),
+            max_ns: sorted.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// The streaming-service replay scenario: the bench workload cut into
+/// chunks and fanned through concurrent serve sessions on the shared
+/// pool (see [`collect_serve_replay`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReplayBench {
+    /// Concurrent sessions fed the same stream.
+    pub sessions: usize,
+    /// Frames per ingested chunk.
+    pub chunk_frames: usize,
+    /// Frames streamed into each session.
+    pub frames_per_session: usize,
+    /// Session drains per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Frame ingests per wall-clock second, summed over sessions.
+    pub frames_per_sec: f64,
+    /// Per-chunk incremental-fit (ingest call) latency distribution.
+    pub ingest_latency: LatencyDigest,
 }
 
 /// One backend × profile cell of the cross-methodology bake-off.
@@ -263,6 +331,41 @@ fn bakeoff_scores(frames: usize, draws_per_frame: usize) -> Vec<BackendScore> {
 /// prediction error, subsetting efficiency and outlier fraction.
 pub fn collect_bakeoff() -> Vec<BackendScore> {
     bakeoff_scores(BAKEOFF_FRAMES, BAKEOFF_DRAWS_PER_FRAME)
+}
+
+/// Concurrent sessions in the serve-replay scenario.
+pub const SERVE_SESSIONS: usize = 4;
+
+/// Frames per chunk in the serve-replay scenario.
+pub const SERVE_CHUNK_FRAMES: usize = 16;
+
+/// Streams `workload` through [`SERVE_SESSIONS`] concurrent serve
+/// sessions in [`SERVE_CHUNK_FRAMES`]-frame chunks, [`RUNS`] times, and
+/// digests the fastest run: drain/ingest throughput plus the per-chunk
+/// incremental-fit latency distribution.
+pub fn collect_serve_replay(workload: &Workload) -> ServeReplayBench {
+    let config = ServeConfig::default();
+    let options = ReplayOptions {
+        sessions: SERVE_SESSIONS,
+        chunk_frames: SERVE_CHUNK_FRAMES,
+    };
+    let mut best: Option<ReplayOutcome> = None;
+    for _ in 0..RUNS {
+        let outcome = replay(workload, &config, &options).expect("serve replay");
+        if best.as_ref().is_none_or(|b| outcome.wall_ns < b.wall_ns) {
+            best = Some(outcome);
+        }
+    }
+    let outcome = best.expect("RUNS >= 1");
+    let summary = outcome.summary();
+    ServeReplayBench {
+        sessions: summary.sessions,
+        chunk_frames: summary.chunk_frames,
+        frames_per_session: summary.frames_per_session,
+        sessions_per_sec: summary.sessions_per_sec,
+        frames_per_sec: summary.frames_per_sec,
+        ingest_latency: LatencyDigest::of(&outcome.ingest_ns),
+    }
 }
 
 fn measurement(wall_ms: f64, draws: usize) -> Measurement {
@@ -472,6 +575,10 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         RUNS,
     );
 
+    // -- streaming service replay --------------------------------------
+    // Runs on the same default-thread pool as the parallel arms.
+    let serve_replay = collect_serve_replay(&workload);
+
     Report {
         threads,
         workload_frames: workload.frames().len(),
@@ -488,6 +595,7 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         oracle_check_ms,
         metrics,
         bakeoff: collect_bakeoff(),
+        serve_replay: Some(serve_replay),
     }
 }
 
@@ -542,6 +650,14 @@ mod tests {
                 efficiency: 12.5,
                 outlier_fraction: 0.02,
             }],
+            serve_replay: Some(ServeReplayBench {
+                sessions: 4,
+                chunk_frames: 16,
+                frames_per_session: 120,
+                sessions_per_sec: 8.0,
+                frames_per_sec: 960.0,
+                ingest_latency: LatencyDigest::of(&[100, 200, 300, 400]),
+            }),
         }
     }
 
@@ -693,6 +809,52 @@ mod tests {
             names,
             ["threshold", "kmeans", "stratified", "pca-agglo"].repeat(3)
         );
+    }
+
+    #[test]
+    fn latency_digest_orders_percentiles_and_handles_empty() {
+        let d = LatencyDigest::of(&[]);
+        assert_eq!((d.count, d.mean_ns, d.max_ns), (0, 0.0, 0));
+
+        // 1..=100 in shuffled order: the digest must sort first.
+        let mut samples: Vec<u64> = (1..=100).rev().collect();
+        samples.swap(3, 77);
+        let d = LatencyDigest::of(&samples);
+        assert_eq!(d.count, 100);
+        assert_eq!(d.mean_ns, 50.5);
+        assert_eq!(d.max_ns, 100);
+        assert!(d.p50_ns <= d.p90_ns && d.p90_ns <= d.p99_ns && d.p99_ns <= d.max_ns);
+        assert_eq!(d.p50_ns, 51); // round(0.5 * 99) = 50 → sorted[50]
+        assert_eq!(d.p99_ns, 99);
+    }
+
+    #[test]
+    fn serve_replay_scenario_collects_on_a_tiny_workload() {
+        // Tiny stand-in for the bench workload: the exact collection
+        // path, scaled down.
+        let workload = GameProfile::racing("serve-bench")
+            .frames(9)
+            .draws_per_frame(30)
+            .build(7)
+            .generate();
+        let s = collect_serve_replay(&workload);
+        assert_eq!(s.sessions, SERVE_SESSIONS);
+        assert_eq!(s.chunk_frames, SERVE_CHUNK_FRAMES);
+        assert_eq!(s.frames_per_session, 9);
+        // 9 frames fit one 16-frame chunk: one ingest per session.
+        assert_eq!(s.ingest_latency.count, SERVE_SESSIONS);
+        assert!(s.sessions_per_sec > 0.0 && s.frames_per_sec > 0.0);
+        assert!(s.ingest_latency.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn reports_without_serve_replay_still_deserialize() {
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let start = json.find(",\"serve_replay\":").unwrap();
+        let stripped = format!("{}{}", &json[..start], &json[json.len() - 1..]);
+        assert!(!stripped.contains("serve_replay"));
+        let back: Report = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.serve_replay, None);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub enum Command {
         /// Trace JSON file to validate.
         path: String,
     },
+    /// Replay a recorded trace through streaming sessions.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -133,6 +135,29 @@ pub struct SubsetArgs {
     pub trace_out: Option<String>,
 }
 
+/// Arguments of `subset3d serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Recorded trace to replay through the service (`--replay`).
+    pub replay: String,
+    /// Frames per ingested chunk.
+    pub chunk: usize,
+    /// Concurrent sessions fed the same stream.
+    pub sessions: usize,
+    /// Clustering backend.
+    pub backend: Backend,
+    /// Clustering distance threshold (threshold backend only).
+    pub threshold: f64,
+    /// Streaming reservoir capacity in frames.
+    pub capacity: usize,
+    /// Print the machine-readable JSON summary instead of the table.
+    pub json: bool,
+    /// Record metrics during the run and append a snapshot to the output.
+    pub metrics: bool,
+    /// Optional path to write a Chrome trace-event JSON of the run.
+    pub trace_out: Option<String>,
+}
+
 /// A command-line parsing failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgError {
@@ -208,6 +233,7 @@ where
             }
             Ok(Command::TraceValidate { path })
         }
+        "serve" => Ok(Command::Serve(parse_serve(&rest)?)),
         "merge" => {
             let mut it = rest.iter();
             let mut out = None;
@@ -370,6 +396,67 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
         trace_out,
         json,
         metrics,
+    })
+}
+
+fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
+    let mut replay = None;
+    let mut chunk = 16usize;
+    let mut sessions = 1usize;
+    let mut backend = Backend::default();
+    let mut threshold = 1.02f64;
+    let mut capacity = subset3d_serve::DEFAULT_RESERVOIR_CAPACITY;
+    let mut json = false;
+    let mut metrics = false;
+    let mut trace_out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        match arg.as_str() {
+            "--replay" => replay = Some(value("--replay")?),
+            "--chunk" => chunk = parse_num(&value("--chunk")?, "--chunk")?,
+            "--sessions" => sessions = parse_num(&value("--sessions")?, "--sessions")?,
+            "--backend" => {
+                let b = value("--backend")?;
+                backend = Backend::parse(&b).ok_or(ArgError::BadValue {
+                    flag: "--backend".into(),
+                    value: b,
+                })?;
+            }
+            "--threshold" => threshold = parse_float(&value("--threshold")?, "--threshold")?,
+            "--capacity" => capacity = parse_num(&value("--capacity")?, "--capacity")?,
+            "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            other => return Err(ArgError::UnknownFlag(other.to_string())),
+        }
+    }
+    if chunk == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--chunk".into(),
+            value: "0".into(),
+        });
+    }
+    if sessions == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--sessions".into(),
+            value: "0".into(),
+        });
+    }
+    Ok(ServeArgs {
+        replay: replay.ok_or(ArgError::MissingRequired("--replay <FILE>"))?,
+        chunk,
+        sessions,
+        backend,
+        threshold,
+        capacity,
+        json,
+        metrics,
+        trace_out,
     })
 }
 
@@ -612,6 +699,66 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["trace-validate", "a", "b"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn serve_parses_replay_and_flags() {
+        let c = parse(&["serve", "--replay", "a.trace"]).unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert_eq!(s.replay, "a.trace");
+        assert_eq!(s.chunk, 16);
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.backend, Backend::Threshold);
+        assert_eq!(s.capacity, subset3d_serve::DEFAULT_RESERVOIR_CAPACITY);
+        assert!(!s.json && !s.metrics && s.trace_out.is_none());
+
+        let c = parse(&[
+            "serve",
+            "--replay",
+            "a.trace",
+            "--chunk",
+            "4",
+            "--sessions",
+            "3",
+            "--backend",
+            "kmeans",
+            "--capacity",
+            "32",
+            "--json",
+            "--metrics",
+            "--trace-out",
+            "t.json",
+        ])
+        .unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert_eq!((s.chunk, s.sessions, s.capacity), (4, 3, 32));
+        assert_eq!(s.backend, Backend::KMeans);
+        assert!(s.json && s.metrics);
+        assert_eq!(s.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_args() {
+        assert_eq!(
+            parse(&["serve"]),
+            Err(ArgError::MissingRequired("--replay <FILE>"))
+        );
+        assert!(matches!(
+            parse(&["serve", "--replay", "a", "--chunk", "0"]),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["serve", "--replay", "a", "--sessions", "0"]),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["serve", "--replay", "a", "--wat"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(&["serve", "positional"]),
             Err(ArgError::UnknownFlag(_))
         ));
     }

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Backend, Command, GenArgs, SubsetArgs};
+use crate::args::{Backend, Command, GenArgs, ServeArgs, SubsetArgs};
 use std::fmt;
 use std::io::Write;
 use subset3d_core::ClusterMethod;
@@ -24,6 +24,8 @@ pub enum CliError {
     Serialize(serde_json::Error),
     /// A trace file failed schema validation.
     Trace(String),
+    /// The streaming service failed.
+    Serve(subset3d_serve::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -34,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CliError::Serialize(e) => write!(f, "serialisation error: {e}"),
             CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -70,6 +73,12 @@ impl From<subset3d_gpusim::SimError> for CliError {
     }
 }
 
+impl From<subset3d_serve::ServeError> for CliError {
+    fn from(e: subset3d_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -94,6 +103,9 @@ pub fn run_command(command: &Command, out: &mut dyn Write) -> Result<(), CliErro
         Command::Stats { trace, json } => run_stats(trace, *json, out),
         Command::TraceProfile(args) => run_trace_profile(args, out),
         Command::TraceValidate { path } => run_trace_validate(path, out),
+        Command::Serve(args) => traced(args.trace_out.as_deref(), out, |out| {
+            instrumented(args.metrics, out, |out| run_serve(args, out))
+        }),
     }
 }
 
@@ -255,10 +267,10 @@ fn run_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
 /// Maps a `--backend` selection onto its [`ClusterMethod`]. Only the
 /// threshold backend consumes `--threshold`; the alternates use fixed
 /// parameters matched to the bake-off defaults.
-fn cluster_method(args: &SubsetArgs) -> ClusterMethod {
-    match args.backend {
+fn cluster_method(backend: Backend, threshold: f64) -> ClusterMethod {
+    match backend {
         Backend::Threshold => ClusterMethod::Threshold {
-            distance: args.threshold,
+            distance: threshold,
         },
         Backend::KMeans => ClusterMethod::KMeansBic { max_k: 12 },
         Backend::Stratified => ClusterMethod::Stratified {
@@ -274,7 +286,7 @@ fn cluster_method(args: &SubsetArgs) -> ClusterMethod {
 
 fn pipeline(args: &SubsetArgs, workload: &Workload) -> Result<SubsettingOutcome, CliError> {
     let config = SubsetConfig::default()
-        .with_cluster_method(cluster_method(args))
+        .with_cluster_method(cluster_method(args.backend, args.threshold))
         .with_interval_len(args.interval)
         .with_frames_per_phase(args.frames_per_phase);
     let sim = Simulator::new(ArchConfig::baseline());
@@ -513,6 +525,82 @@ fn run_trace_profile(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliEr
         out,
         "open it at https://ui.perfetto.dev (or chrome://tracing)"
     )?;
+    Ok(())
+}
+
+/// Replays a recorded trace through concurrent streaming sessions and
+/// prints the throughput and the drained end-of-stream subset.
+fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(&args.replay)?;
+    let config = subset3d_serve::ServeConfig {
+        subset: SubsetConfig::default()
+            .with_cluster_method(cluster_method(args.backend, args.threshold)),
+        reservoir_capacity: args.capacity,
+        ..Default::default()
+    };
+    let options = subset3d_serve::ReplayOptions {
+        sessions: args.sessions,
+        chunk_frames: args.chunk,
+    };
+    let outcome = subset3d_serve::replay(&workload, &config, &options)?;
+    let summary = outcome.summary();
+    if args.json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&summary)?)?;
+        return Ok(());
+    }
+    let update = &summary.final_update;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["sessions".into(), summary.sessions.to_string()]);
+    table.row(vec![
+        "chunk size".into(),
+        format!("{} frames", summary.chunk_frames),
+    ]);
+    table.row(vec![
+        "stream".into(),
+        format!(
+            "{} frames/session in {} chunks",
+            summary.frames_per_session, summary.chunks_per_session
+        ),
+    ]);
+    table.row(vec![
+        "throughput".into(),
+        format!(
+            "{:.0} frames/s, {:.1} sessions/s",
+            summary.frames_per_sec, summary.sessions_per_sec
+        ),
+    ]);
+    table.row(vec![
+        "ingest latency".into(),
+        format!("{:.3}ms mean", summary.mean_ingest_ns / 1e6),
+    ]);
+    table.row(vec!["clusters".into(), update.cluster_count.to_string()]);
+    table.row(vec![
+        "representative frames".into(),
+        format!(
+            "{:?}",
+            update
+                .representative_frames
+                .iter()
+                .take(12)
+                .collect::<Vec<_>>()
+        ),
+    ]);
+    table.row(vec![
+        "prediction error".into(),
+        format!("{:.2}%", update.mean_prediction_error * 100.0),
+    ]);
+    table.row(vec![
+        "error bound".into(),
+        format!("{:.2}%", update.error_bound * 100.0),
+    ]);
+    table.row(vec![
+        "reservoir".into(),
+        format!(
+            "{}/{} frames retained",
+            update.reservoir_occupancy, update.reservoir_capacity
+        ),
+    ]);
+    writeln!(out, "{}", table.render())?;
     Ok(())
 }
 
@@ -827,6 +915,102 @@ mod tests {
         );
         std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&out_json).ok();
+    }
+
+    #[test]
+    fn serve_replays_a_recorded_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-trace");
+        run(&[
+            "gen", "--out", &trace, "--frames", "10", "--draws", "40", "--seed", "6",
+        ])
+        .unwrap();
+        let text = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "3",
+            "--sessions",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains("frames/session in 4 chunks"), "{text}");
+        assert!(text.contains("reservoir"), "{text}");
+
+        let json = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "4",
+            "--sessions",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        let summary: subset3d_serve::ReplaySummary =
+            serde_json::from_str(&json).expect("valid serve JSON summary");
+        assert_eq!(summary.frames_per_session, 10);
+        assert_eq!(summary.chunks_per_session, 3);
+        assert_eq!(summary.final_update.frames_seen, 10);
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn serve_trace_out_writes_validating_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-traceout");
+        let out_json = temp_path("serve-chrome");
+        run(&[
+            "gen", "--out", &trace, "--frames", "8", "--draws", "30", "--seed", "1",
+        ])
+        .unwrap();
+        let text = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "3",
+            "--trace-out",
+            &out_json,
+        ])
+        .unwrap();
+        assert!(text.contains("wrote Chrome trace"));
+        let json = std::fs::read_to_string(&out_json).unwrap();
+        // Every frame.link flow the per-frame clustering starts must be
+        // completed by the session's simulate step.
+        subset3d_obs::validate_chrome(&json).expect("serve trace validates");
+        assert!(json.contains("serve.ingest"));
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&out_json).ok();
+    }
+
+    #[test]
+    fn serve_reservoir_capacity_is_respected() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-capacity");
+        run(&[
+            "gen", "--out", &trace, "--frames", "9", "--draws", "30", "--seed", "2",
+        ])
+        .unwrap();
+        let json = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "2",
+            "--capacity",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        let summary: subset3d_serve::ReplaySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary.final_update.reservoir_capacity, 4);
+        assert_eq!(summary.final_update.reservoir_occupancy, 4);
+        assert_eq!(summary.final_update.frames_seen, 9);
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

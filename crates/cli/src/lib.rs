@@ -17,7 +17,7 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Backend, Command, GenArgs, SubsetArgs};
+pub use args::{parse_args, ArgError, Backend, Command, GenArgs, ServeArgs, SubsetArgs};
 pub use commands::{run_command, CliError};
 
 /// Usage text printed on parse errors and `--help`.
@@ -40,6 +40,9 @@ USAGE:
     subset3d trace-profile  <FILE> [--threshold X] [--interval N]
                     [--trace-out <JSON>]
     subset3d trace-validate <JSON>
+    subset3d serve  --replay <FILE> [--chunk N] [--sessions N]
+                    [--backend B] [--threshold X] [--capacity N]
+                    [--json] [--metrics] [--trace-out <JSON>]
     subset3d help
 
 `--backend` selects the clustering methodology: `threshold` (the
@@ -52,6 +55,13 @@ the run and appends a JSON MetricsSnapshot after the normal output (see
 the `metrics:` marker line). `stats` runs an instrumented subsetting
 pass plus an iterated sweep over a trace and reports only the metrics
 (`--json` emits the raw MetricsSnapshot instead of the table).
+
+`serve` drives the streaming service mode: the recorded trace is cut
+into `--chunk`-frame chunks and replayed through `--sessions` concurrent
+online-subsetting sessions; the report shows throughput, ingest latency
+and the drained end-of-stream subset. `--capacity` bounds the per-session
+frame reservoir — streams that fit in it reproduce the batch subset
+bit-for-bit.
 
 `--trace-out` records a per-thread event timeline of the run and writes
 it as Chrome trace-event JSON — open it at https://ui.perfetto.dev.

@@ -1,0 +1,430 @@
+//! Incremental (streaming) subsetter fits.
+//!
+//! The batch [`Subsetter`] trait fits a complete point set in one call. The
+//! streaming service mode instead feeds points as they arrive and asks for
+//! an up-to-date [`SubsetterFit`] after every chunk. This module provides
+//! that contract as [`IncrementalFit`] plus two implementations:
+//!
+//! * [`ReservoirIncremental`] — wraps any batch backend behind a
+//!   deterministic Algorithm-R reservoir (after *CPU Simulation Using
+//!   Two-Phase Stratified Sampling*'s stratum maintenance for unknown
+//!   stream lengths). While the stream fits in the reservoir the fit is
+//!   **bit-identical** to the batch fit over the same points; past capacity
+//!   the backend fits the retained sample.
+//! * [`OnlineKMeans`] — MacQueen-style per-point centroid updates over the
+//!   *whole* stream combined with a reservoir for partition/medoid
+//!   election, so the centroids keep learning even after the reservoir
+//!   stops growing.
+//!
+//! # Chunk-boundary invariance
+//!
+//! Every implementation must make its state a pure function of the point
+//! *sequence*: ingesting `[a, b, c, d]` in one chunk or as `[a] + [b, c, d]`
+//! must produce bit-identical state. The reservoir achieves this by keying
+//! each keep/evict decision on the point's global stream index (a splitmix64
+//! hash of `(seed, index)`), never on chunk shape; MacQueen updates are
+//! per-point by construction. The serve-layer proptests enforce this for
+//! arbitrary chunkings.
+
+use crate::clustering::Clustering;
+use crate::medoid::medoid_of;
+use crate::subsetter::{Subsetter, SubsetterFit};
+
+/// A subsetter fit that absorbs points one chunk at a time.
+///
+/// Implementations are deterministic functions of the ingested point
+/// sequence — chunk boundaries must not influence any retained state — and
+/// [`IncrementalFit::fit`] may be called at any time between chunks.
+pub trait IncrementalFit: Send {
+    /// Absorbs a chunk of points, in stream order.
+    fn ingest(&mut self, points: &[Vec<f64>]);
+
+    /// Fits the current state into a partition + representatives over the
+    /// *retained* points (see [`IncrementalFit::retained`]). Point indices
+    /// in the returned fit index into the retained slice.
+    fn fit(&self) -> SubsetterFit;
+
+    /// Total points ingested over the stream's lifetime.
+    fn points_seen(&self) -> usize;
+
+    /// The retained sample the fit partitions, in slot order.
+    fn retained(&self) -> &[Vec<f64>];
+
+    /// Global stream index of each retained point, parallel to
+    /// [`IncrementalFit::retained`].
+    fn retained_stream_indices(&self) -> &[usize];
+
+    /// Maximum number of points the implementation retains.
+    fn capacity(&self) -> usize;
+}
+
+/// SplitMix64: the reservoir's stateless per-index hash. Deterministic,
+/// well-mixed, and dependency-free.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic Algorithm-R decision for stream index `index` (0-based)
+/// into a reservoir of `capacity` slots: `None` keeps the reservoir as is,
+/// `Some(slot)` replaces that slot. Indices below `capacity` always fill
+/// their own slot.
+fn reservoir_slot(seed: u64, index: usize, capacity: usize) -> Option<usize> {
+    if index < capacity {
+        return Some(index);
+    }
+    // Uniform draw from 0..=index via the per-index hash; keep with
+    // probability capacity/(index+1), exactly Algorithm R.
+    let draw =
+        splitmix64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (index as u64 + 1);
+    if (draw as usize) < capacity {
+        Some(draw as usize)
+    } else {
+        None
+    }
+}
+
+/// Wraps a batch [`Subsetter`] behind a deterministic reservoir sample.
+///
+/// While `points_seen ≤ capacity` the retained sample *is* the stream, so
+/// [`IncrementalFit::fit`] is bit-identical to `backend.fit(all points)`
+/// (the batch fit canonicalises order, so slot order is irrelevant). Past
+/// capacity the backend fits a uniform sample of the stream.
+#[derive(Debug, Clone)]
+pub struct ReservoirIncremental<S: Subsetter> {
+    backend: S,
+    seed: u64,
+    capacity: usize,
+    points: Vec<Vec<f64>>,
+    stream_indices: Vec<usize>,
+    seen: usize,
+}
+
+impl<S: Subsetter> ReservoirIncremental<S> {
+    /// Creates a reservoir-backed incremental fit. `capacity` is clamped to
+    /// at least one slot.
+    pub fn new(backend: S, capacity: usize, seed: u64) -> Self {
+        let capacity = capacity.max(1);
+        ReservoirIncremental {
+            backend,
+            seed,
+            capacity,
+            points: Vec::new(),
+            stream_indices: Vec::new(),
+            seen: 0,
+        }
+    }
+}
+
+impl<S: Subsetter + Send> IncrementalFit for ReservoirIncremental<S> {
+    fn ingest(&mut self, points: &[Vec<f64>]) {
+        for point in points {
+            let index = self.seen;
+            self.seen += 1;
+            match reservoir_slot(self.seed, index, self.capacity) {
+                Some(slot) if slot == self.points.len() => {
+                    self.points.push(point.clone());
+                    self.stream_indices.push(index);
+                }
+                Some(slot) => {
+                    self.points[slot] = point.clone();
+                    self.stream_indices[slot] = index;
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn fit(&self) -> SubsetterFit {
+        self.backend.fit(&self.points)
+    }
+
+    fn points_seen(&self) -> usize {
+        self.seen
+    }
+
+    fn retained(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    fn retained_stream_indices(&self) -> &[usize] {
+        &self.stream_indices
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Online k-means: MacQueen per-point centroid updates over the whole
+/// stream, plus a reservoir for electing concrete representatives.
+///
+/// Centroids spawn (up to `k`) on the first `k` distinct points, then each
+/// arrival moves its nearest centroid by `(x − c)/n`. Unlike the pure
+/// reservoir wrapper, the centroids summarise *every* point — evicted ones
+/// included — so the partition keeps tracking the stream after the
+/// reservoir saturates. While `points_seen ≤ capacity` the fit delegates to
+/// the exact batch backend for bit-identical convergence.
+#[derive(Debug, Clone)]
+pub struct OnlineKMeans<S: Subsetter> {
+    /// Batch backend used verbatim while the stream still fits in the
+    /// reservoir.
+    exact: S,
+    /// Maximum number of online centroids.
+    k: usize,
+    reservoir: ReservoirIncremental<S>,
+    centroids: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+}
+
+impl<S: Subsetter + Clone> OnlineKMeans<S> {
+    /// Creates an online k-means fit with at most `k` centroids (clamped to
+    /// at least one) backed by the given exact batch backend.
+    pub fn new(exact: S, k: usize, capacity: usize, seed: u64) -> Self {
+        OnlineKMeans {
+            exact: exact.clone(),
+            k: k.max(1),
+            reservoir: ReservoirIncremental::new(exact, capacity, seed),
+            centroids: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    fn nearest_centroid(&self, point: &[f64]) -> Option<(usize, f64)> {
+        let mut best = None;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d: f64 = c.iter().zip(point).map(|(a, b)| (a - b) * (a - b)).sum();
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best
+    }
+}
+
+impl<S: Subsetter + Clone + Send> IncrementalFit for OnlineKMeans<S> {
+    fn ingest(&mut self, points: &[Vec<f64>]) {
+        for point in points {
+            self.reservoir.ingest(std::slice::from_ref(point));
+            match self.nearest_centroid(point) {
+                // Spawn until k centroids exist; re-seeing an exact centroid
+                // value updates it instead (keeps duplicates from eating k).
+                Some((_, d)) if d > 0.0 && self.centroids.len() < self.k => {
+                    self.centroids.push(point.clone());
+                    self.counts.push(1);
+                }
+                Some((j, _)) => {
+                    self.counts[j] += 1;
+                    let n = self.counts[j] as f64;
+                    for (c, x) in self.centroids[j].iter_mut().zip(point) {
+                        *c += (x - *c) / n;
+                    }
+                }
+                None => {
+                    self.centroids.push(point.clone());
+                    self.counts.push(1);
+                }
+            }
+        }
+    }
+
+    fn fit(&self) -> SubsetterFit {
+        let retained = self.reservoir.retained();
+        if retained.is_empty() {
+            return SubsetterFit::empty();
+        }
+        // Exact regime: the reservoir still holds the whole stream.
+        if self.reservoir.points_seen() <= self.reservoir.capacity() {
+            return self.exact.fit(retained);
+        }
+        // Streaming regime: assign each retained point to its nearest
+        // online centroid, drop empty clusters, elect medoids.
+        let assignments: Vec<usize> = retained
+            .iter()
+            .map(|p| {
+                self.centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let da: f64 = a.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum();
+                        let db: f64 = b.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum();
+                        da.total_cmp(&db)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut clustering = Clustering::new(assignments, self.centroids.clone());
+        clustering.drop_empty();
+        let representatives = clustering
+            .members()
+            .iter()
+            .map(|members| medoid_of(retained, members).expect("non-empty cluster has a medoid"))
+            .collect();
+        SubsetterFit {
+            clustering,
+            representatives,
+        }
+    }
+
+    fn points_seen(&self) -> usize {
+        self.reservoir.points_seen()
+    }
+
+    fn retained(&self) -> &[Vec<f64>] {
+        self.reservoir.retained()
+    }
+
+    fn retained_stream_indices(&self) -> &[usize] {
+        self.reservoir.retained_stream_indices()
+    }
+
+    fn capacity(&self) -> usize {
+        self.reservoir.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsetter::{KMeansSubsetter, ThresholdSubsetter};
+
+    fn stream(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                vec![(t * 0.61).sin() * 4.0, (t * 1.7).cos() * 3.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reservoir_matches_batch_within_capacity() {
+        let points = stream(24);
+        let backend = ThresholdSubsetter::new(1.0);
+        let mut inc = ReservoirIncremental::new(backend, 64, 9);
+        inc.ingest(&points);
+        assert_eq!(inc.fit(), backend.fit(&points));
+        assert_eq!(inc.retained(), &points[..]);
+        assert_eq!(
+            inc.retained_stream_indices(),
+            (0..24).collect::<Vec<_>>().as_slice()
+        );
+    }
+
+    #[test]
+    fn reservoir_occupancy_is_bounded() {
+        let points = stream(500);
+        let mut inc = ReservoirIncremental::new(ThresholdSubsetter::new(1.0), 16, 3);
+        inc.ingest(&points);
+        assert_eq!(inc.retained().len(), 16);
+        assert_eq!(inc.points_seen(), 500);
+        // Retained indices are valid stream positions, each slot distinct.
+        let mut seen = std::collections::BTreeSet::new();
+        for &i in inc.retained_stream_indices() {
+            assert!(i < 500);
+            assert!(seen.insert(i));
+        }
+    }
+
+    #[test]
+    fn reservoir_is_chunk_invariant() {
+        let points = stream(200);
+        let mut whole = ReservoirIncremental::new(ThresholdSubsetter::new(1.0), 32, 5);
+        whole.ingest(&points);
+        let mut chunked = ReservoirIncremental::new(ThresholdSubsetter::new(1.0), 32, 5);
+        for chunk in points.chunks(7) {
+            chunked.ingest(chunk);
+        }
+        assert_eq!(whole.retained(), chunked.retained());
+        assert_eq!(
+            whole.retained_stream_indices(),
+            chunked.retained_stream_indices()
+        );
+        assert_eq!(whole.fit(), chunked.fit());
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        // Feed 0..n and check the retained stream indices are spread over
+        // the whole stream, not clustered at either end.
+        let n = 2000;
+        let points: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let mut inc = ReservoirIncremental::new(ThresholdSubsetter::new(0.5), 100, 11);
+        inc.ingest(&points);
+        let mean_index: f64 = inc
+            .retained_stream_indices()
+            .iter()
+            .map(|&i| i as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            (mean_index - n as f64 / 2.0).abs() < n as f64 / 5.0,
+            "mean retained index {mean_index} far from uniform"
+        );
+    }
+
+    #[test]
+    fn online_kmeans_exact_within_capacity() {
+        let points = stream(30);
+        let backend = KMeansSubsetter::fixed(4, 7);
+        let mut inc = OnlineKMeans::new(backend, 4, 64, 7);
+        inc.ingest(&points);
+        assert_eq!(inc.fit(), backend.fit(&points));
+    }
+
+    #[test]
+    fn online_kmeans_streams_past_capacity() {
+        let points = stream(300);
+        let mut inc = OnlineKMeans::new(KMeansSubsetter::fixed(4, 7), 4, 32, 7);
+        for chunk in points.chunks(13) {
+            inc.ingest(chunk);
+        }
+        let fit = inc.fit();
+        fit.check(32).expect("streaming fit upholds the contract");
+        assert!(fit.clustering.len() <= 4);
+        assert_eq!(inc.points_seen(), 300);
+    }
+
+    #[test]
+    fn online_kmeans_is_chunk_invariant() {
+        let points = stream(150);
+        let mut a = OnlineKMeans::new(KMeansSubsetter::fixed(3, 1), 3, 16, 1);
+        a.ingest(&points);
+        let mut b = OnlineKMeans::new(KMeansSubsetter::fixed(3, 1), 3, 16, 1);
+        for chunk in points.chunks(4) {
+            b.ingest(chunk);
+        }
+        assert_eq!(a.fit(), b.fit());
+    }
+
+    #[test]
+    fn incremental_factory_covers_every_backend() {
+        let points = stream(40);
+        let backends: Vec<Box<dyn Subsetter + Send>> = vec![
+            Box::new(ThresholdSubsetter::new(0.8)),
+            Box::new(KMeansSubsetter::bic(6, 42)),
+            Box::new(KMeansSubsetter::fixed(4, 42)),
+            Box::new(crate::subsetter::StratifiedSubsetter::new(4, 0.25, 7)),
+            Box::new(crate::subsetter::PcaAggloSubsetter::new(2, 5)),
+        ];
+        for backend in &backends {
+            let mut inc = backend.incremental(64, 3);
+            inc.ingest(&points);
+            let fit = inc.fit();
+            fit.check(points.len()).expect("contract");
+            assert_eq!(fit, backend.fit(&points), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut inc = ReservoirIncremental::new(ThresholdSubsetter::new(1.0), 0, 0);
+        inc.ingest(&stream(5));
+        assert_eq!(inc.capacity(), 1);
+        assert_eq!(inc.retained().len(), 1);
+    }
+}

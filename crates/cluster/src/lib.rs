@@ -24,6 +24,11 @@
 //! a canonical content ordering, so their output is invariant under input
 //! permutation — see [`canonical_order`].
 //!
+//! For streaming consumers every backend can also produce an
+//! [`IncrementalFit`] ([`Subsetter::incremental`]): points arrive in chunks
+//! and the fit re-emits an up-to-date partition between chunks, bit-identical
+//! to the batch fit while the stream still fits in the retention reservoir.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +50,7 @@ mod bic;
 mod clustering;
 mod compare;
 mod hierarchical;
+mod incremental;
 mod init;
 mod kmeans;
 mod medoid;
@@ -56,6 +62,7 @@ pub use bic::{bic_score, select_k_bic};
 pub use clustering::Clustering;
 pub use compare::{adjusted_rand_index, rand_index};
 pub use hierarchical::{Hierarchical, Linkage};
+pub use incremental::{IncrementalFit, OnlineKMeans, ReservoirIncremental};
 pub use init::kmeans_plus_plus;
 pub use kmeans::KMeans;
 pub use medoid::medoid_of;

@@ -16,6 +16,7 @@
 use crate::bic::select_k_bic;
 use crate::clustering::Clustering;
 use crate::hierarchical::{Hierarchical, Linkage};
+use crate::incremental::{IncrementalFit, OnlineKMeans, ReservoirIncremental};
 use crate::kmeans::KMeans;
 use crate::medoid::medoid_of;
 use crate::threshold::ThresholdClustering;
@@ -118,6 +119,17 @@ pub trait Subsetter {
             representatives,
         }
     }
+
+    /// Creates a streaming fit for this backend: points arrive in chunks
+    /// via [`IncrementalFit::ingest`] and [`IncrementalFit::fit`] re-emits
+    /// an up-to-date partition between any two chunks.
+    ///
+    /// `capacity` bounds the retained points (clamped to at least one);
+    /// `seed` drives the deterministic reservoir decisions. Implementations
+    /// must be **chunk-boundary invariant** (state depends only on the point
+    /// sequence) and **bit-identical to the batch fit** while
+    /// `points_seen ≤ capacity`.
+    fn incremental(&self, capacity: usize, seed: u64) -> Box<dyn IncrementalFit>;
 }
 
 /// The canonical point ordering every backend fits over: indices sorted by
@@ -183,6 +195,10 @@ impl Subsetter for ThresholdSubsetter {
     fn fit_ordered(&self, points: &[Vec<f64>]) -> SubsetterFit {
         fit_with_medoids(points, ThresholdClustering::new(self.distance).fit(points))
     }
+
+    fn incremental(&self, capacity: usize, seed: u64) -> Box<dyn IncrementalFit> {
+        Box::new(ReservoirIncremental::new(*self, capacity, seed))
+    }
 }
 
 /// k-means backend: either a fixed `k` or x-means-style BIC selection,
@@ -230,6 +246,16 @@ impl Subsetter for KMeansSubsetter {
             KMeansMode::Fixed { k } => KMeans::new(k.max(1)).seed(self.seed).fit(points),
         };
         fit_with_medoids(points, clustering)
+    }
+
+    fn incremental(&self, capacity: usize, seed: u64) -> Box<dyn IncrementalFit> {
+        // MacQueen centroids keep learning from the whole stream; the k
+        // bound mirrors the batch mode's search ceiling.
+        let k = match self.mode {
+            KMeansMode::Bic { max_k } => max_k,
+            KMeansMode::Fixed { k } => k,
+        };
+        Box::new(OnlineKMeans::new(*self, k, capacity, seed))
     }
 }
 
@@ -345,6 +371,10 @@ impl Subsetter for StratifiedSubsetter {
             representatives: kept_samples,
         }
     }
+
+    fn incremental(&self, capacity: usize, seed: u64) -> Box<dyn IncrementalFit> {
+        Box::new(ReservoirIncremental::new(*self, capacity, seed))
+    }
 }
 
 /// PCA + agglomerative backend (after *Characterizing and Subsetting Big
@@ -393,6 +423,10 @@ impl Subsetter for PcaAggloSubsetter {
         let k = self.clusters.min(points.len()).max(1);
         let clustering = Hierarchical::with_cluster_count(Linkage::Average, k).fit(&projected);
         fit_with_medoids(&projected, clustering)
+    }
+
+    fn incremental(&self, capacity: usize, seed: u64) -> Box<dyn IncrementalFit> {
+        Box::new(ReservoirIncremental::new(*self, capacity, seed))
     }
 }
 

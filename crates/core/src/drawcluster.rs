@@ -96,6 +96,43 @@ pub fn subsetter_for(method: &ClusterMethod, seed: u64) -> Box<dyn SubsetterBack
     }
 }
 
+/// Summarises one frame as a single feature vector: the per-column means of
+/// its **raw** (un-normalised) MAI feature matrix.
+///
+/// This is the point the streaming service clusters *across* frames to pick
+/// representative frames, so normalisation is deliberately skipped —
+/// per-frame z-scoring would zero out exactly the cross-frame differences
+/// the clustering needs. Empty frames summarise to the zero vector.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_core::{frame_feature_point, SubsetConfig};
+/// use subset3d_trace::gen::GameProfile;
+///
+/// let w = GameProfile::shooter("g").frames(2).draws_per_frame(30).build(1).generate();
+/// let config = SubsetConfig::default();
+/// let p = frame_feature_point(&w.frames()[0], &w, &config);
+/// assert_eq!(p.len(), config.features.len());
+/// ```
+pub fn frame_feature_point(frame: &Frame, workload: &Workload, config: &SubsetConfig) -> Vec<f64> {
+    let matrix = extract_frame_features(frame, workload, config.features.clone());
+    let mut means = vec![0.0f64; matrix.cols()];
+    if matrix.rows() == 0 {
+        return means;
+    }
+    for row in matrix.iter_rows() {
+        for (mean, value) in means.iter_mut().zip(row) {
+            *mean += value;
+        }
+    }
+    let n = matrix.rows() as f64;
+    for mean in &mut means {
+        *mean /= n;
+    }
+    means
+}
+
 /// Clusters one frame's draws on their MAI features.
 ///
 /// The frame's features are extracted, normalised *within the frame* (the

@@ -69,7 +69,9 @@ pub use crossframe::{
     cluster_workload_global, predict_workload_global, DrawRef, GlobalCluster, GlobalClustering,
     GlobalPrediction,
 };
-pub use drawcluster::{cluster_frame, subsetter_for, DrawCluster, FrameClustering};
+pub use drawcluster::{
+    cluster_frame, frame_feature_point, subsetter_for, DrawCluster, FrameClustering,
+};
 pub use error::SubsetError;
 pub use interval::{interval_signatures, FrameInterval};
 pub use outlier::{outlier_fraction, OUTLIER_ERROR_THRESHOLD};

@@ -217,6 +217,35 @@ impl Subsetter {
         })
     }
 
+    /// Fits the configured backend over the workload's per-frame feature
+    /// points ([`crate::frame_feature_point`]): one point per frame, one
+    /// partition of the frames, one representative frame per cluster.
+    ///
+    /// This is the batch counterpart of the streaming session's global fit
+    /// — the differential oracle's reference. A session that ingests the
+    /// same frames in the same order with a reservoir at least as large as
+    /// the workload produces a bit-identical fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetError::InvalidConfig`] for inconsistent
+    /// configurations and [`SubsetError::EmptyWorkload`] for empty traces.
+    pub fn global_fit(
+        &self,
+        workload: &Workload,
+    ) -> Result<subset3d_cluster::SubsetterFit, SubsetError> {
+        self.config.validate()?;
+        if workload.frames().is_empty() {
+            return Err(SubsetError::EmptyWorkload);
+        }
+        let points: Vec<Vec<f64>> = workload
+            .frames()
+            .iter()
+            .map(|frame| crate::drawcluster::frame_feature_point(frame, workload, &self.config))
+            .collect();
+        Ok(crate::drawcluster::subsetter_for(&self.config.method, self.config.seed).fit(&points))
+    }
+
     /// Clusters every frame, in parallel on the shared [`subset3d_exec`]
     /// pool. Results are in frame order and identical at any thread count.
     fn cluster_all_frames(&self, workload: &Workload) -> Vec<FrameClustering> {
@@ -317,6 +346,33 @@ mod tests {
             Subsetter::new(bad).run(&w, &sim),
             Err(SubsetError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn global_fit_partitions_frames() {
+        let w = workload();
+        let subsetter = Subsetter::new(SubsetConfig::default());
+        let fit = subsetter.global_fit(&w).unwrap();
+        fit.check(w.frames().len()).unwrap();
+        assert!(!fit.representatives.is_empty());
+        assert!(fit.representatives.len() <= w.frames().len());
+        // Deterministic: same config, same workload, same fit.
+        assert_eq!(fit, subsetter.global_fit(&w).unwrap());
+    }
+
+    #[test]
+    fn global_fit_rejects_empty_workload() {
+        let w = Workload::new(
+            "empty",
+            Vec::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        assert_eq!(
+            Subsetter::new(SubsetConfig::default()).global_fit(&w),
+            Err(SubsetError::EmptyWorkload)
+        );
     }
 
     #[test]

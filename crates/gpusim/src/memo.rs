@@ -300,8 +300,14 @@ impl CacheStats {
 
     /// Counter-wise difference `self − earlier`: the cache activity
     /// between two snapshots of the same simulator. Saturating, so a
-    /// snapshot taken across a [`ShapeCache::clear`] degrades to the
-    /// post-clear counts instead of wrapping.
+    /// snapshot pair straddling a counter reset — [`ShapeCache::clear`]
+    /// on a config change, which also re-arms the adaptive
+    /// disable/re-probe cycle mid-interval — clamps the shrunken fields
+    /// (`auto_disables`, `reprobes`, and any lookup counter that
+    /// restarted below the earlier snapshot) to zero instead of
+    /// wrapping to enormous values. Long-lived observers such as the
+    /// serve layer take deltas on a cadence they do not control, so
+    /// they cannot avoid straddling resets.
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
@@ -933,6 +939,49 @@ mod tests {
         );
         // A snapshot spanning a clear() saturates instead of wrapping.
         assert_eq!(CacheStats::default().delta(&earlier), CacheStats::default());
+    }
+
+    #[test]
+    fn delta_saturates_across_a_mid_cycle_reset() {
+        // Regression: a snapshot pair straddling the cache's counter
+        // reset mid disable/re-probe cycle. Periodic observers (the
+        // serve layer snapshots on its own cadence) can catch a
+        // `clear()` between their two reads; the delta must degrade to
+        // the clamped post-reset activity, never wrap the adaptation
+        // counters to enormous values.
+        let cache = ShapeCache::new();
+        let mut next = burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing(), "expected the initial auto-disable");
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        assert!(cache.memoizing(), "expected a re-probe");
+        // The probe window fails too: every adaptation counter is live.
+        next = burn_unprofitable_window(&cache, next);
+        let earlier = cache.stats();
+        assert_eq!(earlier.misses, 2 * ADAPT_WINDOW);
+        assert_eq!((earlier.auto_disables, earlier.reprobes), (2, 1));
+
+        // The straddled reset: a config change clears the cache and
+        // re-arms adaptation while the observer still holds `earlier`.
+        cache.clear();
+        cache.get_or_compute(|| shape(f64::from(next)), compute);
+        cache.get_or_compute(|| shape(f64::from(next)), compute);
+        let later = cache.stats();
+
+        let d = later.delta(&earlier);
+        // Fields that restarted below the earlier snapshot clamp to
+        // zero; fields genuinely ahead of it (the post-reset hit) still
+        // report their activity.
+        assert_eq!(
+            d,
+            CacheStats {
+                hits: 1,
+                ..CacheStats::default()
+            }
+        );
+        // And nothing wrapped: a delta can never exceed the raw counts.
+        assert!(d.misses <= later.misses && d.auto_disables <= later.auto_disables);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Slot recycling under session-style churn.
+//!
+//! The serve layer opens and closes many short-lived sessions whose
+//! ingests run on pool workers that pre-claim shard slots
+//! ([`subset3d_obs::claim_thread_slot`]). This test reproduces that
+//! lifecycle shape with raw threads — waves of workers that claim,
+//! record and exit, sometimes more of them live at once than the shard
+//! table has exclusive slots — and checks the two accounting contracts
+//! the metrics layer promises under churn:
+//!
+//! 1. exited workers return their exclusive slots (`shard_slots_in_use`
+//!    falls back to its pre-churn level, and later waves never spill);
+//! 2. the slot-0 overflow path is *exact*: counts recorded through the
+//!    shared slot's `fetch_add` fallback aggregate to the arithmetic
+//!    ground truth, never lost or double-counted.
+//!
+//! Workers are joined through [`std::thread::JoinHandle::join`] (a real
+//! thread join), not `thread::scope` — the scope can unblock before a
+//! worker's thread-local destructors have returned its slot, which would
+//! race the `shard_slots_in_use` assertions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use subset3d_obs as obs;
+
+/// Tests in this binary flip the process-global enabled flag, so they
+/// must not interleave.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const EVENTS_PER_WORKER: u64 = 257;
+
+/// Spawns `workers` threads running `f` and fully joins every one, so
+/// their slot-returning thread-local destructors have finished when this
+/// returns.
+fn run_wave(workers: usize, f: impl Fn(usize) + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(w))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+}
+
+#[test]
+fn session_churn_returns_slots_and_loses_nothing() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let counter = obs::counter("churn.sessions.count");
+    let hist = obs::histogram("churn.sessions.ns");
+    let base_count = counter.get();
+    let base_hist = hist.count();
+    let base_live = obs::shard_slots_in_use();
+
+    // Waves of short-lived "session" workers: every wave claims slots,
+    // records, and fully exits before the next begins — the manager's
+    // open/ingest/close cadence. Enough total workers that every
+    // exclusive slot must be recycled for the later waves to stay off
+    // the overflow slot.
+    const WAVES: usize = 10;
+    const WORKERS: usize = 16;
+    for wave in 0..WAVES {
+        run_wave(WORKERS, move |_| {
+            obs::claim_thread_slot();
+            let counter = obs::counter("churn.sessions.count");
+            let hist = obs::histogram("churn.sessions.ns");
+            for _ in 0..EVENTS_PER_WORKER {
+                counter.incr();
+            }
+            hist.record(wave as u64 + 1);
+        });
+        assert_eq!(
+            obs::shard_slots_in_use(),
+            base_live,
+            "wave {wave}: exited workers kept their slots"
+        );
+    }
+
+    let workers = (WAVES * WORKERS) as u64;
+    assert_eq!(counter.get() - base_count, workers * EVENTS_PER_WORKER);
+    assert_eq!(hist.count() - base_hist, workers);
+    assert_eq!(hist.max_ns(), Some(WAVES as u64));
+    obs::set_enabled(false);
+}
+
+#[test]
+fn overflow_slot_accounting_is_exact_with_a_full_table() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let counter = obs::counter("churn.overflow.count");
+    let hist = obs::histogram("churn.overflow.ns");
+    let base_count = counter.get();
+    let base_hist_count = hist.count();
+    let base_hist_sum = hist.sum_ns();
+    let base_live = obs::shard_slots_in_use();
+
+    // More simultaneously live workers than exclusive slots: the barrier
+    // keeps every claim alive at once, so the extras must share slot 0
+    // and take its fetch_add fallback under real contention.
+    let threads = obs::MAX_SHARDS + 24;
+    let barrier = Arc::new(Barrier::new(threads));
+    let peak_live = Arc::new(AtomicUsize::new(0));
+    {
+        let barrier = Arc::clone(&barrier);
+        let peak_live = Arc::clone(&peak_live);
+        run_wave(threads, move |_| {
+            obs::claim_thread_slot();
+            barrier.wait();
+            peak_live.fetch_max(obs::shard_slots_in_use(), Ordering::Relaxed);
+            let counter = obs::counter("churn.overflow.count");
+            let hist = obs::histogram("churn.overflow.ns");
+            for i in 0..EVENTS_PER_WORKER {
+                counter.add(3);
+                hist.record(i);
+            }
+        });
+    }
+
+    // The exclusive table saturated (slot 0 is never exclusive), so some
+    // workers demonstrably went through the overflow slot...
+    let peak = peak_live.load(Ordering::Relaxed);
+    assert!(
+        peak < obs::shard_capacity(),
+        "more exclusive slots in use ({peak}) than the table holds"
+    );
+    assert!(
+        peak >= obs::shard_capacity() - 1 - base_live,
+        "table never saturated (peak {peak}); the overflow path was not exercised"
+    );
+    // ...and every one of their events still aggregated exactly.
+    let n = threads as u64 * EVENTS_PER_WORKER;
+    assert_eq!(counter.get() - base_count, 3 * n, "overflow lost counts");
+    assert_eq!(hist.count() - base_hist_count, n);
+    assert_eq!(
+        hist.sum_ns() - base_hist_sum,
+        threads as u64 * (EVENTS_PER_WORKER * (EVENTS_PER_WORKER - 1) / 2),
+        "overflow histogram sum diverged from ground truth"
+    );
+    // The overflow crowd exits too: nothing stays claimed.
+    assert_eq!(obs::shard_slots_in_use(), base_live);
+    obs::set_enabled(false);
+}
+
+#[test]
+fn mixed_churn_and_overflow_waves_stay_exact() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let counter = obs::counter("churn.mixed.count");
+    let base_count = counter.get();
+    let base_live = obs::shard_slots_in_use();
+
+    // Alternate small session waves with table-overflowing bursts, the
+    // worst-case manager load profile: recycling from wave N must not
+    // corrupt the overflow accounting of burst N+1 or vice versa.
+    let mut expected = 0u64;
+    for round in 0..4 {
+        let workers = if round % 2 == 0 {
+            8
+        } else {
+            obs::MAX_SHARDS + 8
+        };
+        let barrier = Arc::new(Barrier::new(workers));
+        run_wave(workers, move |_| {
+            obs::claim_thread_slot();
+            barrier.wait();
+            let counter = obs::counter("churn.mixed.count");
+            for _ in 0..EVENTS_PER_WORKER {
+                counter.incr();
+            }
+        });
+        expected += workers as u64 * EVENTS_PER_WORKER;
+        assert_eq!(
+            counter.get() - base_count,
+            expected,
+            "round {round} lost or duplicated counts"
+        );
+        assert_eq!(obs::shard_slots_in_use(), base_live, "round {round}");
+    }
+    obs::set_enabled(false);
+}

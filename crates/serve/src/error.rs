@@ -1,0 +1,69 @@
+//! Service-mode errors.
+
+use subset3d_core::SubsetError;
+use subset3d_gpusim::SimError;
+
+/// Everything the streaming service layer can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A configuration field is inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The session id is not (or no longer) open.
+    UnknownSession {
+        /// The offending session id.
+        id: u64,
+    },
+    /// The session is still referenced elsewhere and cannot be drained.
+    SessionBusy {
+        /// The offending session id.
+        id: u64,
+    },
+    /// The ground-truth simulator rejected a frame.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
+            ServeError::UnknownSession { id } => write!(f, "unknown session {id}"),
+            ServeError::SessionBusy { id } => write!(f, "session {id} is still in use"),
+            ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+impl From<SubsetError> for ServeError {
+    fn from(e: SubsetError) -> Self {
+        ServeError::InvalidConfig {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ServeError::InvalidConfig { reason: "x".into() };
+        assert!(e.to_string().contains("invalid serve configuration"));
+        assert!(ServeError::UnknownSession { id: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

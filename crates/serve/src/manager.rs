@@ -1,0 +1,259 @@
+//! Sharded registry of concurrent sessions.
+
+use crate::error::ServeError;
+use crate::session::{ServeConfig, Session, SessionReport, SubsetUpdate};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use subset3d_obs::LazyCounter;
+use subset3d_trace::{Frame, Workload};
+
+static OBS_OPENED: LazyCounter = LazyCounter::new("serve.sessions_opened");
+static OBS_CLOSED: LazyCounter = LazyCounter::new("serve.sessions_closed");
+
+/// Opaque handle to an open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id (diagnostics, logs).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// A [`SubsetUpdate`] plus the wall time its ingest took; the replay
+/// driver's latency histogram is built from these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedUpdate {
+    /// The re-emitted subset.
+    pub update: SubsetUpdate,
+    /// Wall time of the ingest call, nanoseconds.
+    pub ingest_ns: u64,
+}
+
+/// A long-lived registry of concurrent streaming sessions.
+///
+/// Session state is sharded across `obs::shard_capacity()` lock-striped
+/// maps — the same table width the metrics layer sizes its thread slots to
+/// — so concurrent ingests into different sessions rarely contend on the
+/// registry. Batched ingests fan out on the shared [`subset3d_exec`] pool,
+/// whose workers pre-claim [`subset3d_obs::shard`] thread slots.
+pub struct SessionManager {
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionManager {
+    /// Creates a manager sharded to the observability layer's thread-slot
+    /// capacity.
+    pub fn new() -> Self {
+        let shards = subset3d_obs::shard_capacity().max(1);
+        SessionManager {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Session>>>> {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    fn session(&self, id: SessionId) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.shard_of(id.0)
+            .lock()
+            .get(&id.0)
+            .cloned()
+            .ok_or(ServeError::UnknownSession { id: id.0 })
+    }
+
+    /// Opens a session over a stream that references `tables`' resource
+    /// tables (see [`Session::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn open(&self, config: ServeConfig, tables: &Workload) -> Result<SessionId, ServeError> {
+        let session = Session::new(config, tables)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(id)
+            .lock()
+            .insert(id, Arc::new(Mutex::new(session)));
+        OBS_OPENED.incr();
+        Ok(SessionId(id))
+    }
+
+    /// Ingests one chunk into one session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for closed/unknown ids and
+    /// propagates simulator failures.
+    pub fn ingest(&self, id: SessionId, frames: &[Frame]) -> Result<SubsetUpdate, ServeError> {
+        let session = self.session(id)?;
+        let mut session = session.lock();
+        session.ingest(frames)
+    }
+
+    /// Ingests a batch of chunks into their sessions concurrently on the
+    /// shared [`subset3d_exec`] pool; each worker pre-claims an
+    /// [`subset3d_obs::shard`] thread slot. Results are in request order.
+    ///
+    /// Requests for distinct sessions run in parallel; submitting the same
+    /// session twice in one batch is allowed but the two chunks land in an
+    /// unspecified relative order — stream chunks to a session one batch at
+    /// a time.
+    pub fn ingest_batch(
+        &self,
+        requests: &[(SessionId, &[Frame])],
+    ) -> Vec<Result<TimedUpdate, ServeError>> {
+        subset3d_exec::par_map_indexed(requests, |_, (id, frames)| {
+            subset3d_obs::claim_thread_slot();
+            let start = Instant::now();
+            self.ingest(*id, frames).map(|update| TimedUpdate {
+                update,
+                ingest_ns: start.elapsed().as_nanos() as u64,
+            })
+        })
+    }
+
+    /// Runs a closure against a session's current state (e.g. to take a
+    /// [`Session::snapshot`] or peek at [`Session::update`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for closed/unknown ids.
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Result<R, ServeError> {
+        let session = self.session(id)?;
+        let mut session = session.lock();
+        Ok(f(&mut session))
+    }
+
+    /// Closes a session and drains its final report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for closed/unknown ids and
+    /// [`ServeError::SessionBusy`] if another thread still holds the
+    /// session (it stays open in that case).
+    pub fn close(&self, id: SessionId) -> Result<SessionReport, ServeError> {
+        let mut shard = self.shard_of(id.0).lock();
+        let arc = shard
+            .remove(&id.0)
+            .ok_or(ServeError::UnknownSession { id: id.0 })?;
+        match Arc::try_unwrap(arc) {
+            Ok(mutex) => {
+                OBS_CLOSED.incr();
+                Ok(mutex.into_inner().drain())
+            }
+            Err(arc) => {
+                // Someone is mid-ingest; put it back rather than losing it.
+                shard.insert(id.0, arc);
+                Err(ServeError::SessionBusy { id: id.0 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subset3d_trace::gen::GameProfile;
+
+    fn workload(frames: usize) -> Workload {
+        GameProfile::rts("serve-mgr")
+            .frames(frames)
+            .draws_per_frame(30)
+            .build(5)
+            .generate()
+    }
+
+    #[test]
+    fn open_ingest_close_lifecycle() {
+        let w = workload(4);
+        let mgr = SessionManager::new();
+        assert_eq!(mgr.session_count(), 0);
+        let id = mgr.open(ServeConfig::default(), &w).unwrap();
+        assert_eq!(mgr.session_count(), 1);
+        let update = mgr.ingest(id, w.frames()).unwrap();
+        assert_eq!(update.frames_seen, 4);
+        let report = mgr.close(id).unwrap();
+        assert_eq!(report.frames_seen, 4);
+        assert_eq!(mgr.session_count(), 0);
+        assert_eq!(
+            mgr.ingest(id, w.frames()),
+            Err(ServeError::UnknownSession { id: id.raw() })
+        );
+    }
+
+    #[test]
+    fn batched_ingest_matches_sequential() {
+        let w = workload(6);
+        let mgr = SessionManager::new();
+        let ids: Vec<SessionId> = (0..8)
+            .map(|_| mgr.open(ServeConfig::default(), &w).unwrap())
+            .collect();
+        let requests: Vec<(SessionId, &[Frame])> = ids.iter().map(|&id| (id, w.frames())).collect();
+        let results = mgr.ingest_batch(&requests);
+        assert_eq!(results.len(), 8);
+        let mut reference = Session::new(ServeConfig::default(), &w).unwrap();
+        let expected = reference.ingest(w.frames()).unwrap();
+        for result in results {
+            assert_eq!(result.unwrap().update, expected);
+        }
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let w = workload(5);
+        let mgr = SessionManager::new();
+        let a = mgr.open(ServeConfig::default(), &w).unwrap();
+        let b = mgr.open(ServeConfig::default(), &w).unwrap();
+        mgr.ingest(a, &w.frames()[..2]).unwrap();
+        mgr.ingest(b, w.frames()).unwrap();
+        let ua = mgr.with_session(a, |s| s.update()).unwrap();
+        let ub = mgr.with_session(b, |s| s.update()).unwrap();
+        assert_eq!(ua.frames_seen, 2);
+        assert_eq!(ub.frames_seen, 5);
+    }
+
+    #[test]
+    fn ids_are_unique_across_shards() {
+        let w = workload(1);
+        let mgr = SessionManager::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..(mgr.shard_count() * 3) {
+            assert!(seen.insert(mgr.open(ServeConfig::default(), &w).unwrap()));
+        }
+        assert_eq!(mgr.session_count(), seen.len());
+    }
+}

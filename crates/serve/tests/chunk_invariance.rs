@@ -1,0 +1,136 @@
+//! Chunk-boundary invariance of streaming sessions, via proptest.
+//!
+//! A session's state must be a pure function of the frame *sequence*:
+//! splitting the same stream at arbitrary chunk boundaries has to produce
+//! bit-identical final state. Alongside, the reservoir invariants: its
+//! occupancy never exceeds capacity, and the emitted fit always upholds
+//! the duplicate-compaction partition contract ([`SubsetterFit::check`]:
+//! no empty clusters, one in-cluster representative each).
+
+use proptest::prelude::*;
+use subset3d_core::ClusterMethod;
+use subset3d_serve::{ServeConfig, Session};
+use subset3d_trace::gen::GameProfile;
+use subset3d_trace::{Frame, Workload};
+
+const STREAM_FRAMES: usize = 12;
+
+fn workload() -> Workload {
+    GameProfile::shooter("chunk-invariance")
+        .frames(STREAM_FRAMES)
+        .draws_per_frame(24)
+        .build(17)
+        .generate()
+}
+
+fn method_for(index: u8) -> ClusterMethod {
+    match index % 4 {
+        0 => ClusterMethod::Threshold { distance: 1.02 },
+        1 => ClusterMethod::KMeansFixed { k: 3 },
+        2 => ClusterMethod::Stratified {
+            strata: 3,
+            rate: 0.4,
+        },
+        _ => ClusterMethod::PcaAgglo {
+            components: 3,
+            clusters: 4,
+        },
+    }
+}
+
+fn config_for(method_index: u8, capacity: usize) -> ServeConfig {
+    ServeConfig {
+        subset: subset3d_core::SubsetConfig::default()
+            .with_cluster_method(method_for(method_index)),
+        reservoir_capacity: capacity,
+        ..ServeConfig::default()
+    }
+}
+
+/// Feeds `frames` to a fresh session, cut at the given boundaries
+/// (positions where a new chunk starts), and returns the session.
+fn feed(
+    config: &ServeConfig,
+    frames: &[Frame],
+    boundaries: &[usize],
+    tables: &Workload,
+) -> Session {
+    let mut session = Session::new(config.clone(), tables).expect("valid config");
+    let mut cuts: Vec<usize> = boundaries.iter().map(|&b| b % (frames.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(frames.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    for pair in cuts.windows(2) {
+        session
+            .ingest(&frames[pair[0]..pair[1]])
+            .expect("ingest succeeds");
+    }
+    session
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two arbitrary chunkings of the same stream end in bit-identical
+    /// session state, for every backend family.
+    #[test]
+    fn arbitrary_chunkings_agree(
+        method_index in 0u8..4,
+        capacity in 1usize..=16,
+        cuts_a in prop::collection::vec(0usize..=STREAM_FRAMES, 0..6),
+        cuts_b in prop::collection::vec(0usize..=STREAM_FRAMES, 0..6),
+    ) {
+        let w = workload();
+        let config = config_for(method_index, capacity);
+        let a = feed(&config, w.frames(), &cuts_a, &w);
+        let b = feed(&config, w.frames(), &cuts_b, &w);
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+        // The drained reports agree on everything stream-derived; only the
+        // chunk cadence counter may (and should) differ.
+        let ra = a.drain();
+        let rb = b.drain();
+        prop_assert_eq!(&ra.fit, &rb.fit);
+        prop_assert_eq!(
+            ra.final_update.representative_frames,
+            rb.final_update.representative_frames
+        );
+        prop_assert_eq!(
+            ra.final_update.error_bound.to_bits(),
+            rb.final_update.error_bound.to_bits()
+        );
+        prop_assert_eq!(
+            ra.final_update.mean_prediction_error.to_bits(),
+            rb.final_update.mean_prediction_error.to_bits()
+        );
+    }
+
+    /// Reservoir occupancy never exceeds capacity mid-stream, and the fit
+    /// emitted after every chunk upholds the partition contract over the
+    /// retained points (duplicate compaction included).
+    #[test]
+    fn reservoir_and_fit_invariants_hold_after_every_chunk(
+        method_index in 0u8..4,
+        capacity in 1usize..=8,
+        chunk in 1usize..=5,
+    ) {
+        let w = workload();
+        let config = config_for(method_index, capacity);
+        let mut session = Session::new(config, &w).expect("valid config");
+        for frames in w.frames().chunks(chunk) {
+            let update = session.ingest(frames).expect("ingest succeeds");
+            prop_assert!(update.reservoir_occupancy <= capacity);
+            prop_assert!(update.reservoir_occupancy <= update.frames_seen);
+            prop_assert_eq!(update.reservoir_capacity, capacity);
+            prop_assert!(update.error_bound >= 0.0);
+            prop_assert_eq!(
+                update.representative_frames.len(),
+                update.cluster_count
+            );
+        }
+        let report = session.drain();
+        let retained = report.final_update.reservoir_occupancy;
+        prop_assert!(report.fit.check(retained).is_ok(),
+            "fit contract violated: {:?}", report.fit.check(retained));
+    }
+}

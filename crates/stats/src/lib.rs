@@ -29,6 +29,7 @@ mod histogram;
 mod pca;
 mod percentile;
 mod regression;
+mod rls;
 mod summary;
 
 pub use bootstrap::{bootstrap_paired_ci, BootstrapCi};
@@ -41,6 +42,7 @@ pub use histogram::{Histogram, HistogramBin};
 pub use pca::{Pca, PcaError};
 pub use percentile::{median, percentile, Percentiles};
 pub use regression::{linear_fit, LinearFit};
+pub use rls::Rls;
 pub use summary::Summary;
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! Recursive least squares: an online linear-regression estimator.
+//!
+//! The streaming service mode (after *An Online Learning Methodology for
+//! Performance Modeling of Graphics Processors*) maintains a predicted-error
+//! bound that must absorb one observation at a time without refitting from
+//! scratch. RLS is the classic tool: each [`Rls::update`] folds one
+//! `(features, target)` pair into the weight vector and inverse-covariance
+//! matrix in O(d²), and [`Rls::predict`] evaluates the current model.
+//!
+//! With forgetting factor `λ = 1` and a weak prior (`p0` large), RLS
+//! converges to the ordinary least-squares solution over everything seen so
+//! far. The update is a deterministic function of the observation sequence,
+//! so feeding the same stream in the same order — at any chunking — yields
+//! bit-identical state.
+
+/// Online linear regression via recursive least squares.
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_stats::Rls;
+///
+/// let mut rls = Rls::new(2, 1.0, 1e6);
+/// for i in 0..50 {
+///     let x = i as f64;
+///     rls.update(&[1.0, x], 3.0 + 2.0 * x);
+/// }
+/// let y = rls.predict(&[1.0, 10.0]);
+/// assert!((y - 23.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rls {
+    dim: usize,
+    lambda: f64,
+    /// Weight vector, length `dim`.
+    w: Vec<f64>,
+    /// Inverse input-covariance estimate, row-major `dim × dim`.
+    p: Vec<f64>,
+    updates: u64,
+}
+
+impl Rls {
+    /// Creates an estimator over `dim`-dimensional feature vectors.
+    ///
+    /// `lambda` is the forgetting factor in `(0, 1]` (`1.0` weighs all
+    /// history equally); `p0` scales the initial inverse covariance `P =
+    /// p0·I` — larger values mean a weaker prior on the zero weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, `lambda` is outside `(0, 1]`, or `p0` is not
+    /// strictly positive and finite.
+    pub fn new(dim: usize, lambda: f64, p0: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "forgetting factor must be in (0, 1]"
+        );
+        assert!(p0 > 0.0 && p0.is_finite(), "p0 must be positive and finite");
+        let mut p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            p[i * dim + i] = p0;
+        }
+        Rls {
+            dim,
+            lambda,
+            w: vec![0.0; dim],
+            p,
+            updates: 0,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// The current inverse-covariance estimate, row-major `dim × dim`.
+    /// Exposed so snapshots can compare full estimator state bit-for-bit.
+    pub fn covariance(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Evaluates the current model at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum()
+    }
+
+    /// Folds one observation `(x, y)` into the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn update(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let d = self.dim;
+        // px = P·x
+        let mut px = vec![0.0; d];
+        for (i, slot) in px.iter_mut().enumerate() {
+            let row = &self.p[i * d..(i + 1) * d];
+            *slot = row.iter().zip(x).map(|(p, x)| p * x).sum();
+        }
+        // gain k = P·x / (λ + xᵀ·P·x)
+        let denom = self.lambda + x.iter().zip(&px).map(|(x, p)| x * p).sum::<f64>();
+        let gain: Vec<f64> = px.iter().map(|p| p / denom).collect();
+        // w += k·(y − wᵀx)
+        let err = y - self.predict(x);
+        for (w, k) in self.w.iter_mut().zip(&gain) {
+            *w += k * err;
+        }
+        // P = (P − k·(xᵀP)) / λ ; xᵀP == (P·x)ᵀ for symmetric P.
+        for (row, &k) in self.p.chunks_exact_mut(d).zip(&gain) {
+            for (cell, &pxj) in row.iter_mut().zip(&px) {
+                *cell = (*cell - k * pxj) / self.lambda;
+            }
+        }
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_linear_function() {
+        let mut rls = Rls::new(3, 1.0, 1e6);
+        for i in 0..200 {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.11).cos();
+            rls.update(&[1.0, a, b], 2.0 - 1.5 * a + 0.5 * b);
+        }
+        for (a, b) in [(0.3, -0.4), (-0.9, 0.2)] {
+            let y = rls.predict(&[1.0, a, b]);
+            let want = 2.0 - 1.5 * a + 0.5 * b;
+            assert!((y - want).abs() < 1e-6, "predict {y} want {want}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_chunk_order_free() {
+        // Two estimators fed the same sequence (regardless of how the caller
+        // batches its loop) end in bit-identical state.
+        let obs: Vec<([f64; 2], f64)> = (0..40)
+            .map(|i| {
+                let x = (i as f64 * 0.7).fract();
+                ([1.0, x], 1.0 + 3.0 * x)
+            })
+            .collect();
+        let mut a = Rls::new(2, 1.0, 1e4);
+        let mut b = Rls::new(2, 1.0, 1e4);
+        for (x, y) in &obs {
+            a.update(x, *y);
+        }
+        for chunk in obs.chunks(7) {
+            for (x, y) in chunk {
+                b.update(x, *y);
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.updates(), 40);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_drifting_target() {
+        // λ < 1 lets the model follow a target that changes mid-stream.
+        let mut rls = Rls::new(2, 0.9, 1e4);
+        for i in 0..100 {
+            let x = (i as f64 * 0.13).fract();
+            rls.update(&[1.0, x], 1.0 + x);
+        }
+        for i in 0..200 {
+            let x = (i as f64 * 0.13).fract();
+            rls.update(&[1.0, x], 5.0 - 2.0 * x);
+        }
+        let y = rls.predict(&[1.0, 0.5]);
+        assert!((y - 4.0).abs() < 0.1, "tracked prediction {y}");
+    }
+
+    #[test]
+    fn single_observation_moves_toward_target() {
+        let mut rls = Rls::new(1, 1.0, 1e8);
+        rls.update(&[1.0], 7.0);
+        // With a near-flat prior one update lands almost exactly on y.
+        assert!((rls.predict(&[1.0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        Rls::new(0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn bad_lambda_rejected() {
+        Rls::new(2, 1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_update_rejected() {
+        Rls::new(2, 1.0, 1.0).update(&[1.0], 0.0);
+    }
+}

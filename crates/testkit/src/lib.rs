@@ -18,6 +18,11 @@
 //!    serialised to committed JSON under `tests/golden/`; any byte of
 //!    drift names the first divergent field. Regenerate deliberately with
 //!    `UPDATE_GOLDEN=1`.
+//! 4. **Streaming oracle** ([`streaming`]) — drains corpora through
+//!    `subset3d-serve` sessions and holds the result to the batch
+//!    pipeline's output: bit-identical while the stream fits the session
+//!    reservoir (at any chunk size and thread count), bounded error-bound
+//!    drift once the reservoir overflows.
 //!
 //! [`corpus`] supplies the fixed-seed workloads every layer runs against.
 
@@ -27,3 +32,4 @@ pub mod corpus;
 pub mod golden;
 pub mod metamorphic;
 pub mod oracle;
+pub mod streaming;

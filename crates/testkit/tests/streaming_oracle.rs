@@ -1,0 +1,75 @@
+//! Tier-1 streaming-vs-batch differential oracle matrix.
+//!
+//! Every golden-corpus profile is drained through concurrent serve
+//! sessions at each oracle chunk size and thread count; the result must
+//! reproduce the batch pipeline bit for bit (full-reservoir runs) or
+//! within the documented drift bound (overflowing-reservoir runs). The
+//! exec pool is process global, so the thread-count sweeps serialise
+//! behind a lock.
+
+use std::sync::Mutex;
+use subset3d_core::{ClusterMethod, SubsetConfig};
+use subset3d_testkit::corpus::golden_corpus;
+use subset3d_testkit::streaming::{
+    run_drift_check, run_streaming_oracle, ORACLE_CHUNK_FRAMES, ORACLE_THREADS,
+};
+
+// Thread-count sweeps resize the global pool; never interleave them.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn streaming_matches_batch_across_chunks_and_threads() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for (name, workload) in golden_corpus() {
+        for threads in ORACLE_THREADS {
+            subset3d_exec::with_thread_count(threads, || {
+                for chunk in ORACLE_CHUNK_FRAMES {
+                    let context = format!("{name}/{threads}t");
+                    run_streaming_oracle(&context, &workload, &SubsetConfig::default(), chunk)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_batch_for_every_backend() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let methods = [
+        ClusterMethod::Threshold { distance: 1.02 },
+        ClusterMethod::KMeansBic { max_k: 6 },
+        ClusterMethod::KMeansFixed { k: 3 },
+        ClusterMethod::Stratified {
+            strata: 4,
+            rate: 0.25,
+        },
+        ClusterMethod::PcaAgglo {
+            components: 3,
+            clusters: 4,
+        },
+    ];
+    let corpus = golden_corpus();
+    let (name, workload) = &corpus[0];
+    for method in methods {
+        let config = SubsetConfig::default().with_cluster_method(method.clone());
+        for chunk in [1, usize::MAX] {
+            let context = format!("{name}/{method:?}");
+            run_streaming_oracle(&context, workload, &config, chunk)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn overflowing_reservoir_stays_within_drift_bound() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for (name, workload) in golden_corpus() {
+        // Golden corpora have 12 frames; a 4-frame reservoir overflows
+        // by 3x.
+        for chunk in [1, 5] {
+            run_drift_check(name, &workload, &SubsetConfig::default(), chunk, 4)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

@@ -42,6 +42,16 @@ for backend in threshold kmeans stratified pca-agglo; do
         "$TRACE_TMP/smoke.$backend.json"
 done
 
+# Serve smoke: replay the same recorded trace through the streaming
+# service (two concurrent sessions, small chunks) under the tracer,
+# re-validate the emitted timeline, then run the streaming-vs-batch
+# differential oracle that proves session drain converges to the batch
+# fit across chunk sizes and thread counts.
+cargo run -p subset3d-cli --release -q -- serve --replay "$TRACE_TMP/smoke.trace" \
+    --chunk 5 --sessions 2 --trace-out "$TRACE_TMP/smoke.serve.json"
+cargo run -p subset3d-cli --release -q -- trace-validate "$TRACE_TMP/smoke.serve.json"
+cargo test -p subset3d-testkit --release -q --test streaming_oracle
+
 # Perf guard, report-only: compare the committed benchmark report against
 # a fresh median-of-3 measurement. Machine variance makes a hard gate
 # flaky in CI, so --check prints regressions without failing the build;
