@@ -12,8 +12,9 @@
 //!
 //! Wall times are machine-dependent, so absolute milliseconds are shown
 //! for context but regressions are judged on the dimensionless metrics:
-//! scenario speedups (lower is worse) and the two observability
-//! overheads (higher is worse). The default threshold is 10 %.
+//! scenario speedups (lower is worse) and the observability overheads
+//! (metrics, tracing, telemetry sampling; higher is worse). The default
+//! threshold is 10 %.
 //!
 //! A degenerate baseline (a stage too fast for the clock, recorded as a
 //! `0.0` speedup) has no meaningful ratio; such rows show the absolute
@@ -236,6 +237,12 @@ fn rows(base: &Report, cand: &Report) -> Vec<Row> {
         name: "trace_overhead_pct",
         base: clamp_overhead(base.trace_overhead_pct),
         cand: clamp_overhead(cand.trace_overhead_pct),
+        higher_is_better: false,
+    });
+    out.push(Row {
+        name: "telemetry_overhead_pct",
+        base: clamp_overhead(base.telemetry_overhead_pct),
+        cand: clamp_overhead(cand.telemetry_overhead_pct),
         higher_is_better: false,
     });
     out

@@ -7,10 +7,10 @@
 //! same medians) to keep the two binaries comparable.
 
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter};
 use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
-use subset3d_serve::{replay, ReplayOptions, ReplayOutcome, ServeConfig};
+use subset3d_serve::{replay, ReplayOptions, ReplayOutcome, ServeConfig, TelemetryOptions};
 use subset3d_trace::gen::GameProfile;
 use subset3d_trace::Workload;
 
@@ -108,6 +108,17 @@ pub struct Report {
     /// The unclamped signed median behind `trace_overhead_pct`.
     #[serde(default)]
     pub trace_overhead_raw_pct: f64,
+    /// Wall-time cost of time-series telemetry on the serve-replay
+    /// shape: a telemetry-on replay (metric recording plus an
+    /// interval-zero sampler cutting a window every chunk round — the
+    /// most aggressive cadence the CLI can request) against a plain
+    /// replay, measured and clamped like `metrics_overhead_pct`. Absent
+    /// from reports predating the telemetry layer, hence the default.
+    #[serde(default)]
+    pub telemetry_overhead_pct: f64,
+    /// The unclamped signed median behind `telemetry_overhead_pct`.
+    #[serde(default)]
+    pub telemetry_overhead_raw_pct: f64,
     /// Wall time of one differential-oracle comparison over the testkit
     /// corpus (all cache modes, both passes) — the price of the tier-1
     /// `testkit` step, tracked so harness regressions are visible.
@@ -348,6 +359,7 @@ pub fn collect_serve_replay(workload: &Workload) -> ServeReplayBench {
     let options = ReplayOptions {
         sessions: SERVE_SESSIONS,
         chunk_frames: SERVE_CHUNK_FRAMES,
+        ..Default::default()
     };
     let mut best: Option<ReplayOutcome> = None;
     for _ in 0..RUNS {
@@ -579,6 +591,49 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
     // Runs on the same default-thread pool as the parallel arms.
     let serve_replay = collect_serve_replay(&workload);
 
+    // -- telemetry-sampling overhead -----------------------------------
+    // Paired like the other observability overheads, on the serve-replay
+    // shape: each rep interleaves a plain replay and a telemetry-on
+    // replay (interval zero: a sampled window per chunk round), so the
+    // measured cost is the full CLI telemetry path — metric recording
+    // plus per-round registry snapshots and rolling-digest merges. Each
+    // arm is itself a median of [`RUNS`] replays: a replay is ~25× the
+    // wall time of the sim pass behind the other overheads and its
+    // 4-session pool scheduling is noisy enough that single-shot pairs
+    // once committed a pure-noise reading over the 2 % budget.
+    let serve_config = ServeConfig::default();
+    let plain_options = ReplayOptions {
+        sessions: SERVE_SESSIONS,
+        chunk_frames: SERVE_CHUNK_FRAMES,
+        ..Default::default()
+    };
+    let telemetry_options = ReplayOptions {
+        sessions: SERVE_SESSIONS,
+        chunk_frames: SERVE_CHUNK_FRAMES,
+        telemetry: Some(TelemetryOptions {
+            interval: Duration::ZERO,
+            ..TelemetryOptions::default()
+        }),
+    };
+    let telemetry_overhead_raw_pct = paired_overhead_pct(
+        || {
+            median_ms(
+                || {
+                    replay(&workload, &serve_config, &plain_options).expect("replay");
+                },
+                RUNS,
+            )
+        },
+        || {
+            median_ms(
+                || {
+                    replay(&workload, &serve_config, &telemetry_options).expect("replay");
+                },
+                RUNS,
+            )
+        },
+    );
+
     Report {
         threads,
         workload_frames: workload.frames().len(),
@@ -592,6 +647,8 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         metrics_overhead_raw_pct,
         trace_overhead_pct: trace_overhead_raw_pct.max(0.0),
         trace_overhead_raw_pct,
+        telemetry_overhead_pct: telemetry_overhead_raw_pct.max(0.0),
+        telemetry_overhead_raw_pct,
         oracle_check_ms,
         metrics,
         bakeoff: collect_bakeoff(),
@@ -641,6 +698,8 @@ mod tests {
             metrics_overhead_raw_pct: -0.5,
             trace_overhead_pct: 1.25,
             trace_overhead_raw_pct: 1.25,
+            telemetry_overhead_pct: 0.75,
+            telemetry_overhead_raw_pct: 0.75,
             oracle_check_ms: 12.0,
             metrics: subset3d_obs::MetricsSnapshot::default(),
             bakeoff: vec![BackendScore {
@@ -726,7 +785,8 @@ mod tests {
         let json = serde_json::to_string(&sample_report()).unwrap();
         let stripped = json
             .replace("\"metrics_overhead_raw_pct\":-0.5,", "")
-            .replace("\"trace_overhead_raw_pct\":1.25,", "");
+            .replace("\"trace_overhead_raw_pct\":1.25,", "")
+            .replace("\"telemetry_overhead_raw_pct\":0.75,", "");
         let stripped = {
             // Drop the bakeoff array wholesale.
             let start = stripped.find(",\"bakeoff\":").unwrap();
@@ -845,6 +905,81 @@ mod tests {
         assert_eq!(s.ingest_latency.count, SERVE_SESSIONS);
         assert!(s.sessions_per_sec > 0.0 && s.frames_per_sec > 0.0);
         assert!(s.ingest_latency.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn reports_without_telemetry_overhead_still_deserialize() {
+        // Committed BENCH files from before the telemetry layer lack the
+        // fields; `#[serde(default)]` must absorb that.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json
+            .replace("\"telemetry_overhead_pct\":0.75,", "")
+            .replace("\"telemetry_overhead_raw_pct\":0.75,", "");
+        assert!(!stripped.contains("telemetry_overhead"));
+        let back: Report = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.telemetry_overhead_pct, 0.0);
+        assert_eq!(back.telemetry_overhead_raw_pct, 0.0);
+    }
+
+    #[test]
+    fn rolling_p99_stays_within_a_factor_of_two_of_the_exact_digest() {
+        // Acceptance bound of the telemetry layer: rolling percentiles
+        // are bucketed (power-of-two bucket upper bounds), so a
+        // session's rolling p99 ingest latency must land in
+        // [exact max, 2 * exact max). `LatencyDigest::of` over the
+        // session's own `ingest_ns` samples is the exact reference — at
+        // these sample counts p99 *is* the max (rank == count).
+        let workload = GameProfile::shooter("telemetry-tolerance")
+            .frames(12)
+            .draws_per_frame(40)
+            .build(3)
+            .generate();
+        let sessions = 3;
+        let options = ReplayOptions {
+            sessions,
+            chunk_frames: 4,
+            telemetry: Some(TelemetryOptions {
+                interval: Duration::ZERO,
+                capacity: 64,
+                rolling_windows: 64,
+                slo: None,
+            }),
+        };
+        let outcome =
+            replay(&workload, &ServeConfig::default(), &options).expect("telemetry replay");
+        let telemetry = outcome
+            .telemetry
+            .as_ref()
+            .expect("telemetry-enabled replay");
+        let last = telemetry.windows.last().expect("at least the final window");
+        let chunks = outcome.ingest_ns.len() / sessions;
+        assert_eq!(chunks, 3, "12 frames in 4-frame chunks");
+        for (s, id) in outcome.session_ids.iter().enumerate() {
+            // Session s's exact samples: each chunk round pushes one
+            // latency per session, in session order.
+            let samples: Vec<u64> = (0..chunks)
+                .map(|chunk| outcome.ingest_ns[chunk * sessions + s])
+                .collect();
+            let exact = LatencyDigest::of(&samples);
+            assert!(exact.max_ns > 0, "{id} never timed an ingest");
+            // Rolling digests merge the last `rolling_windows` windows,
+            // which here is every window — the whole run.
+            let key = format!("serve.session.ingest_ns{{session=\"{id}\"}}");
+            let rolling = last
+                .rolling
+                .get(&key)
+                .unwrap_or_else(|| panic!("no rolling digest for {key} in the final window"));
+            assert_eq!(rolling.count, chunks as u64, "{key}");
+            assert!(
+                rolling.p99_ns >= exact.max_ns && rolling.p99_ns < 2 * exact.max_ns,
+                "{key}: rolling p99 {} outside [{}, {}) — the documented \
+                 factor-of-two bucket tolerance",
+                rolling.p99_ns,
+                exact.max_ns,
+                2 * exact.max_ns,
+            );
+            assert!(rolling.p50_ns <= rolling.p90_ns && rolling.p90_ns <= rolling.p99_ns);
+        }
     }
 
     #[test]

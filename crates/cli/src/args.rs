@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use std::fmt;
+use std::time::Duration;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,19 +32,20 @@ pub enum Command {
         subset: String,
     },
     /// Run an instrumented pass over a trace and print the metrics.
-    Stats {
-        /// Trace file to profile.
-        trace: String,
-        /// Emit the raw `MetricsSnapshot` JSON instead of the table.
-        json: bool,
-    },
+    Stats(StatsArgs),
     /// Run the pipeline under the event tracer and emit a Chrome trace
     /// plus a per-stage self-time table.
-    TraceProfile(SubsetArgs),
+    TraceProfile(TraceProfileArgs),
     /// Validate a Chrome trace-event JSON file against the exporter's
     /// schema.
     TraceValidate {
         /// Trace JSON file to validate.
+        path: String,
+    },
+    /// Validate a telemetry artifact — Prometheus exposition text or a
+    /// JSONL time-series — against the exporters' schemas.
+    TelemetryValidate {
+        /// Telemetry file to validate.
         path: String,
     },
     /// Replay a recorded trace through streaming sessions.
@@ -156,6 +158,59 @@ pub struct ServeArgs {
     pub metrics: bool,
     /// Optional path to write a Chrome trace-event JSON of the run.
     pub trace_out: Option<String>,
+    /// Telemetry sampling interval (`--telemetry-interval 250ms`).
+    pub telemetry_interval: Option<Duration>,
+    /// Optional path to write the final snapshot as Prometheus text.
+    pub prom_out: Option<String>,
+    /// Optional path to write the sampled windows as JSONL.
+    pub timeseries_out: Option<String>,
+    /// SLO budget for rolling p99 ingest latency (`--slo-budget 50ms`);
+    /// defaults to the telemetry interval when telemetry is on.
+    pub slo_budget: Option<Duration>,
+}
+
+impl ServeArgs {
+    /// Whether any telemetry flag was given (sampling, exporters or SLO).
+    pub fn telemetry_requested(&self) -> bool {
+        self.telemetry_interval.is_some()
+            || self.prom_out.is_some()
+            || self.timeseries_out.is_some()
+            || self.slo_budget.is_some()
+    }
+}
+
+/// Arguments of `subset3d stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// Trace file to profile.
+    pub trace: String,
+    /// Emit the raw `MetricsSnapshot` JSON instead of the table.
+    pub json: bool,
+    /// Top-like live view: repeat the instrumented pass, sampling a
+    /// telemetry window per tick.
+    pub watch: bool,
+    /// Delay between watch ticks.
+    pub interval: Duration,
+    /// Watch ticks to run; zero means until interrupted.
+    pub iterations: usize,
+}
+
+/// Arguments of `subset3d trace-profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfileArgs {
+    /// Input trace paths (positional and/or repeated `--trace`); the
+    /// self-time table is merged across all of them.
+    pub traces: Vec<String>,
+    /// Clustering backend.
+    pub backend: Backend,
+    /// Clustering distance threshold (threshold backend only).
+    pub threshold: f64,
+    /// Phase-interval length in frames.
+    pub interval: usize,
+    /// Representative frames per phase.
+    pub frames_per_phase: usize,
+    /// Optional path to write the first source's Chrome trace-event JSON.
+    pub trace_out: Option<String>,
 }
 
 /// A command-line parsing failure.
@@ -222,7 +277,7 @@ where
         }
         "subset" => Ok(Command::Subset(parse_subset(&rest)?)),
         "sweep" => Ok(Command::Sweep(parse_subset(&rest)?)),
-        "trace-profile" => Ok(Command::TraceProfile(parse_subset(&rest)?)),
+        "trace-profile" => Ok(Command::TraceProfile(parse_trace_profile(&rest)?)),
         "trace-validate" => {
             let path = rest
                 .first()
@@ -232,6 +287,16 @@ where
                 return Err(ArgError::UnknownFlag(rest[1].clone()));
             }
             Ok(Command::TraceValidate { path })
+        }
+        "telemetry-validate" => {
+            let path = rest
+                .first()
+                .cloned()
+                .ok_or(ArgError::MissingRequired("telemetry file path"))?;
+            if rest.len() > 1 {
+                return Err(ArgError::UnknownFlag(rest[1].clone()));
+            }
+            Ok(Command::TelemetryValidate { path })
         }
         "serve" => Ok(Command::Serve(parse_serve(&rest)?)),
         "merge" => {
@@ -275,28 +340,7 @@ where
             }
             Ok(Command::Rank { trace, subset })
         }
-        "stats" => {
-            let mut trace = None;
-            let mut json = false;
-            for arg in &rest {
-                match arg.as_str() {
-                    "--json" => json = true,
-                    flag if flag.starts_with("--") => {
-                        return Err(ArgError::UnknownFlag(flag.to_string()));
-                    }
-                    positional => {
-                        if trace.is_some() {
-                            return Err(ArgError::UnknownFlag(positional.to_string()));
-                        }
-                        trace = Some(positional.to_string());
-                    }
-                }
-            }
-            Ok(Command::Stats {
-                trace: trace.ok_or(ArgError::MissingRequired("trace path"))?,
-                json,
-            })
-        }
+        "stats" => parse_stats(&rest),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
@@ -399,6 +443,92 @@ fn parse_subset(rest: &[String]) -> Result<SubsetArgs, ArgError> {
     })
 }
 
+fn parse_stats(rest: &[String]) -> Result<Command, ArgError> {
+    let mut trace = None;
+    let mut json = false;
+    let mut watch = false;
+    let mut interval = Duration::from_secs(1);
+    let mut iterations = 0usize;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--watch" => watch = true,
+            "--interval" => interval = parse_duration(&value("--interval")?, "--interval")?,
+            "--iterations" => iterations = parse_num(&value("--iterations")?, "--iterations")?,
+            flag if flag.starts_with("--") => {
+                return Err(ArgError::UnknownFlag(flag.to_string()));
+            }
+            positional => {
+                if trace.is_some() {
+                    return Err(ArgError::UnknownFlag(positional.to_string()));
+                }
+                trace = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(Command::Stats(StatsArgs {
+        trace: trace.ok_or(ArgError::MissingRequired("trace path"))?,
+        json,
+        watch,
+        interval,
+        iterations,
+    }))
+}
+
+fn parse_trace_profile(rest: &[String]) -> Result<TraceProfileArgs, ArgError> {
+    let mut traces = Vec::new();
+    let mut backend = Backend::default();
+    let mut threshold = 1.02f64;
+    let mut interval = 10usize;
+    let mut frames_per_phase = 1usize;
+    let mut trace_out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        match arg.as_str() {
+            "--trace" => traces.push(value("--trace")?),
+            "--backend" => {
+                let b = value("--backend")?;
+                backend = Backend::parse(&b).ok_or(ArgError::BadValue {
+                    flag: "--backend".into(),
+                    value: b,
+                })?;
+            }
+            "--threshold" => threshold = parse_float(&value("--threshold")?, "--threshold")?,
+            "--interval" => interval = parse_num(&value("--interval")?, "--interval")?,
+            "--frames-per-phase" => {
+                frames_per_phase = parse_num(&value("--frames-per-phase")?, "--frames-per-phase")?;
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            flag if flag.starts_with("--") => {
+                return Err(ArgError::UnknownFlag(flag.to_string()));
+            }
+            positional => traces.push(positional.to_string()),
+        }
+    }
+    if traces.is_empty() {
+        return Err(ArgError::MissingRequired("trace path"));
+    }
+    Ok(TraceProfileArgs {
+        traces,
+        backend,
+        threshold,
+        interval,
+        frames_per_phase,
+        trace_out,
+    })
+}
+
 fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
     let mut replay = None;
     let mut chunk = 16usize;
@@ -409,6 +539,10 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
     let mut json = false;
     let mut metrics = false;
     let mut trace_out = None;
+    let mut telemetry_interval = None;
+    let mut prom_out = None;
+    let mut timeseries_out = None;
+    let mut slo_budget = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -432,6 +566,17 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
             "--json" => json = true,
             "--metrics" => metrics = true,
             "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--telemetry-interval" => {
+                telemetry_interval = Some(parse_duration(
+                    &value("--telemetry-interval")?,
+                    "--telemetry-interval",
+                )?);
+            }
+            "--prom-out" => prom_out = Some(value("--prom-out")?),
+            "--timeseries-out" => timeseries_out = Some(value("--timeseries-out")?),
+            "--slo-budget" => {
+                slo_budget = Some(parse_duration(&value("--slo-budget")?, "--slo-budget")?);
+            }
             other => return Err(ArgError::UnknownFlag(other.to_string())),
         }
     }
@@ -457,7 +602,31 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
         json,
         metrics,
         trace_out,
+        telemetry_interval,
+        prom_out,
+        timeseries_out,
+        slo_budget,
     })
+}
+
+/// Parses a duration like `250ms`, `1s`, `500us` or `30ns`; a bare
+/// number is milliseconds.
+fn parse_duration(value: &str, flag: &str) -> Result<Duration, ArgError> {
+    let bad = || ArgError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    };
+    let digits = value
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(value.len());
+    let number: u64 = value[..digits].parse().map_err(|_| bad())?;
+    match &value[digits..] {
+        "ns" => Ok(Duration::from_nanos(number)),
+        "us" => Ok(Duration::from_micros(number)),
+        "" | "ms" => Ok(Duration::from_millis(number)),
+        "s" => Ok(Duration::from_secs(number)),
+        _ => Err(bad()),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, ArgError> {
@@ -633,20 +802,17 @@ mod tests {
 
     #[test]
     fn stats_parses_trace_and_json() {
-        assert_eq!(
-            parse(&["stats", "a.trace"]),
-            Ok(Command::Stats {
-                trace: "a.trace".into(),
-                json: false
-            })
-        );
-        assert_eq!(
-            parse(&["stats", "a.trace", "--json"]),
-            Ok(Command::Stats {
-                trace: "a.trace".into(),
-                json: true
-            })
-        );
+        let c = parse(&["stats", "a.trace"]).unwrap();
+        let Command::Stats(s) = c else { panic!() };
+        assert_eq!(s.trace, "a.trace");
+        assert!(!s.json && !s.watch);
+        assert_eq!(s.interval, Duration::from_secs(1));
+        assert_eq!(s.iterations, 0);
+
+        let c = parse(&["stats", "a.trace", "--json"]).unwrap();
+        let Command::Stats(s) = c else { panic!() };
+        assert!(s.json);
+
         assert!(matches!(
             parse(&["stats"]),
             Err(ArgError::MissingRequired(_))
@@ -655,6 +821,53 @@ mod tests {
             parse(&["stats", "a", "--wat"]),
             Err(ArgError::UnknownFlag(_))
         ));
+    }
+
+    #[test]
+    fn stats_watch_flags() {
+        let c = parse(&[
+            "stats",
+            "a.trace",
+            "--watch",
+            "--interval",
+            "250ms",
+            "--iterations",
+            "3",
+        ])
+        .unwrap();
+        let Command::Stats(s) = c else { panic!() };
+        assert!(s.watch);
+        assert_eq!(s.interval, Duration::from_millis(250));
+        assert_eq!(s.iterations, 3);
+        assert!(matches!(
+            parse(&["stats", "a.trace", "--interval", "fast"]),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        for (text, expected) in [
+            ("30ns", Duration::from_nanos(30)),
+            ("500us", Duration::from_micros(500)),
+            ("250ms", Duration::from_millis(250)),
+            ("2s", Duration::from_secs(2)),
+            ("40", Duration::from_millis(40)),
+            ("0ms", Duration::ZERO),
+        ] {
+            let c = parse(&["stats", "a", "--interval", text]).unwrap();
+            let Command::Stats(s) = c else { panic!() };
+            assert_eq!(s.interval, expected, "{text}");
+        }
+        for bad in ["1h", "ms", "-5ms", "1.5s", ""] {
+            assert!(
+                matches!(
+                    parse(&["stats", "a", "--interval", bad]),
+                    Err(ArgError::BadValue { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -677,11 +890,31 @@ mod tests {
         let Command::TraceProfile(s) = c else {
             panic!()
         };
-        assert_eq!(s.path, "a.trace");
+        assert_eq!(s.traces, vec!["a.trace".to_string()]);
         assert_eq!(s.interval, 4);
         assert!(matches!(
             parse(&["trace-profile"]),
             Err(ArgError::MissingRequired(_))
+        ));
+    }
+
+    #[test]
+    fn trace_profile_accepts_multiple_sources() {
+        // Repeated --trace flags, positionals, and a mix all work.
+        let c = parse(&["trace-profile", "--trace", "a.trace", "--trace", "b.trace"]).unwrap();
+        let Command::TraceProfile(s) = c else {
+            panic!()
+        };
+        assert_eq!(s.traces, vec!["a.trace".to_string(), "b.trace".to_string()]);
+
+        let c = parse(&["trace-profile", "a.trace", "--trace", "b.trace", "c.trace"]).unwrap();
+        let Command::TraceProfile(s) = c else {
+            panic!()
+        };
+        assert_eq!(s.traces.len(), 3);
+        assert!(matches!(
+            parse(&["trace-profile", "--trace"]),
+            Err(ArgError::MissingValue(_))
         ));
     }
 
@@ -737,6 +970,60 @@ mod tests {
         assert_eq!(s.backend, Backend::KMeans);
         assert!(s.json && s.metrics);
         assert_eq!(s.trace_out.as_deref(), Some("t.json"));
+        assert!(!s.telemetry_requested());
+    }
+
+    #[test]
+    fn serve_telemetry_flags() {
+        let c = parse(&[
+            "serve",
+            "--replay",
+            "a.trace",
+            "--telemetry-interval",
+            "250ms",
+            "--prom-out",
+            "m.prom",
+            "--timeseries-out",
+            "t.jsonl",
+            "--slo-budget",
+            "50ms",
+        ])
+        .unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert!(s.telemetry_requested());
+        assert_eq!(s.telemetry_interval, Some(Duration::from_millis(250)));
+        assert_eq!(s.prom_out.as_deref(), Some("m.prom"));
+        assert_eq!(s.timeseries_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(s.slo_budget, Some(Duration::from_millis(50)));
+
+        // Any single telemetry flag is enough to turn sampling on.
+        let c = parse(&["serve", "--replay", "a", "--prom-out", "m.prom"]).unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert!(s.telemetry_requested());
+        assert_eq!(s.telemetry_interval, None);
+
+        assert!(matches!(
+            parse(&["serve", "--replay", "a", "--telemetry-interval", "soon"]),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_validate_takes_one_path() {
+        assert_eq!(
+            parse(&["telemetry-validate", "m.prom"]),
+            Ok(Command::TelemetryValidate {
+                path: "m.prom".into()
+            })
+        );
+        assert!(matches!(
+            parse(&["telemetry-validate"]),
+            Err(ArgError::MissingRequired(_))
+        ));
+        assert!(matches!(
+            parse(&["telemetry-validate", "a", "b"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
     }
 
     #[test]

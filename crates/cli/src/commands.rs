@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Backend, Command, GenArgs, ServeArgs, SubsetArgs};
+use crate::args::{Backend, Command, GenArgs, ServeArgs, StatsArgs, SubsetArgs, TraceProfileArgs};
 use std::fmt;
 use std::io::Write;
 use subset3d_core::ClusterMethod;
@@ -24,6 +24,8 @@ pub enum CliError {
     Serialize(serde_json::Error),
     /// A trace file failed schema validation.
     Trace(String),
+    /// A telemetry artifact failed schema validation.
+    Telemetry(String),
     /// The streaming service failed.
     Serve(subset3d_serve::ServeError),
 }
@@ -36,6 +38,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CliError::Serialize(e) => write!(f, "serialisation error: {e}"),
             CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Telemetry(e) => write!(f, "telemetry error: {e}"),
             CliError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
@@ -100,9 +103,10 @@ pub fn run_command(command: &Command, out: &mut dyn Write) -> Result<(), CliErro
         }),
         Command::Rank { trace, subset } => run_rank(trace, subset, out),
         Command::Merge { out: path, inputs } => run_merge(path, inputs, out),
-        Command::Stats { trace, json } => run_stats(trace, *json, out),
+        Command::Stats(args) => run_stats(args, out),
         Command::TraceProfile(args) => run_trace_profile(args, out),
         Command::TraceValidate { path } => run_trace_validate(path, out),
+        Command::TelemetryValidate { path } => run_telemetry_validate(path, out),
         Command::Serve(args) => traced(args.trace_out.as_deref(), out, |out| {
             instrumented(args.metrics, out, |out| run_serve(args, out))
         }),
@@ -431,8 +435,11 @@ fn run_sweep(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
 /// The sweep runs twice on purpose: the second pass replays identical
 /// frames into warm caches, so the report shows steady-state hit rates
 /// rather than cold-start misses.
-fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliError> {
-    let workload = load(trace)?;
+fn run_stats(args: &StatsArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.watch {
+        return run_stats_watch(args, out);
+    }
+    let workload = load(&args.trace)?;
     subset3d_obs::reset();
     subset3d_obs::set_enabled(true);
     let result = (|| -> Result<(), CliError> {
@@ -446,7 +453,7 @@ fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliErro
     let snapshot = subset3d_obs::snapshot();
     subset3d_obs::set_enabled(false);
     result?;
-    if json {
+    if args.json {
         writeln!(out, "{}", serde_json::to_string_pretty(&snapshot)?)?;
         return Ok(());
     }
@@ -478,53 +485,217 @@ fn run_stats(trace: &str, json: bool, out: &mut dyn Write) -> Result<(), CliErro
     Ok(())
 }
 
-/// Runs the full subsetting pipeline under the event tracer, writes the
-/// Chrome trace, and prints a per-stage self-time table — `perf report`
-/// for one pipeline run. The trace lands at `--trace-out` or
-/// `<input>.trace.json`.
-fn run_trace_profile(args: &SubsetArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    let workload = load(&args.path)?;
+/// Formats a nanosecond latency for the watch view.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Top-like live metrics view: repeats the instrumented pass, sampling a
+/// telemetry window per tick and rendering per-window counter deltas
+/// plus rolling latency percentiles. `--iterations 0` runs until
+/// interrupted; a non-zero `--interval` redraws the screen in place.
+fn run_stats_watch(args: &StatsArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    use subset3d_obs::timeseries::{SamplerConfig, TelemetrySampler};
+    let workload = load(&args.trace)?;
+    subset3d_obs::reset();
+    subset3d_obs::set_enabled(true);
+    let result = (|| -> Result<(), CliError> {
+        let sim = Simulator::new(ArchConfig::baseline());
+        let session = SweepSession::new(&ArchConfig::pathfinding_candidates())?;
+        let mut sampler = TelemetrySampler::new(SamplerConfig {
+            interval: std::time::Duration::ZERO,
+            capacity: 256,
+            rolling_windows: 8,
+        });
+        let mut tick = 0usize;
+        loop {
+            Subsetter::new(SubsetConfig::default()).run(&workload, &sim)?;
+            session.sweep(&workload)?;
+            let window = sampler.sample_now();
+            if !args.interval.is_zero() {
+                // Interactive cadence: redraw in place, like `top`.
+                write!(out, "\x1b[2J\x1b[H")?;
+            }
+            writeln!(
+                out,
+                "watch tick {tick}  window {}  {:.1}ms sampled",
+                window.index,
+                window.duration_ns as f64 / 1e6
+            )?;
+            let mut table = Table::new(vec!["metric", "Δ window", "p50", "p90", "p99 (rolling)"]);
+            let mut digests: Vec<_> = window.rolling.iter().collect();
+            digests.sort_by_key(|(_, d)| std::cmp::Reverse(d.count));
+            for (name, d) in digests.into_iter().take(10) {
+                table.row(vec![
+                    name.clone(),
+                    d.count.to_string(),
+                    fmt_ns(d.p50_ns),
+                    fmt_ns(d.p90_ns),
+                    fmt_ns(d.p99_ns),
+                ]);
+            }
+            let mut counters: Vec<_> = window.delta.counters.iter().collect();
+            counters.sort_by_key(|(_, &v)| std::cmp::Reverse(v));
+            for (name, value) in counters.into_iter().take(10) {
+                table.row(vec![
+                    name.clone(),
+                    value.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+            writeln!(out, "{}", table.render())?;
+            tick += 1;
+            if args.iterations != 0 && tick >= args.iterations {
+                break;
+            }
+            if !args.interval.is_zero() {
+                std::thread::sleep(args.interval);
+            }
+        }
+        Ok(())
+    })();
+    subset3d_obs::set_enabled(false);
+    result
+}
+
+/// Runs the full subsetting pipeline under the event tracer over each
+/// input trace, writes the Chrome traces, and prints a self-time table
+/// merged across all sources with a per-source breakdown — `perf
+/// report` for pipeline runs. With one source the per-source columns
+/// collapse away. Chrome traces land at `<input>.trace.json`, or — for
+/// the first source only — at `--trace-out`.
+fn run_trace_profile(args: &TraceProfileArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let config = SubsetConfig::default()
+        .with_cluster_method(cluster_method(args.backend, args.threshold))
+        .with_interval_len(args.interval)
+        .with_frames_per_phase(args.frames_per_phase);
     subset3d_obs::install_panic_dump();
-    subset3d_obs::start_tracing(subset3d_obs::TraceMode::Full);
-    let result = pipeline(args, &workload);
-    let events = subset3d_obs::stop_tracing();
-    if let Err(e) = result {
-        dump_flight_tail(&events);
-        return Err(e);
+
+    // name -> (count, total_ns, merged self_ns, per-source self_ns)
+    let mut merged: std::collections::BTreeMap<String, (u64, u64, u64, Vec<u64>)> =
+        std::collections::BTreeMap::new();
+    let sources = args.traces.len();
+    for (source, input) in args.traces.iter().enumerate() {
+        let workload = load(input)?;
+        let sim = Simulator::new(ArchConfig::baseline());
+        subset3d_obs::start_tracing(subset3d_obs::TraceMode::Full);
+        let result = Subsetter::new(config.clone()).run(&workload, &sim);
+        let events = subset3d_obs::stop_tracing();
+        if let Err(e) = result {
+            dump_flight_tail(&events);
+            return Err(e.into());
+        }
+        for stage in subset3d_obs::self_time(&events) {
+            let entry = merged
+                .entry(stage.name.to_string())
+                .or_insert_with(|| (0, 0, 0, vec![0; sources]));
+            entry.0 += stage.count;
+            entry.1 += stage.total_ns;
+            entry.2 += stage.self_ns;
+            entry.3[source] += stage.self_ns;
+        }
+
+        let path = match (&args.trace_out, source) {
+            (Some(path), 0) => Some(path.clone()),
+            (Some(_), _) => None,
+            (None, _) => Some(format!("{input}.trace.json")),
+        };
+        if let Some(path) = path {
+            let json = subset3d_obs::export_chrome(&events, &subset3d_obs::thread_names());
+            std::fs::write(&path, &json)?;
+            writeln!(
+                out,
+                "wrote Chrome trace to {path} ({} events)",
+                events.len()
+            )?;
+        }
     }
 
-    let summary = subset3d_obs::self_time(&events);
-    let total_self_ns: u64 = summary.iter().map(|s| s.self_ns).sum();
-    let mut table = Table::new(vec!["span", "count", "total ms", "self ms", "self %"]);
-    for stage in &summary {
-        table.row(vec![
-            stage.name.to_string(),
-            stage.count.to_string(),
-            format!("{:.3}", stage.total_ns as f64 / 1e6),
-            format!("{:.3}", stage.self_ns as f64 / 1e6),
+    let mut rows: Vec<_> = merged.into_iter().collect();
+    rows.sort_by_key(|(_, (_, _, self_ns, _))| std::cmp::Reverse(*self_ns));
+    let total_self_ns: u64 = rows.iter().map(|(_, (_, _, self_ns, _))| self_ns).sum();
+    let mut header = vec![
+        "span".to_string(),
+        "count".to_string(),
+        "total ms".to_string(),
+        "self ms".to_string(),
+        "self %".to_string(),
+    ];
+    if sources > 1 {
+        for source in 0..sources {
+            header.push(format!("self ms [{source}]"));
+        }
+    }
+    let mut table = Table::new(header);
+    for (name, (count, total_ns, self_ns, per_source)) in rows {
+        let mut row = vec![
+            name,
+            count.to_string(),
+            format!("{:.3}", total_ns as f64 / 1e6),
+            format!("{:.3}", self_ns as f64 / 1e6),
             format!(
                 "{:.1}",
-                stage.self_ns as f64 / total_self_ns.max(1) as f64 * 100.0
+                self_ns as f64 / total_self_ns.max(1) as f64 * 100.0
             ),
-        ]);
+        ];
+        if sources > 1 {
+            row.extend(
+                per_source
+                    .iter()
+                    .map(|ns| format!("{:.3}", *ns as f64 / 1e6)),
+            );
+        }
+        table.row(row);
     }
     writeln!(out, "{}", table.render())?;
-
-    let path = args
-        .trace_out
-        .clone()
-        .unwrap_or_else(|| format!("{}.trace.json", args.path));
-    let json = subset3d_obs::export_chrome(&events, &subset3d_obs::thread_names());
-    std::fs::write(&path, &json)?;
-    writeln!(
-        out,
-        "wrote Chrome trace to {path} ({} events)",
-        events.len()
-    )?;
+    if sources > 1 {
+        writeln!(out, "sources:")?;
+        for (source, input) in args.traces.iter().enumerate() {
+            writeln!(out, "  [{source}] {input}")?;
+        }
+        if args.trace_out.is_some() {
+            writeln!(out, "note: --trace-out holds the first source's trace only")?;
+        }
+    }
     writeln!(
         out,
         "open it at https://ui.perfetto.dev (or chrome://tracing)"
     )?;
+    Ok(())
+}
+
+/// Validates a telemetry artifact: JSONL time-series files (first
+/// non-blank byte `{`) get the window-ordering lint, anything else is
+/// linted as Prometheus exposition text.
+fn run_telemetry_validate(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    if text.trim().is_empty() {
+        return Err(CliError::Telemetry(format!("{path} is empty")));
+    }
+    if text.trim_start().starts_with('{') {
+        let windows = subset3d_obs::timeseries_from_jsonl(&text).map_err(CliError::Telemetry)?;
+        let stats = subset3d_obs::validate_timeseries(&windows).map_err(CliError::Telemetry)?;
+        writeln!(
+            out,
+            "{path} is a valid telemetry time-series: {} windows spanning {}ms, {} rolling digests",
+            stats.windows, stats.span_ms, stats.digests
+        )?;
+    } else {
+        let stats = subset3d_obs::validate_prometheus(&text).map_err(CliError::Telemetry)?;
+        writeln!(
+            out,
+            "{path} is valid Prometheus exposition: {} metrics, {} samples, {} histogram series",
+            stats.types, stats.samples, stats.histogram_series
+        )?;
+    }
     Ok(())
 }
 
@@ -538,12 +709,37 @@ fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
         reservoir_capacity: args.capacity,
         ..Default::default()
     };
+    let telemetry = args.telemetry_requested().then(|| {
+        let interval = args
+            .telemetry_interval
+            .unwrap_or(std::time::Duration::from_millis(250));
+        // The SLO budget defaults to the sampling interval — the chunk
+        // cadence proxy: ingests slower than the arrival interval mean
+        // sessions are falling behind.
+        let budget = args.slo_budget.unwrap_or(interval);
+        subset3d_serve::TelemetryOptions {
+            interval,
+            slo: Some(subset3d_serve::SloPolicy {
+                budget_ns: budget.as_nanos().min(u64::MAX as u128) as u64,
+            }),
+            ..Default::default()
+        }
+    });
     let options = subset3d_serve::ReplayOptions {
         sessions: args.sessions,
         chunk_frames: args.chunk,
+        telemetry,
     };
     let outcome = subset3d_serve::replay(&workload, &config, &options)?;
     let summary = outcome.summary();
+    if let Some(report) = &outcome.telemetry {
+        if let Some(path) = &args.prom_out {
+            std::fs::write(path, subset3d_obs::to_prometheus(&report.final_snapshot))?;
+        }
+        if let Some(path) = &args.timeseries_out {
+            std::fs::write(path, subset3d_obs::timeseries_to_jsonl(&report.windows))?;
+        }
+    }
     if args.json {
         writeln!(out, "{}", serde_json::to_string_pretty(&summary)?)?;
         return Ok(());
@@ -600,7 +796,38 @@ fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
             update.reservoir_occupancy, update.reservoir_capacity
         ),
     ]);
+    if let Some(report) = &outcome.telemetry {
+        table.row(vec![
+            "telemetry".into(),
+            format!(
+                "{} windows sampled ({} dropped)",
+                report.windows.len(),
+                report.dropped
+            ),
+        ]);
+        if let Some(slo) = report.slo {
+            table.row(vec![
+                "slo".into(),
+                format!(
+                    "{}: worst p99 {:.3}ms vs {:.3}ms budget ({}/{} windows over)",
+                    if slo.breached { "BREACHED" } else { "ok" },
+                    slo.worst_p99_ns as f64 / 1e6,
+                    slo.budget_ns as f64 / 1e6,
+                    slo.violations,
+                    slo.windows_evaluated
+                ),
+            ]);
+        }
+    }
     writeln!(out, "{}", table.render())?;
+    if outcome.telemetry.is_some() {
+        if let Some(path) = &args.prom_out {
+            writeln!(out, "wrote Prometheus metrics to {path}")?;
+        }
+        if let Some(path) = &args.timeseries_out {
+            writeln!(out, "wrote telemetry time-series to {path}")?;
+        }
+    }
     Ok(())
 }
 
@@ -1011,6 +1238,164 @@ mod tests {
         assert_eq!(summary.final_update.reservoir_occupancy, 4);
         assert_eq!(summary.final_update.frames_seen, 9);
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn serve_telemetry_exports_and_flags_an_impossible_slo() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-telemetry");
+        let prom = temp_path("serve-telemetry-prom");
+        let jsonl = temp_path("serve-telemetry-jsonl");
+        run(&[
+            "gen", "--out", &trace, "--frames", "10", "--draws", "40", "--seed", "11",
+        ])
+        .unwrap();
+        // Interval zero samples every chunk round; a 1ns budget cannot
+        // be met, so the watchdog must flag the run.
+        let text = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "3",
+            "--sessions",
+            "2",
+            "--telemetry-interval",
+            "0ms",
+            "--slo-budget",
+            "1ns",
+            "--prom-out",
+            &prom,
+            "--timeseries-out",
+            &jsonl,
+        ])
+        .unwrap();
+        assert!(text.contains("windows sampled"), "{text}");
+        assert!(text.contains("BREACHED"), "{text}");
+        assert!(text.contains("wrote Prometheus metrics"), "{text}");
+        assert!(text.contains("wrote telemetry time-series"), "{text}");
+
+        let verdict = run(&["telemetry-validate", &prom]).unwrap();
+        assert!(verdict.contains("valid Prometheus exposition"), "{verdict}");
+        assert!(verdict.contains("histogram series"), "{verdict}");
+        let verdict = run(&["telemetry-validate", &jsonl]).unwrap();
+        assert!(verdict.contains("valid telemetry time-series"), "{verdict}");
+
+        // The exported exposition must carry the per-session families.
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            prom_text.contains("serve_session_ingest_ns_bucket{session="),
+            "per-session histogram missing:\n{prom_text}"
+        );
+        for p in [&trace, &prom, &jsonl] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_json_summary_includes_telemetry_and_slo() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-telemetry-json");
+        run(&[
+            "gen", "--out", &trace, "--frames", "8", "--draws", "30", "--seed", "12",
+        ])
+        .unwrap();
+        let json = run(&[
+            "serve",
+            "--replay",
+            &trace,
+            "--chunk",
+            "2",
+            "--telemetry-interval",
+            "0ms",
+            "--json",
+        ])
+        .unwrap();
+        let summary: subset3d_serve::ReplaySummary =
+            serde_json::from_str(&json).expect("valid serve JSON summary");
+        assert!(summary.telemetry_windows > 0);
+        let slo = summary.slo.expect("slo defaults on with telemetry");
+        assert_eq!(slo.budget_ns, 0, "budget defaults to the 0ms interval");
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn telemetry_validate_rejects_garbage() {
+        let path = temp_path("telemetry-garbage");
+        std::fs::write(&path, "metric{unclosed 1\n").unwrap();
+        let err = run(&["telemetry-validate", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Telemetry(_)), "got {err:?}");
+        std::fs::write(&path, "").unwrap();
+        let err = run(&["telemetry-validate", &path]).unwrap_err();
+        assert!(matches!(err, CliError::Telemetry(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_watch_renders_live_ticks() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("stats-watch");
+        run(&[
+            "gen", "--out", &trace, "--frames", "5", "--draws", "25", "--seed", "13",
+        ])
+        .unwrap();
+        let text = run(&[
+            "stats",
+            &trace,
+            "--watch",
+            "--iterations",
+            "2",
+            "--interval",
+            "0ms",
+        ])
+        .unwrap();
+        assert!(text.contains("watch tick 0"), "{text}");
+        assert!(text.contains("watch tick 1"), "{text}");
+        assert!(text.contains("p99 (rolling)"), "{text}");
+        assert!(
+            !text.contains('\x1b'),
+            "zero interval must not clear the screen"
+        );
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn trace_profile_merges_multiple_sources() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = temp_path("profile-multi-a");
+        let b = temp_path("profile-multi-b");
+        run(&[
+            "gen", "--out", &a, "--frames", "6", "--draws", "30", "--seed", "14",
+        ])
+        .unwrap();
+        run(&[
+            "gen", "--out", &b, "--frames", "4", "--draws", "20", "--seed", "15",
+        ])
+        .unwrap();
+        let text = run(&[
+            "trace-profile",
+            "--trace",
+            &a,
+            "--trace",
+            &b,
+            "--interval",
+            "3",
+        ])
+        .unwrap();
+        assert!(text.contains("self ms [0]"), "{text}");
+        assert!(text.contains("self ms [1]"), "{text}");
+        assert!(text.contains("sources:"), "{text}");
+        assert!(text.contains(&a) && text.contains(&b), "{text}");
+        assert!(text.contains("pipeline.clustering"), "{text}");
+        // Each source still gets its own Chrome trace by default.
+        for p in [&a, &b] {
+            let chrome = format!("{p}.trace.json");
+            let json = std::fs::read_to_string(&chrome)
+                .unwrap_or_else(|e| panic!("missing {chrome}: {e}"));
+            subset3d_obs::validate_chrome(&json).expect("per-source trace validates");
+            std::fs::remove_file(&chrome).ok();
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

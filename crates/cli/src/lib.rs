@@ -17,7 +17,10 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Backend, Command, GenArgs, ServeArgs, SubsetArgs};
+pub use args::{
+    parse_args, ArgError, Backend, Command, GenArgs, ServeArgs, StatsArgs, SubsetArgs,
+    TraceProfileArgs,
+};
 pub use commands::{run_command, CliError};
 
 /// Usage text printed on parse errors and `--help`.
@@ -36,13 +39,17 @@ USAGE:
                     [--metrics] [--trace-out <JSON>]
     subset3d rank   <FILE> <SUBSET.JSON>
     subset3d merge  --out <FILE> <TRACE>...
-    subset3d stats  <FILE> [--json]
-    subset3d trace-profile  <FILE> [--threshold X] [--interval N]
-                    [--trace-out <JSON>]
+    subset3d stats  <FILE> [--json] [--watch] [--interval DUR]
+                    [--iterations N]
+    subset3d trace-profile  <FILE>... [--trace <FILE>]... [--threshold X]
+                    [--interval N] [--trace-out <JSON>]
     subset3d trace-validate <JSON>
+    subset3d telemetry-validate <FILE>
     subset3d serve  --replay <FILE> [--chunk N] [--sessions N]
                     [--backend B] [--threshold X] [--capacity N]
                     [--json] [--metrics] [--trace-out <JSON>]
+                    [--telemetry-interval DUR] [--prom-out <FILE>]
+                    [--timeseries-out <FILE>] [--slo-budget DUR]
     subset3d help
 
 `--backend` selects the clustering methodology: `threshold` (the
@@ -65,8 +72,21 @@ bit-for-bit.
 
 `--trace-out` records a per-thread event timeline of the run and writes
 it as Chrome trace-event JSON — open it at https://ui.perfetto.dev.
-`trace-profile` runs the pipeline under the tracer and also prints a
-per-stage self-time table; `trace-validate` checks a trace file against
-the exporter's schema. If a traced run fails, the most recent events
-are dumped to stderr as JSONL (the flight recorder).
+`trace-profile` runs the pipeline under the tracer over one or more
+input traces (repeat `--trace` or list positionals) and prints a merged
+per-stage self-time table with a per-source breakdown; `trace-validate`
+checks a trace file against the exporter's schema. If a traced run
+fails, the most recent events are dumped to stderr as JSONL (the flight
+recorder).
+
+Telemetry: any of `--telemetry-interval`, `--prom-out`,
+`--timeseries-out` or `--slo-budget` turns on time-series sampling
+during `serve --replay` — metric deltas are captured per interval with
+rolling p50/p90/p99 latency digests. `--prom-out` writes the final
+snapshot as Prometheus exposition text, `--timeseries-out` writes the
+sampled windows as JSONL, and the SLO watchdog holds rolling p99 ingest
+latency to `--slo-budget` (default: the sampling interval). Durations
+take ns/us/ms/s suffixes (bare numbers are ms). `stats --watch` is a
+top-like live view of the same sampler; `telemetry-validate` lints
+either exporter artifact.
 ";

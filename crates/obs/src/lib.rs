@@ -53,19 +53,34 @@
 //! end in `_ns` — every histogram records nanoseconds.
 
 pub mod chrome;
+mod family;
 mod metrics;
+pub mod prom;
 mod registry;
 pub mod shard;
 mod snapshot;
 mod span;
+pub mod timeseries;
 mod trace;
 
 pub use chrome::{export_chrome, export_jsonl, validate_chrome, ChromeStats, TRACE_PID};
+pub use family::{
+    CounterFamily, CounterLease, GaugeFamily, GaugeLease, HistogramFamily, HistogramLease,
+    DEFAULT_FAMILY_SLOTS, FAMILY_OVERFLOW_LABEL, FAMILY_OVERFLOW_SLOT,
+};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{counter, gauge, histogram, LazyCounter, LazyGauge, LazyHistogram};
+pub use prom::{to_prometheus, validate_prometheus, PromStats};
+pub use registry::{
+    counter, counter_family, gauge, gauge_family, histogram, histogram_family, LazyCounter,
+    LazyGauge, LazyHistogram,
+};
 pub use shard::{claim_thread_slot, shard_capacity, shard_slots_in_use, MAX_SHARDS};
-pub use snapshot::{BucketCount, HistogramSnapshot, MetricsSnapshot};
+pub use snapshot::{BucketCount, FamilyCell, FamilySnapshot, HistogramSnapshot, MetricsSnapshot};
 pub use span::{span, Span};
+pub use timeseries::{
+    timeseries_from_jsonl, timeseries_to_jsonl, validate_timeseries, HistogramDelta, MetricsDelta,
+    RollingDigest, SamplerConfig, TelemetrySampler, TelemetryWindow, TimeSeries, TimeseriesStats,
+};
 pub use trace::{
     events_dropped, events_recorded, install_panic_dump, recent_events, self_time, start_tracing,
     stop_tracing, thread_names, trace_allocs, trace_enabled, trace_flow_end, trace_flow_start,
@@ -73,9 +88,19 @@ pub use trace::{
     TracePhase, TraceSpan, FLIGHT_CAPACITY,
 };
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Bumped by every [`reset`]; snapshots carry the value so delta code
+/// can detect a reset between two samples and rebase instead of
+/// clamping everything to zero.
+static RESET_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`reset`] has run so far.
+pub fn reset_epoch() -> u64 {
+    RESET_EPOCH.load(Ordering::Relaxed)
+}
 
 /// Whether metrics are currently being recorded.
 #[inline]
@@ -100,8 +125,10 @@ pub fn snapshot() -> MetricsSnapshot {
     registry::global().snapshot(enabled())
 }
 
-/// Zeroes every registered metric (names stay registered).
+/// Zeroes every registered metric (names stay registered) and bumps the
+/// process-global reset epoch recorded in every snapshot.
 pub fn reset() {
+    RESET_EPOCH.fetch_add(1, Ordering::Relaxed);
     registry::global().reset();
 }
 

@@ -1,5 +1,6 @@
 //! The process-global metric registry and the lazy call-site handles.
 
+use crate::family::{CounterFamily, GaugeFamily, HistogramFamily};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::MetricsSnapshot;
 use std::collections::BTreeMap;
@@ -16,13 +17,16 @@ pub(crate) struct Registry {
     counters: RwLock<BTreeMap<String, &'static Counter>>,
     gauges: RwLock<BTreeMap<String, &'static Gauge>>,
     histograms: RwLock<BTreeMap<String, &'static Histogram>>,
+    counter_families: RwLock<BTreeMap<String, &'static CounterFamily>>,
+    gauge_families: RwLock<BTreeMap<String, &'static GaugeFamily>>,
+    histogram_families: RwLock<BTreeMap<String, &'static HistogramFamily>>,
 }
 
 /// Looks `name` up in `map`, registering a fresh leaked `T` on first use.
 fn get_or_register<T>(
     map: &RwLock<BTreeMap<String, &'static T>>,
     name: &str,
-    fresh: fn() -> T,
+    fresh: impl FnOnce() -> T,
 ) -> &'static T {
     if let Some(existing) = map.read().expect("metric registry poisoned").get(name) {
         return existing;
@@ -48,9 +52,65 @@ impl Registry {
         get_or_register(&self.histograms, name, Histogram::new)
     }
 
+    pub(crate) fn counter_family(
+        &self,
+        name: &str,
+        label_key: &str,
+        slots: usize,
+    ) -> &'static CounterFamily {
+        get_or_register(&self.counter_families, name, || {
+            CounterFamily::new(label_key, slots)
+        })
+    }
+
+    pub(crate) fn gauge_family(
+        &self,
+        name: &str,
+        label_key: &str,
+        slots: usize,
+    ) -> &'static GaugeFamily {
+        get_or_register(&self.gauge_families, name, || {
+            GaugeFamily::new(label_key, slots)
+        })
+    }
+
+    pub(crate) fn histogram_family(
+        &self,
+        name: &str,
+        label_key: &str,
+        slots: usize,
+    ) -> &'static HistogramFamily {
+        get_or_register(&self.histogram_families, name, || {
+            HistogramFamily::new(label_key, slots)
+        })
+    }
+
     pub(crate) fn snapshot(&self, enabled: bool) -> MetricsSnapshot {
         MetricsSnapshot {
             enabled,
+            reset_epoch: crate::reset_epoch(),
+            shard_churn_epoch: crate::shard::churn_epoch(),
+            counter_families: self
+                .counter_families
+                .read()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(name, f)| (name.clone(), f.snapshot()))
+                .collect(),
+            gauge_families: self
+                .gauge_families
+                .read()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(name, f)| (name.clone(), f.snapshot()))
+                .collect(),
+            histogram_families: self
+                .histogram_families
+                .read()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(name, f)| (name.clone(), f.snapshot()))
+                .collect(),
             counters: self
                 .counters
                 .read()
@@ -100,6 +160,30 @@ impl Registry {
         {
             h.reset();
         }
+        for f in self
+            .counter_families
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            f.reset();
+        }
+        for f in self
+            .gauge_families
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            f.reset();
+        }
+        for f in self
+            .histogram_families
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            f.reset();
+        }
     }
 }
 
@@ -121,6 +205,23 @@ pub fn gauge(name: &str) -> &'static Gauge {
 /// The histogram named `name`, registered on first use.
 pub fn histogram(name: &str) -> &'static Histogram {
     global().histogram(name)
+}
+
+/// The labeled counter family named `name`, registered on first use with
+/// `slots` exclusive label slots keyed by `label_key`. Later calls with a
+/// different key or slot count return the first registration unchanged.
+pub fn counter_family(name: &str, label_key: &str, slots: usize) -> &'static CounterFamily {
+    global().counter_family(name, label_key, slots)
+}
+
+/// The labeled gauge family named `name` (see [`counter_family`]).
+pub fn gauge_family(name: &str, label_key: &str, slots: usize) -> &'static GaugeFamily {
+    global().gauge_family(name, label_key, slots)
+}
+
+/// The labeled histogram family named `name` (see [`counter_family`]).
+pub fn histogram_family(name: &str, label_key: &str, slots: usize) -> &'static HistogramFamily {
+    global().histogram_family(name, label_key, slots)
 }
 
 /// Resolves a `&'static T` metric handle once, on first recorded event.

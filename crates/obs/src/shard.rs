@@ -57,6 +57,17 @@ static NEXT_SLOT: AtomicUsize = AtomicUsize::new(SHARED_SLOT + 1);
 /// Exclusive slots currently owned by a live thread (diagnostics only).
 static SLOTS_LIVE: AtomicUsize = AtomicUsize::new(0);
 
+/// Bumped every time an exited thread returns its exclusive slot to the
+/// free list, i.e. every time a slot becomes eligible for recycling.
+/// Snapshots record it so delta consumers can tell whether thread churn
+/// happened between two samples (see [`crate::timeseries`]).
+static CHURN_EPOCH: AtomicUsize = AtomicUsize::new(0);
+
+/// Total exclusive-slot recyclings so far (monotone; see [`CHURN_EPOCH`]).
+pub fn churn_epoch() -> u64 {
+    CHURN_EPOCH.load(Ordering::Relaxed) as u64
+}
+
 /// Exclusive indices returned by exited threads, ready for reuse.
 fn free_slots() -> &'static Mutex<Vec<usize>> {
     static FREE: OnceLock<Mutex<Vec<usize>>> = OnceLock::new();
@@ -90,6 +101,7 @@ impl Drop for SlotCell {
             let slot = decode(v);
             if slot.exclusive {
                 SLOTS_LIVE.fetch_sub(1, Ordering::Relaxed);
+                CHURN_EPOCH.fetch_add(1, Ordering::Relaxed);
                 free_slots()
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())

@@ -48,7 +48,7 @@
 //! let outcome = replay(
 //!     &workload,
 //!     &ServeConfig::default(),
-//!     &ReplayOptions { sessions: 2, chunk_frames: 3 },
+//!     &ReplayOptions { sessions: 2, chunk_frames: 3, ..Default::default() },
 //! )?;
 //! assert_eq!(outcome.reports.len(), 2);
 //! assert_eq!(outcome.reports[0].frames_seen, 8);
@@ -61,6 +61,7 @@ mod error;
 mod manager;
 mod replay;
 mod session;
+mod telemetry;
 
 pub use error::ServeError;
 pub use manager::{SessionId, SessionManager, TimedUpdate};
@@ -69,3 +70,4 @@ pub use session::{
     ServeConfig, Session, SessionReport, SessionSnapshot, SubsetUpdate, DEFAULT_DRIFT_BOUND,
     DEFAULT_RESERVOIR_CAPACITY, RLS_DIM,
 };
+pub use telemetry::{SloPolicy, SloVerdict, TelemetryOptions, TelemetryReport};

@@ -7,11 +7,18 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use subset3d_obs::LazyCounter;
+use subset3d_obs::{GaugeLease, HistogramLease, LazyCounter};
 use subset3d_trace::{Frame, Workload};
 
 static OBS_OPENED: LazyCounter = LazyCounter::new("serve.sessions_opened");
 static OBS_CLOSED: LazyCounter = LazyCounter::new("serve.sessions_closed");
+
+/// Per-session ingest latency, labeled by session id. Sessions beyond
+/// the family's slot budget share the `~other` overflow label.
+const SESSION_INGEST_FAMILY: &str = "serve.session.ingest_ns";
+
+/// Per-session reservoir occupancy after the latest ingest.
+const SESSION_OCCUPANCY_FAMILY: &str = "serve.session.reservoir_occupancy";
 
 /// Opaque handle to an open session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +47,40 @@ pub struct TimedUpdate {
     pub ingest_ns: u64,
 }
 
+/// Labeled-metric leases attributing one session's activity; dropping
+/// them (on close) releases the label slots for recycling — the churn
+/// the snapshot-delta epoch check exists for.
+struct SessionObs {
+    ingest: HistogramLease,
+    occupancy: GaugeLease,
+}
+
+impl SessionObs {
+    fn claim(id: u64) -> Self {
+        let label = format!("session-{id}");
+        SessionObs {
+            ingest: subset3d_obs::histogram_family(
+                SESSION_INGEST_FAMILY,
+                "session",
+                subset3d_obs::DEFAULT_FAMILY_SLOTS,
+            )
+            .claim(&label),
+            occupancy: subset3d_obs::gauge_family(
+                SESSION_OCCUPANCY_FAMILY,
+                "session",
+                subset3d_obs::DEFAULT_FAMILY_SLOTS,
+            )
+            .claim(&label),
+        }
+    }
+}
+
+/// One open session plus its observability leases.
+struct SessionEntry {
+    session: Mutex<Session>,
+    obs: SessionObs,
+}
+
 /// A long-lived registry of concurrent streaming sessions.
 ///
 /// Session state is sharded across `obs::shard_capacity()` lock-striped
@@ -48,7 +89,7 @@ pub struct TimedUpdate {
 /// registry. Batched ingests fan out on the shared [`subset3d_exec`] pool,
 /// whose workers pre-claim [`subset3d_obs::shard`] thread slots.
 pub struct SessionManager {
-    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<SessionEntry>>>>,
     next_id: AtomicU64,
 }
 
@@ -79,11 +120,11 @@ impl SessionManager {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
-    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Session>>>> {
+    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, Arc<SessionEntry>>> {
         &self.shards[(id % self.shards.len() as u64) as usize]
     }
 
-    fn session(&self, id: SessionId) -> Result<Arc<Mutex<Session>>, ServeError> {
+    fn session(&self, id: SessionId) -> Result<Arc<SessionEntry>, ServeError> {
         self.shard_of(id.0)
             .lock()
             .get(&id.0)
@@ -101,9 +142,11 @@ impl SessionManager {
     pub fn open(&self, config: ServeConfig, tables: &Workload) -> Result<SessionId, ServeError> {
         let session = Session::new(config, tables)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard_of(id)
-            .lock()
-            .insert(id, Arc::new(Mutex::new(session)));
+        let entry = SessionEntry {
+            session: Mutex::new(session),
+            obs: SessionObs::claim(id),
+        };
+        self.shard_of(id).lock().insert(id, Arc::new(entry));
         OBS_OPENED.incr();
         Ok(SessionId(id))
     }
@@ -115,9 +158,12 @@ impl SessionManager {
     /// Returns [`ServeError::UnknownSession`] for closed/unknown ids and
     /// propagates simulator failures.
     pub fn ingest(&self, id: SessionId, frames: &[Frame]) -> Result<SubsetUpdate, ServeError> {
-        let session = self.session(id)?;
-        let mut session = session.lock();
-        session.ingest(frames)
+        let entry = self.session(id)?;
+        let start = Instant::now();
+        let update = entry.session.lock().ingest(frames)?;
+        entry.obs.ingest.record(start.elapsed().as_nanos() as u64);
+        entry.obs.occupancy.set(update.reservoir_occupancy as i64);
+        Ok(update)
     }
 
     /// Ingests a batch of chunks into their sessions concurrently on the
@@ -153,8 +199,8 @@ impl SessionManager {
         id: SessionId,
         f: impl FnOnce(&mut Session) -> R,
     ) -> Result<R, ServeError> {
-        let session = self.session(id)?;
-        let mut session = session.lock();
+        let entry = self.session(id)?;
+        let mut session = entry.session.lock();
         Ok(f(&mut session))
     }
 
@@ -171,9 +217,11 @@ impl SessionManager {
             .remove(&id.0)
             .ok_or(ServeError::UnknownSession { id: id.0 })?;
         match Arc::try_unwrap(arc) {
-            Ok(mutex) => {
+            Ok(entry) => {
                 OBS_CLOSED.incr();
-                Ok(mutex.into_inner().drain())
+                // Dropping `entry.obs` releases the session's label
+                // slots for the next session to recycle.
+                Ok(entry.session.into_inner().drain())
             }
             Err(arc) => {
                 // Someone is mid-ingest; put it back rather than losing it.

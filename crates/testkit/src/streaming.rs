@@ -64,6 +64,7 @@ fn stream(
         &ReplayOptions {
             sessions,
             chunk_frames,
+            ..Default::default()
         },
     )
     .map_err(|e| format!("replay failed: {e}"))?;

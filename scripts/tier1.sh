@@ -52,6 +52,18 @@ cargo run -p subset3d-cli --release -q -- serve --replay "$TRACE_TMP/smoke.trace
 cargo run -p subset3d-cli --release -q -- trace-validate "$TRACE_TMP/smoke.serve.json"
 cargo test -p subset3d-testkit --release -q --test streaming_oracle
 
+# Telemetry smoke: the same replay with time-series sampling on
+# (interval zero cuts a window every chunk round), exporting both a
+# Prometheus snapshot and the JSONL window series, then lint both
+# artifacts with the exporters' own schema checks. The generous SLO
+# budget keeps the watchdog engaged without tripping on a loaded CI box.
+cargo run -p subset3d-cli --release -q -- serve --replay "$TRACE_TMP/smoke.trace" \
+    --chunk 5 --sessions 2 --telemetry-interval 0 --slo-budget 1s \
+    --prom-out "$TRACE_TMP/smoke.prom" \
+    --timeseries-out "$TRACE_TMP/smoke.tsdb.jsonl"
+cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.prom"
+cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.tsdb.jsonl"
+
 # Perf guard, report-only: compare the committed benchmark report against
 # a fresh median-of-3 measurement. Machine variance makes a hard gate
 # flaky in CI, so --check prints regressions without failing the build;
@@ -59,10 +71,11 @@ cargo test -p subset3d-testkit --release -q --test streaming_oracle
 cargo run -p subset3d-bench --bin bench_diff --release -- --check BENCH_pipeline.json
 
 # Metrics-overhead regression step: refresh BENCH_pipeline.json, then
-# diff the observability overheads (parallel-pass metrics/trace cost)
-# against the previously committed report, with a 2 pp drift threshold
-# and a 2 % absolute budget on the candidate — the sharded-counter
-# design target. Report-only for the same machine-variance reason.
+# diff the observability overheads (parallel-pass metrics/trace cost,
+# plus serve-replay telemetry sampling) against the previously committed
+# report, with a 2 pp drift threshold and a 2 % absolute budget on the
+# candidate — the sharded-counter design target. Report-only for the
+# same machine-variance reason.
 cp BENCH_pipeline.json "$TRACE_TMP/committed_bench.json"
 cargo run -p subset3d-bench --bin bench_report --release
 cargo run -p subset3d-bench --bin bench_diff --release -- \
