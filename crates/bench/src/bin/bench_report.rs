@@ -39,6 +39,9 @@
 //! The **serve_replay** scenario streams the same workload through
 //! concurrent `subset3d-serve` sessions in chunks, recording session and
 //! frame throughput plus the per-chunk incremental-fit latency digest.
+//! The **serve_net** scenario repeats the stream through the loopback
+//! wire-protocol front-end and reports the per-chunk round-trip digest
+//! relative to that in-process baseline.
 
 use subset3d_bench::report::{
     best_timer, collect, Report, Scenario, BAKEOFF_DRAWS_PER_FRAME, BAKEOFF_FRAMES, OVERHEAD_REPS,
@@ -100,6 +103,19 @@ fn main() {
             s.frames_per_sec,
             s.ingest_latency.p50_ns as f64 / 1e6,
             s.ingest_latency.p99_ns as f64 / 1e6,
+        );
+    }
+    if let Some(s) = &report.serve_net {
+        println!(
+            "serve_net: {} sessions x {} frames ({}-frame chunks over loopback TCP) | \
+             {:.0} frames/s | wire p50 {:.3}ms p99 {:.3}ms | {:.2}x in-process ingest",
+            s.sessions,
+            s.frames_per_session,
+            s.chunk_frames,
+            s.frames_per_sec,
+            s.wire_latency.p50_ns as f64 / 1e6,
+            s.wire_latency.p99_ns as f64 / 1e6,
+            s.wire_overhead_ratio,
         );
     }
     bakeoff_table(&report);

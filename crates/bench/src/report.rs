@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 use subset3d_core::{ClusterMethod, SubsetConfig, Subsetter};
 use subset3d_gpusim::{ArchConfig, CacheMode, Simulator, SweepSession};
-use subset3d_serve::{replay, ReplayOptions, ReplayOutcome, ServeConfig, TelemetryOptions};
+use subset3d_serve::{
+    replay, NetClient, NetServer, NetServerConfig, ReplayOptions, ReplayOutcome, ServeConfig,
+    TelemetryOptions,
+};
 use subset3d_trace::gen::GameProfile;
 use subset3d_trace::Workload;
 
@@ -50,12 +53,16 @@ pub struct Scenario {
     /// `single_thread_uncached / parallel_memoized` wall-time ratio.
     pub speedup: f64,
     /// Draw-shape cache hit rate of the optimized arm; `null` when the
-    /// cache never engaged (no lookups), so "unused" is distinguishable
-    /// from "used and always missed".
+    /// cache never served a lookup (zero hits) — whether it was never
+    /// consulted at all or only paid probe-window misses before
+    /// disabling itself. Both cases mean "memoization contributed
+    /// nothing here", and reporting the probe window's `0.0` as a rate
+    /// made scenarios flap between `0.0` and `null`.
     pub cache_hit_rate: Option<f64>,
     /// Batch cache hit rate of the optimized arm; `null` when no batch
-    /// probe was attempted. The alias keeps pre-columnar reports (which
-    /// recorded a per-frame cache) deserializable.
+    /// lookup was served, by the same convention as `cache_hit_rate`.
+    /// The alias keeps pre-columnar reports (which recorded a per-frame
+    /// cache) deserializable.
     #[serde(alias = "frame_cache_hit_rate")]
     pub batch_cache_hit_rate: Option<f64>,
     /// Draws the optimized arm computed without probing the shape cache
@@ -134,6 +141,12 @@ pub struct Report {
     /// Absent from reports predating the serve layer, hence the default.
     #[serde(default)]
     pub serve_replay: Option<ServeReplayBench>,
+    /// The same stream pushed through the loopback wire-protocol
+    /// front-end, measured against `serve_replay`'s in-process ingest
+    /// baseline. Absent from reports predating the network front-end,
+    /// hence the default.
+    #[serde(default)]
+    pub serve_net: Option<ServeNetBench>,
 }
 
 /// Percentile digest of a set of per-call latencies, nanoseconds.
@@ -197,6 +210,27 @@ pub struct ServeReplayBench {
     pub frames_per_sec: f64,
     /// Per-chunk incremental-fit (ingest call) latency distribution.
     pub ingest_latency: LatencyDigest,
+}
+
+/// The wire-protocol ingestion scenario: the serve-replay stream framed
+/// through a loopback TCP listener (see [`collect_serve_net`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeNetBench {
+    /// Sessions streamed over the wire.
+    pub sessions: usize,
+    /// Frames per ingested chunk.
+    pub chunk_frames: usize,
+    /// Frames streamed into each session.
+    pub frames_per_session: usize,
+    /// Frame ingests per wall-clock second, summed over sessions.
+    pub frames_per_sec: f64,
+    /// Per-chunk round-trip latency: encode, loopback TCP, server
+    /// ingest, JSON update reply.
+    pub wire_latency: LatencyDigest,
+    /// Mean wire round-trip over the in-process `serve_replay` mean
+    /// ingest — the framing + loopback overhead factor; `0.0` when the
+    /// baseline mean is degenerate (zero).
+    pub wire_overhead_ratio: f64,
 }
 
 /// One backend × profile cell of the cross-methodology bake-off.
@@ -377,6 +411,60 @@ pub fn collect_serve_replay(workload: &Workload) -> ServeReplayBench {
         sessions_per_sec: summary.sessions_per_sec,
         frames_per_sec: summary.frames_per_sec,
         ingest_latency: LatencyDigest::of(&outcome.ingest_ns),
+    }
+}
+
+/// Streams `workload` through a loopback [`NetServer`] with
+/// [`SERVE_SESSIONS`] sequential sessions in [`SERVE_CHUNK_FRAMES`]-frame
+/// chunks, [`RUNS`] times, and digests the fastest run's per-chunk wire
+/// round-trips against `baseline`'s in-process ingest latency.
+pub fn collect_serve_net(workload: &Workload, baseline: &ServeReplayBench) -> ServeNetBench {
+    let server = NetServer::bind("127.0.0.1:0", NetServerConfig::default())
+        .expect("bind loopback bench listener")
+        .spawn()
+        .expect("spawn bench listener");
+    let addr = server.addr().to_string();
+
+    let mut best: Option<(u64, Vec<u64>)> = None;
+    for _ in 0..RUNS {
+        let run_start = Instant::now();
+        let mut wire_ns = Vec::new();
+        for _ in 0..SERVE_SESSIONS {
+            let mut client = NetClient::connect(&addr).expect("connect bench client");
+            let session = client.open(workload).expect("open bench session");
+            for chunk in workload.frames().chunks(SERVE_CHUNK_FRAMES) {
+                let start = Instant::now();
+                client.ingest(session, chunk).expect("wire ingest");
+                wire_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            client.close(session).expect("close bench session");
+        }
+        let wall_ns = u64::try_from(run_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if best.as_ref().is_none_or(|(b, _)| wall_ns < *b) {
+            best = Some((wall_ns, wire_ns));
+        }
+    }
+    server.stop();
+
+    let (wall_ns, wire_ns) = best.expect("RUNS >= 1");
+    let frames_per_session = workload.frames().len();
+    let total_frames = frames_per_session * SERVE_SESSIONS;
+    let wire_latency = LatencyDigest::of(&wire_ns);
+    ServeNetBench {
+        sessions: SERVE_SESSIONS,
+        chunk_frames: SERVE_CHUNK_FRAMES,
+        frames_per_session,
+        frames_per_sec: if wall_ns > 0 {
+            total_frames as f64 / (wall_ns as f64 / 1e9)
+        } else {
+            0.0
+        },
+        wire_overhead_ratio: if baseline.ingest_latency.mean_ns > 0.0 {
+            wire_latency.mean_ns / baseline.ingest_latency.mean_ns
+        } else {
+            0.0
+        },
+        wire_latency,
     }
 }
 
@@ -591,6 +679,11 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
     // Runs on the same default-thread pool as the parallel arms.
     let serve_replay = collect_serve_replay(&workload);
 
+    // -- wire-protocol ingestion ---------------------------------------
+    // The same stream over a loopback listener, against the in-process
+    // latency baseline just collected.
+    let serve_net = collect_serve_net(&workload, &serve_replay);
+
     // -- telemetry-sampling overhead -----------------------------------
     // Paired like the other observability overheads, on the serve-replay
     // shape: each rep interleaves a plain replay and a telemetry-on
@@ -653,6 +746,7 @@ pub fn collect(timer: fn(&mut dyn FnMut(), usize) -> f64) -> Report {
         metrics,
         bakeoff: collect_bakeoff(),
         serve_replay: Some(serve_replay),
+        serve_net: Some(serve_net),
     }
 }
 
@@ -716,6 +810,14 @@ mod tests {
                 sessions_per_sec: 8.0,
                 frames_per_sec: 960.0,
                 ingest_latency: LatencyDigest::of(&[100, 200, 300, 400]),
+            }),
+            serve_net: Some(ServeNetBench {
+                sessions: 4,
+                chunk_frames: 16,
+                frames_per_session: 120,
+                frames_per_sec: 800.0,
+                wire_latency: LatencyDigest::of(&[150, 250, 350, 450]),
+                wire_overhead_ratio: 1.2,
             }),
         }
     }
@@ -990,6 +1092,39 @@ mod tests {
         assert!(!stripped.contains("serve_replay"));
         let back: Report = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.serve_replay, None);
+    }
+
+    #[test]
+    fn reports_without_serve_net_still_deserialize() {
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let start = json.find(",\"serve_net\":").unwrap();
+        let stripped = format!("{}{}", &json[..start], &json[json.len() - 1..]);
+        assert!(!stripped.contains("serve_net"));
+        let back: Report = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.serve_net, None);
+        assert!(back.serve_replay.is_some(), "only serve_net was stripped");
+    }
+
+    #[test]
+    fn serve_net_scenario_measures_the_wire_path() {
+        let workload = GameProfile::shooter("bench-net")
+            .frames(9)
+            .draws_per_frame(30)
+            .build(11)
+            .generate();
+        let baseline = collect_serve_replay(&workload);
+        let s = collect_serve_net(&workload, &baseline);
+        assert_eq!(s.sessions, SERVE_SESSIONS);
+        assert_eq!(s.chunk_frames, SERVE_CHUNK_FRAMES);
+        assert_eq!(s.frames_per_session, 9);
+        // 9 frames fit one 16-frame chunk: one wire round-trip per session.
+        assert_eq!(s.wire_latency.count, SERVE_SESSIONS);
+        assert!(s.frames_per_sec > 0.0);
+        assert!(s.wire_latency.mean_ns > 0.0);
+        assert!(
+            s.wire_overhead_ratio > 0.0,
+            "a real baseline yields a real overhead ratio"
+        );
     }
 
     #[test]

@@ -140,8 +140,17 @@ pub struct SubsetArgs {
 /// Arguments of `subset3d serve`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
-    /// Recorded trace to replay through the service (`--replay`).
-    pub replay: String,
+    /// Recorded trace to replay through the service (`--replay`);
+    /// required unless the command only listens.
+    pub replay: Option<String>,
+    /// Address to bind a wire-protocol listener on (`--listen 127.0.0.1:0`).
+    pub listen: Option<String>,
+    /// Address of a remote listener to stream the replay at
+    /// (`--connect HOST:PORT`); requires `--replay`.
+    pub connect: Option<String>,
+    /// Evict sessions idle longer than this (`--session-ttl 30s`,
+    /// listen mode only).
+    pub session_ttl: Option<Duration>,
     /// Frames per ingested chunk.
     pub chunk: usize,
     /// Concurrent sessions fed the same stream.
@@ -531,6 +540,9 @@ fn parse_trace_profile(rest: &[String]) -> Result<TraceProfileArgs, ArgError> {
 
 fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
     let mut replay = None;
+    let mut listen = None;
+    let mut connect = None;
+    let mut session_ttl = None;
     let mut chunk = 16usize;
     let mut sessions = 1usize;
     let mut backend = Backend::default();
@@ -552,6 +564,11 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
         };
         match arg.as_str() {
             "--replay" => replay = Some(value("--replay")?),
+            "--listen" => listen = Some(value("--listen")?),
+            "--connect" => connect = Some(value("--connect")?),
+            "--session-ttl" => {
+                session_ttl = Some(parse_duration(&value("--session-ttl")?, "--session-ttl")?);
+            }
             "--chunk" => chunk = parse_num(&value("--chunk")?, "--chunk")?,
             "--sessions" => sessions = parse_num(&value("--sessions")?, "--sessions")?,
             "--backend" => {
@@ -592,8 +609,27 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, ArgError> {
             value: "0".into(),
         });
     }
+    if listen.is_some() && connect.is_some() {
+        return Err(ArgError::BadValue {
+            flag: "--connect".into(),
+            value: "--listen and --connect are mutually exclusive".into(),
+        });
+    }
+    if connect.is_some() && replay.is_none() {
+        return Err(ArgError::MissingRequired(
+            "--replay <FILE> (with --connect)",
+        ));
+    }
+    if replay.is_none() && listen.is_none() {
+        return Err(ArgError::MissingRequired(
+            "--replay <FILE> or --listen <ADDR>",
+        ));
+    }
     Ok(ServeArgs {
-        replay: replay.ok_or(ArgError::MissingRequired("--replay <FILE>"))?,
+        replay,
+        listen,
+        connect,
+        session_ttl,
         chunk,
         sessions,
         backend,
@@ -940,7 +976,8 @@ mod tests {
     fn serve_parses_replay_and_flags() {
         let c = parse(&["serve", "--replay", "a.trace"]).unwrap();
         let Command::Serve(s) = c else { panic!() };
-        assert_eq!(s.replay, "a.trace");
+        assert_eq!(s.replay.as_deref(), Some("a.trace"));
+        assert!(s.listen.is_none() && s.connect.is_none());
         assert_eq!(s.chunk, 16);
         assert_eq!(s.sessions, 1);
         assert_eq!(s.backend, Backend::Threshold);
@@ -1030,7 +1067,9 @@ mod tests {
     fn serve_rejects_bad_args() {
         assert_eq!(
             parse(&["serve"]),
-            Err(ArgError::MissingRequired("--replay <FILE>"))
+            Err(ArgError::MissingRequired(
+                "--replay <FILE> or --listen <ADDR>"
+            ))
         );
         assert!(matches!(
             parse(&["serve", "--replay", "a", "--chunk", "0"]),
@@ -1047,6 +1086,52 @@ mod tests {
         assert!(matches!(
             parse(&["serve", "positional"]),
             Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn serve_network_modes() {
+        // Listen mode needs no replay trace.
+        let c = parse(&["serve", "--listen", "127.0.0.1:0", "--session-ttl", "30s"]).unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert_eq!(s.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(s.session_ttl, Some(Duration::from_secs(30)));
+        assert!(s.replay.is_none());
+
+        // Connect mode streams a replay at a remote listener.
+        let c = parse(&[
+            "serve",
+            "--connect",
+            "127.0.0.1:9009",
+            "--replay",
+            "a.trace",
+            "--sessions",
+            "2",
+        ])
+        .unwrap();
+        let Command::Serve(s) = c else { panic!() };
+        assert_eq!(s.connect.as_deref(), Some("127.0.0.1:9009"));
+        assert_eq!(s.replay.as_deref(), Some("a.trace"));
+
+        // --connect without a trace to stream is an error…
+        assert_eq!(
+            parse(&["serve", "--connect", "127.0.0.1:9009"]),
+            Err(ArgError::MissingRequired(
+                "--replay <FILE> (with --connect)"
+            ))
+        );
+        // …and a process cannot be both ends at once.
+        assert!(matches!(
+            parse(&[
+                "serve",
+                "--listen",
+                "a:1",
+                "--connect",
+                "b:2",
+                "--replay",
+                "t"
+            ]),
+            Err(ArgError::BadValue { .. })
         ));
     }
 

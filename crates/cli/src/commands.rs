@@ -28,6 +28,9 @@ pub enum CliError {
     Telemetry(String),
     /// The streaming service failed.
     Serve(subset3d_serve::ServeError),
+    /// A loopback differential found a divergence between the wire
+    /// path and the in-process replay.
+    Differential(String),
 }
 
 impl fmt::Display for CliError {
@@ -40,6 +43,9 @@ impl fmt::Display for CliError {
             CliError::Trace(e) => write!(f, "trace error: {e}"),
             CliError::Telemetry(e) => write!(f, "telemetry error: {e}"),
             CliError::Serve(e) => write!(f, "serve error: {e}"),
+            CliError::Differential(detail) => {
+                write!(f, "wire/in-process differential mismatch: {detail}")
+            }
         }
     }
 }
@@ -701,15 +707,20 @@ fn run_telemetry_validate(path: &str, out: &mut dyn Write) -> Result<(), CliErro
 
 /// Replays a recorded trace through concurrent streaming sessions and
 /// prints the throughput and the drained end-of-stream subset.
-fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    let workload = load(&args.replay)?;
-    let config = subset3d_serve::ServeConfig {
+/// The session configuration the serve flags describe — shared by all
+/// three modes (replay, listen, connect) so a listener launched with
+/// the same flags as a connecting client fits identically.
+fn serve_config(args: &ServeArgs) -> subset3d_serve::ServeConfig {
+    subset3d_serve::ServeConfig {
         subset: SubsetConfig::default()
             .with_cluster_method(cluster_method(args.backend, args.threshold)),
         reservoir_capacity: args.capacity,
         ..Default::default()
-    };
-    let telemetry = args.telemetry_requested().then(|| {
+    }
+}
+
+fn telemetry_options(args: &ServeArgs) -> Option<subset3d_serve::TelemetryOptions> {
+    args.telemetry_requested().then(|| {
         let interval = args
             .telemetry_interval
             .unwrap_or(std::time::Duration::from_millis(250));
@@ -720,15 +731,194 @@ fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
         subset3d_serve::TelemetryOptions {
             interval,
             slo: Some(subset3d_serve::SloPolicy {
-                budget_ns: budget.as_nanos().min(u64::MAX as u128) as u64,
+                budget_ns: duration_ns(budget),
             }),
             ..Default::default()
         }
-    });
+    })
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// `serve --listen`: bind the wire-protocol front-end and block until
+/// the process is killed. The resolved address is printed (and flushed)
+/// first so scripts binding port 0 can discover the port.
+fn run_serve_listen(args: &ServeArgs, addr: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let config = subset3d_serve::NetServerConfig {
+        serve: serve_config(args),
+        session_ttl: args.session_ttl,
+        // `--slo-budget` doubles as the backpressure budget: sessions
+        // whose rolling p99 ingest overruns it get throttled, then shed.
+        backpressure: args
+            .slo_budget
+            .map(|budget| subset3d_serve::BackpressurePolicy {
+                budget_ns: duration_ns(budget),
+                ..Default::default()
+            }),
+        ..Default::default()
+    };
+    let server = subset3d_serve::NetServer::bind(addr, config)?;
+    writeln!(out, "listening on {}", server.local_addr()?)?;
+    out.flush()?;
+    let stats = server.run();
+    writeln!(
+        out,
+        "served {} connections ({} protocol errors, {} shed, {} evicted)",
+        stats.connections, stats.protocol_errors, stats.sessions_shed, stats.sessions_evicted
+    )?;
+    Ok(())
+}
+
+/// `serve --connect`: stream the replay trace at a remote listener and
+/// differential-check every per-chunk update against an in-process
+/// replay of the same trace with the same chunking.
+fn run_serve_connect(args: &ServeArgs, addr: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let workload = load(args.replay.as_deref().expect("parser requires --replay"))?;
+    let config = serve_config(args);
     let options = subset3d_serve::ReplayOptions {
         sessions: args.sessions,
         chunk_frames: args.chunk,
-        telemetry,
+        telemetry: telemetry_options(args),
+    };
+    let reference = subset3d_serve::replay(&workload, &config, &options)?;
+
+    let started = std::time::Instant::now();
+    let mut wire_ns = Vec::new();
+    let mut throttled = 0u64;
+    let mut shed = 0u64;
+    for (session_idx, expected) in reference.updates.iter().enumerate() {
+        let mut client = subset3d_serve::NetClient::connect(addr)?;
+        let session = client.open(&workload)?;
+        let mut session_shed = false;
+        for (chunk_idx, chunk) in workload.frames().chunks(args.chunk).enumerate() {
+            let chunk_start = std::time::Instant::now();
+            let got = client.ingest(session, chunk)?;
+            wire_ns.push(duration_ns(chunk_start.elapsed()));
+            match got.pressure {
+                subset3d_serve::Pressure::Throttle => throttled += 1,
+                subset3d_serve::Pressure::Shed => {
+                    shed += 1;
+                    session_shed = true;
+                }
+                subset3d_serve::Pressure::Nominal => {}
+            }
+            if got.update != expected[chunk_idx] {
+                return Err(CliError::Differential(format!(
+                    "session {session_idx} chunk {chunk_idx}: wire update {:?} \
+                     != in-process update {:?} (the listener must be launched \
+                     with the same --backend/--threshold/--capacity flags)",
+                    got.update, expected[chunk_idx]
+                )));
+            }
+            if session_shed {
+                // The server force-closed the session; nothing further
+                // to compare on this stream.
+                break;
+            }
+        }
+        if !session_shed {
+            let final_update = client.close(session)?;
+            let expected_final = &reference.reports[session_idx].final_update;
+            if final_update != *expected_final {
+                return Err(CliError::Differential(format!(
+                    "session {session_idx} final update diverged: \
+                     wire {final_update:?} != in-process {expected_final:?}"
+                )));
+            }
+        }
+    }
+    let wall_ns = duration_ns(started.elapsed());
+
+    if let Some(report) = &reference.telemetry {
+        if let Some(path) = &args.prom_out {
+            std::fs::write(path, subset3d_obs::to_prometheus(&report.final_snapshot))?;
+        }
+        if let Some(path) = &args.timeseries_out {
+            std::fs::write(path, subset3d_obs::timeseries_to_jsonl(&report.windows))?;
+        }
+    }
+
+    let chunks = wire_ns.len();
+    let mean_wire_ns = if chunks == 0 {
+        0.0
+    } else {
+        wire_ns.iter().sum::<u64>() as f64 / chunks as f64
+    };
+    if args.json {
+        let summary = NetReplaySummary {
+            addr: addr.to_string(),
+            sessions: args.sessions,
+            chunk_frames: args.chunk,
+            chunks_streamed: chunks,
+            differential_ok: true,
+            mean_wire_ns,
+            wall_ns,
+            throttled_updates: throttled,
+            sessions_shed: shed,
+        };
+        writeln!(out, "{}", serde_json::to_string_pretty(&summary)?)?;
+        return Ok(());
+    }
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["listener".into(), addr.to_string()]);
+    table.row(vec!["sessions".into(), args.sessions.to_string()]);
+    table.row(vec![
+        "chunks streamed".into(),
+        format!("{chunks} × {} frames", args.chunk),
+    ]);
+    table.row(vec![
+        "differential".into(),
+        "ok: wire updates bit-identical to in-process replay".into(),
+    ]);
+    table.row(vec![
+        "wire latency".into(),
+        format!("{:.3}ms mean per chunk", mean_wire_ns / 1e6),
+    ]);
+    table.row(vec![
+        "backpressure".into(),
+        format!("{throttled} throttled updates, {shed} sessions shed"),
+    ]);
+    writeln!(out, "{}", table.render())?;
+    if reference.telemetry.is_some() {
+        if let Some(path) = &args.prom_out {
+            writeln!(out, "wrote Prometheus metrics to {path}")?;
+        }
+        if let Some(path) = &args.timeseries_out {
+            writeln!(out, "wrote telemetry time-series to {path}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Machine-readable digest of a `serve --connect` run.
+#[derive(serde::Serialize)]
+struct NetReplaySummary {
+    addr: String,
+    sessions: usize,
+    chunk_frames: usize,
+    chunks_streamed: usize,
+    differential_ok: bool,
+    mean_wire_ns: f64,
+    wall_ns: u64,
+    throttled_updates: u64,
+    sessions_shed: u64,
+}
+
+fn run_serve(args: &ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    if let Some(addr) = &args.listen {
+        return run_serve_listen(args, addr, out);
+    }
+    if let Some(addr) = &args.connect {
+        return run_serve_connect(args, addr, out);
+    }
+    let workload = load(args.replay.as_deref().expect("parser requires --replay"))?;
+    let config = serve_config(args);
+    let options = subset3d_serve::ReplayOptions {
+        sessions: args.sessions,
+        chunk_frames: args.chunk,
+        telemetry: telemetry_options(args),
     };
     let outcome = subset3d_serve::replay(&workload, &config, &options)?;
     let summary = outcome.summary();
@@ -1317,6 +1507,121 @@ mod tests {
         let slo = summary.slo.expect("slo defaults on with telemetry");
         assert_eq!(slo.budget_ns, 0, "budget defaults to the 0ms interval");
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn serve_connect_differential_matches_a_loopback_listener() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-connect");
+        run(&[
+            "gen", "--out", &trace, "--frames", "10", "--draws", "40", "--seed", "21",
+        ])
+        .unwrap();
+        // A listener configured exactly as the default serve flags
+        // configure their in-process reference.
+        let listen_args = match parse_args(["serve", "--listen", "127.0.0.1:0"]).unwrap() {
+            Command::Serve(a) => a,
+            _ => unreachable!(),
+        };
+        let server = subset3d_serve::NetServer::bind(
+            "127.0.0.1:0",
+            subset3d_serve::NetServerConfig {
+                serve: serve_config(&listen_args),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let json = run(&[
+            "serve",
+            "--connect",
+            &addr,
+            "--replay",
+            &trace,
+            "--chunk",
+            "3",
+            "--sessions",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        let summary: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let num = |key: &str| match summary.get(key) {
+            Some(serde_json::Value::Int(i)) => *i as u64,
+            Some(serde_json::Value::UInt(u)) => *u,
+            other => panic!("field {key} missing or non-numeric: {other:?}"),
+        };
+        assert_eq!(
+            summary.get("differential_ok"),
+            Some(&serde_json::Value::Bool(true))
+        );
+        assert_eq!(num("sessions"), 2);
+        assert_eq!(num("chunks_streamed"), 8);
+
+        let text = run(&[
+            "serve",
+            "--connect",
+            &addr,
+            "--replay",
+            &trace,
+            "--chunk",
+            "5",
+        ])
+        .unwrap();
+        assert!(text.contains("bit-identical"), "{text}");
+        server.stop();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn serve_connect_flags_a_misconfigured_listener() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = temp_path("serve-connect-mismatch");
+        run(&[
+            "gen", "--out", &trace, "--frames", "10", "--draws", "40", "--seed", "22",
+        ])
+        .unwrap();
+        // A listener with a tiny reservoir diverges from a client whose
+        // in-process reference uses the default capacity.
+        let server = subset3d_serve::NetServer::bind(
+            "127.0.0.1:0",
+            subset3d_serve::NetServerConfig {
+                serve: subset3d_serve::ServeConfig {
+                    reservoir_capacity: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+        let err = run(&[
+            "serve",
+            "--connect",
+            &addr,
+            "--replay",
+            &trace,
+            "--chunk",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Differential(_)), "got {err:?}");
+        server.stop();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn serve_listen_rejects_an_unbindable_address() {
+        let err = run(&["serve", "--listen", "256.0.0.1:0"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Serve(subset3d_serve::ServeError::Io { .. })),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -75,8 +75,15 @@ fn results_are_bit_identical_at_any_thread_count() {
         let snapshot = subset3d_obs::snapshot();
         subset3d_obs::set_enabled(false);
         compare(&observed, &reference, threads);
+        // Earlier (metrics-off) runs may have published an adaptation
+        // hint for this stream, in which case later simulators start
+        // bypassed instead of probing a window — either way the draw
+        // cache saw every lookup, and the snapshot must show it.
+        let draw_lookups = snapshot.counter("gpusim.draw_cache.misses").unwrap_or(0)
+            + snapshot.counter("gpusim.draw_cache.hits").unwrap_or(0)
+            + snapshot.counter("gpusim.draw_cache.bypassed").unwrap_or(0);
         assert!(
-            snapshot.counter("gpusim.draw_cache.misses").unwrap_or(0) > 0,
+            draw_lookups > 0,
             "instrumented run recorded no cache traffic at {threads} threads: {snapshot:?}"
         );
     }

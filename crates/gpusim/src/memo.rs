@@ -42,10 +42,11 @@
 //! on one lock; each shard is a `parking_lot::RwLock<HashMap>`.
 
 use crate::cost::DrawCost;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 use subset3d_obs::LazyCounter;
 use subset3d_trace::TextureRegistry;
 
@@ -62,6 +63,7 @@ static OBS_DRAW_MISSES: LazyCounter = LazyCounter::new("gpusim.draw_cache.misses
 static OBS_DRAW_BYPASSED: LazyCounter = LazyCounter::new("gpusim.draw_cache.bypassed");
 static OBS_AUTO_DISABLE: LazyCounter = LazyCounter::new("gpusim.draw_cache.auto_disable");
 static OBS_REPROBE: LazyCounter = LazyCounter::new("gpusim.draw_cache.reprobe");
+static OBS_HINT_ADOPTED: LazyCounter = LazyCounter::new("gpusim.draw_cache.hint_adopted");
 static OBS_DRAW_EVICTED: LazyCounter = LazyCounter::new("gpusim.draw_cache.evicted");
 static OBS_BATCH_HITS: LazyCounter = LazyCounter::new("gpusim.batch_cache.hits");
 static OBS_BATCH_MISSES: LazyCounter = LazyCounter::new("gpusim.batch_cache.misses");
@@ -91,8 +93,75 @@ pub(crate) const REPROBE_AFTER_BATCHES: u64 = 256;
 /// interval to [`REPROBE_AFTER_BATCHES`]. Without the backoff a stream
 /// that never profits oscillates disable/re-probe every
 /// [`REPROBE_AFTER_BATCHES`] batches for its whole duration, paying a
-/// full [`ADAPT_WINDOW`] of bookkeeping per oscillation.
+/// full probe window of bookkeeping per oscillation.
 pub(crate) const REPROBE_BACKOFF_CAP: u64 = 8192;
+
+/// Lookups observed before a *re-probe* window is judged. Re-probes are
+/// a recurring tax on streams that already proved unprofitable once, so
+/// they are judged from a quarter of the initial window: enough samples
+/// to notice redundancy returning (at [`ADAPT_MIN_HIT_RATE`] that is
+/// ~6 hits), a quarter of the digest/probe/insert bookkeeping when it
+/// has not. The *initial* window stays at [`ADAPT_WINDOW`] — a fresh
+/// stream must never be written off from a partial observation.
+pub(crate) const REPROBE_WINDOW: u64 = 128;
+
+/// Bound on the process-global adaptation-hint table: one entry per
+/// distinct stream the process has judged unprofitable. When full, the
+/// table is dropped wholesale — hints are pure policy and rediscoverable
+/// at the cost of one observation window, so a crude reset beats an
+/// eviction order nobody can justify.
+const HINT_CAP: usize = 512;
+
+/// Process-global memory of [`CacheMode::Auto`] profitability judgments,
+/// keyed by stream content ([`StreamKey`]). Value: the re-probe interval
+/// in effect when the stream was last judged unprofitable.
+///
+/// Every fresh `Simulator` re-pays the [`ADAPT_WINDOW`] observation
+/// window before it discovers that a stream it has simulated a dozen
+/// times already does not memoize — measurable against the uncached
+/// baseline on single-pass benches, and pure waste for serve sessions,
+/// which build a fresh simulator per session over the same tables. A
+/// judged window publishes its verdict here; [`ShapeCache::set_stream_key`]
+/// adopts it at pass start. Hints steer *policy only* (whether lookups
+/// probe the map), never values, so results stay bit-identical with the
+/// table hot, cold, or cleared; a wrong or stale hint is repaired by the
+/// normal re-probe schedule, and a window that proves profitable removes
+/// the hint for every simulator that comes after.
+static ADAPT_HINTS: OnceLock<Mutex<HashMap<[u64; 2], u64>>> = OnceLock::new();
+
+fn adapt_hints() -> &'static Mutex<HashMap<[u64; 2], u64>> {
+    ADAPT_HINTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops every recorded adaptation hint. Policy-only: the next pass over
+/// any stream re-pays its observation window and re-learns. Exposed for
+/// benches and tests that need hermetic adaptation behaviour.
+pub fn clear_adapt_hints() {
+    adapt_hints().lock().clear();
+}
+
+/// Content identity of one draw stream for adaptation hints: a 128-bit
+/// digest of the texture-registry fingerprint and the workload name.
+/// Two streams share a key exactly when they run over the same tables
+/// under the same name — the serve-session case, where every session's
+/// fresh simulator replays the same source. A collision merely shares a
+/// *policy* hint, which the re-probe schedule repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StreamKey(pub(crate) [u64; 2]);
+
+impl StreamKey {
+    pub(crate) fn of(registry: RegistryFingerprint, name: &str) -> Self {
+        let mut h = ShapeHasher::new();
+        h.word(registry.0[0]);
+        h.word(registry.0[1]);
+        for chunk in name.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            h.word(u64::from_le_bytes(w));
+        }
+        StreamKey(h.finish())
+    }
+}
 
 /// FNV-1a offset bases of the two independent digest streams, and the
 /// shared 64-bit FNV prime.
@@ -276,25 +345,32 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Shape hits as a fraction of memoized shape lookups, or `None`
-    /// when the cache never engaged (no lookups consulted the map).
-    /// Bypassed lookups are excluded.
+    /// when the cache never **served** a lookup (zero hits). Bypassed
+    /// lookups are excluded.
+    ///
+    /// A disabled-from-start cache and one that probed a window, hit
+    /// nothing, and disabled itself are reported identically: neither
+    /// served anything, so neither has a meaningful rate. A probe
+    /// window's all-miss `0.0` is bookkeeping, not cache behaviour —
+    /// reporting it as a rate made interval deltas flap between `0.0`
+    /// and `null` depending on whether a probe happened to fall inside
+    /// the interval.
     pub fn hit_rate(&self) -> Option<f64> {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.hits == 0 {
             None
         } else {
-            Some(self.hits as f64 / total as f64)
+            Some(self.hits as f64 / (self.hits + self.misses) as f64)
         }
     }
 
     /// Batch hits as a fraction of batch lookups, or `None` when the
-    /// batch cache never engaged.
+    /// batch cache never served a lookup (zero batch hits) — the same
+    /// convention as [`CacheStats::hit_rate`].
     pub fn batch_hit_rate(&self) -> Option<f64> {
-        let total = self.batch_hits + self.batch_misses;
-        if total == 0 {
+        if self.batch_hits == 0 {
             None
         } else {
-            Some(self.batch_hits as f64 / total as f64)
+            Some(self.batch_hits as f64 / (self.batch_hits + self.batch_misses) as f64)
         }
     }
 
@@ -350,6 +426,11 @@ pub(crate) struct ShapeCache {
     /// Set when `Auto` judged memoization unprofitable; cleared by
     /// re-probing, [`ShapeCache::set_mode`] and [`ShapeCache::clear`].
     auto_bypass: AtomicU8,
+    /// The [`StreamKey`] of the stream currently feeding this cache
+    /// (valid when `stream_key_set` is 1); window judgments publish
+    /// their verdict to [`ADAPT_HINTS`] under it.
+    stream_key: [AtomicU64; 2],
+    stream_key_set: AtomicU8,
 }
 
 impl ShapeCache {
@@ -368,7 +449,53 @@ impl ShapeCache {
             probing: AtomicU8::new(0),
             mode: AtomicU8::new(CacheMode::Auto as u8),
             auto_bypass: AtomicU8::new(0),
+            stream_key: [AtomicU64::new(0), AtomicU64::new(0)],
+            stream_key_set: AtomicU8::new(0),
         }
+    }
+
+    /// Declares the stream about to feed this cache. Called once at
+    /// pass start (and per frame by incremental callers — a repeat of
+    /// the current key is two relaxed loads). On a key *change* the
+    /// cache consults [`ADAPT_HINTS`]: a stream this process already
+    /// judged unprofitable starts bypassed at the learned re-probe
+    /// backoff instead of re-paying the observation window per
+    /// simulator instance. Policy only — results are bit-identical
+    /// either way, and the scheduled re-probe still runs, so a stream
+    /// whose redundancy returned is picked back up.
+    pub(crate) fn set_stream_key(&self, key: StreamKey) {
+        if self.stream_key_set.load(Ordering::Relaxed) == 1
+            && self.stream_key[0].load(Ordering::Relaxed) == key.0[0]
+            && self.stream_key[1].load(Ordering::Relaxed) == key.0[1]
+        {
+            return;
+        }
+        self.stream_key[0].store(key.0[0], Ordering::Relaxed);
+        self.stream_key[1].store(key.0[1], Ordering::Relaxed);
+        self.stream_key_set.store(1, Ordering::Relaxed);
+        if self.mode.load(Ordering::Relaxed) == CacheMode::Off as u8 {
+            return; // `Off` bypasses deliberately; hints are adaptation policy.
+        }
+        if let Some(&interval) = adapt_hints().lock().get(&key.0) {
+            self.auto_bypass.store(1, Ordering::Relaxed);
+            self.bypassed_batches.store(0, Ordering::Relaxed);
+            self.window_hits.store(0, Ordering::Relaxed);
+            self.window_misses.store(0, Ordering::Relaxed);
+            self.probing.store(0, Ordering::Relaxed);
+            self.reprobe_interval.store(interval, Ordering::Relaxed);
+            OBS_HINT_ADOPTED.incr();
+            subset3d_obs::trace_instant("gpusim", "draw_cache.hint_adopted");
+        }
+    }
+
+    /// The declared stream key, if any.
+    fn current_stream_key(&self) -> Option<[u64; 2]> {
+        (self.stream_key_set.load(Ordering::Relaxed) == 1).then(|| {
+            [
+                self.stream_key[0].load(Ordering::Relaxed),
+                self.stream_key[1].load(Ordering::Relaxed),
+            ]
+        })
     }
 
     /// Whether a shape lookup should consult the map right now.
@@ -417,13 +544,31 @@ impl ShapeCache {
         cost
     }
 
+    /// Accounts `draws` shape lookups that bypassed the cache in one
+    /// batch-grain update — the non-memoizing fast path's replacement
+    /// for `draws` individual [`ShapeCache::get_or_compute`] bypasses.
+    /// Two counter updates per batch instead of two per draw; the costs
+    /// themselves are computed by the caller, with identical bits.
+    pub(crate) fn bypass_batch(&self, draws: u64) {
+        self.bypassed.fetch_add(draws, Ordering::Relaxed);
+        OBS_DRAW_BYPASSED.add(draws);
+    }
+
     /// Once the observation window has been seen, stop memoizing shapes
     /// if hits are not covering the bookkeeping. Checked on the miss
-    /// path only — an all-hit workload never needs it.
+    /// path only — an all-hit workload never needs it. Initial windows
+    /// run [`ADAPT_WINDOW`] lookups; re-probe windows are judged after
+    /// [`REPROBE_WINDOW`] — the stream already failed once, so the
+    /// recurring check runs on a quarter of the bookkeeping.
     fn maybe_auto_disable(&self, window_misses: u64) {
         let hits = self.window_hits.load(Ordering::Relaxed);
         let lookups = hits + window_misses;
-        if lookups < ADAPT_WINDOW {
+        let window = if self.probing.load(Ordering::Relaxed) == 1 {
+            REPROBE_WINDOW
+        } else {
+            ADAPT_WINDOW
+        };
+        if lookups < window {
             // Streams shorter than the window never complete an
             // observation; profitability stays unjudged and the cache
             // keeps memoizing — a short (even 1-frame) workload must not
@@ -450,6 +595,16 @@ impl ShapeCache {
                 "lookups",
                 lookups,
             );
+            // Publish the verdict so the next simulator over this stream
+            // skips straight to the bypassed state at the interval now in
+            // effect, instead of re-learning from its own window.
+            if let Some(key) = self.current_stream_key() {
+                let mut hints = adapt_hints().lock();
+                if hints.len() >= HINT_CAP && !hints.contains_key(&key) {
+                    hints.clear();
+                }
+                hints.insert(key, self.reprobe_interval.load(Ordering::Relaxed));
+            }
         } else {
             // Profitable window: restart the observation so the judgment
             // always reflects recent behaviour, and reset the re-probe
@@ -460,6 +615,11 @@ impl ShapeCache {
             self.probing.store(0, Ordering::Relaxed);
             self.reprobe_interval
                 .store(REPROBE_AFTER_BATCHES, Ordering::Relaxed);
+            // Profitability proven: retract any published write-off so
+            // later simulators over this stream observe fresh windows.
+            if let Some(key) = self.current_stream_key() {
+                adapt_hints().lock().remove(&key);
+            }
         }
     }
 
@@ -621,6 +781,15 @@ impl BatchCostCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+}
+
+/// Serializes tests that touch the process-global [`ADAPT_HINTS`] table
+/// (shared between the `memo` and `sim` test modules, which run in one
+/// process).
+#[cfg(test)]
+pub(crate) fn hint_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -957,9 +1126,11 @@ mod tests {
         }
         assert!(cache.memoizing(), "expected a re-probe");
         // The probe window fails too: every adaptation counter is live.
+        // (The probe is judged at REPROBE_WINDOW lookups; the rest of
+        // the burn is bypassed.)
         next = burn_unprofitable_window(&cache, next);
         let earlier = cache.stats();
-        assert_eq!(earlier.misses, 2 * ADAPT_WINDOW);
+        assert_eq!(earlier.misses, ADAPT_WINDOW + REPROBE_WINDOW);
         assert_eq!((earlier.auto_disables, earlier.reprobes), (2, 1));
 
         // The straddled reset: a config change clears the cache and
@@ -982,6 +1153,162 @@ mod tests {
         );
         // And nothing wrapped: a delta can never exceed the raw counts.
         assert!(d.misses <= later.misses && d.auto_disables <= later.auto_disables);
+    }
+
+    #[test]
+    fn reprobe_windows_are_judged_at_the_shorter_window() {
+        let cache = ShapeCache::new();
+        let next = burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing(), "expected initial auto-disable");
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        assert!(cache.memoizing(), "expected a re-probe");
+
+        // A failing re-probe is cut off after REPROBE_WINDOW lookups —
+        // not a full ADAPT_WINDOW — so the recurring tax on streams
+        // that already proved unprofitable is a quarter of the initial
+        // observation.
+        for i in next..next + REPROBE_WINDOW as u32 {
+            cache.get_or_compute(|| shape(f64::from(i)), compute);
+        }
+        let stats = cache.stats();
+        assert!(
+            !cache.memoizing(),
+            "probe window must be judged at {REPROBE_WINDOW} lookups: {stats:?}"
+        );
+        assert_eq!(stats.misses, ADAPT_WINDOW + REPROBE_WINDOW);
+        assert_eq!(stats.auto_disables, 2);
+    }
+
+    #[test]
+    fn bypass_batch_accounts_in_bulk() {
+        let cache = ShapeCache::new();
+        cache.bypass_batch(64);
+        cache.bypass_batch(3);
+        let stats = cache.stats();
+        assert_eq!(stats.bypassed, 67);
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(cache.len(), 0, "bulk bypasses never touch the map");
+    }
+
+    #[test]
+    fn hit_rate_is_none_until_a_lookup_is_served() {
+        // Disabled-from-start and engaged-then-disabled report
+        // identically: no hits, no rate.
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        let engaged_never_served = CacheStats {
+            misses: 1536,
+            bypassed: 46_574,
+            auto_disables: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(engaged_never_served.hit_rate(), None);
+        assert_eq!(engaged_never_served.batch_hit_rate(), None);
+
+        let served = CacheStats {
+            hits: 1,
+            misses: 3,
+            batch_hits: 3,
+            batch_misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(served.hit_rate(), Some(0.25));
+        assert_eq!(served.batch_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn delta_hit_rate_is_none_for_probe_only_intervals() {
+        // Regression for the bench's delta-snapshot path: an interval
+        // that contains only probe-window misses (the cache engaged,
+        // hit nothing, disabled itself) must serialize the same `null`
+        // rate as an interval with no cache activity at all — not a
+        // spurious `0.0`.
+        let cache = ShapeCache::new();
+        let earlier = cache.stats();
+        let next = burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing());
+        let probe_only = cache.stats().delta(&earlier);
+        assert!(probe_only.misses > 0, "window misses must be in the delta");
+        assert_eq!(probe_only.hit_rate(), None);
+        assert_eq!(probe_only.batch_hit_rate(), None);
+
+        // A later idle interval (bypasses only) is also rate-less — the
+        // two cases are indistinguishable to a rate consumer, which is
+        // the uniformity the report format wants.
+        let earlier = cache.stats();
+        cache.get_or_compute(|| shape(f64::from(next)), compute);
+        let idle = cache.stats().delta(&earlier);
+        assert_eq!(idle.hit_rate(), None);
+        assert!(idle.bypassed > 0);
+    }
+
+    #[test]
+    fn adaptation_hints_transfer_the_disable_state() {
+        let _g = hint_test_lock();
+        clear_adapt_hints();
+        let key = StreamKey([0xA, 0xB]);
+        let cache = ShapeCache::new();
+        cache.set_stream_key(key);
+        assert!(cache.memoizing(), "no hint yet: fresh window");
+        burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing());
+
+        // A second cache over the same stream starts where the first
+        // ended — bypassed, with the learned re-probe schedule intact —
+        // instead of re-paying the observation window.
+        let student = ShapeCache::new();
+        student.set_stream_key(key);
+        assert!(!student.memoizing(), "hint must be adopted on key set");
+        assert_eq!(student.stats().misses, 0);
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            student.note_bypassed_batch();
+        }
+        assert!(student.memoizing(), "adopted state must still re-probe");
+
+        // A different stream is unaffected.
+        let other = ShapeCache::new();
+        other.set_stream_key(StreamKey([0xC, 0xD]));
+        assert!(other.memoizing());
+
+        // `Off` never consults hints: its bypassing is chosen, and
+        // switching to an adaptive mode later re-arms a fresh window.
+        let off = ShapeCache::new();
+        off.set_mode(CacheMode::Off);
+        off.set_stream_key(key);
+        off.set_mode(CacheMode::Auto);
+        assert!(off.memoizing());
+        clear_adapt_hints();
+    }
+
+    #[test]
+    fn profitable_window_retracts_the_hint() {
+        let _g = hint_test_lock();
+        clear_adapt_hints();
+        let key = StreamKey([0x1, 0x2]);
+        let cache = ShapeCache::new();
+        cache.set_stream_key(key);
+        burn_unprofitable_window(&cache, 0);
+        assert!(!cache.memoizing());
+
+        // Redundancy returns: the scheduled re-probe's window proves
+        // profitable (all hits plus the judging miss), which must retract
+        // the published write-off.
+        for _ in 0..REPROBE_AFTER_BATCHES {
+            cache.note_bypassed_batch();
+        }
+        for _ in 0..REPROBE_WINDOW {
+            cache.get_or_compute(|| shape(0.0), compute);
+        }
+        cache.get_or_compute(|| shape(9e9), compute);
+        assert!(cache.memoizing(), "profitable probe window must stay on");
+
+        // The hint is gone: a fresh cache over the same stream observes
+        // its own window rather than starting bypassed.
+        let student = ShapeCache::new();
+        student.set_stream_key(key);
+        assert!(student.memoizing(), "stale hint must have been retracted");
+        clear_adapt_hints();
     }
 
     #[test]

@@ -23,6 +23,34 @@ pub enum ServeError {
     },
     /// The ground-truth simulator rejected a frame.
     Sim(SimError),
+    /// A socket operation failed (I/O details flattened to text so the
+    /// error stays `Clone + PartialEq`).
+    Io {
+        /// The failed operation and its OS error text.
+        detail: String,
+    },
+    /// The peer violated the wire protocol (bad magic, truncated
+    /// prefix, unknown message type, undecodable payload…).
+    Protocol {
+        /// What was malformed.
+        detail: String,
+    },
+    /// The peer claimed a message larger than the negotiated limit.
+    FrameTooLarge {
+        /// The claimed message length, bytes.
+        len: u32,
+        /// The configured limit, bytes.
+        max: u32,
+    },
+    /// The server rejected a request and answered with a wire ERROR.
+    Remote {
+        /// The wire error code (see `net::error_code`).
+        code: u8,
+        /// The server's human-readable description.
+        detail: String,
+    },
+    /// The peer disconnected mid-conversation.
+    Disconnected,
 }
 
 impl std::fmt::Display for ServeError {
@@ -34,11 +62,28 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownSession { id } => write!(f, "unknown session {id}"),
             ServeError::SessionBusy { id } => write!(f, "session {id} is still in use"),
             ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ServeError::Io { detail } => write!(f, "socket error: {detail}"),
+            ServeError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds the {max}-byte limit")
+            }
+            ServeError::Remote { code, detail } => {
+                write!(f, "server rejected the request (code {code}): {detail}")
+            }
+            ServeError::Disconnected => write!(f, "peer disconnected mid-conversation"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
 
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {

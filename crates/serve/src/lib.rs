@@ -59,12 +59,17 @@
 
 mod error;
 mod manager;
+mod net;
 mod replay;
 mod session;
 mod telemetry;
 
 pub use error::ServeError;
 pub use manager::{SessionId, SessionManager, TimedUpdate};
+pub use net::{
+    BackpressurePolicy, NetClient, NetServer, NetServerConfig, NetServerHandle, NetStats,
+    NetUpdate, Pressure, DEFAULT_MAX_MESSAGE_BYTES, NET_MAGIC, NET_VERSION,
+};
 pub use replay::{replay, ReplayOptions, ReplayOutcome, ReplaySummary};
 pub use session::{
     ServeConfig, Session, SessionReport, SessionSnapshot, SubsetUpdate, DEFAULT_DRIFT_BOUND,

@@ -6,12 +6,13 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use subset3d_obs::{GaugeLease, HistogramLease, LazyCounter};
 use subset3d_trace::{Frame, Workload};
 
 static OBS_OPENED: LazyCounter = LazyCounter::new("serve.sessions_opened");
 static OBS_CLOSED: LazyCounter = LazyCounter::new("serve.sessions_closed");
+static OBS_EVICTED: LazyCounter = LazyCounter::new("serve.sessions_evicted");
 
 /// Per-session ingest latency, labeled by session id. Sessions beyond
 /// the family's slot budget share the `~other` overflow label.
@@ -28,6 +29,12 @@ impl SessionId {
     /// The raw id (diagnostics, logs).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds a handle from a raw id that crossed a process or wire
+    /// boundary; validity is checked at the next registry lookup.
+    pub fn from_raw(id: u64) -> SessionId {
+        SessionId(id)
     }
 }
 
@@ -79,6 +86,9 @@ impl SessionObs {
 struct SessionEntry {
     session: Mutex<Session>,
     obs: SessionObs,
+    /// Nanoseconds since the manager's epoch at the last open/ingest/
+    /// `with_session` touch — what [`SessionManager::evict_idle`] ages.
+    last_touched: AtomicU64,
 }
 
 /// A long-lived registry of concurrent streaming sessions.
@@ -91,6 +101,8 @@ struct SessionEntry {
 pub struct SessionManager {
     shards: Vec<Mutex<HashMap<u64, Arc<SessionEntry>>>>,
     next_id: AtomicU64,
+    /// Zero point of every entry's `last_touched` age stamp.
+    epoch: Instant,
 }
 
 impl Default for SessionManager {
@@ -107,7 +119,14 @@ impl SessionManager {
         SessionManager {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Nanoseconds since the manager's epoch, saturating after ~584
+    /// years of uptime.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Number of lock-striped shards.
@@ -145,6 +164,7 @@ impl SessionManager {
         let entry = SessionEntry {
             session: Mutex::new(session),
             obs: SessionObs::claim(id),
+            last_touched: AtomicU64::new(self.now_ns()),
         };
         self.shard_of(id).lock().insert(id, Arc::new(entry));
         OBS_OPENED.incr();
@@ -159,6 +179,7 @@ impl SessionManager {
     /// propagates simulator failures.
     pub fn ingest(&self, id: SessionId, frames: &[Frame]) -> Result<SubsetUpdate, ServeError> {
         let entry = self.session(id)?;
+        entry.last_touched.store(self.now_ns(), Ordering::Relaxed);
         let start = Instant::now();
         let update = entry.session.lock().ingest(frames)?;
         entry.obs.ingest.record(start.elapsed().as_nanos() as u64);
@@ -200,8 +221,36 @@ impl SessionManager {
         f: impl FnOnce(&mut Session) -> R,
     ) -> Result<R, ServeError> {
         let entry = self.session(id)?;
+        entry.last_touched.store(self.now_ns(), Ordering::Relaxed);
         let mut session = entry.session.lock();
         Ok(f(&mut session))
+    }
+
+    /// Drops every session idle (no open/ingest/`with_session` activity)
+    /// for longer than `ttl`, releasing its reservoir memory and metric
+    /// label slots, and returns the evicted ids in ascending order.
+    ///
+    /// Eviction is a registry removal: a concurrent ingest that already
+    /// cloned the entry finishes safely on its own `Arc` and the memory
+    /// is freed when that clone drops. Later calls against an evicted id
+    /// get [`ServeError::UnknownSession`], exactly as after a close.
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<SessionId> {
+        let cutoff = self
+            .now_ns()
+            .saturating_sub(u64::try_from(ttl.as_nanos()).unwrap_or(u64::MAX));
+        let mut evicted = Vec::new();
+        for shard in &self.shards {
+            shard.lock().retain(|&id, entry| {
+                let keep = entry.last_touched.load(Ordering::Relaxed) >= cutoff;
+                if !keep {
+                    evicted.push(SessionId(id));
+                    OBS_EVICTED.incr();
+                }
+                keep
+            });
+        }
+        evicted.sort_unstable();
+        evicted
     }
 
     /// Closes a session and drains its final report.
@@ -292,6 +341,64 @@ mod tests {
         let ub = mgr.with_session(b, |s| s.update()).unwrap();
         assert_eq!(ua.frames_seen, 2);
         assert_eq!(ub.frames_seen, 5);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_their_memory_released() {
+        let w = workload(3);
+        let mgr = SessionManager::new();
+        let idle = mgr.open(ServeConfig::default(), &w).unwrap();
+        let live = mgr.open(ServeConfig::default(), &w).unwrap();
+        mgr.ingest(idle, w.frames()).unwrap();
+        // A weak handle to the idle entry: eviction must drop the last
+        // strong reference, releasing the session's reservoir memory.
+        let weak = {
+            let shard = mgr.shard_of(idle.raw()).lock();
+            Arc::downgrade(shard.get(&idle.raw()).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        // Refresh `live` right before the sweep; only `idle` has aged
+        // past the TTL.
+        mgr.with_session(live, |_| ()).unwrap();
+        let evicted = mgr.evict_idle(Duration::from_millis(20));
+        assert_eq!(evicted, vec![idle]);
+        assert_eq!(mgr.session_count(), 1);
+        assert!(
+            weak.upgrade().is_none(),
+            "evicted session memory must be released"
+        );
+        assert_eq!(
+            mgr.ingest(idle, w.frames()),
+            Err(ServeError::UnknownSession { id: idle.raw() })
+        );
+        // The survivor still works, and a generous TTL evicts nothing.
+        mgr.ingest(live, w.frames()).unwrap();
+        assert!(mgr.evict_idle(Duration::from_secs(3600)).is_empty());
+        assert_eq!(mgr.session_count(), 1);
+    }
+
+    #[test]
+    fn eviction_does_not_race_in_flight_ingests() {
+        // A clone held across the sweep (an in-flight ingest) keeps the
+        // entry alive until it finishes; the registry forgets the id
+        // immediately either way.
+        let w = workload(2);
+        let mgr = SessionManager::new();
+        let id = mgr.open(ServeConfig::default(), &w).unwrap();
+        let in_flight = mgr
+            .shard_of(id.raw())
+            .lock()
+            .get(&id.raw())
+            .unwrap()
+            .clone();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(mgr.evict_idle(Duration::ZERO), vec![id]);
+        assert_eq!(mgr.session_count(), 0);
+        // The "ingest" finishes on its clone, then the memory goes.
+        let weak = Arc::downgrade(&in_flight);
+        in_flight.session.lock().ingest(w.frames()).unwrap();
+        drop(in_flight);
+        assert!(weak.upgrade().is_none());
     }
 
     #[test]

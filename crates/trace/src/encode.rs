@@ -153,6 +153,75 @@ pub fn decode_workload(mut buf: &[u8]) -> Result<Workload, EncodeError> {
     Ok(Workload::new(name, frames, shaders, textures, states))
 }
 
+/// Encodes a slice of frames as a standalone chunk — the unit streaming
+/// ingestion ships over the wire. Same magic, version, and per-frame
+/// layout as the frames section of [`encode_workload`], so a chunked
+/// stream and a whole-workload trace are byte-compatible at frame
+/// granularity; shader/state/texture ids are raw references, resolved
+/// against tables shipped separately (a frameless [`encode_workload`]).
+///
+/// # Examples
+///
+/// ```
+/// use subset3d_trace::gen::GameProfile;
+/// use subset3d_trace::{decode_frames, encode_frames};
+///
+/// let w = GameProfile::shooter("g").frames(3).draws_per_frame(10).build(1).generate();
+/// let bytes = encode_frames(&w.frames()[..2]);
+/// let back = decode_frames(&bytes)?;
+/// assert_eq!(&w.frames()[..2], &back[..]);
+/// # Ok::<(), subset3d_trace::EncodeError>(())
+/// ```
+pub fn encode_frames(frames: &[Frame]) -> Bytes {
+    let draws: usize = frames.iter().map(Frame::draw_count).sum();
+    let mut buf = BytesMut::with_capacity(16 + draws * 96);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(frames.len() as u32);
+    for frame in frames {
+        buf.put_u32(frame.id.raw());
+        buf.put_u32(frame.draw_count() as u32);
+        for d in frame.to_draws() {
+            put_draw(&mut buf, &d);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a standalone frame chunk produced by [`encode_frames`].
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when the buffer is not a valid chunk of a
+/// supported version — including [`EncodeError::Truncated`] when a
+/// declared frame or draw count claims more content than the buffer
+/// holds, so a hostile length field cannot force an oversized
+/// allocation to be trusted.
+pub fn decode_frames(mut buf: &[u8]) -> Result<Vec<Frame>, EncodeError> {
+    if buf.remaining() < 6 {
+        return Err(EncodeError::Truncated);
+    }
+    if buf.get_u32() != MAGIC {
+        return Err(EncodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(EncodeError::UnsupportedVersion(version));
+    }
+    let n_frames = get_u32(&mut buf)? as usize;
+    let mut frames = Vec::new();
+    for _ in 0..n_frames {
+        let id = FrameId(get_u32(&mut buf)?);
+        let n_draws = get_u32(&mut buf)? as usize;
+        let mut draws = Vec::new();
+        for _ in 0..n_draws {
+            draws.push(get_draw(&mut buf)?);
+        }
+        frames.push(Frame::new(id, draws));
+    }
+    Ok(frames)
+}
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -481,6 +550,41 @@ mod tests {
         assert!(matches!(
             decode_workload(&encoded),
             Err(EncodeError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn frame_chunk_roundtrip_preserves_frames() {
+        let w = sample();
+        let chunk = encode_frames(&w.frames()[1..4]);
+        let back = decode_frames(&chunk).unwrap();
+        assert_eq!(&w.frames()[1..4], &back[..]);
+        // Empty chunks are legal (a keepalive-shaped ingest).
+        assert_eq!(decode_frames(&encode_frames(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn frame_chunk_rejects_corruption() {
+        let w = sample();
+        let chunk = encode_frames(w.frames());
+        assert_eq!(decode_frames(&[0u8; 8]).unwrap_err(), EncodeError::BadMagic);
+        assert!(matches!(
+            decode_frames(&chunk[..chunk.len() / 3]),
+            Err(EncodeError::Truncated) | Err(EncodeError::BadTag { .. })
+        ));
+        let mut versioned = chunk.to_vec();
+        versioned[4] = 0xFF;
+        assert!(matches!(
+            decode_frames(&versioned),
+            Err(EncodeError::UnsupportedVersion(_))
+        ));
+        // A hostile frame count cannot make the decoder trust phantom
+        // content: it runs out of buffer and reports truncation.
+        let mut hostile = chunk.to_vec();
+        hostile[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_frames(&hostile),
+            Err(EncodeError::Truncated) | Err(EncodeError::BadTag { .. })
         ));
     }
 

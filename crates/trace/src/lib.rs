@@ -50,7 +50,7 @@ pub mod gen;
 
 pub use columns::DrawColumns;
 pub use draw::{DrawCall, DrawCallBuilder, PrimitiveTopology};
-pub use encode::{decode_workload, encode_workload, EncodeError};
+pub use encode::{decode_frames, decode_workload, encode_frames, encode_workload, EncodeError};
 pub use frame::Frame;
 pub use ids::{DrawId, FrameId, ShaderId, StateId, TextureId};
 pub use merge::merge_workloads;

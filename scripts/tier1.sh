@@ -24,7 +24,8 @@ cargo test -p subset3d-testkit --features fault-injection -q
 # then re-validate the emitted file with the exporter's own schema check
 # (laminar span nesting, flow pairing, required fields).
 TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP"' EXIT
+NET_PID=""
+trap '[ -n "$NET_PID" ] && kill "$NET_PID" 2>/dev/null; rm -rf "$TRACE_TMP"' EXIT
 cargo run -p subset3d-cli --release -q -- gen --out "$TRACE_TMP/smoke.trace" \
     --genre shooter --frames 24 --draws 60 --seed 7
 cargo run -p subset3d-cli --release -q -- trace-profile "$TRACE_TMP/smoke.trace" \
@@ -64,6 +65,33 @@ cargo run -p subset3d-cli --release -q -- serve --replay "$TRACE_TMP/smoke.trace
 cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.prom"
 cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.tsdb.jsonl"
 
+# Net smoke: background listener on a loopback port (port 0; the first
+# line it prints is the resolved address), then a two-session replay
+# client over TCP. The connect mode runs the same replay in-process and
+# exits non-zero on the first wire update that diverges from the local
+# one, so the client's exit code *is* the differential assertion. Its
+# reference replay also exports telemetry artifacts, re-validated below.
+cargo run -p subset3d-cli --release -q -- serve --listen 127.0.0.1:0 \
+    --session-ttl 60s > "$TRACE_TMP/smoke.listen.out" &
+NET_PID=$!
+NET_ADDR=""
+for _ in $(seq 1 100); do
+    NET_ADDR="$(sed -n 's/^listening on //p' "$TRACE_TMP/smoke.listen.out")"
+    [ -n "$NET_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$NET_ADDR" ] || { echo "tier1: net listener never came up" >&2; exit 1; }
+cargo run -p subset3d-cli --release -q -- serve --connect "$NET_ADDR" \
+    --replay "$TRACE_TMP/smoke.trace" --chunk 5 --sessions 2 \
+    --telemetry-interval 0 \
+    --prom-out "$TRACE_TMP/smoke.net.prom" \
+    --timeseries-out "$TRACE_TMP/smoke.net.tsdb.jsonl"
+cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.net.prom"
+cargo run -p subset3d-cli --release -q -- telemetry-validate "$TRACE_TMP/smoke.net.tsdb.jsonl"
+kill "$NET_PID"
+wait "$NET_PID" 2>/dev/null || true
+NET_PID=""
+
 # Perf guard, report-only: compare the committed benchmark report against
 # a fresh median-of-3 measurement. Machine variance makes a hard gate
 # flaky in CI, so --check prints regressions without failing the build;
@@ -82,14 +110,19 @@ cargo run -p subset3d-bench --bin bench_diff --release -- \
     --check --threshold 2 --metric overhead --max-overhead 2 \
     "$TRACE_TMP/committed_bench.json" BENCH_pipeline.json
 
-# Speedup floor, hard gate: batch-grain memoization must actually win.
-# The iterated sweep is the scenario whose speedup the memo design owns
+# Speedup floors, hard gates: memoization must actually win. The
+# iterated sweep is the scenario whose speedup the memo design owns
 # (warm passes served wholesale from the batch caches; ~2x even on one
 # core), so it carries an absolute floor that fails the build even under
-# --check. The cold-pass scenarios are near parity on a single core
-# (their win is thread scaling plus adaptive bypass costing ~nothing),
-# which machine noise straddles, so they stay in the report-only
-# comparison above rather than flaking a hard gate.
+# --check. The cold workload_sim pass carries the same 1.0 floor:
+# since the adaptive policy stopped computing batch digests while the
+# draw cache is disabled (a single-pass stream's steady state), the
+# parallel+memoized path must at least match single-thread-uncached
+# rather than paying probe overhead for nothing. The remaining cold
+# scenario (subsetting_pipeline) stays report-only above.
 cargo run -p subset3d-bench --bin bench_diff --release -- \
     --check --metric iterated_sweep.speedup --min-speedup 1.0 \
+    "$TRACE_TMP/committed_bench.json" BENCH_pipeline.json
+cargo run -p subset3d-bench --bin bench_diff --release -- \
+    --check --metric workload_sim.speedup --min-speedup 1.0 \
     "$TRACE_TMP/committed_bench.json" BENCH_pipeline.json
